@@ -1,0 +1,6 @@
+//! Ablation E13/E14: offset lists vs bitmaps vs ID duplication.
+fn main() {
+    let r = aplus_bench::tables::run_ablation();
+    println!("{}", r.render("offset-lists"));
+    r.write_json();
+}

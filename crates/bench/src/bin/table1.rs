@@ -1,0 +1,6 @@
+//! Regenerates Table I (dataset statistics).
+fn main() {
+    let r = aplus_bench::tables::run_table1();
+    println!("{}", r.render("scaled"));
+    r.write_json();
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table 2 of the paper. See `aplus_bench::tables`.
+fn main() {
+    let r = aplus_bench::tables::run_table2();
+    println!("{}", r.render("D"));
+    r.write_json();
+}

@@ -1,0 +1,6 @@
+//! Regenerates the §V-F maintenance micro-benchmark.
+fn main() {
+    let r = aplus_bench::tables::run_table6();
+    println!("{}", r.render("Ds"));
+    r.write_json();
+}

@@ -1,0 +1,47 @@
+//! Scaled dataset construction for the experiment harness.
+//!
+//! `APLUS_SCALE` divides the paper's vertex/edge counts (Table I); the
+//! default of 1000 gives, e.g., a 3K-vertex / 117K-edge Orkut. The average
+//! degree — the statistic that drives adjacency-list sizes, offset widths
+//! and the relative costs the experiments compare — is preserved at any
+//! scale.
+
+use aplus_datagen::presets::{build_preset, DatasetPreset};
+use aplus_graph::Graph;
+
+/// Reads the scale divisor from `APLUS_SCALE` (default 1000).
+#[must_use]
+pub fn scale() -> usize {
+    std::env::var("APLUS_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&s| s > 0)
+        .unwrap_or(1000)
+}
+
+/// Builds `G_{i,j}` for a preset at the harness scale.
+#[must_use]
+pub fn dataset(preset: DatasetPreset, vertex_labels: usize, edge_labels: usize) -> Graph {
+    build_preset(preset, scale(), vertex_labels, edge_labels)
+}
+
+/// Scales one of the paper's absolute vertex-ID caps (e.g. MF3's
+/// `a3.ID < 10000` on a 3M-vertex Orkut) to the generated graph.
+#[must_use]
+pub fn scaled_cap(graph: &Graph, paper_cap: u32, paper_vertices: usize) -> u32 {
+    let frac = f64::from(paper_cap) / paper_vertices as f64;
+    ((graph.vertex_count() as f64 * frac).ceil() as u32).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_cap_preserves_fraction() {
+        let g = dataset(DatasetPreset::BerkStan, 1, 1);
+        let cap = scaled_cap(&g, 10_000, 3_000_000);
+        let frac = f64::from(cap) / g.vertex_count() as f64;
+        assert!((frac - 10_000.0 / 3_000_000.0).abs() < 0.01);
+    }
+}

@@ -1,0 +1,27 @@
+//! Benchmark harness regenerating every table of the paper's evaluation
+//! (§V), plus the ablation studies called out in DESIGN.md.
+//!
+//! Each `table*` binary builds the scaled datasets, runs the workload under
+//! the paper's index configurations, prints a markdown table next to the
+//! paper's reference numbers, and (when `APLUS_REPORT_DIR` is set) writes a
+//! machine-readable JSON report.
+//!
+//! | Binary | Paper artifact |
+//! |--------|----------------|
+//! | `table1` | Table I — datasets |
+//! | `table2` | Table II — primary reconfiguration (D / Ds / Dp) |
+//! | `table3` | Table III — MagicRecs (D / D+VPt) |
+//! | `table4` | Table IV — fraud (D / D+VPc / D+VPc+EPc) |
+//! | `table5` | Table V — fixed-index baselines |
+//! | `table6_maintenance` | §V-F — maintenance micro-benchmark |
+//! | `ablation_storage` | §III-B3 — offset lists vs bitmaps vs ID lists |
+//!
+//! Dataset sizes scale with `APLUS_SCALE` (divisor of the paper's
+//! vertex/edge counts; default 1000).
+
+pub mod datasets;
+pub mod report;
+pub mod tables;
+pub mod workloads;
+
+pub use report::{Measurement, Reporter};

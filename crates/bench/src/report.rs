@@ -1,0 +1,246 @@
+//! Measurement collection and markdown/JSON reporting.
+//!
+//! Each table binary accumulates [`Measurement`]s into a [`Reporter`],
+//! which renders a pivoted markdown table (configs as rows, queries as
+//! columns, speedups vs. the first config in parentheses — the paper's
+//! presentation) and optionally writes JSON to `APLUS_REPORT_DIR` for the
+//! EXPERIMENTS.md generator.
+
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+/// One timed run.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct Measurement {
+    /// Dataset name (e.g. `Ork8,2`).
+    pub dataset: String,
+    /// Configuration name (e.g. `D`, `Ds`, `D+VPt`).
+    pub config: String,
+    /// Query name (e.g. `SQ3`, `MR2`) or a pseudo-metric (`Mem(MB)`, `IC`).
+    pub query: String,
+    /// Runtime in seconds (or the metric value).
+    pub value: f64,
+    /// Result count, when the measurement is a query run.
+    pub count: Option<u64>,
+}
+
+/// Accumulates measurements for one experiment.
+#[derive(Debug, Default, Serialize, Deserialize)]
+pub struct Reporter {
+    /// Experiment identifier (`table2`, …).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// All measurements.
+    pub measurements: Vec<Measurement>,
+}
+
+impl Reporter {
+    /// Creates a reporter for one experiment.
+    #[must_use]
+    pub fn new(id: &str, title: &str) -> Self {
+        Self {
+            id: id.to_owned(),
+            title: title.to_owned(),
+            measurements: Vec::new(),
+        }
+    }
+
+    /// Records a raw value (memory, index-creation time, rates).
+    pub fn record_value(&mut self, dataset: &str, config: &str, metric: &str, value: f64) {
+        self.measurements.push(Measurement {
+            dataset: dataset.to_owned(),
+            config: config.to_owned(),
+            query: metric.to_owned(),
+            value,
+            count: None,
+        });
+    }
+
+    /// Times `f` (returning a match count) and records it.
+    pub fn time(
+        &mut self,
+        dataset: &str,
+        config: &str,
+        query: &str,
+        f: impl FnOnce() -> u64,
+    ) -> f64 {
+        let t = Instant::now();
+        let count = f();
+        let secs = t.elapsed().as_secs_f64();
+        self.measurements.push(Measurement {
+            dataset: dataset.to_owned(),
+            config: config.to_owned(),
+            query: query.to_owned(),
+            value: secs,
+            count: Some(count),
+        });
+        secs
+    }
+
+    /// Renders the pivoted markdown table for one dataset: configs down,
+    /// queries across, speedups vs `baseline_config` in parentheses.
+    #[must_use]
+    pub fn render_dataset(&self, dataset: &str, baseline_config: &str) -> String {
+        let mut configs: Vec<&str> = Vec::new();
+        let mut queries: Vec<&str> = Vec::new();
+        let mut cells: BTreeMap<(&str, &str), &Measurement> = BTreeMap::new();
+        for m in self.measurements.iter().filter(|m| m.dataset == dataset) {
+            if !configs.contains(&m.config.as_str()) {
+                configs.push(&m.config);
+            }
+            if !queries.contains(&m.query.as_str()) {
+                queries.push(&m.query);
+            }
+            cells.insert((m.config.as_str(), m.query.as_str()), m);
+        }
+        let mut out = String::new();
+        out.push_str(&format!("\n### {dataset}\n\n| Config |"));
+        for q in &queries {
+            out.push_str(&format!(" {q} |"));
+        }
+        out.push_str("\n|---|");
+        for _ in &queries {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for c in &configs {
+            out.push_str(&format!("| {c} |"));
+            for q in &queries {
+                match cells.get(&(*c, *q)) {
+                    Some(m) => {
+                        let base = cells
+                            .get(&(baseline_config, *q))
+                            .map(|b| b.value)
+                            .unwrap_or(m.value);
+                        if m.count.is_some() && *c != baseline_config && base > 0.0 {
+                            out.push_str(&format!(
+                                " {:.4}s ({:.2}x) |",
+                                m.value,
+                                base / m.value.max(1e-12)
+                            ));
+                        } else if m.count.is_some() {
+                            out.push_str(&format!(" {:.4}s |", m.value));
+                        } else {
+                            out.push_str(&format!(" {:.3} |", m.value));
+                        }
+                    }
+                    None => out.push_str(" — |"),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders every dataset section.
+    #[must_use]
+    pub fn render(&self, baseline_config: &str) -> String {
+        let mut datasets: Vec<&str> = Vec::new();
+        for m in &self.measurements {
+            if !datasets.contains(&m.dataset.as_str()) {
+                datasets.push(&m.dataset);
+            }
+        }
+        let mut out = format!("## {} — {}\n", self.id, self.title);
+        for d in datasets {
+            out.push_str(&self.render_dataset(d, baseline_config));
+        }
+        out
+    }
+
+    /// Writes the JSON report when `APLUS_REPORT_DIR` is set. Errors are
+    /// reported to stderr, never fatal (benchmarks should still print).
+    pub fn write_json(&self) {
+        let Ok(dir) = std::env::var("APLUS_REPORT_DIR") else {
+            return;
+        };
+        let path = PathBuf::from(dir).join(format!("{}.json", self.id));
+        let run = || -> std::io::Result<()> {
+            if let Some(parent) = path.parent() {
+                std::fs::create_dir_all(parent)?;
+            }
+            let mut f = std::fs::File::create(&path)?;
+            let json = serde_json::to_string_pretty(self).expect("reporter serializes");
+            f.write_all(json.as_bytes())
+        };
+        if let Err(e) = run() {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        }
+    }
+
+    /// Verifies every config produced the same counts per (dataset, query)
+    /// pair — index configurations must never change results. Panics on
+    /// mismatch (benchmarks double as correctness checks).
+    pub fn assert_counts_agree(&self) {
+        let mut by_key: BTreeMap<(&str, &str), u64> = BTreeMap::new();
+        for m in &self.measurements {
+            let Some(c) = m.count else { continue };
+            match by_key.get(&(m.dataset.as_str(), m.query.as_str())) {
+                None => {
+                    by_key.insert((&m.dataset, &m.query), c);
+                }
+                Some(&prev) => assert_eq!(
+                    prev, c,
+                    "count mismatch on {}/{} under config {}",
+                    m.dataset, m.query, m.config
+                ),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_includes_speedups() {
+        let mut r = Reporter::new("t", "test");
+        r.measurements.push(Measurement {
+            dataset: "X".into(),
+            config: "D".into(),
+            query: "Q1".into(),
+            value: 2.0,
+            count: Some(5),
+        });
+        r.measurements.push(Measurement {
+            dataset: "X".into(),
+            config: "Ds".into(),
+            query: "Q1".into(),
+            value: 1.0,
+            count: Some(5),
+        });
+        let md = r.render("D");
+        assert!(md.contains("(2.00x)"), "{md}");
+        r.assert_counts_agree();
+    }
+
+    #[test]
+    #[should_panic(expected = "count mismatch")]
+    fn count_disagreement_panics() {
+        let mut r = Reporter::new("t", "test");
+        for (cfg, n) in [("D", 5), ("Ds", 6)] {
+            r.measurements.push(Measurement {
+                dataset: "X".into(),
+                config: cfg.into(),
+                query: "Q1".into(),
+                value: 1.0,
+                count: Some(n),
+            });
+        }
+        r.assert_counts_agree();
+    }
+
+    #[test]
+    fn time_records_count() {
+        let mut r = Reporter::new("t", "test");
+        let secs = r.time("X", "D", "Q", || 42);
+        assert!(secs >= 0.0);
+        assert_eq!(r.measurements[0].count, Some(42));
+    }
+}

@@ -1,0 +1,6 @@
+//! The three evaluation workloads (§V): labelled subgraph queries,
+//! MagicRecs, and financial-fraud money flows.
+
+pub mod mf;
+pub mod mr;
+pub mod sq;

@@ -1,0 +1,66 @@
+//! MR1–MR3: the Twitter MagicRecs recommendation patterns (§V-C1, Fig 4).
+//!
+//! For a user `a1`, find the users `a2..ak` that `a1` started following
+//! recently (edges with `time < α`), and their common follower. `k = 2, 3,
+//! 4` give MR1, MR2, MR3. MR2 and MR3 are cyclic; MR1 "is followed by a
+//! simple extension" instead of an intersection. Figure 4 puts the time
+//! predicate on both of MR1's edges; we follow the figure.
+
+/// Builds `MR{k}` (`k ∈ 1..=3`) with time threshold `alpha` and an
+/// optional `a1.ID < cap` restriction (the paper caps MR3's `a1` on LJ and
+/// Ork "to run the query in a reasonable time").
+#[must_use]
+pub fn query(k: usize, alpha: i64, a1_cap: Option<u32>) -> String {
+    let (pattern, pred_edges): (&str, &[&str]) = match k {
+        1 => ("a1-[e1]->a2, a3-[e2]->a2", &["e1", "e2"]),
+        2 => (
+            "a1-[e1]->a2, a1-[e2]->a3, a4-[e3]->a2, a4-[e4]->a3",
+            &["e1", "e2"],
+        ),
+        3 => (
+            "a1-[e1]->a2, a1-[e2]->a3, a1-[e3]->a4, \
+             a5-[e4]->a2, a5-[e5]->a3, a5-[e6]->a4",
+            &["e1", "e2", "e3"],
+        ),
+        _ => panic!("MR index {k} out of range 1..=3"),
+    };
+    let mut preds: Vec<String> = pred_edges
+        .iter()
+        .map(|e| format!("{e}.time < {alpha}"))
+        .collect();
+    if let Some(cap) = a1_cap {
+        preds.push(format!("a1.ID < {cap}"));
+    }
+    format!("MATCH {pattern} WHERE {}", preds.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aplus_datagen::properties::add_magicrecs_properties;
+    use aplus_datagen::{generate, GeneratorConfig};
+    use aplus_query::Database;
+
+    #[test]
+    fn queries_parse_and_run() {
+        let mut g = generate(&GeneratorConfig::social(80, 600, 1, 1));
+        add_magicrecs_properties(&mut g, 5);
+        let db = Database::new(g).unwrap();
+        for k in 1..=3 {
+            let q = query(k, 100_000, Some(40));
+            let n = db.count(&q).unwrap_or_else(|e| panic!("MR{k}: {e}"));
+            // Sanity: the unrestricted variant can only have more matches.
+            let all = db.count(&query(k, i64::MAX, Some(40))).unwrap();
+            assert!(n <= all, "MR{k}: {n} > {all}");
+        }
+    }
+
+    #[test]
+    fn mr2_is_cyclic_mr1_is_not() {
+        // MR1 has 3 vertices / 2 edges (tree); MR2 has 4 vertices / 4 edges
+        // (cycle), matching Figure 4.
+        assert!(query(1, 1, None).matches("->").count() == 2);
+        assert!(query(2, 1, None).matches("->").count() == 4);
+        assert!(query(3, 1, None).matches("->").count() == 6);
+    }
+}

@@ -1,0 +1,106 @@
+//! Strongly-typed identifiers.
+//!
+//! The representation sizes follow the paper's physical design (§III-B3):
+//! "edge IDs take 8 and neighbour IDs take 4 bytes". Labels and property
+//! keys are small catalog-assigned integers.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident, $repr:ty, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub $repr);
+
+        impl $name {
+            /// Raw integer value of the identifier.
+            #[inline]
+            #[must_use]
+            pub fn raw(self) -> $repr {
+                self.0
+            }
+
+            /// The identifier as a `usize`, for direct indexing.
+            #[inline]
+            #[must_use]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<$repr> for $name {
+            #[inline]
+            fn from(v: $repr) -> Self {
+                Self(v)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A vertex identifier. Vertex IDs are assigned consecutively from 0
+    /// (§IV-B), which lets the CSR locate a vertex's page with one division.
+    VertexId, u32, "v"
+);
+
+id_type!(
+    /// An edge identifier. Edge IDs are assigned consecutively from 0 in
+    /// insertion order; they are 8 bytes wide in ID lists.
+    EdgeId, u64, "e"
+);
+
+id_type!(
+    /// A vertex label (e.g. `Account`, `Customer`), interned by the catalog.
+    VertexLabelId, u16, "VL"
+);
+
+id_type!(
+    /// An edge label (e.g. `Wire`, `DirDeposit`, `Owns`), interned by the
+    /// catalog.
+    EdgeLabelId, u16, "EL"
+);
+
+id_type!(
+    /// A property key (e.g. `amount`, `city`), interned by the catalog.
+    /// Vertex and edge properties live in separate namespaces.
+    PropertyId, u16, "P"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_index() {
+        let v = VertexId(42);
+        assert_eq!(v.raw(), 42);
+        assert_eq!(v.index(), 42);
+        assert_eq!(VertexId::from(42u32), v);
+        assert_eq!(format!("{v}"), "v42");
+        assert_eq!(format!("{v:?}"), "v42");
+    }
+
+    #[test]
+    fn ordering_matches_raw() {
+        assert!(EdgeId(3) < EdgeId(10));
+        assert!(VertexId(0) < VertexId(1));
+    }
+
+    #[test]
+    fn sizes_match_paper() {
+        assert_eq!(std::mem::size_of::<VertexId>(), 4);
+        assert_eq!(std::mem::size_of::<EdgeId>(), 8);
+    }
+}

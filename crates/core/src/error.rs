@@ -1,0 +1,74 @@
+//! Error type for index DDL and maintenance.
+
+use std::fmt;
+
+use aplus_graph::GraphError;
+
+/// Errors raised by the A+ index subsystem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IndexError {
+    /// A partitioning key referenced a non-categorical property. Nested
+    /// partitioning criteria must be categorical (§III-A1).
+    NonCategoricalPartitionKey {
+        /// Property name.
+        property: String,
+    },
+    /// More sort criteria than supported were requested.
+    TooManySortKeys {
+        /// Requested number.
+        requested: usize,
+        /// Maximum supported.
+        max: usize,
+    },
+    /// A 2-hop view predicate does not reference both edges. Such an index
+    /// "would redundantly generate duplicate adjacency lists" (§III-B2);
+    /// the user should define a vertex-partitioned view instead.
+    RedundantTwoHopView,
+    /// A view predicate referenced an entity that is invalid for its view
+    /// type (e.g. `eb` inside a 1-hop view).
+    InvalidPredicateEntity {
+        /// Which entity was used.
+        entity: &'static str,
+        /// Which view type rejected it.
+        view: &'static str,
+    },
+    /// An index name was registered twice.
+    DuplicateIndexName(String),
+    /// An index name was not found.
+    UnknownIndex(String),
+    /// An error from the underlying graph store.
+    Graph(GraphError),
+}
+
+impl fmt::Display for IndexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NonCategoricalPartitionKey { property } => write!(
+                f,
+                "partitioning key {property} must be a categorical property"
+            ),
+            Self::TooManySortKeys { requested, max } => {
+                write!(f, "{requested} sort keys requested, at most {max} supported")
+            }
+            Self::RedundantTwoHopView => write!(
+                f,
+                "2-hop view predicate must reference both eb and eadj; \
+                 use a vertex-partitioned (1-hop) view instead"
+            ),
+            Self::InvalidPredicateEntity { entity, view } => {
+                write!(f, "predicate entity {entity} is not valid in a {view} view")
+            }
+            Self::DuplicateIndexName(name) => write!(f, "index {name} already exists"),
+            Self::UnknownIndex(name) => write!(f, "no index named {name}"),
+            Self::Graph(e) => write!(f, "graph error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IndexError {}
+
+impl From<GraphError> for IndexError {
+    fn from(e: GraphError) -> Self {
+        Self::Graph(e)
+    }
+}

@@ -1,0 +1,158 @@
+//! Adjacency-list read handles.
+//!
+//! Every index access returns a [`List`]: an ordered sequence of
+//! `(edge, neighbour)` pairs. The fast path borrows directly from the ID
+//! arrays of a page (zero copies — this is the common case for a static
+//! graph). When a page has pending buffered inserts or tombstones, or when
+//! the list comes from an offset-list secondary index, the list is
+//! materialized into a small owned vector. Downstream operators only see
+//! `len`/`get`/`iter`, so they are oblivious to the storage form.
+
+use aplus_common::{EdgeId, VertexId};
+
+/// An ordered adjacency list of `(edge, neighbour)` pairs.
+#[derive(Debug, Clone)]
+pub enum List<'a> {
+    /// Zero-copy view into a page's merged ID arrays.
+    Slice {
+        /// Edge IDs (raw).
+        edges: &'a [u64],
+        /// Neighbour vertex IDs (raw).
+        nbrs: &'a [u32],
+    },
+    /// Materialized pairs (buffered pages, offset-list dereference).
+    Owned(Vec<(u64, u32)>),
+}
+
+impl List<'_> {
+    /// The empty list.
+    #[must_use]
+    pub fn empty() -> Self {
+        List::Slice { edges: &[], nbrs: &[] }
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self {
+            List::Slice { edges, .. } => edges.len(),
+            List::Owned(v) => v.len(),
+        }
+    }
+
+    /// Whether the list is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `(edge, neighbour)` pair at position `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, i: usize) -> (EdgeId, VertexId) {
+        match self {
+            List::Slice { edges, nbrs } => (EdgeId(edges[i]), VertexId(nbrs[i])),
+            List::Owned(v) => (EdgeId(v[i].0), VertexId(v[i].1)),
+        }
+    }
+
+    /// Iterates the pairs in order.
+    pub fn iter(&self) -> impl Iterator<Item = (EdgeId, VertexId)> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+}
+
+/// An ID-based buffered entry splice: `(position in the merged array before
+/// which this entry sorts, edge, neighbour)`.
+pub(crate) type Splice = (u32, u64, u32);
+
+/// Materializes a range of a merged array interleaved with buffered splices
+/// and with tombstones dropped.
+///
+/// * `merged` yields `(abs_position, edge, nbr, deleted)` for positions
+///   `range.start..range.end`.
+/// * `splices` must be sorted by `(position, …)` and contain only entries
+///   belonging to the range's slots.
+pub(crate) fn interleave(
+    range: std::ops::Range<usize>,
+    merged: impl Fn(usize) -> (u64, u32, bool),
+    splices: &[Splice],
+) -> Vec<(u64, u32)> {
+    let mut out = Vec::with_capacity(range.len() + splices.len());
+    let mut si = 0;
+    for pos in range.clone() {
+        while si < splices.len() && (splices[si].0 as usize) <= pos {
+            out.push((splices[si].1, splices[si].2));
+            si += 1;
+        }
+        let (edge, nbr, deleted) = merged(pos);
+        if !deleted {
+            out.push((edge, nbr));
+        }
+    }
+    for s in &splices[si..] {
+        out.push((s.1, s.2));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_accessors() {
+        let edges = [10u64, 11, 12];
+        let nbrs = [1u32, 2, 3];
+        let l = List::Slice {
+            edges: &edges,
+            nbrs: &nbrs,
+        };
+        assert_eq!(l.len(), 3);
+        assert_eq!(l.get(1), (EdgeId(11), VertexId(2)));
+        let collected: Vec<_> = l.iter().collect();
+        assert_eq!(collected.len(), 3);
+    }
+
+    #[test]
+    fn owned_accessors() {
+        let l = List::Owned(vec![(5, 50), (6, 60)]);
+        assert_eq!(l.len(), 2);
+        assert_eq!(l.get(0), (EdgeId(5), VertexId(50)));
+        assert!(!l.is_empty());
+        assert!(List::empty().is_empty());
+    }
+
+    #[test]
+    fn interleave_positions() {
+        // Merged: positions 0..3 hold edges 100,101,102. A splice at
+        // position 1 goes before edge 101; a splice at position 3 (== end)
+        // goes last.
+        let merged = |p: usize| (100 + p as u64, p as u32, false);
+        let splices = vec![(1u32, 500u64, 9u32), (3, 600, 9)];
+        let out = interleave(0..3, merged, &splices);
+        assert_eq!(
+            out,
+            vec![(100, 0), (500, 9), (101, 1), (102, 2), (600, 9)]
+        );
+    }
+
+    #[test]
+    fn interleave_skips_tombstones() {
+        let merged = |p: usize| (100 + p as u64, 0u32, p == 1);
+        let out = interleave(0..3, merged, &[]);
+        assert_eq!(out, vec![(100, 0), (102, 0)]);
+    }
+
+    #[test]
+    fn interleave_range_offset() {
+        // Range starting at 5; splice position 5 comes before merged[5].
+        let merged = |p: usize| (p as u64, 0u32, false);
+        let splices = vec![(5u32, 999u64, 1u32)];
+        let out = interleave(5..7, merged, &splices);
+        assert_eq!(out, vec![(999, 1), (5, 0), (6, 0)]);
+    }
+}

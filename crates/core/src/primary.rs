@@ -1,0 +1,384 @@
+//! Primary A+ indexes (§III-A).
+//!
+//! "There are two primary indexes, one forward and one backward", both
+//! required to contain every edge. Each is a [`NestedCsr`] whose owner
+//! level is the vertex ID; the nested partitioning and innermost sorting
+//! are tunable via [`IndexSpec`] and can be changed at runtime with
+//! [`PrimaryIndexes::reconfigure`] (the paper's `RECONFIGURE PRIMARY
+//! INDEXES` command).
+
+use aplus_common::{EdgeId, VertexId};
+use aplus_graph::Graph;
+
+use crate::error::IndexError;
+use crate::list::List;
+use crate::nested_csr::{EntryInput, NestedCsr};
+use crate::sortkey::SortVal;
+use crate::spec::{Direction, IndexSpec};
+
+/// Outcome of a maintenance operation on an index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaintenanceOutcome {
+    /// The update was applied (possibly buffered).
+    Applied,
+    /// A categorical domain grew beyond the index's width snapshot; the
+    /// index must be rebuilt before the update is visible.
+    NeedsRebuild,
+}
+
+/// One directional primary index.
+#[derive(Debug, Clone)]
+pub struct PrimaryIndex {
+    direction: Direction,
+    spec: IndexSpec,
+    widths: Vec<u32>,
+    csr: NestedCsr,
+}
+
+impl PrimaryIndex {
+    /// Builds the index over all live edges of `graph`.
+    pub fn build(graph: &Graph, direction: Direction, spec: IndexSpec) -> Result<Self, IndexError> {
+        spec.validate(graph.catalog())?;
+        let widths = spec.snapshot_widths(graph.catalog());
+        let mut entries = Vec::with_capacity(graph.live_edge_count());
+        for (e, src, dst, _) in graph.edges() {
+            let owner = direction.owner(src, dst);
+            let nbr = direction.neighbour(src, dst);
+            let slot = spec
+                .slot_of(graph, &widths, e, nbr)
+                .expect("snapshot taken after all values interned");
+            entries.push(EntryInput {
+                owner: owner.raw(),
+                slot,
+                sort: spec.sort_val(graph, e, nbr),
+                edge: e.raw(),
+                nbr: nbr.raw(),
+            });
+        }
+        let csr = NestedCsr::build(graph.vertex_count(), widths.clone(), entries);
+        Ok(Self {
+            direction,
+            spec,
+            widths,
+            csr,
+        })
+    }
+
+    /// This index's direction.
+    #[must_use]
+    pub fn direction(&self) -> Direction {
+        self.direction
+    }
+
+    /// This index's spec.
+    #[must_use]
+    pub fn spec(&self) -> &IndexSpec {
+        &self.spec
+    }
+
+    /// The width snapshot the index was built with.
+    #[must_use]
+    pub fn widths(&self) -> &[u32] {
+        &self.widths
+    }
+
+    /// The underlying CSR (used by secondary indexes for offset math).
+    #[must_use]
+    pub fn csr(&self) -> &NestedCsr {
+        &self.csr
+    }
+
+    /// The adjacency list of `owner` under a partition-code prefix. Codes
+    /// outside the width snapshot yield the empty list (a constant the index
+    /// has never seen cannot match anything merged; callers needing buffered
+    /// newer values must rebuild first — the store does this eagerly).
+    #[must_use]
+    pub fn list(&self, owner: VertexId, prefix: &[u32]) -> List<'_> {
+        if owner.index() >= self.csr.owner_count() {
+            return List::empty();
+        }
+        for (i, &code) in prefix.iter().enumerate() {
+            if code >= self.widths[i] {
+                return List::empty();
+            }
+        }
+        self.csr.list(owner.index(), prefix)
+    }
+
+    /// The whole adjacency region of `owner`.
+    #[must_use]
+    pub fn region(&self, owner: VertexId) -> List<'_> {
+        self.list(owner, &[])
+    }
+
+    /// The sort value of an entry, recomputed from the graph.
+    #[must_use]
+    pub fn sort_val(&self, graph: &Graph, edge: EdgeId, nbr: VertexId) -> SortVal {
+        self.spec.sort_val(graph, edge, nbr)
+    }
+
+    /// Whether lists under this prefix come out globally ordered by the
+    /// spec's sort criteria: true when the prefix pins at most one
+    /// non-empty innermost slot. Multi-slot ranges are only per-slot
+    /// sorted.
+    #[must_use]
+    pub fn range_sorted(&self, prefix: &[u32]) -> bool {
+        for (i, &code) in prefix.iter().enumerate() {
+            if code >= self.widths[i] {
+                return true; // empty range
+            }
+        }
+        self.csr.span_sorted(prefix)
+    }
+
+    /// Buffers the insertion of edge `e` (endpoints read from the graph).
+    pub fn insert_edge(&mut self, graph: &Graph, e: EdgeId) -> MaintenanceOutcome {
+        let (src, dst) = graph.edge_endpoints(e).expect("edge exists");
+        let owner = self.direction.owner(src, dst);
+        let nbr = self.direction.neighbour(src, dst);
+        if owner.index() >= self.csr.owner_count() {
+            self.csr.grow_owners(graph.vertex_count());
+        }
+        let Some(slot) = self.spec.slot_of(graph, &self.widths, e, nbr) else {
+            return MaintenanceOutcome::NeedsRebuild;
+        };
+        let sort = self.spec.sort_val(graph, e, nbr);
+        let spec = &self.spec;
+        self.csr.insert(
+            owner.index(),
+            slot,
+            sort,
+            e.raw(),
+            nbr.raw(),
+            |edge, n| spec.sort_val(graph, edge, n),
+        );
+        MaintenanceOutcome::Applied
+    }
+
+    /// Tombstones edge `e`. Returns whether it was present.
+    pub fn delete_edge(&mut self, graph: &Graph, e: EdgeId) -> bool {
+        let (src, dst) = graph.edge_endpoints(e).expect("edge exists");
+        let owner = self.direction.owner(src, dst);
+        if owner.index() >= self.csr.owner_count() {
+            return false;
+        }
+        self.csr.delete(owner.index(), e.raw())
+    }
+
+    /// Mutable access to the CSR for page merges (store-coordinated).
+    pub(crate) fn csr_mut(&mut self) -> &mut NestedCsr {
+        &mut self.csr
+    }
+
+    /// Whether any page buffer holds at least `threshold` pending entries.
+    #[must_use]
+    pub fn any_buffer_full(&self, threshold: usize) -> bool {
+        (0..self.csr.page_count()).any(|g| self.csr.buffer_len(g) >= threshold)
+    }
+
+    /// Heap bytes.
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        self.csr.memory_bytes()
+    }
+}
+
+/// The forward + backward primary pair (both always exist, §III-A).
+#[derive(Debug, Clone)]
+pub struct PrimaryIndexes {
+    fwd: PrimaryIndex,
+    bwd: PrimaryIndex,
+}
+
+impl PrimaryIndexes {
+    /// Builds both directions with the same spec.
+    pub fn build(graph: &Graph, spec: IndexSpec) -> Result<Self, IndexError> {
+        Ok(Self {
+            fwd: PrimaryIndex::build(graph, Direction::Fwd, spec.clone())?,
+            bwd: PrimaryIndex::build(graph, Direction::Bwd, spec)?,
+        })
+    }
+
+    /// Builds with the system default spec (configuration D).
+    pub fn build_default(graph: &Graph) -> Result<Self, IndexError> {
+        Self::build(graph, IndexSpec::default_primary())
+    }
+
+    /// The index for `direction`.
+    #[must_use]
+    #[allow(clippy::should_implement_trait)]
+    pub fn index(&self, direction: Direction) -> &PrimaryIndex {
+        match direction {
+            Direction::Fwd => &self.fwd,
+            Direction::Bwd => &self.bwd,
+        }
+    }
+
+    /// Mutable variant of [`Self::index`].
+    pub(crate) fn index_mut(&mut self, direction: Direction) -> &mut PrimaryIndex {
+        match direction {
+            Direction::Fwd => &mut self.fwd,
+            Direction::Bwd => &mut self.bwd,
+        }
+    }
+
+    /// The current spec (both directions share it).
+    #[must_use]
+    pub fn spec(&self) -> &IndexSpec {
+        self.fwd.spec()
+    }
+
+    /// `RECONFIGURE PRIMARY INDEXES`: rebuilds both directions under a new
+    /// spec. Secondary indexes hold offsets into the primary lists, so the
+    /// store rebuilds them afterwards.
+    pub fn reconfigure(&mut self, graph: &Graph, spec: IndexSpec) -> Result<(), IndexError> {
+        *self = Self::build(graph, spec)?;
+        Ok(())
+    }
+
+    /// Combined heap bytes.
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        self.fwd.memory_bytes() + self.bwd.memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aplus_datagen::build_financial_graph;
+    use aplus_graph::PropertyEntity;
+    use crate::spec::{PartitionKey, SortKey};
+
+    #[test]
+    fn default_build_contains_all_edges() {
+        let fg = build_financial_graph();
+        let p = PrimaryIndexes::build_default(&fg.graph).unwrap();
+        let total_fwd: usize = fg
+            .graph
+            .vertices()
+            .map(|v| p.index(Direction::Fwd).region(v).len())
+            .sum();
+        let total_bwd: usize = fg
+            .graph
+            .vertices()
+            .map(|v| p.index(Direction::Bwd).region(v).len())
+            .sum();
+        assert_eq!(total_fwd, 25);
+        assert_eq!(total_bwd, 25);
+    }
+
+    #[test]
+    fn label_partition_prefix_selects_sublists() {
+        let fg = build_financial_graph();
+        let p = PrimaryIndexes::build_default(&fg.graph).unwrap();
+        let g = &fg.graph;
+        let wire = u32::from(g.catalog().edge_label("W").unwrap().raw());
+        let dd = u32::from(g.catalog().edge_label("DD").unwrap().raw());
+        let v1 = fg.account(1);
+        let fwd = p.index(Direction::Fwd);
+        // Figure 3a: v1 has 3 Wire and 2 Dir-Deposit forward edges, and the
+        // whole region is their nested union L = LW ∪ LDD.
+        assert_eq!(fwd.list(v1, &[wire]).len(), 3);
+        assert_eq!(fwd.list(v1, &[dd]).len(), 2);
+        assert_eq!(fwd.region(v1).len(), 5);
+    }
+
+    #[test]
+    fn default_sort_is_by_neighbour_id() {
+        let fg = build_financial_graph();
+        let p = PrimaryIndexes::build_default(&fg.graph).unwrap();
+        let wire = u32::from(fg.graph.catalog().edge_label("W").unwrap().raw());
+        let l = p.index(Direction::Fwd).list(fg.account(1), &[wire]);
+        let nbrs: Vec<u32> = l.iter().map(|(_, n)| n.raw()).collect();
+        let mut sorted = nbrs.clone();
+        sorted.sort_unstable();
+        assert_eq!(nbrs, sorted);
+    }
+
+    #[test]
+    fn reconfigure_with_currency_partitioning() {
+        // Example 4's reconfiguration: PARTITION BY eadj.label, eadj.currency.
+        let fg = build_financial_graph();
+        let g = &fg.graph;
+        let curr = g
+            .catalog()
+            .property(PropertyEntity::Edge, "currency")
+            .unwrap();
+        let mut p = PrimaryIndexes::build_default(g).unwrap();
+        let spec = IndexSpec::default()
+            .with_partitioning(vec![PartitionKey::EdgeLabel, PartitionKey::EdgeProp(curr)])
+            .with_sort(vec![SortKey::NbrId]);
+        p.reconfigure(g, spec).unwrap();
+        let wire = u32::from(g.catalog().edge_label("W").unwrap().raw());
+        let usd = g
+            .catalog()
+            .categorical_code(PropertyEntity::Edge, curr, "USD")
+            .unwrap();
+        let eur = g
+            .catalog()
+            .categorical_code(PropertyEntity::Edge, curr, "EUR")
+            .unwrap();
+        let v1 = fg.account(1);
+        let fwd = p.index(Direction::Fwd);
+        // v1's Wire edges: t4 (EUR), t17 (EUR), t20 (USD).
+        assert_eq!(fwd.list(v1, &[wire, usd]).len(), 1);
+        assert_eq!(fwd.list(v1, &[wire, eur]).len(), 2);
+        assert_eq!(fwd.list(v1, &[wire]).len(), 3);
+    }
+
+    #[test]
+    fn unknown_prefix_code_is_empty() {
+        let fg = build_financial_graph();
+        let p = PrimaryIndexes::build_default(&fg.graph).unwrap();
+        assert!(p.index(Direction::Fwd).list(fg.account(1), &[999]).is_empty());
+    }
+
+    #[test]
+    fn insert_and_delete_roundtrip() {
+        let fg = build_financial_graph();
+        let mut g = fg.graph;
+        let mut p = PrimaryIndexes::build_default(&g).unwrap();
+        let v3 = fg.accounts[2];
+        let v5 = fg.accounts[4];
+        let e = g.add_edge(v3, v5, "W").unwrap();
+        assert_eq!(
+            p.index_mut(Direction::Fwd).insert_edge(&g, e),
+            MaintenanceOutcome::Applied
+        );
+        assert_eq!(
+            p.index_mut(Direction::Bwd).insert_edge(&g, e),
+            MaintenanceOutcome::Applied
+        );
+        let wire = u32::from(g.catalog().edge_label("W").unwrap().raw());
+        let before = p.index(Direction::Fwd).list(v3, &[wire]).len();
+        assert!(before >= 1);
+        assert!(p.index_mut(Direction::Fwd).delete_edge(&g, e));
+        assert_eq!(p.index(Direction::Fwd).list(v3, &[wire]).len(), before - 1);
+    }
+
+    #[test]
+    fn insert_with_new_label_requests_rebuild() {
+        let fg = build_financial_graph();
+        let mut g = fg.graph;
+        let mut p = PrimaryIndexes::build_default(&g).unwrap();
+        let e = g
+            .add_edge(fg.accounts[0], fg.accounts[1], "BRAND_NEW")
+            .unwrap();
+        assert_eq!(
+            p.index_mut(Direction::Fwd).insert_edge(&g, e),
+            MaintenanceOutcome::NeedsRebuild
+        );
+    }
+
+    #[test]
+    fn backward_lists_mirror_forward() {
+        let fg = build_financial_graph();
+        let p = PrimaryIndexes::build_default(&fg.graph).unwrap();
+        // v2's backward transfers: t5, t6, t15, t17 plus the Owns edge.
+        let v2 = fg.account(2);
+        assert_eq!(p.index(Direction::Bwd).region(v2).len(), 5);
+        let owns = u32::from(fg.graph.catalog().edge_label("O").unwrap().raw());
+        assert_eq!(p.index(Direction::Bwd).list(v2, &[owns]).len(), 1);
+    }
+}

@@ -1,0 +1,96 @@
+//! Order-preserving sort-key encoding.
+//!
+//! Innermost ID lists are sorted by up to [`MAX_SORT_KEYS`] user criteria
+//! (§III-A2), with NULLs ordered last and `(neighbour ID, edge ID)` as the
+//! final tiebreak for determinism. To make comparisons branch-free, each
+//! criterion value is encoded into a `u64` that preserves `i64` order:
+//!
+//! * `enc(v) = v XOR sign bit` maps `i64::MIN..=i64::MAX` monotonically to
+//!   `0..=u64::MAX`.
+//! * `NULL` encodes to `u64::MAX`, which sorts after every value except
+//!   `i64::MAX` itself (with which it collides — an accepted, documented
+//!   1-value approximation that only affects tie order between a NULL and
+//!   the single largest representable integer).
+
+/// Maximum number of user sort criteria per index.
+pub const MAX_SORT_KEYS: usize = 3;
+
+/// Encodes an optional `i64` into the order-preserving `u64` space.
+#[inline]
+#[must_use]
+pub fn encode_component(value: Option<i64>) -> u64 {
+    match value {
+        Some(v) => (v as u64) ^ (1u64 << 63),
+        None => u64::MAX,
+    }
+}
+
+/// A fully-encoded composite sort key: the user criteria (padded with 0)
+/// followed by the neighbour-ID and edge-ID tiebreaks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SortVal {
+    /// Encoded user criteria, padded with zeros beyond the spec's length.
+    pub user: [u64; MAX_SORT_KEYS],
+    /// Neighbour vertex ID tiebreak.
+    pub nbr: u32,
+    /// Edge ID tiebreak.
+    pub edge: u64,
+}
+
+impl SortVal {
+    /// Builds a sort value from already-encoded user components.
+    #[must_use]
+    pub fn new(user: [u64; MAX_SORT_KEYS], nbr: u32, edge: u64) -> Self {
+        Self { user, nbr, edge }
+    }
+
+    /// The leading user criterion (used by MULTI-EXTEND's merge-on-property
+    /// intersections). When the index has no user criteria this is 0 for
+    /// every entry, which is harmless: such indexes are only intersected on
+    /// neighbour IDs.
+    #[inline]
+    #[must_use]
+    pub fn leading(&self) -> u64 {
+        self.user[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encoding_preserves_order() {
+        let vals = [i64::MIN, -5, -1, 0, 1, 7, i64::MAX - 1];
+        for w in vals.windows(2) {
+            assert!(
+                encode_component(Some(w[0])) < encode_component(Some(w[1])),
+                "{} vs {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn null_sorts_last() {
+        assert!(encode_component(None) > encode_component(Some(1 << 60)));
+        assert!(encode_component(None) > encode_component(Some(i64::MAX - 1)));
+    }
+
+    #[test]
+    fn sortval_orders_lexicographically() {
+        let a = SortVal::new([1, 0, 0], 5, 9);
+        let b = SortVal::new([1, 0, 0], 6, 0);
+        let c = SortVal::new([2, 0, 0], 0, 0);
+        assert!(a < b);
+        assert!(b < c);
+    }
+
+    #[test]
+    fn tiebreak_by_edge_id() {
+        let a = SortVal::new([7, 0, 0], 3, 1);
+        let b = SortVal::new([7, 0, 0], 3, 2);
+        assert!(a < b);
+    }
+}

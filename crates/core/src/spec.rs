@@ -1,0 +1,387 @@
+//! Index configuration: direction, nested partitioning criteria, and sort
+//! criteria (§III-A).
+//!
+//! An [`IndexSpec`] describes everything tunable about one index: the
+//! nested partitioning levels that follow the implicit owner level (vertex
+//! ID for primary/vertex-partitioned indexes, edge ID for edge-partitioned
+//! ones) and the sort criteria of the innermost ID lists. The spec also
+//! knows how to extract partition codes and sort keys for an edge, which is
+//! the only place the logical design meets the property columns.
+
+use aplus_common::{EdgeId, PropertyId, VertexId};
+use aplus_graph::{Catalog, Graph, PropertyEntity, PropertyKind};
+
+use crate::error::IndexError;
+use crate::sortkey::{encode_component, SortVal, MAX_SORT_KEYS};
+
+/// Which endpoint owns the adjacency list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Lists partitioned by source vertex; neighbours are destinations.
+    Fwd,
+    /// Lists partitioned by destination vertex; neighbours are sources.
+    Bwd,
+}
+
+impl Direction {
+    /// The owner of edge `(src, dst)` under this direction.
+    #[inline]
+    #[must_use]
+    pub fn owner(self, src: VertexId, dst: VertexId) -> VertexId {
+        match self {
+            Self::Fwd => src,
+            Self::Bwd => dst,
+        }
+    }
+
+    /// The neighbour of edge `(src, dst)` under this direction.
+    #[inline]
+    #[must_use]
+    pub fn neighbour(self, src: VertexId, dst: VertexId) -> VertexId {
+        match self {
+            Self::Fwd => dst,
+            Self::Bwd => src,
+        }
+    }
+
+    /// The opposite direction.
+    #[must_use]
+    pub fn reverse(self) -> Self {
+        match self {
+            Self::Fwd => Self::Bwd,
+            Self::Bwd => Self::Fwd,
+        }
+    }
+}
+
+/// One nested partitioning criterion (§III-A1). Only categorical values are
+/// allowed; each level also reserves a trailing NULL partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PartitionKey {
+    /// Partition by the adjacent edge's label.
+    EdgeLabel,
+    /// Partition by the neighbour vertex's label.
+    NbrLabel,
+    /// Partition by a categorical property of the adjacent edge
+    /// (e.g. `eadj.currency`).
+    EdgeProp(PropertyId),
+    /// Partition by a categorical property of the neighbour vertex
+    /// (e.g. `vnbr.acc`).
+    NbrProp(PropertyId),
+}
+
+/// One sort criterion for the innermost ID lists (§III-A2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SortKey {
+    /// Sort by neighbour vertex ID (the default; enables E/I multiway
+    /// intersections).
+    NbrId,
+    /// Sort by the neighbour vertex's label.
+    NbrLabel,
+    /// Sort by a property of the adjacent edge (e.g. `eadj.time`).
+    EdgeProp(PropertyId),
+    /// Sort by a property of the neighbour vertex (e.g. `vnbr.city`).
+    NbrProp(PropertyId),
+}
+
+/// The tunable shape of one index: nested partitioning plus sorting.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct IndexSpec {
+    /// Nested partitioning criteria applied after the owner level, outermost
+    /// first.
+    pub partitioning: Vec<PartitionKey>,
+    /// Sort criteria for the innermost lists, major first. The engine always
+    /// appends `(neighbour ID, edge ID)` as final tiebreaks, so an empty
+    /// list means "sorted by neighbour ID".
+    pub sort: Vec<SortKey>,
+}
+
+impl IndexSpec {
+    /// The system default (§III-A): partition by edge label, sort by
+    /// neighbour ID — configuration **D** in the evaluation.
+    #[must_use]
+    pub fn default_primary() -> Self {
+        Self {
+            partitioning: vec![PartitionKey::EdgeLabel],
+            sort: vec![SortKey::NbrId],
+        }
+    }
+
+    /// Builder: replaces the partitioning criteria.
+    #[must_use]
+    pub fn with_partitioning(mut self, partitioning: Vec<PartitionKey>) -> Self {
+        self.partitioning = partitioning;
+        self
+    }
+
+    /// Builder: replaces the sort criteria.
+    #[must_use]
+    pub fn with_sort(mut self, sort: Vec<SortKey>) -> Self {
+        self.sort = sort;
+        self
+    }
+
+    /// Validates the spec against the catalog: partition properties must be
+    /// categorical, and at most [`MAX_SORT_KEYS`] sort criteria are allowed.
+    pub fn validate(&self, catalog: &Catalog) -> Result<(), IndexError> {
+        for key in &self.partitioning {
+            let (entity, pid) = match key {
+                PartitionKey::EdgeLabel | PartitionKey::NbrLabel => continue,
+                PartitionKey::EdgeProp(pid) => (PropertyEntity::Edge, *pid),
+                PartitionKey::NbrProp(pid) => (PropertyEntity::Vertex, *pid),
+            };
+            let meta = catalog.property_meta(entity, pid);
+            if meta.kind != PropertyKind::Categorical {
+                return Err(IndexError::NonCategoricalPartitionKey {
+                    property: meta.name.clone(),
+                });
+            }
+        }
+        if self.sort.len() > MAX_SORT_KEYS {
+            return Err(IndexError::TooManySortKeys {
+                requested: self.sort.len(),
+                max: MAX_SORT_KEYS,
+            });
+        }
+        Ok(())
+    }
+
+    /// Whether the innermost lists are ordered by neighbour ID, which is
+    /// what E/I's neighbour-ID intersections require. True when the sort is
+    /// empty (tiebreaks give neighbour order) or leads with [`SortKey::NbrId`].
+    #[must_use]
+    pub fn nbr_id_sorted(&self) -> bool {
+        self.sort.is_empty() || self.sort[0] == SortKey::NbrId
+    }
+
+    /// Snapshot of the per-level slot widths (domain size + 1 NULL slot)
+    /// under the current catalog.
+    #[must_use]
+    pub fn snapshot_widths(&self, catalog: &Catalog) -> Vec<u32> {
+        self.partitioning
+            .iter()
+            .map(|key| {
+                let domain = match key {
+                    PartitionKey::EdgeLabel => catalog.edge_label_count(),
+                    PartitionKey::NbrLabel => catalog.vertex_label_count(),
+                    PartitionKey::EdgeProp(pid) => {
+                        catalog.property_meta(PropertyEntity::Edge, *pid).domain_size()
+                    }
+                    PartitionKey::NbrProp(pid) => catalog
+                        .property_meta(PropertyEntity::Vertex, *pid)
+                        .domain_size(),
+                };
+                u32::try_from(domain).expect("categorical domains are small") + 1
+            })
+            .collect()
+    }
+
+    /// The partition code of `(edge, nbr)` at one level, where `None` is
+    /// the NULL partition.
+    #[must_use]
+    pub fn partition_code(
+        &self,
+        graph: &Graph,
+        level: usize,
+        edge: EdgeId,
+        nbr: VertexId,
+    ) -> Option<u32> {
+        match self.partitioning[level] {
+            PartitionKey::EdgeLabel => Some(u32::from(
+                graph.edge_label(edge).expect("edge exists").raw(),
+            )),
+            PartitionKey::NbrLabel => Some(u32::from(
+                graph.vertex_label(nbr).expect("vertex exists").raw(),
+            )),
+            PartitionKey::EdgeProp(pid) => {
+                graph.edge_prop(edge, pid).map(|v| v as u32)
+            }
+            PartitionKey::NbrProp(pid) => {
+                graph.vertex_prop(nbr, pid).map(|v| v as u32)
+            }
+        }
+    }
+
+    /// Computes the flattened innermost-slot index of `(edge, nbr)` under
+    /// the given width snapshot. Returns `None` when a partition code falls
+    /// outside the snapshot (the categorical domain grew after the index was
+    /// built — the index needs a rebuild).
+    #[must_use]
+    pub fn slot_of(
+        &self,
+        graph: &Graph,
+        widths: &[u32],
+        edge: EdgeId,
+        nbr: VertexId,
+    ) -> Option<u32> {
+        let mut slot = 0u32;
+        for (level, &width) in widths.iter().enumerate() {
+            let code = match self.partition_code(graph, level, edge, nbr) {
+                Some(c) => {
+                    if c >= width - 1 {
+                        return None; // domain grew beyond snapshot
+                    }
+                    c
+                }
+                None => width - 1, // NULL partition is the trailing slot
+            };
+            slot = slot * width + code;
+        }
+        Some(slot)
+    }
+
+    /// Computes the composite sort value of `(edge, nbr)`.
+    #[must_use]
+    pub fn sort_val(&self, graph: &Graph, edge: EdgeId, nbr: VertexId) -> SortVal {
+        let mut user = [0u64; MAX_SORT_KEYS];
+        for (i, key) in self.sort.iter().enumerate() {
+            let raw = match key {
+                SortKey::NbrId => Some(i64::from(nbr.raw())),
+                SortKey::NbrLabel => Some(i64::from(
+                    graph.vertex_label(nbr).expect("vertex exists").raw(),
+                )),
+                SortKey::EdgeProp(pid) => graph.edge_prop(edge, *pid),
+                SortKey::NbrProp(pid) => graph.vertex_prop(nbr, *pid),
+            };
+            user[i] = encode_component(raw);
+        }
+        SortVal::new(user, nbr.raw(), edge.raw())
+    }
+
+    /// Total number of innermost slots per owner under a width snapshot.
+    #[must_use]
+    pub fn slots_per_owner(widths: &[u32]) -> u32 {
+        widths.iter().product::<u32>().max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aplus_graph::{GraphBuilder, Value};
+
+    fn graph() -> Graph {
+        let mut b = GraphBuilder::new()
+            .vertex_property("city", PropertyKind::Categorical)
+            .edge_property("curr", PropertyKind::Categorical)
+            .edge_property("amt", PropertyKind::Int);
+        let a = b.add_vertex("A", &[("city", Value::Str("SF"))]);
+        let c = b.add_vertex("B", &[("city", Value::Str("LA"))]);
+        b.add_edge(a, c, "W", &[("curr", Value::Str("USD")), ("amt", Value::Int(5))]);
+        b.add_edge(c, a, "DD", &[]); // curr NULL
+        b.build()
+    }
+
+    #[test]
+    fn validate_rejects_int_partition_key() {
+        let g = graph();
+        let amt = g.catalog().property(PropertyEntity::Edge, "amt").unwrap();
+        let spec = IndexSpec::default().with_partitioning(vec![PartitionKey::EdgeProp(amt)]);
+        assert!(matches!(
+            spec.validate(g.catalog()),
+            Err(IndexError::NonCategoricalPartitionKey { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_accepts_categorical_and_labels() {
+        let g = graph();
+        let curr = g.catalog().property(PropertyEntity::Edge, "curr").unwrap();
+        let spec = IndexSpec::default()
+            .with_partitioning(vec![PartitionKey::EdgeLabel, PartitionKey::EdgeProp(curr)]);
+        assert!(spec.validate(g.catalog()).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_too_many_sort_keys() {
+        let g = graph();
+        let spec = IndexSpec::default().with_sort(vec![SortKey::NbrId; MAX_SORT_KEYS + 1]);
+        assert!(matches!(
+            spec.validate(g.catalog()),
+            Err(IndexError::TooManySortKeys { .. })
+        ));
+    }
+
+    #[test]
+    fn widths_include_null_slot() {
+        let g = graph();
+        let curr = g.catalog().property(PropertyEntity::Edge, "curr").unwrap();
+        let spec = IndexSpec::default()
+            .with_partitioning(vec![PartitionKey::EdgeLabel, PartitionKey::EdgeProp(curr)]);
+        // 2 edge labels (+1 null) and 1 currency value (+1 null).
+        assert_eq!(spec.snapshot_widths(g.catalog()), vec![3, 2]);
+    }
+
+    #[test]
+    fn null_property_lands_in_trailing_slot() {
+        let g = graph();
+        let curr = g.catalog().property(PropertyEntity::Edge, "curr").unwrap();
+        let spec = IndexSpec::default().with_partitioning(vec![PartitionKey::EdgeProp(curr)]);
+        let widths = spec.snapshot_widths(g.catalog());
+        assert_eq!(widths, vec![2]);
+        // Edge 0 has USD (code 0) -> slot 0. Edge 1 has NULL -> slot 1.
+        let s0 = spec.slot_of(&g, &widths, EdgeId(0), VertexId(1)).unwrap();
+        let s1 = spec.slot_of(&g, &widths, EdgeId(1), VertexId(0)).unwrap();
+        assert_eq!(s0, 0);
+        assert_eq!(s1, 1);
+    }
+
+    #[test]
+    fn slot_nesting_is_row_major() {
+        let g = graph();
+        let curr = g.catalog().property(PropertyEntity::Edge, "curr").unwrap();
+        let spec = IndexSpec::default()
+            .with_partitioning(vec![PartitionKey::EdgeLabel, PartitionKey::EdgeProp(curr)]);
+        let widths = spec.snapshot_widths(g.catalog());
+        // Edge 0: label W (code 0), USD (code 0) -> slot 0*2+0 = 0.
+        assert_eq!(spec.slot_of(&g, &widths, EdgeId(0), VertexId(1)), Some(0));
+        // Edge 1: label DD (code 1), NULL curr -> slot 1*2+1 = 3.
+        assert_eq!(spec.slot_of(&g, &widths, EdgeId(1), VertexId(0)), Some(3));
+    }
+
+    #[test]
+    fn out_of_snapshot_code_returns_none() {
+        let mut g = graph();
+        let spec = IndexSpec::default_primary();
+        let widths = spec.snapshot_widths(g.catalog());
+        // A new edge label appears after the snapshot.
+        let v0 = VertexId(0);
+        let v1 = VertexId(1);
+        let e = g.add_edge(v0, v1, "NEW_LABEL").unwrap();
+        assert_eq!(spec.slot_of(&g, &widths, e, v1), None);
+    }
+
+    #[test]
+    fn sort_val_respects_spec_order() {
+        let g = graph();
+        let amt = g.catalog().property(PropertyEntity::Edge, "amt").unwrap();
+        let spec = IndexSpec::default().with_sort(vec![SortKey::EdgeProp(amt)]);
+        let k0 = spec.sort_val(&g, EdgeId(0), VertexId(1)); // amt 5
+        let k1 = spec.sort_val(&g, EdgeId(1), VertexId(0)); // amt NULL -> last
+        assert!(k0 < k1);
+    }
+
+    #[test]
+    fn nbr_id_sorted_detection() {
+        assert!(IndexSpec::default_primary().nbr_id_sorted());
+        assert!(IndexSpec::default().nbr_id_sorted());
+        let g = graph();
+        let amt = g.catalog().property(PropertyEntity::Edge, "amt").unwrap();
+        assert!(!IndexSpec::default()
+            .with_sort(vec![SortKey::EdgeProp(amt)])
+            .nbr_id_sorted());
+        assert!(IndexSpec::default()
+            .with_sort(vec![SortKey::NbrId, SortKey::EdgeProp(amt)])
+            .nbr_id_sorted());
+    }
+
+    #[test]
+    fn direction_owner_neighbour() {
+        let (s, d) = (VertexId(1), VertexId(2));
+        assert_eq!(Direction::Fwd.owner(s, d), s);
+        assert_eq!(Direction::Fwd.neighbour(s, d), d);
+        assert_eq!(Direction::Bwd.owner(s, d), d);
+        assert_eq!(Direction::Bwd.neighbour(s, d), s);
+        assert_eq!(Direction::Fwd.reverse(), Direction::Bwd);
+    }
+}

@@ -1,0 +1,638 @@
+//! Materialized-view definitions and their predicates (§III-B).
+//!
+//! Secondary A+ indexes store restricted materialized views: **1-hop views**
+//! (selection over edges, predicates on the edge and its endpoints) and
+//! **2-hop views** (selection over 2-paths whose predicate must reference
+//! both edges). Predicates are conjunctions of comparisons of the form
+//! `lhs op rhs (+ constant)` where each side is a property access or a
+//! constant — exactly the fragment the paper's examples use
+//! (`eadj.currency = USD`, `eb.date < eadj.date`,
+//! `eadj.amt < eb.amt + α`).
+//!
+//! The module also implements the two predicate-subsumption checks the
+//! optimizer performs (§IV-A): conjunctive subsumption and range
+//! subsumption.
+
+use aplus_common::{EdgeId, PropertyId, VertexId};
+use aplus_graph::Graph;
+
+use crate::error::IndexError;
+use crate::spec::Direction;
+
+/// Entities a view predicate may reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ViewEntity {
+    /// The adjacent edge (`eadj` in DDL; for 1-hop views this is the only
+    /// edge).
+    AdjEdge,
+    /// The bound edge of a 2-hop view (`eb`).
+    BoundEdge,
+    /// The source vertex of the (1-hop) view edge (`vs`).
+    SrcVertex,
+    /// The destination vertex of the (1-hop) view edge (`vd`).
+    DstVertex,
+    /// The neighbour vertex of a 2-hop view (`vnbr`).
+    NbrVertex,
+}
+
+impl ViewEntity {
+    /// DDL keyword for error messages.
+    #[must_use]
+    pub fn keyword(self) -> &'static str {
+        match self {
+            Self::AdjEdge => "eadj",
+            Self::BoundEdge => "eb",
+            Self::SrcVertex => "vs",
+            Self::DstVertex => "vd",
+            Self::NbrVertex => "vnbr",
+        }
+    }
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Evaluates `lhs op rhs`.
+    #[inline]
+    #[must_use]
+    pub fn eval(self, lhs: i64, rhs: i64) -> bool {
+        match self {
+            Self::Eq => lhs == rhs,
+            Self::Ne => lhs != rhs,
+            Self::Lt => lhs < rhs,
+            Self::Le => lhs <= rhs,
+            Self::Gt => lhs > rhs,
+            Self::Ge => lhs >= rhs,
+        }
+    }
+
+    /// The operator with sides swapped (`a < b` ⇔ `b > a`).
+    #[must_use]
+    pub fn flip(self) -> Self {
+        match self {
+            Self::Eq => Self::Eq,
+            Self::Ne => Self::Ne,
+            Self::Lt => Self::Gt,
+            Self::Le => Self::Ge,
+            Self::Gt => Self::Lt,
+            Self::Ge => Self::Le,
+        }
+    }
+}
+
+/// One side of a comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ViewOperand {
+    /// A property of a view entity.
+    Prop(ViewEntity, PropertyId),
+    /// A constant (already encoded to the stored `i64` representation).
+    Const(i64),
+}
+
+/// A single comparison `lhs op (rhs + rhs_add)`.
+///
+/// The additive constant supports the money-flow predicates of Figure 5
+/// (`ei.amt < ej.amt + α`). It is 0 for plain comparisons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ViewComparison {
+    /// Left operand.
+    pub lhs: ViewOperand,
+    /// Operator.
+    pub op: CmpOp,
+    /// Right operand.
+    pub rhs: ViewOperand,
+    /// Constant added to the right operand.
+    pub rhs_add: i64,
+}
+
+impl ViewComparison {
+    /// Plain `lhs op rhs` with no additive constant.
+    #[must_use]
+    pub fn new(lhs: ViewOperand, op: CmpOp, rhs: ViewOperand) -> Self {
+        Self {
+            lhs,
+            op,
+            rhs,
+            rhs_add: 0,
+        }
+    }
+
+    /// `entity.prop op constant`.
+    #[must_use]
+    pub fn prop_const(entity: ViewEntity, prop: PropertyId, op: CmpOp, value: i64) -> Self {
+        Self::new(ViewOperand::Prop(entity, prop), op, ViewOperand::Const(value))
+    }
+
+    /// Entities referenced by this comparison.
+    fn entities(&self) -> impl Iterator<Item = ViewEntity> {
+        let l = match self.lhs {
+            ViewOperand::Prop(e, _) => Some(e),
+            ViewOperand::Const(_) => None,
+        };
+        let r = match self.rhs {
+            ViewOperand::Prop(e, _) => Some(e),
+            ViewOperand::Const(_) => None,
+        };
+        l.into_iter().chain(r)
+    }
+
+    /// A canonical form so that subsumption can compare structurally:
+    /// constants move to the right, and prop-vs-prop comparisons order
+    /// their operands (so `a.amt > b.amt` and `b.amt < a.amt` canonicalize
+    /// identically).
+    fn canonical(&self) -> Self {
+        match (self.lhs, self.rhs) {
+            (ViewOperand::Const(c), ViewOperand::Prop(..)) => Self {
+                lhs: self.rhs,
+                op: self.op.flip(),
+                // `c op p + a`  ⇔  `p flip(op) c - a`
+                rhs: ViewOperand::Const(c - self.rhs_add),
+                rhs_add: 0,
+            },
+            (ViewOperand::Prop(..), ViewOperand::Prop(..)) if self.rhs < self.lhs => Self {
+                // `a op b + x`  ⇔  `b flip(op) a - x`
+                lhs: self.rhs,
+                op: self.op.flip(),
+                rhs: self.lhs,
+                rhs_add: -self.rhs_add,
+            },
+            _ => *self,
+        }
+    }
+}
+
+/// A conjunction of comparisons. The empty conjunction is `TRUE`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ViewPredicate {
+    /// The conjuncts.
+    pub conjuncts: Vec<ViewComparison>,
+}
+
+impl ViewPredicate {
+    /// The always-true predicate.
+    #[must_use]
+    pub fn always_true() -> Self {
+        Self::default()
+    }
+
+    /// Builds from conjuncts.
+    #[must_use]
+    pub fn all_of(conjuncts: Vec<ViewComparison>) -> Self {
+        Self { conjuncts }
+    }
+
+    /// Whether the predicate is trivially true.
+    #[must_use]
+    pub fn is_trivial(&self) -> bool {
+        self.conjuncts.is_empty()
+    }
+
+    /// Whether any conjunct references `entity`.
+    #[must_use]
+    pub fn references(&self, entity: ViewEntity) -> bool {
+        self.conjuncts
+            .iter()
+            .any(|c| c.entities().any(|e| e == entity))
+    }
+
+    /// Validates entity usage for a 1-hop view: only `eadj`, `vs`, `vd`.
+    pub fn validate_one_hop(&self) -> Result<(), IndexError> {
+        for c in &self.conjuncts {
+            for e in c.entities() {
+                if matches!(e, ViewEntity::BoundEdge | ViewEntity::NbrVertex) {
+                    return Err(IndexError::InvalidPredicateEntity {
+                        entity: e.keyword(),
+                        view: "1-hop",
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates a 2-hop view: entities restricted to `eb`, `eadj`, `vnbr`,
+    /// and the predicate must reference **both** edges — otherwise the index
+    /// stores duplicated lists (§III-B2) and is rejected as redundant.
+    pub fn validate_two_hop(&self) -> Result<(), IndexError> {
+        for c in &self.conjuncts {
+            for e in c.entities() {
+                if matches!(e, ViewEntity::SrcVertex | ViewEntity::DstVertex) {
+                    return Err(IndexError::InvalidPredicateEntity {
+                        entity: e.keyword(),
+                        view: "2-hop",
+                    });
+                }
+            }
+        }
+        if !(self.references(ViewEntity::BoundEdge) && self.references(ViewEntity::AdjEdge)) {
+            return Err(IndexError::RedundantTwoHopView);
+        }
+        Ok(())
+    }
+
+    /// Evaluates against a 1-hop binding.
+    #[must_use]
+    pub fn eval_one_hop(&self, graph: &Graph, edge: EdgeId, src: VertexId, dst: VertexId) -> bool {
+        self.conjuncts.iter().all(|c| {
+            eval_comparison(c, |entity, pid| match entity {
+                ViewEntity::AdjEdge => graph.edge_prop(edge, pid),
+                ViewEntity::SrcVertex => graph.vertex_prop(src, pid),
+                ViewEntity::DstVertex => graph.vertex_prop(dst, pid),
+                ViewEntity::BoundEdge | ViewEntity::NbrVertex => None,
+            })
+        })
+    }
+
+    /// Evaluates against a 2-hop binding.
+    #[must_use]
+    pub fn eval_two_hop(
+        &self,
+        graph: &Graph,
+        bound: EdgeId,
+        adj: EdgeId,
+        nbr: VertexId,
+    ) -> bool {
+        self.conjuncts.iter().all(|c| {
+            eval_comparison(c, |entity, pid| match entity {
+                ViewEntity::AdjEdge => graph.edge_prop(adj, pid),
+                ViewEntity::BoundEdge => graph.edge_prop(bound, pid),
+                ViewEntity::NbrVertex => graph.vertex_prop(nbr, pid),
+                ViewEntity::SrcVertex | ViewEntity::DstVertex => None,
+            })
+        })
+    }
+
+    /// Predicate subsumption (§IV-A): returns true when `stronger ⟹ self`,
+    /// i.e. every edge satisfying `stronger` also satisfies this predicate,
+    /// so an index filtered by `self` is *complete* for a query filtered by
+    /// `stronger`.
+    ///
+    /// Two checks are implemented, as in the paper: **conjunctive
+    /// subsumption** (each of our conjuncts matches one of theirs) and
+    /// **range subsumption** (a conjunct of theirs implies ours by
+    /// tightening a range against a constant, e.g. `amt > 15000` implies
+    /// `amt > 10000`).
+    #[must_use]
+    pub fn subsumed_by(&self, stronger: &ViewPredicate) -> bool {
+        self.conjuncts.iter().all(|ours| {
+            stronger
+                .conjuncts
+                .iter()
+                .any(|theirs| comparison_implies(theirs, ours))
+        })
+    }
+
+    /// Whether this predicate (e.g. an index's view predicate) implies the
+    /// single comparison `c`. Used by the optimizer to drop residual query
+    /// predicates that the chosen index already guarantees.
+    #[must_use]
+    pub fn implies_comparison(&self, c: &ViewComparison) -> bool {
+        self.conjuncts.iter().any(|ours| comparison_implies(ours, c))
+    }
+}
+
+fn eval_comparison(
+    c: &ViewComparison,
+    lookup: impl Fn(ViewEntity, PropertyId) -> Option<i64>,
+) -> bool {
+    let lhs = match c.lhs {
+        ViewOperand::Prop(e, p) => match lookup(e, p) {
+            Some(v) => v,
+            None => return false, // NULL never satisfies a comparison
+        },
+        ViewOperand::Const(v) => v,
+    };
+    let rhs = match c.rhs {
+        ViewOperand::Prop(e, p) => match lookup(e, p) {
+            Some(v) => v,
+            None => return false,
+        },
+        ViewOperand::Const(v) => v,
+    };
+    c.op.eval(lhs, rhs.saturating_add(c.rhs_add))
+}
+
+/// Does `q ⟹ c` hold for single comparisons?
+fn comparison_implies(q: &ViewComparison, c: &ViewComparison) -> bool {
+    let q = q.canonical();
+    let c = c.canonical();
+    if q == c {
+        return true;
+    }
+    // Range subsumption against constants: both must compare the same
+    // property expression to a constant.
+    let (ViewOperand::Prop(qe, qp), ViewOperand::Const(qv)) = (q.lhs, q.rhs) else {
+        return false;
+    };
+    let (ViewOperand::Prop(ce, cp), ViewOperand::Const(cv)) = (c.lhs, c.rhs) else {
+        return false;
+    };
+    if (qe, qp) != (ce, cp) {
+        return false;
+    }
+    let qv = qv.saturating_add(q.rhs_add);
+    let cv = cv.saturating_add(c.rhs_add);
+    use CmpOp::*;
+    match (q.op, c.op) {
+        // p > qv implies p > cv when qv >= cv; implies p >= cv when qv >= cv - 1.
+        (Gt, Gt) => qv >= cv,
+        (Gt, Ge) => qv >= cv - 1,
+        (Ge, Ge) => qv >= cv,
+        (Ge, Gt) => qv > cv,
+        (Lt, Lt) => qv <= cv,
+        (Lt, Le) => qv <= cv + 1,
+        (Le, Le) => qv <= cv,
+        (Le, Lt) => qv < cv,
+        // p = qv implies any range containing qv.
+        (Eq, Gt) => qv > cv,
+        (Eq, Ge) => qv >= cv,
+        (Eq, Lt) => qv < cv,
+        (Eq, Le) => qv <= cv,
+        (Eq, Ne) => qv != cv,
+        _ => false,
+    }
+}
+
+/// A 1-hop view definition (§III-B1): a selection over edges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OneHopView {
+    /// The selection predicate over `eadj`, `vs`, `vd`.
+    pub predicate: ViewPredicate,
+}
+
+impl OneHopView {
+    /// Creates and validates a 1-hop view.
+    pub fn new(predicate: ViewPredicate) -> Result<Self, IndexError> {
+        predicate.validate_one_hop()?;
+        Ok(Self { predicate })
+    }
+}
+
+/// The four 2-hop orientations (§III-B2). `eb` runs `vs → vd`; the
+/// orientation fixes where `eadj` attaches and which way it points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TwoHopOrientation {
+    /// `vs -[eb]-> vd -[eadj]-> vnbr`: forward edges of the destination.
+    DestFw,
+    /// `vs -[eb]-> vd <-[eadj]- vnbr`: backward edges of the destination.
+    DestBw,
+    /// `vnbr -[eadj]-> vs -[eb]-> vd`: backward edges of the source.
+    SrcFw,
+    /// `vnbr <-[eadj]- vs -[eb]-> vd`: forward edges of the source.
+    SrcBw,
+}
+
+impl TwoHopOrientation {
+    /// The anchor vertex of bound edge `(src, dst)`: the shared vertex whose
+    /// primary list the adjacency is a subset of.
+    #[must_use]
+    pub fn anchor(self, src: VertexId, dst: VertexId) -> VertexId {
+        match self {
+            Self::DestFw | Self::DestBw => dst,
+            Self::SrcFw | Self::SrcBw => src,
+        }
+    }
+
+    /// Which primary-index direction the adjacency lists are subsets of.
+    #[must_use]
+    pub fn primary_direction(self) -> Direction {
+        match self {
+            Self::DestFw | Self::SrcBw => Direction::Fwd,
+            Self::DestBw | Self::SrcFw => Direction::Bwd,
+        }
+    }
+}
+
+/// A 2-hop view definition (§III-B2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TwoHopView {
+    /// Where the adjacent edge attaches relative to the bound edge.
+    pub orientation: TwoHopOrientation,
+    /// The predicate over `eb`, `eadj`, `vnbr`; must reference both edges.
+    pub predicate: ViewPredicate,
+}
+
+impl TwoHopView {
+    /// Creates and validates a 2-hop view.
+    pub fn new(
+        orientation: TwoHopOrientation,
+        predicate: ViewPredicate,
+    ) -> Result<Self, IndexError> {
+        predicate.validate_two_hop()?;
+        Ok(Self {
+            orientation,
+            predicate,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aplus_common::PropertyId;
+
+    fn amt() -> PropertyId {
+        PropertyId(0)
+    }
+
+    fn gt(v: i64) -> ViewComparison {
+        ViewComparison::prop_const(ViewEntity::AdjEdge, amt(), CmpOp::Gt, v)
+    }
+
+    #[test]
+    fn cmp_eval() {
+        assert!(CmpOp::Lt.eval(1, 2));
+        assert!(CmpOp::Ge.eval(2, 2));
+        assert!(!CmpOp::Ne.eval(2, 2));
+        assert_eq!(CmpOp::Lt.flip(), CmpOp::Gt);
+        assert_eq!(CmpOp::Eq.flip(), CmpOp::Eq);
+    }
+
+    #[test]
+    fn range_subsumption_gt() {
+        // Index: amt > 10000. Query: amt > 15000. Query implies index.
+        let index = ViewPredicate::all_of(vec![gt(10_000)]);
+        let query = ViewPredicate::all_of(vec![gt(15_000)]);
+        assert!(index.subsumed_by(&query));
+        assert!(!query.subsumed_by(&index));
+    }
+
+    #[test]
+    fn equality_implies_range() {
+        let index = ViewPredicate::all_of(vec![gt(10)]);
+        let query = ViewPredicate::all_of(vec![ViewComparison::prop_const(
+            ViewEntity::AdjEdge,
+            amt(),
+            CmpOp::Eq,
+            11,
+        )]);
+        assert!(index.subsumed_by(&query));
+        let query_low = ViewPredicate::all_of(vec![ViewComparison::prop_const(
+            ViewEntity::AdjEdge,
+            amt(),
+            CmpOp::Eq,
+            10,
+        )]);
+        assert!(!index.subsumed_by(&query_low));
+    }
+
+    #[test]
+    fn conjunctive_subsumption_needs_every_conjunct() {
+        let curr = PropertyId(1);
+        let index = ViewPredicate::all_of(vec![
+            gt(100),
+            ViewComparison::prop_const(ViewEntity::AdjEdge, curr, CmpOp::Eq, 0),
+        ]);
+        let query_full = ViewPredicate::all_of(vec![
+            ViewComparison::prop_const(ViewEntity::AdjEdge, curr, CmpOp::Eq, 0),
+            gt(500),
+        ]);
+        assert!(index.subsumed_by(&query_full));
+        let query_partial = ViewPredicate::all_of(vec![gt(500)]);
+        assert!(!index.subsumed_by(&query_partial));
+    }
+
+    #[test]
+    fn trivial_predicate_subsumed_by_anything() {
+        let trivial = ViewPredicate::always_true();
+        assert!(trivial.subsumed_by(&ViewPredicate::all_of(vec![gt(1)])));
+        assert!(trivial.subsumed_by(&trivial));
+    }
+
+    #[test]
+    fn flipped_constant_side_canonicalizes() {
+        // `5 < amt` is the same as `amt > 5`.
+        let a = ViewComparison::new(
+            ViewOperand::Const(5),
+            CmpOp::Lt,
+            ViewOperand::Prop(ViewEntity::AdjEdge, amt()),
+        );
+        let b = gt(5);
+        let pa = ViewPredicate::all_of(vec![a]);
+        let pb = ViewPredicate::all_of(vec![b]);
+        assert!(pa.subsumed_by(&pb));
+        assert!(pb.subsumed_by(&pa));
+    }
+
+    #[test]
+    fn flipped_prop_prop_comparisons_canonicalize() {
+        // `eb.amt > eadj.amt` must subsume and be subsumed by
+        // `eadj.amt < eb.amt` (Pf is written both ways in the paper).
+        let a = ViewPredicate::all_of(vec![ViewComparison::new(
+            ViewOperand::Prop(ViewEntity::BoundEdge, amt()),
+            CmpOp::Gt,
+            ViewOperand::Prop(ViewEntity::AdjEdge, amt()),
+        )]);
+        let b = ViewPredicate::all_of(vec![ViewComparison::new(
+            ViewOperand::Prop(ViewEntity::AdjEdge, amt()),
+            CmpOp::Lt,
+            ViewOperand::Prop(ViewEntity::BoundEdge, amt()),
+        )]);
+        assert!(a.subsumed_by(&b));
+        assert!(b.subsumed_by(&a));
+        // With an additive constant the flip negates it.
+        let c = ViewComparison {
+            lhs: ViewOperand::Prop(ViewEntity::BoundEdge, amt()),
+            op: CmpOp::Lt,
+            rhs: ViewOperand::Prop(ViewEntity::AdjEdge, amt()),
+            rhs_add: 5,
+        };
+        let d = ViewComparison {
+            lhs: ViewOperand::Prop(ViewEntity::AdjEdge, amt()),
+            op: CmpOp::Gt,
+            rhs: ViewOperand::Prop(ViewEntity::BoundEdge, amt()),
+            rhs_add: -5,
+        };
+        let pc = ViewPredicate::all_of(vec![c]);
+        let pd = ViewPredicate::all_of(vec![d]);
+        assert!(pc.subsumed_by(&pd));
+        assert!(pd.subsumed_by(&pc));
+    }
+
+    #[test]
+    fn two_hop_requires_both_edges() {
+        let only_adj = ViewPredicate::all_of(vec![gt(10)]);
+        assert!(matches!(
+            only_adj.validate_two_hop(),
+            Err(IndexError::RedundantTwoHopView)
+        ));
+        let both = ViewPredicate::all_of(vec![ViewComparison::new(
+            ViewOperand::Prop(ViewEntity::BoundEdge, amt()),
+            CmpOp::Gt,
+            ViewOperand::Prop(ViewEntity::AdjEdge, amt()),
+        )]);
+        assert!(both.validate_two_hop().is_ok());
+    }
+
+    #[test]
+    fn one_hop_rejects_bound_edge() {
+        let pred = ViewPredicate::all_of(vec![ViewComparison::prop_const(
+            ViewEntity::BoundEdge,
+            amt(),
+            CmpOp::Gt,
+            1,
+        )]);
+        assert!(matches!(
+            pred.validate_one_hop(),
+            Err(IndexError::InvalidPredicateEntity { .. })
+        ));
+    }
+
+    #[test]
+    fn orientation_anchor_and_direction() {
+        use TwoHopOrientation::*;
+        let (s, d) = (VertexId(1), VertexId(2));
+        assert_eq!(DestFw.anchor(s, d), d);
+        assert_eq!(DestFw.primary_direction(), Direction::Fwd);
+        assert_eq!(DestBw.anchor(s, d), d);
+        assert_eq!(DestBw.primary_direction(), Direction::Bwd);
+        assert_eq!(SrcFw.anchor(s, d), s);
+        assert_eq!(SrcFw.primary_direction(), Direction::Bwd);
+        assert_eq!(SrcBw.anchor(s, d), s);
+        assert_eq!(SrcBw.primary_direction(), Direction::Fwd);
+    }
+
+    #[test]
+    fn eval_with_additive_constant() {
+        // amt < amt' + 3 over a synthetic lookup.
+        let c = ViewComparison {
+            lhs: ViewOperand::Prop(ViewEntity::BoundEdge, amt()),
+            op: CmpOp::Lt,
+            rhs: ViewOperand::Prop(ViewEntity::AdjEdge, amt()),
+            rhs_add: 3,
+        };
+        let ok = eval_comparison(&c, |e, _| match e {
+            ViewEntity::BoundEdge => Some(10),
+            ViewEntity::AdjEdge => Some(8),
+            _ => None,
+        });
+        assert!(ok); // 10 < 8 + 3
+        let fail = eval_comparison(&c, |e, _| match e {
+            ViewEntity::BoundEdge => Some(11),
+            ViewEntity::AdjEdge => Some(8),
+            _ => None,
+        });
+        assert!(!fail); // 11 < 11 is false
+    }
+
+    #[test]
+    fn null_operand_fails_comparison() {
+        let c = gt(0);
+        assert!(!eval_comparison(&c, |_, _| None));
+    }
+}

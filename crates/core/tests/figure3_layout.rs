@@ -1,0 +1,175 @@
+//! Structural assertions reproducing Figure 3 (E8 in DESIGN.md): the
+//! physical layout of primary and secondary A+ indexes on the Figure-1
+//! financial graph.
+
+use aplus_core::store::IndexDirections;
+use aplus_core::view::{OneHopView, TwoHopOrientation, TwoHopView};
+use aplus_core::{
+    CmpOp, Direction, IndexSpec, IndexStore, PartitionKey, SortKey, ViewComparison, ViewEntity,
+    ViewOperand, ViewPredicate,
+};
+use aplus_datagen::{build_financial_graph, FinancialGraph};
+use aplus_graph::PropertyEntity;
+
+fn label_code(fg: &FinancialGraph, name: &str) -> u32 {
+    u32::from(fg.graph.catalog().edge_label(name).unwrap().raw())
+}
+
+/// Figure 3a, primary index: v1's ID lists are the nested union
+/// `L = LW ∪ LDD` with the Wire sublist first (indices 0–2) and the
+/// Dir-Deposit sublist second (3–4), each sorted by neighbour ID.
+#[test]
+fn figure3a_primary_nested_sublists() {
+    let fg = build_financial_graph();
+    let store = IndexStore::build(&fg.graph).unwrap();
+    let fwd = store.primary().index(Direction::Fwd);
+    let v1 = fg.account(1);
+    let o = label_code(&fg, "O");
+    let w = label_code(&fg, "W");
+    let dd = label_code(&fg, "DD");
+    // v1 is an account: no Owns edges, 3 wires, 2 direct deposits.
+    assert_eq!(fwd.list(v1, &[o]).len(), 0);
+    let lw: Vec<_> = fwd.list(v1, &[w]).iter().collect();
+    let ldd: Vec<_> = fwd.list(v1, &[dd]).iter().collect();
+    assert_eq!((lw.len(), ldd.len()), (3, 2));
+    let whole: Vec<_> = fwd.region(v1).iter().collect();
+    assert_eq!(whole.len(), 5);
+    // Label codes follow intern order: O (owns edges added first), then DD
+    // (t1 is a direct deposit), then W — so the region nests as
+    // [O: empty][LDD][LW]. The figure draws LW first, but the nesting
+    // property L = LW ∪ LDD is order-independent.
+    assert_eq!(&whole[..2], &ldd[..]);
+    assert_eq!(&whole[2..], &lw[..]);
+    // Within each sublist, neighbours ascend (default sort).
+    for sub in [&lw, &ldd] {
+        let nbrs: Vec<u32> = sub.iter().map(|(_, n)| n.raw()).collect();
+        let mut sorted = nbrs.clone();
+        sorted.sort_unstable();
+        assert_eq!(nbrs, sorted);
+    }
+}
+
+/// Figure 3a, secondary vertex-partitioned index: same partitioning, no
+/// predicate — shares the primary's levels and stores one offset per edge,
+/// re-sorted by the neighbour's city.
+#[test]
+fn figure3a_secondary_shares_levels_and_resorts() {
+    let fg = build_financial_graph();
+    let g = &fg.graph;
+    let city = g.catalog().property(PropertyEntity::Vertex, "city").unwrap();
+    let mut store = IndexStore::build(g).unwrap();
+    store
+        .create_vertex_index(
+            g,
+            "ByCity",
+            IndexDirections::Fw,
+            OneHopView::new(ViewPredicate::always_true()).unwrap(),
+            IndexSpec::default_primary().with_sort(vec![SortKey::NbrProp(city)]),
+        )
+        .unwrap();
+    let idx = store.vertex_index("ByCity", Direction::Fwd).unwrap();
+    assert!(idx.shares_levels());
+    let fwd = store.primary().index(Direction::Fwd);
+    let w = label_code(&fg, "W");
+    // v1's Wire neighbours by city: t17→v2 (SF), then t4→v3 and t20→v4
+    // (both BOS, tie-broken by neighbour ID). City codes follow intern
+    // order: SF=0, BOS=1, LA=2.
+    let cities: Vec<i64> = idx
+        .list(fwd, fg.account(1), &[w])
+        .iter()
+        .map(|(_, n)| g.vertex_prop(n, city).unwrap())
+        .collect();
+    let mut sorted = cities.clone();
+    sorted.sort_unstable();
+    assert_eq!(cities, sorted);
+    // Same edge *set* as the primary sublist.
+    let mut prim: Vec<u64> = fwd.list(fg.account(1), &[w]).iter().map(|(e, _)| e.raw()).collect();
+    let mut sec: Vec<u64> = idx
+        .list(fwd, fg.account(1), &[w])
+        .iter()
+        .map(|(e, _)| e.raw())
+        .collect();
+    prim.sort_unstable();
+    sec.sort_unstable();
+    assert_eq!(prim, sec);
+}
+
+/// Figure 3b, edge-partitioned MoneyFlow index: per-bound-edge lists under
+/// the `eb.date < eadj.date && eadj.amt < eb.amt` view; t17 appears in the
+/// lists of both t1 and t16, and t13's list is exactly {t19}.
+#[test]
+fn figure3b_edge_partitioned_lists() {
+    let fg = build_financial_graph();
+    let g = &fg.graph;
+    let date = g.catalog().property(PropertyEntity::Edge, "date").unwrap();
+    let amt = g.catalog().property(PropertyEntity::Edge, "amt").unwrap();
+    let city = g.catalog().property(PropertyEntity::Vertex, "city").unwrap();
+    let mut store = IndexStore::build(g).unwrap();
+    store
+        .create_edge_index(
+            g,
+            "MoneyFlow",
+            TwoHopView::new(
+                TwoHopOrientation::DestFw,
+                ViewPredicate::all_of(vec![
+                    ViewComparison::new(
+                        ViewOperand::Prop(ViewEntity::BoundEdge, date),
+                        CmpOp::Lt,
+                        ViewOperand::Prop(ViewEntity::AdjEdge, date),
+                    ),
+                    ViewComparison::new(
+                        ViewOperand::Prop(ViewEntity::AdjEdge, amt),
+                        CmpOp::Lt,
+                        ViewOperand::Prop(ViewEntity::BoundEdge, amt),
+                    ),
+                ]),
+            )
+            .unwrap(),
+            IndexSpec::default()
+                .with_partitioning(vec![PartitionKey::EdgeLabel])
+                .with_sort(vec![SortKey::NbrProp(city)]),
+        )
+        .unwrap();
+    let ep = store.edge_index("MoneyFlow").unwrap();
+    let fwd = store.primary().index(Direction::Fwd);
+    let t17 = fg.transfer(17);
+    for bound in [1usize, 16] {
+        let in_list = ep
+            .list(g, fwd, fg.transfer(bound), &[])
+            .iter()
+            .any(|(e, _)| e == t17);
+        assert!(in_list, "t17 must appear in t{bound}'s list");
+    }
+    let t13_list: Vec<_> = ep.list(g, fwd, fg.transfer(13), &[]).iter().collect();
+    assert_eq!(t13_list.len(), 1);
+    assert_eq!(t13_list[0].0, fg.transfer(19));
+}
+
+/// §III-B3 storage rule: offsets take one byte per edge here (the longest
+/// of the 64 regions is 9 < 256), so the secondary index is far smaller
+/// than the primary's 12-byte-per-edge ID lists.
+#[test]
+fn offset_lists_are_byte_sized_on_figure1() {
+    let fg = build_financial_graph();
+    let g = &fg.graph;
+    let mut store = IndexStore::build(g).unwrap();
+    store
+        .create_vertex_index(
+            g,
+            "Mirror",
+            IndexDirections::Fw,
+            OneHopView::new(ViewPredicate::always_true()).unwrap(),
+            IndexSpec::default_primary(),
+        )
+        .unwrap();
+    let idx = store.vertex_index("Mirror", Direction::Fwd).unwrap();
+    let fwd = store.primary().index(Direction::Fwd);
+    assert_eq!(idx.entry_count(fwd), 25);
+    // 25 edges × 1 byte + page bookkeeping ≪ primary (25 × 12 + levels).
+    assert!(
+        idx.memory_bytes() * 4 < fwd.memory_bytes(),
+        "offsets {} vs primary {}",
+        idx.memory_bytes(),
+        fwd.memory_bytes()
+    );
+}

@@ -1,0 +1,269 @@
+//! Property-based tests for secondary A+ indexes: on random graphs with
+//! random predicates, vertex- and edge-partitioned indexes must return
+//! exactly the edges a direct predicate scan returns — after builds, after
+//! maintenance streams, and after flushes.
+
+use proptest::prelude::*;
+
+use aplus_common::{EdgeId, VertexId};
+use aplus_core::store::IndexDirections;
+use aplus_core::view::{OneHopView, TwoHopOrientation, TwoHopView};
+use aplus_core::{
+    CmpOp, Direction, IndexSpec, IndexStore, SortKey, ViewComparison, ViewEntity, ViewOperand,
+    ViewPredicate,
+};
+use aplus_graph::{Graph, PropertyEntity, PropertyKind, Value};
+
+/// Builds a random graph with an integer `w` edge property and a
+/// categorical `grp` vertex property.
+fn build_graph(n: u32, edges: &[(u32, u32, i64)]) -> Graph {
+    let mut g = Graph::new();
+    g.register_property(PropertyEntity::Edge, "w", PropertyKind::Int)
+        .unwrap();
+    g.register_property(PropertyEntity::Vertex, "grp", PropertyKind::Categorical)
+        .unwrap();
+    let grp = g.catalog().property(PropertyEntity::Vertex, "grp").unwrap();
+    for i in 0..n {
+        let v = g.add_vertex(if i % 2 == 0 { "A" } else { "B" });
+        g.set_vertex_prop(v, grp, Value::Str(&format!("g{}", i % 4)))
+            .unwrap();
+    }
+    let w = g.catalog().property(PropertyEntity::Edge, "w").unwrap();
+    for &(s, d, wt) in edges {
+        let e = g
+            .add_edge(VertexId(s % n), VertexId(d % n), "E")
+            .unwrap();
+        g.set_edge_prop(e, w, Value::Int(wt)).unwrap();
+    }
+    g
+}
+
+fn edge_strategy(n: u32) -> impl Strategy<Value = Vec<(u32, u32, i64)>> {
+    proptest::collection::vec((0..n, 0..n, 0i64..100), 1..220)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A vertex-partitioned index over `w > t` returns exactly the edges a
+    /// scan returns, per owner, for both directions.
+    #[test]
+    fn vertex_partitioned_equals_scan(
+        edges in edge_strategy(40),
+        threshold in 0i64..100,
+    ) {
+        let g = build_graph(40, &edges);
+        let w = g.catalog().property(PropertyEntity::Edge, "w").unwrap();
+        let mut store = IndexStore::build(&g).unwrap();
+        let view = OneHopView::new(ViewPredicate::all_of(vec![
+            ViewComparison::prop_const(ViewEntity::AdjEdge, w, CmpOp::Gt, threshold),
+        ])).unwrap();
+        store
+            .create_vertex_index(&g, "vp", IndexDirections::FwBw, view,
+                IndexSpec::default_primary())
+            .unwrap();
+        for dir in [Direction::Fwd, Direction::Bwd] {
+            let vp = store.vertex_index("vp", dir).unwrap();
+            let primary = store.primary().index(dir);
+            for v in g.vertices() {
+                let mut expect: Vec<u64> = g
+                    .edges()
+                    .filter(|&(e, s, d, _)| {
+                        dir.owner(s, d) == v && g.edge_prop(e, w).unwrap() > threshold
+                    })
+                    .map(|(e, ..)| e.raw())
+                    .collect();
+                expect.sort_unstable();
+                let mut got: Vec<u64> = vp
+                    .list(primary, v, &[])
+                    .iter()
+                    .map(|(e, _)| e.raw())
+                    .collect();
+                got.sort_unstable();
+                prop_assert_eq!(got, expect, "dir {:?} vertex {}", dir, v);
+            }
+        }
+    }
+
+    /// An edge-partitioned Destination-FW index over `eb.w > eadj.w`
+    /// returns exactly the qualifying 2-paths.
+    #[test]
+    fn edge_partitioned_equals_scan(edges in edge_strategy(25)) {
+        let g = build_graph(25, &edges);
+        let w = g.catalog().property(PropertyEntity::Edge, "w").unwrap();
+        let mut store = IndexStore::build(&g).unwrap();
+        let view = TwoHopView::new(
+            TwoHopOrientation::DestFw,
+            ViewPredicate::all_of(vec![ViewComparison::new(
+                ViewOperand::Prop(ViewEntity::BoundEdge, w),
+                CmpOp::Gt,
+                ViewOperand::Prop(ViewEntity::AdjEdge, w),
+            )]),
+        ).unwrap();
+        store
+            .create_edge_index(&g, "ep", view, IndexSpec::default_primary())
+            .unwrap();
+        let ep = store.edge_index("ep").unwrap();
+        let primary = store.primary().index(Direction::Fwd);
+        let all: Vec<_> = g.edges().collect();
+        for &(eb, _, dst, _) in &all {
+            let mut expect: Vec<u64> = all
+                .iter()
+                .filter(|&&(eadj, s, _, _)| {
+                    s == dst
+                        && eadj != eb
+                        && g.edge_prop(eb, w).unwrap() > g.edge_prop(eadj, w).unwrap()
+                })
+                .map(|&(e, ..)| e.raw())
+                .collect();
+            expect.sort_unstable();
+            let mut got: Vec<u64> = ep
+                .list(&g, primary, eb, &[])
+                .iter()
+                .map(|(e, _)| e.raw())
+                .collect();
+            got.sort_unstable();
+            prop_assert_eq!(got, expect, "bound edge {}", eb);
+        }
+    }
+
+    /// Maintenance: applying a random insert/delete stream through the
+    /// store matches an index rebuilt from the final graph — with and
+    /// without a flush in between.
+    #[test]
+    fn maintained_secondary_equals_rebuilt(
+        initial in edge_strategy(30),
+        stream in proptest::collection::vec((0u32..30, 0u32..30, 0i64..100, prop::bool::ANY), 1..60),
+        threshold in 20i64..80,
+    ) {
+        let mut g = build_graph(30, &initial);
+        let w = g.catalog().property(PropertyEntity::Edge, "w").unwrap();
+        let mut store = IndexStore::build(&g).unwrap();
+        let view = OneHopView::new(ViewPredicate::all_of(vec![
+            ViewComparison::prop_const(ViewEntity::AdjEdge, w, CmpOp::Gt, threshold),
+        ])).unwrap();
+        store
+            .create_vertex_index(&g, "vp", IndexDirections::Fw, view.clone(),
+                IndexSpec::default().with_sort(vec![SortKey::EdgeProp(w)]))
+            .unwrap();
+
+        let mut live: Vec<EdgeId> = g.edges().map(|(e, ..)| e).collect();
+        for &(s, d, wt, delete) in &stream {
+            if delete && !live.is_empty() {
+                let victim = live[(s as usize + d as usize) % live.len()];
+                live.retain(|&e| e != victim);
+                g.delete_edge(victim).unwrap();
+                store.delete_edge(&g, victim);
+            } else {
+                let e = g.add_edge(VertexId(s % 30), VertexId(d % 30), "E").unwrap();
+                g.set_edge_prop(e, w, Value::Int(wt)).unwrap();
+                store.insert_edge(&g, e);
+                live.push(e);
+            }
+        }
+
+        let mut rebuilt = IndexStore::build(&g).unwrap();
+        rebuilt
+            .create_vertex_index(&g, "vp", IndexDirections::Fw, view,
+                IndexSpec::default().with_sort(vec![SortKey::EdgeProp(w)]))
+            .unwrap();
+
+        let check = |store: &IndexStore, phase: &str| -> Result<(), TestCaseError> {
+            let vp = store.vertex_index("vp", Direction::Fwd).unwrap();
+            let primary = store.primary().index(Direction::Fwd);
+            let rb = rebuilt.vertex_index("vp", Direction::Fwd).unwrap();
+            let rb_primary = rebuilt.primary().index(Direction::Fwd);
+            for v in g.vertices() {
+                // Sorted by w, so the full (edge, nbr) sequences must match.
+                let got: Vec<(u64, u32)> = vp
+                    .list(primary, v, &[])
+                    .iter()
+                    .map(|(e, n)| (e.raw(), n.raw()))
+                    .collect();
+                let expect: Vec<(u64, u32)> = rb
+                    .list(rb_primary, v, &[])
+                    .iter()
+                    .map(|(e, n)| (e.raw(), n.raw()))
+                    .collect();
+                prop_assert_eq!(got, expect, "{} vertex {}", phase, v);
+            }
+            Ok(())
+        };
+        check(&store, "pre-flush")?;
+        store.flush(&g);
+        check(&store, "post-flush")?;
+    }
+
+    /// Edge-partitioned maintenance: a random insert/delete stream through
+    /// the store matches an EP index rebuilt from the final graph.
+    #[test]
+    fn maintained_edge_partitioned_equals_rebuilt(
+        initial in edge_strategy(20),
+        stream in proptest::collection::vec((0u32..20, 0u32..20, 0i64..100, prop::bool::ANY), 1..40),
+    ) {
+        let mut g = build_graph(20, &initial);
+        let w = g.catalog().property(PropertyEntity::Edge, "w").unwrap();
+        let view = TwoHopView::new(
+            TwoHopOrientation::DestFw,
+            ViewPredicate::all_of(vec![ViewComparison::new(
+                ViewOperand::Prop(ViewEntity::BoundEdge, w),
+                CmpOp::Gt,
+                ViewOperand::Prop(ViewEntity::AdjEdge, w),
+            )]),
+        ).unwrap();
+        let mut store = IndexStore::build(&g).unwrap();
+        store
+            .create_edge_index(&g, "ep", view.clone(), IndexSpec::default_primary())
+            .unwrap();
+
+        let mut live: Vec<EdgeId> = g.edges().map(|(e, ..)| e).collect();
+        for &(s, d, wt, delete) in &stream {
+            if delete && !live.is_empty() {
+                let victim = live[(s as usize * 7 + d as usize) % live.len()];
+                live.retain(|&e| e != victim);
+                g.delete_edge(victim).unwrap();
+                store.delete_edge(&g, victim);
+            } else {
+                let e = g.add_edge(VertexId(s % 20), VertexId(d % 20), "E").unwrap();
+                g.set_edge_prop(e, w, Value::Int(wt)).unwrap();
+                store.insert_edge(&g, e);
+                live.push(e);
+            }
+        }
+
+        let mut rebuilt = IndexStore::build(&g).unwrap();
+        rebuilt
+            .create_edge_index(&g, "ep", view, IndexSpec::default_primary())
+            .unwrap();
+
+        let check = |st: &IndexStore, phase: &str| -> Result<(), TestCaseError> {
+            let ep = st.edge_index("ep").unwrap();
+            let primary = st.primary().index(Direction::Fwd);
+            let rb = rebuilt.edge_index("ep").unwrap();
+            let rb_primary = rebuilt.primary().index(Direction::Fwd);
+            for eb in 0..g.edge_count() as u64 {
+                let eb = EdgeId(eb);
+                if g.edge_is_deleted(eb) {
+                    continue;
+                }
+                let mut got: Vec<u64> = ep
+                    .list(&g, primary, eb, &[])
+                    .iter()
+                    .map(|(e, _)| e.raw())
+                    .collect();
+                let mut expect: Vec<u64> = rb
+                    .list(&g, rb_primary, eb, &[])
+                    .iter()
+                    .map(|(e, _)| e.raw())
+                    .collect();
+                got.sort_unstable();
+                expect.sort_unstable();
+                prop_assert_eq!(got, expect, "{} bound edge {}", phase, eb);
+            }
+            Ok(())
+        };
+        check(&store, "pre-flush")?;
+        store.flush(&g);
+        check(&store, "post-flush")?;
+    }
+}

@@ -1,0 +1,285 @@
+//! The running-example financial graph of Figure 1.
+//!
+//! The figure itself is partially illegible in the paper source, but the
+//! paper's prose pins down the topology:
+//!
+//! * Example 7: "t13, which is from vertex v2 to v5" and its
+//!   Destination-FW MoneyFlow list "contains a single edge t19", while a
+//!   vertex-partitioned scan "would access 9 edges" — so v5 has exactly 9
+//!   outgoing transfers, one of which is t19 with a later date and smaller
+//!   amount than t13.
+//! * The `Redundant` view example: v2's incoming transfers are exactly
+//!   {t5, t6, t15, t17} and its outgoing transfers exactly {t7, t8, t13}.
+//! * Figure 3a: v1's forward list holds 3 Wire + 2 Dir-Deposit edges
+//!   (`L = LW ∪ LDD`, LW at indices 0–2, LDD at 3–4), with t4→v3, t17→v2,
+//!   t20→v4 (Wire) and t15→v2, t18→v5 (Dir-Deposit).
+//! * Edge annotations give each transfer's label, amount and currency;
+//!   `ti.date < tj.date iff i < j` (we store `date = i`).
+//!
+//! Every remaining endpoint is chosen consistently with those constraints
+//! and documented in [`TRANSFERS`].
+
+use aplus_common::{EdgeId, VertexId};
+use aplus_graph::{Graph, GraphBuilder, PropertyKind, Value};
+
+/// Wire edge label name.
+pub const WIRE: &str = "W";
+/// Dir-Deposit edge label name.
+pub const DIR_DEPOSIT: &str = "DD";
+/// Owns edge label name.
+pub const OWNS: &str = "O";
+
+/// One transfer row: `(src account 1-based, dst account 1-based, label,
+/// amount, currency)`. Index `i` is transfer `t(i+1)`; its date is `i + 1`.
+pub const TRANSFERS: [(u32, u32, &str, i64, &str); 20] = [
+    (5, 1, DIR_DEPOSIT, 40, "USD"),  // t1
+    (5, 3, DIR_DEPOSIT, 20, "GBP"),  // t2
+    (5, 4, DIR_DEPOSIT, 200, "USD"), // t3
+    (1, 3, WIRE, 200, "EUR"),        // t4
+    (5, 2, WIRE, 50, "USD"),         // t5
+    (5, 2, DIR_DEPOSIT, 70, "USD"),  // t6
+    (2, 4, DIR_DEPOSIT, 75, "USD"),  // t7
+    (2, 3, WIRE, 75, "USD"),         // t8
+    (5, 3, WIRE, 75, "USD"),         // t9
+    (3, 4, DIR_DEPOSIT, 80, "USD"),  // t10
+    (4, 3, WIRE, 5, "EUR"),          // t11
+    (5, 4, DIR_DEPOSIT, 50, "USD"),  // t12
+    (2, 5, DIR_DEPOSIT, 10, "GBP"),  // t13
+    (3, 1, WIRE, 10, "USD"),         // t14
+    (1, 2, DIR_DEPOSIT, 25, "USD"),  // t15
+    (5, 1, DIR_DEPOSIT, 195, "USD"), // t16
+    (1, 2, WIRE, 25, "EUR"),         // t17
+    (1, 5, DIR_DEPOSIT, 30, "EUR"),  // t18
+    (5, 4, WIRE, 5, "GBP"),          // t19
+    (1, 4, WIRE, 80, "USD"),         // t20
+];
+
+/// Account attributes: `(acc type, city)` for v1..v5, per Figure 1.
+pub const ACCOUNTS: [(&str, &str); 5] = [
+    ("SV", "SF"),  // v1
+    ("CQ", "SF"),  // v2
+    ("SV", "BOS"), // v3
+    ("CQ", "BOS"), // v4
+    ("SV", "LA"),  // v5
+];
+
+/// Customer names for v6..v8, per Figure 1.
+pub const CUSTOMERS: [&str; 3] = ["Charles", "Alice", "Bob"];
+
+/// Ownership edges: `(customer index 0-based into CUSTOMERS, account
+/// 1-based)`. Alice owns v1 (Example 3) and v2 (Example 1 traverses two of
+/// Alice's hops); Bob owns v3 and v4; Charles owns v5.
+pub const OWNERSHIPS: [(usize, u32); 5] = [(1, 1), (1, 2), (2, 3), (2, 4), (0, 5)];
+
+/// Handles into the built Figure-1 graph.
+#[derive(Debug)]
+pub struct FinancialGraph {
+    /// The graph itself.
+    pub graph: Graph,
+    /// Account vertices v1..v5 (index 0 is v1).
+    pub accounts: [VertexId; 5],
+    /// Customer vertices (Charles, Alice, Bob).
+    pub customers: [VertexId; 3],
+    /// Owns edges e1..e5.
+    pub owns: [EdgeId; 5],
+    /// Transfer edges t1..t20 (index 0 is t1).
+    pub transfers: [EdgeId; 20],
+}
+
+impl FinancialGraph {
+    /// The account vertex `v{n}` (1-based, as in the paper).
+    #[must_use]
+    pub fn account(&self, n: usize) -> VertexId {
+        self.accounts[n - 1]
+    }
+
+    /// The transfer edge `t{n}` (1-based, as in the paper).
+    #[must_use]
+    pub fn transfer(&self, n: usize) -> EdgeId {
+        self.transfers[n - 1]
+    }
+}
+
+/// Builds the Figure-1 financial graph.
+#[must_use]
+pub fn build_financial_graph() -> FinancialGraph {
+    let mut b = GraphBuilder::new()
+        .vertex_property("acc", PropertyKind::Categorical)
+        .vertex_property("city", PropertyKind::Categorical)
+        .vertex_property("name", PropertyKind::Text)
+        .edge_property("amt", PropertyKind::Int)
+        .edge_property("currency", PropertyKind::Categorical)
+        .edge_property("date", PropertyKind::Int);
+
+    let accounts: Vec<VertexId> = ACCOUNTS
+        .iter()
+        .map(|(acc, city)| {
+            b.add_vertex(
+                "Account",
+                &[("acc", Value::Str(acc)), ("city", Value::Str(city))],
+            )
+        })
+        .collect();
+    let customers: Vec<VertexId> = CUSTOMERS
+        .iter()
+        .map(|name| b.add_vertex("Customer", &[("name", Value::Str(name))]))
+        .collect();
+
+    let owns: Vec<EdgeId> = OWNERSHIPS
+        .iter()
+        .map(|&(cust, acct)| {
+            b.add_edge(customers[cust], accounts[(acct - 1) as usize], OWNS, &[])
+        })
+        .collect();
+
+    let transfers: Vec<EdgeId> = TRANSFERS
+        .iter()
+        .enumerate()
+        .map(|(i, &(src, dst, label, amt, curr))| {
+            b.add_edge(
+                accounts[(src - 1) as usize],
+                accounts[(dst - 1) as usize],
+                label,
+                &[
+                    ("amt", Value::Int(amt)),
+                    ("currency", Value::Str(curr)),
+                    ("date", Value::Int(i as i64 + 1)),
+                ],
+            )
+        })
+        .collect();
+
+    FinancialGraph {
+        graph: b.build(),
+        accounts: accounts.try_into().expect("5 accounts"),
+        customers: customers.try_into().expect("3 customers"),
+        owns: owns.try_into().expect("5 owns edges"),
+        transfers: transfers.try_into().expect("20 transfers"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aplus_graph::PropertyEntity;
+
+    #[test]
+    fn counts_match_figure() {
+        let fg = build_financial_graph();
+        assert_eq!(fg.graph.vertex_count(), 8);
+        assert_eq!(fg.graph.edge_count(), 25);
+    }
+
+    #[test]
+    fn t13_runs_from_v2_to_v5() {
+        // Example 7: "t13, which is from vertex v2 to v5".
+        let fg = build_financial_graph();
+        let (s, d) = fg.graph.edge_endpoints(fg.transfer(13)).unwrap();
+        assert_eq!(s, fg.account(2));
+        assert_eq!(d, fg.account(5));
+    }
+
+    #[test]
+    fn v5_has_nine_outgoing_transfers() {
+        // Example 7: a vertex-partitioned scan "would access 9 edges".
+        let fg = build_financial_graph();
+        let out = fg
+            .graph
+            .edges()
+            .filter(|&(_, s, _, _)| s == fg.account(5))
+            .count();
+        assert_eq!(out, 9);
+    }
+
+    #[test]
+    fn v2_adjacency_matches_redundant_view_example() {
+        // §III-B2: v2's incoming transfers = {t5, t6, t15, t17}, outgoing
+        // transfers = {t7, t8, t13} (the Owns edge from Alice is excluded:
+        // the example speaks of transfer adjacency).
+        let fg = build_financial_graph();
+        let v2 = fg.account(2);
+        let owns = fg.graph.catalog().edge_label(OWNS).unwrap();
+        // Edge IDs: owns occupy 0..5, so transfer t_i has raw id 4 + i.
+        let mut incoming: Vec<u64> = fg
+            .graph
+            .edges()
+            .filter(|&(_, _, d, l)| d == v2 && l != owns)
+            .map(|(e, ..)| e.raw() - 4)
+            .collect();
+        incoming.sort_unstable();
+        assert_eq!(incoming, vec![5, 6, 15, 17]);
+        let mut outgoing: Vec<u64> = fg
+            .graph
+            .edges()
+            .filter(|&(_, s, _, l)| s == v2 && l != owns)
+            .map(|(e, ..)| e.raw() - 4)
+            .collect();
+        outgoing.sort_unstable();
+        assert_eq!(outgoing, vec![7, 8, 13]);
+    }
+
+    #[test]
+    fn v1_forward_is_three_wire_two_dd() {
+        // Figure 3a: L = LW (3 edges) ∪ LDD (2 edges) for v1.
+        let fg = build_financial_graph();
+        let wire = fg.graph.catalog().edge_label(WIRE).unwrap();
+        let dd = fg.graph.catalog().edge_label(DIR_DEPOSIT).unwrap();
+        let v1 = fg.account(1);
+        let w = fg
+            .graph
+            .edges()
+            .filter(|&(_, s, _, l)| s == v1 && l == wire)
+            .count();
+        let d = fg
+            .graph
+            .edges()
+            .filter(|&(_, s, _, l)| s == v1 && l == dd)
+            .count();
+        assert_eq!((w, d), (3, 2));
+    }
+
+    #[test]
+    fn moneyflow_adjacency_of_t13_is_exactly_t19() {
+        // Example 7: the Destination-FW list of t13 under the predicate
+        // eb.date < eadj.date && eadj.amt < eb.amt contains exactly {t19}.
+        let fg = build_financial_graph();
+        let g = &fg.graph;
+        let date = g.catalog().property(PropertyEntity::Edge, "date").unwrap();
+        let amt = g.catalog().property(PropertyEntity::Edge, "amt").unwrap();
+        let t13 = fg.transfer(13);
+        let (_, v5) = g.edge_endpoints(t13).unwrap();
+        let t13_date = g.edge_prop(t13, date).unwrap();
+        let t13_amt = g.edge_prop(t13, amt).unwrap();
+        let matching: Vec<EdgeId> = g
+            .edges()
+            .filter(|&(e, s, _, _)| {
+                s == v5
+                    && g.edge_prop(e, date).unwrap() > t13_date
+                    && g.edge_prop(e, amt).unwrap() < t13_amt
+            })
+            .map(|(e, ..)| e)
+            .collect();
+        assert_eq!(matching, vec![fg.transfer(19)]);
+    }
+
+    #[test]
+    fn alice_owns_v1() {
+        let fg = build_financial_graph();
+        let name = fg
+            .graph
+            .catalog()
+            .property(PropertyEntity::Vertex, "name")
+            .unwrap();
+        let alice_code = fg.graph.catalog().string_code("Alice").unwrap();
+        let alice = fg
+            .graph
+            .vertices()
+            .find(|&v| fg.graph.vertex_prop(v, name) == Some(i64::from(alice_code)))
+            .unwrap();
+        let owns_v1 = fg
+            .graph
+            .edges()
+            .any(|(_, s, d, _)| s == alice && d == fg.account(1));
+        assert!(owns_v1);
+    }
+}

@@ -1,0 +1,18 @@
+//! Synthetic dataset generators for the A+ indexes evaluation.
+//!
+//! The paper evaluates on four public SNAP graphs (Table I). Where those
+//! files are not available, [`random`] generates graphs with the same shape
+//! statistics (vertex/edge counts, heavy-tailed degree distributions) and
+//! [`presets`] provides the four paper datasets at a configurable scale.
+//! [`properties`] decorates any graph with the property distributions used
+//! by the MagicRecs (§V-C1) and financial-fraud (§V-C2) workloads, and
+//! [`financial`] builds the running-example graph of Figure 1 exactly.
+
+pub mod financial;
+pub mod presets;
+pub mod properties;
+pub mod random;
+
+pub use financial::{build_financial_graph, FinancialGraph};
+pub use presets::{build_preset, DatasetPreset};
+pub use random::{generate, DegreeDistribution, GeneratorConfig};

@@ -1,0 +1,121 @@
+//! The four Table-I datasets at a configurable scale.
+//!
+//! | Name | paper |V| | paper |E| | avg degree |
+//! |------|-----------|-----------|------------|
+//! | Orkut (Ork) | 3.0M | 117.1M | 39.03 |
+//! | LiveJournal (LJ) | 4.8M | 68.5M | 14.27 |
+//! | Wiki-topcats (WT) | 1.8M | 28.5M | 15.83 |
+//! | BerkStan (Brk) | 685K | 7.6M | 11.09 |
+//!
+//! `scale` divides both counts, preserving the average degree — the
+//! statistic that drives both offset-list widths (§III-B3: "The average size
+//! of the ID lists is proportional to the average degree") and adjacency
+//! list access costs.
+
+use crate::random::{generate, DegreeDistribution, GeneratorConfig};
+use aplus_graph::Graph;
+
+/// One of the paper's datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetPreset {
+    /// Orkut social network.
+    Orkut,
+    /// LiveJournal social network.
+    LiveJournal,
+    /// Wikipedia top categories hyperlink graph.
+    WikiTopcats,
+    /// Berkeley–Stanford web graph.
+    BerkStan,
+}
+
+impl DatasetPreset {
+    /// Short name used in the paper's tables.
+    #[must_use]
+    pub fn short_name(self) -> &'static str {
+        match self {
+            Self::Orkut => "Ork",
+            Self::LiveJournal => "LJ",
+            Self::WikiTopcats => "WT",
+            Self::BerkStan => "Brk",
+        }
+    }
+
+    /// Paper-reported vertex and edge counts (Table I).
+    #[must_use]
+    pub fn paper_counts(self) -> (usize, usize) {
+        match self {
+            Self::Orkut => (3_000_000, 117_100_000),
+            Self::LiveJournal => (4_800_000, 68_500_000),
+            Self::WikiTopcats => (1_800_000, 28_500_000),
+            Self::BerkStan => (685_000, 7_600_000),
+        }
+    }
+
+    /// All four presets in Table I order.
+    #[must_use]
+    pub fn all() -> [Self; 4] {
+        [
+            Self::Orkut,
+            Self::LiveJournal,
+            Self::WikiTopcats,
+            Self::BerkStan,
+        ]
+    }
+}
+
+/// Builds a preset dataset scaled down by `scale` (e.g. `scale = 100` gives
+/// a 30K-vertex, 1.17M-edge Orkut) as `G_{i,j}` with the given label counts.
+///
+/// # Panics
+/// Panics if `scale == 0`.
+#[must_use]
+pub fn build_preset(
+    preset: DatasetPreset,
+    scale: usize,
+    vertex_labels: usize,
+    edge_labels: usize,
+) -> Graph {
+    assert!(scale > 0, "scale must be positive");
+    let (v, e) = preset.paper_counts();
+    let config = GeneratorConfig {
+        vertices: (v / scale).max(2),
+        edges: (e / scale).max(1),
+        vertex_labels,
+        edge_labels,
+        distribution: DegreeDistribution::Zipf(0.75),
+        seed: 0xA11CE ^ preset as u64,
+    };
+    generate(&config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aplus_graph::GraphStats;
+
+    #[test]
+    fn scaled_preset_preserves_avg_degree() {
+        let g = build_preset(DatasetPreset::BerkStan, 100, 2, 2);
+        let stats = GraphStats::compute(&g);
+        let (v, e) = DatasetPreset::BerkStan.paper_counts();
+        let paper_avg = e as f64 / v as f64;
+        assert!(
+            (stats.avg_degree - paper_avg).abs() / paper_avg < 0.05,
+            "avg degree {} vs paper {paper_avg}",
+            stats.avg_degree
+        );
+    }
+
+    #[test]
+    fn presets_have_distinct_seeds() {
+        let a = build_preset(DatasetPreset::Orkut, 2000, 1, 1);
+        let b = build_preset(DatasetPreset::LiveJournal, 2000, 1, 1);
+        assert_ne!(a.vertex_count(), b.vertex_count());
+    }
+
+    #[test]
+    fn short_names() {
+        assert_eq!(DatasetPreset::Orkut.short_name(), "Ork");
+        assert_eq!(DatasetPreset::all().len(), 4);
+    }
+}

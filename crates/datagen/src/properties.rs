@@ -1,0 +1,212 @@
+//! Workload property decorators.
+//!
+//! These reproduce the evaluation's data preparation:
+//!
+//! * MagicRecs (§V-C1): a `time` property on every edge; the workload's
+//!   time predicate constant α is chosen "to have a 5% selectivity".
+//! * Fraud (§V-C2): "we randomly added each vertex an account type property
+//!   from [CQ, SV], a city from 4417 cities, and to each edge an amount in
+//!   the range of [1, 1000] and a date within a 5 year range."
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use aplus_common::PropertyId;
+use aplus_graph::{Graph, PropertyEntity, PropertyKind, Value};
+
+/// Number of distinct cities in the fraud dataset (§V-C2).
+pub const CITY_COUNT: usize = 4417;
+/// Account types in the fraud dataset.
+pub const ACCOUNT_TYPES: [&str; 2] = ["CQ", "SV"];
+/// Amount range (inclusive) on fraud edges.
+pub const AMOUNT_RANGE: (i64, i64) = (1, 1000);
+/// Date range in days (5 years), half-open.
+pub const DATE_RANGE: (i64, i64) = (0, 5 * 365);
+/// Time range for MagicRecs edges, half-open.
+pub const TIME_RANGE: (i64, i64) = (0, 1_000_000);
+
+/// Handles to the properties added by [`add_magicrecs_properties`].
+#[derive(Debug, Clone, Copy)]
+pub struct MagicRecsProps {
+    /// Edge `time` property.
+    pub time: PropertyId,
+}
+
+/// Adds a uniform-random `time` to every edge.
+pub fn add_magicrecs_properties(graph: &mut Graph, seed: u64) -> MagicRecsProps {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let time = graph
+        .register_property(PropertyEntity::Edge, "time", PropertyKind::Int)
+        .expect("fresh or matching property");
+    let edges: Vec<_> = graph.edges().map(|(e, ..)| e).collect();
+    for e in edges {
+        let t = rng.gen_range(TIME_RANGE.0..TIME_RANGE.1);
+        graph
+            .set_edge_prop(e, time, Value::Int(t))
+            .expect("edge exists");
+    }
+    MagicRecsProps { time }
+}
+
+/// Computes the time threshold α with the requested selectivity: the value
+/// below which `selectivity` of all edge times fall.
+#[must_use]
+pub fn time_threshold_for_selectivity(graph: &Graph, props: MagicRecsProps, selectivity: f64) -> i64 {
+    let mut times: Vec<i64> = graph
+        .edges()
+        .filter_map(|(e, ..)| graph.edge_prop(e, props.time))
+        .collect();
+    times.sort_unstable();
+    if times.is_empty() {
+        return 0;
+    }
+    let idx = ((times.len() as f64 * selectivity) as usize).min(times.len() - 1);
+    times[idx]
+}
+
+/// Handles to the properties added by [`add_fraud_properties`].
+#[derive(Debug, Clone, Copy)]
+pub struct FraudProps {
+    /// Vertex account type (`acc`), categorical over [CQ, SV].
+    pub acc: PropertyId,
+    /// Vertex city, categorical over [`CITY_COUNT`] cities.
+    pub city: PropertyId,
+    /// Edge amount, Int in [`AMOUNT_RANGE`].
+    pub amt: PropertyId,
+    /// Edge date, Int in [`DATE_RANGE`].
+    pub date: PropertyId,
+}
+
+/// Adds the fraud-workload properties to every vertex and edge.
+pub fn add_fraud_properties(graph: &mut Graph, seed: u64) -> FraudProps {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let acc = graph
+        .register_property(PropertyEntity::Vertex, "acc", PropertyKind::Categorical)
+        .expect("fresh or matching property");
+    let city = graph
+        .register_property(PropertyEntity::Vertex, "city", PropertyKind::Categorical)
+        .expect("fresh or matching property");
+    let amt = graph
+        .register_property(PropertyEntity::Edge, "amt", PropertyKind::Int)
+        .expect("fresh or matching property");
+    let date = graph
+        .register_property(PropertyEntity::Edge, "date", PropertyKind::Int)
+        .expect("fresh or matching property");
+
+    let vertices: Vec<_> = graph.vertices().collect();
+    for v in vertices {
+        let a = ACCOUNT_TYPES[rng.gen_range(0..ACCOUNT_TYPES.len())];
+        let c = format!("city{}", rng.gen_range(0..CITY_COUNT));
+        graph
+            .set_vertex_prop(v, acc, Value::Str(a))
+            .expect("vertex exists");
+        graph
+            .set_vertex_prop(v, city, Value::Str(&c))
+            .expect("vertex exists");
+    }
+    let edges: Vec<_> = graph.edges().map(|(e, ..)| e).collect();
+    for e in edges {
+        let a = rng.gen_range(AMOUNT_RANGE.0..=AMOUNT_RANGE.1);
+        let d = rng.gen_range(DATE_RANGE.0..DATE_RANGE.1);
+        graph
+            .set_edge_prop(e, amt, Value::Int(a))
+            .expect("edge exists");
+        graph
+            .set_edge_prop(e, date, Value::Int(d))
+            .expect("edge exists");
+    }
+    FraudProps {
+        acc,
+        city,
+        amt,
+        date,
+    }
+}
+
+/// The "intermediate cut" α for the money-flow predicate
+/// `e1.amt > e2.amt && e1.amt < e2.amt + α` (Fig 5). The paper picks α "to
+/// have a 5% selectivity". With amounts uniform on `[1, A]`, the fraction of
+/// ordered pairs with `0 < e1.amt - e2.amt < α` is approximately
+/// `α/A - (α/A)²/2`; solving for the requested selectivity gives α.
+#[must_use]
+pub fn amount_alpha_for_selectivity(selectivity: f64) -> i64 {
+    let a = AMOUNT_RANGE.1 - AMOUNT_RANGE.0 + 1;
+    // Solve s = x - x^2/2 for x = α/A (take the small root).
+    let x = 1.0 - (1.0 - 2.0 * selectivity).max(0.0).sqrt();
+    ((a as f64) * x).ceil() as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::{generate, GeneratorConfig};
+
+    fn small_graph() -> Graph {
+        generate(&GeneratorConfig::social(200, 2000, 1, 1))
+    }
+
+    #[test]
+    fn magicrecs_times_cover_every_edge() {
+        let mut g = small_graph();
+        let props = add_magicrecs_properties(&mut g, 1);
+        for (e, ..) in g.edges() {
+            let t = g.edge_prop(e, props.time).expect("time set");
+            assert!((TIME_RANGE.0..TIME_RANGE.1).contains(&t));
+        }
+    }
+
+    #[test]
+    fn time_threshold_hits_requested_selectivity() {
+        let mut g = small_graph();
+        let props = add_magicrecs_properties(&mut g, 1);
+        let alpha = time_threshold_for_selectivity(&g, props, 0.05);
+        let below = g
+            .edges()
+            .filter(|&(e, ..)| g.edge_prop(e, props.time).unwrap() <= alpha)
+            .count();
+        let frac = below as f64 / g.edge_count() as f64;
+        assert!((0.03..=0.08).contains(&frac), "selectivity {frac}");
+    }
+
+    #[test]
+    fn fraud_properties_in_ranges() {
+        let mut g = small_graph();
+        let props = add_fraud_properties(&mut g, 9);
+        let acc_meta = g.catalog().property_meta(PropertyEntity::Vertex, props.acc);
+        assert!(acc_meta.domain_size() <= 2);
+        for (e, ..) in g.edges() {
+            let a = g.edge_prop(e, props.amt).unwrap();
+            assert!((AMOUNT_RANGE.0..=AMOUNT_RANGE.1).contains(&a));
+            let d = g.edge_prop(e, props.date).unwrap();
+            assert!((DATE_RANGE.0..DATE_RANGE.1).contains(&d));
+        }
+    }
+
+    #[test]
+    fn alpha_selectivity_formula_sane() {
+        let alpha = amount_alpha_for_selectivity(0.05);
+        assert!(alpha >= 1);
+        // Empirically verify on random pairs.
+        let mut g = small_graph();
+        let props = add_fraud_properties(&mut g, 3);
+        let amts: Vec<i64> = g
+            .edges()
+            .map(|(e, ..)| g.edge_prop(e, props.amt).unwrap())
+            .collect();
+        let mut hits = 0usize;
+        let mut total = 0usize;
+        for (i, &a) in amts.iter().enumerate() {
+            for &b in amts.iter().skip(i + 1) {
+                total += 1;
+                if a > b && a < b + alpha {
+                    hits += 1;
+                }
+            }
+        }
+        let frac = hits as f64 / total as f64;
+        assert!(
+            (0.01..=0.10).contains(&frac),
+            "pair selectivity {frac} for alpha {alpha}"
+        );
+    }
+}

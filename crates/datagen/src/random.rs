@@ -1,0 +1,244 @@
+//! Random digraph generators.
+//!
+//! The paper's datasets (Table I) are social/web graphs with heavy-tailed
+//! degree distributions. [`DegreeDistribution::Zipf`] reproduces that shape:
+//! endpoints are drawn from Zipf-weighted vertex permutations (independent
+//! permutations for the source and destination roles so in- and out-degree
+//! hubs do not coincide). Labels are assigned uniformly at random, matching
+//! the evaluation methodology (§V-A: "A dataset G, denoted as G_{i,j}, has i
+//! and j randomly generated vertex and edge labels").
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use aplus_graph::Graph;
+
+/// Endpoint sampling distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DegreeDistribution {
+    /// Both endpoints uniform over vertices (Erdős–Rényi-like).
+    Uniform,
+    /// Endpoints Zipf-distributed with the given exponent (typical social
+    /// graphs: 0.6–1.0). Higher exponents concentrate edges on fewer hubs.
+    Zipf(f64),
+}
+
+/// Configuration for [`generate`].
+#[derive(Debug, Clone)]
+pub struct GeneratorConfig {
+    /// Number of vertices.
+    pub vertices: usize,
+    /// Number of edges.
+    pub edges: usize,
+    /// Number of distinct vertex labels (`i` in `G_{i,j}`), at least 1.
+    pub vertex_labels: usize,
+    /// Number of distinct edge labels (`j` in `G_{i,j}`), at least 1.
+    pub edge_labels: usize,
+    /// Degree shape.
+    pub distribution: DegreeDistribution,
+    /// RNG seed for reproducibility.
+    pub seed: u64,
+}
+
+impl GeneratorConfig {
+    /// A `G_{i,j}` configuration with Zipf(0.75) degrees, the default shape
+    /// used throughout the benchmark harness.
+    #[must_use]
+    pub fn social(vertices: usize, edges: usize, vertex_labels: usize, edge_labels: usize) -> Self {
+        Self {
+            vertices,
+            edges,
+            vertex_labels,
+            edge_labels,
+            distribution: DegreeDistribution::Zipf(0.75),
+            seed: 42,
+        }
+    }
+
+    /// Replaces the seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Samples indices `0..n` with probability proportional to
+/// `1 / (rank + 1)^exponent` through a precomputed CDF.
+struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    fn new(n: usize, exponent: f64) -> Self {
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for rank in 0..n {
+            acc += 1.0 / ((rank + 1) as f64).powf(exponent);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Self { cdf }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// Generates a random labelled digraph per `config`. Self-loops are
+/// avoided (with bounded retries); parallel edges are allowed, as in the
+/// property-graph model.
+///
+/// # Panics
+/// Panics if `config.vertices == 0` while `config.edges > 0`.
+#[must_use]
+pub fn generate(config: &GeneratorConfig) -> Graph {
+    assert!(
+        config.vertices > 0 || config.edges == 0,
+        "cannot place edges in an empty graph"
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut graph = Graph::new();
+
+    let vlabels: Vec<String> = (0..config.vertex_labels.max(1))
+        .map(|i| format!("V{i}"))
+        .collect();
+    let elabels: Vec<String> = (0..config.edge_labels.max(1))
+        .map(|i| format!("E{i}"))
+        .collect();
+
+    for _ in 0..config.vertices {
+        let label = &vlabels[rng.gen_range(0..vlabels.len())];
+        graph.add_vertex(label);
+    }
+
+    // Independent vertex permutations for the two endpoint roles, so the
+    // out-degree hubs and in-degree hubs are distinct vertices.
+    let mut src_perm: Vec<u32> = (0..config.vertices as u32).collect();
+    let mut dst_perm = src_perm.clone();
+    src_perm.shuffle(&mut rng);
+    dst_perm.shuffle(&mut rng);
+
+    let zipf = match config.distribution {
+        DegreeDistribution::Uniform => None,
+        DegreeDistribution::Zipf(exp) => Some(ZipfSampler::new(config.vertices, exp)),
+    };
+
+    for _ in 0..config.edges {
+        let (mut s, mut d) = sample_endpoints(&mut rng, config, zipf.as_ref(), &src_perm, &dst_perm);
+        // Avoid self-loops: retry a few times, then nudge deterministically.
+        let mut retries = 0;
+        while s == d && retries < 8 && config.vertices > 1 {
+            (s, d) = sample_endpoints(&mut rng, config, zipf.as_ref(), &src_perm, &dst_perm);
+            retries += 1;
+        }
+        if s == d && config.vertices > 1 {
+            d = aplus_common::VertexId((s.raw() + 1) % config.vertices as u32);
+        }
+        let label = &elabels[rng.gen_range(0..elabels.len())];
+        graph
+            .add_edge(s, d, label)
+            .expect("generated endpoints are in range");
+    }
+    graph
+}
+
+fn sample_endpoints(
+    rng: &mut StdRng,
+    config: &GeneratorConfig,
+    zipf: Option<&ZipfSampler>,
+    src_perm: &[u32],
+    dst_perm: &[u32],
+) -> (aplus_common::VertexId, aplus_common::VertexId) {
+    use aplus_common::VertexId;
+    match zipf {
+        None => (
+            VertexId(rng.gen_range(0..config.vertices) as u32),
+            VertexId(rng.gen_range(0..config.vertices) as u32),
+        ),
+        Some(z) => (
+            VertexId(src_perm[z.sample(rng)]),
+            VertexId(dst_perm[z.sample(rng)]),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aplus_graph::GraphStats;
+
+    #[test]
+    fn generates_requested_counts() {
+        let g = generate(&GeneratorConfig::social(100, 500, 4, 2));
+        assert_eq!(g.vertex_count(), 100);
+        assert_eq!(g.edge_count(), 500);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let cfg = GeneratorConfig::social(50, 200, 2, 2).with_seed(7);
+        let g1 = generate(&cfg);
+        let g2 = generate(&cfg);
+        let e1: Vec<_> = g1.edges().collect();
+        let e2: Vec<_> = g2.edges().collect();
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let g1 = generate(&GeneratorConfig::social(50, 200, 1, 1).with_seed(1));
+        let g2 = generate(&GeneratorConfig::social(50, 200, 1, 1).with_seed(2));
+        let e1: Vec<_> = g1.edges().map(|(_, s, d, _)| (s, d)).collect();
+        let e2: Vec<_> = g2.edges().map(|(_, s, d, _)| (s, d)).collect();
+        assert_ne!(e1, e2);
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let g = generate(&GeneratorConfig {
+            vertices: 30,
+            edges: 300,
+            vertex_labels: 1,
+            edge_labels: 1,
+            distribution: DegreeDistribution::Zipf(1.0),
+            seed: 3,
+        });
+        assert!(g.edges().all(|(_, s, d, _)| s != d));
+    }
+
+    #[test]
+    fn zipf_is_heavier_tailed_than_uniform() {
+        let base = GeneratorConfig {
+            vertices: 1000,
+            edges: 10_000,
+            vertex_labels: 1,
+            edge_labels: 1,
+            distribution: DegreeDistribution::Uniform,
+            seed: 11,
+        };
+        let uniform = GraphStats::compute(&generate(&base));
+        let zipf = GraphStats::compute(&generate(&GeneratorConfig {
+            distribution: DegreeDistribution::Zipf(0.9),
+            ..base
+        }));
+        assert!(
+            zipf.max_out_degree > uniform.max_out_degree * 2,
+            "zipf max degree {} should dwarf uniform {}",
+            zipf.max_out_degree,
+            uniform.max_out_degree
+        );
+    }
+
+    #[test]
+    fn labels_are_all_used() {
+        let g = generate(&GeneratorConfig::social(200, 2000, 8, 2));
+        assert_eq!(g.catalog().vertex_label_count(), 8);
+        assert_eq!(g.catalog().edge_label_count(), 2);
+    }
+}

@@ -1,0 +1,404 @@
+//! The catalog: label, property-key, and string interning plus categorical
+//! dictionaries.
+//!
+//! Partitioning criteria of A+ indexes must be *categorical* (§III-A1): "we
+//! allow integers or enums that are mapped to small number of integers as
+//! categorical values". The catalog owns those mappings. Every stored
+//! property value is an `i64`; for [`PropertyKind::Categorical`] the value is
+//! a dense dictionary code, for [`PropertyKind::Text`] it is a global
+//! string-interner code, and for [`PropertyKind::Int`] it is the raw value.
+
+use aplus_common::{EdgeLabelId, FxHashMap, PropertyId, VertexLabelId};
+
+use crate::error::GraphError;
+
+/// How a property's values are encoded and which index roles it may play.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PropertyKind {
+    /// Raw 64-bit integers (amounts, dates, timestamps). Usable as a sorting
+    /// criterion and in range predicates, but not as a partitioning key.
+    Int,
+    /// Small-domain values interned into dense codes (currency, city,
+    /// account type). Usable as nested partitioning criteria (§III-A1) and
+    /// as sorting criteria.
+    Categorical,
+    /// Free-form strings interned globally (names). Equality predicates
+    /// only.
+    Text,
+}
+
+impl PropertyKind {
+    /// Human-readable name, used in error messages.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Int => "Int",
+            Self::Categorical => "Categorical",
+            Self::Text => "Text",
+        }
+    }
+}
+
+/// Which entity a property key belongs to. Vertex and edge properties are
+/// separate namespaces, matching openCypher semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PropertyEntity {
+    /// A property on vertices (e.g. `city` on `Account` vertices).
+    Vertex,
+    /// A property on edges (e.g. `amount` on transfer edges).
+    Edge,
+}
+
+#[derive(Debug, Default, Clone)]
+struct Interner {
+    names: Vec<String>,
+    by_name: FxHashMap<String, u32>,
+}
+
+impl Interner {
+    fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = u32::try_from(self.names.len()).expect("interner overflow");
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    fn get(&self, name: &str) -> Option<u32> {
+        self.by_name.get(name).copied()
+    }
+
+    fn resolve(&self, id: u32) -> Option<&str> {
+        self.names.get(id as usize).map(String::as_str)
+    }
+
+    fn len(&self) -> usize {
+        self.names.len()
+    }
+}
+
+/// Metadata for one property key.
+#[derive(Debug, Clone)]
+pub struct PropertyMeta {
+    /// Property name as written in queries.
+    pub name: String,
+    /// Value encoding / permitted roles.
+    pub kind: PropertyKind,
+    /// Dictionary for categorical properties (value string → dense code).
+    dict: Interner,
+}
+
+impl PropertyMeta {
+    /// Number of distinct categorical values seen so far. `0` for
+    /// non-categorical properties.
+    #[must_use]
+    pub fn domain_size(&self) -> usize {
+        self.dict.len()
+    }
+
+    /// Resolves a categorical code back to its value string.
+    #[must_use]
+    pub fn categorical_value(&self, code: u32) -> Option<&str> {
+        self.dict.resolve(code)
+    }
+}
+
+/// The schema catalog shared by the graph, the indexes and the optimizer.
+#[derive(Debug, Default, Clone)]
+pub struct Catalog {
+    vertex_labels: Interner,
+    edge_labels: Interner,
+    vertex_props: Vec<PropertyMeta>,
+    vertex_props_by_name: FxHashMap<String, PropertyId>,
+    edge_props: Vec<PropertyMeta>,
+    edge_props_by_name: FxHashMap<String, PropertyId>,
+    strings: Interner,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    // ----- labels ---------------------------------------------------------
+
+    /// Interns a vertex label, creating it if needed.
+    pub fn intern_vertex_label(&mut self, name: &str) -> VertexLabelId {
+        VertexLabelId(self.vertex_labels.intern(name) as u16)
+    }
+
+    /// Interns an edge label, creating it if needed.
+    pub fn intern_edge_label(&mut self, name: &str) -> EdgeLabelId {
+        EdgeLabelId(self.edge_labels.intern(name) as u16)
+    }
+
+    /// Looks up an existing vertex label.
+    pub fn vertex_label(&self, name: &str) -> Result<VertexLabelId, GraphError> {
+        self.vertex_labels
+            .get(name)
+            .map(|id| VertexLabelId(id as u16))
+            .ok_or_else(|| GraphError::UnknownLabel(name.to_owned()))
+    }
+
+    /// Looks up an existing edge label.
+    pub fn edge_label(&self, name: &str) -> Result<EdgeLabelId, GraphError> {
+        self.edge_labels
+            .get(name)
+            .map(|id| EdgeLabelId(id as u16))
+            .ok_or_else(|| GraphError::UnknownLabel(name.to_owned()))
+    }
+
+    /// Name of a vertex label.
+    #[must_use]
+    pub fn vertex_label_name(&self, id: VertexLabelId) -> &str {
+        self.vertex_labels.resolve(u32::from(id.0)).unwrap_or("?")
+    }
+
+    /// Name of an edge label.
+    #[must_use]
+    pub fn edge_label_name(&self, id: EdgeLabelId) -> &str {
+        self.edge_labels.resolve(u32::from(id.0)).unwrap_or("?")
+    }
+
+    /// Number of distinct vertex labels.
+    #[must_use]
+    pub fn vertex_label_count(&self) -> usize {
+        self.vertex_labels.len()
+    }
+
+    /// Number of distinct edge labels.
+    #[must_use]
+    pub fn edge_label_count(&self) -> usize {
+        self.edge_labels.len()
+    }
+
+    // ----- properties -----------------------------------------------------
+
+    /// Registers (or fetches) a property key for `entity` with `kind`.
+    ///
+    /// # Errors
+    /// Returns [`GraphError::PropertyKindMismatch`] if the property exists
+    /// with a different kind.
+    pub fn register_property(
+        &mut self,
+        entity: PropertyEntity,
+        name: &str,
+        kind: PropertyKind,
+    ) -> Result<PropertyId, GraphError> {
+        let (props, by_name) = self.props_mut(entity);
+        if let Some(&pid) = by_name.get(name) {
+            let existing = &props[pid.index()];
+            if existing.kind != kind {
+                return Err(GraphError::PropertyKindMismatch {
+                    property: name.to_owned(),
+                    expected: existing.kind.name(),
+                    actual: kind.name(),
+                });
+            }
+            return Ok(pid);
+        }
+        let pid = PropertyId(u16::try_from(props.len()).expect("property id overflow"));
+        props.push(PropertyMeta {
+            name: name.to_owned(),
+            kind,
+            dict: Interner::default(),
+        });
+        by_name.insert(name.to_owned(), pid);
+        Ok(pid)
+    }
+
+    /// Looks up an existing property key.
+    pub fn property(&self, entity: PropertyEntity, name: &str) -> Result<PropertyId, GraphError> {
+        let by_name = match entity {
+            PropertyEntity::Vertex => &self.vertex_props_by_name,
+            PropertyEntity::Edge => &self.edge_props_by_name,
+        };
+        by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| GraphError::UnknownProperty(name.to_owned()))
+    }
+
+    /// Metadata for a property key.
+    #[must_use]
+    pub fn property_meta(&self, entity: PropertyEntity, pid: PropertyId) -> &PropertyMeta {
+        match entity {
+            PropertyEntity::Vertex => &self.vertex_props[pid.index()],
+            PropertyEntity::Edge => &self.edge_props[pid.index()],
+        }
+    }
+
+    /// Number of registered property keys for `entity`.
+    #[must_use]
+    pub fn property_count(&self, entity: PropertyEntity) -> usize {
+        match entity {
+            PropertyEntity::Vertex => self.vertex_props.len(),
+            PropertyEntity::Edge => self.edge_props.len(),
+        }
+    }
+
+    /// Encodes a categorical value string into its dense code, creating a
+    /// new code on first sight.
+    ///
+    /// # Errors
+    /// Returns [`GraphError::PropertyKindMismatch`] if the property is not
+    /// categorical.
+    pub fn encode_categorical(
+        &mut self,
+        entity: PropertyEntity,
+        pid: PropertyId,
+        value: &str,
+    ) -> Result<u32, GraphError> {
+        let meta = match entity {
+            PropertyEntity::Vertex => &mut self.vertex_props[pid.index()],
+            PropertyEntity::Edge => &mut self.edge_props[pid.index()],
+        };
+        if meta.kind != PropertyKind::Categorical {
+            return Err(GraphError::PropertyKindMismatch {
+                property: meta.name.clone(),
+                expected: meta.kind.name(),
+                actual: PropertyKind::Categorical.name(),
+            });
+        }
+        Ok(meta.dict.intern(value))
+    }
+
+    /// Looks up the code of an existing categorical value without creating
+    /// it. Used when binding query constants: an unseen constant cannot
+    /// match any stored edge.
+    #[must_use]
+    pub fn categorical_code(
+        &self,
+        entity: PropertyEntity,
+        pid: PropertyId,
+        value: &str,
+    ) -> Option<u32> {
+        self.property_meta(entity, pid).dict.get(value)
+    }
+
+    // ----- strings --------------------------------------------------------
+
+    /// Interns a free-form string (Text property values, e.g. names).
+    pub fn intern_string(&mut self, value: &str) -> u32 {
+        self.strings.intern(value)
+    }
+
+    /// Looks up an already-interned string's code.
+    #[must_use]
+    pub fn string_code(&self, value: &str) -> Option<u32> {
+        self.strings.get(value)
+    }
+
+    /// Resolves a string code.
+    #[must_use]
+    pub fn resolve_string(&self, code: u32) -> Option<&str> {
+        self.strings.resolve(code)
+    }
+
+    fn props_mut(
+        &mut self,
+        entity: PropertyEntity,
+    ) -> (&mut Vec<PropertyMeta>, &mut FxHashMap<String, PropertyId>) {
+        match entity {
+            PropertyEntity::Vertex => (&mut self.vertex_props, &mut self.vertex_props_by_name),
+            PropertyEntity::Edge => (&mut self.edge_props, &mut self.edge_props_by_name),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_intern_and_resolve() {
+        let mut c = Catalog::new();
+        let acc = c.intern_vertex_label("Account");
+        let cust = c.intern_vertex_label("Customer");
+        assert_ne!(acc, cust);
+        assert_eq!(c.intern_vertex_label("Account"), acc);
+        assert_eq!(c.vertex_label("Account").unwrap(), acc);
+        assert_eq!(c.vertex_label_name(cust), "Customer");
+        assert_eq!(c.vertex_label_count(), 2);
+        assert!(matches!(
+            c.vertex_label("Nope"),
+            Err(GraphError::UnknownLabel(_))
+        ));
+    }
+
+    #[test]
+    fn vertex_and_edge_property_namespaces_are_separate() {
+        let mut c = Catalog::new();
+        let v = c
+            .register_property(PropertyEntity::Vertex, "city", PropertyKind::Categorical)
+            .unwrap();
+        let e = c
+            .register_property(PropertyEntity::Edge, "city", PropertyKind::Int)
+            .unwrap();
+        assert_eq!(v, PropertyId(0));
+        assert_eq!(e, PropertyId(0));
+        assert_eq!(
+            c.property_meta(PropertyEntity::Vertex, v).kind,
+            PropertyKind::Categorical
+        );
+        assert_eq!(c.property_meta(PropertyEntity::Edge, e).kind, PropertyKind::Int);
+    }
+
+    #[test]
+    fn property_kind_conflict_is_an_error() {
+        let mut c = Catalog::new();
+        c.register_property(PropertyEntity::Edge, "amt", PropertyKind::Int)
+            .unwrap();
+        let err = c
+            .register_property(PropertyEntity::Edge, "amt", PropertyKind::Categorical)
+            .unwrap_err();
+        assert!(matches!(err, GraphError::PropertyKindMismatch { .. }));
+    }
+
+    #[test]
+    fn categorical_dictionary_assigns_dense_codes() {
+        let mut c = Catalog::new();
+        let pid = c
+            .register_property(PropertyEntity::Edge, "currency", PropertyKind::Categorical)
+            .unwrap();
+        let usd = c.encode_categorical(PropertyEntity::Edge, pid, "USD").unwrap();
+        let eur = c.encode_categorical(PropertyEntity::Edge, pid, "EUR").unwrap();
+        assert_eq!(usd, 0);
+        assert_eq!(eur, 1);
+        assert_eq!(
+            c.encode_categorical(PropertyEntity::Edge, pid, "USD").unwrap(),
+            usd
+        );
+        assert_eq!(c.property_meta(PropertyEntity::Edge, pid).domain_size(), 2);
+        assert_eq!(c.categorical_code(PropertyEntity::Edge, pid, "GBP"), None);
+        assert_eq!(
+            c.property_meta(PropertyEntity::Edge, pid).categorical_value(1),
+            Some("EUR")
+        );
+    }
+
+    #[test]
+    fn encode_categorical_on_int_property_fails() {
+        let mut c = Catalog::new();
+        let pid = c
+            .register_property(PropertyEntity::Edge, "amt", PropertyKind::Int)
+            .unwrap();
+        assert!(c
+            .encode_categorical(PropertyEntity::Edge, pid, "x")
+            .is_err());
+    }
+
+    #[test]
+    fn string_interner_roundtrip() {
+        let mut c = Catalog::new();
+        let alice = c.intern_string("Alice");
+        assert_eq!(c.intern_string("Alice"), alice);
+        assert_eq!(c.string_code("Alice"), Some(alice));
+        assert_eq!(c.resolve_string(alice), Some("Alice"));
+        assert_eq!(c.string_code("Bob"), None);
+    }
+}

@@ -1,0 +1,117 @@
+//! Columnar property storage.
+//!
+//! One [`PropertyColumn`] holds the values of a single property key across
+//! all vertices (or all edges). Values are `i64` regardless of the property
+//! kind — the catalog defines how to interpret them (raw integer,
+//! categorical code, or string code). A validity bitmap tracks `NULL`s.
+
+use aplus_common::Bitmap;
+
+/// A dense `i64` column with a validity bitmap.
+#[derive(Debug, Clone, Default)]
+pub struct PropertyColumn {
+    values: Vec<i64>,
+    validity: Bitmap,
+}
+
+impl PropertyColumn {
+    /// Creates a column pre-filled with `len` NULLs.
+    #[must_use]
+    pub fn with_len(len: usize) -> Self {
+        Self {
+            values: vec![0; len],
+            validity: Bitmap::with_len(len, false),
+        }
+    }
+
+    /// Number of slots in the column.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the column has zero slots.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Returns the value at `idx`, or `None` if it is NULL.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, idx: usize) -> Option<i64> {
+        if idx < self.len() && self.validity.get(idx) {
+            Some(self.values[idx])
+        } else {
+            None
+        }
+    }
+
+    /// Sets slot `idx` to `value`, growing the column with NULLs if needed.
+    pub fn set(&mut self, idx: usize, value: i64) {
+        self.ensure_len(idx + 1);
+        self.values[idx] = value;
+        self.validity.set(idx, true);
+    }
+
+    /// Sets slot `idx` to NULL, growing the column if needed.
+    pub fn set_null(&mut self, idx: usize) {
+        self.ensure_len(idx + 1);
+        self.validity.set(idx, false);
+    }
+
+    /// Grows the column to at least `len` slots, filling with NULLs.
+    pub fn ensure_len(&mut self, len: usize) {
+        if self.values.len() < len {
+            self.values.resize(len, 0);
+            self.validity.grow(len, false);
+        }
+    }
+
+    /// Count of non-NULL entries.
+    #[must_use]
+    pub fn non_null_count(&self) -> usize {
+        self.validity.count_ones()
+    }
+
+    /// Heap bytes used.
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        self.values.capacity() * std::mem::size_of::<i64>() + self.validity.memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_until_set() {
+        let mut col = PropertyColumn::with_len(4);
+        assert_eq!(col.get(0), None);
+        col.set(2, 42);
+        assert_eq!(col.get(2), Some(42));
+        assert_eq!(col.get(1), None);
+        assert_eq!(col.non_null_count(), 1);
+    }
+
+    #[test]
+    fn set_grows_column() {
+        let mut col = PropertyColumn::default();
+        col.set(10, -5);
+        assert_eq!(col.len(), 11);
+        assert_eq!(col.get(10), Some(-5));
+        assert_eq!(col.get(9), None);
+        // Out-of-range reads are NULL rather than panicking: columns are
+        // created lazily, so a column may be shorter than the entity count.
+        assert_eq!(col.get(999), None);
+    }
+
+    #[test]
+    fn set_null_clears() {
+        let mut col = PropertyColumn::with_len(2);
+        col.set(0, 7);
+        col.set_null(0);
+        assert_eq!(col.get(0), None);
+    }
+}

@@ -1,0 +1,59 @@
+//! Error type for graph-store operations.
+
+use std::fmt;
+
+/// Errors raised by the property-graph store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A label name was looked up that the catalog does not know.
+    UnknownLabel(String),
+    /// A property name was looked up that the catalog does not know.
+    UnknownProperty(String),
+    /// A property was used with an incompatible kind (e.g. partitioning on a
+    /// non-categorical property, or storing a string into an Int property).
+    PropertyKindMismatch {
+        /// Property name.
+        property: String,
+        /// Kind registered in the catalog.
+        expected: &'static str,
+        /// Kind implied by the attempted use.
+        actual: &'static str,
+    },
+    /// A vertex ID outside `0..vertex_count` was referenced.
+    VertexOutOfRange(u32),
+    /// An edge ID outside `0..edge_count` was referenced.
+    EdgeOutOfRange(u64),
+    /// An input file could not be parsed.
+    Parse(String),
+    /// An I/O error (stringified; `std::io::Error` is not `Clone`).
+    Io(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownLabel(name) => write!(f, "unknown label: {name}"),
+            Self::UnknownProperty(name) => write!(f, "unknown property: {name}"),
+            Self::PropertyKindMismatch {
+                property,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "property {property} has kind {expected} but was used as {actual}"
+            ),
+            Self::VertexOutOfRange(v) => write!(f, "vertex v{v} out of range"),
+            Self::EdgeOutOfRange(e) => write!(f, "edge e{e} out of range"),
+            Self::Parse(msg) => write!(f, "parse error: {msg}"),
+            Self::Io(msg) => write!(f, "io error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e.to_string())
+    }
+}

@@ -1,0 +1,29 @@
+//! In-memory property-graph storage: the substrate the A+ index subsystem
+//! (paper §III) is built on.
+//!
+//! The data model is the *property graph* model (§I): vertices and edges
+//! carry labels and arbitrary key–value properties. The store is columnar
+//! and read-optimized, mirroring GraphflowDB's design:
+//!
+//! * [`catalog::Catalog`] interns labels, property keys, strings, and the
+//!   dictionaries of *categorical* properties (the only properties allowed
+//!   as nested partitioning criteria, §III-A1).
+//! * [`column::PropertyColumn`] stores one property as a dense `i64` column
+//!   with a validity bitmap (`NULL`s form special trailing partitions).
+//! * [`Graph`] ties vertex/edge stores and property columns together and is
+//!   the single source of truth the indexes are built from.
+//! * [`loader`] reads SNAP-style edge lists so the paper's public datasets
+//!   can be used directly when available.
+
+pub mod catalog;
+pub mod column;
+pub mod error;
+pub mod graph;
+pub mod loader;
+pub mod stats;
+
+pub use catalog::{Catalog, PropertyEntity, PropertyKind};
+pub use column::PropertyColumn;
+pub use error::GraphError;
+pub use graph::{Graph, GraphBuilder, Value};
+pub use stats::GraphStats;

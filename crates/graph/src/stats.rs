@@ -1,0 +1,109 @@
+//! Graph statistics used for Table I reporting and by the optimizer's
+//! i-cost estimates (§IV-A: "The system's cost metric is intersection cost
+//! (i-cost), which is the total estimated sizes of the adjacency lists").
+
+use aplus_common::FxHashMap;
+use aplus_common::EdgeLabelId;
+
+use crate::graph::Graph;
+
+/// Aggregate statistics over a [`Graph`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Number of vertices.
+    pub vertex_count: usize,
+    /// Number of live edges.
+    pub edge_count: usize,
+    /// Average out-degree (`edge_count / vertex_count`).
+    pub avg_degree: f64,
+    /// Maximum out-degree.
+    pub max_out_degree: usize,
+    /// Maximum in-degree.
+    pub max_in_degree: usize,
+    /// Live edge count per edge label.
+    pub edges_per_label: FxHashMap<EdgeLabelId, usize>,
+}
+
+impl GraphStats {
+    /// Computes statistics with one pass over the edges.
+    #[must_use]
+    pub fn compute(graph: &Graph) -> Self {
+        let n = graph.vertex_count();
+        let mut out_deg = vec![0usize; n];
+        let mut in_deg = vec![0usize; n];
+        let mut edges_per_label: FxHashMap<EdgeLabelId, usize> = FxHashMap::default();
+        let mut m = 0usize;
+        for (_, src, dst, label) in graph.edges() {
+            out_deg[src.index()] += 1;
+            in_deg[dst.index()] += 1;
+            *edges_per_label.entry(label).or_insert(0) += 1;
+            m += 1;
+        }
+        Self {
+            vertex_count: n,
+            edge_count: m,
+            avg_degree: if n == 0 { 0.0 } else { m as f64 / n as f64 },
+            max_out_degree: out_deg.iter().copied().max().unwrap_or(0),
+            max_in_degree: in_deg.iter().copied().max().unwrap_or(0),
+            edges_per_label,
+        }
+    }
+
+    /// Average number of edges per (vertex, edge-label) list — the base
+    /// cardinality estimate for label-partitioned adjacency lists.
+    #[must_use]
+    pub fn avg_label_degree(&self, label: EdgeLabelId) -> f64 {
+        if self.vertex_count == 0 {
+            return 0.0;
+        }
+        let m = self.edges_per_label.get(&label).copied().unwrap_or(0);
+        m as f64 / self.vertex_count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    #[test]
+    fn stats_on_small_graph() {
+        let mut b = GraphBuilder::new();
+        let v0 = b.add_vertex("V", &[]);
+        let v1 = b.add_vertex("V", &[]);
+        let v2 = b.add_vertex("V", &[]);
+        b.add_edge(v0, v1, "A", &[]);
+        b.add_edge(v0, v2, "A", &[]);
+        b.add_edge(v1, v2, "B", &[]);
+        let g = b.build();
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.vertex_count, 3);
+        assert_eq!(s.edge_count, 3);
+        assert_eq!(s.max_out_degree, 2);
+        assert_eq!(s.max_in_degree, 2);
+        assert!((s.avg_degree - 1.0).abs() < f64::EPSILON);
+        let a = g.catalog().edge_label("A").unwrap();
+        assert_eq!(s.edges_per_label[&a], 2);
+        assert!((s.avg_label_degree(a) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deleted_edges_are_excluded() {
+        let mut b = GraphBuilder::new();
+        let v0 = b.add_vertex("V", &[]);
+        let v1 = b.add_vertex("V", &[]);
+        b.add_edge(v0, v1, "A", &[]);
+        b.add_edge(v1, v0, "A", &[]);
+        let mut g = b.build();
+        g.delete_edge(aplus_common::EdgeId(0)).unwrap();
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.edge_count, 1);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let s = GraphStats::compute(&Graph::new());
+        assert_eq!(s.vertex_count, 0);
+        assert_eq!(s.avg_degree, 0.0);
+    }
+}

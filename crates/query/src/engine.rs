@@ -1,0 +1,350 @@
+//! The `Database` facade: graph + index store + parser + optimizer +
+//! executor in one handle.
+//!
+//! This is the API the examples and benchmarks use:
+//!
+//! ```
+//! use aplus_datagen::build_financial_graph;
+//! use aplus_query::Database;
+//!
+//! let db = Database::new(build_financial_graph().graph).unwrap();
+//! let wires = db.count("MATCH a-[r:W]->b").unwrap();
+//! assert_eq!(wires, 9);
+//! ```
+
+use aplus_common::EdgeId;
+use aplus_core::{IndexSpec, IndexStore};
+use aplus_graph::{Graph, GraphError, PropertyEntity, Value};
+
+use crate::ast::{self, Statement};
+use crate::error::QueryError;
+use crate::exec::{self, ExecContext};
+use crate::optimizer;
+use crate::parser;
+use crate::plan::Plan;
+use crate::query::QueryGraph;
+
+/// A collected result row: raw vertex bindings and raw edge bindings.
+pub type RawRow = (Vec<u32>, Vec<u64>);
+
+/// Outcome of a DDL statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DdlOutcome {
+    /// The primary indexes were reconfigured.
+    Reconfigured,
+    /// A secondary index was created under this name.
+    Created(String),
+}
+
+/// A read-optimized graph database with A+ indexes.
+#[derive(Debug)]
+pub struct Database {
+    graph: Graph,
+    store: IndexStore,
+}
+
+impl Database {
+    /// Builds a database over `graph` with the default primary
+    /// configuration (D).
+    pub fn new(graph: Graph) -> Result<Self, QueryError> {
+        let store = IndexStore::build(&graph)?;
+        Ok(Self { graph, store })
+    }
+
+    /// Builds with a custom primary spec.
+    pub fn with_primary_spec(graph: Graph, spec: IndexSpec) -> Result<Self, QueryError> {
+        let store = IndexStore::build_with_spec(&graph, spec)?;
+        Ok(Self { graph, store })
+    }
+
+    /// The data graph.
+    #[must_use]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The index store.
+    #[must_use]
+    pub fn store(&self) -> &IndexStore {
+        &self.store
+    }
+
+    /// Mutable access to the index store for programmatic index creation
+    /// (the DDL path is [`Database::ddl`]). The graph is passed alongside
+    /// because index builds read it.
+    pub fn store_and_graph_mut(&mut self) -> (&mut IndexStore, &Graph) {
+        (&mut self.store, &self.graph)
+    }
+
+    /// Parses, binds, optimizes and executes a `MATCH` query; returns the
+    /// number of matches.
+    pub fn count(&self, query: &str) -> Result<u64, QueryError> {
+        let (bound, plan) = self.prepare(query)?;
+        Ok(exec::count(self.ctx(), &bound, &plan))
+    }
+
+    /// Parses, binds and optimizes a `MATCH` query without executing it
+    /// (plan inspection, plan-shape tests).
+    pub fn prepare(&self, query: &str) -> Result<(QueryGraph, Plan), QueryError> {
+        match parser::parse(query)? {
+            Statement::Query(ast) => {
+                let bound = ast::bind_query(&self.graph, &ast)?;
+                let plan = optimizer::optimize(&self.graph, &self.store, &bound)?;
+                Ok((bound, plan))
+            }
+            _ => Err(QueryError::Syntax {
+                message: "expected a MATCH query (DDL goes through Database::ddl)".into(),
+                offset: 0,
+            }),
+        }
+    }
+
+    /// Executes a pre-bound query with a pre-built plan.
+    #[must_use]
+    pub fn count_prepared(&self, query: &QueryGraph, plan: &Plan) -> u64 {
+        exec::count(self.ctx(), query, plan)
+    }
+
+    /// Executes and collects up to `limit` rows of `(vertex bindings, edge
+    /// bindings)` (raw IDs; unbound slots are sentinels).
+    pub fn collect(&self, query: &str, limit: usize) -> Result<Vec<RawRow>, QueryError> {
+        let (bound, plan) = self.prepare(query)?;
+        Ok(exec::collect(self.ctx(), &bound, &plan, limit))
+    }
+
+    /// Applies a DDL statement: `RECONFIGURE PRIMARY INDEXES ...`,
+    /// `CREATE 1-HOP VIEW ...` or `CREATE 2-HOP VIEW ...`.
+    pub fn ddl(&mut self, statement: &str) -> Result<DdlOutcome, QueryError> {
+        match parser::parse(statement)? {
+            Statement::ReconfigurePrimary {
+                partition_by,
+                sort_by,
+            } => {
+                let spec = ast::bind_spec(&self.graph, &partition_by, &sort_by)?;
+                self.store.reconfigure_primary(&self.graph, spec)?;
+                Ok(DdlOutcome::Reconfigured)
+            }
+            Statement::CreateOneHop {
+                name,
+                wheres,
+                directions,
+                partition_by,
+                sort_by,
+            } => {
+                let view = ast::bind_one_hop_view(&self.graph, &wheres)?;
+                let spec = ast::bind_spec(&self.graph, &partition_by, &sort_by)?;
+                self.store
+                    .create_vertex_index(&self.graph, &name, directions, view, spec)?;
+                Ok(DdlOutcome::Created(name))
+            }
+            Statement::CreateTwoHop {
+                name,
+                orientation,
+                wheres,
+                partition_by,
+                sort_by,
+            } => {
+                let view = ast::bind_two_hop_view(&self.graph, orientation, &wheres)?;
+                let spec = ast::bind_spec(&self.graph, &partition_by, &sort_by)?;
+                self.store
+                    .create_edge_index(&self.graph, &name, view, spec)?;
+                Ok(DdlOutcome::Created(name))
+            }
+            Statement::Query(_) => Err(QueryError::Syntax {
+                message: "expected DDL, got a MATCH query (use Database::count)".into(),
+                offset: 0,
+            }),
+        }
+    }
+
+    /// Inserts an edge with properties, maintaining all indexes (§IV-C).
+    pub fn insert_edge(
+        &mut self,
+        src: aplus_common::VertexId,
+        dst: aplus_common::VertexId,
+        label: &str,
+        props: &[(&str, Value<'_>)],
+    ) -> Result<EdgeId, GraphError> {
+        let e = self.graph.add_edge(src, dst, label)?;
+        for (name, value) in props {
+            let pid = self.graph.catalog().property(PropertyEntity::Edge, name)?;
+            self.graph.set_edge_prop(e, pid, *value)?;
+        }
+        self.store.insert_edge(&self.graph, e);
+        Ok(e)
+    }
+
+    /// Deletes an edge, maintaining all indexes.
+    pub fn delete_edge(&mut self, e: EdgeId) -> Result<(), GraphError> {
+        self.graph.delete_edge(e)?;
+        self.store.delete_edge(&self.graph, e);
+        Ok(())
+    }
+
+    /// Forces all pending update buffers to merge.
+    pub fn flush(&mut self) {
+        self.store.flush(&self.graph);
+    }
+
+    /// Total index memory in bytes.
+    #[must_use]
+    pub fn index_memory_bytes(&self) -> usize {
+        self.store.memory_bytes()
+    }
+
+    fn ctx(&self) -> ExecContext<'_> {
+        ExecContext {
+            graph: &self.graph,
+            store: &self.store,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aplus_datagen::build_financial_graph;
+    use aplus_common::VertexId;
+
+    fn db() -> Database {
+        Database::new(build_financial_graph().graph).unwrap()
+    }
+
+    #[test]
+    fn count_labelled_edges() {
+        let db = db();
+        assert_eq!(db.count("MATCH a-[r:W]->b").unwrap(), 9);
+        assert_eq!(db.count("MATCH a-[r:DD]->b").unwrap(), 11);
+        assert_eq!(db.count("MATCH a-[r:O]->b").unwrap(), 5);
+        assert_eq!(db.count("MATCH a-[r]->b").unwrap(), 25);
+    }
+
+    #[test]
+    fn example1_alice_two_hops() {
+        // Example 1: 2-hop from Alice. Alice owns v1 and v2; out-edges:
+        // v1 has 5, v2 has 3 => 8 paths.
+        let db = db();
+        let n = db
+            .count("MATCH c1-[r1:O]->a1-[r2]->a2 WHERE c1.name = 'Alice'")
+            .unwrap();
+        assert_eq!(n, 8);
+    }
+
+    #[test]
+    fn example2_wire_transfers_from_alices_accounts() {
+        // Example 2: Wires from accounts Alice owns: v1 has 3 wires, v2 has
+        // 1 wire (t8) => 4.
+        let db = db();
+        let n = db
+            .count("MATCH c1-[r1:O]->a1-[r2:W]->a2 WHERE c1.name = 'Alice'")
+            .unwrap();
+        assert_eq!(n, 4);
+    }
+
+    #[test]
+    fn example4_currency_predicate() {
+        // Example 4: wires in USD from Alice's accounts. v1 wires: t4 (EUR),
+        // t17 (EUR), t20 (USD); v2 wires: t8 (USD) => 2.
+        let db = db();
+        let n = db
+            .count(
+                "MATCH c1-[r1:O]->a1-[r2:W]->a2 \
+                 WHERE c1.name = 'Alice', r2.currency = USD",
+            )
+            .unwrap();
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn reconfigure_keeps_answers(){
+        let mut db = db();
+        let before = db.count("MATCH a-[r:W]->b WHERE r.currency = USD").unwrap();
+        db.ddl(
+            "RECONFIGURE PRIMARY INDEXES PARTITION BY eadj.label, eadj.currency SORT BY vnbr.ID",
+        )
+        .unwrap();
+        let after = db.count("MATCH a-[r:W]->b WHERE r.currency = USD").unwrap();
+        assert_eq!(before, after);
+        assert_eq!(after, 5); // t5, t8, t9, t14, t20
+    }
+
+    #[test]
+    fn create_one_hop_view_and_query() {
+        let mut db = db();
+        let out = db
+            .ddl(
+                "CREATE 1-HOP VIEW BigUsd \
+                 MATCH vs-[eadj]->vd \
+                 WHERE eadj.currency = USD, eadj.amt > 70 \
+                 INDEX AS FW-BW \
+                 PARTITION BY eadj.label SORT BY vnbr.ID",
+            )
+            .unwrap();
+        assert_eq!(out, DdlOutcome::Created("BigUsd".into()));
+        // Queries still answer correctly with the index available.
+        let n = db
+            .count("MATCH a-[r:DD]->b WHERE r.currency = USD, r.amt > 70")
+            .unwrap();
+        // DD USD > 70: t3 (200), t6 (70? no, >70 strict), t7 (75), t10 (80),
+        // t16 (195) => t3, t7, t10, t16 = 4.
+        assert_eq!(n, 4);
+    }
+
+    #[test]
+    fn example7_money_flow_with_ep_index() {
+        let mut db = db();
+        db.ddl(
+            "CREATE 2-HOP VIEW MoneyFlow \
+             MATCH vs-[eb]->vd-[eadj]->vnbr \
+             WHERE eb.date < eadj.date, eadj.amt < eb.amt \
+             INDEX AS PARTITION BY eadj.label SORT BY vnbr.city",
+        )
+        .unwrap();
+        // Example 7's query (α dropped as in the paper's Example 7 recap):
+        // from t13, two more descending-amount, ascending-date steps.
+        // t13 (raw edge id 17: owns occupy 0..5, t13 = 4 + 13).
+        let q = "MATCH a1-[r1]->a2-[r2]->a3-[r3]->a4 \
+                 WHERE r1.eID = 17, \
+                 r1.date < r2.date, r2.amt < r1.amt, \
+                 r2.date < r3.date, r3.amt < r2.amt";
+        let (_, plan) = db.prepare(q).unwrap();
+        assert!(
+            plan.uses_edge_partitioned_index(),
+            "plan should use the MoneyFlow EP index:\n{plan}"
+        );
+        // t13 -> t19 (date 19 > 13, amt 5 < 10); from t19 (v5->v4, amt 5):
+        // forward edges of v4 with date > 19 and amt < 5: none => 0 matches.
+        assert_eq!(db.count(q).unwrap(), 0);
+        // Two-step variant ends at t19.
+        let q2 = "MATCH a1-[r1]->a2-[r2]->a3 \
+                  WHERE r1.eID = 17, r1.date < r2.date, r2.amt < r1.amt";
+        assert_eq!(db.count(q2).unwrap(), 1);
+    }
+
+    #[test]
+    fn insert_and_delete_edges_maintain_queries() {
+        let mut db = db();
+        let before = db.count("MATCH a-[r:W]->b").unwrap();
+        let e = db
+            .insert_edge(VertexId(0), VertexId(2), "W", &[("amt", Value::Int(42))])
+            .unwrap();
+        assert_eq!(db.count("MATCH a-[r:W]->b").unwrap(), before + 1);
+        db.delete_edge(e).unwrap();
+        assert_eq!(db.count("MATCH a-[r:W]->b").unwrap(), before);
+        db.flush();
+        assert_eq!(db.count("MATCH a-[r:W]->b").unwrap(), before);
+    }
+
+    #[test]
+    fn ddl_and_query_mixups_are_errors() {
+        let mut db = db();
+        assert!(db.count("RECONFIGURE PRIMARY INDEXES SORT BY vnbr.ID").is_err());
+        assert!(db.ddl("MATCH a-[r]->b").is_err());
+    }
+
+    #[test]
+    fn memory_reporting() {
+        let db = db();
+        assert!(db.index_memory_bytes() > 0);
+    }
+}

@@ -1,0 +1,72 @@
+//! Error type for parsing, binding, planning and execution.
+
+use std::fmt;
+
+use aplus_core::IndexError;
+use aplus_graph::GraphError;
+
+/// Errors raised by the query layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// Lexical or syntactic error with position info.
+    Syntax {
+        /// Human-readable message.
+        message: String,
+        /// Byte offset in the input.
+        offset: usize,
+    },
+    /// A query variable was used inconsistently or not declared.
+    UnknownVariable(String),
+    /// A variable was declared twice with conflicting roles.
+    VariableRoleConflict(String),
+    /// Query has more vertices than the optimizer supports.
+    TooManyQueryVertices {
+        /// Number in the query.
+        got: usize,
+        /// Supported maximum.
+        max: usize,
+    },
+    /// The pattern is disconnected; plans require a connected pattern.
+    DisconnectedPattern,
+    /// Catalog lookup failures and other graph errors.
+    Graph(GraphError),
+    /// Index DDL failures.
+    Index(IndexError),
+    /// The optimizer could not produce a plan (internal invariant breach).
+    NoPlan(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Syntax { message, offset } => {
+                write!(f, "syntax error at byte {offset}: {message}")
+            }
+            Self::UnknownVariable(name) => write!(f, "unknown variable: {name}"),
+            Self::VariableRoleConflict(name) => {
+                write!(f, "variable {name} used as both vertex and edge")
+            }
+            Self::TooManyQueryVertices { got, max } => {
+                write!(f, "query has {got} vertices; at most {max} supported")
+            }
+            Self::DisconnectedPattern => write!(f, "query pattern is disconnected"),
+            Self::Graph(e) => write!(f, "{e}"),
+            Self::Index(e) => write!(f, "{e}"),
+            Self::NoPlan(msg) => write!(f, "no plan: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<GraphError> for QueryError {
+    fn from(e: GraphError) -> Self {
+        Self::Graph(e)
+    }
+}
+
+impl From<IndexError> for QueryError {
+    fn from(e: IndexError) -> Self {
+        Self::Index(e)
+    }
+}

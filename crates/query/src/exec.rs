@@ -1,0 +1,1173 @@
+//! Plan execution: SCAN, EXTEND/INTERSECT, MULTI-EXTEND, FILTER.
+//!
+//! Execution is depth-first over the operator pipeline: each operator
+//! enumerates bindings for its variables and recurses. Adjacency lists are
+//! read through the A+ indexes; E/I performs k-pointer sorted intersection
+//! on neighbour IDs (the WCOJ building block), MULTI-EXTEND performs a
+//! k-pointer merge-group on a property sort key and emits the cartesian
+//! product of each equal-key group, and sorted-prefix prunes are applied by
+//! binary search (the "fewer predicate evaluations" effect of VPt, §V-C1).
+//!
+//! Matching semantics follow openCypher: query vertices may bind the same
+//! data vertex, but each data edge binds at most one query edge per match.
+
+use aplus_common::{EdgeId, VertexId};
+use aplus_core::{CmpOp, IndexStore, List, SortKey};
+use aplus_graph::Graph;
+
+use crate::plan::{Ald, FromRef, IndexChoice, Operator, Plan, Prune, PruneValue};
+use crate::query::{QueryGraph, QueryOperand, QueryPredicate, Row};
+
+/// Everything an executing plan reads.
+#[derive(Clone, Copy)]
+pub struct ExecContext<'a> {
+    /// The data graph.
+    pub graph: &'a Graph,
+    /// The index store.
+    pub store: &'a IndexStore,
+}
+
+/// Runs `plan`, invoking `on_row` for every complete match.
+pub fn execute(ctx: ExecContext<'_>, query: &QueryGraph, plan: &Plan, on_row: &mut dyn FnMut(&Row)) {
+    let mut row = Row::unbound(query.vertices.len(), query.edges.len());
+    run_op(ctx, plan, 0, &mut row, on_row);
+}
+
+/// Runs `plan` and returns the number of matches.
+#[must_use]
+pub fn count(ctx: ExecContext<'_>, query: &QueryGraph, plan: &Plan) -> u64 {
+    let mut n = 0u64;
+    execute(ctx, query, plan, &mut |_| n += 1);
+    n
+}
+
+/// Runs `plan` and collects up to `limit` rows (tests / examples).
+#[must_use]
+pub fn collect(
+    ctx: ExecContext<'_>,
+    query: &QueryGraph,
+    plan: &Plan,
+    limit: usize,
+) -> Vec<(Vec<u32>, Vec<u64>)> {
+    let mut out = Vec::new();
+    execute(ctx, query, plan, &mut |row| {
+        if out.len() < limit {
+            out.push((row.vertex_slots().to_vec(), row.edge_slots().to_vec()));
+        }
+    });
+    out
+}
+
+fn run_op(
+    ctx: ExecContext<'_>,
+    plan: &Plan,
+    depth: usize,
+    row: &mut Row,
+    on_row: &mut dyn FnMut(&Row),
+) {
+    let Some(op) = plan.ops.get(depth) else {
+        on_row(row);
+        return;
+    };
+    match op {
+        Operator::ScanVertices { var, label, preds } => {
+            exec_scan_vertices(ctx, plan, depth, *var, *label, preds, row, on_row);
+        }
+        Operator::ScanEdges {
+            edge_var,
+            src_var,
+            dst_var,
+            label,
+            src_label,
+            dst_label,
+            preds,
+        } => {
+            for (e, s, d, l) in ctx.graph.edges() {
+                if label.is_some_and(|want| want != l) {
+                    continue;
+                }
+                if src_label.is_some_and(|want| ctx.graph.vertex_label(s) != Ok(want)) {
+                    continue;
+                }
+                if dst_label.is_some_and(|want| ctx.graph.vertex_label(d) != Ok(want)) {
+                    continue;
+                }
+                row.bind_edge(*edge_var, e);
+                row.bind_vertex(*src_var, s);
+                row.bind_vertex(*dst_var, d);
+                if preds.iter().all(|p| p.eval(ctx.graph, row)) {
+                    run_op(ctx, plan, depth + 1, row, on_row);
+                }
+                row.unbind_edge(*edge_var);
+                row.unbind_vertex(*src_var);
+                row.unbind_vertex(*dst_var);
+            }
+        }
+        Operator::ExtendIntersect {
+            target,
+            target_label,
+            alds,
+            residual,
+        } => {
+            exec_extend_intersect(
+                ctx, plan, depth, *target, *target_label, alds, residual, row, on_row,
+            );
+        }
+        Operator::MultiExtend { targets, residual } => {
+            exec_multi_extend(ctx, plan, depth, targets, residual, row, on_row);
+        }
+        Operator::Filter { preds } => {
+            if preds.iter().all(|p| p.eval(ctx.graph, row)) {
+                run_op(ctx, plan, depth + 1, row, on_row);
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn exec_scan_vertices(
+    ctx: ExecContext<'_>,
+    plan: &Plan,
+    depth: usize,
+    var: usize,
+    label: Option<aplus_common::VertexLabelId>,
+    preds: &[QueryPredicate],
+    row: &mut Row,
+    on_row: &mut dyn FnMut(&Row),
+) {
+    // Fast path: an ID-equality predicate pins the vertex directly.
+    let pinned = preds.iter().find_map(|p| match (p.lhs, p.op, p.rhs) {
+        (QueryOperand::VertexIdOf(v), CmpOp::Eq, QueryOperand::Const(c))
+            if v == var && p.rhs_add == 0 =>
+        {
+            u32::try_from(c).ok().map(VertexId)
+        }
+        _ => None,
+    });
+    let mut visit = |v: VertexId, row: &mut Row| {
+        if let Some(want) = label {
+            match ctx.graph.vertex_label(v) {
+                Ok(l) if l == want => {}
+                _ => return,
+            }
+        }
+        row.bind_vertex(var, v);
+        if preds.iter().all(|p| p.eval(ctx.graph, row)) {
+            run_op(ctx, plan, depth + 1, row, on_row);
+        }
+        row.unbind_vertex(var);
+    };
+    match pinned {
+        Some(v) => {
+            if v.index() < ctx.graph.vertex_count() {
+                visit(v, row);
+            }
+        }
+        None => {
+            for v in ctx.graph.vertices() {
+                visit(v, row);
+            }
+        }
+    }
+}
+
+/// What ordering the consuming operator requires of a fetched list.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Need {
+    /// Any order (single-list extends).
+    Any,
+    /// Ordered by neighbour ID (E/I intersections).
+    NbrSorted,
+    /// Ordered by the ALD's leading effective sort key (MULTI-EXTEND).
+    KeySorted,
+}
+
+/// A fetched, prune-restricted adjacency list.
+struct BoundList<'a> {
+    list: List<'a>,
+    start: usize,
+    end: usize,
+    edge_var: usize,
+    /// Leading sort key after pruning, for merge operations.
+    merge_key: Option<SortKey>,
+}
+
+impl BoundList<'_> {
+    fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    fn get(&self, i: usize) -> (EdgeId, VertexId) {
+        self.list.get(self.start + i)
+    }
+}
+
+/// Resolves an ALD against the current row into a pruned list satisfying
+/// `need`. Ranges that are not globally sorted (multi-slot spans) get
+/// materialized and sorted here — the executor stays correct for any plan,
+/// and the extra work is exactly the penalty the optimizer's cost model
+/// charges such plans.
+fn fetch_list<'a>(ctx: ExecContext<'a>, ald: &Ald, row: &Row, need: Need) -> BoundList<'a> {
+    // Fast path for pruned, sorted, clean secondary lists: binary search
+    // over a lazy positional view so only the surviving subrange is
+    // dereferenced — the access pattern that makes VPt's time-sorted
+    // prefix reads cheap (§V-C1).
+    if ald.prune.is_some() && ald.sorted_range {
+        if let Some(mut bl) = fetch_pruned_lazy(ctx, ald, row) {
+            // The pruned run keeps the index's sort order; re-sort only if
+            // the consumer needs neighbour order and the run lacks it.
+            if need == Need::NbrSorted && !ald.nbr_sorted() {
+                if let List::Owned(v) = &mut bl.list {
+                    v.sort_unstable_by_key(|&(e, n)| (n, e));
+                }
+            }
+            return bl;
+        }
+    }
+    let mut list: List<'a> = match (&ald.index, ald.from) {
+        (IndexChoice::Primary(dir), FromRef::Vertex(v)) => {
+            let owner = row.vertex(v).expect("plan binds FROM before use");
+            ctx.store.primary().index(*dir).list(owner, &ald.prefix)
+        }
+        (IndexChoice::VertexIdx { name, direction }, FromRef::Vertex(v)) => {
+            let owner = row.vertex(v).expect("plan binds FROM before use");
+            let idx = ctx
+                .store
+                .vertex_index(name, *direction)
+                .expect("plan references existing index");
+            idx.list(ctx.store.primary().index(*direction), owner, &ald.prefix)
+        }
+        (IndexChoice::EdgeIdx { name }, FromRef::BoundEdge(e)) => {
+            let eb = row.edge(e).expect("plan binds FROM edge before use");
+            let idx = ctx.store.edge_index(name).expect("plan references existing index");
+            let dir = idx.view().orientation.primary_direction();
+            idx.list(ctx.graph, ctx.store.primary().index(dir), eb, &ald.prefix)
+        }
+        (choice, from) => unreachable!("invalid ALD combination {choice:?} / {from:?}"),
+    };
+    let (mut start, mut end) = (0usize, list.len());
+    let mut resolved_prune = None;
+    if let Some(Prune { op, value }) = ald.prune {
+        let v = match value {
+            PruneValue::Const(c) => Some(c),
+            PruneValue::VertexProp(var, pid) => row
+                .vertex(var)
+                .and_then(|v| ctx.graph.vertex_prop(v, pid)),
+            PruneValue::EdgeProp(var, pid) => {
+                row.edge(var).and_then(|e| ctx.graph.edge_prop(e, pid))
+            }
+        };
+        match v {
+            Some(v) => resolved_prune = Some((op, v)),
+            // A NULL comparison value satisfies nothing.
+            None => {
+                return BoundList {
+                    list: List::empty(),
+                    start: 0,
+                    end: 0,
+                    edge_var: ald.edge_var,
+                    merge_key: None,
+                }
+            }
+        }
+    }
+    if let Some((op, value)) = resolved_prune {
+        if ald.sorted_range {
+            // Binary search on the leading sort key.
+            let key_of = |i: usize| -> i128 {
+                let (e, n) = list.get(i);
+                leading_key(ctx.graph, &ald.sort, e, n).map_or(i128::MAX, i128::from)
+            };
+            (start, end) = prune_bounds(op, value, list.len(), key_of);
+        } else {
+            // Unsorted range: fall back to a filtering scan.
+            let mut kept = Vec::with_capacity(end - start);
+            for i in start..end {
+                let (e, n) = list.get(i);
+                let Some(key) = leading_key(ctx.graph, &ald.sort, e, n) else {
+                    continue; // NULL never satisfies the restriction
+                };
+                if op.eval(key, value) {
+                    kept.push((e.raw(), n.raw()));
+                }
+            }
+            list = List::Owned(kept);
+            start = 0;
+            end = list.len();
+        }
+    }
+    let merge_key = ald.effective_sort().first().copied();
+    // Enforce the consumer's ordering requirement.
+    let satisfied = match need {
+        Need::Any => true,
+        Need::NbrSorted => ald.nbr_sorted() && ald.sorted_range,
+        Need::KeySorted => ald.sorted_range,
+    };
+    if !satisfied {
+        let mut owned: Vec<(u64, u32)> = (start..end)
+            .map(|i| {
+                let (e, n) = list.get(i);
+                (e.raw(), n.raw())
+            })
+            .collect();
+        match need {
+            Need::NbrSorted => owned.sort_unstable_by_key(|&(e, n)| (n, e)),
+            Need::KeySorted => owned.sort_by_cached_key(|&(e, n)| {
+                let key = match merge_key {
+                    None | Some(SortKey::NbrId) => Some(i64::from(n)),
+                    Some(SortKey::NbrLabel) => ctx
+                        .graph
+                        .vertex_label(VertexId(n))
+                        .ok()
+                        .map(|l| i64::from(l.raw())),
+                    Some(SortKey::EdgeProp(pid)) => ctx.graph.edge_prop(EdgeId(e), pid),
+                    Some(SortKey::NbrProp(pid)) => ctx.graph.vertex_prop(VertexId(n), pid),
+                };
+                (key.map_or(i128::MAX, i128::from), n, e)
+            }),
+            Need::Any => {}
+        }
+        list = List::Owned(owned);
+        start = 0;
+        end = list.len();
+    }
+    BoundList {
+        list,
+        start,
+        end,
+        edge_var: ald.edge_var,
+        merge_key,
+    }
+}
+
+/// Resolves a prune's comparison value against the current row; `None`
+/// means the prune value is NULL (nothing can satisfy the restriction).
+fn resolve_prune_value(ctx: ExecContext<'_>, value: PruneValue, row: &Row) -> Option<i64> {
+    match value {
+        PruneValue::Const(c) => Some(c),
+        PruneValue::VertexProp(var, pid) => {
+            row.vertex(var).and_then(|v| ctx.graph.vertex_prop(v, pid))
+        }
+        PruneValue::EdgeProp(var, pid) => row.edge(var).and_then(|e| ctx.graph.edge_prop(e, pid)),
+    }
+}
+
+/// Computes the `[start, end)` subrange surviving a prune over a sorted
+/// random-access list of `len` entries, with `key(i)` the leading sort key
+/// (`i128::MAX` encodes NULL, which sorts last and satisfies nothing — so
+/// `Gt`/`Ge` suffixes must stop at the NULL boundary).
+fn prune_bounds(
+    op: CmpOp,
+    value: i64,
+    len: usize,
+    key: impl Fn(usize) -> i128,
+) -> (usize, usize) {
+    let lower = partition_idx(0, len, |i| key(i) < i128::from(value));
+    let nulls_at = |from: usize| partition_idx(from, len, |i| key(i) < i128::MAX);
+    match op {
+        CmpOp::Lt => (0, lower),
+        CmpOp::Ge => (lower, nulls_at(lower)),
+        CmpOp::Le | CmpOp::Gt | CmpOp::Eq => {
+            let upper = partition_idx(lower, len, |i| key(i) <= i128::from(value));
+            match op {
+                CmpOp::Le => (0, upper),
+                CmpOp::Gt => (upper, nulls_at(upper)),
+                _ => (lower, upper),
+            }
+        }
+        CmpOp::Ne => (0, len),
+    }
+}
+
+/// Lazy binary-search prune over clean secondary offset lists. Returns
+/// `None` when the list is dirty or the ALD is not a secondary index —
+/// the caller falls back to the materializing path.
+fn fetch_pruned_lazy<'a>(ctx: ExecContext<'a>, ald: &Ald, row: &Row) -> Option<BoundList<'a>> {
+    let Prune { op, value } = ald.prune.expect("caller checked");
+    let merge_key = ald.effective_sort().first().copied();
+    let key_of = |e: EdgeId, n: VertexId| -> i128 {
+        leading_key(ctx.graph, &ald.sort, e, n).map_or(i128::MAX, i128::from)
+    };
+    match (&ald.index, ald.from) {
+        (IndexChoice::VertexIdx { name, direction }, FromRef::Vertex(v)) => {
+            let owner = row.vertex(v).expect("plan binds FROM before use");
+            let idx = ctx.store.vertex_index(name, *direction)?;
+            let primary = ctx.store.primary().index(*direction);
+            let lazy = idx.clean_list(primary, owner, &ald.prefix)?;
+            let Some(value) = resolve_prune_value(ctx, value, row) else {
+                return Some(empty_bound(ald));
+            };
+            let (start, end) = prune_bounds(op, value, lazy.len(), |i| {
+                let (e, n) = lazy.get(i);
+                key_of(e, n)
+            });
+            Some(BoundList {
+                list: lazy.materialize(start, end),
+                start: 0,
+                end: end - start,
+                edge_var: ald.edge_var,
+                merge_key,
+            })
+        }
+        (IndexChoice::EdgeIdx { name }, FromRef::BoundEdge(e)) => {
+            let eb = row.edge(e).expect("plan binds FROM edge before use");
+            let idx = ctx.store.edge_index(name)?;
+            let dir = idx.view().orientation.primary_direction();
+            let primary = ctx.store.primary().index(dir);
+            let lazy = idx.clean_list(ctx.graph, primary, eb, &ald.prefix)?;
+            let Some(value) = resolve_prune_value(ctx, value, row) else {
+                return Some(empty_bound(ald));
+            };
+            let (start, end) = prune_bounds(op, value, lazy.len(), |i| {
+                let (edge, n) = lazy.get(i);
+                key_of(edge, n)
+            });
+            Some(BoundList {
+                list: lazy.materialize(start, end),
+                start: 0,
+                end: end - start,
+                edge_var: ald.edge_var,
+                merge_key,
+            })
+        }
+        _ => None,
+    }
+}
+
+fn empty_bound(ald: &Ald) -> BoundList<'static> {
+    BoundList {
+        list: List::empty(),
+        start: 0,
+        end: 0,
+        edge_var: ald.edge_var,
+        merge_key: None,
+    }
+}
+
+/// Binary search: first index in `[start, end)` where `pred` is false.
+fn partition_idx(start: usize, end: usize, pred: impl Fn(usize) -> bool) -> usize {
+    let mut a = start;
+    let mut b = end;
+    while a < b {
+        let mid = (a + b) / 2;
+        if pred(mid) {
+            a = mid + 1;
+        } else {
+            b = mid;
+        }
+    }
+    a
+}
+
+/// The leading sort-key value of an entry; `None` is NULL (sorts last).
+fn leading_key(graph: &Graph, sort: &[SortKey], edge: EdgeId, nbr: VertexId) -> Option<i64> {
+    match sort.first() {
+        None | Some(SortKey::NbrId) => Some(i64::from(nbr.raw())),
+        Some(SortKey::NbrLabel) => graph.vertex_label(nbr).ok().map(|l| i64::from(l.raw())),
+        Some(SortKey::EdgeProp(pid)) => graph.edge_prop(edge, *pid),
+        Some(SortKey::NbrProp(pid)) => graph.vertex_prop(nbr, *pid),
+    }
+}
+
+/// The merge key of position `i` in `list` (for MULTI-EXTEND): the leading
+/// *effective* sort key.
+fn merge_key_at(graph: &Graph, list: &BoundList<'_>, i: usize) -> Option<i64> {
+    let (e, n) = list.get(i);
+    match list.merge_key {
+        None | Some(SortKey::NbrId) => Some(i64::from(n.raw())),
+        Some(SortKey::NbrLabel) => graph.vertex_label(n).ok().map(|l| i64::from(l.raw())),
+        Some(SortKey::EdgeProp(pid)) => graph.edge_prop(e, pid),
+        Some(SortKey::NbrProp(pid)) => graph.vertex_prop(n, pid),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn exec_extend_intersect(
+    ctx: ExecContext<'_>,
+    plan: &Plan,
+    depth: usize,
+    target: usize,
+    target_label: Option<aplus_common::VertexLabelId>,
+    alds: &[Ald],
+    residual: &[QueryPredicate],
+    row: &mut Row,
+    on_row: &mut dyn FnMut(&Row),
+) {
+    let label_ok = |n: VertexId| {
+        target_label.is_none_or(|want| ctx.graph.vertex_label(n) == Ok(want))
+    };
+    // A single list needs no intersection (plain EXTEND); multiple lists
+    // are each fetched neighbour-sorted and intersected with a k-pointer
+    // leapfrog.
+    let need = if alds.len() > 1 { Need::NbrSorted } else { Need::Any };
+    let lists: Vec<BoundList<'_>> = alds.iter().map(|a| fetch_list(ctx, a, row, need)).collect();
+    if lists.iter().any(|l| l.len() == 0) {
+        return;
+    }
+    if lists.len() == 1 {
+        let l = &lists[0];
+        for i in 0..l.len() {
+            let (e, n) = l.get(i);
+            if row.uses_edge(e) || !label_ok(n) {
+                continue;
+            }
+            row.bind_vertex(target, n);
+            row.bind_edge(l.edge_var, e);
+            if residual.iter().all(|p| p.eval(ctx.graph, row)) {
+                run_op(ctx, plan, depth + 1, row, on_row);
+            }
+            row.unbind_edge(l.edge_var);
+            row.unbind_vertex(target);
+        }
+        return;
+    }
+    let k = lists.len();
+    let mut ptr: Vec<usize> = vec![0; k];
+    // Run buffers are reused across neighbour groups to avoid per-group
+    // allocations in the hot intersection loop.
+    let mut edge_choices: Vec<Vec<EdgeId>> = vec![Vec::new(); k];
+    'outer: loop {
+        // Find the maximum head neighbour.
+        let mut max_nbr = 0u32;
+        for i in 0..k {
+            if ptr[i] >= lists[i].len() {
+                break 'outer;
+            }
+            max_nbr = max_nbr.max(lists[i].get(ptr[i]).1.raw());
+        }
+        // Advance every list to >= max_nbr (leapfrog step).
+        let mut aligned = true;
+        for i in 0..k {
+            while ptr[i] < lists[i].len() && lists[i].get(ptr[i]).1.raw() < max_nbr {
+                ptr[i] += 1;
+            }
+            if ptr[i] >= lists[i].len() {
+                break 'outer;
+            }
+            if lists[i].get(ptr[i]).1.raw() != max_nbr {
+                aligned = false;
+            }
+        }
+        if !aligned {
+            continue;
+        }
+        let nbr = VertexId(max_nbr);
+        // Collect the run of entries per list (parallel edges).
+        for (i, choices) in edge_choices.iter_mut().enumerate() {
+            choices.clear();
+            let mut j = ptr[i];
+            while j < lists[i].len() && lists[i].get(j).1 == nbr {
+                choices.push(lists[i].get(j).0);
+                j += 1;
+            }
+            ptr[i] = j;
+        }
+        if !label_ok(nbr) {
+            continue;
+        }
+        row.bind_vertex(target, nbr);
+        bind_edges_product(ctx, plan, depth, &lists, &edge_choices, 0, residual, row, on_row);
+        row.unbind_vertex(target);
+    }
+}
+
+/// Binds one edge choice per list (cartesian product, with relationship
+/// uniqueness), then evaluates residuals and recurses.
+#[allow(clippy::too_many_arguments)]
+fn bind_edges_product(
+    ctx: ExecContext<'_>,
+    plan: &Plan,
+    depth: usize,
+    lists: &[BoundList<'_>],
+    choices: &[Vec<EdgeId>],
+    li: usize,
+    residual: &[QueryPredicate],
+    row: &mut Row,
+    on_row: &mut dyn FnMut(&Row),
+) {
+    if li == lists.len() {
+        if residual.iter().all(|p| p.eval(ctx.graph, row)) {
+            run_op(ctx, plan, depth + 1, row, on_row);
+        }
+        return;
+    }
+    for &e in &choices[li] {
+        if row.uses_edge(e) {
+            continue;
+        }
+        row.bind_edge(lists[li].edge_var, e);
+        bind_edges_product(ctx, plan, depth, lists, choices, li + 1, residual, row, on_row);
+        row.unbind_edge(lists[li].edge_var);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn exec_multi_extend(
+    ctx: ExecContext<'_>,
+    plan: &Plan,
+    depth: usize,
+    targets: &[(usize, Option<aplus_common::VertexLabelId>, Ald)],
+    residual: &[QueryPredicate],
+    row: &mut Row,
+    on_row: &mut dyn FnMut(&Row),
+) {
+    let lists: Vec<BoundList<'_>> = targets
+        .iter()
+        .map(|(_, _, a)| fetch_list(ctx, a, row, Need::KeySorted))
+        .collect();
+    if lists.iter().any(|l| l.len() == 0) {
+        return;
+    }
+    let k = lists.len();
+    let mut ptr = vec![0usize; k];
+    'outer: loop {
+        // Heads; NULL keys terminate their list (NULL == NULL is false).
+        let mut max_key = i64::MIN;
+        for i in 0..k {
+            if ptr[i] >= lists[i].len() {
+                break 'outer;
+            }
+            match merge_key_at(ctx.graph, &lists[i], ptr[i]) {
+                Some(key) => max_key = max_key.max(key),
+                // NULLs sort last: the rest of this list is NULL too.
+                None => break 'outer,
+            }
+        }
+        let mut aligned = true;
+        for i in 0..k {
+            while ptr[i] < lists[i].len() {
+                match merge_key_at(ctx.graph, &lists[i], ptr[i]) {
+                    Some(key) if key < max_key => ptr[i] += 1,
+                    Some(key) => {
+                        if key != max_key {
+                            aligned = false;
+                        }
+                        break;
+                    }
+                    None => break 'outer,
+                }
+            }
+            if ptr[i] >= lists[i].len() {
+                break 'outer;
+            }
+        }
+        if !aligned {
+            continue;
+        }
+        // Collect the equal-key run per target.
+        let mut runs: Vec<Vec<(EdgeId, VertexId)>> = vec![Vec::new(); k];
+        for i in 0..k {
+            let mut j = ptr[i];
+            while j < lists[i].len() && merge_key_at(ctx.graph, &lists[i], j) == Some(max_key) {
+                runs[i].push(lists[i].get(j));
+                j += 1;
+            }
+            ptr[i] = j;
+        }
+        bind_targets_product(
+            ctx, plan, depth, targets, &lists, &runs, 0, residual, row, on_row,
+        );
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn bind_targets_product(
+    ctx: ExecContext<'_>,
+    plan: &Plan,
+    depth: usize,
+    targets: &[(usize, Option<aplus_common::VertexLabelId>, Ald)],
+    lists: &[BoundList<'_>],
+    runs: &[Vec<(EdgeId, VertexId)>],
+    ti: usize,
+    residual: &[QueryPredicate],
+    row: &mut Row,
+    on_row: &mut dyn FnMut(&Row),
+) {
+    if ti == targets.len() {
+        if residual.iter().all(|p| p.eval(ctx.graph, row)) {
+            run_op(ctx, plan, depth + 1, row, on_row);
+        }
+        return;
+    }
+    let (tvar, tlabel, _) = targets[ti];
+    for &(e, n) in &runs[ti] {
+        if row.uses_edge(e)
+            || tlabel.is_some_and(|want| ctx.graph.vertex_label(n) != Ok(want))
+        {
+            continue;
+        }
+        row.bind_vertex(tvar, n);
+        row.bind_edge(lists[ti].edge_var, e);
+        bind_targets_product(
+            ctx,
+            plan,
+            depth,
+            targets,
+            lists,
+            runs,
+            ti + 1,
+            residual,
+            row,
+            on_row,
+        );
+        row.unbind_edge(lists[ti].edge_var);
+        row.unbind_vertex(tvar);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aplus_core::{Direction, IndexSpec, SortKey};
+    use aplus_datagen::build_financial_graph;
+    use aplus_graph::PropertyEntity;
+
+    fn fixture() -> (aplus_graph::Graph, IndexStore, aplus_datagen::FinancialGraph) {
+        let fg = build_financial_graph();
+        let g = fg.graph.clone();
+        let store = IndexStore::build(&g).unwrap();
+        (g, store, fg)
+    }
+
+    /// 2-hop query: c -[O]-> a1 -[W]-> a2 anchored at Alice's customer
+    /// vertex, executed with hand-built plan (Example 2's access pattern).
+    #[test]
+    fn hand_plan_two_hop() {
+        let (g, store, fg) = fixture();
+        let owns = u32::from(g.catalog().edge_label("O").unwrap().raw());
+        let wire = u32::from(g.catalog().edge_label("W").unwrap().raw());
+        let alice = fg.customers[1];
+        let query = QueryGraph {
+            vertices: (0..3)
+                .map(|i| crate::query::QueryVertex {
+                    name: format!("x{i}"),
+                    label: None,
+                })
+                .collect(),
+            edges: vec![
+                crate::query::QueryEdge { name: None, src: 0, dst: 1, label: None },
+                crate::query::QueryEdge { name: None, src: 1, dst: 2, label: None },
+            ],
+            predicates: vec![],
+        };
+        let plan = Plan {
+            ops: vec![
+                Operator::ScanVertices {
+                    var: 0,
+                    label: None,
+                    preds: vec![QueryPredicate::new(
+                        QueryOperand::VertexIdOf(0),
+                        CmpOp::Eq,
+                        QueryOperand::Const(i64::from(alice.raw())),
+                    )],
+                },
+                Operator::ExtendIntersect {
+                    target: 1,
+                    target_label: None,
+                    alds: vec![Ald {
+                        from: FromRef::Vertex(0),
+                        index: IndexChoice::Primary(Direction::Fwd),
+                        prefix: vec![owns],
+                        edge_var: 0,
+                        sort: vec![SortKey::NbrId],
+                        prune: None,
+                        sorted_range: true,
+                    }],
+                    residual: vec![],
+                },
+                Operator::ExtendIntersect {
+                    target: 2,
+                    target_label: None,
+                    alds: vec![Ald {
+                        from: FromRef::Vertex(1),
+                        index: IndexChoice::Primary(Direction::Fwd),
+                        prefix: vec![wire],
+                        edge_var: 1,
+                        sort: vec![SortKey::NbrId],
+                        prune: None,
+                        sorted_range: true,
+                    }],
+                    residual: vec![],
+                },
+            ],
+            est_cost: 0.0,
+        };
+        let ctx = ExecContext { graph: &g, store: &store };
+        // Alice owns v1 (3 wires) and v2 (1 wire: t8) -> 4 matches.
+        assert_eq!(count(ctx, &query, &plan), 4);
+    }
+
+    /// WCOJ triangle count on the financial graph via 2-way intersection.
+    #[test]
+    fn hand_plan_triangle_intersection() {
+        let (g, store, _) = fixture();
+        let query = QueryGraph {
+            vertices: (0..3)
+                .map(|i| crate::query::QueryVertex {
+                    name: format!("x{i}"),
+                    label: None,
+                })
+                .collect(),
+            edges: vec![
+                crate::query::QueryEdge { name: None, src: 0, dst: 1, label: None },
+                crate::query::QueryEdge { name: None, src: 1, dst: 2, label: None },
+                crate::query::QueryEdge { name: None, src: 0, dst: 2, label: None },
+            ],
+            predicates: vec![],
+        };
+        let plan = Plan {
+            ops: vec![
+                Operator::ScanVertices { var: 0, label: None, preds: vec![] },
+                Operator::ExtendIntersect {
+                    target: 1,
+                    target_label: None,
+                    alds: vec![Ald {
+                        from: FromRef::Vertex(0),
+                        index: IndexChoice::Primary(Direction::Fwd),
+                        prefix: vec![],
+                        edge_var: 0,
+                        sort: vec![SortKey::NbrId],
+                        prune: None,
+                        sorted_range: false,
+                    }],
+                    residual: vec![],
+                },
+                Operator::ExtendIntersect {
+                    target: 2,
+                    target_label: None,
+                    alds: vec![
+                        Ald {
+                            from: FromRef::Vertex(1),
+                            index: IndexChoice::Primary(Direction::Fwd),
+                            prefix: vec![],
+                            edge_var: 1,
+                            sort: vec![SortKey::NbrId],
+                            prune: None,
+                            sorted_range: false,
+                        },
+                        Ald {
+                            from: FromRef::Vertex(0),
+                            index: IndexChoice::Primary(Direction::Fwd),
+                            prefix: vec![],
+                            edge_var: 2,
+                            sort: vec![SortKey::NbrId],
+                            prune: None,
+                            sorted_range: false,
+                        },
+                    ],
+                    residual: vec![],
+                },
+            ],
+            est_cost: 0.0,
+        };
+        let ctx = ExecContext { graph: &g, store: &store };
+        let wcoj = count(ctx, &query, &plan);
+        // Reference count by brute force.
+        let mut brute = 0u64;
+        let edges: Vec<_> = g.edges().collect();
+        for &(e1, a, b, _) in &edges {
+            for &(e2, b2, c, _) in &edges {
+                if b2 != b || e2 == e1 {
+                    continue;
+                }
+                for &(e3, a2, c2, _) in &edges {
+                    if a2 == a && c2 == c && e3 != e1 && e3 != e2 {
+                        brute += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(wcoj, brute);
+        assert!(wcoj > 0, "financial graph has directed open triangles");
+    }
+
+    /// Range prune on a time-sorted list must equal post-filtering.
+    #[test]
+    fn prune_equals_filter() {
+        let (g, mut store, fg) = fixture();
+        let date = g.catalog().property(PropertyEntity::Edge, "date").unwrap();
+        store
+            .create_vertex_index(
+                &g,
+                "VPt",
+                aplus_core::store::IndexDirections::Fw,
+                aplus_core::view::OneHopView::new(aplus_core::ViewPredicate::always_true())
+                    .unwrap(),
+                IndexSpec::default_primary().with_sort(vec![SortKey::EdgeProp(date)]),
+            )
+            .unwrap();
+        let query = QueryGraph {
+            vertices: (0..2)
+                .map(|i| crate::query::QueryVertex { name: format!("x{i}"), label: None })
+                .collect(),
+            edges: vec![crate::query::QueryEdge { name: None, src: 0, dst: 1, label: None }],
+            predicates: vec![],
+        };
+        let mk_plan = |use_prune: bool| Plan {
+            ops: vec![
+                Operator::ScanVertices {
+                    var: 0,
+                    label: None,
+                    preds: vec![QueryPredicate::new(
+                        QueryOperand::VertexIdOf(0),
+                        CmpOp::Eq,
+                        QueryOperand::Const(i64::from(fg.account(5).raw())),
+                    )],
+                },
+                Operator::ExtendIntersect {
+                    target: 1,
+                    target_label: None,
+                    alds: vec![Ald {
+                        from: FromRef::Vertex(0),
+                        index: IndexChoice::VertexIdx {
+                            name: "VPt".into(),
+                            direction: Direction::Fwd,
+                        },
+                        prefix: vec![],
+                        edge_var: 0,
+                        sort: vec![SortKey::EdgeProp(date)],
+                        prune: use_prune
+                            .then_some(Prune { op: CmpOp::Lt, value: PruneValue::Const(6) }),
+                        sorted_range: false,
+                    }],
+                    residual: if use_prune {
+                        vec![]
+                    } else {
+                        vec![QueryPredicate::new(
+                            QueryOperand::EdgeProp(0, date),
+                            CmpOp::Lt,
+                            QueryOperand::Const(6),
+                        )]
+                    },
+                },
+            ],
+            est_cost: 0.0,
+        };
+        let ctx = ExecContext { graph: &g, store: &store };
+        let pruned = count(ctx, &query, &mk_plan(true));
+        let filtered = count(ctx, &query, &mk_plan(false));
+        assert_eq!(pruned, filtered);
+        // v5's out-edges with date < 6: t1, t2, t3, t5 -> 4.
+        assert_eq!(pruned, 4);
+    }
+
+    /// MULTI-EXTEND on city equality matches the brute-force pair count.
+    #[test]
+    fn multi_extend_city_pairs() {
+        let (g, mut store, fg) = fixture();
+        let city = g.catalog().property(PropertyEntity::Vertex, "city").unwrap();
+        store
+            .create_vertex_index(
+                &g,
+                "VPc",
+                aplus_core::store::IndexDirections::FwBw,
+                aplus_core::view::OneHopView::new(aplus_core::ViewPredicate::always_true())
+                    .unwrap(),
+                IndexSpec::default_primary().with_sort(vec![SortKey::NbrProp(city)]),
+            )
+            .unwrap();
+        // Pattern: a2 <- a1 -> a3 with a2.city = a3.city (both forward).
+        let query = QueryGraph {
+            vertices: (0..3)
+                .map(|i| crate::query::QueryVertex { name: format!("x{i}"), label: None })
+                .collect(),
+            edges: vec![
+                crate::query::QueryEdge { name: None, src: 0, dst: 1, label: None },
+                crate::query::QueryEdge { name: None, src: 0, dst: 2, label: None },
+            ],
+            predicates: vec![QueryPredicate::new(
+                QueryOperand::VertexProp(1, city),
+                CmpOp::Eq,
+                QueryOperand::VertexProp(2, city),
+            )],
+        };
+        let mk_ald = |edge_var: usize| Ald {
+            from: FromRef::Vertex(0),
+            index: IndexChoice::VertexIdx { name: "VPc".into(), direction: Direction::Fwd },
+            prefix: vec![],
+            edge_var,
+            sort: vec![SortKey::NbrProp(city)],
+            prune: None,
+            sorted_range: false,
+        };
+        let plan = Plan {
+            ops: vec![
+                Operator::ScanVertices { var: 0, label: None, preds: vec![] },
+                Operator::MultiExtend {
+                    targets: vec![(1, None, mk_ald(0)), (2, None, mk_ald(1))],
+                    residual: vec![],
+                },
+            ],
+            est_cost: 0.0,
+        };
+        let ctx = ExecContext { graph: &g, store: &store };
+        let got = count(ctx, &query, &plan);
+        // Brute force: ordered pairs of distinct out-edges of the same
+        // vertex whose head cities are equal (and non-NULL).
+        let edges: Vec<_> = g.edges().collect();
+        let mut brute = 0u64;
+        for &(e1, s1, d1, _) in &edges {
+            for &(e2, s2, d2, _) in &edges {
+                if e1 == e2 || s1 != s2 {
+                    continue;
+                }
+                let (Some(c1), Some(c2)) =
+                    (g.vertex_prop(d1, city), g.vertex_prop(d2, city))
+                else {
+                    continue;
+                };
+                if c1 == c2 {
+                    brute += 1;
+                }
+            }
+        }
+        assert_eq!(got, brute);
+        assert!(got > 0);
+        let _ = fg;
+    }
+
+    /// A dynamic Eq-prune on a city-sorted list must equal the filtered
+    /// baseline (MF2's consecutive-city mechanism), via both the lazy
+    /// clean-range path and the materializing fallback.
+    #[test]
+    fn dynamic_prune_equals_filter() {
+        let (g, mut store, fg) = fixture();
+        let city = g.catalog().property(PropertyEntity::Vertex, "city").unwrap();
+        store
+            .create_vertex_index(
+                &g,
+                "VPc",
+                aplus_core::store::IndexDirections::Fw,
+                aplus_core::view::OneHopView::new(aplus_core::ViewPredicate::always_true())
+                    .unwrap(),
+                // No partitioning: whole regions are globally city-sorted.
+                IndexSpec::default().with_sort(vec![SortKey::NbrProp(city)]),
+            )
+            .unwrap();
+        let query = QueryGraph {
+            vertices: (0..3)
+                .map(|i| crate::query::QueryVertex { name: format!("x{i}"), label: None })
+                .collect(),
+            edges: vec![
+                crate::query::QueryEdge { name: None, src: 0, dst: 1, label: None },
+                crate::query::QueryEdge { name: None, src: 0, dst: 2, label: None },
+            ],
+            predicates: vec![QueryPredicate::new(
+                QueryOperand::VertexProp(1, city),
+                CmpOp::Eq,
+                QueryOperand::VertexProp(2, city),
+            )],
+        };
+        let mk_plan = |use_prune: bool| Plan {
+            ops: vec![
+                Operator::ScanVertices { var: 0, label: None, preds: vec![] },
+                Operator::ExtendIntersect {
+                    target: 1,
+                    target_label: None,
+                    alds: vec![Ald {
+                        from: FromRef::Vertex(0),
+                        index: IndexChoice::VertexIdx {
+                            name: "VPc".into(),
+                            direction: Direction::Fwd,
+                        },
+                        prefix: vec![],
+                        edge_var: 0,
+                        sort: vec![SortKey::NbrProp(city)],
+                        prune: None,
+                        sorted_range: true,
+                    }],
+                    residual: vec![],
+                },
+                Operator::ExtendIntersect {
+                    target: 2,
+                    target_label: None,
+                    alds: vec![Ald {
+                        from: FromRef::Vertex(0),
+                        index: IndexChoice::VertexIdx {
+                            name: "VPc".into(),
+                            direction: Direction::Fwd,
+                        },
+                        prefix: vec![],
+                        edge_var: 1,
+                        sort: vec![SortKey::NbrProp(city)],
+                        prune: use_prune.then_some(Prune {
+                            op: CmpOp::Eq,
+                            value: PruneValue::VertexProp(1, city),
+                        }),
+                        sorted_range: true,
+                    }],
+                    residual: if use_prune {
+                        vec![]
+                    } else {
+                        vec![QueryPredicate::new(
+                            QueryOperand::VertexProp(1, city),
+                            CmpOp::Eq,
+                            QueryOperand::VertexProp(2, city),
+                        )]
+                    },
+                },
+            ],
+            est_cost: 0.0,
+        };
+        let ctx = ExecContext { graph: &g, store: &store };
+        let pruned = count(ctx, &query, &mk_plan(true));
+        let filtered = count(ctx, &query, &mk_plan(false));
+        assert_eq!(pruned, filtered);
+        assert!(pruned > 0, "financial graph has same-city fan-outs");
+        let _ = fg;
+    }
+
+    /// The lazy clean-range prune and the materializing fallback agree on
+    /// every vertex and threshold (the VPt access path, §V-C1).
+    #[test]
+    fn lazy_and_materializing_prunes_agree() {
+        let (g, mut store, _) = fixture();
+        let date = g.catalog().property(PropertyEntity::Edge, "date").unwrap();
+        store
+            .create_vertex_index(
+                &g,
+                "VPt",
+                aplus_core::store::IndexDirections::Fw,
+                aplus_core::view::OneHopView::new(aplus_core::ViewPredicate::always_true())
+                    .unwrap(),
+                IndexSpec::default().with_sort(vec![SortKey::EdgeProp(date)]),
+            )
+            .unwrap();
+        let ctx = ExecContext { graph: &g, store: &store };
+        let idx = store.vertex_index("VPt", Direction::Fwd).unwrap();
+        let primary = store.primary().index(Direction::Fwd);
+        for v in g.vertices() {
+            for threshold in [0i64, 3, 10, 21, 100] {
+                for op in [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Eq] {
+                    let ald = Ald {
+                        from: FromRef::Vertex(0),
+                        index: IndexChoice::VertexIdx {
+                            name: "VPt".into(),
+                            direction: Direction::Fwd,
+                        },
+                        prefix: vec![],
+                        edge_var: 0,
+                        sort: vec![SortKey::EdgeProp(date)],
+                        prune: Some(Prune { op, value: PruneValue::Const(threshold) }),
+                        sorted_range: true,
+                    };
+                    let mut row = Row::unbound(1, 1);
+                    row.bind_vertex(0, v);
+                    // Lazy path (clean index).
+                    let lazy = fetch_list(ctx, &ald, &row, Need::Any);
+                    let got: Vec<u64> = (0..lazy.len()).map(|i| lazy.get(i).0.raw()).collect();
+                    // Reference: filter the full secondary list directly.
+                    let expect: Vec<u64> = idx
+                        .list(primary, v, &[])
+                        .iter()
+                        .filter(|&(e, _)| {
+                            g.edge_prop(e, date).is_some_and(|d| op.eval(d, threshold))
+                        })
+                        .map(|(e, _)| e.raw())
+                        .collect();
+                    assert_eq!(got, expect, "v={v} {op:?} {threshold}");
+                }
+            }
+        }
+    }
+}

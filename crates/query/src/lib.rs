@@ -1,0 +1,33 @@
+//! Query processing over A+ indexes (§IV-A).
+//!
+//! This crate rebuilds the GraphflowDB query-processing subset the paper
+//! modifies:
+//!
+//! * [`query`] — the bound query model: a subgraph pattern (query vertices
+//!   and directed, optionally labelled query edges) plus conjunctive
+//!   predicates, as produced from openCypher-style `MATCH ... WHERE ...`.
+//! * [`parser`] — a recursive-descent parser for the paper's surface
+//!   syntax: queries, `RECONFIGURE PRIMARY INDEXES`, `CREATE 1-HOP VIEW`,
+//!   and `CREATE 2-HOP VIEW` statements.
+//! * [`plan`] / [`exec`] — physical plans: `SCAN`, `EXTEND/INTERSECT`
+//!   (multiway sorted intersections on neighbour IDs — WCOJ-style),
+//!   `MULTI-EXTEND` (intersections on a property sort key binding several
+//!   query vertices at once), and `FILTER`.
+//! * [`optimizer`] — the DP join optimizer: enumerates one query vertex at
+//!   a time, consults the INDEX STORE with predicate subsumption, and costs
+//!   plans with **i-cost** (estimated total adjacency-list entries touched).
+//! * [`engine`] — a `Database` facade tying graph + index store + parser +
+//!   optimizer + executor together.
+
+pub mod ast;
+pub mod engine;
+pub mod error;
+pub mod exec;
+pub mod optimizer;
+pub mod parser;
+pub mod plan;
+pub mod query;
+
+pub use engine::Database;
+pub use error::QueryError;
+pub use query::{QueryGraph, QueryOperand, QueryPredicate};

@@ -1,0 +1,883 @@
+//! Recursive-descent parser for the paper's surface syntax.
+//!
+//! Queries (openCypher-flavoured, as written throughout the paper):
+//!
+//! ```text
+//! MATCH c1-[r1:O]->a1-[r2:W]->a2, a1-[:DD]->a5
+//! WHERE c1.name = 'Alice', r2.currency = USD, r2.amt < r1.amt + 100
+//! ```
+//!
+//! Index DDL (§III):
+//!
+//! ```text
+//! RECONFIGURE PRIMARY INDEXES PARTITION BY eadj.label, eadj.currency SORT BY vnbr.city
+//! CREATE 1-HOP VIEW LargeUSDTrnx MATCH vs-[eadj]->vd
+//!   WHERE eadj.currency = USD, eadj.amt > 10000
+//!   INDEX AS FW-BW PARTITION BY eadj.label SORT BY vnbr.ID
+//! CREATE 2-HOP VIEW MoneyFlow MATCH vs-[eb]->vd-[eadj]->vnbr
+//!   WHERE eb.date < eadj.date, eadj.amt < eb.amt
+//!   INDEX AS PARTITION BY eadj.label SORT BY vnbr.city
+//! ```
+//!
+//! Vertices may be written bare (`a1`) or parenthesized (`(a1:Account)`);
+//! edges as `-[name:Label]->`, `-[:Label]->`, `-[name]->`, `-[]->`, or the
+//! reversed `<-[...]-`. `WHERE` conditions are separated by `,` or `AND`.
+
+use aplus_core::store::IndexDirections;
+use aplus_core::view::TwoHopOrientation;
+use aplus_core::CmpOp;
+
+use crate::ast::{
+    CondAst, EdgePatternAst, KeyAst, OperandAst, QueryAst, Statement, VertexPatternAst,
+};
+use crate::error::QueryError;
+
+/// Parses one statement.
+pub fn parse(input: &str) -> Result<Statement, QueryError> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.statement()?;
+    p.expect_eof()?;
+    Ok(stmt)
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Str(String),
+    // Punctuation / operators.
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,
+    Colon,
+    Dot,
+    Plus,
+    Dash,
+    Arrow,     // ->
+    BackArrow, // <-
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+}
+
+struct Lexed {
+    tok: Tok,
+    offset: usize,
+}
+
+fn tokenize(input: &str) -> Result<Vec<Lexed>, QueryError> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = i;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                i += 1;
+            }
+            '(' => {
+                out.push(Lexed { tok: Tok::LParen, offset: start });
+                i += 1;
+            }
+            ')' => {
+                out.push(Lexed { tok: Tok::RParen, offset: start });
+                i += 1;
+            }
+            '[' => {
+                out.push(Lexed { tok: Tok::LBracket, offset: start });
+                i += 1;
+            }
+            ']' => {
+                out.push(Lexed { tok: Tok::RBracket, offset: start });
+                i += 1;
+            }
+            ',' => {
+                out.push(Lexed { tok: Tok::Comma, offset: start });
+                i += 1;
+            }
+            ':' => {
+                out.push(Lexed { tok: Tok::Colon, offset: start });
+                i += 1;
+            }
+            '.' => {
+                out.push(Lexed { tok: Tok::Dot, offset: start });
+                i += 1;
+            }
+            '+' => {
+                out.push(Lexed { tok: Tok::Plus, offset: start });
+                i += 1;
+            }
+            '&' => {
+                // `&` / `&&` behave like the comma separator in WHERE.
+                out.push(Lexed { tok: Tok::Comma, offset: start });
+                i += 1;
+                if i < bytes.len() && bytes[i] == b'&' {
+                    i += 1;
+                }
+            }
+            '-' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    out.push(Lexed { tok: Tok::Arrow, offset: start });
+                    i += 2;
+                } else {
+                    out.push(Lexed { tok: Tok::Dash, offset: start });
+                    i += 1;
+                }
+            }
+            '<' => match bytes.get(i + 1) {
+                Some(&b'-') => {
+                    out.push(Lexed { tok: Tok::BackArrow, offset: start });
+                    i += 2;
+                }
+                Some(&b'=') => {
+                    out.push(Lexed { tok: Tok::Le, offset: start });
+                    i += 2;
+                }
+                Some(&b'>') => {
+                    out.push(Lexed { tok: Tok::Ne, offset: start });
+                    i += 2;
+                }
+                _ => {
+                    out.push(Lexed { tok: Tok::Lt, offset: start });
+                    i += 1;
+                }
+            },
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Lexed { tok: Tok::Ge, offset: start });
+                    i += 2;
+                } else {
+                    out.push(Lexed { tok: Tok::Gt, offset: start });
+                    i += 1;
+                }
+            }
+            '=' => {
+                out.push(Lexed { tok: Tok::Eq, offset: start });
+                i += 1;
+                if i < bytes.len() && bytes[i] == b'=' {
+                    i += 1; // accept `==` as `=`
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Lexed { tok: Tok::Ne, offset: start });
+                    i += 2;
+                } else {
+                    return Err(QueryError::Syntax {
+                        message: "unexpected '!'".into(),
+                        offset: start,
+                    });
+                }
+            }
+            '\'' | '"' => {
+                let quote = bytes[i];
+                i += 1;
+                let s0 = i;
+                while i < bytes.len() && bytes[i] != quote {
+                    i += 1;
+                }
+                if i >= bytes.len() {
+                    return Err(QueryError::Syntax {
+                        message: "unterminated string literal".into(),
+                        offset: start,
+                    });
+                }
+                out.push(Lexed {
+                    tok: Tok::Str(input[s0..i].to_owned()),
+                    offset: start,
+                });
+                i += 1;
+            }
+            '0'..='9' => {
+                let s0 = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let value: i64 = input[s0..i].parse().map_err(|_| QueryError::Syntax {
+                    message: "integer literal out of range".into(),
+                    offset: start,
+                })?;
+                out.push(Lexed {
+                    tok: Tok::Int(value),
+                    offset: start,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let s0 = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(Lexed {
+                    tok: Tok::Ident(input[s0..i].to_owned()),
+                    offset: start,
+                });
+            }
+            other => {
+                return Err(QueryError::Syntax {
+                    message: format!("unexpected character {other:?}"),
+                    offset: start,
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser {
+    tokens: Vec<Lexed>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|l| &l.tok)
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .map_or(usize::MAX, |l| l.offset)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.tokens.get(self.pos).map(|l| l.tok.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> QueryError {
+        QueryError::Syntax {
+            message: message.into(),
+            offset: self.offset(),
+        }
+    }
+
+    fn eat(&mut self, tok: &Tok) -> bool {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, tok: &Tok, what: &str) -> Result<(), QueryError> {
+        if self.eat(tok) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}")))
+        }
+    }
+
+    fn expect_eof(&self) -> Result<(), QueryError> {
+        if self.pos == self.tokens.len() {
+            Ok(())
+        } else {
+            Err(self.err("trailing input"))
+        }
+    }
+
+    fn keyword(&mut self, kw: &str) -> bool {
+        if let Some(Tok::Ident(s)) = self.peek() {
+            if s.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), QueryError> {
+        if self.keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected keyword {kw}")))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, QueryError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            _ => Err(self.err(format!("expected {what}"))),
+        }
+    }
+
+    // ----- statements ------------------------------------------------------
+
+    fn statement(&mut self) -> Result<Statement, QueryError> {
+        if self.keyword("MATCH") {
+            return Ok(Statement::Query(self.query_body()?));
+        }
+        if self.keyword("RECONFIGURE") {
+            self.expect_keyword("PRIMARY")?;
+            self.expect_keyword("INDEXES")?;
+            let (partition_by, sort_by) = self.partition_sort_clauses()?;
+            return Ok(Statement::ReconfigurePrimary {
+                partition_by,
+                sort_by,
+            });
+        }
+        if self.keyword("CREATE") {
+            // CREATE 1-HOP VIEW / CREATE 2-HOP VIEW
+            let hops = match self.next() {
+                Some(Tok::Int(1)) => 1,
+                Some(Tok::Int(2)) => 2,
+                _ => return Err(self.err("expected 1-HOP or 2-HOP after CREATE")),
+            };
+            self.expect(&Tok::Dash, "'-' in n-HOP")?;
+            self.expect_keyword("HOP")?;
+            self.expect_keyword("VIEW")?;
+            let name = self.ident("view name")?;
+            self.expect_keyword("MATCH")?;
+            if hops == 1 {
+                self.one_hop_pattern()?;
+                let wheres = if self.keyword("WHERE") {
+                    self.conditions()?
+                } else {
+                    Vec::new()
+                };
+                self.expect_keyword("INDEX")?;
+                self.expect_keyword("AS")?;
+                let directions = self.index_directions()?;
+                let (partition_by, sort_by) = self.partition_sort_clauses()?;
+                return Ok(Statement::CreateOneHop {
+                    name,
+                    wheres,
+                    directions,
+                    partition_by,
+                    sort_by,
+                });
+            }
+            let orientation = self.two_hop_pattern()?;
+            let wheres = if self.keyword("WHERE") {
+                self.conditions()?
+            } else {
+                Vec::new()
+            };
+            let (partition_by, sort_by) = if self.keyword("INDEX") {
+                self.expect_keyword("AS")?;
+                self.partition_sort_clauses()?
+            } else {
+                (Vec::new(), Vec::new())
+            };
+            return Ok(Statement::CreateTwoHop {
+                name,
+                orientation,
+                wheres,
+                partition_by,
+                sort_by,
+            });
+        }
+        Err(self.err("expected MATCH, RECONFIGURE or CREATE"))
+    }
+
+    fn query_body(&mut self) -> Result<QueryAst, QueryError> {
+        let mut edges = Vec::new();
+        loop {
+            self.pattern_chain(&mut edges)?;
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        let wheres = if self.keyword("WHERE") {
+            self.conditions()?
+        } else {
+            Vec::new()
+        };
+        // Optional `RETURN COUNT(*)` — results are always counts.
+        if self.keyword("RETURN") {
+            self.expect_keyword("COUNT")?;
+            self.expect(&Tok::LParen, "'('")?;
+            // `*` is tokenized as… nothing; accept an empty or star-free
+            // argument list written as `*`.
+            if let Some(Tok::Ident(s)) = self.peek() {
+                if s == "_" {
+                    self.pos += 1;
+                }
+            }
+            // Accept a literal `*` if present.
+            if self.peek().is_none() {
+                return Err(self.err("unterminated RETURN COUNT("));
+            }
+            // The lexer has no star token; skip a Dash-like star by
+            // accepting RParen directly or after one unknown ident.
+            self.expect(&Tok::RParen, "')'")?;
+        }
+        Ok(QueryAst { edges, wheres })
+    }
+
+    /// Parses `v1-[e:L]->v2<-[e2]-v3...` appending normalized edges.
+    fn pattern_chain(&mut self, edges: &mut Vec<EdgePatternAst>) -> Result<(), QueryError> {
+        let mut current = self.vertex_pattern()?;
+        loop {
+            match self.peek() {
+                Some(Tok::Dash) => {
+                    self.pos += 1;
+                    let (name, label) = self.edge_pattern_body()?;
+                    self.expect(&Tok::Arrow, "'->'")?;
+                    let dst = self.vertex_pattern()?;
+                    edges.push(EdgePatternAst {
+                        src: current.clone(),
+                        edge_name: name,
+                        edge_label: label,
+                        dst: dst.clone(),
+                    });
+                    current = dst;
+                }
+                Some(Tok::BackArrow) => {
+                    self.pos += 1;
+                    let (name, label) = self.edge_pattern_body()?;
+                    self.expect(&Tok::Dash, "'-'")?;
+                    let src = self.vertex_pattern()?;
+                    edges.push(EdgePatternAst {
+                        src: src.clone(),
+                        edge_name: name,
+                        edge_label: label,
+                        dst: current.clone(),
+                    });
+                    current = src;
+                }
+                _ => break,
+            }
+        }
+        Ok(())
+    }
+
+    fn vertex_pattern(&mut self) -> Result<VertexPatternAst, QueryError> {
+        let parenthesized = self.eat(&Tok::LParen);
+        let name = self.ident("vertex variable")?;
+        let label = if self.eat(&Tok::Colon) {
+            Some(self.ident("vertex label")?)
+        } else {
+            None
+        };
+        if parenthesized {
+            self.expect(&Tok::RParen, "')'")?;
+        }
+        Ok(VertexPatternAst { name, label })
+    }
+
+    /// Parses `[name:Label]`, `[:Label]`, `[name]`, `[]` (between dashes).
+    fn edge_pattern_body(&mut self) -> Result<(Option<String>, Option<String>), QueryError> {
+        self.expect(&Tok::LBracket, "'['")?;
+        let mut name = None;
+        let mut label = None;
+        if let Some(Tok::Ident(_)) = self.peek() {
+            name = Some(self.ident("edge variable")?);
+        }
+        if self.eat(&Tok::Colon) {
+            if let Some(Tok::Ident(_)) = self.peek() {
+                label = Some(self.ident("edge label")?);
+            }
+        }
+        self.expect(&Tok::RBracket, "']'")?;
+        Ok((name, label))
+    }
+
+    fn conditions(&mut self) -> Result<Vec<CondAst>, QueryError> {
+        let mut out = Vec::new();
+        loop {
+            out.push(self.condition()?);
+            if self.eat(&Tok::Comma) || self.keyword("AND") {
+                continue;
+            }
+            break;
+        }
+        Ok(out)
+    }
+
+    fn condition(&mut self) -> Result<CondAst, QueryError> {
+        let lhs = self.operand()?;
+        let op = match self.next() {
+            Some(Tok::Eq) => CmpOp::Eq,
+            Some(Tok::Ne) => CmpOp::Ne,
+            Some(Tok::Lt) => CmpOp::Lt,
+            Some(Tok::Le) => CmpOp::Le,
+            Some(Tok::Gt) => CmpOp::Gt,
+            Some(Tok::Ge) => CmpOp::Ge,
+            _ => return Err(self.err("expected comparison operator")),
+        };
+        let rhs = self.operand()?;
+        let mut rhs_add = 0i64;
+        if self.eat(&Tok::Plus) {
+            match self.next() {
+                Some(Tok::Int(v)) => rhs_add = v,
+                _ => return Err(self.err("expected integer after '+'")),
+            }
+        } else if self.eat(&Tok::Dash) {
+            match self.next() {
+                Some(Tok::Int(v)) => rhs_add = -v,
+                _ => return Err(self.err("expected integer after '-'")),
+            }
+        }
+        Ok(CondAst {
+            lhs,
+            op,
+            rhs,
+            rhs_add,
+        })
+    }
+
+    fn operand(&mut self) -> Result<OperandAst, QueryError> {
+        match self.next() {
+            Some(Tok::Int(v)) => Ok(OperandAst::Int(v)),
+            Some(Tok::Dash) => match self.next() {
+                Some(Tok::Int(v)) => Ok(OperandAst::Int(-v)),
+                _ => Err(self.err("expected integer after '-'")),
+            },
+            Some(Tok::Str(s)) => Ok(OperandAst::Str(s)),
+            Some(Tok::Ident(var)) => {
+                if self.eat(&Tok::Dot) {
+                    let prop = self.ident("property name")?;
+                    Ok(OperandAst::Prop(var, prop))
+                } else {
+                    // Bare identifier: a constant like `USD` or `CQ`.
+                    Ok(OperandAst::Str(var))
+                }
+            }
+            _ => Err(self.err("expected operand")),
+        }
+    }
+
+    fn index_directions(&mut self) -> Result<IndexDirections, QueryError> {
+        // FW | BW | FW-BW
+        let first = self.ident("FW or BW")?;
+        if first.eq_ignore_ascii_case("FW") {
+            if self.eat(&Tok::Dash) {
+                let second = self.ident("BW")?;
+                if second.eq_ignore_ascii_case("BW") {
+                    return Ok(IndexDirections::FwBw);
+                }
+                return Err(self.err("expected BW after FW-"));
+            }
+            return Ok(IndexDirections::Fw);
+        }
+        if first.eq_ignore_ascii_case("BW") {
+            return Ok(IndexDirections::Bw);
+        }
+        Err(self.err("expected FW, BW or FW-BW"))
+    }
+
+    fn partition_sort_clauses(&mut self) -> Result<(Vec<KeyAst>, Vec<KeyAst>), QueryError> {
+        let mut partition_by = Vec::new();
+        let mut sort_by = Vec::new();
+        if self.keyword("PARTITION") || self.keyword("PARTITON") {
+            // (The paper's Example 4 itself typos PARTITON; accept both.)
+            self.expect_keyword("BY")?;
+            partition_by = self.key_list()?;
+        }
+        if self.keyword("SORT") {
+            self.expect_keyword("BY")?;
+            sort_by = self.key_list()?;
+        }
+        Ok((partition_by, sort_by))
+    }
+
+    fn key_list(&mut self) -> Result<Vec<KeyAst>, QueryError> {
+        let mut out = Vec::new();
+        loop {
+            let entity = self.ident("eadj or vnbr")?;
+            self.expect(&Tok::Dot, "'.'")?;
+            let field = self.ident("key field")?;
+            let key = match (entity.as_str(), field.as_str()) {
+                ("eadj", f) if f.eq_ignore_ascii_case("label") => KeyAst::EdgeLabel,
+                ("vnbr", f) if f.eq_ignore_ascii_case("label") => KeyAst::NbrLabel,
+                ("vnbr", f) if f.eq_ignore_ascii_case("id") => KeyAst::NbrId,
+                ("eadj", _) => KeyAst::EdgeProp(field),
+                ("vnbr", _) => KeyAst::NbrProp(field),
+                _ => {
+                    return Err(self.err("keys must be eadj.* or vnbr.*"));
+                }
+            };
+            out.push(key);
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    /// `vs-[eadj]->vd` (variable names fixed by the DDL grammar).
+    fn one_hop_pattern(&mut self) -> Result<(), QueryError> {
+        let v1 = self.ident("vs")?;
+        self.expect(&Tok::Dash, "'-'")?;
+        self.expect(&Tok::LBracket, "'['")?;
+        let e = self.ident("eadj")?;
+        self.expect(&Tok::RBracket, "']'")?;
+        self.expect(&Tok::Arrow, "'->'")?;
+        let v2 = self.ident("vd")?;
+        if v1 != "vs" || e != "eadj" || v2 != "vd" {
+            return Err(self.err("1-hop view pattern must be vs-[eadj]->vd"));
+        }
+        Ok(())
+    }
+
+    /// One of the four 2-hop patterns; the position and direction of `eb`
+    /// determine the orientation (§III-B2).
+    fn two_hop_pattern(&mut self) -> Result<TwoHopOrientation, QueryError> {
+        // Parse a 3-vertex chain with directions.
+        let first = self.ident("vertex")?;
+        let (e1, d1) = self.chain_edge()?;
+        let middle = self.ident("vertex")?;
+        let (e2, d2) = self.chain_edge()?;
+        let last = self.ident("vertex")?;
+        // d = true means left-to-right (`-[e]->`), false means `<-[e]-`.
+        let shape = (
+            first.as_str(),
+            e1.as_str(),
+            d1,
+            middle.as_str(),
+            e2.as_str(),
+            d2,
+            last.as_str(),
+        );
+        match shape {
+            ("vs", "eb", true, "vd", "eadj", true, "vnbr") => Ok(TwoHopOrientation::DestFw),
+            ("vs", "eb", true, "vd", "eadj", false, "vnbr") => Ok(TwoHopOrientation::DestBw),
+            ("vnbr", "eadj", true, "vs", "eb", true, "vd") => Ok(TwoHopOrientation::SrcFw),
+            ("vnbr", "eadj", false, "vs", "eb", true, "vd") => Ok(TwoHopOrientation::SrcBw),
+            _ => Err(self.err(
+                "2-hop view pattern must chain vs, vd, vnbr with eb and eadj \
+                 (e.g. vs-[eb]->vd-[eadj]->vnbr)",
+            )),
+        }
+    }
+
+    /// Parses `-[name]->` or `<-[name]-`, returning `(name, left_to_right)`.
+    fn chain_edge(&mut self) -> Result<(String, bool), QueryError> {
+        if self.eat(&Tok::Dash) {
+            self.expect(&Tok::LBracket, "'['")?;
+            let name = self.ident("edge variable")?;
+            self.expect(&Tok::RBracket, "']'")?;
+            self.expect(&Tok::Arrow, "'->'")?;
+            Ok((name, true))
+        } else if self.eat(&Tok::BackArrow) {
+            self.expect(&Tok::LBracket, "'['")?;
+            let name = self.ident("edge variable")?;
+            self.expect(&Tok::RBracket, "']'")?;
+            self.expect(&Tok::Dash, "'-'")?;
+            Ok((name, false))
+        } else {
+            Err(self.err("expected edge connector"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_query(q: &str) -> QueryAst {
+        match parse(q).unwrap() {
+            Statement::Query(q) => q,
+            other => panic!("expected query, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn example1_two_hop() {
+        // Example 1 from the paper (with quotes around Alice).
+        let q = parse_query("MATCH c1-[r1]->a1-[r2]->a2 WHERE c1.name = 'Alice'");
+        assert_eq!(q.edges.len(), 2);
+        assert_eq!(q.edges[0].src.name, "c1");
+        assert_eq!(q.edges[0].dst.name, "a1");
+        assert_eq!(q.edges[1].src.name, "a1");
+        assert_eq!(q.wheres.len(), 1);
+    }
+
+    #[test]
+    fn example2_labels() {
+        let q = parse_query("MATCH c1-[r1:O]->a1-[r2:W]->a2 WHERE c1.name = 'Alice'");
+        assert_eq!(q.edges[0].edge_label.as_deref(), Some("O"));
+        assert_eq!(q.edges[1].edge_label.as_deref(), Some("W"));
+        assert_eq!(q.edges[0].edge_name.as_deref(), Some("r1"));
+    }
+
+    #[test]
+    fn example3_cyclic() {
+        let q = parse_query(
+            "MATCH a1-[r1:W]->a2-[r2:W]->a3, a3-[r3:W]->a1 WHERE a1.ID = 0",
+        );
+        assert_eq!(q.edges.len(), 3);
+        assert_eq!(q.edges[2].src.name, "a3");
+        assert_eq!(q.edges[2].dst.name, "a1");
+    }
+
+    #[test]
+    fn anonymous_and_reverse_edges() {
+        let q = parse_query("MATCH a-[]->b<-[:W]-c");
+        assert_eq!(q.edges.len(), 2);
+        assert_eq!(q.edges[0].edge_name, None);
+        // Reverse connector normalizes to c -> b.
+        assert_eq!(q.edges[1].src.name, "c");
+        assert_eq!(q.edges[1].dst.name, "b");
+        assert_eq!(q.edges[1].edge_label.as_deref(), Some("W"));
+    }
+
+    #[test]
+    fn parenthesized_vertices_with_labels() {
+        let q = parse_query("MATCH (c:Customer)-[r:O]->(a:Account)");
+        assert_eq!(q.edges[0].src.label.as_deref(), Some("Customer"));
+        assert_eq!(q.edges[0].dst.label.as_deref(), Some("Account"));
+    }
+
+    #[test]
+    fn additive_predicate() {
+        let q = parse_query("MATCH a-[e1]->b-[e2]->c WHERE e2.amt < e1.amt + 100");
+        assert_eq!(q.wheres[0].rhs_add, 100);
+        assert_eq!(q.wheres[0].op, CmpOp::Lt);
+    }
+
+    #[test]
+    fn bare_identifier_constant() {
+        let q = parse_query("MATCH a-[r]->b WHERE r.currency = USD AND a.acc = CQ");
+        assert_eq!(q.wheres.len(), 2);
+        assert_eq!(q.wheres[0].rhs, OperandAst::Str("USD".into()));
+        assert_eq!(q.wheres[1].rhs, OperandAst::Str("CQ".into()));
+    }
+
+    #[test]
+    fn reconfigure_statement() {
+        // Example 4's command (including the paper's own `PARTITON` typo).
+        let s = parse(
+            "RECONFIGURE PRIMARY INDEXES PARTITON BY eadj.label, eadj.currency SORT BY vnbr.city",
+        )
+        .unwrap();
+        match s {
+            Statement::ReconfigurePrimary {
+                partition_by,
+                sort_by,
+            } => {
+                assert_eq!(
+                    partition_by,
+                    vec![KeyAst::EdgeLabel, KeyAst::EdgeProp("currency".into())]
+                );
+                assert_eq!(sort_by, vec![KeyAst::NbrProp("city".into())]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn create_one_hop_statement() {
+        // Example 6: LargeUSDTrnx.
+        let s = parse(
+            "CREATE 1-HOP VIEW LargeUSDTrnx \
+             MATCH vs-[eadj]->vd \
+             WHERE eadj.currency = USD, eadj.amt > 10000 \
+             INDEX AS FW-BW \
+             PARTITION BY eadj.label SORT BY vnbr.ID",
+        )
+        .unwrap();
+        match s {
+            Statement::CreateOneHop {
+                name,
+                wheres,
+                directions,
+                partition_by,
+                sort_by,
+            } => {
+                assert_eq!(name, "LargeUSDTrnx");
+                assert_eq!(wheres.len(), 2);
+                assert_eq!(directions, IndexDirections::FwBw);
+                assert_eq!(partition_by, vec![KeyAst::EdgeLabel]);
+                assert_eq!(sort_by, vec![KeyAst::NbrId]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn create_two_hop_statement_orientations() {
+        // The MoneyFlow view of §III-B2 (Destination-FW).
+        let s = parse(
+            "CREATE 2-HOP VIEW MoneyFlow \
+             MATCH vs-[eb]->vd-[eadj]->vnbr \
+             WHERE eb.date < eadj.date, eadj.amt < eb.amt \
+             INDEX AS PARTITION BY eadj.label SORT BY vnbr.city",
+        )
+        .unwrap();
+        match s {
+            Statement::CreateTwoHop { orientation, .. } => {
+                assert_eq!(orientation, TwoHopOrientation::DestFw);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let s = parse(
+            "CREATE 2-HOP VIEW X MATCH vs-[eb]->vd<-[eadj]-vnbr WHERE eb.date < eadj.date",
+        )
+        .unwrap();
+        assert!(matches!(
+            s,
+            Statement::CreateTwoHop {
+                orientation: TwoHopOrientation::DestBw,
+                ..
+            }
+        ));
+        let s = parse(
+            "CREATE 2-HOP VIEW Y MATCH vnbr-[eadj]->vs-[eb]->vd WHERE eb.date < eadj.date",
+        )
+        .unwrap();
+        assert!(matches!(
+            s,
+            Statement::CreateTwoHop {
+                orientation: TwoHopOrientation::SrcFw,
+                ..
+            }
+        ));
+        let s = parse(
+            "CREATE 2-HOP VIEW Z MATCH vnbr<-[eadj]-vs-[eb]->vd WHERE eb.date < eadj.date",
+        )
+        .unwrap();
+        assert!(matches!(
+            s,
+            Statement::CreateTwoHop {
+                orientation: TwoHopOrientation::SrcBw,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn syntax_errors_carry_offsets() {
+        let err = parse("MATCH a-[r]->").unwrap_err();
+        assert!(matches!(err, QueryError::Syntax { .. }));
+        let err = parse("BOGUS things").unwrap_err();
+        assert!(matches!(err, QueryError::Syntax { offset: 0, .. }));
+        let err = parse("MATCH a-[r]->b WHERE a.x @ 1");
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn unterminated_string() {
+        assert!(matches!(
+            parse("MATCH a-[r]->b WHERE a.name = 'oops"),
+            Err(QueryError::Syntax { .. })
+        ));
+    }
+
+    #[test]
+    fn ampersand_separators() {
+        let q = parse_query("MATCH a-[e1]->b-[e2]->c WHERE e1.date < e2.date & e2.amt < 10");
+        assert_eq!(q.wheres.len(), 2);
+    }
+}

@@ -1,0 +1,55 @@
+//! # A+ Indexes
+//!
+//! A from-scratch Rust implementation of **"A+ Indexes: Tunable and
+//! Space-Efficient Adjacency Lists in Graph Database Management Systems"**
+//! (Mhedhbi, Gupta, Khaliq, Salihoglu — ICDE 2021), including the
+//! in-memory property-graph substrate, the tunable primary adjacency-list
+//! indexes, secondary vertex- and edge-partitioned indexes stored as offset
+//! lists, and a GraphflowDB-style query processor (E/I + MULTI-EXTEND
+//! operators, DP optimizer with i-cost).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use aplus::Database;
+//! use aplus::datagen::build_financial_graph;
+//!
+//! // The paper's Figure-1 financial graph.
+//! let mut db = Database::new(build_financial_graph().graph).unwrap();
+//!
+//! // Example 2: wires sent from accounts Alice owns.
+//! let n = db
+//!     .count("MATCH c1-[r1:O]->a1-[r2:W]->a2 WHERE c1.name = 'Alice'")
+//!     .unwrap();
+//! assert_eq!(n, 4);
+//!
+//! // Example 4's reconfiguration: add currency partitioning.
+//! db.ddl("RECONFIGURE PRIMARY INDEXES PARTITION BY eadj.label, eadj.currency SORT BY vnbr.ID")
+//!     .unwrap();
+//! let usd = db
+//!     .count("MATCH c1-[r1:O]->a1-[r2:W]->a2 WHERE c1.name = 'Alice', r2.currency = USD")
+//!     .unwrap();
+//! assert_eq!(usd, 2);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Crate | Contents |
+//! |-------|----------|
+//! | [`common`] | IDs, FxHash, bitmaps, packed offset arrays |
+//! | [`graph`] | Property-graph store: catalog, columns, loader |
+//! | [`datagen`] | Synthetic datasets + the Figure-1 running example |
+//! | [`core`] | The A+ index subsystem (primary, VP, EP, offset lists) |
+//! | [`query`] | Parser, DP optimizer, E/I + MULTI-EXTEND executor |
+//! | [`baseline`] | Fixed-index engines for the Table-V comparison |
+
+pub use aplus_baseline as baseline;
+pub use aplus_common as common;
+pub use aplus_core as core;
+pub use aplus_datagen as datagen;
+pub use aplus_graph as graph;
+pub use aplus_query as query;
+
+pub use aplus_core::{Direction, IndexSpec, IndexStore, PartitionKey, SortKey};
+pub use aplus_graph::{Graph, GraphBuilder, Value};
+pub use aplus_query::{Database, QueryError};

@@ -1,0 +1,182 @@
+//! Randomized cross-validation: every index configuration, the fixed-index
+//! baselines, and a brute-force matcher must agree on all counts; and an
+//! incrementally-maintained store must answer exactly like one rebuilt
+//! from scratch.
+
+use aplus::baseline::{Baseline, BaselineKind};
+use aplus::datagen::properties::add_fraud_properties;
+use aplus::datagen::{generate, GeneratorConfig};
+use aplus::{Database, Value};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+fn fraud_graph(vertices: usize, edges: usize, seed: u64) -> aplus::Graph {
+    let mut g = generate(&GeneratorConfig::social(vertices, edges, 2, 2).with_seed(seed));
+    add_fraud_properties(&mut g, seed ^ 0xF00D);
+    g
+}
+
+const QUERIES: &[&str] = &[
+    "MATCH a-[r:E0]->b",
+    "MATCH (a:V0)-[r:E0]->(b:V1)-[s:E1]->(c:V0)",
+    "MATCH a-[r:E0]->b-[s:E0]->c-[t:E0]->a",
+    "MATCH a-[r]->b-[s]->c WHERE r.amt > s.amt",
+    "MATCH a-[r]->b, a-[s]->c WHERE b.city = c.city",
+    "MATCH a-[r]->b-[s]->c WHERE a.acc = CQ, c.acc = SV, r.date < s.date",
+    "MATCH a-[r:E1]->b<-[s:E1]-c, a-[t:E0]->c",
+];
+
+/// Each index configuration is a pure access-path change: counts must not
+/// move under reconfiguration or secondary index creation.
+#[test]
+fn configurations_never_change_results() {
+    for seed in [1u64, 2, 3] {
+        let g = fraud_graph(90, 640, seed);
+        let mut db = Database::new(g).unwrap();
+        let reference: Vec<u64> = QUERIES.iter().map(|q| db.count(q).unwrap()).collect();
+
+        let ddls = [
+            "RECONFIGURE PRIMARY INDEXES PARTITION BY eadj.label SORT BY vnbr.label, vnbr.ID",
+            "RECONFIGURE PRIMARY INDEXES PARTITION BY eadj.label, vnbr.label SORT BY vnbr.ID",
+            "RECONFIGURE PRIMARY INDEXES PARTITION BY eadj.label, vnbr.acc SORT BY vnbr.city",
+            "RECONFIGURE PRIMARY INDEXES SORT BY eadj.date",
+            "RECONFIGURE PRIMARY INDEXES PARTITION BY eadj.label SORT BY vnbr.ID",
+        ];
+        for ddl in ddls {
+            db.ddl(ddl).unwrap();
+            let counts: Vec<u64> = QUERIES.iter().map(|q| db.count(q).unwrap()).collect();
+            assert_eq!(counts, reference, "seed {seed}, after {ddl}");
+        }
+
+        db.ddl(
+            "CREATE 1-HOP VIEW VPcity MATCH vs-[eadj]->vd \
+             INDEX AS FW-BW PARTITION BY eadj.label SORT BY vnbr.city",
+        )
+        .unwrap();
+        db.ddl(
+            "CREATE 1-HOP VIEW BigAmt MATCH vs-[eadj]->vd WHERE eadj.amt > 500 \
+             INDEX AS FW SORT BY vnbr.ID",
+        )
+        .unwrap();
+        db.ddl(
+            "CREATE 2-HOP VIEW Flow MATCH vs-[eb]->vd-[eadj]->vnbr \
+             WHERE eb.date < eadj.date, eadj.amt < eb.amt \
+             INDEX AS PARTITION BY eadj.label SORT BY vnbr.city",
+        )
+        .unwrap();
+        let counts: Vec<u64> = QUERIES.iter().map(|q| db.count(q).unwrap()).collect();
+        assert_eq!(counts, reference, "seed {seed}, with secondary indexes");
+    }
+}
+
+/// The A+ engine, both baselines, and brute force agree.
+#[test]
+fn engines_agree_with_brute_force() {
+    let g = fraud_graph(70, 420, 9);
+    let db = Database::new(g).unwrap();
+    let n4 = Baseline::build(db.graph(), BaselineKind::Neo4jLike);
+    let tg = Baseline::build(db.graph(), BaselineKind::TigerGraphLike);
+    for q in QUERIES {
+        let (bound, _) = db.prepare(q).unwrap();
+        let a = db.count(q).unwrap();
+        assert_eq!(n4.count(db.graph(), &bound), a, "N4 vs A+ on {q}");
+        assert_eq!(tg.count(db.graph(), &bound), a, "TG vs A+ on {q}");
+    }
+    // Brute-force a representative 2-edge query.
+    let q = "MATCH a-[r]->b-[s]->c WHERE r.amt > s.amt";
+    let g = db.graph();
+    let amt = g
+        .catalog()
+        .property(aplus::graph::PropertyEntity::Edge, "amt")
+        .unwrap();
+    let edges: Vec<_> = g.edges().collect();
+    let mut brute = 0u64;
+    for &(e1, _, b, _) in &edges {
+        for &(e2, b2, _, _) in &edges {
+            if b2 != b || e2 == e1 {
+                continue;
+            }
+            if g.edge_prop(e1, amt).unwrap() > g.edge_prop(e2, amt).unwrap() {
+                brute += 1;
+            }
+        }
+    }
+    assert_eq!(db.count(q).unwrap(), brute);
+}
+
+/// Incremental maintenance equivalence: a store maintained through a
+/// random insert/delete stream answers exactly like a store rebuilt from
+/// the final graph.
+#[test]
+fn maintenance_equals_rebuild() {
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    let g = fraud_graph(60, 300, 4);
+    let mut db = Database::new(g).unwrap();
+    db.ddl(
+        "CREATE 1-HOP VIEW VPcity MATCH vs-[eadj]->vd \
+         INDEX AS FW-BW PARTITION BY eadj.label SORT BY vnbr.city",
+    )
+    .unwrap();
+    db.ddl(
+        "CREATE 2-HOP VIEW Flow MATCH vs-[eb]->vd-[eadj]->vnbr \
+         WHERE eb.date < eadj.date, eadj.amt < eb.amt \
+         INDEX AS PARTITION BY eadj.label SORT BY vnbr.city",
+    )
+    .unwrap();
+
+    // Random mutation stream: 220 inserts, 60 deletes of random live edges.
+    let n = db.graph().vertex_count() as u32;
+    let mut live: Vec<aplus::common::EdgeId> = db.graph().edges().map(|(e, ..)| e).collect();
+    for i in 0..280 {
+        if i % 5 == 4 && !live.is_empty() {
+            let idx = rng.gen_range(0..live.len());
+            let victim = live.swap_remove(idx);
+            db.delete_edge(victim).unwrap();
+        } else {
+            let s = aplus::common::VertexId(rng.gen_range(0..n));
+            let d = aplus::common::VertexId(rng.gen_range(0..n));
+            let label = if rng.gen_bool(0.5) { "E0" } else { "E1" };
+            let e = db
+                .insert_edge(
+                    s,
+                    d,
+                    label,
+                    &[
+                        ("amt", Value::Int(rng.gen_range(1..=1000))),
+                        ("date", Value::Int(rng.gen_range(0..1825))),
+                    ],
+                )
+                .unwrap();
+            live.push(e);
+        }
+    }
+
+    // Rebuild a fresh database over the mutated graph.
+    let mut fresh = Database::new(db.graph().clone()).unwrap();
+    fresh
+        .ddl(
+            "CREATE 1-HOP VIEW VPcity MATCH vs-[eadj]->vd \
+             INDEX AS FW-BW PARTITION BY eadj.label SORT BY vnbr.city",
+        )
+        .unwrap();
+    fresh
+        .ddl(
+            "CREATE 2-HOP VIEW Flow MATCH vs-[eb]->vd-[eadj]->vnbr \
+             WHERE eb.date < eadj.date, eadj.amt < eb.amt \
+             INDEX AS PARTITION BY eadj.label SORT BY vnbr.city",
+        )
+        .unwrap();
+
+    for q in QUERIES {
+        assert_eq!(
+            db.count(q).unwrap(),
+            fresh.count(q).unwrap(),
+            "maintained vs rebuilt on {q}"
+        );
+    }
+    // And again after forcing all buffers to merge.
+    db.flush();
+    for q in QUERIES {
+        assert_eq!(db.count(q).unwrap(), fresh.count(q).unwrap(), "post-flush {q}");
+    }
+}

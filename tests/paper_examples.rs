@@ -1,0 +1,189 @@
+//! End-to-end reproduction of every in-text example of the paper on the
+//! Figure-1 financial graph (E7/E8/E12 in DESIGN.md).
+
+use aplus::datagen::build_financial_graph;
+use aplus::{Database, Direction};
+
+fn db() -> Database {
+    Database::new(build_financial_graph().graph).unwrap()
+}
+
+/// Example 1: the plain 2-hop query from Alice.
+#[test]
+fn example1_two_hop_from_alice() {
+    let db = db();
+    let n = db
+        .count("MATCH c1-[r1]->a1-[r2]->a2 WHERE c1.name = 'Alice'")
+        .unwrap();
+    // Alice owns v1 (5 out-edges) and v2 (3 out-edges).
+    assert_eq!(n, 8);
+}
+
+/// Example 2: label-partitioned access, no predicates at runtime.
+#[test]
+fn example2_owns_then_wire() {
+    let db = db();
+    let q = "MATCH c1-[r1:O]->a1-[r2:W]->a2 WHERE c1.name = 'Alice'";
+    let (_, plan) = db.prepare(q).unwrap();
+    let rendered = plan.to_string();
+    // Both extensions must use label-pinned primary prefixes, so no FILTER
+    // operators appear for the label predicates.
+    assert!(!rendered.contains("Filter"), "{rendered}");
+    assert_eq!(db.count(q).unwrap(), 4);
+}
+
+/// Example 3: cyclic wire transfers via sorted intersections.
+#[test]
+fn example3_cyclic_wires() {
+    let db = db();
+    let q = "MATCH a1-[r1:W]->a2-[r2:W]->a3, a3-[r3:W]->a1 WHERE a1.ID = 0";
+    // v1 -W-> a2 -W-> a3 -W-> v1: t4 (v1->v3)? v3's wires: t14 (v3->v1) ✓
+    // closes only with a2=v3? enumerate by hand: v1 wires out: t4->v3,
+    // t17->v2, t20->v4. From v3: t14->v1, t8? no t8 is v2->v3. v3 out
+    // wires: t14(->v1). Then a3=v1? a3-W->a1 requires a3->v1... a2=v3,
+    // a3 must satisfy v3-W->a3 and a3-W->v1: a3 after t14 is v1, then
+    // v1-W->v1 none. Hmm — count computed by engine, cross-checked against
+    // the brute force below.
+    let engine = db.count(q).unwrap();
+    let g = db.graph();
+    let wire = g.catalog().edge_label("W").unwrap();
+    let edges: Vec<_> = g.edges().filter(|&(_, _, _, l)| l == wire).collect();
+    let mut brute = 0u64;
+    for &(e1, a, b, _) in &edges {
+        if a.raw() != 0 {
+            continue;
+        }
+        for &(e2, b2, c2, _) in &edges {
+            if b2 != b || e2 == e1 {
+                continue;
+            }
+            for &(e3, c3, a3, _) in &edges {
+                if c3 == c2 && a3 == a && e3 != e1 && e3 != e2 {
+                    brute += 1;
+                }
+            }
+        }
+    }
+    assert_eq!(engine, brute);
+}
+
+/// Example 4: currency reconfiguration gives constant-time USD access.
+#[test]
+fn example4_currency_partitioning() {
+    let mut db = db();
+    let q = "MATCH c1-[r1:O]->a1-[r2:W]->a2 \
+             WHERE c1.name = 'Alice', r2.currency = USD";
+    let before = db.count(q).unwrap();
+    db.ddl(
+        "RECONFIGURE PRIMARY INDEXES \
+         PARTITION BY eadj.label, eadj.currency SORT BY vnbr.ID",
+    )
+    .unwrap();
+    let (_, plan) = db.prepare(q).unwrap();
+    let rendered = plan.to_string();
+    // The currency predicate is now a partition prefix, not a filter.
+    assert!(!rendered.contains("Filter"), "{rendered}");
+    assert_eq!(db.count(q).unwrap(), before);
+    assert_eq!(before, 2); // t20 (USD) from v1, t8 (USD) from v2.
+}
+
+/// Example 5: city-sorted lists let one MULTI-EXTEND bind several sinks.
+#[test]
+fn example5_city_sorted_tree() {
+    let mut db = db();
+    // Sort (not partition) the primary lists by city — pure
+    // reconfiguration, no secondary index.
+    db.ddl("RECONFIGURE PRIMARY INDEXES PARTITION BY eadj.label SORT BY vnbr.city")
+        .unwrap();
+    // Simplified 2-branch variant of Example 5 anchored at v5 (ID 4):
+    // two wires to sinks in the same city.
+    let q = "MATCH a1-[r1:W]->a2, a1-[r2:W]->a3 \
+             WHERE a1.ID = 4, a2.city = a3.city";
+    let (_, plan) = db.prepare(q).unwrap();
+    assert!(plan.uses_multi_extend(), "{plan}");
+    // v5's wires: t5(->v2, SF), t9(->v3, BOS), t19(->v4, BOS).
+    // Same-city ordered pairs: (t9,t19), (t19,t9) => 2.
+    assert_eq!(db.count(q).unwrap(), 2);
+}
+
+/// Example 6: the LargeUSDTrnx 1-hop view with range subsumption.
+#[test]
+fn example6_large_usd_view() {
+    let mut db = db();
+    db.ddl(
+        "CREATE 1-HOP VIEW LargeUSDTrnx \
+         MATCH vs-[eadj]->vd \
+         WHERE eadj.currency = USD, eadj.amt > 60 \
+         INDEX AS FW-BW PARTITION BY eadj.label SORT BY vnbr.ID",
+    )
+    .unwrap();
+    // Query asks amt > 70: stricter than the view's 60 -> range
+    // subsumption applies, index usable, residual filter re-checks 70.
+    let q = "MATCH a-[r:DD]->b WHERE r.currency = USD, r.amt > 70";
+    let (_, plan) = db.prepare(q).unwrap();
+    assert!(plan.uses_index("LargeUSDTrnx"), "{plan}");
+    // DD+USD with amt>70: t3 (200), t7 (75), t10 (80), t16 (195).
+    assert_eq!(db.count(q).unwrap(), 4);
+
+    // A *looser* query (amt > 50) must NOT use the view (it would miss
+    // edges with 50 < amt <= 60).
+    let loose = "MATCH a-[r:DD]->b WHERE r.currency = USD, r.amt > 50";
+    let (_, plan) = db.prepare(loose).unwrap();
+    assert!(!plan.uses_index("LargeUSDTrnx"), "{plan}");
+    // Adds t6 (70) and t12? t12 amt 50 is not > 50. t6=70>50 ✓ => 5.
+    assert_eq!(db.count(loose).unwrap(), 5);
+}
+
+/// Example 7 + Figure 3b: the MoneyFlow edge-partitioned index.
+#[test]
+fn example7_money_flow() {
+    let mut db = db();
+    db.ddl(
+        "CREATE 2-HOP VIEW MoneyFlow \
+         MATCH vs-[eb]->vd-[eadj]->vnbr \
+         WHERE eb.date < eadj.date, eadj.amt < eb.amt \
+         INDEX AS PARTITION BY eadj.label SORT BY vnbr.city",
+    )
+    .unwrap();
+    // t13 has raw edge ID 17 (owns edges take 0..5).
+    let q = "MATCH a1-[r1]->a2-[r2]->a3 \
+             WHERE r1.eID = 17, r1.date < r2.date, r2.amt < r1.amt";
+    let (_, plan) = db.prepare(q).unwrap();
+    assert!(plan.uses_edge_partitioned_index(), "{plan}");
+    // "It only scans t13's list which contains a single edge t19."
+    assert_eq!(db.count(q).unwrap(), 1);
+    let rows = db.collect(q, 10).unwrap();
+    // r2 must be t19 = raw 4 + 19 = 23.
+    assert_eq!(rows[0].1[1], 23);
+}
+
+/// §III-B2's redundancy rule: a 2-hop view whose predicate touches only
+/// one edge is rejected.
+#[test]
+fn redundant_two_hop_view_rejected() {
+    let mut db = db();
+    let err = db
+        .ddl(
+            "CREATE 2-HOP VIEW Redundant \
+             MATCH vs-[eb]->vd-[eadj]->vnbr WHERE eadj.amt < 10000",
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("eb and eadj"), "{err}");
+}
+
+/// The primary pair always exists in both directions, and the backward
+/// index answers reverse traversals (Figure 2's backward lists).
+#[test]
+fn backward_primary_lists() {
+    let db = db();
+    // Who transferred into v2? t5, t6, t15, t17.
+    let n = db.count("MATCH a-[r:W]->b WHERE b.ID = 1").unwrap()
+        + db.count("MATCH a-[r:DD]->b WHERE b.ID = 1").unwrap();
+    assert_eq!(n, 4);
+    // The store exposes both directional primaries.
+    let store = db.store();
+    assert_eq!(
+        store.primary().index(Direction::Fwd).spec(),
+        store.primary().index(Direction::Bwd).spec()
+    );
+}
