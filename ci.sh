@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Local CI gate for the A+ Indexes workspace. Mirrors
+# .github/workflows/ci.yml; run before pushing.
+#
+# Everything here must pass offline — the workspace has no registry
+# dependencies (see vendor/ and the root Cargo.toml header).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+run() {
+    echo
+    echo "==> $*"
+    "$@"
+}
+
+run cargo fmt --all --check
+# Lint baseline: the whole workspace (vendor stubs included) is clippy-clean
+# with warnings promoted to errors. Keep it that way; allow specific lints
+# inline with a justification instead of loosening this gate.
+run cargo clippy --workspace --all-targets -- -D warnings
+run cargo build --release
+# Superset of the tier-1 `cargo test -q`: includes doctests and the
+# vendor stubs' self-tests.
+run cargo test --workspace -q
+run env RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+echo
+echo "CI gate passed."

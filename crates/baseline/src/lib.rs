@@ -309,7 +309,16 @@ impl Baseline {
             // All edges of this extension bound: evaluate predicates that
             // just became evaluable.
             if self.preds_hold(graph, query, row, mask, bound_edges) {
-                self.extend(graph, query, order, depth + 1, mask, bound_edges, row, on_row);
+                self.extend(
+                    graph,
+                    query,
+                    order,
+                    depth + 1,
+                    mask,
+                    bound_edges,
+                    row,
+                    on_row,
+                );
             }
             return;
         };

@@ -34,7 +34,10 @@ fn bench_table2(c: &mut Criterion) {
     let mut group = c.benchmark_group("table2_sq3");
     group.sample_size(20);
     for (config, ddl) in [
-        ("D", "RECONFIGURE PRIMARY INDEXES PARTITION BY eadj.label SORT BY vnbr.ID"),
+        (
+            "D",
+            "RECONFIGURE PRIMARY INDEXES PARTITION BY eadj.label SORT BY vnbr.ID",
+        ),
         (
             "Ds",
             "RECONFIGURE PRIMARY INDEXES PARTITION BY eadj.label SORT BY vnbr.label, vnbr.ID",

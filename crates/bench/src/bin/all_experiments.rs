@@ -1,7 +1,10 @@
 //! Runs every experiment in sequence (the EXPERIMENTS.md generator).
 fn main() {
     for (name, run) in [
-        ("table1", aplus_bench::tables::run_table1 as fn() -> aplus_bench::Reporter),
+        (
+            "table1",
+            aplus_bench::tables::run_table1 as fn() -> aplus_bench::Reporter,
+        ),
         ("table2", aplus_bench::tables::run_table2),
         ("table3", aplus_bench::tables::run_table3),
         ("table4", aplus_bench::tables::run_table4),

@@ -124,7 +124,12 @@ pub fn run_table3() -> Reporter {
             assert!(plan.uses_index("VPt"), "{qname} should use VPt:\n{plan}");
             r.time(name, "D+VPt", qname, || db.count_prepared(&bound, &plan));
         }
-        r.record_value(name, "D+VPt", "Mem(MB)", db.index_memory_bytes() as f64 / MB);
+        r.record_value(
+            name,
+            "D+VPt",
+            "Mem(MB)",
+            db.index_memory_bytes() as f64 / MB,
+        );
         r.record_value(name, "D+VPt", "IC(s)", ic);
     }
     r.assert_counts_agree();
@@ -133,7 +138,10 @@ pub fn run_table3() -> Reporter {
 
 /// Table IV: fraud queries under D, D+VPc, D+VPc+EPc.
 pub fn run_table4() -> Reporter {
-    let mut r = Reporter::new("table4", "Fraud detection (Table IV): D vs D+VPc vs D+VPc+EPc");
+    let mut r = Reporter::new(
+        "table4",
+        "Fraud detection (Table IV): D vs D+VPc vs D+VPc+EPc",
+    );
     let alpha = amount_alpha_for_selectivity(0.05);
     for (name, preset) in [
         ("Ork", DatasetPreset::Orkut),
@@ -159,12 +167,7 @@ pub fn run_table4() -> Reporter {
             r.time(name, "D", qname, || db.count_prepared(&bound, &plan));
         }
         r.record_value(name, "D", "Mem(MB)", db.index_memory_bytes() as f64 / MB);
-        r.record_value(
-            name,
-            "D",
-            "|Eindexed|",
-            db.graph().live_edge_count() as f64,
-        );
+        r.record_value(name, "D", "|Eindexed|", db.graph().live_edge_count() as f64);
 
         // D+VPc: MF1–MF4 (as in the paper; no new MF5 plan).
         let t = Instant::now();
@@ -174,7 +177,12 @@ pub fn run_table4() -> Reporter {
             let (bound, plan) = db.prepare(q).expect("plan");
             r.time(name, "D+VPc", qname, || db.count_prepared(&bound, &plan));
         }
-        r.record_value(name, "D+VPc", "Mem(MB)", db.index_memory_bytes() as f64 / MB);
+        r.record_value(
+            name,
+            "D+VPc",
+            "Mem(MB)",
+            db.index_memory_bytes() as f64 / MB,
+        );
         r.record_value(name, "D+VPc", "IC(s)", ic_vpc);
 
         // D+VPc+EPc: MF3, MF4, MF5 gain new plans.
@@ -183,7 +191,9 @@ pub fn run_table4() -> Reporter {
         let ic_epc = t.elapsed().as_secs_f64();
         for (qname, q) in all.iter().skip(2) {
             let (bound, plan) = db.prepare(q).expect("plan");
-            r.time(name, "D+VPc+EPc", qname, || db.count_prepared(&bound, &plan));
+            r.time(name, "D+VPc+EPc", qname, || {
+                db.count_prepared(&bound, &plan)
+            });
         }
         r.record_value(
             name,
@@ -256,10 +266,7 @@ pub fn run_table6() -> Reporter {
         let half = edges.len() / 2;
 
         let configs: [(&str, Vec<&str>); 5] = [
-            (
-                "Ds",
-                vec!["RECONFIGURE PRIMARY INDEXES SORT BY vnbr.ID"],
-            ),
+            ("Ds", vec!["RECONFIGURE PRIMARY INDEXES SORT BY vnbr.ID"]),
             (
                 "Dp",
                 vec!["RECONFIGURE PRIMARY INDEXES PARTITION BY eadj.label"],
@@ -276,9 +283,10 @@ pub fn run_table6() -> Reporter {
                      INDEX AS FW PARTITION BY eadj.label SORT BY eadj.time",
                 ],
             ),
-            ("Dps+EPt", vec![
-                "RECONFIGURE PRIMARY INDEXES PARTITION BY eadj.label SORT BY vnbr.ID",
-            ]),
+            (
+                "Dps+EPt",
+                vec!["RECONFIGURE PRIMARY INDEXES PARTITION BY eadj.label SORT BY vnbr.ID"],
+            ),
         ];
 
         for (config, ddls) in configs {
@@ -287,10 +295,14 @@ pub fn run_table6() -> Reporter {
             let mut half_graph = aplus_graph::Graph::new();
             // Pre-intern labels in catalog order.
             for li in 0..i {
-                half_graph.catalog_mut().intern_vertex_label(&format!("V{li}"));
+                half_graph
+                    .catalog_mut()
+                    .intern_vertex_label(&format!("V{li}"));
             }
             for lj in 0..j {
-                half_graph.catalog_mut().intern_edge_label(&format!("E{lj}"));
+                half_graph
+                    .catalog_mut()
+                    .intern_edge_label(&format!("E{lj}"));
             }
             for v in g.vertices() {
                 let label = g.catalog().vertex_label_name(g.vertex_label(v).unwrap());
@@ -311,7 +323,9 @@ pub fn run_table6() -> Reporter {
                 let label = g.catalog().edge_label_name(l).to_owned();
                 let ne = half_graph.add_edge(s, d, &label).unwrap();
                 if let Some(t) = g.edge_prop(e, props.time) {
-                    half_graph.set_edge_prop(ne, time_pid, Value::Int(t)).unwrap();
+                    half_graph
+                        .set_edge_prop(ne, time_pid, Value::Int(t))
+                        .unwrap();
                 }
             }
             let mut db = Database::new(half_graph).expect("index build");
@@ -397,10 +411,30 @@ pub fn run_ablation() -> Reporter {
         let ds = format!("sel{selectivity_pct}%");
         // List bytes per indexed edge (§III-B3's comparison); the total
         // including CSR levels is reported alongside.
-        r.record_value(&ds, "offset-lists", "bytes/edge", vp.list_bytes() as f64 / indexed as f64);
-        r.record_value(&ds, "offset-lists", "total B/edge", vp.memory_bytes() as f64 / indexed as f64);
-        r.record_value(&ds, "bitmap", "bytes/edge", bm.memory_bytes() as f64 / indexed as f64);
-        r.record_value(&ds, "bitmap", "total B/edge", bm.memory_bytes() as f64 / indexed as f64);
+        r.record_value(
+            &ds,
+            "offset-lists",
+            "bytes/edge",
+            vp.list_bytes() as f64 / indexed as f64,
+        );
+        r.record_value(
+            &ds,
+            "offset-lists",
+            "total B/edge",
+            vp.memory_bytes() as f64 / indexed as f64,
+        );
+        r.record_value(
+            &ds,
+            "bitmap",
+            "bytes/edge",
+            bm.memory_bytes() as f64 / indexed as f64,
+        );
+        r.record_value(
+            &ds,
+            "bitmap",
+            "total B/edge",
+            bm.memory_bytes() as f64 / indexed as f64,
+        );
         // The hypothetical duplicated ID-list baseline: 8 B edge + 4 B nbr.
         r.record_value(&ds, "id-duplication", "bytes/edge", 12.0);
 
@@ -412,7 +446,12 @@ pub fn run_ablation() -> Reporter {
                 acc += vp.list(primary, v, &[]).len();
             }
         }
-        r.record_value(&ds, "offset-lists", "scan(µs)", t.elapsed().as_secs_f64() * 1e6);
+        r.record_value(
+            &ds,
+            "offset-lists",
+            "scan(µs)",
+            t.elapsed().as_secs_f64() * 1e6,
+        );
         let t = Instant::now();
         let mut acc2 = 0usize;
         for _ in 0..20 {

@@ -18,42 +18,69 @@ pub const SQ_COUNT: usize = 14;
 fn shape(q: usize) -> &'static [(usize, usize)] {
     match q {
         // Cyclic, sparse → dense.
-        1 => &[(0, 1), (1, 2), (2, 0)],                         // triangle
-        2 => &[(0, 1), (1, 2), (2, 3), (3, 0)],                 // 4-cycle
-        3 => &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)],         // diamond
-        4 => &[(0, 1), (1, 2), (2, 0), (2, 3)],                 // tailed triangle
+        1 => &[(0, 1), (1, 2), (2, 0)],                 // triangle
+        2 => &[(0, 1), (1, 2), (2, 3), (3, 0)],         // 4-cycle
+        3 => &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)], // diamond
+        4 => &[(0, 1), (1, 2), (2, 0), (2, 3)],         // tailed triangle
         // Acyclic.
-        5 => &[(0, 1), (0, 2), (0, 3)],                         // 3-star
-        6 => &[(0, 1), (1, 2), (2, 3), (3, 4)],                 // 4-path
-        7 => &[(0, 1), (0, 2), (1, 3), (1, 4)],                 // 2-level tree
+        5 => &[(0, 1), (0, 2), (0, 3)],         // 3-star
+        6 => &[(0, 1), (1, 2), (2, 3), (3, 4)], // 4-path
+        7 => &[(0, 1), (0, 2), (1, 3), (1, 4)], // 2-level tree
         // Denser cyclic.
         8 => &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2)], // house
         9 => &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)], // 4-clique
         10 => &[(0, 1), (1, 2), (2, 0), (0, 3), (3, 4), (4, 0)], // bowtie
         11 => &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)],        // 5-cycle
         12 => &[
-            (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (2, 4), (3, 4),
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (1, 2),
+            (1, 3),
+            (2, 3),
+            (2, 4),
+            (3, 4),
         ], // 4-clique + triangle flap
         13 => &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)],        // 5-edge path (§V-E)
-        14 => SQ14_EDGES,                                        // 7-clique (omitted from runs)
+        14 => SQ14_EDGES,                                       // 7-clique (omitted from runs)
         _ => panic!("SQ index {q} out of range 1..={SQ_COUNT}"),
     }
 }
 
 /// The 21 edges of the 7-clique (acyclic orientation).
 const SQ14_EDGES: &[(usize, usize)] = &[
-    (0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (0, 6),
-    (1, 2), (1, 3), (1, 4), (1, 5), (1, 6),
-    (2, 3), (2, 4), (2, 5), (2, 6),
-    (3, 4), (3, 5), (3, 6),
-    (4, 5), (4, 6),
+    (0, 1),
+    (0, 2),
+    (0, 3),
+    (0, 4),
+    (0, 5),
+    (0, 6),
+    (1, 2),
+    (1, 3),
+    (1, 4),
+    (1, 5),
+    (1, 6),
+    (2, 3),
+    (2, 4),
+    (2, 5),
+    (2, 6),
+    (3, 4),
+    (3, 5),
+    (3, 6),
+    (4, 5),
+    (4, 6),
     (5, 6),
 ];
 
 /// Number of query vertices of `SQ{q}`.
 #[must_use]
 pub fn vertex_count(q: usize) -> usize {
-    shape(q).iter().flat_map(|&(a, b)| [a, b]).max().unwrap_or(0) + 1
+    shape(q)
+        .iter()
+        .flat_map(|&(a, b)| [a, b])
+        .max()
+        .unwrap_or(0)
+        + 1
 }
 
 /// Builds the `SQ{q}` query string with labels drawn from `G_{i,j}`
@@ -132,7 +159,8 @@ mod tests {
         let db = Database::new(g).unwrap();
         for q in 1..=13 {
             let s = query(q, 8, 2, true);
-            db.prepare(&s).unwrap_or_else(|e| panic!("SQ{q} = {s}: {e}"));
+            db.prepare(&s)
+                .unwrap_or_else(|e| panic!("SQ{q} = {s}: {e}"));
         }
     }
 

@@ -67,7 +67,11 @@ impl Bitmap {
     #[inline]
     #[must_use]
     pub fn get(&self, idx: usize) -> bool {
-        assert!(idx < self.len, "bitmap index {idx} out of range {}", self.len);
+        assert!(
+            idx < self.len,
+            "bitmap index {idx} out of range {}",
+            self.len
+        );
         (self.words[idx / 64] >> (idx % 64)) & 1 == 1
     }
 
@@ -77,7 +81,11 @@ impl Bitmap {
     /// Panics if `idx >= len`.
     #[inline]
     pub fn set(&mut self, idx: usize, value: bool) {
-        assert!(idx < self.len, "bitmap index {idx} out of range {}", self.len);
+        assert!(
+            idx < self.len,
+            "bitmap index {idx} out of range {}",
+            self.len
+        );
         let mask = 1u64 << (idx % 64);
         if value {
             self.words[idx / 64] |= mask;
@@ -150,7 +158,11 @@ impl Bitmap {
         }
         if end < base + 64 {
             let keep = end - base;
-            w &= if keep == 0 { 0 } else { u64::MAX >> (64 - keep) };
+            w &= if keep == 0 {
+                0
+            } else {
+                u64::MAX >> (64 - keep)
+            };
         }
         w
     }
@@ -192,7 +204,9 @@ impl Iterator for OnesIter<'_> {
             if base >= self.end {
                 return None;
             }
-            self.current_word = self.bitmap.masked_word(self.word_idx, self.cursor.max(base), self.end);
+            self.current_word =
+                self.bitmap
+                    .masked_word(self.word_idx, self.cursor.max(base), self.end);
         }
     }
 }

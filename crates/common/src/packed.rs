@@ -126,7 +126,11 @@ mod tests {
     fn push_get_roundtrip_widths() {
         for width in 1..=8u8 {
             let mut p = PackedUints::with_width(width);
-            let max = if width == 8 { u64::MAX } else { (1 << (width as u64 * 8)) - 1 };
+            let max = if width == 8 {
+                u64::MAX
+            } else {
+                (1 << (width as u64 * 8)) - 1
+            };
             let values = [0, 1, max / 2, max];
             for &v in &values {
                 p.push(v);

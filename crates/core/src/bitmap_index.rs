@@ -50,7 +50,8 @@ impl BitmapIndex {
             let mut bm = Bitmap::new();
             for owner in start..end {
                 for (_, edge, nbr, deleted) in csr.region_entries(owner) {
-                    let keep = !deleted && passes(graph, &view, direction, VertexId(owner as u32), edge, nbr);
+                    let keep = !deleted
+                        && passes(graph, &view, direction, VertexId(owner as u32), edge, nbr);
                     bm.push(keep);
                 }
             }
@@ -208,6 +209,10 @@ mod tests {
         let view = OneHopView::new(ViewPredicate::always_true()).unwrap();
         let bi = BitmapIndex::build(g, p.index(Direction::Fwd), "all", view).unwrap();
         let wire = u32::from(g.catalog().edge_label("W").unwrap().raw());
-        assert_eq!(bi.list(p.index(Direction::Fwd), fg.account(1), &[wire]).len(), 3);
+        assert_eq!(
+            bi.list(p.index(Direction::Fwd), fg.account(1), &[wire])
+                .len(),
+            3
+        );
     }
 }

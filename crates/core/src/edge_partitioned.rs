@@ -64,7 +64,9 @@ impl EdgePartitionedIndex {
         } else {
             let mut out = Vec::new();
             for (eb, src, dst, _) in graph.edges() {
-                entries_for_bound_edge(graph, primary, &view, &spec, &widths, eb, src, dst, &mut out);
+                entries_for_bound_edge(
+                    graph, primary, &view, &spec, &widths, eb, src, dst, &mut out,
+                );
             }
             out
         };
@@ -136,7 +138,10 @@ impl EdgePartitionedIndex {
         };
         let anchor = self.view.orientation.anchor(src, dst);
         self.csr.list(eb.index(), prefix, |off| {
-            if primary.csr().region_entry_deleted(anchor.index(), off as usize) {
+            if primary
+                .csr()
+                .region_entry_deleted(anchor.index(), off as usize)
+            {
                 return None;
             }
             let (e, n) = primary.csr().region_entry(anchor.index(), off as usize);
@@ -191,7 +196,8 @@ impl EdgePartitionedIndex {
         // vertex in the primary direction as their anchor.
         let e_owner = primary.direction().owner(src, dst);
         let e_nbr = primary.direction().neighbour(src, dst);
-        let bound_candidates: Vec<EdgeId> = bound_edges_anchored_at(primaries, e_owner, orientation);
+        let bound_candidates: Vec<EdgeId> =
+            bound_edges_anchored_at(primaries, e_owner, orientation);
         for eb in bound_candidates {
             if eb == e {
                 continue;
@@ -544,7 +550,10 @@ mod tests {
         let fg = build_financial_graph();
         let g = fg.graph.clone();
         let p = PrimaryIndexes::build_default(&g).unwrap();
-        let city = g.catalog().property(PropertyEntity::Vertex, "city").unwrap();
+        let city = g
+            .catalog()
+            .property(PropertyEntity::Vertex, "city")
+            .unwrap();
         let ep = EdgePartitionedIndex::build(
             &g,
             p.index(Direction::Fwd),
@@ -605,7 +614,10 @@ mod tests {
     #[test]
     fn parallel_build_matches_sequential() {
         let (g, p, _, ep_seq) = fixture();
-        let city = g.catalog().property(PropertyEntity::Vertex, "city").unwrap();
+        let city = g
+            .catalog()
+            .property(PropertyEntity::Vertex, "city")
+            .unwrap();
         let ep_par = EdgePartitionedIndex::build(
             &g,
             p.index(Direction::Fwd),
@@ -636,7 +648,10 @@ mod tests {
         // The EP spec partitions by edge label first (Figure 3b), so the
         // city sort holds within each label sublist, not across them.
         let (g, p, _, ep) = fixture();
-        let city = g.catalog().property(PropertyEntity::Vertex, "city").unwrap();
+        let city = g
+            .catalog()
+            .property(PropertyEntity::Vertex, "city")
+            .unwrap();
         let labels = 0..u32::try_from(g.catalog().edge_label_count()).unwrap();
         for label in labels {
             for i in 0..g.edge_count() as u64 {
@@ -660,7 +675,8 @@ mod tests {
         // New wire v5 -> v3 with date 21, amt 3: qualifies as adjacent edge
         // for t13 (date 13, amt 10 -> 13<21 && 3<10).
         let e = g.add_edge(fg.accounts[4], fg.accounts[2], "W").unwrap();
-        g.set_edge_prop(e, date, aplus_graph::Value::Int(21)).unwrap();
+        g.set_edge_prop(e, date, aplus_graph::Value::Int(21))
+            .unwrap();
         g.set_edge_prop(e, amt, aplus_graph::Value::Int(3)).unwrap();
         p.index_mut(Direction::Fwd).insert_edge(&g, e);
         p.index_mut(Direction::Bwd).insert_edge(&g, e);
@@ -698,7 +714,8 @@ mod tests {
         let date = g.catalog().property(PropertyEntity::Edge, "date").unwrap();
         let amt = g.catalog().property(PropertyEntity::Edge, "amt").unwrap();
         let e = g.add_edge(fg.accounts[4], fg.accounts[2], "W").unwrap();
-        g.set_edge_prop(e, date, aplus_graph::Value::Int(21)).unwrap();
+        g.set_edge_prop(e, date, aplus_graph::Value::Int(21))
+            .unwrap();
         g.set_edge_prop(e, amt, aplus_graph::Value::Int(3)).unwrap();
         p.index_mut(Direction::Fwd).insert_edge(&g, e);
         ep.insert_edge(&g, &p, e);

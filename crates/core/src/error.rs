@@ -48,7 +48,10 @@ impl fmt::Display for IndexError {
                 "partitioning key {property} must be a categorical property"
             ),
             Self::TooManySortKeys { requested, max } => {
-                write!(f, "{requested} sort keys requested, at most {max} supported")
+                write!(
+                    f,
+                    "{requested} sort keys requested, at most {max} supported"
+                )
             }
             Self::RedundantTwoHopView => write!(
                 f,

@@ -28,7 +28,10 @@ impl List<'_> {
     /// The empty list.
     #[must_use]
     pub fn empty() -> Self {
-        List::Slice { edges: &[], nbrs: &[] }
+        List::Slice {
+            edges: &[],
+            nbrs: &[],
+        }
     }
 
     /// Number of entries.
@@ -134,10 +137,7 @@ mod tests {
         let merged = |p: usize| (100 + p as u64, p as u32, false);
         let splices = vec![(1u32, 500u64, 9u32), (3, 600, 9)];
         let out = interleave(0..3, merged, &splices);
-        assert_eq!(
-            out,
-            vec![(100, 0), (500, 9), (101, 1), (102, 2), (600, 9)]
-        );
+        assert_eq!(out, vec![(100, 0), (500, 9), (101, 1), (102, 2), (600, 9)]);
     }
 
     #[test]

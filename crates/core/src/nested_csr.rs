@@ -127,7 +127,11 @@ impl NestedCsr {
                 buffer: Vec::new(),
             });
         }
-        debug_assert_eq!(cursor, entries.len(), "entries must reference valid owners/slots");
+        debug_assert_eq!(
+            cursor,
+            entries.len(),
+            "entries must reference valid owners/slots"
+        );
         let mut nonempty_slots = vec![false; slots_per_owner as usize];
         for e in &entries {
             nonempty_slots[e.slot as usize] = true;
@@ -227,7 +231,11 @@ impl NestedCsr {
         );
         let mut base = 0u32;
         for (i, &code) in prefix.iter().enumerate() {
-            debug_assert!(code < self.widths[i], "code {code} out of width {}", self.widths[i]);
+            debug_assert!(
+                code < self.widths[i],
+                "code {code} out of width {}",
+                self.widths[i]
+            );
             base = base * self.widths[i] + code;
         }
         let span: u32 = self.widths[prefix.len()..].iter().product::<u32>().max(1);
@@ -243,7 +251,11 @@ impl NestedCsr {
     }
 
     /// Absolute (within-page) ID-array range covered by `owner` + `prefix`.
-    pub(crate) fn range_abs(&self, owner: usize, prefix: &[u32]) -> (usize, std::ops::Range<usize>) {
+    pub(crate) fn range_abs(
+        &self,
+        owner: usize,
+        prefix: &[u32],
+    ) -> (usize, std::ops::Range<usize>) {
         self.abs_range(owner, prefix)
     }
 
@@ -467,7 +479,8 @@ impl NestedCsr {
         if page.buffer.is_empty() && page.deleted.count_ones() == 0 {
             return false;
         }
-        let owners_in_page = page.slot_offsets.len().saturating_sub(1) / self.slots_per_owner as usize;
+        let owners_in_page =
+            page.slot_offsets.len().saturating_sub(1) / self.slots_per_owner as usize;
         let spo = self.slots_per_owner as usize;
         let mut new_edges = Vec::with_capacity(page.edge_ids.len() + page.buffer.len());
         let mut new_nbrs = Vec::with_capacity(page.nbr_ids.len() + page.buffer.len());

@@ -87,7 +87,8 @@ impl OffsetCsr {
             let owners_in_page = owners_in_group(owner_count, g);
             let width = byte_width_for(max_offset_exclusive(g));
             let mut offsets = PackedUints::with_width(width);
-            let mut slot_offsets = Vec::with_capacity(owners_in_page * slots_per_owner as usize + 1);
+            let mut slot_offsets =
+                Vec::with_capacity(owners_in_page * slots_per_owner as usize + 1);
             slot_offsets.push(0u32);
             for local in 0..owners_in_page {
                 let owner = (g * GROUP_SIZE + local) as u32;
@@ -389,7 +390,8 @@ impl OffsetCsr {
         let owners_in_page = owners_in_group(self.owner_count, group);
         let width = byte_width_for(max_offset_exclusive);
         let mut offsets = PackedUints::with_width(width);
-        let mut slot_offsets = Vec::with_capacity(owners_in_page * self.slots_per_owner as usize + 1);
+        let mut slot_offsets =
+            Vec::with_capacity(owners_in_page * self.slots_per_owner as usize + 1);
         slot_offsets.push(0u32);
         for local in 0..owners_in_page {
             let owner = (group * GROUP_SIZE + local) as u32;
@@ -504,9 +506,24 @@ mod tests {
             2,
             vec![2],
             vec![
-                OffsetEntry { owner: 0, slot: 0, sort: sv(10), offset: 2 },
-                OffsetEntry { owner: 0, slot: 0, sort: sv(20), offset: 0 },
-                OffsetEntry { owner: 1, slot: 1, sort: sv(5), offset: 1 },
+                OffsetEntry {
+                    owner: 0,
+                    slot: 0,
+                    sort: sv(10),
+                    offset: 2,
+                },
+                OffsetEntry {
+                    owner: 0,
+                    slot: 0,
+                    sort: sv(20),
+                    offset: 0,
+                },
+                OffsetEntry {
+                    owner: 1,
+                    slot: 1,
+                    sort: sv(5),
+                    offset: 1,
+                },
             ],
             |_| 3,
         )
@@ -536,7 +553,12 @@ mod tests {
         let wide = OffsetCsr::build(
             1,
             vec![1],
-            vec![OffsetEntry { owner: 0, slot: 0, sort: sv(1), offset: 70_000 }],
+            vec![OffsetEntry {
+                owner: 0,
+                slot: 0,
+                sort: sv(1),
+                offset: 70_000,
+            }],
             |_| 70_001,
         );
         // 70_001 distinct offsets need 3 bytes each.
@@ -557,7 +579,11 @@ mod tests {
         // Keys of merged entries: offset 2 -> 10, offset 0 -> 20 (see build).
         let key_of = |off: u32| if off == 2 { sv(10) } else { sv(20) };
         c.insert(0, 0, sv(15), 999, 9, key_of);
-        let edges: Vec<u64> = c.list(0, &[0], resolve).iter().map(|(e, _)| e.raw()).collect();
+        let edges: Vec<u64> = c
+            .list(0, &[0], resolve)
+            .iter()
+            .map(|(e, _)| e.raw())
+            .collect();
         assert_eq!(edges, vec![102, 999, 100]);
         assert_eq!(c.entry_count(), 4);
     }
@@ -568,7 +594,11 @@ mod tests {
         c.insert(0, 0, sv(1), 999, 9, |_| sv(0));
         assert!(c.delete(0, 999, resolve));
         assert!(c.delete(0, 102, resolve)); // merged entry at offset 2
-        let edges: Vec<u64> = c.list(0, &[0], resolve).iter().map(|(e, _)| e.raw()).collect();
+        let edges: Vec<u64> = c
+            .list(0, &[0], resolve)
+            .iter()
+            .map(|(e, _)| e.raw())
+            .collect();
         assert_eq!(edges, vec![100]);
         assert!(!c.delete(0, 12345, resolve));
     }
@@ -585,7 +615,11 @@ mod tests {
             }
         });
         assert_eq!(c.buffer_len(0), 0);
-        let edges: Vec<u64> = c.list(0, &[0], resolve).iter().map(|(e, _)| e.raw()).collect();
+        let edges: Vec<u64> = c
+            .list(0, &[0], resolve)
+            .iter()
+            .map(|(e, _)| e.raw())
+            .collect();
         assert_eq!(edges, vec![103, 101]);
     }
 

@@ -144,14 +144,10 @@ impl PrimaryIndex {
         };
         let sort = self.spec.sort_val(graph, e, nbr);
         let spec = &self.spec;
-        self.csr.insert(
-            owner.index(),
-            slot,
-            sort,
-            e.raw(),
-            nbr.raw(),
-            |edge, n| spec.sort_val(graph, edge, n),
-        );
+        self.csr
+            .insert(owner.index(), slot, sort, e.raw(), nbr.raw(), |edge, n| {
+                spec.sort_val(graph, edge, n)
+            });
         MaintenanceOutcome::Applied
     }
 
@@ -246,9 +242,9 @@ impl PrimaryIndexes {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::spec::{PartitionKey, SortKey};
     use aplus_datagen::build_financial_graph;
     use aplus_graph::PropertyEntity;
-    use crate::spec::{PartitionKey, SortKey};
 
     #[test]
     fn default_build_contains_all_edges() {
@@ -331,7 +327,10 @@ mod tests {
     fn unknown_prefix_code_is_empty() {
         let fg = build_financial_graph();
         let p = PrimaryIndexes::build_default(&fg.graph).unwrap();
-        assert!(p.index(Direction::Fwd).list(fg.account(1), &[999]).is_empty());
+        assert!(p
+            .index(Direction::Fwd)
+            .list(fg.account(1), &[999])
+            .is_empty());
     }
 
     #[test]

@@ -164,9 +164,9 @@ impl IndexSpec {
                 let domain = match key {
                     PartitionKey::EdgeLabel => catalog.edge_label_count(),
                     PartitionKey::NbrLabel => catalog.vertex_label_count(),
-                    PartitionKey::EdgeProp(pid) => {
-                        catalog.property_meta(PropertyEntity::Edge, *pid).domain_size()
-                    }
+                    PartitionKey::EdgeProp(pid) => catalog
+                        .property_meta(PropertyEntity::Edge, *pid)
+                        .domain_size(),
                     PartitionKey::NbrProp(pid) => catalog
                         .property_meta(PropertyEntity::Vertex, *pid)
                         .domain_size(),
@@ -193,12 +193,8 @@ impl IndexSpec {
             PartitionKey::NbrLabel => Some(u32::from(
                 graph.vertex_label(nbr).expect("vertex exists").raw(),
             )),
-            PartitionKey::EdgeProp(pid) => {
-                graph.edge_prop(edge, pid).map(|v| v as u32)
-            }
-            PartitionKey::NbrProp(pid) => {
-                graph.vertex_prop(nbr, pid).map(|v| v as u32)
-            }
+            PartitionKey::EdgeProp(pid) => graph.edge_prop(edge, pid).map(|v| v as u32),
+            PartitionKey::NbrProp(pid) => graph.vertex_prop(nbr, pid).map(|v| v as u32),
         }
     }
 
@@ -267,7 +263,12 @@ mod tests {
             .edge_property("amt", PropertyKind::Int);
         let a = b.add_vertex("A", &[("city", Value::Str("SF"))]);
         let c = b.add_vertex("B", &[("city", Value::Str("LA"))]);
-        b.add_edge(a, c, "W", &[("curr", Value::Str("USD")), ("amt", Value::Int(5))]);
+        b.add_edge(
+            a,
+            c,
+            "W",
+            &[("curr", Value::Str("USD")), ("amt", Value::Int(5))],
+        );
         b.add_edge(c, a, "DD", &[]); // curr NULL
         b.build()
     }

@@ -97,7 +97,11 @@ impl IndexStore {
 
     /// Looks up a vertex-partitioned index by name and direction.
     #[must_use]
-    pub fn vertex_index(&self, name: &str, direction: Direction) -> Option<&VertexPartitionedIndex> {
+    pub fn vertex_index(
+        &self,
+        name: &str,
+        direction: Direction,
+    ) -> Option<&VertexPartitionedIndex> {
         self.vertex_indexes
             .iter()
             .find(|i| i.name() == name && i.direction() == direction)
@@ -117,7 +121,11 @@ impl IndexStore {
 
     /// `RECONFIGURE PRIMARY INDEXES ...`: rebuilds the primary pair and then
     /// every secondary index (their offsets reference primary regions).
-    pub fn reconfigure_primary(&mut self, graph: &Graph, spec: IndexSpec) -> Result<(), IndexError> {
+    pub fn reconfigure_primary(
+        &mut self,
+        graph: &Graph,
+        spec: IndexSpec,
+    ) -> Result<(), IndexError> {
         self.primary.reconfigure(graph, spec)?;
         self.rebuild_secondaries(graph)
     }
@@ -192,7 +200,8 @@ impl IndexStore {
 
     /// Drops all indexes registered under `name`.
     pub fn drop_index(&mut self, name: &str) -> Result<(), IndexError> {
-        let before = self.vertex_indexes.len() + self.edge_indexes.len() + self.bitmap_indexes.len();
+        let before =
+            self.vertex_indexes.len() + self.edge_indexes.len() + self.bitmap_indexes.len();
         self.vertex_indexes.retain(|i| i.name() != name);
         self.edge_indexes.retain(|i| i.name() != name);
         self.bitmap_indexes.retain(|i| i.name() != name);
@@ -324,17 +333,18 @@ impl IndexStore {
         let vertex_defs: Vec<_> = self
             .vertex_indexes
             .drain(..)
-            .map(|i| (i.name().to_owned(), i.direction(), i.view().clone(), i.spec().clone()))
+            .map(|i| {
+                (
+                    i.name().to_owned(),
+                    i.direction(),
+                    i.view().clone(),
+                    i.spec().clone(),
+                )
+            })
             .collect();
         for (name, d, view, spec) in vertex_defs {
-            let idx = VertexPartitionedIndex::build(
-                graph,
-                self.primary.index(d),
-                &name,
-                d,
-                view,
-                spec,
-            )?;
+            let idx =
+                VertexPartitionedIndex::build(graph, self.primary.index(d), &name, d, view, spec)?;
             self.vertex_indexes.push(idx);
         }
         let edge_defs: Vec<_> = self
@@ -395,7 +405,10 @@ impl IndexStore {
     pub fn memory_report(&self) -> Vec<(String, usize)> {
         let mut out = vec![("primary".to_owned(), self.primary.memory_bytes())];
         for i in &self.vertex_indexes {
-            out.push((format!("{}:{:?}", i.name(), i.direction()), i.memory_bytes()));
+            out.push((
+                format!("{}:{:?}", i.name(), i.direction()),
+                i.memory_bytes(),
+            ));
         }
         for i in &self.edge_indexes {
             out.push((i.name().to_owned(), i.memory_bytes()));
@@ -417,7 +430,11 @@ mod tests {
     use aplus_datagen::build_financial_graph;
     use aplus_graph::{PropertyEntity, Value};
 
-    fn fixture() -> (aplus_graph::Graph, IndexStore, aplus_datagen::FinancialGraph) {
+    fn fixture() -> (
+        aplus_graph::Graph,
+        IndexStore,
+        aplus_datagen::FinancialGraph,
+    ) {
         let fg = build_financial_graph();
         let g = fg.graph.clone();
         let store = IndexStore::build(&g).unwrap();
@@ -459,7 +476,10 @@ mod tests {
             .unwrap();
         assert!(store.vertex_index("VPt", Direction::Fwd).is_some());
         assert!(store.vertex_index("VPt", Direction::Bwd).is_some());
-        assert!(store.vertex_index("VPt", Direction::Fwd).unwrap().shares_levels());
+        assert!(store
+            .vertex_index("VPt", Direction::Fwd)
+            .unwrap()
+            .shares_levels());
         assert!(matches!(
             store.create_vertex_index(
                 &g,
@@ -506,11 +526,7 @@ mod tests {
             .unwrap();
         // Secondary still answers correctly after the rebuild.
         let vp = store.vertex_index("VPt", Direction::Fwd).unwrap();
-        let l = vp.list(
-            store.primary().index(Direction::Fwd),
-            fg.account(1),
-            &[],
-        );
+        let l = vp.list(store.primary().index(Direction::Fwd), fg.account(1), &[]);
         assert_eq!(l.len(), 5);
         let dates: Vec<i64> = l
             .iter()
@@ -551,12 +567,21 @@ mod tests {
             .any(|(x, _)| x == e));
         let vp = store.vertex_index("VPt", Direction::Fwd).unwrap();
         assert!(vp
-            .list(store.primary().index(Direction::Fwd), fg.accounts[4], &[wire])
+            .list(
+                store.primary().index(Direction::Fwd),
+                fg.accounts[4],
+                &[wire]
+            )
             .iter()
             .any(|(x, _)| x == e));
         let ep = store.edge_index("MF").unwrap();
         assert!(ep
-            .list(&g, store.primary().index(Direction::Fwd), fg.transfer(13), &[])
+            .list(
+                &g,
+                store.primary().index(Direction::Fwd),
+                fg.transfer(13),
+                &[]
+            )
             .iter()
             .any(|(x, _)| x == e));
     }
@@ -585,21 +610,25 @@ mod tests {
         store.flush(&g);
         // After flush (merge + offset rebuild) everything still answers.
         let ep = store.edge_index("MF").unwrap();
-        let l = ep.list(&g, store.primary().index(Direction::Fwd), fg.transfer(13), &[]);
+        let l = ep.list(
+            &g,
+            store.primary().index(Direction::Fwd),
+            fg.transfer(13),
+            &[],
+        );
         let ids: Vec<EdgeId> = l.iter().map(|(x, _)| x).collect();
         assert!(ids.contains(&e));
         assert!(ids.contains(&fg.transfer(19)));
         let vp = store.vertex_index("VPt", Direction::Fwd).unwrap();
-        assert_eq!(
-            vp.entry_count(store.primary().index(Direction::Fwd)),
-            26
-        );
+        assert_eq!(vp.entry_count(store.primary().index(Direction::Fwd)), 26);
     }
 
     #[test]
     fn insert_with_new_label_triggers_full_rebuild() {
         let (mut g, mut store, fg) = fixture();
-        let e = g.add_edge(fg.accounts[0], fg.accounts[1], "NEWLBL").unwrap();
+        let e = g
+            .add_edge(fg.accounts[0], fg.accounts[1], "NEWLBL")
+            .unwrap();
         store.insert_edge(&g, e);
         let newlbl = u32::from(g.catalog().edge_label("NEWLBL").unwrap().raw());
         let l = store
@@ -620,8 +649,13 @@ mod tests {
         store.delete_edge(&g, t19);
         let ep = store.edge_index("MF").unwrap();
         assert_eq!(
-            ep.list(&g, store.primary().index(Direction::Fwd), fg.transfer(13), &[])
-                .len(),
+            ep.list(
+                &g,
+                store.primary().index(Direction::Fwd),
+                fg.transfer(13),
+                &[]
+            )
+            .len(),
             0
         );
         let wire = u32::from(g.catalog().edge_label("W").unwrap().raw());

@@ -113,7 +113,9 @@ impl LazyVpList<'_> {
             AnyRange::Own(r) => r.offset_at(i),
             AnyRange::Shared(r) => r.offsets.get(r.start + i) as u32,
         };
-        self.primary.csr().region_entry(self.owner.index(), off as usize)
+        self.primary
+            .csr()
+            .region_entry(self.owner.index(), off as usize)
     }
 
     /// Materializes the subrange `[start, end)` into an owned list.
@@ -166,8 +168,8 @@ impl VertexPartitionedIndex {
             "primary index direction must match"
         );
         spec.validate(graph.catalog())?;
-        let shares_levels = view.predicate.is_trivial()
-            && spec.partitioning == primary.spec().partitioning;
+        let shares_levels =
+            view.predicate.is_trivial() && spec.partitioning == primary.spec().partitioning;
         if shares_levels {
             let storage = SharedOffsets::build(graph, primary, &spec);
             Ok(Self {
@@ -323,9 +325,9 @@ impl VertexPartitionedIndex {
     pub fn list(&self, primary: &PrimaryIndex, owner: VertexId, prefix: &[u32]) -> List<'static> {
         match &self.storage {
             VpStorage::Shared(s) => s.list(primary, owner, prefix),
-            VpStorage::Own(csr) => csr.list(owner.index(), prefix, |off| {
-                deref_live(primary, owner, off)
-            }),
+            VpStorage::Own(csr) => {
+                csr.list(owner.index(), prefix, |off| deref_live(primary, owner, off))
+            }
         }
     }
 
@@ -347,7 +349,16 @@ impl VertexPartitionedIndex {
                 let Some(slot) = primary.spec().slot_of(graph, primary.widths(), e, nbr) else {
                     return; // domain grew; store triggers a rebuild
                 };
-                s.insert(graph, primary, &self.spec, owner, slot, sort, e.raw(), nbr.raw());
+                s.insert(
+                    graph,
+                    primary,
+                    &self.spec,
+                    owner,
+                    slot,
+                    sort,
+                    e.raw(),
+                    nbr.raw(),
+                );
             }
             VpStorage::Own(csr) => {
                 if owner.index() >= csr.owner_count() {
@@ -406,9 +417,7 @@ impl VertexPartitionedIndex {
     pub fn any_buffer_full(&self, threshold: usize) -> bool {
         match &self.storage {
             VpStorage::Shared(s) => s.pages.iter().any(|p| p.buffer.len() >= threshold),
-            VpStorage::Own(csr) => {
-                (0..csr.page_count()).any(|g| csr.buffer_len(g) >= threshold)
-            }
+            VpStorage::Own(csr) => (0..csr.page_count()).any(|g| csr.buffer_len(g) >= threshold),
         }
     }
 
@@ -434,7 +443,10 @@ impl VertexPartitionedIndex {
 }
 
 fn deref_live(primary: &PrimaryIndex, owner: VertexId, off: u32) -> Option<(u64, u32)> {
-    if primary.csr().region_entry_deleted(owner.index(), off as usize) {
+    if primary
+        .csr()
+        .region_entry_deleted(owner.index(), off as usize)
+    {
         return None;
     }
     let (e, n) = primary.csr().region_entry(owner.index(), off as usize);
@@ -513,7 +525,13 @@ impl SharedOffsets {
         s
     }
 
-    fn rebuild_group(&mut self, graph: &Graph, primary: &PrimaryIndex, spec: &IndexSpec, group: usize) {
+    fn rebuild_group(
+        &mut self,
+        graph: &Graph,
+        primary: &PrimaryIndex,
+        spec: &IndexSpec,
+        group: usize,
+    ) {
         while self.pages.len() < primary.csr().page_count() {
             self.pages.push(SharedPage::default());
         }
@@ -716,7 +734,11 @@ mod tests {
     use aplus_datagen::build_financial_graph;
     use aplus_graph::PropertyEntity;
 
-    fn fixture() -> (aplus_graph::Graph, PrimaryIndexes, aplus_datagen::FinancialGraph) {
+    fn fixture() -> (
+        aplus_graph::Graph,
+        PrimaryIndexes,
+        aplus_datagen::FinancialGraph,
+    ) {
         let fg = build_financial_graph();
         let g = fg.graph.clone();
         let p = PrimaryIndexes::build_default(&g).unwrap();
@@ -777,7 +799,10 @@ mod tests {
         let l = vp.list(p.index(Direction::Fwd), fg.account(1), &[wire]);
         assert_eq!(l.len(), 2);
         let dd = u32::from(g.catalog().edge_label("DD").unwrap().raw());
-        assert_eq!(vp.list(p.index(Direction::Fwd), fg.account(1), &[dd]).len(), 0);
+        assert_eq!(
+            vp.list(p.index(Direction::Fwd), fg.account(1), &[dd]).len(),
+            0
+        );
     }
 
     #[test]
@@ -838,7 +863,8 @@ mod tests {
         )
         .unwrap();
         let e = g.add_edge(fg.accounts[0], fg.accounts[2], "W").unwrap();
-        g.set_edge_prop(e, date, aplus_graph::Value::Int(10)).unwrap();
+        g.set_edge_prop(e, date, aplus_graph::Value::Int(10))
+            .unwrap();
         p.index_mut(Direction::Fwd).insert_edge(&g, e);
         vp.insert_edge(&g, p.index(Direction::Fwd), e);
         let wire = u32::from(g.catalog().edge_label("W").unwrap().raw());
@@ -864,7 +890,8 @@ mod tests {
         )
         .unwrap();
         let e = g.add_edge(fg.accounts[0], fg.accounts[2], "W").unwrap();
-        g.set_edge_prop(e, date, aplus_graph::Value::Int(10)).unwrap();
+        g.set_edge_prop(e, date, aplus_graph::Value::Int(10))
+            .unwrap();
         p.index_mut(Direction::Fwd).insert_edge(&g, e);
         vp.insert_edge(&g, p.index(Direction::Fwd), e);
         // Merge the primary page, then rebuild the secondary page.

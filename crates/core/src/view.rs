@@ -135,7 +135,11 @@ impl ViewComparison {
     /// `entity.prop op constant`.
     #[must_use]
     pub fn prop_const(entity: ViewEntity, prop: PropertyId, op: CmpOp, value: i64) -> Self {
-        Self::new(ViewOperand::Prop(entity, prop), op, ViewOperand::Const(value))
+        Self::new(
+            ViewOperand::Prop(entity, prop),
+            op,
+            ViewOperand::Const(value),
+        )
     }
 
     /// Entities referenced by this comparison.
@@ -260,13 +264,7 @@ impl ViewPredicate {
 
     /// Evaluates against a 2-hop binding.
     #[must_use]
-    pub fn eval_two_hop(
-        &self,
-        graph: &Graph,
-        bound: EdgeId,
-        adj: EdgeId,
-        nbr: VertexId,
-    ) -> bool {
+    pub fn eval_two_hop(&self, graph: &Graph, bound: EdgeId, adj: EdgeId, nbr: VertexId) -> bool {
         self.conjuncts.iter().all(|c| {
             eval_comparison(c, |entity, pid| match entity {
                 ViewEntity::AdjEdge => graph.edge_prop(adj, pid),
@@ -302,7 +300,9 @@ impl ViewPredicate {
     /// predicates that the chosen index already guarantees.
     #[must_use]
     pub fn implies_comparison(&self, c: &ViewComparison) -> bool {
-        self.conjuncts.iter().any(|ours| comparison_implies(ours, c))
+        self.conjuncts
+            .iter()
+            .any(|ours| comparison_implies(ours, c))
     }
 }
 

@@ -56,7 +56,10 @@ fn figure3a_primary_nested_sublists() {
 fn figure3a_secondary_shares_levels_and_resorts() {
     let fg = build_financial_graph();
     let g = &fg.graph;
-    let city = g.catalog().property(PropertyEntity::Vertex, "city").unwrap();
+    let city = g
+        .catalog()
+        .property(PropertyEntity::Vertex, "city")
+        .unwrap();
     let mut store = IndexStore::build(g).unwrap();
     store
         .create_vertex_index(
@@ -83,7 +86,11 @@ fn figure3a_secondary_shares_levels_and_resorts() {
     sorted.sort_unstable();
     assert_eq!(cities, sorted);
     // Same edge *set* as the primary sublist.
-    let mut prim: Vec<u64> = fwd.list(fg.account(1), &[w]).iter().map(|(e, _)| e.raw()).collect();
+    let mut prim: Vec<u64> = fwd
+        .list(fg.account(1), &[w])
+        .iter()
+        .map(|(e, _)| e.raw())
+        .collect();
     let mut sec: Vec<u64> = idx
         .list(fwd, fg.account(1), &[w])
         .iter()
@@ -103,7 +110,10 @@ fn figure3b_edge_partitioned_lists() {
     let g = &fg.graph;
     let date = g.catalog().property(PropertyEntity::Edge, "date").unwrap();
     let amt = g.catalog().property(PropertyEntity::Edge, "amt").unwrap();
-    let city = g.catalog().property(PropertyEntity::Vertex, "city").unwrap();
+    let city = g
+        .catalog()
+        .property(PropertyEntity::Vertex, "city")
+        .unwrap();
     let mut store = IndexStore::build(g).unwrap();
     store
         .create_edge_index(

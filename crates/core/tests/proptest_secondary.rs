@@ -30,9 +30,7 @@ fn build_graph(n: u32, edges: &[(u32, u32, i64)]) -> Graph {
     }
     let w = g.catalog().property(PropertyEntity::Edge, "w").unwrap();
     for &(s, d, wt) in edges {
-        let e = g
-            .add_edge(VertexId(s % n), VertexId(d % n), "E")
-            .unwrap();
+        let e = g.add_edge(VertexId(s % n), VertexId(d % n), "E").unwrap();
         g.set_edge_prop(e, w, Value::Int(wt)).unwrap();
     }
     g

@@ -127,9 +127,7 @@ pub fn build_financial_graph() -> FinancialGraph {
 
     let owns: Vec<EdgeId> = OWNERSHIPS
         .iter()
-        .map(|&(cust, acct)| {
-            b.add_edge(customers[cust], accounts[(acct - 1) as usize], OWNS, &[])
-        })
+        .map(|&(cust, acct)| b.add_edge(customers[cust], accounts[(acct - 1) as usize], OWNS, &[]))
         .collect();
 
     let transfers: Vec<EdgeId> = TRANSFERS

@@ -51,7 +51,11 @@ pub fn add_magicrecs_properties(graph: &mut Graph, seed: u64) -> MagicRecsProps 
 /// Computes the time threshold α with the requested selectivity: the value
 /// below which `selectivity` of all edge times fall.
 #[must_use]
-pub fn time_threshold_for_selectivity(graph: &Graph, props: MagicRecsProps, selectivity: f64) -> i64 {
+pub fn time_threshold_for_selectivity(
+    graph: &Graph,
+    props: MagicRecsProps,
+    selectivity: f64,
+) -> i64 {
     let mut times: Vec<i64> = graph
         .edges()
         .filter_map(|(e, ..)| graph.edge_prop(e, props.time))

@@ -130,7 +130,8 @@ pub fn generate(config: &GeneratorConfig) -> Graph {
     };
 
     for _ in 0..config.edges {
-        let (mut s, mut d) = sample_endpoints(&mut rng, config, zipf.as_ref(), &src_perm, &dst_perm);
+        let (mut s, mut d) =
+            sample_endpoints(&mut rng, config, zipf.as_ref(), &src_perm, &dst_perm);
         // Avoid self-loops: retry a few times, then nudge deterministically.
         let mut retries = 0;
         while s == d && retries < 8 && config.vertices > 1 {

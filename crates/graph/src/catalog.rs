@@ -345,7 +345,10 @@ mod tests {
             c.property_meta(PropertyEntity::Vertex, v).kind,
             PropertyKind::Categorical
         );
-        assert_eq!(c.property_meta(PropertyEntity::Edge, e).kind, PropertyKind::Int);
+        assert_eq!(
+            c.property_meta(PropertyEntity::Edge, e).kind,
+            PropertyKind::Int
+        );
     }
 
     #[test]
@@ -365,18 +368,24 @@ mod tests {
         let pid = c
             .register_property(PropertyEntity::Edge, "currency", PropertyKind::Categorical)
             .unwrap();
-        let usd = c.encode_categorical(PropertyEntity::Edge, pid, "USD").unwrap();
-        let eur = c.encode_categorical(PropertyEntity::Edge, pid, "EUR").unwrap();
+        let usd = c
+            .encode_categorical(PropertyEntity::Edge, pid, "USD")
+            .unwrap();
+        let eur = c
+            .encode_categorical(PropertyEntity::Edge, pid, "EUR")
+            .unwrap();
         assert_eq!(usd, 0);
         assert_eq!(eur, 1);
         assert_eq!(
-            c.encode_categorical(PropertyEntity::Edge, pid, "USD").unwrap(),
+            c.encode_categorical(PropertyEntity::Edge, pid, "USD")
+                .unwrap(),
             usd
         );
         assert_eq!(c.property_meta(PropertyEntity::Edge, pid).domain_size(), 2);
         assert_eq!(c.categorical_code(PropertyEntity::Edge, pid, "GBP"), None);
         assert_eq!(
-            c.property_meta(PropertyEntity::Edge, pid).categorical_value(1),
+            c.property_meta(PropertyEntity::Edge, pid)
+                .categorical_value(1),
             Some("EUR")
         );
     }

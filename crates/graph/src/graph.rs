@@ -276,7 +276,9 @@ impl Graph {
                     .encode_categorical(entity, pid, &i.to_string())?;
                 Ok(Some(i64::from(code)))
             }
-            (PropertyKind::Text, Value::Str(s)) => Ok(Some(i64::from(self.catalog.intern_string(s)))),
+            (PropertyKind::Text, Value::Str(s)) => {
+                Ok(Some(i64::from(self.catalog.intern_string(s))))
+            }
             (PropertyKind::Text, Value::Int(i)) => {
                 Ok(Some(i64::from(self.catalog.intern_string(&i.to_string()))))
             }
@@ -365,7 +367,9 @@ impl GraphBuilder {
                 .catalog()
                 .property(PropertyEntity::Edge, name)
                 .expect("edge property must be registered before use");
-            self.graph.set_edge_prop(e, pid, *value).expect("edge id fresh");
+            self.graph
+                .set_edge_prop(e, pid, *value)
+                .expect("edge id fresh");
         }
         e
     }
@@ -457,9 +461,7 @@ mod tests {
     fn int_property_rejects_string() {
         let mut g = sample();
         let amt = g.catalog().property(PropertyEntity::Edge, "amt").unwrap();
-        assert!(g
-            .set_edge_prop(EdgeId(0), amt, Value::Str("oops"))
-            .is_err());
+        assert!(g.set_edge_prop(EdgeId(0), amt, Value::Str("oops")).is_err());
     }
 
     #[test]

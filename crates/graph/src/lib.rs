@@ -22,8 +22,8 @@ pub mod graph;
 pub mod loader;
 pub mod stats;
 
+pub use crate::graph::{Graph, GraphBuilder, Value};
 pub use catalog::{Catalog, PropertyEntity, PropertyKind};
 pub use column::PropertyColumn;
 pub use error::GraphError;
-pub use graph::{Graph, GraphBuilder, Value};
 pub use stats::GraphStats;

@@ -2,8 +2,8 @@
 //! i-cost estimates (§IV-A: "The system's cost metric is intersection cost
 //! (i-cost), which is the total estimated sizes of the adjacency lists").
 
-use aplus_common::FxHashMap;
 use aplus_common::EdgeLabelId;
+use aplus_common::FxHashMap;
 
 use crate::graph::Graph;
 

@@ -9,14 +9,13 @@
 //! nothing, mirroring how an equality against an absent dictionary code can
 //! never be satisfied.
 
-use aplus_core::view::{TwoHopOrientation, TwoHopView};
-use aplus_core::{
-    CmpOp, IndexSpec, PartitionKey, SortKey, ViewComparison, ViewEntity, ViewOperand,
-    ViewPredicate,
-};
+use aplus_common::FxHashMap;
 use aplus_core::store::IndexDirections;
 use aplus_core::view::OneHopView;
-use aplus_common::FxHashMap;
+use aplus_core::view::{TwoHopOrientation, TwoHopView};
+use aplus_core::{
+    CmpOp, IndexSpec, PartitionKey, SortKey, ViewComparison, ViewEntity, ViewOperand, ViewPredicate,
+};
 use aplus_graph::{Graph, PropertyEntity, PropertyKind};
 
 use crate::error::QueryError;
@@ -429,7 +428,10 @@ pub fn bind_two_hop_view(
     wheres: &[CondAst],
 ) -> Result<TwoHopView, QueryError> {
     let comparisons = bind_view_conditions(graph, wheres, true)?;
-    Ok(TwoHopView::new(orientation, ViewPredicate::all_of(comparisons))?)
+    Ok(TwoHopView::new(
+        orientation,
+        ViewPredicate::all_of(comparisons),
+    )?)
 }
 
 fn bind_view_conditions(
@@ -453,17 +455,18 @@ fn bind_view_conditions(
     };
     let mut out = Vec::with_capacity(wheres.len());
     for cond in wheres {
-        let bind_side = |op: &OperandAst| -> Result<(Option<ViewOperand>, Option<String>), QueryError> {
-            match op {
-                OperandAst::Int(i) => Ok((Some(ViewOperand::Const(*i)), None)),
-                OperandAst::Str(s) => Ok((None, Some(s.clone()))),
-                OperandAst::Prop(var, prop) => {
-                    let e = entity_of(var)?;
-                    let pid = graph.catalog().property(prop_entity(e), prop)?;
-                    Ok((Some(ViewOperand::Prop(e, pid)), None))
+        let bind_side =
+            |op: &OperandAst| -> Result<(Option<ViewOperand>, Option<String>), QueryError> {
+                match op {
+                    OperandAst::Int(i) => Ok((Some(ViewOperand::Const(*i)), None)),
+                    OperandAst::Str(s) => Ok((None, Some(s.clone()))),
+                    OperandAst::Prop(var, prop) => {
+                        let e = entity_of(var)?;
+                        let pid = graph.catalog().property(prop_entity(e), prop)?;
+                        Ok((Some(ViewOperand::Prop(e, pid)), None))
+                    }
                 }
-            }
-        };
+            };
         let (lhs, lstr) = bind_side(&cond.lhs)?;
         let (rhs, rstr) = bind_side(&cond.rhs)?;
         // Encode string constants against the opposite side's property.
@@ -602,7 +605,10 @@ mod tests {
             }],
         };
         let q = bind_query(g, &ast).unwrap();
-        let curr = g.catalog().property(PropertyEntity::Edge, "currency").unwrap();
+        let curr = g
+            .catalog()
+            .property(PropertyEntity::Edge, "currency")
+            .unwrap();
         let code = g
             .catalog()
             .categorical_code(PropertyEntity::Edge, curr, "USD")

@@ -203,8 +203,8 @@ impl Database {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use aplus_datagen::build_financial_graph;
     use aplus_common::VertexId;
+    use aplus_datagen::build_financial_graph;
 
     fn db() -> Database {
         Database::new(build_financial_graph().graph).unwrap()
@@ -256,7 +256,7 @@ mod tests {
     }
 
     #[test]
-    fn reconfigure_keeps_answers(){
+    fn reconfigure_keeps_answers() {
         let mut db = db();
         let before = db.count("MATCH a-[r:W]->b WHERE r.currency = USD").unwrap();
         db.ddl(
@@ -338,7 +338,9 @@ mod tests {
     #[test]
     fn ddl_and_query_mixups_are_errors() {
         let mut db = db();
-        assert!(db.count("RECONFIGURE PRIMARY INDEXES SORT BY vnbr.ID").is_err());
+        assert!(db
+            .count("RECONFIGURE PRIMARY INDEXES SORT BY vnbr.ID")
+            .is_err());
         assert!(db.ddl("MATCH a-[r]->b").is_err());
     }
 

@@ -28,7 +28,12 @@ pub struct ExecContext<'a> {
 }
 
 /// Runs `plan`, invoking `on_row` for every complete match.
-pub fn execute(ctx: ExecContext<'_>, query: &QueryGraph, plan: &Plan, on_row: &mut dyn FnMut(&Row)) {
+pub fn execute(
+    ctx: ExecContext<'_>,
+    query: &QueryGraph,
+    plan: &Plan,
+    on_row: &mut dyn FnMut(&Row),
+) {
     let mut row = Row::unbound(query.vertices.len(), query.edges.len());
     run_op(ctx, plan, 0, &mut row, on_row);
 }
@@ -110,7 +115,15 @@ fn run_op(
             residual,
         } => {
             exec_extend_intersect(
-                ctx, plan, depth, *target, *target_label, alds, residual, row, on_row,
+                ctx,
+                plan,
+                depth,
+                *target,
+                *target_label,
+                alds,
+                residual,
+                row,
+                on_row,
             );
         }
         Operator::MultiExtend { targets, residual } => {
@@ -239,7 +252,10 @@ fn fetch_list<'a>(ctx: ExecContext<'a>, ald: &Ald, row: &Row, need: Need) -> Bou
         }
         (IndexChoice::EdgeIdx { name }, FromRef::BoundEdge(e)) => {
             let eb = row.edge(e).expect("plan binds FROM edge before use");
-            let idx = ctx.store.edge_index(name).expect("plan references existing index");
+            let idx = ctx
+                .store
+                .edge_index(name)
+                .expect("plan references existing index");
             let dir = idx.view().orientation.primary_direction();
             idx.list(ctx.graph, ctx.store.primary().index(dir), eb, &ald.prefix)
         }
@@ -250,9 +266,9 @@ fn fetch_list<'a>(ctx: ExecContext<'a>, ald: &Ald, row: &Row, need: Need) -> Bou
     if let Some(Prune { op, value }) = ald.prune {
         let v = match value {
             PruneValue::Const(c) => Some(c),
-            PruneValue::VertexProp(var, pid) => row
-                .vertex(var)
-                .and_then(|v| ctx.graph.vertex_prop(v, pid)),
+            PruneValue::VertexProp(var, pid) => {
+                row.vertex(var).and_then(|v| ctx.graph.vertex_prop(v, pid))
+            }
             PruneValue::EdgeProp(var, pid) => {
                 row.edge(var).and_then(|e| ctx.graph.edge_prop(e, pid))
             }
@@ -356,12 +372,7 @@ fn resolve_prune_value(ctx: ExecContext<'_>, value: PruneValue, row: &Row) -> Op
 /// random-access list of `len` entries, with `key(i)` the leading sort key
 /// (`i128::MAX` encodes NULL, which sorts last and satisfies nothing — so
 /// `Gt`/`Ge` suffixes must stop at the NULL boundary).
-fn prune_bounds(
-    op: CmpOp,
-    value: i64,
-    len: usize,
-    key: impl Fn(usize) -> i128,
-) -> (usize, usize) {
+fn prune_bounds(op: CmpOp, value: i64, len: usize, key: impl Fn(usize) -> i128) -> (usize, usize) {
     let lower = partition_idx(0, len, |i| key(i) < i128::from(value));
     let nulls_at = |from: usize| partition_idx(from, len, |i| key(i) < i128::MAX);
     match op {
@@ -493,13 +504,16 @@ fn exec_extend_intersect(
     row: &mut Row,
     on_row: &mut dyn FnMut(&Row),
 ) {
-    let label_ok = |n: VertexId| {
-        target_label.is_none_or(|want| ctx.graph.vertex_label(n) == Ok(want))
-    };
+    let label_ok =
+        |n: VertexId| target_label.is_none_or(|want| ctx.graph.vertex_label(n) == Ok(want));
     // A single list needs no intersection (plain EXTEND); multiple lists
     // are each fetched neighbour-sorted and intersected with a k-pointer
     // leapfrog.
-    let need = if alds.len() > 1 { Need::NbrSorted } else { Need::Any };
+    let need = if alds.len() > 1 {
+        Need::NbrSorted
+    } else {
+        Need::Any
+    };
     let lists: Vec<BoundList<'_>> = alds.iter().map(|a| fetch_list(ctx, a, row, need)).collect();
     if lists.iter().any(|l| l.len() == 0) {
         return;
@@ -566,7 +580,17 @@ fn exec_extend_intersect(
             continue;
         }
         row.bind_vertex(target, nbr);
-        bind_edges_product(ctx, plan, depth, &lists, &edge_choices, 0, residual, row, on_row);
+        bind_edges_product(
+            ctx,
+            plan,
+            depth,
+            &lists,
+            &edge_choices,
+            0,
+            residual,
+            row,
+            on_row,
+        );
         row.unbind_vertex(target);
     }
 }
@@ -596,7 +620,17 @@ fn bind_edges_product(
             continue;
         }
         row.bind_edge(lists[li].edge_var, e);
-        bind_edges_product(ctx, plan, depth, lists, choices, li + 1, residual, row, on_row);
+        bind_edges_product(
+            ctx,
+            plan,
+            depth,
+            lists,
+            choices,
+            li + 1,
+            residual,
+            row,
+            on_row,
+        );
         row.unbind_edge(lists[li].edge_var);
     }
 }
@@ -691,9 +725,7 @@ fn bind_targets_product(
     }
     let (tvar, tlabel, _) = targets[ti];
     for &(e, n) in &runs[ti] {
-        if row.uses_edge(e)
-            || tlabel.is_some_and(|want| ctx.graph.vertex_label(n) != Ok(want))
-        {
+        if row.uses_edge(e) || tlabel.is_some_and(|want| ctx.graph.vertex_label(n) != Ok(want)) {
             continue;
         }
         row.bind_vertex(tvar, n);
@@ -722,7 +754,11 @@ mod tests {
     use aplus_datagen::build_financial_graph;
     use aplus_graph::PropertyEntity;
 
-    fn fixture() -> (aplus_graph::Graph, IndexStore, aplus_datagen::FinancialGraph) {
+    fn fixture() -> (
+        aplus_graph::Graph,
+        IndexStore,
+        aplus_datagen::FinancialGraph,
+    ) {
         let fg = build_financial_graph();
         let g = fg.graph.clone();
         let store = IndexStore::build(&g).unwrap();
@@ -745,8 +781,18 @@ mod tests {
                 })
                 .collect(),
             edges: vec![
-                crate::query::QueryEdge { name: None, src: 0, dst: 1, label: None },
-                crate::query::QueryEdge { name: None, src: 1, dst: 2, label: None },
+                crate::query::QueryEdge {
+                    name: None,
+                    src: 0,
+                    dst: 1,
+                    label: None,
+                },
+                crate::query::QueryEdge {
+                    name: None,
+                    src: 1,
+                    dst: 2,
+                    label: None,
+                },
             ],
             predicates: vec![],
         };
@@ -792,7 +838,10 @@ mod tests {
             ],
             est_cost: 0.0,
         };
-        let ctx = ExecContext { graph: &g, store: &store };
+        let ctx = ExecContext {
+            graph: &g,
+            store: &store,
+        };
         // Alice owns v1 (3 wires) and v2 (1 wire: t8) -> 4 matches.
         assert_eq!(count(ctx, &query, &plan), 4);
     }
@@ -809,15 +858,34 @@ mod tests {
                 })
                 .collect(),
             edges: vec![
-                crate::query::QueryEdge { name: None, src: 0, dst: 1, label: None },
-                crate::query::QueryEdge { name: None, src: 1, dst: 2, label: None },
-                crate::query::QueryEdge { name: None, src: 0, dst: 2, label: None },
+                crate::query::QueryEdge {
+                    name: None,
+                    src: 0,
+                    dst: 1,
+                    label: None,
+                },
+                crate::query::QueryEdge {
+                    name: None,
+                    src: 1,
+                    dst: 2,
+                    label: None,
+                },
+                crate::query::QueryEdge {
+                    name: None,
+                    src: 0,
+                    dst: 2,
+                    label: None,
+                },
             ],
             predicates: vec![],
         };
         let plan = Plan {
             ops: vec![
-                Operator::ScanVertices { var: 0, label: None, preds: vec![] },
+                Operator::ScanVertices {
+                    var: 0,
+                    label: None,
+                    preds: vec![],
+                },
                 Operator::ExtendIntersect {
                     target: 1,
                     target_label: None,
@@ -860,7 +928,10 @@ mod tests {
             ],
             est_cost: 0.0,
         };
-        let ctx = ExecContext { graph: &g, store: &store };
+        let ctx = ExecContext {
+            graph: &g,
+            store: &store,
+        };
         let wcoj = count(ctx, &query, &plan);
         // Reference count by brute force.
         let mut brute = 0u64;
@@ -898,9 +969,17 @@ mod tests {
             .unwrap();
         let query = QueryGraph {
             vertices: (0..2)
-                .map(|i| crate::query::QueryVertex { name: format!("x{i}"), label: None })
+                .map(|i| crate::query::QueryVertex {
+                    name: format!("x{i}"),
+                    label: None,
+                })
                 .collect(),
-            edges: vec![crate::query::QueryEdge { name: None, src: 0, dst: 1, label: None }],
+            edges: vec![crate::query::QueryEdge {
+                name: None,
+                src: 0,
+                dst: 1,
+                label: None,
+            }],
             predicates: vec![],
         };
         let mk_plan = |use_prune: bool| Plan {
@@ -926,8 +1005,10 @@ mod tests {
                         prefix: vec![],
                         edge_var: 0,
                         sort: vec![SortKey::EdgeProp(date)],
-                        prune: use_prune
-                            .then_some(Prune { op: CmpOp::Lt, value: PruneValue::Const(6) }),
+                        prune: use_prune.then_some(Prune {
+                            op: CmpOp::Lt,
+                            value: PruneValue::Const(6),
+                        }),
                         sorted_range: false,
                     }],
                     residual: if use_prune {
@@ -943,7 +1024,10 @@ mod tests {
             ],
             est_cost: 0.0,
         };
-        let ctx = ExecContext { graph: &g, store: &store };
+        let ctx = ExecContext {
+            graph: &g,
+            store: &store,
+        };
         let pruned = count(ctx, &query, &mk_plan(true));
         let filtered = count(ctx, &query, &mk_plan(false));
         assert_eq!(pruned, filtered);
@@ -955,7 +1039,10 @@ mod tests {
     #[test]
     fn multi_extend_city_pairs() {
         let (g, mut store, fg) = fixture();
-        let city = g.catalog().property(PropertyEntity::Vertex, "city").unwrap();
+        let city = g
+            .catalog()
+            .property(PropertyEntity::Vertex, "city")
+            .unwrap();
         store
             .create_vertex_index(
                 &g,
@@ -969,11 +1056,24 @@ mod tests {
         // Pattern: a2 <- a1 -> a3 with a2.city = a3.city (both forward).
         let query = QueryGraph {
             vertices: (0..3)
-                .map(|i| crate::query::QueryVertex { name: format!("x{i}"), label: None })
+                .map(|i| crate::query::QueryVertex {
+                    name: format!("x{i}"),
+                    label: None,
+                })
                 .collect(),
             edges: vec![
-                crate::query::QueryEdge { name: None, src: 0, dst: 1, label: None },
-                crate::query::QueryEdge { name: None, src: 0, dst: 2, label: None },
+                crate::query::QueryEdge {
+                    name: None,
+                    src: 0,
+                    dst: 1,
+                    label: None,
+                },
+                crate::query::QueryEdge {
+                    name: None,
+                    src: 0,
+                    dst: 2,
+                    label: None,
+                },
             ],
             predicates: vec![QueryPredicate::new(
                 QueryOperand::VertexProp(1, city),
@@ -983,7 +1083,10 @@ mod tests {
         };
         let mk_ald = |edge_var: usize| Ald {
             from: FromRef::Vertex(0),
-            index: IndexChoice::VertexIdx { name: "VPc".into(), direction: Direction::Fwd },
+            index: IndexChoice::VertexIdx {
+                name: "VPc".into(),
+                direction: Direction::Fwd,
+            },
             prefix: vec![],
             edge_var,
             sort: vec![SortKey::NbrProp(city)],
@@ -992,7 +1095,11 @@ mod tests {
         };
         let plan = Plan {
             ops: vec![
-                Operator::ScanVertices { var: 0, label: None, preds: vec![] },
+                Operator::ScanVertices {
+                    var: 0,
+                    label: None,
+                    preds: vec![],
+                },
                 Operator::MultiExtend {
                     targets: vec![(1, None, mk_ald(0)), (2, None, mk_ald(1))],
                     residual: vec![],
@@ -1000,7 +1107,10 @@ mod tests {
             ],
             est_cost: 0.0,
         };
-        let ctx = ExecContext { graph: &g, store: &store };
+        let ctx = ExecContext {
+            graph: &g,
+            store: &store,
+        };
         let got = count(ctx, &query, &plan);
         // Brute force: ordered pairs of distinct out-edges of the same
         // vertex whose head cities are equal (and non-NULL).
@@ -1011,8 +1121,7 @@ mod tests {
                 if e1 == e2 || s1 != s2 {
                     continue;
                 }
-                let (Some(c1), Some(c2)) =
-                    (g.vertex_prop(d1, city), g.vertex_prop(d2, city))
+                let (Some(c1), Some(c2)) = (g.vertex_prop(d1, city), g.vertex_prop(d2, city))
                 else {
                     continue;
                 };
@@ -1032,7 +1141,10 @@ mod tests {
     #[test]
     fn dynamic_prune_equals_filter() {
         let (g, mut store, fg) = fixture();
-        let city = g.catalog().property(PropertyEntity::Vertex, "city").unwrap();
+        let city = g
+            .catalog()
+            .property(PropertyEntity::Vertex, "city")
+            .unwrap();
         store
             .create_vertex_index(
                 &g,
@@ -1046,11 +1158,24 @@ mod tests {
             .unwrap();
         let query = QueryGraph {
             vertices: (0..3)
-                .map(|i| crate::query::QueryVertex { name: format!("x{i}"), label: None })
+                .map(|i| crate::query::QueryVertex {
+                    name: format!("x{i}"),
+                    label: None,
+                })
                 .collect(),
             edges: vec![
-                crate::query::QueryEdge { name: None, src: 0, dst: 1, label: None },
-                crate::query::QueryEdge { name: None, src: 0, dst: 2, label: None },
+                crate::query::QueryEdge {
+                    name: None,
+                    src: 0,
+                    dst: 1,
+                    label: None,
+                },
+                crate::query::QueryEdge {
+                    name: None,
+                    src: 0,
+                    dst: 2,
+                    label: None,
+                },
             ],
             predicates: vec![QueryPredicate::new(
                 QueryOperand::VertexProp(1, city),
@@ -1060,7 +1185,11 @@ mod tests {
         };
         let mk_plan = |use_prune: bool| Plan {
             ops: vec![
-                Operator::ScanVertices { var: 0, label: None, preds: vec![] },
+                Operator::ScanVertices {
+                    var: 0,
+                    label: None,
+                    preds: vec![],
+                },
                 Operator::ExtendIntersect {
                     target: 1,
                     target_label: None,
@@ -1109,7 +1238,10 @@ mod tests {
             ],
             est_cost: 0.0,
         };
-        let ctx = ExecContext { graph: &g, store: &store };
+        let ctx = ExecContext {
+            graph: &g,
+            store: &store,
+        };
         let pruned = count(ctx, &query, &mk_plan(true));
         let filtered = count(ctx, &query, &mk_plan(false));
         assert_eq!(pruned, filtered);
@@ -1133,7 +1265,10 @@ mod tests {
                 IndexSpec::default().with_sort(vec![SortKey::EdgeProp(date)]),
             )
             .unwrap();
-        let ctx = ExecContext { graph: &g, store: &store };
+        let ctx = ExecContext {
+            graph: &g,
+            store: &store,
+        };
         let idx = store.vertex_index("VPt", Direction::Fwd).unwrap();
         let primary = store.primary().index(Direction::Fwd);
         for v in g.vertices() {
@@ -1148,7 +1283,10 @@ mod tests {
                         prefix: vec![],
                         edge_var: 0,
                         sort: vec![SortKey::EdgeProp(date)],
-                        prune: Some(Prune { op, value: PruneValue::Const(threshold) }),
+                        prune: Some(Prune {
+                            op,
+                            value: PruneValue::Const(threshold),
+                        }),
                         sorted_range: true,
                     };
                     let mut row = Row::unbound(1, 1);

@@ -28,6 +28,6 @@ pub mod parser;
 pub mod plan;
 pub mod query;
 
+pub use crate::query::{QueryGraph, QueryOperand, QueryPredicate};
 pub use engine::Database;
 pub use error::QueryError;
-pub use query::{QueryGraph, QueryOperand, QueryPredicate};

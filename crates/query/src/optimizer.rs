@@ -21,7 +21,7 @@
 
 use aplus_common::FxHashMap;
 use aplus_core::view::TwoHopOrientation;
-use aplus_core::{CmpOp, Direction, PartitionKey, SortKey, IndexStore, ViewPredicate};
+use aplus_core::{CmpOp, Direction, IndexStore, PartitionKey, SortKey, ViewPredicate};
 use aplus_graph::{Graph, GraphStats, PropertyEntity, PropertyKind};
 
 use crate::error::QueryError;
@@ -408,8 +408,7 @@ impl Optimizer<'_> {
                 residual_sel *= pred_selectivity(p);
             }
             let domain = self.property_domain(prop);
-            let out_per_tuple =
-                sizes.iter().product::<f64>() / domain.powi(sizes.len() as i32 - 1);
+            let out_per_tuple = sizes.iter().product::<f64>() / domain.powi(sizes.len() as i32 - 1);
             let cost = partial.cost + partial.card * sum_size.max(1.0);
             let card = (partial.card * out_per_tuple * residual_sel).max(0.001);
             let mut ops = partial.ops.clone();
@@ -634,9 +633,9 @@ impl Optimizer<'_> {
                     scale /= (self.graph.catalog().vertex_label_count() as f64).max(1.0);
                 }
                 PartitionKey::EdgeProp(pid) => {
-                    let Some((code, bit)) = self.find_eq_const(|op| {
-                        matches!(op, QueryOperand::EdgeProp(e, p) if e == eidx && p == *pid)
-                    }) else {
+                    let Some((code, bit)) = self.find_eq_const(
+                        |op| matches!(op, QueryOperand::EdgeProp(e, p) if e == eidx && p == *pid),
+                    ) else {
                         break;
                     };
                     prefix.push(code);
@@ -790,7 +789,10 @@ impl Optimizer<'_> {
             SortKey::NbrId => self.stats.vertex_count as f64,
             SortKey::NbrLabel => (self.graph.catalog().vertex_label_count() as f64).max(1.0),
             SortKey::EdgeProp(pid) => {
-                let meta = self.graph.catalog().property_meta(PropertyEntity::Edge, pid);
+                let meta = self
+                    .graph
+                    .catalog()
+                    .property_meta(PropertyEntity::Edge, pid);
                 if meta.kind == PropertyKind::Categorical {
                     (meta.domain_size() as f64).max(1.0)
                 } else {
@@ -1065,14 +1067,10 @@ mod tests {
     mod aplus_query_test_helpers {
         use super::*;
         use crate::ast;
-        use crate::parser::{self};
         use crate::ast::Statement;
+        use crate::parser::{self};
 
-        pub fn plan_for(
-            graph: &Graph,
-            store: &IndexStore,
-            q: &str,
-        ) -> crate::plan::Plan {
+        pub fn plan_for(graph: &Graph, store: &IndexStore, q: &str) -> crate::plan::Plan {
             let Statement::Query(ast) = parser::parse(q).unwrap() else {
                 panic!("expected query");
             };
@@ -1153,9 +1151,10 @@ mod tests {
             &store,
             "MATCH a-[r1:W]->b-[r2:W]->c, a-[r3:W]->c WHERE a.ID = 4",
         );
-        let has_two_way = plan.ops.iter().any(|op| {
-            matches!(op, Operator::ExtendIntersect { alds, .. } if alds.len() == 2)
-        });
+        let has_two_way = plan
+            .ops
+            .iter()
+            .any(|op| matches!(op, Operator::ExtendIntersect { alds, .. } if alds.len() == 2));
         assert!(has_two_way, "closing a triangle needs a 2-way E/I:\n{plan}");
     }
 

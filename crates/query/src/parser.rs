@@ -87,40 +87,67 @@ fn tokenize(input: &str) -> Result<Vec<Lexed>, QueryError> {
                 i += 1;
             }
             '(' => {
-                out.push(Lexed { tok: Tok::LParen, offset: start });
+                out.push(Lexed {
+                    tok: Tok::LParen,
+                    offset: start,
+                });
                 i += 1;
             }
             ')' => {
-                out.push(Lexed { tok: Tok::RParen, offset: start });
+                out.push(Lexed {
+                    tok: Tok::RParen,
+                    offset: start,
+                });
                 i += 1;
             }
             '[' => {
-                out.push(Lexed { tok: Tok::LBracket, offset: start });
+                out.push(Lexed {
+                    tok: Tok::LBracket,
+                    offset: start,
+                });
                 i += 1;
             }
             ']' => {
-                out.push(Lexed { tok: Tok::RBracket, offset: start });
+                out.push(Lexed {
+                    tok: Tok::RBracket,
+                    offset: start,
+                });
                 i += 1;
             }
             ',' => {
-                out.push(Lexed { tok: Tok::Comma, offset: start });
+                out.push(Lexed {
+                    tok: Tok::Comma,
+                    offset: start,
+                });
                 i += 1;
             }
             ':' => {
-                out.push(Lexed { tok: Tok::Colon, offset: start });
+                out.push(Lexed {
+                    tok: Tok::Colon,
+                    offset: start,
+                });
                 i += 1;
             }
             '.' => {
-                out.push(Lexed { tok: Tok::Dot, offset: start });
+                out.push(Lexed {
+                    tok: Tok::Dot,
+                    offset: start,
+                });
                 i += 1;
             }
             '+' => {
-                out.push(Lexed { tok: Tok::Plus, offset: start });
+                out.push(Lexed {
+                    tok: Tok::Plus,
+                    offset: start,
+                });
                 i += 1;
             }
             '&' => {
                 // `&` / `&&` behave like the comma separator in WHERE.
-                out.push(Lexed { tok: Tok::Comma, offset: start });
+                out.push(Lexed {
+                    tok: Tok::Comma,
+                    offset: start,
+                });
                 i += 1;
                 if i < bytes.len() && bytes[i] == b'&' {
                     i += 1;
@@ -128,42 +155,69 @@ fn tokenize(input: &str) -> Result<Vec<Lexed>, QueryError> {
             }
             '-' => {
                 if bytes.get(i + 1) == Some(&b'>') {
-                    out.push(Lexed { tok: Tok::Arrow, offset: start });
+                    out.push(Lexed {
+                        tok: Tok::Arrow,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    out.push(Lexed { tok: Tok::Dash, offset: start });
+                    out.push(Lexed {
+                        tok: Tok::Dash,
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
             '<' => match bytes.get(i + 1) {
                 Some(&b'-') => {
-                    out.push(Lexed { tok: Tok::BackArrow, offset: start });
+                    out.push(Lexed {
+                        tok: Tok::BackArrow,
+                        offset: start,
+                    });
                     i += 2;
                 }
                 Some(&b'=') => {
-                    out.push(Lexed { tok: Tok::Le, offset: start });
+                    out.push(Lexed {
+                        tok: Tok::Le,
+                        offset: start,
+                    });
                     i += 2;
                 }
                 Some(&b'>') => {
-                    out.push(Lexed { tok: Tok::Ne, offset: start });
+                    out.push(Lexed {
+                        tok: Tok::Ne,
+                        offset: start,
+                    });
                     i += 2;
                 }
                 _ => {
-                    out.push(Lexed { tok: Tok::Lt, offset: start });
+                    out.push(Lexed {
+                        tok: Tok::Lt,
+                        offset: start,
+                    });
                     i += 1;
                 }
             },
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Lexed { tok: Tok::Ge, offset: start });
+                    out.push(Lexed {
+                        tok: Tok::Ge,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    out.push(Lexed { tok: Tok::Gt, offset: start });
+                    out.push(Lexed {
+                        tok: Tok::Gt,
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
             '=' => {
-                out.push(Lexed { tok: Tok::Eq, offset: start });
+                out.push(Lexed {
+                    tok: Tok::Eq,
+                    offset: start,
+                });
                 i += 1;
                 if i < bytes.len() && bytes[i] == b'=' {
                     i += 1; // accept `==` as `=`
@@ -171,7 +225,10 @@ fn tokenize(input: &str) -> Result<Vec<Lexed>, QueryError> {
             }
             '!' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Lexed { tok: Tok::Ne, offset: start });
+                    out.push(Lexed {
+                        tok: Tok::Ne,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
                     return Err(QueryError::Syntax {
@@ -251,9 +308,7 @@ impl Parser {
     }
 
     fn offset(&self) -> usize {
-        self.tokens
-            .get(self.pos)
-            .map_or(usize::MAX, |l| l.offset)
+        self.tokens.get(self.pos).map_or(usize::MAX, |l| l.offset)
     }
 
     fn next(&mut self) -> Option<Tok> {
@@ -714,9 +769,7 @@ mod tests {
 
     #[test]
     fn example3_cyclic() {
-        let q = parse_query(
-            "MATCH a1-[r1:W]->a2-[r2:W]->a3, a3-[r3:W]->a1 WHERE a1.ID = 0",
-        );
+        let q = parse_query("MATCH a1-[r1:W]->a2-[r2:W]->a3, a3-[r3:W]->a1 WHERE a1.ID = 0");
         assert_eq!(q.edges.len(), 3);
         assert_eq!(q.edges[2].src.name, "a3");
         assert_eq!(q.edges[2].dst.name, "a1");
@@ -822,10 +875,9 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
-        let s = parse(
-            "CREATE 2-HOP VIEW X MATCH vs-[eb]->vd<-[eadj]-vnbr WHERE eb.date < eadj.date",
-        )
-        .unwrap();
+        let s =
+            parse("CREATE 2-HOP VIEW X MATCH vs-[eb]->vd<-[eadj]-vnbr WHERE eb.date < eadj.date")
+                .unwrap();
         assert!(matches!(
             s,
             Statement::CreateTwoHop {
@@ -833,10 +885,9 @@ mod tests {
                 ..
             }
         ));
-        let s = parse(
-            "CREATE 2-HOP VIEW Y MATCH vnbr-[eadj]->vs-[eb]->vd WHERE eb.date < eadj.date",
-        )
-        .unwrap();
+        let s =
+            parse("CREATE 2-HOP VIEW Y MATCH vnbr-[eadj]->vs-[eb]->vd WHERE eb.date < eadj.date")
+                .unwrap();
         assert!(matches!(
             s,
             Statement::CreateTwoHop {
@@ -844,10 +895,9 @@ mod tests {
                 ..
             }
         ));
-        let s = parse(
-            "CREATE 2-HOP VIEW Z MATCH vnbr<-[eadj]-vs-[eb]->vd WHERE eb.date < eadj.date",
-        )
-        .unwrap();
+        let s =
+            parse("CREATE 2-HOP VIEW Z MATCH vnbr<-[eadj]-vs-[eb]->vd WHERE eb.date < eadj.date")
+                .unwrap();
         assert!(matches!(
             s,
             Statement::CreateTwoHop {

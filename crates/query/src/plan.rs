@@ -243,15 +243,17 @@ impl Plan {
     }
 
     fn all_alds(&self) -> impl Iterator<Item = &Ald> {
-        self.ops.iter().flat_map(|o| -> Box<dyn Iterator<Item = &Ald>> {
-            match o {
-                Operator::ExtendIntersect { alds, .. } => Box::new(alds.iter()),
-                Operator::MultiExtend { targets, .. } => {
-                    Box::new(targets.iter().map(|(_, _, a)| a))
+        self.ops
+            .iter()
+            .flat_map(|o| -> Box<dyn Iterator<Item = &Ald>> {
+                match o {
+                    Operator::ExtendIntersect { alds, .. } => Box::new(alds.iter()),
+                    Operator::MultiExtend { targets, .. } => {
+                        Box::new(targets.iter().map(|(_, _, a)| a))
+                    }
+                    _ => Box::new(std::iter::empty()),
                 }
-                _ => Box::new(std::iter::empty()),
-            }
-        })
+            })
     }
 }
 
@@ -270,10 +272,20 @@ impl fmt::Display for Plan {
                     }
                     writeln!(f)?;
                 }
-                Operator::ScanEdges { edge_var, src_var, dst_var, .. } => {
+                Operator::ScanEdges {
+                    edge_var,
+                    src_var,
+                    dst_var,
+                    ..
+                } => {
                     writeln!(f, "  ScanEdges e{edge_var} (v{src_var}→v{dst_var})")?;
                 }
-                Operator::ExtendIntersect { target, alds, residual, .. } => {
+                Operator::ExtendIntersect {
+                    target,
+                    alds,
+                    residual,
+                    ..
+                } => {
                     let lists: Vec<String> = alds.iter().map(Ald::render).collect();
                     write!(f, "  E/I v{target} ⋂[{}]", lists.join(" ∩ "))?;
                     if !residual.is_empty() {

@@ -399,9 +399,24 @@ mod tests {
                 })
                 .collect(),
             edges: vec![
-                QueryEdge { name: None, src: 0, dst: 1, label: None },
-                QueryEdge { name: None, src: 1, dst: 2, label: None },
-                QueryEdge { name: None, src: 2, dst: 0, label: None },
+                QueryEdge {
+                    name: None,
+                    src: 0,
+                    dst: 1,
+                    label: None,
+                },
+                QueryEdge {
+                    name: None,
+                    src: 1,
+                    dst: 2,
+                    label: None,
+                },
+                QueryEdge {
+                    name: None,
+                    src: 2,
+                    dst: 0,
+                    label: None,
+                },
             ],
             predicates: vec![],
         }

@@ -68,10 +68,7 @@ fn brute_force(g: &Graph, q: &QueryGraph) -> u64 {
             let mut row = aplus_query::query::Row::unbound(q.vertices.len(), q.edges.len());
             for (qe, &di) in q.edges.iter().zip(assignment.iter()) {
                 let (e, s, d, _) = edges[di];
-                row.bind_edge(
-                    q.edges.iter().position(|x| std::ptr::eq(x, qe)).unwrap(),
-                    e,
-                );
+                row.bind_edge(q.edges.iter().position(|x| std::ptr::eq(x, qe)).unwrap(), e);
                 row.bind_vertex(qe.src, s);
                 row.bind_vertex(qe.dst, d);
             }

@@ -58,7 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let q6 = "MATCH a-[r]->b WHERE r.currency = USD, r.amt > 70";
     let (_, plan) = db.prepare(q6)?;
     println!("{plan}");
-    println!("  -> {} matches (the index subsumes both predicates)", db.count(q6)?);
+    println!(
+        "  -> {} matches (the index subsumes both predicates)",
+        db.count(q6)?
+    );
 
     println!("\nIndex memory: {} bytes", db.index_memory_bytes());
     for (name, bytes) in db.store().memory_report() {

@@ -68,11 +68,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         match reference {
             None => reference = Some((tri, pth)),
-            Some(expect) => assert_eq!(
-                (tri, pth),
-                expect,
-                "tuning must never change query results"
-            ),
+            Some(expect) => {
+                assert_eq!((tri, pth), expect, "tuning must never change query results")
+            }
         }
     }
     println!("\nAll three configurations agree on every count.");

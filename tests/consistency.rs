@@ -177,6 +177,10 @@ fn maintenance_equals_rebuild() {
     // And again after forcing all buffers to merge.
     db.flush();
     for q in QUERIES {
-        assert_eq!(db.count(q).unwrap(), fresh.count(q).unwrap(), "post-flush {q}");
+        assert_eq!(
+            db.count(q).unwrap(),
+            fresh.count(q).unwrap(),
+            "post-flush {q}"
+        );
     }
 }

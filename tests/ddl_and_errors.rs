@@ -140,8 +140,10 @@ fn queries_survive_many_reconfigurations() {
     let q = "MATCH c1-[r1:O]->a1-[r2:W]->a2 WHERE c1.name = 'Alice'";
     let expect = db.count(q).unwrap();
     for round in 0..5 {
-        db.ddl("RECONFIGURE PRIMARY INDEXES PARTITION BY eadj.label, eadj.currency SORT BY vnbr.city")
-            .unwrap();
+        db.ddl(
+            "RECONFIGURE PRIMARY INDEXES PARTITION BY eadj.label, eadj.currency SORT BY vnbr.city",
+        )
+        .unwrap();
         assert_eq!(db.count(q).unwrap(), expect, "round {round} (a)");
         db.ddl("RECONFIGURE PRIMARY INDEXES PARTITION BY eadj.label SORT BY vnbr.ID")
             .unwrap();

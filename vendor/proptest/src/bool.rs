@@ -1,0 +1,18 @@
+//! Boolean strategies (`prop::bool::ANY`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy type of [`ANY`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any;
+
+/// Generates `true` and `false` with equal probability.
+pub const ANY: Any = Any;
+
+impl Strategy for Any {
+    type Value = bool;
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}

@@ -1,0 +1,204 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate, covering the API subset this workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (with an optional `#![proptest_config(..)]`
+//!   inner attribute) generating `#[test]` functions,
+//! * the [`strategy::Strategy`] trait with `prop_map` and `boxed`,
+//! * integer-range, tuple, [`strategy::Just`], [`collection::vec`],
+//!   [`option::of`] and [`bool::ANY`] strategies,
+//! * [`prop_oneof!`] (weighted or unweighted) via [`strategy::Union`],
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`],
+//! * [`test_runner::ProptestConfig::with_cases`].
+//!
+//! Differences from real proptest, deliberate for an offline test
+//! environment: inputs are generated from a seed derived from the test's
+//! module path, so runs are **deterministic**; failing cases are reported
+//! by panic message but **not shrunk** to minimal counterexamples. The
+//! strategy combinator algebra and test semantics (a case fails ⇒ the test
+//! fails) are the same, so swapping in the real crate is a manifest-only
+//! change that additionally buys shrinking and persistence.
+
+pub mod bool;
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod test_runner;
+
+/// One-stop imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Module-alias re-exports (`prop::bool::ANY`, `prop::collection::vec`,
+    /// …), as real proptest's prelude provides.
+    pub mod prop {
+        pub use crate::bool;
+        pub use crate::collection;
+        pub use crate::option;
+    }
+}
+
+/// Defines property tests. Each `fn name(arg in strategy, ..) { body }`
+/// item becomes a `#[test]` function that samples the strategies
+/// `config.cases` times and runs the body on each sample.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_item! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_item! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_item {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            use $crate::strategy::Strategy as _;
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            for case in 0..config.cases {
+                let mut rng = $crate::test_runner::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case,
+                );
+                $(let $arg = ($strat).sample(&mut rng);)+
+                // The closure is what lets bodies use `?` with
+                // TestCaseError, as in real proptest.
+                #[allow(clippy::redundant_closure_call)]
+                let result: $crate::test_runner::TestCaseResult = (|| {
+                    $body
+                    Ok(())
+                })();
+                if let Err(e) = result {
+                    panic!("case {case} failed: {e}");
+                }
+            }
+        }
+        $crate::__proptest_item! { ($cfg) $($rest)* }
+    };
+}
+
+/// Weighted (or unweighted) choice between strategies producing the same
+/// value type. `prop_oneof![3 => a, 1 => b]` picks `a` three times as
+/// often as `b`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property test (no shrinking here, so this
+/// is `assert!` with proptest's spelling).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Equality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Inequality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Shape {
+        Dot,
+        Line(u32),
+        Rect(u32, u32),
+    }
+
+    fn shape_strategy() -> impl Strategy<Value = Shape> {
+        prop_oneof![
+            1 => Just(Shape::Dot),
+            2 => (1u32..10).prop_map(Shape::Line),
+            2 => (1u32..10, 1u32..10).prop_map(|(w, h)| Shape::Rect(w, h)),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_tuples_stay_in_bounds(
+            (a, b, c) in (0u32..7, -3i64..3, 0usize..=4),
+            flag in prop::bool::ANY,
+        ) {
+            prop_assert!(a < 7);
+            prop_assert!((-3..3).contains(&b));
+            prop_assert!(c <= 4);
+            let _ = flag;
+        }
+
+        #[test]
+        fn vec_respects_size_range(
+            values in prop::collection::vec(0u64..=u32::MAX as u64, 2..50),
+        ) {
+            prop_assert!((2..50).contains(&values.len()));
+            prop_assert!(values.iter().all(|&v| v <= u32::MAX as u64));
+        }
+
+        #[test]
+        fn option_of_produces_both(opt in prop::option::of(0u32..100)) {
+            if let Some(v) = opt {
+                prop_assert!(v < 100);
+            }
+        }
+
+        #[test]
+        fn oneof_covers_arms(shape in shape_strategy()) {
+            match shape {
+                Shape::Dot => {}
+                Shape::Line(n) => prop_assert!((1..10).contains(&n)),
+                Shape::Rect(w, h) => {
+                    prop_assert!((1..10).contains(&w), "w {} out of range", w);
+                    prop_assert_ne!(h, 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn same_case_same_sample() {
+        let strat = crate::collection::vec((0u32..50, 0i64..9), 0..20);
+        use crate::strategy::Strategy as _;
+        let mut r1 = TestRng::for_case("x", 3);
+        let mut r2 = TestRng::for_case("x", 3);
+        assert_eq!(strat.sample(&mut r1), strat.sample(&mut r2));
+    }
+
+    #[test]
+    fn union_weights_roughly_respected() {
+        use crate::strategy::Strategy as _;
+        let strat = prop_oneof![9 => Just(true), 1 => Just(false)];
+        let mut rng = TestRng::for_case("weights", 0);
+        let hits = (0..1000).filter(|_| strat.sample(&mut rng)).count();
+        assert!(hits > 800, "expected ~900 true, got {hits}");
+    }
+}

@@ -1,0 +1,26 @@
+//! `Option` strategies (`proptest::option::of`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Generates `None` one time in five and `Some(element)` otherwise, so
+/// both arms get exercised with a bias toward interesting values.
+pub fn of<S: Strategy>(element: S) -> OptionStrategy<S> {
+    OptionStrategy { element }
+}
+
+/// Strategy returned by [`of`].
+pub struct OptionStrategy<S> {
+    element: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.below(5) == 0 {
+            None
+        } else {
+            Some(self.element.sample(rng))
+        }
+    }
+}

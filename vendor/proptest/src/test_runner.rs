@@ -1,0 +1,95 @@
+//! Test configuration and the per-case RNG.
+
+use std::fmt;
+
+use rand::prelude::*;
+
+/// A failed test case, for property bodies and helper closures that
+/// return `Result<(), TestCaseError>` and bail with `?`.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A failure carrying `reason`.
+    #[must_use]
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError {
+            message: reason.into(),
+        }
+    }
+
+    /// Real proptest distinguishes rejection from failure; the stub does
+    /// not generate-and-filter, so a reject is reported as a failure.
+    #[must_use]
+    pub fn reject(reason: impl Into<String>) -> Self {
+        Self::fail(reason)
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.message.fmt(f)
+    }
+}
+
+/// Shorthand for property bodies: `Ok(())` on success.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Configuration for a `proptest!` block, set with the
+/// `#![proptest_config(..)]` inner attribute.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 64 cases — smaller than real proptest's 256 because this stub does
+    /// not shrink, so CI time is better spent elsewhere.
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The RNG strategies sample from. Seeded from the test's identity and the
+/// case number, so every run of the suite sees the same inputs.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// RNG for one (test, case) pair.
+    #[must_use]
+    pub fn for_case(test_ident: &str, case: u32) -> Self {
+        // FNV-1a over the identity, mixed with the case number.
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in test_ident.bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(h ^ (u64::from(case) << 32 | u64::from(case))),
+        }
+    }
+
+    /// Next raw word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform integer in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        self.next_u64() % bound
+    }
+}

@@ -1,0 +1,267 @@
+//! Offline stand-in for the [`serde`](https://crates.io/crates/serde)
+//! crate. This workspace only ever serializes plain structs to JSON (the
+//! benchmark reporter), so instead of serde's full data model this stub
+//! defines a single-format [`Serialize`] trait writing directly into a
+//! [`JsonWriter`], plus a `#[derive(Serialize)]` /`#[derive(Deserialize)]`
+//! pair (from the sibling `serde_derive` stub) for structs with named
+//! fields. [`Deserialize`] is a marker only — nothing in the workspace
+//! parses JSON back yet.
+//!
+//! Swapping in real serde is a manifest-only change for dependents: the
+//! derive spellings, the `derive` cargo feature, and `serde_json`'s
+//! `to_string`/`to_string_pretty` entry points all match.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Types that can write themselves as a JSON value.
+pub trait Serialize {
+    /// Appends `self`'s JSON encoding to `out`.
+    fn serialize(&self, out: &mut JsonWriter);
+}
+
+/// Marker for types the derive accepts; the stub performs no parsing.
+pub trait Deserialize {}
+
+/// An append-only JSON encoder with optional pretty-printing, tracking
+/// container nesting for commas and indentation.
+#[derive(Debug)]
+pub struct JsonWriter {
+    buf: String,
+    pretty: bool,
+    depth: usize,
+    /// Whether the current container already holds an element.
+    has_element: Vec<bool>,
+}
+
+impl JsonWriter {
+    /// A writer producing compact (`pretty = false`) or indented output.
+    #[must_use]
+    pub fn new(pretty: bool) -> Self {
+        JsonWriter {
+            buf: String::new(),
+            pretty,
+            depth: 0,
+            has_element: Vec::new(),
+        }
+    }
+
+    /// Consumes the writer, returning the JSON text.
+    #[must_use]
+    pub fn finish(self) -> String {
+        self.buf
+    }
+
+    fn newline_indent(&mut self) {
+        if self.pretty {
+            self.buf.push('\n');
+            for _ in 0..self.depth {
+                self.buf.push_str("  ");
+            }
+        }
+    }
+
+    fn begin_container(&mut self, open: char) {
+        self.buf.push(open);
+        self.depth += 1;
+        self.has_element.push(false);
+    }
+
+    fn end_container(&mut self, close: char) {
+        self.depth -= 1;
+        let had = self.has_element.pop().expect("balanced container");
+        if had {
+            self.newline_indent();
+        }
+        self.buf.push(close);
+    }
+
+    fn element_separator(&mut self) {
+        let had = self.has_element.last_mut().expect("inside a container");
+        if *had {
+            self.buf.push(',');
+        }
+        *had = true;
+        self.newline_indent();
+    }
+
+    /// Opens `{`.
+    pub fn begin_object(&mut self) {
+        self.begin_container('{');
+    }
+
+    /// Writes `"name":` (with separator) for the next field.
+    pub fn field(&mut self, name: &str) {
+        self.element_separator();
+        self.string(name);
+        self.buf.push(':');
+        if self.pretty {
+            self.buf.push(' ');
+        }
+    }
+
+    /// Closes `}`.
+    pub fn end_object(&mut self) {
+        self.end_container('}');
+    }
+
+    /// Opens `[`.
+    pub fn begin_array(&mut self) {
+        self.begin_container('[');
+    }
+
+    /// Writes the separator before the next array element.
+    pub fn element(&mut self) {
+        self.element_separator();
+    }
+
+    /// Closes `]`.
+    pub fn end_array(&mut self) {
+        self.end_container(']');
+    }
+
+    /// Writes a JSON string with escaping.
+    pub fn string(&mut self, s: &str) {
+        self.buf.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => self.buf.push_str("\\\""),
+                '\\' => self.buf.push_str("\\\\"),
+                '\n' => self.buf.push_str("\\n"),
+                '\r' => self.buf.push_str("\\r"),
+                '\t' => self.buf.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    self.buf.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.buf.push(c),
+            }
+        }
+        self.buf.push('"');
+    }
+
+    /// Writes `null`.
+    pub fn null(&mut self) {
+        self.buf.push_str("null");
+    }
+
+    /// Writes a raw numeric/boolean token (caller guarantees validity).
+    pub fn raw_token(&mut self, token: &str) {
+        self.buf.push_str(token);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self, out: &mut JsonWriter) {
+        (**self).serialize(out);
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self, out: &mut JsonWriter) {
+        out.string(self);
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self, out: &mut JsonWriter) {
+        out.string(self);
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self, out: &mut JsonWriter) {
+        out.raw_token(if *self { "true" } else { "false" });
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize(&self, out: &mut JsonWriter) {
+        if self.is_finite() {
+            out.raw_token(&self.to_string());
+        } else {
+            // JSON has no NaN/Infinity; match serde_json's lossy `null`.
+            out.null();
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self, out: &mut JsonWriter) {
+        f64::from(*self).serialize(out);
+    }
+}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self, out: &mut JsonWriter) {
+                out.raw_token(&self.to_string());
+            }
+        }
+    )*};
+}
+
+impl_serialize_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self, out: &mut JsonWriter) {
+        match self {
+            Some(v) => v.serialize(out),
+            None => out.null(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self, out: &mut JsonWriter) {
+        self.as_slice().serialize(out);
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self, out: &mut JsonWriter) {
+        out.begin_array();
+        for item in self {
+            out.element();
+            item.serialize(out);
+        }
+        out.end_array();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_and_escapes() {
+        let mut w = JsonWriter::new(false);
+        "a\"b\\c\nd".serialize(&mut w);
+        assert_eq!(w.finish(), r#""a\"b\\c\nd""#);
+
+        let mut w = JsonWriter::new(false);
+        f64::NAN.serialize(&mut w);
+        assert_eq!(w.finish(), "null");
+    }
+
+    #[test]
+    fn containers_compact() {
+        let mut w = JsonWriter::new(false);
+        vec![Some(1u32), None, Some(3)].serialize(&mut w);
+        assert_eq!(w.finish(), "[1,null,3]");
+    }
+
+    #[test]
+    fn pretty_object() {
+        let mut w = JsonWriter::new(true);
+        w.begin_object();
+        w.field("a");
+        1u32.serialize(&mut w);
+        w.field("b");
+        w.begin_array();
+        w.element();
+        2u32.serialize(&mut w);
+        w.end_array();
+        w.end_object();
+        assert_eq!(w.finish(), "{\n  \"a\": 1,\n  \"b\": [\n    2\n  ]\n}");
+    }
+}

@@ -1,0 +1,162 @@
+//! Offline stand-in for `serde_derive`: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` for **non-generic structs with named fields**
+//! (the only shapes this workspace derives). Parsing is done directly on
+//! the token stream — no `syn`/`quote`, which are unavailable offline.
+//! Unsupported shapes (enums, tuple structs, generics) produce a
+//! `compile_error!` naming this file, so failures are self-explaining.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the stub `serde::Serialize` (field-order JSON object).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_named_struct(input) {
+        Ok(parsed) => {
+            let mut body = String::new();
+            for field in &parsed.fields {
+                body.push_str(&format!(
+                    "out.field(\"{field}\"); ::serde::Serialize::serialize(&self.{field}, out);\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self, out: &mut ::serde::JsonWriter) {{\n\
+                         out.begin_object();\n\
+                         {body}\
+                         out.end_object();\n\
+                     }}\n\
+                 }}",
+                name = parsed.name,
+            )
+            .parse()
+            .expect("generated Serialize impl parses")
+        }
+        Err(msg) => error(&msg),
+    }
+}
+
+/// Derives the stub `serde::Deserialize` marker.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_named_struct(input) {
+        Ok(parsed) => format!("impl ::serde::Deserialize for {} {{}}", parsed.name)
+            .parse()
+            .expect("generated Deserialize impl parses"),
+        Err(msg) => error(&msg),
+    }
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("error token parses")
+}
+
+struct NamedStruct {
+    name: String,
+    fields: Vec<String>,
+}
+
+/// Extracts the type name and field names from a named-field struct
+/// definition, skipping attributes, visibility, and field types.
+fn parse_named_struct(input: TokenStream) -> Result<NamedStruct, String> {
+    let mut tokens = input.into_iter().peekable();
+
+    // Item prelude: skip attributes (`#[..]`) and visibility until `struct`.
+    let name = loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // The following bracket group is the attribute body.
+                tokens.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => match tokens.next() {
+                Some(TokenTree::Ident(name)) => break name.to_string(),
+                other => return Err(format!("expected struct name, got {other:?}")),
+            },
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                return Err("serde_derive stub supports structs only, not enums".into());
+            }
+            Some(TokenTree::Ident(_)) | Some(TokenTree::Group(_)) => {
+                // Visibility (`pub`, `pub(crate)`) or similar; keep scanning.
+            }
+            Some(other) => return Err(format!("unexpected token before struct: {other:?}")),
+            None => return Err("no struct definition found".into()),
+        }
+    };
+
+    // Body: the brace group (named fields). `<` right after the name means
+    // generics, which the stub does not support.
+    let body = loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                return Err(format!(
+                    "serde_derive stub cannot handle generic struct {name}"
+                ));
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                return Err(format!(
+                    "serde_derive stub needs named fields on struct {name}"
+                ));
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!(
+                    "serde_derive stub cannot handle tuple struct {name}"
+                ));
+            }
+            Some(_) => {}
+            None => return Err(format!("struct {name} has no body")),
+        }
+    };
+
+    let mut fields = Vec::new();
+    let mut body_tokens = body.stream().into_iter().peekable();
+    loop {
+        // Field prelude: attributes and visibility.
+        let field_name = loop {
+            match body_tokens.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    body_tokens.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    // Possible `pub(crate)` group follows.
+                    if let Some(TokenTree::Group(_)) = body_tokens.peek() {
+                        body_tokens.next();
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break Some(id.to_string()),
+                Some(other) => return Err(format!("unexpected token in field list: {other:?}")),
+                None => break None,
+            }
+        };
+        let Some(field_name) = field_name else { break };
+        match body_tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                return Err(format!(
+                    "expected `:` after field {field_name}, got {other:?}"
+                ))
+            }
+        }
+        fields.push(field_name);
+        // Skip the type: consume until a top-level comma, tracking angle
+        // depth so `Option<u64>`-style generics don't split early. (`->`
+        // cannot appear in a struct field type's top level.)
+        let mut angle_depth = 0i32;
+        loop {
+            match body_tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => angle_depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => angle_depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => {
+                    body_tokens.next();
+                    break;
+                }
+                None => break,
+                Some(_) => {}
+            }
+            body_tokens.next();
+        }
+    }
+
+    Ok(NamedStruct { name, fields })
+}

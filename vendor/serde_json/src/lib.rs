@@ -1,0 +1,81 @@
+//! Offline stand-in for [`serde_json`](https://crates.io/crates/serde_json),
+//! providing the two entry points this workspace uses — [`to_string`] and
+//! [`to_string_pretty`] — over the stub `serde::Serialize` trait. The
+//! output is real JSON (escaped strings, `null` for `None`/non-finite
+//! floats, two-space pretty indentation), so reports written by the bench
+//! harness parse with any JSON tool.
+
+use std::fmt;
+
+use serde::{JsonWriter, Serialize};
+
+/// Serialization error. The stub's serializers cannot fail, so this is
+/// only here to keep the `Result` signatures of real serde_json.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde_json stub error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Encodes `value` as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut writer = JsonWriter::new(false);
+    value.serialize(&mut writer);
+    Ok(writer.finish())
+}
+
+/// Encodes `value` as pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut writer = JsonWriter::new(true);
+    value.serialize(&mut writer);
+    Ok(writer.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Serialize, Deserialize)]
+    struct Inner {
+        label: String,
+        count: Option<u64>,
+    }
+
+    #[derive(Serialize, Deserialize)]
+    struct Outer {
+        pub name: String,
+        value: f64,
+        items: Vec<Inner>,
+    }
+
+    #[test]
+    fn derived_struct_roundtrips_shape() {
+        let outer = Outer {
+            name: "t\"x".into(),
+            value: 2.5,
+            items: vec![
+                Inner {
+                    label: "a".into(),
+                    count: Some(3),
+                },
+                Inner {
+                    label: "b".into(),
+                    count: None,
+                },
+            ],
+        };
+        let compact = super::to_string(&outer).unwrap();
+        assert_eq!(
+            compact,
+            r#"{"name":"t\"x","value":2.5,"items":[{"label":"a","count":3},{"label":"b","count":null}]}"#
+        );
+        let pretty = super::to_string_pretty(&outer).unwrap();
+        assert!(pretty.contains("\n  \"name\": \"t\\\"x\","), "{pretty}");
+        assert!(pretty.ends_with('}'), "{pretty}");
+    }
+}
