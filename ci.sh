@@ -23,5 +23,11 @@ run cargo build --release
 # vendor stubs' self-tests.
 run cargo test --workspace -q
 run env RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+# Perf trajectory + parallel-path smoke: bench_smoke rewrites the
+# BENCH_*.json baselines at the repo root (commit them), and the 2-thread
+# table7_scaling run exercises morsel-driven execution end to end (its
+# internal assertions verify counts are thread-count-invariant).
+run env APLUS_SCALE=20000 APLUS_THREAD_COUNTS=1,2,4 cargo run --release -q -p aplus_bench --bin bench_smoke
+run env APLUS_SCALE=20000 APLUS_THREAD_COUNTS=1,2 cargo run --release -q -p aplus_bench --bin table7_scaling
 echo
 echo "CI gate passed."

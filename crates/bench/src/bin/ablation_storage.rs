@@ -1,6 +1,6 @@
 //! Ablation E13/E14: offset lists vs bitmaps vs ID duplication.
 fn main() {
-    let r = aplus_bench::tables::run_ablation();
+    let r = aplus_bench::tables::run_ablation(aplus_bench::datasets::scale());
     println!("{}", r.render("offset-lists"));
     r.write_json();
 }

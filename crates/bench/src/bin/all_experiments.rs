@@ -1,9 +1,10 @@
 //! Runs every experiment in sequence (the EXPERIMENTS.md generator).
 fn main() {
+    let scale = aplus_bench::datasets::scale();
     for (name, run) in [
         (
             "table1",
-            aplus_bench::tables::run_table1 as fn() -> aplus_bench::Reporter,
+            aplus_bench::tables::run_table1 as fn(usize) -> aplus_bench::Reporter,
         ),
         ("table2", aplus_bench::tables::run_table2),
         ("table3", aplus_bench::tables::run_table3),
@@ -11,13 +12,15 @@ fn main() {
         ("table5", aplus_bench::tables::run_table5),
         ("table6", aplus_bench::tables::run_table6),
         ("ablation", aplus_bench::tables::run_ablation),
+        ("table7_scaling", aplus_bench::scaling::run_table7_env),
     ] {
         eprintln!(">>> running {name}");
-        let r = run();
+        let r = run(scale);
         let baseline = match name {
             "table6" => "Ds",
             "ablation" => "offset-lists",
             "table1" => "scaled",
+            "table7_scaling" => "T1",
             _ => "D",
         };
         println!("{}", r.render(baseline));

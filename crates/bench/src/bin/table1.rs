@@ -1,6 +1,6 @@
 //! Regenerates Table I (dataset statistics).
 fn main() {
-    let r = aplus_bench::tables::run_table1();
+    let r = aplus_bench::tables::run_table1(aplus_bench::datasets::scale());
     println!("{}", r.render("scaled"));
     r.write_json();
 }

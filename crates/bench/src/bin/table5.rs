@@ -1,6 +1,6 @@
 //! Regenerates Table 5 of the paper. See `aplus_bench::tables`.
 fn main() {
-    let r = aplus_bench::tables::run_table5();
+    let r = aplus_bench::tables::run_table5(aplus_bench::datasets::scale());
     println!("{}", r.render("D"));
     r.write_json();
 }

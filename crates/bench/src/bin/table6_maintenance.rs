@@ -1,6 +1,6 @@
 //! Regenerates the §V-F maintenance micro-benchmark.
 fn main() {
-    let r = aplus_bench::tables::run_table6();
+    let r = aplus_bench::tables::run_table6(aplus_bench::datasets::scale());
     println!("{}", r.render("Ds"));
     r.write_json();
 }

@@ -1,0 +1,22 @@
+//! Morsel-driven parallel scaling: SQ/MR workloads at 1/2/4/8 threads.
+//!
+//! Beyond the paper (whose evaluation is single-threaded): this measures
+//! the `aplus_runtime` morsel-execution subsystem. `APLUS_SCALE` sets the
+//! dataset divisor, `APLUS_THREAD_COUNTS` (e.g. `1,2`) the measured
+//! configurations. Counts are asserted identical across thread counts.
+fn main() {
+    let scale = aplus_bench::datasets::scale();
+    let threads = aplus_bench::scaling::thread_counts_from_env();
+    let r = aplus_bench::scaling::run_table7(scale, &threads);
+    println!("{}", r.render("T1"));
+    for &t in threads.iter().filter(|&&t| t != 1) {
+        if let Some(s) = aplus_bench::scaling::sq_speedup(&r, t) {
+            println!("SQ speedup at {t} threads: {s:.2}x");
+        }
+    }
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    if cores < 2 {
+        println!("(note: this machine exposes {cores} core(s); speedups are bounded by hardware)");
+    }
+    r.write_json();
+}

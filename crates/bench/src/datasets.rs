@@ -1,28 +1,46 @@
 //! Scaled dataset construction for the experiment harness.
 //!
-//! `APLUS_SCALE` divides the paper's vertex/edge counts (Table I); the
+//! The scale divisor divides the paper's vertex/edge counts (Table I); the
 //! default of 1000 gives, e.g., a 3K-vertex / 117K-edge Orkut. The average
 //! degree — the statistic that drives adjacency-list sizes, offset widths
 //! and the relative costs the experiments compare — is preserved at any
 //! scale.
+//!
+//! The `APLUS_SCALE` environment variable is a **binary-level entry point
+//! only**: the `table*` binaries read it once via [`scale`] and pass the
+//! result down explicitly. Library code and tests take the divisor as a
+//! parameter — mutating process-global environment from tests races with
+//! the multi-threaded test harness.
 
 use aplus_datagen::presets::{build_preset, DatasetPreset};
 use aplus_graph::Graph;
 
-/// Reads the scale divisor from `APLUS_SCALE` (default 1000).
+/// Reads the scale divisor from `APLUS_SCALE`, defaulting to
+/// `default_divisor`. Call once at binary startup; pass the result down.
 #[must_use]
-pub fn scale() -> usize {
+pub fn scale_or(default_divisor: usize) -> usize {
     std::env::var("APLUS_SCALE")
         .ok()
         .and_then(|s| s.parse().ok())
         .filter(|&s| s > 0)
-        .unwrap_or(1000)
+        .unwrap_or(default_divisor)
 }
 
-/// Builds `G_{i,j}` for a preset at the harness scale.
+/// Reads the scale divisor from `APLUS_SCALE` (default 1000).
 #[must_use]
-pub fn dataset(preset: DatasetPreset, vertex_labels: usize, edge_labels: usize) -> Graph {
-    build_preset(preset, scale(), vertex_labels, edge_labels)
+pub fn scale() -> usize {
+    scale_or(1000)
+}
+
+/// Builds `G_{i,j}` for a preset at an explicit scale divisor.
+#[must_use]
+pub fn dataset(
+    preset: DatasetPreset,
+    scale: usize,
+    vertex_labels: usize,
+    edge_labels: usize,
+) -> Graph {
+    build_preset(preset, scale, vertex_labels, edge_labels)
 }
 
 /// Scales one of the paper's absolute vertex-ID caps (e.g. MF3's
@@ -39,7 +57,7 @@ mod tests {
 
     #[test]
     fn scaled_cap_preserves_fraction() {
-        let g = dataset(DatasetPreset::BerkStan, 1, 1);
+        let g = dataset(DatasetPreset::BerkStan, 1000, 1, 1);
         let cap = scaled_cap(&g, 10_000, 3_000_000);
         let frac = f64::from(cap) / g.vertex_count() as f64;
         assert!((frac - 10_000.0 / 3_000_000.0).abs() < 0.01);

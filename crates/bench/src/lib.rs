@@ -15,12 +15,21 @@
 //! | `table5` | Table V — fixed-index baselines |
 //! | `table6_maintenance` | §V-F — maintenance micro-benchmark |
 //! | `ablation_storage` | §III-B3 — offset lists vs bitmaps vs ID lists |
+//! | `table7_scaling` | morsel-driven parallel scaling at 1/2/4/8 threads (beyond the paper) |
+//! | `bench_smoke` | CI perf trajectory: reduced-scale run writing `BENCH_tables.json` + `BENCH_scaling.json` at the repo root |
 //!
 //! Dataset sizes scale with `APLUS_SCALE` (divisor of the paper's
-//! vertex/edge counts; default 1000).
+//! vertex/edge counts; default 1000). The environment variable is read
+//! once per binary; every driver function takes the divisor as an explicit
+//! parameter so library callers and tests never touch process-global env.
+//! `table7_scaling` and `bench_smoke` additionally honour
+//! `APLUS_THREAD_COUNTS` (e.g. `1,2,4`), which fully determines the pools
+//! they measure (the runtime-wide `APLUS_THREADS` default does not apply —
+//! the sweep builds each pool explicitly).
 
 pub mod datasets;
 pub mod report;
+pub mod scaling;
 pub mod tables;
 pub mod workloads;
 

@@ -22,10 +22,10 @@ use crate::workloads::{mf, mr, sq};
 const MB: f64 = 1024.0 * 1024.0;
 
 /// Table I: dataset statistics (paper-shape, scaled).
-pub fn run_table1() -> Reporter {
-    let mut r = Reporter::new("table1", "Datasets (Table I), scaled by APLUS_SCALE");
+pub fn run_table1(scale: usize) -> Reporter {
+    let mut r = Reporter::new("table1", "Datasets (Table I), at the given scale divisor");
     for preset in DatasetPreset::all() {
-        let g = dataset(preset, 1, 1);
+        let g = dataset(preset, scale, 1, 1);
         let stats = GraphStats::compute(&g);
         let name = preset.short_name();
         r.record_value(name, "scaled", "Vertices", stats.vertex_count as f64);
@@ -49,7 +49,7 @@ fn table2_datasets() -> [(&'static str, DatasetPreset, usize, usize); 3] {
 }
 
 /// Table II: primary reconfiguration D / Ds / Dp over SQ1–SQ13.
-pub fn run_table2() -> Reporter {
+pub fn run_table2(scale: usize) -> Reporter {
     let mut r = Reporter::new(
         "table2",
         "Primary A+ index reconfiguration (Table II): D vs Ds vs Dp",
@@ -69,7 +69,7 @@ pub fn run_table2() -> Reporter {
         ),
     ];
     for (name, preset, i, j) in table2_datasets() {
-        let mut db = Database::new(dataset(preset, i, j)).expect("index build");
+        let mut db = Database::new(dataset(preset, scale, i, j)).expect("index build");
         let queries = sq::table2_queries(i, j);
         for (config, ddl) in configs {
             let t = Instant::now();
@@ -88,14 +88,14 @@ pub fn run_table2() -> Reporter {
 }
 
 /// Table III: MagicRecs under D vs D+VPt.
-pub fn run_table3() -> Reporter {
+pub fn run_table3(scale: usize) -> Reporter {
     let mut r = Reporter::new("table3", "MagicRecs (Table III): D vs D+VPt");
     for (name, preset) in [
         ("Ork", DatasetPreset::Orkut),
         ("LJ", DatasetPreset::LiveJournal),
         ("WT", DatasetPreset::WikiTopcats),
     ] {
-        let mut g = dataset(preset, 1, 1);
+        let mut g = dataset(preset, scale, 1, 1);
         let props = add_magicrecs_properties(&mut g, 0xA11);
         let alpha = time_threshold_for_selectivity(&g, props, 0.05);
         // The paper caps MR3's a1 at 10000/7000 vertices on LJ/Ork.
@@ -137,7 +137,7 @@ pub fn run_table3() -> Reporter {
 }
 
 /// Table IV: fraud queries under D, D+VPc, D+VPc+EPc.
-pub fn run_table4() -> Reporter {
+pub fn run_table4(scale: usize) -> Reporter {
     let mut r = Reporter::new(
         "table4",
         "Fraud detection (Table IV): D vs D+VPc vs D+VPc+EPc",
@@ -148,7 +148,7 @@ pub fn run_table4() -> Reporter {
         ("LJ", DatasetPreset::LiveJournal),
         ("WT", DatasetPreset::WikiTopcats),
     ] {
-        let mut g = dataset(preset, 1, 1);
+        let mut g = dataset(preset, scale, 1, 1);
         add_fraud_properties(&mut g, 0xF4A);
         let mf3_cap = scaled_cap(&g, 10_000, 3_000_000).max(20);
         let mf5_cap = scaled_cap(&g, 50_000, 3_000_000).max(20);
@@ -211,7 +211,7 @@ pub fn run_table4() -> Reporter {
 }
 
 /// Table V: A+ (D, Dp) vs the fixed-index baselines on SQ1/2/3/13.
-pub fn run_table5() -> Reporter {
+pub fn run_table5(scale: usize) -> Reporter {
     let mut r = Reporter::new(
         "table5",
         "Fixed-index comparison (Table V): A+ D/Dp vs TG-like vs N4-like",
@@ -220,7 +220,7 @@ pub fn run_table5() -> Reporter {
         ("LJ12,2", DatasetPreset::LiveJournal, 12usize, 2usize),
         ("WT4,2", DatasetPreset::WikiTopcats, 4, 2),
     ] {
-        let graph = dataset(preset, i, j);
+        let graph = dataset(preset, scale, i, j);
         let mut db = Database::new(graph).expect("index build");
         let n4 = Baseline::build(db.graph(), BaselineKind::Neo4jLike);
         let tg = Baseline::build(db.graph(), BaselineKind::TigerGraphLike);
@@ -248,7 +248,7 @@ pub fn run_table5() -> Reporter {
 /// §V-F: maintenance micro-benchmark. Loads 50% of a MagicRecs dataset,
 /// inserts the rest one edge at a time under five configurations of
 /// increasing maintenance work, and reports edges/second.
-pub fn run_table6() -> Reporter {
+pub fn run_table6(scale: usize) -> Reporter {
     let mut r = Reporter::new(
         "table6",
         "Index maintenance (§V-F): insert rates under Ds/Dp/Dps/Dps+VPt/Dps+EPt",
@@ -258,7 +258,7 @@ pub fn run_table6() -> Reporter {
         ("LJ2,4", DatasetPreset::LiveJournal, 2usize, 4usize),
         ("Brk2,2", DatasetPreset::BerkStan, 2, 2),
     ] {
-        let full = dataset(preset, i, j);
+        let full = dataset(preset, scale, i, j);
         let mut g = full.clone();
         let props = add_magicrecs_properties(&mut g, 0x6EED);
         let alpha = time_threshold_for_selectivity(&g, props, 0.01);
@@ -365,7 +365,7 @@ pub fn run_table6() -> Reporter {
 
 /// E13/E14 ablation: offset lists vs bitmaps vs duplicated ID lists across
 /// view selectivities, in bytes per indexed edge and access time.
-pub fn run_ablation() -> Reporter {
+pub fn run_ablation(scale: usize) -> Reporter {
     let mut r = Reporter::new(
         "ablation_storage",
         "Secondary storage ablation (§III-B3): offset lists vs bitmaps vs ID duplication",
@@ -373,7 +373,7 @@ pub fn run_ablation() -> Reporter {
     use aplus_core::view::OneHopView;
     use aplus_core::{CmpOp, ViewComparison, ViewEntity, ViewPredicate};
 
-    let mut g = dataset(DatasetPreset::LiveJournal, 1, 1);
+    let mut g = dataset(DatasetPreset::LiveJournal, scale, 1, 1);
     add_fraud_properties(&mut g, 0xAB1);
     let amt = g
         .catalog()
@@ -469,34 +469,38 @@ pub fn run_ablation() -> Reporter {
 mod tests {
     use super::*;
 
+    /// The tiny scale divisor used by the smoke tests. Passed explicitly —
+    /// the test harness runs tests on multiple threads, so mutating
+    /// process-global env (`std::env::set_var("APLUS_SCALE", ...)`) would
+    /// bleed between tests. `APLUS_SCALE` remains the *binary-level* entry
+    /// point only (see [`crate::datasets::scale`]).
+    const TINY: usize = 20_000;
+
     /// Smoke-test every driver at a tiny scale. This is the integration
     /// test that every experiment is runnable end to end.
     #[test]
     fn all_tables_run_at_tiny_scale() {
-        std::env::set_var("APLUS_SCALE", "20000");
-        let t1 = run_table1();
+        let t1 = run_table1(TINY);
         assert!(!t1.measurements.is_empty());
-        let t3 = run_table3();
+        let t3 = run_table3(TINY);
         assert!(t3.measurements.iter().any(|m| m.query == "MR3"));
-        let t5 = run_table5();
+        let t5 = run_table5(TINY);
         assert!(t5.measurements.iter().any(|m| m.config == "TG-like"));
-        let ab = run_ablation();
+        let ab = run_ablation(TINY);
         assert!(ab.measurements.iter().any(|m| m.config == "bitmap"));
     }
 
     #[test]
     fn table2_and_4_run_at_tiny_scale() {
-        std::env::set_var("APLUS_SCALE", "20000");
-        let t2 = run_table2();
+        let t2 = run_table2(TINY);
         assert!(t2.measurements.iter().any(|m| m.config == "Dp"));
-        let t4 = run_table4();
+        let t4 = run_table4(TINY);
         assert!(t4.measurements.iter().any(|m| m.config == "D+VPc+EPc"));
     }
 
     #[test]
     fn table6_runs_at_tiny_scale() {
-        std::env::set_var("APLUS_SCALE", "20000");
-        let t6 = run_table6();
+        let t6 = run_table6(TINY);
         assert_eq!(
             t6.measurements.len(),
             10,

@@ -468,6 +468,10 @@ fn entries_for_bound_edge(
     }
 }
 
+/// Builds the offset entries morsel-parallel on the workspace's shared
+/// parallelism substrate ([`aplus_runtime::MorselPool`]). Morsels are
+/// contiguous bound-edge ranges and partial results concatenate in morsel
+/// order, so the entry sequence is identical to the sequential build.
 fn build_entries_parallel(
     graph: &Graph,
     primary: &PrimaryIndex,
@@ -476,37 +480,26 @@ fn build_entries_parallel(
     widths: &[u32],
     threads: usize,
 ) -> Vec<OffsetEntry> {
+    let pool = aplus_runtime::MorselPool::new(threads);
     let edge_count = graph.edge_count();
-    let chunk = edge_count.div_ceil(threads);
-    let mut results: Vec<Vec<OffsetEntry>> = Vec::with_capacity(threads);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|t| {
-                let lo = t * chunk;
-                let hi = ((t + 1) * chunk).min(edge_count);
-                scope.spawn(move || {
-                    let mut out = Vec::new();
-                    for i in lo..hi {
-                        let eb = EdgeId(i as u64);
-                        if graph.edge_is_deleted(eb) {
-                            continue;
-                        }
-                        let Ok((src, dst)) = graph.edge_endpoints(eb) else {
-                            continue;
-                        };
-                        entries_for_bound_edge(
-                            graph, primary, view, spec, widths, eb, src, dst, &mut out,
-                        );
-                    }
-                    out
-                })
-            })
-            .collect();
-        for h in handles {
-            results.push(h.join().expect("index build thread panicked"));
+    let morsel = aplus_runtime::scan_morsel_size(edge_count, pool.threads(), 4096);
+    pool.run_ranges(edge_count, morsel, |range| {
+        let mut out = Vec::new();
+        for i in range {
+            let eb = EdgeId(i as u64);
+            if graph.edge_is_deleted(eb) {
+                continue;
+            }
+            let Ok((src, dst)) = graph.edge_endpoints(eb) else {
+                continue;
+            };
+            entries_for_bound_edge(graph, primary, view, spec, widths, eb, src, dst, &mut out);
         }
-    });
-    results.into_iter().flatten().collect()
+        out
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 #[cfg(test)]

@@ -124,7 +124,16 @@ impl Graph {
 
     /// Iterates all live edges as `(edge, src, dst, label)`.
     pub fn edges(&self) -> impl Iterator<Item = (EdgeId, VertexId, VertexId, EdgeLabelId)> + '_ {
-        (0..self.edge_count()).filter_map(move |i| {
+        self.edges_in(0..self.edge_count())
+    }
+
+    /// Iterates the live edges with IDs in `range` — a scan morsel. The
+    /// range is clamped to the edge table, so callers may over-approximate.
+    pub fn edges_in(
+        &self,
+        range: std::ops::Range<usize>,
+    ) -> impl Iterator<Item = (EdgeId, VertexId, VertexId, EdgeLabelId)> + '_ {
+        (range.start..range.end.min(self.edge_count())).filter_map(move |i| {
             let e = EdgeId(i as u64);
             if self.edge_is_deleted(e) {
                 None

@@ -1,5 +1,8 @@
 //! The `Database` facade: graph + index store + parser + optimizer +
-//! executor in one handle.
+//! executor in one handle — plus the concurrent service layer,
+//! [`SharedDatabase`], which lets any number of reader threads execute
+//! queries (`&self`, morsel-parallel) while writes, DDL and flushes
+//! serialize through an explicit writer handle.
 //!
 //! This is the API the examples and benchmarks use:
 //!
@@ -10,11 +13,21 @@
 //! let db = Database::new(build_financial_graph().graph).unwrap();
 //! let wires = db.count("MATCH a-[r:W]->b").unwrap();
 //! assert_eq!(wires, 9);
+//!
+//! // The concurrent service layer: cloneable, Send + Sync, readers don't
+//! // block each other, and queries run morsel-parallel on the pool.
+//! let shared = db.into_shared();
+//! let handle = shared.clone();
+//! assert_eq!(handle.count("MATCH a-[r:W]->b").unwrap(), 9);
 //! ```
+
+use std::ops::{Deref, DerefMut};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use aplus_common::EdgeId;
 use aplus_core::{IndexSpec, IndexStore};
 use aplus_graph::{Graph, GraphError, PropertyEntity, Value};
+use aplus_runtime::MorselPool;
 
 use crate::ast::{self, Statement};
 use crate::error::QueryError;
@@ -103,6 +116,32 @@ impl Database {
     #[must_use]
     pub fn count_prepared(&self, query: &QueryGraph, plan: &Plan) -> u64 {
         exec::count(self.ctx(), query, plan)
+    }
+
+    /// Parses, optimizes and executes a `MATCH` query morsel-parallel on
+    /// `pool`; the count is guaranteed identical to [`Database::count`] at
+    /// any thread count (deterministic morsel-order merge).
+    pub fn count_parallel(&self, query: &str, pool: &MorselPool) -> Result<u64, QueryError> {
+        let (bound, plan) = self.prepare(query)?;
+        Ok(exec::count_parallel(self.ctx(), &bound, &plan, pool))
+    }
+
+    /// Executes a pre-bound query morsel-parallel on `pool`.
+    #[must_use]
+    pub fn count_prepared_parallel(
+        &self,
+        query: &QueryGraph,
+        plan: &Plan,
+        pool: &MorselPool,
+    ) -> u64 {
+        exec::count_parallel(self.ctx(), query, plan, pool)
+    }
+
+    /// Wraps this database in the concurrent service layer with a pool
+    /// sized from the environment (`APLUS_THREADS`, default: all cores).
+    #[must_use]
+    pub fn into_shared(self) -> SharedDatabase {
+        SharedDatabase::new(self)
     }
 
     /// Executes and collects up to `limit` rows of `(vertex bindings, edge
@@ -197,6 +236,141 @@ impl Database {
             graph: &self.graph,
             store: &self.store,
         }
+    }
+}
+
+/// The concurrent service layer over a [`Database`].
+///
+/// Cloning is cheap (an `Arc` bump) and every clone addresses the same
+/// database, so a server can hand one handle per connection:
+///
+/// * **Reads scale out.** [`SharedDatabase::count`] & friends take a shared
+///   read lock, so any number of threads query concurrently; each query
+///   additionally runs morsel-parallel on the handle's [`MorselPool`].
+/// * **Writes serialize.** Mutation (inserts, deletes, DDL,
+///   `RECONFIGURE`, flushes) goes through [`SharedDatabase::writer`], which
+///   takes the exclusive write lock for the lifetime of the returned
+///   handle. Readers observe either the pre- or post-write state, never a
+///   partial one.
+///
+/// Plans prepared via [`SharedDatabase::prepare`] reference indexes by
+/// name; execute them only while the index configuration is unchanged
+/// (the string-query paths plan and execute under one read lock, so they
+/// are always safe).
+///
+/// # Panics
+///
+/// A `std` `RwLock` is poisoned only when a *write* guard is dropped
+/// during a panic — i.e. exactly when a mutation may have been applied
+/// halfway. Reader panics never poison the lock, so readers crashing never
+/// take the service down; but once a writer has panicked mid-mutation,
+/// every subsequent access (read or write) panics rather than silently
+/// serving a possibly half-mutated database.
+#[derive(Debug, Clone)]
+pub struct SharedDatabase {
+    inner: Arc<RwLock<Database>>,
+    pool: MorselPool,
+}
+
+impl SharedDatabase {
+    /// Wraps `db` with a pool sized from the environment (`APLUS_THREADS`,
+    /// default: available parallelism).
+    #[must_use]
+    pub fn new(db: Database) -> Self {
+        Self::with_pool(db, MorselPool::from_env())
+    }
+
+    /// Wraps `db` with an explicit execution pool.
+    #[must_use]
+    pub fn with_pool(db: Database, pool: MorselPool) -> Self {
+        Self {
+            inner: Arc::new(RwLock::new(db)),
+            pool,
+        }
+    }
+
+    /// The execution pool queries run on.
+    #[must_use]
+    pub fn pool(&self) -> &MorselPool {
+        &self.pool
+    }
+
+    /// Parses, optimizes and executes a `MATCH` query morsel-parallel
+    /// under a shared read lock; returns the number of matches.
+    pub fn count(&self, query: &str) -> Result<u64, QueryError> {
+        self.read().count_parallel(query, &self.pool)
+    }
+
+    /// Executes and collects up to `limit` rows under a shared read lock.
+    pub fn collect(&self, query: &str, limit: usize) -> Result<Vec<RawRow>, QueryError> {
+        self.read().collect(query, limit)
+    }
+
+    /// Parses, binds and optimizes a query under a shared read lock.
+    pub fn prepare(&self, query: &str) -> Result<(QueryGraph, Plan), QueryError> {
+        self.read().prepare(query)
+    }
+
+    /// Executes a pre-bound query morsel-parallel under a shared read
+    /// lock. See the type docs for the plan-validity caveat.
+    #[must_use]
+    pub fn count_prepared(&self, query: &QueryGraph, plan: &Plan) -> u64 {
+        self.read().count_prepared_parallel(query, plan, &self.pool)
+    }
+
+    /// A shared read guard over the underlying [`Database`] for any other
+    /// `&self` access (plan inspection, memory reporting, raw stores).
+    /// Concurrent readers do not block each other. Panics if a writer
+    /// previously panicked mid-mutation (see the type docs).
+    pub fn read(&self) -> DatabaseReadGuard<'_> {
+        DatabaseReadGuard(
+            self.inner
+                .read()
+                .expect("database poisoned: a writer panicked mid-mutation"),
+        )
+    }
+
+    /// The exclusive writer handle: all mutation — `insert_edge`,
+    /// `delete_edge`, `ddl`, `flush` — goes through the returned guard,
+    /// which dereferences to `&mut Database`. Blocks until in-flight
+    /// readers finish; blocks new readers until dropped. Panics if a
+    /// previous writer panicked mid-mutation (see the type docs).
+    pub fn writer(&self) -> DatabaseWriteGuard<'_> {
+        DatabaseWriteGuard(
+            self.inner
+                .write()
+                .expect("database poisoned: a writer panicked mid-mutation"),
+        )
+    }
+}
+
+/// Shared read access to the database behind a [`SharedDatabase`].
+#[must_use]
+pub struct DatabaseReadGuard<'a>(RwLockReadGuard<'a, Database>);
+
+impl Deref for DatabaseReadGuard<'_> {
+    type Target = Database;
+
+    fn deref(&self) -> &Database {
+        &self.0
+    }
+}
+
+/// Exclusive write access to the database behind a [`SharedDatabase`].
+#[must_use]
+pub struct DatabaseWriteGuard<'a>(RwLockWriteGuard<'a, Database>);
+
+impl Deref for DatabaseWriteGuard<'_> {
+    type Target = Database;
+
+    fn deref(&self) -> &Database {
+        &self.0
+    }
+}
+
+impl DerefMut for DatabaseWriteGuard<'_> {
+    fn deref_mut(&mut self) -> &mut Database {
+        &mut self.0
     }
 }
 
@@ -348,5 +522,52 @@ mod tests {
     fn memory_reporting() {
         let db = db();
         assert!(db.index_memory_bytes() > 0);
+    }
+
+    #[test]
+    fn parallel_counts_match_sequential() {
+        let db = db();
+        for q in [
+            "MATCH a-[r:W]->b",
+            "MATCH a-[r]->b",
+            "MATCH a-[r1]->b-[r2]->c",
+            "MATCH c1-[r1:O]->a1-[r2:W]->a2 WHERE c1.name = 'Alice'",
+            "MATCH a1-[r1]->a2 WHERE r1.eID = 17", // edge-scan root
+        ] {
+            let seq = db.count(q).unwrap();
+            for threads in [1, 2, 4] {
+                let par = db.count_parallel(q, &MorselPool::new(threads)).unwrap();
+                assert_eq!(par, seq, "{q} at {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn shared_database_reads_and_writes() {
+        let shared = db().into_shared();
+        let reader = shared.clone();
+        assert_eq!(reader.count("MATCH a-[r:W]->b").unwrap(), 9);
+        // Writes/DDL serialize through the writer handle.
+        let e = shared
+            .writer()
+            .insert_edge(VertexId(0), VertexId(2), "W", &[])
+            .unwrap();
+        assert_eq!(reader.count("MATCH a-[r:W]->b").unwrap(), 10);
+        shared
+            .writer()
+            .ddl("RECONFIGURE PRIMARY INDEXES PARTITION BY eadj.label, eadj.currency SORT BY vnbr.ID")
+            .unwrap();
+        assert_eq!(reader.count("MATCH a-[r:W]->b").unwrap(), 10);
+        shared.writer().delete_edge(e).unwrap();
+        shared.writer().flush();
+        assert_eq!(reader.count("MATCH a-[r:W]->b").unwrap(), 9);
+        // Read guards expose the plain &self API.
+        assert!(reader.read().index_memory_bytes() > 0);
+    }
+
+    #[test]
+    fn shared_database_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + Clone>() {}
+        assert_send_sync::<SharedDatabase>();
     }
 }

@@ -10,10 +10,25 @@
 //!
 //! Matching semantics follow openCypher: query vertices may bind the same
 //! data vertex, but each data edge binds at most one query edge per match.
+//!
+//! # Morsel-driven parallelism
+//!
+//! The pipeline is driven morsel-at-a-time: the root scan (vertices or
+//! edges) is cut into contiguous ID ranges ([`aplus_runtime::scan_morsel_size`])
+//! and each morsel runs the *whole* operator pipeline depth-first with its
+//! own per-worker [`Row`] and operator state — no shared mutable state, no
+//! synchronization inside operators. [`count_parallel`] fans morsels out on
+//! a [`MorselPool`] and merges per-worker partial counts in morsel order,
+//! so parallel counts are bit-identical to sequential ones; a 1-thread pool
+//! (or a plan whose root pins a single vertex) takes the pre-existing
+//! sequential path unchanged.
+
+use std::ops::Range;
 
 use aplus_common::{EdgeId, VertexId};
 use aplus_core::{CmpOp, IndexStore, List, SortKey};
 use aplus_graph::Graph;
+use aplus_runtime::MorselPool;
 
 use crate::plan::{Ald, FromRef, IndexChoice, Operator, Plan, Prune, PruneValue};
 use crate::query::{QueryGraph, QueryOperand, QueryPredicate, Row};
@@ -44,6 +59,107 @@ pub fn count(ctx: ExecContext<'_>, query: &QueryGraph, plan: &Plan) -> u64 {
     let mut n = 0u64;
     execute(ctx, query, plan, &mut |_| n += 1);
     n
+}
+
+/// Largest vertex morsel for partitioned root scans; see
+/// [`aplus_runtime::scan_morsel_size`] for how sizes adapt below the cap.
+pub const VERTEX_MORSEL_CAP: usize = 256;
+/// Largest edge morsel for partitioned root scans.
+pub const EDGE_MORSEL_CAP: usize = 1024;
+
+/// The root operator's scan domain, when the plan admits morsel-driven
+/// execution (an unpinned vertex scan or an edge scan).
+enum RootScan {
+    Vertices(usize),
+    Edges(usize),
+}
+
+fn parallel_root(ctx: ExecContext<'_>, plan: &Plan) -> Option<RootScan> {
+    match plan.ops.first()? {
+        Operator::ScanVertices { var, preds, .. } => {
+            // A pinned scan visits one vertex; nothing to partition.
+            if pinned_vertex(preds, *var).is_some() {
+                None
+            } else {
+                Some(RootScan::Vertices(ctx.graph.vertex_count()))
+            }
+        }
+        Operator::ScanEdges { .. } => Some(RootScan::Edges(ctx.graph.edge_count())),
+        _ => None,
+    }
+}
+
+/// Runs `plan` morsel-at-a-time on `pool` and returns the number of
+/// matches. Guaranteed equal to [`count`] at any thread count: morsels
+/// partition the root scan's ID space and partial counts merge in morsel
+/// order. Falls back to the sequential path for 1-thread pools and plans
+/// whose root scan cannot be partitioned (pinned scans, empty plans).
+#[must_use]
+pub fn count_parallel(
+    ctx: ExecContext<'_>,
+    query: &QueryGraph,
+    plan: &Plan,
+    pool: &MorselPool,
+) -> u64 {
+    let root = parallel_root(ctx, plan);
+    let (total, cap) = match (pool.is_sequential(), root) {
+        (false, Some(RootScan::Vertices(n))) => (n, VERTEX_MORSEL_CAP),
+        (false, Some(RootScan::Edges(n))) => (n, EDGE_MORSEL_CAP),
+        _ => return count(ctx, query, plan),
+    };
+    let size = aplus_runtime::scan_morsel_size(total, pool.threads(), cap);
+    pool.sum_ranges(total, size, |range| {
+        let mut n = 0u64;
+        let mut row = Row::unbound(query.vertices.len(), query.edges.len());
+        run_root_range(ctx, plan, range, &mut row, &mut |_| n += 1);
+        n
+    })
+}
+
+/// Executes the whole pipeline with the root scan restricted to the ID
+/// `range` — the per-morsel unit of work. Operator state (the row, fetch
+/// buffers, intersection cursors) lives on this call stack, so each worker
+/// owns its state outright.
+fn run_root_range(
+    ctx: ExecContext<'_>,
+    plan: &Plan,
+    range: Range<usize>,
+    row: &mut Row,
+    on_row: &mut dyn FnMut(&Row),
+) {
+    match plan.ops.first().expect("caller checked the root operator") {
+        Operator::ScanVertices { var, label, preds } => {
+            exec_scan_vertices_range(ctx, plan, 0, *var, *label, preds, range, row, on_row);
+        }
+        Operator::ScanEdges {
+            edge_var,
+            src_var,
+            dst_var,
+            label,
+            src_label,
+            dst_label,
+            preds,
+        } => {
+            exec_scan_edges_range(
+                ctx,
+                plan,
+                0,
+                ScanEdgesVars {
+                    edge_var: *edge_var,
+                    src_var: *src_var,
+                    dst_var: *dst_var,
+                    label: *label,
+                    src_label: *src_label,
+                    dst_label: *dst_label,
+                },
+                preds,
+                range,
+                row,
+                on_row,
+            );
+        }
+        _ => unreachable!("parallel roots are scans"),
+    }
 }
 
 /// Runs `plan` and collects up to `limit` rows (tests / examples).
@@ -87,26 +203,23 @@ fn run_op(
             dst_label,
             preds,
         } => {
-            for (e, s, d, l) in ctx.graph.edges() {
-                if label.is_some_and(|want| want != l) {
-                    continue;
-                }
-                if src_label.is_some_and(|want| ctx.graph.vertex_label(s) != Ok(want)) {
-                    continue;
-                }
-                if dst_label.is_some_and(|want| ctx.graph.vertex_label(d) != Ok(want)) {
-                    continue;
-                }
-                row.bind_edge(*edge_var, e);
-                row.bind_vertex(*src_var, s);
-                row.bind_vertex(*dst_var, d);
-                if preds.iter().all(|p| p.eval(ctx.graph, row)) {
-                    run_op(ctx, plan, depth + 1, row, on_row);
-                }
-                row.unbind_edge(*edge_var);
-                row.unbind_vertex(*src_var);
-                row.unbind_vertex(*dst_var);
-            }
+            exec_scan_edges_range(
+                ctx,
+                plan,
+                depth,
+                ScanEdgesVars {
+                    edge_var: *edge_var,
+                    src_var: *src_var,
+                    dst_var: *dst_var,
+                    label: *label,
+                    src_label: *src_label,
+                    dst_label: *dst_label,
+                },
+                preds,
+                0..ctx.graph.edge_count(),
+                row,
+                on_row,
+            );
         }
         Operator::ExtendIntersect {
             target,
@@ -137,6 +250,20 @@ fn run_op(
     }
 }
 
+/// An ID-equality predicate that pins the scanned vertex directly (the
+/// `a1.ID = v5` fast path). Such scans are single-vertex and therefore not
+/// worth partitioning into morsels.
+fn pinned_vertex(preds: &[QueryPredicate], var: usize) -> Option<VertexId> {
+    preds.iter().find_map(|p| match (p.lhs, p.op, p.rhs) {
+        (QueryOperand::VertexIdOf(v), CmpOp::Eq, QueryOperand::Const(c))
+            if v == var && p.rhs_add == 0 =>
+        {
+            u32::try_from(c).ok().map(VertexId)
+        }
+        _ => None,
+    })
+}
+
 #[allow(clippy::too_many_arguments)]
 fn exec_scan_vertices(
     ctx: ExecContext<'_>,
@@ -148,39 +275,112 @@ fn exec_scan_vertices(
     row: &mut Row,
     on_row: &mut dyn FnMut(&Row),
 ) {
-    // Fast path: an ID-equality predicate pins the vertex directly.
-    let pinned = preds.iter().find_map(|p| match (p.lhs, p.op, p.rhs) {
-        (QueryOperand::VertexIdOf(v), CmpOp::Eq, QueryOperand::Const(c))
-            if v == var && p.rhs_add == 0 =>
-        {
-            u32::try_from(c).ok().map(VertexId)
-        }
-        _ => None,
-    });
-    let mut visit = |v: VertexId, row: &mut Row| {
-        if let Some(want) = label {
-            match ctx.graph.vertex_label(v) {
-                Ok(l) if l == want => {}
-                _ => return,
-            }
-        }
-        row.bind_vertex(var, v);
-        if preds.iter().all(|p| p.eval(ctx.graph, row)) {
-            run_op(ctx, plan, depth + 1, row, on_row);
-        }
-        row.unbind_vertex(var);
-    };
-    match pinned {
+    match pinned_vertex(preds, var) {
         Some(v) => {
             if v.index() < ctx.graph.vertex_count() {
-                visit(v, row);
+                visit_vertex(ctx, plan, depth, var, label, preds, v, row, on_row);
             }
         }
         None => {
-            for v in ctx.graph.vertices() {
-                visit(v, row);
-            }
+            let n = ctx.graph.vertex_count();
+            exec_scan_vertices_range(ctx, plan, depth, var, label, preds, 0..n, row, on_row);
         }
+    }
+}
+
+/// The vertex scan restricted to IDs in `range` (a morsel, or everything).
+#[allow(clippy::too_many_arguments)]
+fn exec_scan_vertices_range(
+    ctx: ExecContext<'_>,
+    plan: &Plan,
+    depth: usize,
+    var: usize,
+    label: Option<aplus_common::VertexLabelId>,
+    preds: &[QueryPredicate],
+    range: Range<usize>,
+    row: &mut Row,
+    on_row: &mut dyn FnMut(&Row),
+) {
+    for raw in range.start..range.end.min(ctx.graph.vertex_count()) {
+        let v = VertexId(raw as u32);
+        visit_vertex(ctx, plan, depth, var, label, preds, v, row, on_row);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn visit_vertex(
+    ctx: ExecContext<'_>,
+    plan: &Plan,
+    depth: usize,
+    var: usize,
+    label: Option<aplus_common::VertexLabelId>,
+    preds: &[QueryPredicate],
+    v: VertexId,
+    row: &mut Row,
+    on_row: &mut dyn FnMut(&Row),
+) {
+    if let Some(want) = label {
+        match ctx.graph.vertex_label(v) {
+            Ok(l) if l == want => {}
+            _ => return,
+        }
+    }
+    row.bind_vertex(var, v);
+    if preds.iter().all(|p| p.eval(ctx.graph, row)) {
+        run_op(ctx, plan, depth + 1, row, on_row);
+    }
+    row.unbind_vertex(var);
+}
+
+/// The non-predicate bindings of a `ScanEdges` operator, grouped so the
+/// range-driven scan stays under the argument-count lint.
+#[derive(Clone, Copy)]
+struct ScanEdgesVars {
+    edge_var: usize,
+    src_var: usize,
+    dst_var: usize,
+    label: Option<aplus_common::EdgeLabelId>,
+    src_label: Option<aplus_common::VertexLabelId>,
+    dst_label: Option<aplus_common::VertexLabelId>,
+}
+
+/// The edge scan restricted to IDs in `range` (a morsel, or everything).
+#[allow(clippy::too_many_arguments)]
+fn exec_scan_edges_range(
+    ctx: ExecContext<'_>,
+    plan: &Plan,
+    depth: usize,
+    vars: ScanEdgesVars,
+    preds: &[QueryPredicate],
+    range: Range<usize>,
+    row: &mut Row,
+    on_row: &mut dyn FnMut(&Row),
+) {
+    for (e, s, d, l) in ctx.graph.edges_in(range) {
+        if vars.label.is_some_and(|want| want != l) {
+            continue;
+        }
+        if vars
+            .src_label
+            .is_some_and(|want| ctx.graph.vertex_label(s) != Ok(want))
+        {
+            continue;
+        }
+        if vars
+            .dst_label
+            .is_some_and(|want| ctx.graph.vertex_label(d) != Ok(want))
+        {
+            continue;
+        }
+        row.bind_edge(vars.edge_var, e);
+        row.bind_vertex(vars.src_var, s);
+        row.bind_vertex(vars.dst_var, d);
+        if preds.iter().all(|p| p.eval(ctx.graph, row)) {
+            run_op(ctx, plan, depth + 1, row, on_row);
+        }
+        row.unbind_edge(vars.edge_var);
+        row.unbind_vertex(vars.src_var);
+        row.unbind_vertex(vars.dst_var);
     }
 }
 
@@ -844,6 +1044,9 @@ mod tests {
         };
         // Alice owns v1 (3 wires) and v2 (1 wire: t8) -> 4 matches.
         assert_eq!(count(ctx, &query, &plan), 4);
+        // A pinned root scan cannot be partitioned; the parallel entry
+        // point must still answer (via the sequential fallback).
+        assert_eq!(count_parallel(ctx, &query, &plan, &MorselPool::new(4)), 4);
     }
 
     /// WCOJ triangle count on the financial graph via 2-way intersection.
@@ -933,6 +1136,14 @@ mod tests {
             store: &store,
         };
         let wcoj = count(ctx, &query, &plan);
+        // Morsel-driven execution must agree at every thread count.
+        for threads in [1, 2, 4, 8] {
+            assert_eq!(
+                count_parallel(ctx, &query, &plan, &MorselPool::new(threads)),
+                wcoj,
+                "parallel count diverged at {threads} threads"
+            );
+        }
         // Reference count by brute force.
         let mut brute = 0u64;
         let edges: Vec<_> = g.edges().collect();

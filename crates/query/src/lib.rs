@@ -17,7 +17,13 @@
 //!   a time, consults the INDEX STORE with predicate subsumption, and costs
 //!   plans with **i-cost** (estimated total adjacency-list entries touched).
 //! * [`engine`] — a `Database` facade tying graph + index store + parser +
-//!   optimizer + executor together.
+//!   optimizer + executor together, and the concurrent `SharedDatabase`
+//!   service layer (many parallel readers, serialized writer).
+//!
+//! Query execution is morsel-driven: the root scan partitions into ID
+//! ranges executed on an [`aplus_runtime::MorselPool`] (work-stealing,
+//! scoped threads), with per-worker operator state and a deterministic
+//! morsel-order merge — counts are identical at every thread count.
 
 pub mod ast;
 pub mod engine;
@@ -29,5 +35,6 @@ pub mod plan;
 pub mod query;
 
 pub use crate::query::{QueryGraph, QueryOperand, QueryPredicate};
-pub use engine::Database;
+pub use aplus_runtime::MorselPool;
+pub use engine::{Database, DatabaseReadGuard, DatabaseWriteGuard, SharedDatabase};
 pub use error::QueryError;

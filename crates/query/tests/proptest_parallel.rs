@@ -1,0 +1,138 @@
+//! Property tests for morsel-driven parallel execution: over random
+//! graphs × random primary/secondary index configurations × thread counts
+//! {1, 2, 4}, the parallel count must be identical to the sequential one
+//! for every query template. Index tuning and thread count must never
+//! change query results.
+//!
+//! The graphs here are small (≤ 24 vertices), which is deliberate: the
+//! executor's morsel size adapts down to 1 at this scale
+//! (`aplus_runtime::scan_morsel_size`), so multi-threaded runs really do
+//! split the root scan across workers rather than degenerating to one
+//! morsel.
+
+use proptest::prelude::*;
+
+use aplus_core::store::IndexDirections;
+use aplus_core::view::OneHopView;
+use aplus_core::{IndexSpec, PartitionKey, SortKey, ViewPredicate};
+use aplus_graph::{Graph, PropertyEntity, PropertyKind, Value};
+use aplus_query::{Database, MorselPool};
+
+const N: u32 = 24;
+
+/// Thread counts the equivalence is checked at (1 = the sequential path).
+const THREADS: [usize; 3] = [1, 2, 4];
+
+fn build_graph(edges: &[(u32, u32, i64, bool)]) -> Graph {
+    let mut g = Graph::new();
+    g.register_property(PropertyEntity::Edge, "w", PropertyKind::Int)
+        .unwrap();
+    g.register_property(PropertyEntity::Vertex, "grp", PropertyKind::Categorical)
+        .unwrap();
+    let grp = g.catalog().property(PropertyEntity::Vertex, "grp").unwrap();
+    for i in 0..N {
+        let v = g.add_vertex(if i % 3 == 0 { "A" } else { "B" });
+        g.set_vertex_prop(v, grp, Value::Str(&format!("g{}", i % 3)))
+            .unwrap();
+    }
+    let w = g.catalog().property(PropertyEntity::Edge, "w").unwrap();
+    for &(s, d, wt, second_label) in edges {
+        let e = g
+            .add_edge(
+                aplus_common::VertexId(s % N),
+                aplus_common::VertexId(d % N),
+                if second_label { "F" } else { "E" },
+            )
+            .unwrap();
+        g.set_edge_prop(e, w, Value::Int(wt)).unwrap();
+    }
+    g
+}
+
+/// Query templates: vertex-scan roots, an edge-scan root (`r.eID`), label
+/// filters, property predicates, a cycle and a MULTI-EXTEND trigger.
+const TEMPLATES: &[&str] = &[
+    "MATCH a-[r:E]->b",
+    "MATCH a-[r:E]->b-[s:F]->c",
+    "MATCH a-[r:E]->b-[s:E]->c-[t:E]->a",
+    "MATCH (a:A)-[r:E]->(b:B)",
+    "MATCH a-[r]->b WHERE r.w > 40",
+    "MATCH a-[r]->b WHERE r.eID = 3",
+    "MATCH a-[r]->b-[s]->c WHERE r.w > s.w",
+    "MATCH a-[r]->b, a-[s]->c WHERE b.grp = c.grp",
+    "MATCH a-[r:E]->b<-[s:E]-c",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn parallel_count_equals_sequential(
+        edges in proptest::collection::vec((0..N, 0..N, 0i64..100, prop::bool::ANY), 1..50),
+        config in 0usize..4,
+    ) {
+        let g = build_graph(&edges);
+        let spec = match config {
+            0 => IndexSpec::default_primary(),
+            1 => IndexSpec::default().with_sort(vec![SortKey::NbrId]),
+            2 => IndexSpec::default()
+                .with_partitioning(vec![PartitionKey::EdgeLabel, PartitionKey::NbrLabel])
+                .with_sort(vec![SortKey::NbrId]),
+            _ => {
+                let w = g.catalog().property(PropertyEntity::Edge, "w").unwrap();
+                IndexSpec::default()
+                    .with_partitioning(vec![PartitionKey::EdgeLabel])
+                    .with_sort(vec![SortKey::EdgeProp(w)])
+            }
+        };
+        let db = Database::with_primary_spec(g, spec).unwrap();
+        for q in TEMPLATES {
+            let seq = db.count(q).unwrap();
+            for t in THREADS {
+                let par = db.count_parallel(q, &MorselPool::new(t)).unwrap();
+                prop_assert_eq!(par, seq, "config {} query {} threads {}", config, q, t);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_count_stable_under_secondary_indexes(
+        edges in proptest::collection::vec((0..N, 0..N, 0i64..100, prop::bool::ANY), 1..50),
+        threshold in 0i64..100,
+    ) {
+        let g = build_graph(&edges);
+        let mut db = Database::new(g).unwrap();
+        let reference: Vec<u64> = TEMPLATES.iter().map(|q| db.count(q).unwrap()).collect();
+        {
+            let w = db
+                .graph()
+                .catalog()
+                .property(PropertyEntity::Edge, "w")
+                .unwrap();
+            let (store, graph) = db.store_and_graph_mut();
+            store
+                .create_vertex_index(
+                    graph,
+                    "big",
+                    IndexDirections::FwBw,
+                    OneHopView::new(ViewPredicate::all_of(vec![
+                        aplus_core::ViewComparison::prop_const(
+                            aplus_core::ViewEntity::AdjEdge,
+                            w,
+                            aplus_core::CmpOp::Gt,
+                            threshold,
+                        ),
+                    ]))
+                    .unwrap(),
+                    IndexSpec::default_primary(),
+                )
+                .unwrap();
+        }
+        for (q, &expect) in TEMPLATES.iter().zip(&reference) {
+            for t in THREADS {
+                let par = db.count_parallel(q, &MorselPool::new(t)).unwrap();
+                prop_assert_eq!(par, expect, "query {} threads {}", q, t);
+            }
+        }
+    }
+}

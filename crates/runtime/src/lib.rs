@@ -1,0 +1,334 @@
+//! Morsel-driven parallel execution substrate.
+//!
+//! The workspace's single parallelism primitive is the [`MorselPool`]: work
+//! is cut into *morsels* (small, independently executable units, indexed
+//! `0..n` — the term is from HyPer's morsel-driven parallelism), block-
+//! distributed over per-worker deques, and executed by scoped threads that
+//! *steal* from their neighbours' deques once their own runs dry. Stealing
+//! keeps skewed workloads (power-law adjacency lists, pinned scans) balanced
+//! without any tuning.
+//!
+//! Two properties the query layer builds on:
+//!
+//! * **Determinism.** Results are returned *in morsel order* regardless of
+//!   which worker executed which morsel, so a parallel run merges to exactly
+//!   the sequential outcome (per-worker partial aggregates are re-assembled
+//!   positionally, never in completion order).
+//! * **The sequential special case.** A 1-thread pool (or a 0/1-morsel job)
+//!   runs inline on the caller's stack — no threads are spawned, no locks
+//!   are taken — so `threads = 1` *is* the pre-existing sequential path.
+//!
+//! Threads are scoped (`std::thread::scope`), which is what lets tasks
+//! borrow the graph and index store by reference: no `'static` bounds, no
+//! `Arc` plumbing through the executor.
+//!
+//! The worker count defaults to the machine's `available_parallelism` and
+//! can be overridden with the `APLUS_THREADS` environment variable (read
+//! once per [`MorselPool::from_env`] call; pools built with
+//! [`MorselPool::new`] ignore the environment entirely, which is what unit
+//! tests and the scaling bench use).
+
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::sync::{Mutex, PoisonError};
+
+/// Environment variable overriding the default worker count.
+pub const THREADS_ENV: &str = "APLUS_THREADS";
+
+/// A scoped work-stealing pool executing morsel-indexed tasks.
+///
+/// The pool is a lightweight handle (a validated thread count); workers are
+/// spawned per [`MorselPool::run`] call inside a thread scope, so tasks may
+/// borrow from the caller's stack. Cloning is free.
+///
+/// ```
+/// use aplus_runtime::MorselPool;
+///
+/// let pool = MorselPool::new(4);
+/// let squares = pool.run(8, |m| m * m);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MorselPool {
+    threads: usize,
+}
+
+impl Default for MorselPool {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+impl MorselPool {
+    /// A pool with exactly `threads` workers (clamped to at least 1).
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The single-threaded pool: every `run` executes inline.
+    #[must_use]
+    pub fn sequential() -> Self {
+        Self::new(1)
+    }
+
+    /// A pool sized from the environment: `APLUS_THREADS` when set to a
+    /// positive integer, otherwise the machine's available parallelism.
+    #[must_use]
+    pub fn from_env() -> Self {
+        Self::new(resolve_threads(std::env::var(THREADS_ENV).ok().as_deref()))
+    }
+
+    /// Worker count.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Whether `run` executes inline without spawning.
+    #[must_use]
+    pub fn is_sequential(&self) -> bool {
+        self.threads == 1
+    }
+
+    /// Executes `task` once per morsel index in `0..morsels` and returns
+    /// the results **in morsel order**.
+    ///
+    /// Morsels are block-distributed over `min(threads, morsels)` worker
+    /// deques; each worker pops its own deque from the front and steals
+    /// from other deques' backs when empty. With 0 or 1 morsels, or on a
+    /// sequential pool, everything runs inline on the caller's thread.
+    ///
+    /// Panics in `task` are propagated to the caller after the scope joins.
+    pub fn run<R, F>(&self, morsels: usize, task: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let workers = self.threads.min(morsels);
+        if workers <= 1 {
+            return (0..morsels).map(task).collect();
+        }
+        // Block distribution: worker `w` seeds morsels
+        // `[w*n/W, (w+1)*n/W)`, so contiguous ranges stay contiguous per
+        // worker (cache locality) until stealing rebalances the tail.
+        let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+            .map(|w| {
+                let lo = w * morsels / workers;
+                let hi = (w + 1) * morsels / workers;
+                Mutex::new((lo..hi).collect())
+            })
+            .collect();
+        let queues = &queues;
+        let task = &task;
+        let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(morsels).collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    scope.spawn(move || {
+                        let mut done: Vec<(usize, R)> = Vec::new();
+                        loop {
+                            let next = pop_own(&queues[w]).or_else(|| steal(queues, w));
+                            match next {
+                                Some(m) => done.push((m, task(m))),
+                                None => break,
+                            }
+                        }
+                        done
+                    })
+                })
+                .collect();
+            for h in handles {
+                match h.join() {
+                    Ok(part) => {
+                        for (m, r) in part {
+                            debug_assert!(slots[m].is_none(), "morsel {m} ran twice");
+                            slots[m] = Some(r);
+                        }
+                    }
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.expect("every morsel executed exactly once"))
+            .collect()
+    }
+
+    /// Cuts `0..total` into contiguous ranges of at most `morsel_size`
+    /// items, executes `task` on each, and returns the results in range
+    /// order. The convenience shape for partitioned scans.
+    pub fn run_ranges<R, F>(&self, total: usize, morsel_size: usize, task: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Range<usize>) -> R + Sync,
+    {
+        let size = morsel_size.max(1);
+        let morsels = total.div_ceil(size);
+        self.run(morsels, |m| task(m * size..((m + 1) * size).min(total)))
+    }
+
+    /// Range-partitioned sum: each morsel produces a per-worker partial
+    /// count, merged in morsel order. Because the merge order is fixed, the
+    /// result is bit-identical to the sequential fold at any thread count.
+    pub fn sum_ranges<F>(&self, total: usize, morsel_size: usize, task: F) -> u64
+    where
+        F: Fn(Range<usize>) -> u64 + Sync,
+    {
+        self.run_ranges(total, morsel_size, task).into_iter().sum()
+    }
+}
+
+fn pop_own(queue: &Mutex<VecDeque<usize>>) -> Option<usize> {
+    queue
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .pop_front()
+}
+
+fn steal(queues: &[Mutex<VecDeque<usize>>], thief: usize) -> Option<usize> {
+    let n = queues.len();
+    // Victims are visited in ring order starting after the thief, taking
+    // from the *back* (the cold end of the victim's block).
+    (1..n).find_map(|d| {
+        queues[(thief + d) % n]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop_back()
+    })
+}
+
+/// Resolves the worker count from an optional `APLUS_THREADS` value: a
+/// positive integer wins; anything else (unset, empty, garbage, zero)
+/// falls back to the machine's available parallelism.
+#[must_use]
+pub fn resolve_threads(env_value: Option<&str>) -> usize {
+    env_value
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&t| t > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+/// Picks a morsel size for a scan of `total` items: aim for ~8 morsels per
+/// worker (so stealing can rebalance skew) but never exceed `cap` items per
+/// morsel (so giant scans still interleave). Returns at least 1.
+#[must_use]
+pub fn scan_morsel_size(total: usize, threads: usize, cap: usize) -> usize {
+    total.div_ceil(threads.max(1) * 8).clamp(1, cap.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_are_in_morsel_order() {
+        for threads in [1, 2, 3, 4, 8] {
+            let pool = MorselPool::new(threads);
+            let out = pool.run(37, |m| m * 2);
+            assert_eq!(out, (0..37).map(|m| m * 2).collect::<Vec<_>>(), "{threads}");
+        }
+    }
+
+    #[test]
+    fn every_morsel_runs_exactly_once() {
+        let counters: Vec<AtomicUsize> = (0..101).map(|_| AtomicUsize::new(0)).collect();
+        let pool = MorselPool::new(4);
+        // Skewed work: morsel 0 is much heavier than the rest, so other
+        // workers must steal to finish.
+        pool.run(counters.len(), |m| {
+            if m == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            counters[m].fetch_add(1, Ordering::Relaxed);
+        });
+        for (m, c) in counters.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "morsel {m}");
+        }
+    }
+
+    #[test]
+    fn sequential_pool_never_spawns() {
+        // Observable contract: the task runs on the calling thread.
+        let caller = std::thread::current().id();
+        let pool = MorselPool::sequential();
+        let ids = pool.run(5, |_| std::thread::current().id());
+        assert!(ids.iter().all(|&id| id == caller));
+        assert!(pool.is_sequential());
+    }
+
+    #[test]
+    fn zero_and_one_morsels() {
+        let pool = MorselPool::new(8);
+        assert!(pool.run(0, |m| m).is_empty());
+        assert_eq!(pool.run(1, |m| m + 41), vec![41]);
+    }
+
+    #[test]
+    fn run_ranges_covers_total_exactly() {
+        let pool = MorselPool::new(4);
+        let ranges = pool.run_ranges(1000, 64, |r| r);
+        assert_eq!(ranges.first().unwrap().start, 0);
+        assert_eq!(ranges.last().unwrap().end, 1000);
+        for w in ranges.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+        assert!(ranges.iter().all(|r| r.len() <= 64 && !r.is_empty()));
+    }
+
+    #[test]
+    fn sum_ranges_matches_sequential_fold() {
+        let expect: u64 = (0..10_000u64).sum();
+        for threads in [1, 2, 4, 7] {
+            let pool = MorselPool::new(threads);
+            let got = pool.sum_ranges(10_000, 97, |r| r.map(|i| i as u64).sum());
+            assert_eq!(got, expect, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn resolve_threads_rules() {
+        assert_eq!(resolve_threads(Some("3")), 3);
+        assert_eq!(resolve_threads(Some(" 12 ")), 12);
+        let machine = resolve_threads(None);
+        assert!(machine >= 1);
+        // Invalid values fall back to the machine default.
+        assert_eq!(resolve_threads(Some("0")), machine);
+        assert_eq!(resolve_threads(Some("")), machine);
+        assert_eq!(resolve_threads(Some("lots")), machine);
+    }
+
+    #[test]
+    fn scan_morsel_size_bounds() {
+        assert_eq!(scan_morsel_size(0, 4, 256), 1);
+        assert_eq!(scan_morsel_size(16, 4, 256), 1); // 16/32 rounds up to 1
+        assert_eq!(scan_morsel_size(10_000, 4, 256), 256); // capped
+        assert_eq!(scan_morsel_size(1000, 4, 256), 32); // ~8 morsels/worker
+        assert_eq!(scan_morsel_size(1000, 1, 256), 125);
+    }
+
+    #[test]
+    fn threads_clamped_to_one() {
+        assert_eq!(MorselPool::new(0).threads(), 1);
+        assert!(MorselPool::default().threads() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "morsel 7 panicked")]
+    fn worker_panics_propagate() {
+        MorselPool::new(2).run(16, |m| {
+            if m == 7 {
+                panic!("morsel 7 panicked");
+            }
+            m
+        });
+    }
+}

@@ -37,11 +37,36 @@
 //! | Crate | Contents |
 //! |-------|----------|
 //! | [`common`] | IDs, FxHash, bitmaps, packed offset arrays |
+//! | [`runtime`] | Morsel-driven parallelism: the scoped work-stealing [`MorselPool`] |
 //! | [`graph`] | Property-graph store: catalog, columns, loader |
 //! | [`datagen`] | Synthetic datasets + the Figure-1 running example |
 //! | [`core`] | The A+ index subsystem (primary, VP, EP, offset lists) |
-//! | [`query`] | Parser, DP optimizer, E/I + MULTI-EXTEND executor |
+//! | [`query`] | Parser, DP optimizer, E/I + MULTI-EXTEND executor, [`SharedDatabase`] service layer |
 //! | [`baseline`] | Fixed-index engines for the Table-V comparison |
+//!
+//! ## Concurrency
+//!
+//! Queries execute morsel-parallel (the root scan partitions into ID
+//! ranges executed on a work-stealing pool; `APLUS_THREADS` overrides the
+//! worker count) and [`SharedDatabase`] serves many concurrent reader
+//! threads with writes serialized through an explicit writer handle:
+//!
+//! ```
+//! use aplus::datagen::build_financial_graph;
+//! use aplus::{Database, MorselPool, SharedDatabase};
+//!
+//! let db = Database::new(build_financial_graph().graph).unwrap();
+//! let shared = SharedDatabase::with_pool(db, MorselPool::new(2));
+//! let reader = shared.clone(); // one cheap handle per connection/thread
+//! assert_eq!(reader.count("MATCH a-[r:W]->b").unwrap(), 9);
+//! shared.writer().insert_edge(
+//!     aplus::common::VertexId(0),
+//!     aplus::common::VertexId(2),
+//!     "W",
+//!     &[],
+//! ).unwrap();
+//! assert_eq!(reader.count("MATCH a-[r:W]->b").unwrap(), 10);
+//! ```
 
 pub use aplus_baseline as baseline;
 pub use aplus_common as common;
@@ -49,7 +74,9 @@ pub use aplus_core as core;
 pub use aplus_datagen as datagen;
 pub use aplus_graph as graph;
 pub use aplus_query as query;
+pub use aplus_runtime as runtime;
 
 pub use aplus_core::{Direction, IndexSpec, IndexStore, PartitionKey, SortKey};
 pub use aplus_graph::{Graph, GraphBuilder, Value};
-pub use aplus_query::{Database, QueryError};
+pub use aplus_query::{Database, QueryError, SharedDatabase};
+pub use aplus_runtime::MorselPool;
