@@ -23,11 +23,20 @@ run cargo build --release
 # vendor stubs' self-tests.
 run cargo test --workspace -q
 run env RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
-# Perf trajectory + parallel-path smoke: bench_smoke rewrites the
-# BENCH_*.json baselines at the repo root (commit them), and the 2-thread
-# table7_scaling run exercises morsel-driven execution end to end (its
-# internal assertions verify counts are thread-count-invariant).
-run env APLUS_SCALE=20000 APLUS_THREAD_COUNTS=1,2,4 cargo run --release -q -p aplus_bench --bin bench_smoke
+# Perf trajectory + parallel-path smoke: bench_smoke writes a fresh run
+# into target/bench-fresh and bench_compare diffs it against the committed
+# BENCH_*.json baselines — count mismatches fail the gate (results
+# changed), latency drift is informational on this 1-core-ish CI box. To
+# refresh the baselines intentionally, run bench_smoke *without*
+# APLUS_BENCH_OUT (it then writes to the repo root) and commit the files.
+run env APLUS_SCALE=20000 APLUS_THREAD_COUNTS=1,2,4 APLUS_BENCH_OUT=target/bench-fresh \
+    cargo run --release -q -p aplus_bench --bin bench_smoke
+run cargo run --release -q -p aplus_bench --bin bench_compare -- \
+    BENCH_tables.json target/bench-fresh/BENCH_tables.json
+run cargo run --release -q -p aplus_bench --bin bench_compare -- \
+    BENCH_scaling.json target/bench-fresh/BENCH_scaling.json
+# The 2-thread table7_scaling run exercises morsel-driven execution end to
+# end (its internal assertions verify counts are thread-count-invariant).
 run env APLUS_SCALE=20000 APLUS_THREAD_COUNTS=1,2 cargo run --release -q -p aplus_bench --bin table7_scaling
 echo
 echo "CI gate passed."

@@ -6,8 +6,12 @@
 //!
 //! * `BENCH_tables.json` — table2 (SQ × primary configs), table3
 //!   (MagicRecs + VPt) and table4 (fraud + VPc/EPc) reporters.
-//! * `BENCH_scaling.json` — the `table7_scaling` reporter plus the derived
-//!   SQ speedups per thread count.
+//! * `BENCH_scaling.json` — the `table7_scaling` reporter, the derived SQ
+//!   speedups per thread count, and the `table8_collect` reporter
+//!   (order-preserving parallel collect + streamed drain).
+//!
+//! The committed copies at the repo root are the baseline `bench_compare`
+//! gates CI against (counts fatal, latency drift informational).
 //!
 //! Entry points (binary-level only; drivers take explicit parameters):
 //! `APLUS_SCALE` (default 20000 — *reduced*, unlike the table binaries'
@@ -23,7 +27,9 @@ use serde::Serialize;
 const SMOKE_SCALE_DEFAULT: usize = 20_000;
 
 /// Schema version of the trajectory files; bump on layout changes.
-const SCHEMA: u32 = 1;
+/// v2: added the `collect_report` (order-preserving parallel collect /
+/// streamed drain) to `BENCH_scaling.json`.
+const SCHEMA: u32 = 2;
 
 #[derive(Serialize)]
 struct TablesFile {
@@ -46,6 +52,7 @@ struct ScalingFile {
     thread_counts: Vec<usize>,
     sq_speedups: Vec<SpeedupEntry>,
     report: Reporter,
+    collect_report: Reporter,
 }
 
 fn out_dir() -> PathBuf {
@@ -55,7 +62,12 @@ fn out_dir() -> PathBuf {
 }
 
 fn write_file(name: &str, json: &str) {
-    let path = out_dir().join(name);
+    let dir = out_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("bench_smoke: could not create {}: {e}", dir.display());
+        std::process::exit(1);
+    }
+    let path = dir.join(name);
     match std::fs::write(&path, json) {
         Ok(()) => eprintln!("bench_smoke: wrote {}", path.display()),
         Err(e) => {
@@ -106,6 +118,8 @@ fn main() {
             e.threads, e.sq_speedup_vs_t1
         );
     }
+    let collect_report = scaling::run_collect_table(scale, &thread_counts);
+    println!("{}", collect_report.render("T1"));
     let scaling_file = ScalingFile {
         schema: SCHEMA,
         scale,
@@ -113,6 +127,7 @@ fn main() {
         thread_counts,
         sq_speedups,
         report,
+        collect_report,
     };
     write_file(
         "BENCH_scaling.json",

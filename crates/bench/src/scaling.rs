@@ -1,11 +1,14 @@
-//! `table7_scaling`: morsel-driven parallel scaling (not a paper table).
+//! `table7_scaling` + the collect table: morsel-driven parallel scaling
+//! (not paper tables).
 //!
-//! The paper's evaluation is single-threaded; this experiment measures the
-//! `aplus_runtime` subsystem layered on top of it: SQ and MR workload
-//! latency at increasing worker counts, with the 1-thread configuration as
-//! the baseline. Counts are asserted identical across thread counts — the
-//! morsel-order merge makes parallel results bit-identical to sequential
-//! ones, and this harness doubles as the check.
+//! The paper's evaluation is single-threaded; these experiments measure
+//! the `aplus_runtime` subsystem layered on top of it: [`run_table7`]
+//! times SQ/MR *counts* at increasing worker counts (1-thread = baseline)
+//! and [`run_collect_table`] times SQ row *materialization* — full
+//! `collect_parallel` plus a streamed `RowSink` drain. Counts are asserted
+//! identical across thread counts, and the collect table additionally
+//! asserts the full row sequences are bit-identical to the sequential
+//! ones — the morsel-order merge guarantee, checked end to end.
 //!
 //! Thread counts default to 1/2/4/8 and can be overridden with the
 //! `APLUS_THREAD_COUNTS` environment variable (comma-separated, read at
@@ -119,6 +122,62 @@ fn run_workload(
     }
 }
 
+/// Runs the `collect` scaling experiment: SQ-workload row materialization
+/// (full `collect_parallel`) and streamed drain (`stream` into a
+/// [`aplus_query::VecSink`]) at every thread count, on the densest preset.
+/// Row *sequences* — not just counts — are asserted identical to the
+/// 1-thread baseline for every cell, so the harness doubles as the
+/// order-preservation check; the reported `count` is the row count, which
+/// the CI baseline comparator pins across PRs.
+pub fn run_collect_table(scale: usize, thread_counts: &[usize]) -> Reporter {
+    let mut r = Reporter::new(
+        "table8_collect",
+        "Order-preserving parallel collect: SQ row materialization + streamed drain at 1/2/4/8 threads",
+    );
+    let db = Database::new(dataset(DatasetPreset::Orkut, scale, 8, 2)).expect("index build");
+    let prepared: Vec<_> = SQ_SHAPES
+        .iter()
+        .map(|&q| {
+            let (bound, plan) = db.prepare(&sq::query(q, 8, 2, true)).expect("plan");
+            (format!("SQ{q}"), bound, plan)
+        })
+        .collect();
+    let dataset_name = "SQcollect(Ork8,2)";
+    let reference: Vec<_> = prepared
+        .iter()
+        .map(|(_, bound, plan)| {
+            db.collect_prepared_parallel(bound, plan, usize::MAX, &MorselPool::sequential())
+        })
+        .collect();
+    for &t in thread_counts {
+        let pool = MorselPool::new(t);
+        let config = format!("T{t}");
+        for ((qname, bound, plan), expect) in prepared.iter().zip(&reference) {
+            let mut rows = Vec::new();
+            r.time(dataset_name, &config, qname, || {
+                rows = db.collect_prepared_parallel(bound, plan, usize::MAX, &pool);
+                rows.len() as u64
+            });
+            assert_eq!(
+                &rows, expect,
+                "collect rows diverged from sequential on {qname} at {t} threads"
+            );
+            let mut sink = aplus_query::VecSink::unbounded();
+            r.time(dataset_name, &config, &format!("{qname}-stream"), || {
+                db.stream_prepared(bound, plan, usize::MAX, &pool, &mut sink);
+                sink.len() as u64
+            });
+            assert_eq!(
+                &sink.into_rows(),
+                expect,
+                "streamed rows diverged from sequential on {qname} at {t} threads"
+            );
+        }
+    }
+    r.assert_counts_agree();
+    r
+}
+
 /// The SQ-workload speedup of `T{threads}` relative to `T1`, from a
 /// populated [`run_table7`] reporter. `None` when either total is missing.
 #[must_use]
@@ -171,5 +230,23 @@ mod tests {
         }
         assert!(sq_speedup(&r, 2).is_some());
         assert!(sq_speedup(&r, 16).is_none());
+    }
+
+    /// The collect table populates every cell (materialized + streamed
+    /// variants) and its internal row-identity assertions hold at 2
+    /// threads (order preservation end to end).
+    #[test]
+    fn collect_table_runs_at_tiny_scale() {
+        let r = run_collect_table(20_000, &[1, 2]);
+        for config in ["T1", "T2"] {
+            for q in ["SQ1", "SQ1-stream", "SQ9", "SQ9-stream"] {
+                assert!(
+                    r.measurements
+                        .iter()
+                        .any(|m| m.config == config && m.query == q && m.count.is_some()),
+                    "missing {config}/{q}"
+                );
+            }
+        }
     }
 }

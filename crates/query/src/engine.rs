@@ -36,9 +36,9 @@ use crate::optimizer;
 use crate::parser;
 use crate::plan::Plan;
 use crate::query::QueryGraph;
+use crate::sink::RowSink;
 
-/// A collected result row: raw vertex bindings and raw edge bindings.
-pub type RawRow = (Vec<u32>, Vec<u64>);
+pub use crate::sink::RawRow;
 
 /// Outcome of a DDL statement.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -145,10 +145,73 @@ impl Database {
     }
 
     /// Executes and collects up to `limit` rows of `(vertex bindings, edge
-    /// bindings)` (raw IDs; unbound slots are sentinels).
+    /// bindings)` (raw IDs; unbound slots are sentinels). Execution stops
+    /// as soon as `limit` rows are gathered.
     pub fn collect(&self, query: &str, limit: usize) -> Result<Vec<RawRow>, QueryError> {
         let (bound, plan) = self.prepare(query)?;
         Ok(exec::collect(self.ctx(), &bound, &plan, limit))
+    }
+
+    /// [`Database::collect`] executed morsel-parallel on `pool`: the row
+    /// sequence is guaranteed **bit-identical** to the sequential one at
+    /// any thread count (per-morsel buffers concatenate in morsel order),
+    /// including under `limit`.
+    pub fn collect_parallel(
+        &self,
+        query: &str,
+        limit: usize,
+        pool: &MorselPool,
+    ) -> Result<Vec<RawRow>, QueryError> {
+        let (bound, plan) = self.prepare(query)?;
+        Ok(exec::collect_parallel(
+            self.ctx(),
+            &bound,
+            &plan,
+            limit,
+            pool,
+        ))
+    }
+
+    /// Collects a pre-bound query morsel-parallel on `pool`.
+    #[must_use]
+    pub fn collect_prepared_parallel(
+        &self,
+        query: &QueryGraph,
+        plan: &Plan,
+        limit: usize,
+        pool: &MorselPool,
+    ) -> Vec<RawRow> {
+        exec::collect_parallel(self.ctx(), query, plan, limit, pool)
+    }
+
+    /// Streams up to `limit` result rows into `sink`, in sequential result
+    /// order, executing morsel-parallel on `pool` — rows are pushed as
+    /// their morsel's turn comes, never materializing the full result. The
+    /// pushed sequence is bit-identical to [`Database::collect`] at any
+    /// thread count; the sink returning [`std::ops::ControlFlow::Break`]
+    /// stops the query early (cancelling outstanding morsels).
+    pub fn stream(
+        &self,
+        query: &str,
+        limit: usize,
+        pool: &MorselPool,
+        sink: &mut dyn RowSink,
+    ) -> Result<(), QueryError> {
+        let (bound, plan) = self.prepare(query)?;
+        exec::stream(self.ctx(), &bound, &plan, limit, pool, sink);
+        Ok(())
+    }
+
+    /// Streams a pre-bound query (see [`Database::stream`]).
+    pub fn stream_prepared(
+        &self,
+        query: &QueryGraph,
+        plan: &Plan,
+        limit: usize,
+        pool: &MorselPool,
+        sink: &mut dyn RowSink,
+    ) {
+        exec::stream(self.ctx(), query, plan, limit, pool, sink);
     }
 
     /// Applies a DDL statement: `RECONFIGURE PRIMARY INDEXES ...`,
@@ -301,9 +364,26 @@ impl SharedDatabase {
         self.read().count_parallel(query, &self.pool)
     }
 
-    /// Executes and collects up to `limit` rows under a shared read lock.
+    /// Executes and collects up to `limit` rows morsel-parallel under a
+    /// shared read lock. The row sequence is identical to a sequential
+    /// collect at any pool size.
     pub fn collect(&self, query: &str, limit: usize) -> Result<Vec<RawRow>, QueryError> {
-        self.read().collect(query, limit)
+        self.read().collect_parallel(query, limit, &self.pool)
+    }
+
+    /// Streams up to `limit` rows into `sink` morsel-parallel under a
+    /// shared read lock, which is held until the stream completes — the
+    /// consumer observes one consistent snapshot (no torn rows), and
+    /// writers block until every in-flight stream finishes. Pair with
+    /// [`crate::sink::row_channel`] to drain from another thread with
+    /// bounded buffering.
+    pub fn stream(
+        &self,
+        query: &str,
+        limit: usize,
+        sink: &mut dyn RowSink,
+    ) -> Result<(), QueryError> {
+        self.read().stream(query, limit, &self.pool, sink)
     }
 
     /// Parses, binds and optimizes a query under a shared read lock.
@@ -569,5 +649,88 @@ mod tests {
     fn shared_database_is_send_sync() {
         fn assert_send_sync<T: Send + Sync + Clone>() {}
         assert_send_sync::<SharedDatabase>();
+    }
+
+    #[test]
+    fn parallel_collect_matches_sequential_rows() {
+        let db = db();
+        for q in [
+            "MATCH a-[r:W]->b",
+            "MATCH a-[r1]->b-[r2]->c",
+            "MATCH c1-[r1:O]->a1-[r2:W]->a2 WHERE c1.name = 'Alice'", // pinned root
+            "MATCH a1-[r1]->a2 WHERE r1.eID = 17",                    // edge-scan root
+        ] {
+            let seq = db.collect(q, usize::MAX).unwrap();
+            for threads in [1, 2, 4] {
+                let pool = MorselPool::new(threads);
+                for limit in [0, 1, 3, usize::MAX] {
+                    let par = db.collect_parallel(q, limit, &pool).unwrap();
+                    assert_eq!(
+                        par,
+                        seq[..limit.min(seq.len())],
+                        "{q} at {threads} threads, limit {limit}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stream_pushes_rows_in_collect_order() {
+        let db = db();
+        let q = "MATCH a-[r1]->b-[r2]->c";
+        let expect = db.collect(q, 7).unwrap();
+        let mut got = Vec::new();
+        db.stream(q, 7, &MorselPool::new(4), &mut |row| {
+            got.push(row);
+            std::ops::ControlFlow::Continue(())
+        })
+        .unwrap();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn stream_sink_break_stops_early() {
+        let db = db();
+        let mut got = Vec::new();
+        db.stream(
+            "MATCH a-[r1]->b-[r2]->c",
+            usize::MAX,
+            &MorselPool::new(2),
+            &mut |row| {
+                got.push(row);
+                std::ops::ControlFlow::Break(())
+            },
+        )
+        .unwrap();
+        assert_eq!(got.len(), 1, "the sink consumed exactly one row");
+        assert_eq!(got, db.collect("MATCH a-[r1]->b-[r2]->c", 1).unwrap());
+    }
+
+    #[test]
+    fn shared_database_collect_and_stream() {
+        let shared = db().into_shared();
+        let expect = {
+            let guard = shared.read();
+            guard.collect("MATCH a-[r:W]->b", usize::MAX).unwrap()
+        };
+        assert_eq!(
+            shared.collect("MATCH a-[r:W]->b", usize::MAX).unwrap(),
+            expect
+        );
+        // Stream through a bounded channel drained on another thread.
+        let (mut tx, rx) = crate::sink::row_channel(2);
+        let streamer = {
+            let handle = shared.clone();
+            std::thread::spawn(move || {
+                handle
+                    .stream("MATCH a-[r:W]->b", usize::MAX, &mut tx)
+                    .unwrap();
+                drop(tx); // close: the receiver's iterator ends
+            })
+        };
+        let got: Vec<RawRow> = rx.collect();
+        streamer.join().unwrap();
+        assert_eq!(got, expect);
     }
 }

@@ -13,25 +13,39 @@
 //!
 //! # Morsel-driven parallelism
 //!
-//! The pipeline is driven morsel-at-a-time: the root scan (vertices or
-//! edges) is cut into contiguous ID ranges ([`aplus_runtime::scan_morsel_size`])
-//! and each morsel runs the *whole* operator pipeline depth-first with its
-//! own per-worker [`Row`] and operator state — no shared mutable state, no
-//! synchronization inside operators. [`count_parallel`] fans morsels out on
-//! a [`MorselPool`] and merges per-worker partial counts in morsel order,
-//! so parallel counts are bit-identical to sequential ones; a 1-thread pool
-//! (or a plan whose root pins a single vertex) takes the pre-existing
+//! The pipeline is driven morsel-at-a-time: a partitionable level is cut
+//! into contiguous ranges ([`aplus_runtime::scan_morsel_size`]) and each
+//! morsel runs the remaining operator pipeline depth-first with its own
+//! per-worker [`Row`] and operator state — no shared mutable state, no
+//! synchronization inside operators. Two levels can partition:
+//!
+//! * **the root scan** (vertices or edges) — the common case; or
+//! * **the first E/I level**, when the root scan binds fewer vertices than
+//!   there are workers (a pinned scan followed by huge intersections — the
+//!   skewed-supernode case): the adjacency lists fetched for the first
+//!   EXTEND/INTERSECT are partitioned by position instead, per root
+//!   binding, so the heavy intersections themselves fan out.
+//!
+//! [`count_parallel`] merges per-morsel partial counts in morsel order and
+//! [`collect_parallel`]/[`stream`] concatenate per-morsel row buffers in
+//! morsel order, so parallel results are **bit-identical** to sequential
+//! ones at any thread count. Every `on_row` callback returns a
+//! [`ControlFlow`]: `Break` unwinds the pipeline immediately, which is how
+//! `LIMIT` stops work early — sequentially on the caller's stack, and in
+//! parallel via the pool's cooperative [`aplus_runtime::ExitSignal`]. A
+//! 1-thread pool (or an unpartitionable plan) takes the pre-existing
 //! sequential path unchanged.
 
-use std::ops::Range;
+use std::ops::{ControlFlow, Range};
 
 use aplus_common::{EdgeId, VertexId};
 use aplus_core::{CmpOp, IndexStore, List, SortKey};
 use aplus_graph::Graph;
-use aplus_runtime::MorselPool;
+use aplus_runtime::{ExitSignal, MorselPool};
 
 use crate::plan::{Ald, FromRef, IndexChoice, Operator, Plan, Prune, PruneValue};
 use crate::query::{QueryGraph, QueryOperand, QueryPredicate, Row};
+use crate::sink::{RawRow, RowSink, VecSink};
 
 /// Everything an executing plan reads.
 #[derive(Clone, Copy)]
@@ -42,22 +56,27 @@ pub struct ExecContext<'a> {
     pub store: &'a IndexStore,
 }
 
-/// Runs `plan`, invoking `on_row` for every complete match.
+/// Runs `plan`, invoking `on_row` for every complete match, in sequential
+/// result order. `on_row` returning [`ControlFlow::Break`] stops execution
+/// immediately (early exit for `LIMIT`); the break is returned through.
 pub fn execute(
     ctx: ExecContext<'_>,
     query: &QueryGraph,
     plan: &Plan,
-    on_row: &mut dyn FnMut(&Row),
-) {
+    on_row: &mut dyn FnMut(&Row) -> ControlFlow<()>,
+) -> ControlFlow<()> {
     let mut row = Row::unbound(query.vertices.len(), query.edges.len());
-    run_op(ctx, plan, 0, &mut row, on_row);
+    run_op(ctx, plan, 0, &mut row, on_row)
 }
 
 /// Runs `plan` and returns the number of matches.
 #[must_use]
 pub fn count(ctx: ExecContext<'_>, query: &QueryGraph, plan: &Plan) -> u64 {
     let mut n = 0u64;
-    execute(ctx, query, plan, &mut |_| n += 1);
+    let _ = execute(ctx, query, plan, &mut |_| {
+        n += 1;
+        ControlFlow::Continue(())
+    });
     n
 }
 
@@ -66,34 +85,66 @@ pub fn count(ctx: ExecContext<'_>, query: &QueryGraph, plan: &Plan) -> u64 {
 pub const VERTEX_MORSEL_CAP: usize = 256;
 /// Largest edge morsel for partitioned root scans.
 pub const EDGE_MORSEL_CAP: usize = 1024;
+/// Largest first-E/I morsel (positions of the first fetched adjacency
+/// list) for level-1 partitioned plans.
+pub const EI_MORSEL_CAP: usize = 256;
 
-/// The root operator's scan domain, when the plan admits morsel-driven
-/// execution (an unpinned vertex scan or an edge scan).
-enum RootScan {
-    Vertices(usize),
-    Edges(usize),
+/// How a plan parallelizes on a given pool.
+enum Strategy {
+    /// Partition the root scan's ID space into morsels.
+    RootRanges { total: usize, cap: usize },
+    /// The root scan binds fewer vertices than there are workers and the
+    /// next operator is an E/I: partition the first E/I level's adjacency
+    /// lists instead (per root binding, in root order).
+    FirstEi,
+    /// Nothing to partition (1-thread pool, exotic root): run inline.
+    Sequential,
 }
 
-fn parallel_root(ctx: ExecContext<'_>, plan: &Plan) -> Option<RootScan> {
-    match plan.ops.first()? {
-        Operator::ScanVertices { var, preds, .. } => {
-            // A pinned scan visits one vertex; nothing to partition.
-            if pinned_vertex(preds, *var).is_some() {
-                None
+fn strategy(ctx: ExecContext<'_>, plan: &Plan, pool: &MorselPool) -> Strategy {
+    if pool.is_sequential() {
+        return Strategy::Sequential;
+    }
+    match plan.ops.first() {
+        Some(Operator::ScanVertices { var, preds, .. }) => {
+            let domain = if pinned_vertex(preds, *var).is_some() {
+                1
             } else {
-                Some(RootScan::Vertices(ctx.graph.vertex_count()))
+                ctx.graph.vertex_count()
+            };
+            let first_ei = matches!(plan.ops.get(1), Some(Operator::ExtendIntersect { .. }));
+            if domain < pool.threads() && first_ei {
+                Strategy::FirstEi
+            } else if domain > 1 {
+                Strategy::RootRanges {
+                    total: ctx.graph.vertex_count(),
+                    cap: VERTEX_MORSEL_CAP,
+                }
+            } else {
+                Strategy::Sequential
             }
         }
-        Operator::ScanEdges { .. } => Some(RootScan::Edges(ctx.graph.edge_count())),
-        _ => None,
+        Some(Operator::ScanEdges { .. }) => Strategy::RootRanges {
+            total: ctx.graph.edge_count(),
+            cap: EDGE_MORSEL_CAP,
+        },
+        _ => Strategy::Sequential,
     }
+}
+
+/// The merge window for streaming morsel merges: enough in-flight morsels
+/// to keep every worker busy while the merger drains, without unbounded
+/// result buffering.
+fn merge_window(pool: &MorselPool) -> usize {
+    pool.threads().saturating_mul(4)
 }
 
 /// Runs `plan` morsel-at-a-time on `pool` and returns the number of
 /// matches. Guaranteed equal to [`count`] at any thread count: morsels
-/// partition the root scan's ID space and partial counts merge in morsel
-/// order. Falls back to the sequential path for 1-thread pools and plans
-/// whose root scan cannot be partitioned (pinned scans, empty plans).
+/// partition the root scan's ID space (or the first E/I level, for
+/// pinned/small roots) and partial counts merge in morsel order. Falls
+/// back to the sequential path for 1-thread pools and plans with no
+/// partitionable level.
 #[must_use]
 pub fn count_parallel(
     ctx: ExecContext<'_>,
@@ -101,19 +152,22 @@ pub fn count_parallel(
     plan: &Plan,
     pool: &MorselPool,
 ) -> u64 {
-    let root = parallel_root(ctx, plan);
-    let (total, cap) = match (pool.is_sequential(), root) {
-        (false, Some(RootScan::Vertices(n))) => (n, VERTEX_MORSEL_CAP),
-        (false, Some(RootScan::Edges(n))) => (n, EDGE_MORSEL_CAP),
-        _ => return count(ctx, query, plan),
-    };
-    let size = aplus_runtime::scan_morsel_size(total, pool.threads(), cap);
-    pool.sum_ranges(total, size, |range| {
-        let mut n = 0u64;
-        let mut row = Row::unbound(query.vertices.len(), query.edges.len());
-        run_root_range(ctx, plan, range, &mut row, &mut |_| n += 1);
-        n
-    })
+    match strategy(ctx, plan, pool) {
+        Strategy::Sequential => count(ctx, query, plan),
+        Strategy::RootRanges { total, cap } => {
+            let size = aplus_runtime::scan_morsel_size(total, pool.threads(), cap);
+            pool.sum_ranges(total, size, |range| {
+                let mut n = 0u64;
+                let mut row = Row::unbound(query.vertices.len(), query.edges.len());
+                let _ = run_root_range(ctx, plan, range, &mut row, &mut |_| {
+                    n += 1;
+                    ControlFlow::Continue(())
+                });
+                n
+            })
+        }
+        Strategy::FirstEi => count_first_ei(ctx, query, plan, pool),
+    }
 }
 
 /// Executes the whole pipeline with the root scan restricted to the ID
@@ -125,11 +179,11 @@ fn run_root_range(
     plan: &Plan,
     range: Range<usize>,
     row: &mut Row,
-    on_row: &mut dyn FnMut(&Row),
-) {
+    on_row: &mut dyn FnMut(&Row) -> ControlFlow<()>,
+) -> ControlFlow<()> {
     match plan.ops.first().expect("caller checked the root operator") {
         Operator::ScanVertices { var, label, preds } => {
-            exec_scan_vertices_range(ctx, plan, 0, *var, *label, preds, range, row, on_row);
+            exec_scan_vertices_range(ctx, plan, 0, *var, *label, preds, range, row, on_row)
         }
         Operator::ScanEdges {
             edge_var,
@@ -139,44 +193,322 @@ fn run_root_range(
             src_label,
             dst_label,
             preds,
-        } => {
-            exec_scan_edges_range(
-                ctx,
-                plan,
-                0,
-                ScanEdgesVars {
-                    edge_var: *edge_var,
-                    src_var: *src_var,
-                    dst_var: *dst_var,
-                    label: *label,
-                    src_label: *src_label,
-                    dst_label: *dst_label,
-                },
-                preds,
-                range,
-                row,
-                on_row,
-            );
-        }
+        } => exec_scan_edges_range(
+            ctx,
+            plan,
+            0,
+            ScanEdgesVars {
+                edge_var: *edge_var,
+                src_var: *src_var,
+                dst_var: *dst_var,
+                label: *label,
+                src_label: *src_label,
+                dst_label: *dst_label,
+            },
+            preds,
+            range,
+            row,
+            on_row,
+        ),
         _ => unreachable!("parallel roots are scans"),
     }
 }
 
-/// Runs `plan` and collects up to `limit` rows (tests / examples).
+/// Runs `plan` and collects up to `limit` rows, stopping execution as soon
+/// as the limit is reached (no wasted tail enumeration).
 #[must_use]
-pub fn collect(
+pub fn collect(ctx: ExecContext<'_>, query: &QueryGraph, plan: &Plan, limit: usize) -> Vec<RawRow> {
+    let mut out = Vec::new();
+    if limit == 0 {
+        return out;
+    }
+    let _ = execute(ctx, query, plan, &mut |row| {
+        out.push((row.vertex_slots().to_vec(), row.edge_slots().to_vec()));
+        if out.len() >= limit {
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    });
+    out
+}
+
+/// Runs `plan` morsel-parallel on `pool` and collects up to `limit` rows.
+/// The returned row sequence is **bit-identical** to [`collect`] at any
+/// thread count: each morsel gathers rows into its own buffer and buffers
+/// are concatenated in morsel order.
+#[must_use]
+pub fn collect_parallel(
     ctx: ExecContext<'_>,
     query: &QueryGraph,
     plan: &Plan,
     limit: usize,
-) -> Vec<(Vec<u32>, Vec<u64>)> {
-    let mut out = Vec::new();
-    execute(ctx, query, plan, &mut |row| {
-        if out.len() < limit {
-            out.push((row.vertex_slots().to_vec(), row.edge_slots().to_vec()));
+    pool: &MorselPool,
+) -> Vec<RawRow> {
+    let mut sink = VecSink::with_limit(limit);
+    stream(ctx, query, plan, limit, pool, &mut sink);
+    sink.into_rows()
+}
+
+/// Streams up to `limit` result rows into `sink`, in sequential result
+/// order, executing morsel-parallel on `pool` where the plan allows. The
+/// pushed row sequence is bit-identical to [`collect`] at any thread
+/// count; memory stays bounded by the merge window (per-morsel buffers are
+/// handed to the sink as soon as their morsel's turn comes, never
+/// materializing the full result). The sink returning
+/// [`ControlFlow::Break`] cancels outstanding morsels cooperatively.
+pub fn stream(
+    ctx: ExecContext<'_>,
+    query: &QueryGraph,
+    plan: &Plan,
+    limit: usize,
+    pool: &MorselPool,
+    sink: &mut dyn RowSink,
+) {
+    if limit == 0 {
+        return;
+    }
+    match strategy(ctx, plan, pool) {
+        Strategy::Sequential => {
+            let mut sent = 0usize;
+            let _ = execute(ctx, query, plan, &mut |row| {
+                sent += 1;
+                let flow = sink.push((row.vertex_slots().to_vec(), row.edge_slots().to_vec()));
+                if flow.is_break() || sent >= limit {
+                    ControlFlow::Break(())
+                } else {
+                    ControlFlow::Continue(())
+                }
+            });
         }
+        Strategy::RootRanges { total, cap } => {
+            let size = aplus_runtime::scan_morsel_size(total, pool.threads(), cap);
+            let mut sent = 0usize;
+            pool.map_ranges(
+                total,
+                size,
+                merge_window(pool),
+                |range, exit| {
+                    let mut buf: Vec<RawRow> = Vec::new();
+                    let mut row = Row::unbound(query.vertices.len(), query.edges.len());
+                    let _ = run_root_range(ctx, plan, range, &mut row, &mut |r| {
+                        buffer_row(&mut buf, r, limit, exit)
+                    });
+                    buf
+                },
+                |buf| deliver(buf, &mut sent, limit, sink),
+            );
+        }
+        Strategy::FirstEi => stream_first_ei(ctx, query, plan, limit, pool, sink),
+    }
+}
+
+/// The per-morsel `on_row`: buffer the row, stop early when the morsel can
+/// no longer contribute to the output — its buffer already holds `limit`
+/// rows (the output takes at most `limit` from any morsel prefix), or the
+/// merger cancelled outstanding work.
+fn buffer_row(
+    buf: &mut Vec<RawRow>,
+    row: &Row,
+    limit: usize,
+    exit: &ExitSignal,
+) -> ControlFlow<()> {
+    buf.push((row.vertex_slots().to_vec(), row.edge_slots().to_vec()));
+    if buf.len() >= limit || exit.is_stopped() {
+        ControlFlow::Break(())
+    } else {
+        ControlFlow::Continue(())
+    }
+}
+
+/// Feeds one morsel's buffered rows to the sink, enforcing the global
+/// limit exactly as the sequential path does (the `limit`-th row is
+/// delivered, then the query stops).
+fn deliver(
+    buf: Vec<RawRow>,
+    sent: &mut usize,
+    limit: usize,
+    sink: &mut dyn RowSink,
+) -> ControlFlow<()> {
+    for r in buf {
+        *sent += 1;
+        let flow = sink.push(r);
+        if flow.is_break() || *sent >= limit {
+            return ControlFlow::Break(());
+        }
+    }
+    ControlFlow::Continue(())
+}
+
+/// Enumerates the root vertex-scan's bindings without running deeper
+/// operators: binds the scan variable, checks label + predicates, and
+/// hands each surviving root row to `f`. The first-E/I strategies use this
+/// to process root bindings one at a time, in root order.
+fn for_each_root_vertex(
+    ctx: ExecContext<'_>,
+    plan: &Plan,
+    row: &mut Row,
+    f: &mut dyn FnMut(&mut Row) -> ControlFlow<()>,
+) -> ControlFlow<()> {
+    let Some(Operator::ScanVertices { var, label, preds }) = plan.ops.first() else {
+        unreachable!("first-E/I strategy requires a vertex-scan root")
+    };
+    match pinned_vertex(preds, *var) {
+        Some(v) => {
+            if v.index() < ctx.graph.vertex_count() {
+                visit_vertex(ctx, *var, *label, preds, v, row, f)?;
+            }
+        }
+        None => {
+            for raw in 0..ctx.graph.vertex_count() {
+                let v = VertexId(raw as u32);
+                visit_vertex(ctx, *var, *label, preds, v, row, f)?;
+            }
+        }
+    }
+    ControlFlow::Continue(())
+}
+
+/// The first-E/I operator's pieces, destructured once per query.
+struct FirstEi<'p> {
+    target: usize,
+    target_label: Option<aplus_common::VertexLabelId>,
+    alds: &'p [Ald],
+    residual: &'p [QueryPredicate],
+}
+
+fn first_ei_op(plan: &Plan) -> FirstEi<'_> {
+    let Some(Operator::ExtendIntersect {
+        target,
+        target_label,
+        alds,
+        residual,
+    }) = plan.ops.get(1)
+    else {
+        unreachable!("first-E/I strategy requires an E/I second operator")
+    };
+    FirstEi {
+        target: *target,
+        target_label: *target_label,
+        alds,
+        residual,
+    }
+}
+
+/// [`count_parallel`] for the skewed case: per root binding, fetch the
+/// first E/I's lists once and morsel over positions of the first list.
+fn count_first_ei(ctx: ExecContext<'_>, query: &QueryGraph, plan: &Plan, pool: &MorselPool) -> u64 {
+    let ei = first_ei_op(plan);
+    let mut total = 0u64;
+    let mut row = Row::unbound(query.vertices.len(), query.edges.len());
+    let _ = for_each_root_vertex(ctx, plan, &mut row, &mut |row| {
+        let Some(lists) = fetch_ei_lists(ctx, ei.alds, row) else {
+            return ControlFlow::Continue(());
+        };
+        let n0 = lists[0].len();
+        let size = aplus_runtime::scan_morsel_size(n0, pool.threads(), EI_MORSEL_CAP);
+        let base: &Row = row;
+        let lists = &lists;
+        total += pool.sum_ranges(n0, size, |r| {
+            let mut w = base.clone();
+            let mut n = 0u64;
+            let _ = ei_over_lists(
+                ctx,
+                plan,
+                1,
+                ei.target,
+                ei.target_label,
+                lists,
+                r,
+                ei.residual,
+                &mut w,
+                &mut |_| {
+                    n += 1;
+                    ControlFlow::Continue(())
+                },
+            );
+            n
+        });
+        ControlFlow::Continue(())
     });
-    out
+    total
+}
+
+/// [`stream`] for the skewed case: per root binding, morsel over the first
+/// E/I's leading list, buffering rows per morsel and merging in morsel
+/// order — root bindings are processed in root order, so the overall row
+/// sequence stays sequential.
+fn stream_first_ei(
+    ctx: ExecContext<'_>,
+    query: &QueryGraph,
+    plan: &Plan,
+    limit: usize,
+    pool: &MorselPool,
+    sink: &mut dyn RowSink,
+) {
+    let ei = first_ei_op(plan);
+    let mut sent = 0usize;
+    let mut row = Row::unbound(query.vertices.len(), query.edges.len());
+    let sent = &mut sent;
+    let _ = for_each_root_vertex(ctx, plan, &mut row, &mut |row| {
+        let Some(lists) = fetch_ei_lists(ctx, ei.alds, row) else {
+            return ControlFlow::Continue(());
+        };
+        let n0 = lists[0].len();
+        let size = aplus_runtime::scan_morsel_size(n0, pool.threads(), EI_MORSEL_CAP);
+        // A morsel of *this* root binding contributes at most the rows
+        // still missing from the global limit.
+        let remaining = limit - *sent;
+        let base: &Row = row;
+        let lists = &lists;
+        let mut flow = ControlFlow::Continue(());
+        pool.map_ranges(
+            n0,
+            size,
+            merge_window(pool),
+            |r, exit| {
+                let mut w = base.clone();
+                let mut buf: Vec<RawRow> = Vec::new();
+                let _ = ei_over_lists(
+                    ctx,
+                    plan,
+                    1,
+                    ei.target,
+                    ei.target_label,
+                    lists,
+                    r,
+                    ei.residual,
+                    &mut w,
+                    &mut |rr| buffer_row(&mut buf, rr, remaining, exit),
+                );
+                buf
+            },
+            |buf| {
+                let f = deliver(buf, sent, limit, sink);
+                if f.is_break() {
+                    flow = ControlFlow::Break(());
+                }
+                f
+            },
+        );
+        flow
+    });
+}
+
+/// Fetches an E/I operator's adjacency lists for the current row; `None`
+/// when any list is empty (the extension produces nothing).
+fn fetch_ei_lists<'a>(ctx: ExecContext<'a>, alds: &[Ald], row: &Row) -> Option<Vec<BoundList<'a>>> {
+    let need = if alds.len() > 1 {
+        Need::NbrSorted
+    } else {
+        Need::Any
+    };
+    let lists: Vec<BoundList<'a>> = alds.iter().map(|a| fetch_list(ctx, a, row, need)).collect();
+    if lists.iter().any(|l| l.len() == 0) {
+        None
+    } else {
+        Some(lists)
+    }
 }
 
 fn run_op(
@@ -184,15 +516,14 @@ fn run_op(
     plan: &Plan,
     depth: usize,
     row: &mut Row,
-    on_row: &mut dyn FnMut(&Row),
-) {
+    on_row: &mut dyn FnMut(&Row) -> ControlFlow<()>,
+) -> ControlFlow<()> {
     let Some(op) = plan.ops.get(depth) else {
-        on_row(row);
-        return;
+        return on_row(row);
     };
     match op {
         Operator::ScanVertices { var, label, preds } => {
-            exec_scan_vertices(ctx, plan, depth, *var, *label, preds, row, on_row);
+            exec_scan_vertices(ctx, plan, depth, *var, *label, preds, row, on_row)
         }
         Operator::ScanEdges {
             edge_var,
@@ -202,49 +533,47 @@ fn run_op(
             src_label,
             dst_label,
             preds,
-        } => {
-            exec_scan_edges_range(
-                ctx,
-                plan,
-                depth,
-                ScanEdgesVars {
-                    edge_var: *edge_var,
-                    src_var: *src_var,
-                    dst_var: *dst_var,
-                    label: *label,
-                    src_label: *src_label,
-                    dst_label: *dst_label,
-                },
-                preds,
-                0..ctx.graph.edge_count(),
-                row,
-                on_row,
-            );
-        }
+        } => exec_scan_edges_range(
+            ctx,
+            plan,
+            depth,
+            ScanEdgesVars {
+                edge_var: *edge_var,
+                src_var: *src_var,
+                dst_var: *dst_var,
+                label: *label,
+                src_label: *src_label,
+                dst_label: *dst_label,
+            },
+            preds,
+            0..ctx.graph.edge_count(),
+            row,
+            on_row,
+        ),
         Operator::ExtendIntersect {
             target,
             target_label,
             alds,
             residual,
-        } => {
-            exec_extend_intersect(
-                ctx,
-                plan,
-                depth,
-                *target,
-                *target_label,
-                alds,
-                residual,
-                row,
-                on_row,
-            );
-        }
+        } => exec_extend_intersect(
+            ctx,
+            plan,
+            depth,
+            *target,
+            *target_label,
+            alds,
+            residual,
+            row,
+            on_row,
+        ),
         Operator::MultiExtend { targets, residual } => {
-            exec_multi_extend(ctx, plan, depth, targets, residual, row, on_row);
+            exec_multi_extend(ctx, plan, depth, targets, residual, row, on_row)
         }
         Operator::Filter { preds } => {
             if preds.iter().all(|p| p.eval(ctx.graph, row)) {
-                run_op(ctx, plan, depth + 1, row, on_row);
+                run_op(ctx, plan, depth + 1, row, on_row)
+            } else {
+                ControlFlow::Continue(())
             }
         }
     }
@@ -273,17 +602,20 @@ fn exec_scan_vertices(
     label: Option<aplus_common::VertexLabelId>,
     preds: &[QueryPredicate],
     row: &mut Row,
-    on_row: &mut dyn FnMut(&Row),
-) {
+    on_row: &mut dyn FnMut(&Row) -> ControlFlow<()>,
+) -> ControlFlow<()> {
     match pinned_vertex(preds, var) {
         Some(v) => {
             if v.index() < ctx.graph.vertex_count() {
-                visit_vertex(ctx, plan, depth, var, label, preds, v, row, on_row);
+                visit_vertex(ctx, var, label, preds, v, row, &mut |row| {
+                    run_op(ctx, plan, depth + 1, row, on_row)
+                })?;
             }
+            ControlFlow::Continue(())
         }
         None => {
             let n = ctx.graph.vertex_count();
-            exec_scan_vertices_range(ctx, plan, depth, var, label, preds, 0..n, row, on_row);
+            exec_scan_vertices_range(ctx, plan, depth, var, label, preds, 0..n, row, on_row)
         }
     }
 }
@@ -299,37 +631,43 @@ fn exec_scan_vertices_range(
     preds: &[QueryPredicate],
     range: Range<usize>,
     row: &mut Row,
-    on_row: &mut dyn FnMut(&Row),
-) {
+    on_row: &mut dyn FnMut(&Row) -> ControlFlow<()>,
+) -> ControlFlow<()> {
     for raw in range.start..range.end.min(ctx.graph.vertex_count()) {
         let v = VertexId(raw as u32);
-        visit_vertex(ctx, plan, depth, var, label, preds, v, row, on_row);
+        visit_vertex(ctx, var, label, preds, v, row, &mut |row| {
+            run_op(ctx, plan, depth + 1, row, on_row)
+        })?;
     }
+    ControlFlow::Continue(())
 }
 
-#[allow(clippy::too_many_arguments)]
+/// Binds `v` to the scan variable if it passes the label + predicate
+/// checks, then runs the continuation `k` (the rest of the pipeline, or a
+/// root-binding consumer for first-E/I partitioned execution).
 fn visit_vertex(
     ctx: ExecContext<'_>,
-    plan: &Plan,
-    depth: usize,
     var: usize,
     label: Option<aplus_common::VertexLabelId>,
     preds: &[QueryPredicate],
     v: VertexId,
     row: &mut Row,
-    on_row: &mut dyn FnMut(&Row),
-) {
+    k: &mut dyn FnMut(&mut Row) -> ControlFlow<()>,
+) -> ControlFlow<()> {
     if let Some(want) = label {
         match ctx.graph.vertex_label(v) {
             Ok(l) if l == want => {}
-            _ => return,
+            _ => return ControlFlow::Continue(()),
         }
     }
     row.bind_vertex(var, v);
-    if preds.iter().all(|p| p.eval(ctx.graph, row)) {
-        run_op(ctx, plan, depth + 1, row, on_row);
-    }
+    let flow = if preds.iter().all(|p| p.eval(ctx.graph, row)) {
+        k(row)
+    } else {
+        ControlFlow::Continue(())
+    };
     row.unbind_vertex(var);
+    flow
 }
 
 /// The non-predicate bindings of a `ScanEdges` operator, grouped so the
@@ -354,8 +692,8 @@ fn exec_scan_edges_range(
     preds: &[QueryPredicate],
     range: Range<usize>,
     row: &mut Row,
-    on_row: &mut dyn FnMut(&Row),
-) {
+    on_row: &mut dyn FnMut(&Row) -> ControlFlow<()>,
+) -> ControlFlow<()> {
     for (e, s, d, l) in ctx.graph.edges_in(range) {
         if vars.label.is_some_and(|want| want != l) {
             continue;
@@ -375,13 +713,17 @@ fn exec_scan_edges_range(
         row.bind_edge(vars.edge_var, e);
         row.bind_vertex(vars.src_var, s);
         row.bind_vertex(vars.dst_var, d);
-        if preds.iter().all(|p| p.eval(ctx.graph, row)) {
-            run_op(ctx, plan, depth + 1, row, on_row);
-        }
+        let flow = if preds.iter().all(|p| p.eval(ctx.graph, row)) {
+            run_op(ctx, plan, depth + 1, row, on_row)
+        } else {
+            ControlFlow::Continue(())
+        };
         row.unbind_edge(vars.edge_var);
         row.unbind_vertex(vars.src_var);
         row.unbind_vertex(vars.dst_var);
+        flow?;
     }
+    ControlFlow::Continue(())
 }
 
 /// What ordering the consuming operator requires of a fetched list.
@@ -702,41 +1044,76 @@ fn exec_extend_intersect(
     alds: &[Ald],
     residual: &[QueryPredicate],
     row: &mut Row,
-    on_row: &mut dyn FnMut(&Row),
-) {
-    let label_ok =
-        |n: VertexId| target_label.is_none_or(|want| ctx.graph.vertex_label(n) == Ok(want));
+    on_row: &mut dyn FnMut(&Row) -> ControlFlow<()>,
+) -> ControlFlow<()> {
     // A single list needs no intersection (plain EXTEND); multiple lists
     // are each fetched neighbour-sorted and intersected with a k-pointer
     // leapfrog.
-    let need = if alds.len() > 1 {
-        Need::NbrSorted
-    } else {
-        Need::Any
+    let Some(lists) = fetch_ei_lists(ctx, alds, row) else {
+        return ControlFlow::Continue(());
     };
-    let lists: Vec<BoundList<'_>> = alds.iter().map(|a| fetch_list(ctx, a, row, need)).collect();
-    if lists.iter().any(|l| l.len() == 0) {
-        return;
-    }
+    let range = 0..lists[0].len();
+    ei_over_lists(
+        ctx,
+        plan,
+        depth,
+        target,
+        target_label,
+        &lists,
+        range,
+        residual,
+        row,
+        on_row,
+    )
+}
+
+/// Runs an E/I over pre-fetched lists with the *first* list restricted to
+/// the position `range` — the unit of first-level partitioned execution.
+/// Because list 0 is neighbour-sorted (intersections) or arbitrary but
+/// positionally stable (single-list extends), concatenating the outputs of
+/// contiguous ranges in order reproduces the unrestricted output exactly,
+/// even when a range boundary splits a run of parallel edges.
+#[allow(clippy::too_many_arguments)]
+fn ei_over_lists(
+    ctx: ExecContext<'_>,
+    plan: &Plan,
+    depth: usize,
+    target: usize,
+    target_label: Option<aplus_common::VertexLabelId>,
+    lists: &[BoundList<'_>],
+    range: Range<usize>,
+    residual: &[QueryPredicate],
+    row: &mut Row,
+    on_row: &mut dyn FnMut(&Row) -> ControlFlow<()>,
+) -> ControlFlow<()> {
+    let label_ok =
+        |n: VertexId| target_label.is_none_or(|want| ctx.graph.vertex_label(n) == Ok(want));
     if lists.len() == 1 {
         let l = &lists[0];
-        for i in 0..l.len() {
+        for i in range {
             let (e, n) = l.get(i);
             if row.uses_edge(e) || !label_ok(n) {
                 continue;
             }
             row.bind_vertex(target, n);
             row.bind_edge(l.edge_var, e);
-            if residual.iter().all(|p| p.eval(ctx.graph, row)) {
-                run_op(ctx, plan, depth + 1, row, on_row);
-            }
+            let flow = if residual.iter().all(|p| p.eval(ctx.graph, row)) {
+                run_op(ctx, plan, depth + 1, row, on_row)
+            } else {
+                ControlFlow::Continue(())
+            };
             row.unbind_edge(l.edge_var);
             row.unbind_vertex(target);
+            flow?;
         }
-        return;
+        return ControlFlow::Continue(());
     }
     let k = lists.len();
+    // List 0 is clamped to `range`; the other lists run in full (the
+    // leapfrog fast-forwards them to list 0's neighbour span).
+    let len_of = |i: usize| if i == 0 { range.end } else { lists[i].len() };
     let mut ptr: Vec<usize> = vec![0; k];
+    ptr[0] = range.start;
     // Run buffers are reused across neighbour groups to avoid per-group
     // allocations in the hot intersection loop.
     let mut edge_choices: Vec<Vec<EdgeId>> = vec![Vec::new(); k];
@@ -744,7 +1121,7 @@ fn exec_extend_intersect(
         // Find the maximum head neighbour.
         let mut max_nbr = 0u32;
         for i in 0..k {
-            if ptr[i] >= lists[i].len() {
+            if ptr[i] >= len_of(i) {
                 break 'outer;
             }
             max_nbr = max_nbr.max(lists[i].get(ptr[i]).1.raw());
@@ -752,10 +1129,10 @@ fn exec_extend_intersect(
         // Advance every list to >= max_nbr (leapfrog step).
         let mut aligned = true;
         for i in 0..k {
-            while ptr[i] < lists[i].len() && lists[i].get(ptr[i]).1.raw() < max_nbr {
+            while ptr[i] < len_of(i) && lists[i].get(ptr[i]).1.raw() < max_nbr {
                 ptr[i] += 1;
             }
-            if ptr[i] >= lists[i].len() {
+            if ptr[i] >= len_of(i) {
                 break 'outer;
             }
             if lists[i].get(ptr[i]).1.raw() != max_nbr {
@@ -770,7 +1147,7 @@ fn exec_extend_intersect(
         for (i, choices) in edge_choices.iter_mut().enumerate() {
             choices.clear();
             let mut j = ptr[i];
-            while j < lists[i].len() && lists[i].get(j).1 == nbr {
+            while j < len_of(i) && lists[i].get(j).1 == nbr {
                 choices.push(lists[i].get(j).0);
                 j += 1;
             }
@@ -780,11 +1157,11 @@ fn exec_extend_intersect(
             continue;
         }
         row.bind_vertex(target, nbr);
-        bind_edges_product(
+        let flow = bind_edges_product(
             ctx,
             plan,
             depth,
-            &lists,
+            lists,
             &edge_choices,
             0,
             residual,
@@ -792,7 +1169,9 @@ fn exec_extend_intersect(
             on_row,
         );
         row.unbind_vertex(target);
+        flow?;
     }
+    ControlFlow::Continue(())
 }
 
 /// Binds one edge choice per list (cartesian product, with relationship
@@ -807,20 +1186,20 @@ fn bind_edges_product(
     li: usize,
     residual: &[QueryPredicate],
     row: &mut Row,
-    on_row: &mut dyn FnMut(&Row),
-) {
+    on_row: &mut dyn FnMut(&Row) -> ControlFlow<()>,
+) -> ControlFlow<()> {
     if li == lists.len() {
         if residual.iter().all(|p| p.eval(ctx.graph, row)) {
-            run_op(ctx, plan, depth + 1, row, on_row);
+            return run_op(ctx, plan, depth + 1, row, on_row);
         }
-        return;
+        return ControlFlow::Continue(());
     }
     for &e in &choices[li] {
         if row.uses_edge(e) {
             continue;
         }
         row.bind_edge(lists[li].edge_var, e);
-        bind_edges_product(
+        let flow = bind_edges_product(
             ctx,
             plan,
             depth,
@@ -832,7 +1211,9 @@ fn bind_edges_product(
             on_row,
         );
         row.unbind_edge(lists[li].edge_var);
+        flow?;
     }
+    ControlFlow::Continue(())
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -843,14 +1224,14 @@ fn exec_multi_extend(
     targets: &[(usize, Option<aplus_common::VertexLabelId>, Ald)],
     residual: &[QueryPredicate],
     row: &mut Row,
-    on_row: &mut dyn FnMut(&Row),
-) {
+    on_row: &mut dyn FnMut(&Row) -> ControlFlow<()>,
+) -> ControlFlow<()> {
     let lists: Vec<BoundList<'_>> = targets
         .iter()
         .map(|(_, _, a)| fetch_list(ctx, a, row, Need::KeySorted))
         .collect();
     if lists.iter().any(|l| l.len() == 0) {
-        return;
+        return ControlFlow::Continue(());
     }
     let k = lists.len();
     let mut ptr = vec![0usize; k];
@@ -900,8 +1281,9 @@ fn exec_multi_extend(
         }
         bind_targets_product(
             ctx, plan, depth, targets, &lists, &runs, 0, residual, row, on_row,
-        );
+        )?;
     }
+    ControlFlow::Continue(())
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -915,13 +1297,13 @@ fn bind_targets_product(
     ti: usize,
     residual: &[QueryPredicate],
     row: &mut Row,
-    on_row: &mut dyn FnMut(&Row),
-) {
+    on_row: &mut dyn FnMut(&Row) -> ControlFlow<()>,
+) -> ControlFlow<()> {
     if ti == targets.len() {
         if residual.iter().all(|p| p.eval(ctx.graph, row)) {
-            run_op(ctx, plan, depth + 1, row, on_row);
+            return run_op(ctx, plan, depth + 1, row, on_row);
         }
-        return;
+        return ControlFlow::Continue(());
     }
     let (tvar, tlabel, _) = targets[ti];
     for &(e, n) in &runs[ti] {
@@ -930,7 +1312,7 @@ fn bind_targets_product(
         }
         row.bind_vertex(tvar, n);
         row.bind_edge(lists[ti].edge_var, e);
-        bind_targets_product(
+        let flow = bind_targets_product(
             ctx,
             plan,
             depth,
@@ -944,7 +1326,9 @@ fn bind_targets_product(
         );
         row.unbind_edge(lists[ti].edge_var);
         row.unbind_vertex(tvar);
+        flow?;
     }
+    ControlFlow::Continue(())
 }
 
 #[cfg(test)]
@@ -1044,9 +1428,170 @@ mod tests {
         };
         // Alice owns v1 (3 wires) and v2 (1 wire: t8) -> 4 matches.
         assert_eq!(count(ctx, &query, &plan), 4);
-        // A pinned root scan cannot be partitioned; the parallel entry
-        // point must still answer (via the sequential fallback).
+        // A pinned root scan cannot be partitioned, but its first E/I
+        // level can: the parallel entry point must still answer.
         assert_eq!(count_parallel(ctx, &query, &plan, &MorselPool::new(4)), 4);
+        // And parallel collect must return the identical row sequence.
+        let seq = collect(ctx, &query, &plan, usize::MAX);
+        assert_eq!(seq.len(), 4);
+        for threads in [1, 2, 4, 8] {
+            let pool = MorselPool::new(threads);
+            for limit in [0, 1, 2, 3, 4, usize::MAX] {
+                let par = collect_parallel(ctx, &query, &plan, limit, &pool);
+                assert_eq!(
+                    par,
+                    seq[..limit.min(seq.len())],
+                    "pinned-root collect at {threads} threads, limit {limit}"
+                );
+            }
+        }
+    }
+
+    /// `Break` from `on_row` unwinds the whole pipeline immediately: the
+    /// callback is never invoked again (the `LIMIT` early-exit contract).
+    #[test]
+    fn execute_break_stops_immediately() {
+        let (g, store, _) = fixture();
+        let query = QueryGraph {
+            vertices: (0..2)
+                .map(|i| crate::query::QueryVertex {
+                    name: format!("x{i}"),
+                    label: None,
+                })
+                .collect(),
+            edges: vec![crate::query::QueryEdge {
+                name: None,
+                src: 0,
+                dst: 1,
+                label: None,
+            }],
+            predicates: vec![],
+        };
+        let plan = Plan {
+            ops: vec![
+                Operator::ScanVertices {
+                    var: 0,
+                    label: None,
+                    preds: vec![],
+                },
+                Operator::ExtendIntersect {
+                    target: 1,
+                    target_label: None,
+                    alds: vec![Ald {
+                        from: FromRef::Vertex(0),
+                        index: IndexChoice::Primary(Direction::Fwd),
+                        prefix: vec![],
+                        edge_var: 0,
+                        sort: vec![SortKey::NbrId],
+                        prune: None,
+                        sorted_range: false,
+                    }],
+                    residual: vec![],
+                },
+            ],
+            est_cost: 0.0,
+        };
+        let ctx = ExecContext {
+            graph: &g,
+            store: &store,
+        };
+        assert!(count(ctx, &query, &plan) > 3, "fixture has enough edges");
+        let mut calls = 0;
+        let flow = execute(ctx, &query, &plan, &mut |_| {
+            calls += 1;
+            if calls == 3 {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+        assert_eq!(flow, ControlFlow::Break(()));
+        assert_eq!(calls, 3, "no rows may be produced after the break");
+        // And `collect` gathers exactly the first `limit` rows.
+        let all = collect(ctx, &query, &plan, usize::MAX);
+        assert_eq!(collect(ctx, &query, &plan, 3), all[..3]);
+        assert_eq!(collect(ctx, &query, &plan, 0), vec![]);
+    }
+
+    /// Parallel collect (root-partitioned and streamed) returns the
+    /// bit-identical row sequence as sequential collect on an
+    /// intersection-heavy plan, at every thread count and limit.
+    #[test]
+    fn parallel_collect_and_stream_match_sequential() {
+        let (g, store, _) = fixture();
+        let query = QueryGraph {
+            vertices: (0..3)
+                .map(|i| crate::query::QueryVertex {
+                    name: format!("x{i}"),
+                    label: None,
+                })
+                .collect(),
+            edges: vec![
+                crate::query::QueryEdge {
+                    name: None,
+                    src: 0,
+                    dst: 1,
+                    label: None,
+                },
+                crate::query::QueryEdge {
+                    name: None,
+                    src: 1,
+                    dst: 2,
+                    label: None,
+                },
+            ],
+            predicates: vec![],
+        };
+        let mk_ald = |from: usize, edge_var: usize| Ald {
+            from: FromRef::Vertex(from),
+            index: IndexChoice::Primary(Direction::Fwd),
+            prefix: vec![],
+            edge_var,
+            sort: vec![SortKey::NbrId],
+            prune: None,
+            sorted_range: false,
+        };
+        let plan = Plan {
+            ops: vec![
+                Operator::ScanVertices {
+                    var: 0,
+                    label: None,
+                    preds: vec![],
+                },
+                Operator::ExtendIntersect {
+                    target: 1,
+                    target_label: None,
+                    alds: vec![mk_ald(0, 0)],
+                    residual: vec![],
+                },
+                Operator::ExtendIntersect {
+                    target: 2,
+                    target_label: None,
+                    alds: vec![mk_ald(1, 1)],
+                    residual: vec![],
+                },
+            ],
+            est_cost: 0.0,
+        };
+        let ctx = ExecContext {
+            graph: &g,
+            store: &store,
+        };
+        let seq = collect(ctx, &query, &plan, usize::MAX);
+        assert!(!seq.is_empty());
+        for threads in [1, 2, 4] {
+            let pool = MorselPool::new(threads);
+            for limit in [1, 5, seq.len(), usize::MAX] {
+                let par = collect_parallel(ctx, &query, &plan, limit, &pool);
+                assert_eq!(par, seq[..limit.min(seq.len())], "{threads}t limit {limit}");
+                let mut streamed = Vec::new();
+                stream(ctx, &query, &plan, limit, &pool, &mut |r: RawRow| {
+                    streamed.push(r);
+                    ControlFlow::Continue(())
+                });
+                assert_eq!(streamed, par, "streamed rows at {threads}t limit {limit}");
+            }
+        }
     }
 
     /// WCOJ triangle count on the financial graph via 2-way intersection.

@@ -19,11 +19,17 @@
 //! * [`engine`] — a `Database` facade tying graph + index store + parser +
 //!   optimizer + executor together, and the concurrent `SharedDatabase`
 //!   service layer (many parallel readers, serialized writer).
+//! * [`sink`] — push-based result streaming: the `RowSink` trait, the
+//!   collecting `VecSink`, and the bounded blocking `row_channel` for
+//!   draining a stream on another thread.
 //!
-//! Query execution is morsel-driven: the root scan partitions into ID
-//! ranges executed on an [`aplus_runtime::MorselPool`] (work-stealing,
-//! scoped threads), with per-worker operator state and a deterministic
-//! morsel-order merge — counts are identical at every thread count.
+//! Query execution is morsel-driven: the root scan (or, for pinned/skewed
+//! roots, the first E/I level's adjacency lists) partitions into ranges
+//! executed on an [`aplus_runtime::MorselPool`] (work-stealing, scoped
+//! threads), with per-worker operator state and a deterministic
+//! morsel-order merge — counts *and* collected/streamed row sequences are
+//! bit-identical at every thread count, including under `LIMIT` (which
+//! exits early on every path).
 
 pub mod ast;
 pub mod engine;
@@ -33,8 +39,10 @@ pub mod optimizer;
 pub mod parser;
 pub mod plan;
 pub mod query;
+pub mod sink;
 
 pub use crate::query::{QueryGraph, QueryOperand, QueryPredicate};
 pub use aplus_runtime::MorselPool;
 pub use engine::{Database, DatabaseReadGuard, DatabaseWriteGuard, SharedDatabase};
 pub use error::QueryError;
+pub use sink::{row_channel, RawRow, RowChannelSink, RowReceiver, RowSink, VecSink};

@@ -46,10 +46,15 @@
 //!
 //! ## Concurrency
 //!
-//! Queries execute morsel-parallel (the root scan partitions into ID
-//! ranges executed on a work-stealing pool; `APLUS_THREADS` overrides the
-//! worker count) and [`SharedDatabase`] serves many concurrent reader
-//! threads with writes serialized through an explicit writer handle:
+//! Queries execute morsel-parallel (the root scan — or the first E/I
+//! level, for pinned/skewed roots — partitions into ranges executed on a
+//! work-stealing pool; `APLUS_THREADS` overrides the worker count) with
+//! counts and row sequences bit-identical at every thread count:
+//! `collect_parallel` concatenates per-morsel buffers in morsel order,
+//! and `stream` pushes rows into a [`RowSink`] (e.g. the bounded
+//! [`row_channel`]) without materializing the result. [`SharedDatabase`]
+//! serves many concurrent reader threads with writes serialized through
+//! an explicit writer handle:
 //!
 //! ```
 //! use aplus::datagen::build_financial_graph;
@@ -78,5 +83,7 @@ pub use aplus_runtime as runtime;
 
 pub use aplus_core::{Direction, IndexSpec, IndexStore, PartitionKey, SortKey};
 pub use aplus_graph::{Graph, GraphBuilder, Value};
-pub use aplus_query::{Database, QueryError, SharedDatabase};
+pub use aplus_query::{
+    row_channel, Database, QueryError, RawRow, RowReceiver, RowSink, SharedDatabase, VecSink,
+};
 pub use aplus_runtime::MorselPool;

@@ -1,11 +1,13 @@
 //! Cross-crate stress tests of the concurrent service layer: many reader
-//! threads executing morsel-parallel queries against a writer doing
-//! buffered inserts + flushes (and DDL) through `SharedDatabase::writer`.
+//! threads executing morsel-parallel queries (counts *and* row streams)
+//! against a writer doing buffered inserts + flushes (and DDL) through
+//! `SharedDatabase::writer`, plus the writer-poisoning contract.
 
+use std::ops::ControlFlow;
 use std::sync::atomic::{AtomicBool, Ordering};
 
 use aplus::datagen::build_financial_graph;
-use aplus::{Database, MorselPool, SharedDatabase, Value};
+use aplus::{Database, MorselPool, RawRow, SharedDatabase, Value};
 use aplus_common::VertexId;
 
 const WIRES_QUERY: &str = "MATCH a-[r:W]->b";
@@ -129,6 +131,200 @@ fn readers_survive_concurrent_reconfiguration() {
             r.join().unwrap();
         }
     });
+}
+
+/// A streamed snapshot of the wires query must be internally consistent:
+/// every row fully bound with the pattern's arity, every bound edge
+/// distinct (a single-edge pattern enumerates distinct data edges — a torn
+/// row would repeat or drop one), and the stream length equal to a count
+/// taken inside the same lock epoch's bounds.
+fn check_stream_snapshot(rows: &[RawRow], lo: u64, hi: u64) {
+    let n = rows.len() as u64;
+    assert!(
+        (lo..=hi).contains(&n),
+        "streamed {n} rows outside [{lo}, {hi}]"
+    );
+    let mut edge_ids = std::collections::HashSet::new();
+    for (vs, es) in rows {
+        assert_eq!(vs.len(), 2, "MATCH a-[r:W]->b binds two vertices");
+        assert_eq!(es.len(), 1, "MATCH a-[r:W]->b binds one edge");
+        assert!(
+            vs.iter().all(|&v| v != u32::MAX) && es[0] != u64::MAX,
+            "torn row: unbound slot in {vs:?}/{es:?}"
+        );
+        assert!(edge_ids.insert(es[0]), "torn row: edge {} repeated", es[0]);
+    }
+}
+
+/// Concurrent *streaming* readers against a writer inserting wires and
+/// flushing: each stream drains under one read lock, so it observes a
+/// consistent snapshot — well-formed rows, distinct edges, monotone sizes
+/// per reader. One reader drains through a bounded `row_channel` from a
+/// separate consumer thread (the network-front-end shape), the others use
+/// closure sinks.
+#[test]
+fn concurrent_streaming_readers_with_buffered_writer() {
+    const CLOSURE_READERS: usize = 2;
+    const INSERTS: u64 = 32;
+
+    let shared = shared_db();
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let mut readers = Vec::new();
+        for _ in 0..CLOSURE_READERS {
+            let handle = shared.clone();
+            let stop = &stop;
+            readers.push(scope.spawn(move || {
+                let mut last = 0u64;
+                loop {
+                    let mut rows: Vec<RawRow> = Vec::new();
+                    handle
+                        .stream(WIRES_QUERY, usize::MAX, &mut |r: RawRow| {
+                            rows.push(r);
+                            ControlFlow::Continue(())
+                        })
+                        .unwrap();
+                    check_stream_snapshot(&rows, BASE_WIRES, BASE_WIRES + INSERTS);
+                    let n = rows.len() as u64;
+                    assert!(n >= last, "inserts only: snapshots must be monotone");
+                    last = n;
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                }
+            }));
+        }
+        // The channel reader: a producer thread streams under the read
+        // lock while this consumer drains with bounded buffering.
+        {
+            let handle = shared.clone();
+            let stop = &stop;
+            readers.push(scope.spawn(move || loop {
+                let (mut tx, rx) = aplus::row_channel(4);
+                let producer = std::thread::spawn({
+                    let handle = handle.clone();
+                    move || {
+                        handle.stream(WIRES_QUERY, usize::MAX, &mut tx).unwrap();
+                        drop(tx);
+                    }
+                });
+                let rows: Vec<RawRow> = rx.collect();
+                producer.join().unwrap();
+                check_stream_snapshot(&rows, BASE_WIRES, BASE_WIRES + INSERTS);
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+            }));
+        }
+        for i in 0..INSERTS {
+            shared
+                .writer()
+                .insert_edge(
+                    VertexId(0),
+                    VertexId(2),
+                    "W",
+                    &[("amt", Value::Int(i64::try_from(i).unwrap()))],
+                )
+                .unwrap();
+            if i % 8 == 7 {
+                shared.writer().flush();
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            r.join().unwrap();
+        }
+    });
+    let final_rows = shared.collect(WIRES_QUERY, usize::MAX).unwrap();
+    check_stream_snapshot(&final_rows, BASE_WIRES + INSERTS, BASE_WIRES + INSERTS);
+}
+
+/// Streaming readers keep observing identical row sequences while a writer
+/// reconfigures the primary indexes and creates views — index tuning never
+/// changes results, torn reads never surface mid-stream.
+#[test]
+fn streaming_readers_survive_concurrent_reconfiguration() {
+    let shared = shared_db();
+    let expect = shared.collect(WIRES_QUERY, usize::MAX).unwrap();
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let mut readers = Vec::new();
+        for _ in 0..3 {
+            let handle = shared.clone();
+            let expect = &expect;
+            let stop = &stop;
+            readers.push(scope.spawn(move || loop {
+                let mut rows: Vec<RawRow> = Vec::new();
+                handle
+                    .stream(WIRES_QUERY, usize::MAX, &mut |r: RawRow| {
+                        rows.push(r);
+                        ControlFlow::Continue(())
+                    })
+                    .unwrap();
+                assert_eq!(
+                    &rows, expect,
+                    "stream under reconfiguration diverged from the static answer"
+                );
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+            }));
+        }
+        shared
+            .writer()
+            .ddl(
+                "RECONFIGURE PRIMARY INDEXES PARTITION BY eadj.label, eadj.currency \
+                 SORT BY vnbr.ID",
+            )
+            .unwrap();
+        shared
+            .writer()
+            .ddl(
+                "CREATE 1-HOP VIEW UsdStream MATCH vs-[eadj]->vd WHERE eadj.currency = USD \
+                 INDEX AS FW PARTITION BY eadj.label SORT BY vnbr.ID",
+            )
+            .unwrap();
+        shared
+            .writer()
+            .ddl("RECONFIGURE PRIMARY INDEXES PARTITION BY eadj.label SORT BY vnbr.ID")
+            .unwrap();
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            r.join().unwrap();
+        }
+    });
+}
+
+/// A writer panicking mid-mutation poisons the database; subsequent reads,
+/// streams and writes must fail loudly (never serve a half-mutated
+/// database) — including to streaming consumers.
+#[test]
+fn writer_poisoning_surfaces_to_streamers() {
+    let shared = shared_db();
+    let crasher = {
+        let handle = shared.clone();
+        std::thread::spawn(move || {
+            let _guard = handle.writer();
+            panic!("simulated writer crash mid-mutation");
+        })
+    };
+    assert!(crasher.join().is_err(), "the writer thread panicked");
+    let count_attempt =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| shared.count(WIRES_QUERY)));
+    assert!(count_attempt.is_err(), "reads after poisoning must panic");
+    let stream_attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        shared.stream(WIRES_QUERY, usize::MAX, &mut |_r: RawRow| {
+            ControlFlow::Continue(())
+        })
+    }));
+    assert!(
+        stream_attempt.is_err(),
+        "streams after poisoning must panic"
+    );
+    let write_attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        shared.writer().flush();
+    }));
+    assert!(write_attempt.is_err(), "writes after poisoning must panic");
 }
 
 /// The same handle works across thread counts, and every pool size agrees

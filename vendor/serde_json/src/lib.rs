@@ -1,16 +1,21 @@
 //! Offline stand-in for [`serde_json`](https://crates.io/crates/serde_json),
-//! providing the two entry points this workspace uses — [`to_string`] and
-//! [`to_string_pretty`] — over the stub `serde::Serialize` trait. The
-//! output is real JSON (escaped strings, `null` for `None`/non-finite
-//! floats, two-space pretty indentation), so reports written by the bench
-//! harness parse with any JSON tool.
+//! providing the entry points this workspace uses — [`to_string`],
+//! [`to_string_pretty`], and the dynamically-typed [`Value`] with
+//! [`from_str`] — over the stub `serde::Serialize` trait. The output is
+//! real JSON (escaped strings, `null` for `None`/non-finite floats,
+//! two-space pretty indentation) and the parser accepts exactly that
+//! grammar, so reports written by the bench harness round-trip through
+//! this crate and parse with any JSON tool. Unlike real serde_json,
+//! [`from_str`] is not generic: it always produces a [`Value`] (the only
+//! deserialization the workspace performs — the bench-baseline
+//! comparator's JSON walking).
 
+use std::collections::BTreeMap;
 use std::fmt;
 
 use serde::{JsonWriter, Serialize};
 
-/// Serialization error. The stub's serializers cannot fail, so this is
-/// only here to keep the `Result` signatures of real serde_json.
+/// Serialization/parse error.
 #[derive(Debug)]
 pub struct Error(String);
 
@@ -21,6 +26,285 @@ impl fmt::Display for Error {
 }
 
 impl std::error::Error for Error {}
+
+/// A dynamically-typed JSON value, mirroring `serde_json::Value`'s
+/// variants and accessor surface (the subset the workspace uses).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (stored as `f64`, like permissive real-world use).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; keys keep no duplicate entries (last write wins).
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Object member lookup; `None` for non-objects and missing keys.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as an unsigned integer, when exactly
+    /// representable.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element vector, if this is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The member map, if this is an object.
+    #[must_use]
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    #[must_use]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+/// Parses a JSON document into a [`Value`]. Trailing non-whitespace is an
+/// error.
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error(format!("trailing characters at offset {}", p.pos)));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected {:?} at offset {}",
+                char::from(b),
+                self.pos
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, word: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(Error(format!("invalid literal at offset {}", self.pos)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.eat_keyword("null", Value::Null),
+            Some(b't') => self.eat_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.eat_keyword("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(Error(format!("unexpected input at offset {}", self.pos))),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error(format!("bad array at offset {}", self.pos))),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let v = self.value()?;
+            map.insert(key, v);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(Error(format!("bad object at offset {}", self.pos))),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error("unterminated string".into())),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error("unterminated escape".into()))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| Error("bad \\u escape".into()))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not produced by the stub
+                            // writer; map lone surrogates to U+FFFD.
+                            out.push(char::from_u32(hex).unwrap_or('\u{FFFD}'));
+                        }
+                        other => return Err(Error(format!("bad escape \\{}", char::from(other)))),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (multi-byte safe).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| Error("invalid UTF-8 in string".into()))?;
+                    let c = s.chars().next().expect("non-empty by peek");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| Error(format!("bad number {text:?} at offset {start}")))
+    }
+}
 
 /// Encodes `value` as compact JSON.
 pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
@@ -77,5 +361,46 @@ mod tests {
         let pretty = super::to_string_pretty(&outer).unwrap();
         assert!(pretty.contains("\n  \"name\": \"t\\\"x\","), "{pretty}");
         assert!(pretty.ends_with('}'), "{pretty}");
+    }
+
+    #[test]
+    fn from_str_parses_writer_output() {
+        let outer = Outer {
+            name: "round\ntrip \"q\"".into(),
+            value: -2.5,
+            items: vec![Inner {
+                label: "λ".into(),
+                count: None,
+            }],
+        };
+        for json in [
+            super::to_string(&outer).unwrap(),
+            super::to_string_pretty(&outer).unwrap(),
+        ] {
+            let v = super::from_str(&json).unwrap();
+            assert_eq!(v.get("name").unwrap().as_str(), Some("round\ntrip \"q\""));
+            assert_eq!(v.get("value").unwrap().as_f64(), Some(-2.5));
+            let items = v.get("items").unwrap().as_array().unwrap();
+            assert_eq!(items.len(), 1);
+            assert_eq!(items[0].get("label").unwrap().as_str(), Some("λ"));
+            assert!(items[0].get("count").unwrap().is_null());
+        }
+    }
+
+    #[test]
+    fn from_str_scalars_and_errors() {
+        use super::{from_str, Value};
+        assert_eq!(from_str("true").unwrap(), Value::Bool(true));
+        assert_eq!(from_str(" null ").unwrap(), Value::Null);
+        assert_eq!(
+            from_str("[1, 2.5, -3e2]").unwrap().as_array().unwrap()[2].as_f64(),
+            Some(-300.0)
+        );
+        assert_eq!(from_str("42").unwrap().as_u64(), Some(42));
+        assert_eq!(Value::Number(1.5).as_u64(), None);
+        assert!(from_str("{\"a\":}").is_err());
+        assert!(from_str("[1,]").is_err());
+        assert!(from_str("1 2").is_err(), "trailing input is rejected");
+        assert!(from_str("\"open").is_err());
     }
 }
