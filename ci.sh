@@ -19,8 +19,9 @@ run cargo fmt --all --check
 # inline with a justification instead of loosening this gate.
 run cargo clippy --workspace --all-targets -- -D warnings
 run cargo build --release
-# Superset of the tier-1 `cargo test -q`: includes doctests and the
-# vendor stubs' self-tests.
+# Superset of the tier-1 `cargo test -q`: includes doctests, the vendor
+# stubs' self-tests, and the aplus_server network integration tests
+# (multi-client stress, writer-starvation regression, shell parity).
 run cargo test --workspace -q
 run env RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 # Perf trajectory + parallel-path smoke: bench_smoke writes a fresh run
@@ -35,6 +36,14 @@ run cargo run --release -q -p aplus_bench --bin bench_compare -- \
     BENCH_tables.json target/bench-fresh/BENCH_tables.json
 run cargo run --release -q -p aplus_bench --bin bench_compare -- \
     BENCH_scaling.json target/bench-fresh/BENCH_scaling.json
+# Network throughput smoke: bench_net drives an in-process aplus_server
+# with concurrent TCP clients; wire counts must equal in-process counts
+# (asserted in the binary) and the committed BENCH_net.json baseline
+# (gated below: counts fatal, latency/rps informational).
+run env APLUS_SCALE=20000 APLUS_BENCH_OUT=target/bench-fresh \
+    cargo run --release -q -p aplus_bench --bin bench_net
+run cargo run --release -q -p aplus_bench --bin bench_compare -- \
+    BENCH_net.json target/bench-fresh/BENCH_net.json
 # The 2-thread table7_scaling run exercises morsel-driven execution end to
 # end (its internal assertions verify counts are thread-count-invariant).
 run env APLUS_SCALE=20000 APLUS_THREAD_COUNTS=1,2 cargo run --release -q -p aplus_bench --bin table7_scaling

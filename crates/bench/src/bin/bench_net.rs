@@ -1,0 +1,149 @@
+//! CI network-throughput smoke bench.
+//!
+//! Starts an in-process `aplus_server` over a seeded social graph, drives
+//! it with concurrent TCP clients issuing a fixed count/collect/stream
+//! request mix, and writes `BENCH_net.json` at the repo root (or
+//! `APLUS_BENCH_OUT`) in the same measurement schema as the other
+//! trajectory files, so `bench_compare` gates it:
+//!
+//! * **counts are fatal** — every query runs both direct (in-process
+//!   `SharedDatabase`) and over the wire; the cells must agree with each
+//!   other (asserted here) and with the committed baseline (gated in CI).
+//! * **latency/rps are informational** — per-request latency cells and
+//!   the aggregate `rps` cell drift with the CI box, humans read them.
+//!
+//! Entry points: `APLUS_SCALE` (default 20000, the smoke divisor),
+//! `APLUS_THREADS` (server pool size), `APLUS_BENCH_OUT`.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use aplus_bench::Reporter;
+use aplus_datagen::{generate, GeneratorConfig};
+use aplus_query::Database;
+use aplus_server::{serve, Client, ServerConfig};
+use serde::Serialize;
+
+/// Nominal sizes divided by `APLUS_SCALE` (smoke default 20000 →
+/// 2000 vertices / 24000 edges).
+const NOMINAL_VERTICES: usize = 40_000_000;
+const NOMINAL_EDGES: usize = 480_000_000;
+
+/// Concurrent clients × iterations of the 3-request mix.
+const CLIENTS: usize = 4;
+const ITERS: usize = 25;
+
+const COUNT_Q: &str = "MATCH a-[r:E0]->b-[s:E1]->c";
+const COLLECT_Q: &str = "MATCH a-[r:E0]->b";
+const STREAM_Q: &str = "MATCH a-[r:E1]->b-[s:E0]->c";
+const COLLECT_LIMIT: usize = 100;
+const STREAM_LIMIT: usize = 500;
+
+#[derive(Serialize)]
+struct NetFile {
+    schema: u32,
+    scale: usize,
+    clients: usize,
+    iters: usize,
+    report: Reporter,
+}
+
+fn out_dir() -> PathBuf {
+    std::env::var_os("APLUS_BENCH_OUT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."))
+}
+
+fn main() {
+    let scale = aplus_bench::datasets::scale_or(20_000);
+    let vertices = (NOMINAL_VERTICES / scale).max(100);
+    let edges = (NOMINAL_EDGES / scale).max(1000);
+    let dataset = format!("Soc{vertices}v{edges}e");
+    eprintln!("bench_net: {dataset} (scale divisor {scale}), {CLIENTS} clients x {ITERS} iters");
+
+    let graph = generate(&GeneratorConfig::social(vertices, edges, 4, 2));
+    let shared = Database::new(graph).expect("index build").into_shared();
+    let direct = shared.clone();
+    let handle = serve(shared, "127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let addr = handle.local_addr();
+
+    let mut report = Reporter::new("bench_net", "network front-end request throughput");
+
+    // Direct (in-process) reference cells: the counts the wire must match.
+    report.time(&dataset, "direct", "count2h", || {
+        direct.count(COUNT_Q).unwrap()
+    });
+    report.time(&dataset, "direct", "collect100", || {
+        direct.collect(COLLECT_Q, COLLECT_LIMIT).unwrap().len() as u64
+    });
+    report.time(&dataset, "direct", "stream500", || {
+        let mut n = 0u64;
+        direct
+            .stream(STREAM_Q, STREAM_LIMIT, &mut |_row| {
+                n += 1;
+                std::ops::ControlFlow::Continue(())
+            })
+            .unwrap();
+        n
+    });
+
+    // One warm client for the per-request latency cells.
+    let mut probe = Client::connect(addr).expect("connect");
+    report.time(&dataset, "net", "count2h", || probe.count(COUNT_Q).unwrap());
+    report.time(&dataset, "net", "collect100", || {
+        probe.collect(COLLECT_Q, COLLECT_LIMIT).unwrap().len() as u64
+    });
+    report.time(&dataset, "net", "stream500", || {
+        probe.stream_collect(STREAM_Q, STREAM_LIMIT).unwrap().len() as u64
+    });
+    report.assert_counts_agree(); // wire == in-process, per query
+
+    // Aggregate throughput: CLIENTS concurrent connections, each running
+    // ITERS iterations of the 3-request mix.
+    let t = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..CLIENTS {
+            scope.spawn(|| {
+                let mut client = Client::connect(addr).expect("connect");
+                for _ in 0..ITERS {
+                    client.count(COUNT_Q).unwrap();
+                    client.collect(COLLECT_Q, COLLECT_LIMIT).unwrap();
+                    client.stream_collect(STREAM_Q, STREAM_LIMIT).unwrap();
+                }
+            });
+        }
+    });
+    let elapsed = t.elapsed().as_secs_f64();
+    let requests = (CLIENTS * ITERS * 3) as f64;
+    let rps = requests / elapsed.max(1e-9);
+    eprintln!("bench_net: {requests} requests in {elapsed:.3}s = {rps:.0} req/s");
+    report.record_value(&dataset, "net", "rps", rps);
+
+    handle.shutdown();
+
+    println!("{}", report.render("direct"));
+    report.write_json();
+    let file = NetFile {
+        schema: 1,
+        scale,
+        clients: CLIENTS,
+        iters: ITERS,
+        report,
+    };
+    let dir = out_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("bench_net: could not create {}: {e}", dir.display());
+        std::process::exit(1);
+    }
+    let path = dir.join("BENCH_net.json");
+    match std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&file).expect("report serializes"),
+    ) {
+        Ok(()) => eprintln!("bench_net: wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("bench_net: could not write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}

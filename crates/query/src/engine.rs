@@ -40,6 +40,16 @@ use crate::sink::RowSink;
 
 pub use crate::sink::RawRow;
 
+/// Names a non-query statement kind for error messages.
+fn statement_kind(stmt: &Statement) -> &'static str {
+    match stmt {
+        Statement::Query(_) => "a MATCH query",
+        Statement::ReconfigurePrimary { .. } => "RECONFIGURE PRIMARY INDEXES",
+        Statement::CreateOneHop { .. } => "CREATE 1-HOP VIEW",
+        Statement::CreateTwoHop { .. } => "CREATE 2-HOP VIEW",
+    }
+}
+
 /// Outcome of a DDL statement.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DdlOutcome {
@@ -105,9 +115,12 @@ impl Database {
                 let plan = optimizer::optimize(&self.graph, &self.store, &bound)?;
                 Ok((bound, plan))
             }
-            _ => Err(QueryError::Syntax {
-                message: "expected a MATCH query (DDL goes through Database::ddl)".into(),
-                offset: 0,
+            other => Err(QueryError::Syntax {
+                message: format!(
+                    "expected a MATCH query, got {} (DDL goes through Database::ddl)",
+                    statement_kind(&other)
+                ),
+                offset: parser::statement_offset(query),
             }),
         }
     }
@@ -254,7 +267,7 @@ impl Database {
             }
             Statement::Query(_) => Err(QueryError::Syntax {
                 message: "expected DDL, got a MATCH query (use Database::count)".into(),
-                offset: 0,
+                offset: parser::statement_offset(statement),
             }),
         }
     }
@@ -377,6 +390,24 @@ impl SharedDatabase {
     /// writers block until every in-flight stream finishes. Pair with
     /// [`crate::sink::row_channel`] to drain from another thread with
     /// bounded buffering.
+    ///
+    /// # Snapshot isolation vs. writer latency
+    ///
+    /// Snapshot consistency comes *from the lock*: the read lock pins the
+    /// database for as long as the producing query runs, so a consumer
+    /// that drains slowly **directly inside the sink** (e.g. writing each
+    /// row to a blocking socket) extends the lock hold and stalls
+    /// writers. Services should decouple production from consumption —
+    /// hand the stream a bounded [`crate::sink::row_channel`] and drain
+    /// on another thread, cancelling (dropping the receiver) when the
+    /// consumer falls too far behind; then the lock is held only while
+    /// rows are *produced* into the bounded buffer, and a slow consumer
+    /// costs at most buffer-fill + cancellation latency, not an unbounded
+    /// drain (this is what `aplus_server` does, with a write timeout as
+    /// the cancellation trigger). The residual trade-off: a cancelled
+    /// stream is truncated, and writers can still wait for up to one
+    /// buffer's worth of production — decoupling those fully needs
+    /// epoch-based index snapshots (see ROADMAP "Writer throughput").
     pub fn stream(
         &self,
         query: &str,
@@ -596,6 +627,33 @@ mod tests {
             .count("RECONFIGURE PRIMARY INDEXES SORT BY vnbr.ID")
             .is_err());
         assert!(db.ddl("MATCH a-[r]->b").is_err());
+    }
+
+    #[test]
+    fn ddl_and_query_mixups_report_the_statement_offset() {
+        // The rejection span points at the statement keyword, not byte 0 —
+        // server error frames rely on this to highlight the right spot.
+        let mut db = db();
+        match db.count("  \n RECONFIGURE PRIMARY INDEXES SORT BY vnbr.ID") {
+            Err(QueryError::Syntax { message, offset }) => {
+                assert_eq!(offset, 4, "offset of the RECONFIGURE keyword");
+                assert!(message.contains("RECONFIGURE PRIMARY INDEXES"), "{message}");
+            }
+            other => panic!("expected a syntax error, got {other:?}"),
+        }
+        match db.prepare("\t CREATE 1-HOP VIEW V MATCH vs-[eadj]->vd INDEX AS FW") {
+            Err(QueryError::Syntax { message, offset }) => {
+                assert_eq!(offset, 2, "offset of the CREATE keyword");
+                assert!(message.contains("CREATE 1-HOP VIEW"), "{message}");
+            }
+            other => panic!("expected a syntax error, got {other:?}"),
+        }
+        match db.ddl("   MATCH a-[r]->b") {
+            Err(QueryError::Syntax { offset, .. }) => {
+                assert_eq!(offset, 3, "offset of the MATCH keyword");
+            }
+            other => panic!("expected a syntax error, got {other:?}"),
+        }
     }
 
     #[test]

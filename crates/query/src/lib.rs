@@ -45,4 +45,4 @@ pub use crate::query::{QueryGraph, QueryOperand, QueryPredicate};
 pub use aplus_runtime::MorselPool;
 pub use engine::{Database, DatabaseReadGuard, DatabaseWriteGuard, SharedDatabase};
 pub use error::QueryError;
-pub use sink::{row_channel, RawRow, RowChannelSink, RowReceiver, RowSink, VecSink};
+pub use sink::{row_channel, RawRow, RowChannelSink, RowReceiver, RowSink, TryNext, VecSink};

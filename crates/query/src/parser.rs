@@ -41,6 +41,19 @@ pub fn parse(input: &str) -> Result<Statement, QueryError> {
     Ok(stmt)
 }
 
+/// Byte offset where the statement proper begins: the first
+/// non-whitespace byte of `input` (0 for empty/all-whitespace input).
+/// This is the offset error reporters should cite when rejecting a
+/// statement *as a whole* (e.g. DDL handed to a query entry point), so
+/// spans stay accurate under leading whitespace.
+#[must_use]
+pub fn statement_offset(input: &str) -> usize {
+    input
+        .bytes()
+        .position(|b| !matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        .unwrap_or(0)
+}
+
 // ---------------------------------------------------------------------------
 // Lexer
 // ---------------------------------------------------------------------------
@@ -915,6 +928,15 @@ mod tests {
         assert!(matches!(err, QueryError::Syntax { offset: 0, .. }));
         let err = parse("MATCH a-[r]->b WHERE a.x @ 1");
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn statement_offset_skips_leading_whitespace() {
+        assert_eq!(statement_offset("MATCH a-[r]->b"), 0);
+        assert_eq!(statement_offset("   MATCH a-[r]->b"), 3);
+        assert_eq!(statement_offset("\n\t RECONFIGURE PRIMARY INDEXES"), 3);
+        assert_eq!(statement_offset(""), 0);
+        assert_eq!(statement_offset("   "), 0);
     }
 
     #[test]

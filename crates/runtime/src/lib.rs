@@ -32,9 +32,89 @@ use std::collections::{BTreeMap, VecDeque};
 use std::ops::{ControlFlow, Range};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
 
 /// Environment variable overriding the default worker count.
 pub const THREADS_ENV: &str = "APLUS_THREADS";
+
+/// A one-shot, waitable termination signal for long-lived services.
+///
+/// Where [`ExitSignal`] is a poll-only flag scoped to a single
+/// `map_ranges` call, `Shutdown` is the *service-lifetime* variant: it can
+/// be triggered exactly once (idempotently), checked without blocking, and
+/// **waited on** — with or without a timeout — via an internal condvar, so
+/// an accept loop or a watchdog thread can park instead of spinning. The
+/// network front-end shares one `Shutdown` between its accept loop and
+/// every connection handler: triggering it refuses new connections and
+/// lets in-flight work drain.
+///
+/// ```
+/// use std::sync::Arc;
+/// use std::time::Duration;
+/// use aplus_runtime::Shutdown;
+///
+/// let shutdown = Arc::new(Shutdown::new());
+/// assert!(!shutdown.wait_timeout(Duration::from_millis(1)));
+/// let waiter = {
+///     let shutdown = Arc::clone(&shutdown);
+///     std::thread::spawn(move || shutdown.wait())
+/// };
+/// shutdown.trigger();
+/// waiter.join().unwrap();
+/// assert!(shutdown.is_triggered());
+/// ```
+#[derive(Debug, Default)]
+pub struct Shutdown {
+    triggered: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Shutdown {
+    /// A fresh, untriggered signal.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Triggers the signal, waking every waiter. Idempotent.
+    pub fn trigger(&self) {
+        *lock(&self.triggered) = true;
+        self.cv.notify_all();
+    }
+
+    /// Whether the signal has been triggered (non-blocking).
+    #[must_use]
+    pub fn is_triggered(&self) -> bool {
+        *lock(&self.triggered)
+    }
+
+    /// Blocks until the signal is triggered.
+    pub fn wait(&self) {
+        let mut guard = lock(&self.triggered);
+        while !*guard {
+            guard = self.cv.wait(guard).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Blocks for at most `timeout`; returns whether the signal was
+    /// triggered (spurious wakeups are absorbed internally).
+    #[must_use]
+    pub fn wait_timeout(&self, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut guard = lock(&self.triggered);
+        while !*guard {
+            let Some(remaining) = deadline.checked_duration_since(std::time::Instant::now()) else {
+                return false;
+            };
+            guard = self
+                .cv
+                .wait_timeout(guard, remaining)
+                .unwrap_or_else(PoisonError::into_inner)
+                .0;
+        }
+        true
+    }
+}
 
 /// Cooperative cancellation flag shared between the morsel merger and the
 /// workers of one [`MorselPool::map_ranges`] call.
@@ -737,6 +817,45 @@ mod tests {
             },
             |_| ControlFlow::Continue(()),
         );
+    }
+
+    #[test]
+    fn shutdown_trigger_is_idempotent_and_wakes_waiters() {
+        let shutdown = std::sync::Arc::new(Shutdown::new());
+        assert!(!shutdown.is_triggered());
+        assert!(
+            !shutdown.wait_timeout(Duration::from_millis(1)),
+            "untriggered wait times out"
+        );
+        let waiters: Vec<_> = (0..3)
+            .map(|_| {
+                let s = std::sync::Arc::clone(&shutdown);
+                std::thread::spawn(move || s.wait())
+            })
+            .collect();
+        shutdown.trigger();
+        shutdown.trigger(); // idempotent
+        for w in waiters {
+            w.join().unwrap();
+        }
+        assert!(shutdown.is_triggered());
+        assert!(
+            shutdown.wait_timeout(Duration::from_secs(0)),
+            "post-trigger waits return immediately"
+        );
+        shutdown.wait(); // returns immediately too
+    }
+
+    #[test]
+    fn shutdown_wait_timeout_observes_late_trigger() {
+        let shutdown = std::sync::Arc::new(Shutdown::new());
+        let waiter = {
+            let s = std::sync::Arc::clone(&shutdown);
+            std::thread::spawn(move || s.wait_timeout(Duration::from_secs(30)))
+        };
+        std::thread::sleep(Duration::from_millis(10));
+        shutdown.trigger();
+        assert!(waiter.join().unwrap(), "trigger within the window is seen");
     }
 
     /// Regression: a worker panicking while *another* worker is parked at

@@ -1,0 +1,96 @@
+//! `aplus-server` — serve a built-in dataset over TCP.
+//!
+//! ```text
+//! aplus-server [ADDR] [--social V E]
+//! ```
+//!
+//! * `ADDR` — listen address; defaults to `APLUS_LISTEN`, then
+//!   `127.0.0.1:7687`.
+//! * `--social V E` — serve a synthetic social graph with `V` vertices
+//!   and `E` edges instead of the default Figure-1 financial graph.
+//!
+//! The worker pool sizes from `APLUS_THREADS` (default: all cores). The
+//! server runs until stdin closes or a `quit` line arrives, then shuts
+//! down gracefully (drains in-flight queries, refuses new connections).
+
+use std::io::BufRead as _;
+
+use aplus_datagen::{build_financial_graph, generate, GeneratorConfig};
+use aplus_query::Database;
+use aplus_server::{resolve_listen, serve, ServerConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr_arg: Option<String> = None;
+    let mut social: Option<(usize, usize)> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--social" => {
+                let (Some(v), Some(e)) = (args.get(i + 1), args.get(i + 2)) else {
+                    eprintln!("usage: aplus-server [ADDR] [--social V E]");
+                    std::process::exit(2);
+                };
+                match (v.parse(), e.parse()) {
+                    (Ok(v), Ok(e)) => social = Some((v, e)),
+                    _ => {
+                        eprintln!("aplus-server: --social takes two integers");
+                        std::process::exit(2);
+                    }
+                }
+                i += 3;
+            }
+            a if addr_arg.is_none() && !a.starts_with('-') => {
+                addr_arg = Some(a.to_owned());
+                i += 1;
+            }
+            other => {
+                eprintln!("aplus-server: unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let (graph, dataset) = match social {
+        Some((v, e)) => (
+            generate(&GeneratorConfig::social(v, e, 4, 2)),
+            format!("social graph ({v} vertices, {e} edges)"),
+        ),
+        None => (
+            build_financial_graph().graph,
+            "Figure-1 financial graph".to_owned(),
+        ),
+    };
+    let db = match Database::new(graph) {
+        Ok(db) => db,
+        Err(e) => {
+            eprintln!("aplus-server: could not build indexes: {e}");
+            std::process::exit(1);
+        }
+    };
+    let shared = db.into_shared();
+    let threads = shared.pool().threads();
+    let addr = resolve_listen(addr_arg.as_deref());
+    let handle = match serve(shared, addr.as_str(), ServerConfig::default()) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("aplus-server: could not bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "aplus-server: serving the {dataset} on {} ({threads} worker threads)",
+        handle.local_addr()
+    );
+    println!("aplus-server: type 'quit' (or close stdin) to shut down");
+    for line in std::io::stdin().lock().lines() {
+        match line {
+            Ok(l) if l.trim().eq_ignore_ascii_case("quit") => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+    }
+    println!("aplus-server: shutting down (draining in-flight queries)");
+    handle.shutdown();
+    println!("aplus-server: bye");
+}

@@ -1,0 +1,31 @@
+//! `aplus-shell` — the interactive client.
+//!
+//! ```text
+//! aplus-shell [ADDR]
+//! ```
+//!
+//! Connects to an `aplus-server` (default address: `APLUS_LISTEN`, then
+//! `127.0.0.1:7687`) and reads statements from stdin — see `:help` for
+//! the grammar. Line-editing-free by design: pipe a file in to script a
+//! session.
+
+use aplus_server::{resolve_listen, shell, Client};
+
+fn main() {
+    let addr_arg = std::env::args().nth(1);
+    let addr = resolve_listen(addr_arg.as_deref());
+    let mut client = match Client::connect(addr.as_str()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("aplus-shell: could not connect to {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!("aplus-shell: connected to {addr} (:help for commands)");
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    if let Err(e) = shell::run(&mut client, stdin.lock(), stdout.lock()) {
+        eprintln!("aplus-shell: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,270 @@
+//! The blocking client: the other side of the wire.
+//!
+//! [`Client`] speaks the length-prefixed JSON protocol over one
+//! [`TcpStream`], one request at a time (the protocol is strictly
+//! request/response per connection; open several clients for
+//! concurrency). [`Client::stream`] returns a [`RowStream`] iterator that
+//! decodes `row_batch` frames lazily; **dropping it before the stream
+//! ends hangs up the connection**, which the server turns into a
+//! cooperative cancellation of the producing query — the client-side half
+//! of the disconnect-cancellation path.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::io;
+use std::net::{Shutdown as SocketShutdown, TcpStream, ToSocketAddrs};
+
+use aplus_query::engine::DdlOutcome;
+use aplus_query::RawRow;
+
+use crate::protocol::{read_frame, write_frame, Request, Response, WireError};
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection failed or was closed.
+    Io(io::Error),
+    /// The peer sent something outside the protocol.
+    Protocol(String),
+    /// The server executed the request and reported a structured error
+    /// (carrying the server-side `QueryError` kind/message/span).
+    Server(WireError),
+    /// The client was used after a mid-stream hangup (drop of an
+    /// unfinished [`RowStream`]); reconnect to continue.
+    Disconnected,
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Server(e) => write!(f, "server error {e}"),
+            ClientError::Disconnected => {
+                write!(
+                    f,
+                    "connection was hung up mid-stream; reconnect to continue"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A blocking connection to an `aplus_server`.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    /// Set when a `RowStream` was dropped mid-stream: the wire is no
+    /// longer at a request boundary, so further requests would desync.
+    disconnected: bool,
+}
+
+impl Client {
+    /// Connects to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Self {
+            stream,
+            disconnected: false,
+        })
+    }
+
+    /// One request/response round trip.
+    fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        if self.disconnected {
+            return Err(ClientError::Disconnected);
+        }
+        write_frame(&mut self.stream, &request.to_json())?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> Result<Response, ClientError> {
+        let frame = read_frame(&mut self.stream)?.ok_or_else(|| {
+            ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ))
+        })?;
+        Response::from_json(&frame).map_err(ClientError::Protocol)
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected("pong", &other)),
+        }
+    }
+
+    /// Counts the matches of a `MATCH` query on the server.
+    pub fn count(&mut self, query: &str) -> Result<u64, ClientError> {
+        match self.call(&Request::Count {
+            query: query.to_owned(),
+        })? {
+            Response::Count { value } => Ok(value),
+            other => Err(unexpected("count", &other)),
+        }
+    }
+
+    /// Collects up to `limit` rows; the row sequence is bit-identical to
+    /// `Database::collect` on the server's database.
+    pub fn collect(&mut self, query: &str, limit: usize) -> Result<Vec<RawRow>, ClientError> {
+        match self.call(&Request::Collect {
+            query: query.to_owned(),
+            limit: encode_limit(limit),
+        })? {
+            Response::Rows { rows } => Ok(rows),
+            other => Err(unexpected("rows", &other)),
+        }
+    }
+
+    /// Executes any DDL statement.
+    pub fn ddl(&mut self, statement: &str) -> Result<DdlOutcome, ClientError> {
+        match self.call(&Request::Ddl {
+            statement: statement.to_owned(),
+        })? {
+            Response::DdlOk { outcome } => Ok(outcome),
+            other => Err(unexpected("ddl_ok", &other)),
+        }
+    }
+
+    /// Executes a `RECONFIGURE PRIMARY INDEXES` statement (the dedicated
+    /// request type; other DDL is rejected server-side).
+    pub fn reconfigure(&mut self, statement: &str) -> Result<(), ClientError> {
+        match self.call(&Request::Reconfigure {
+            statement: statement.to_owned(),
+        })? {
+            Response::DdlOk { .. } => Ok(()),
+            other => Err(unexpected("ddl_ok", &other)),
+        }
+    }
+
+    /// Starts streaming up to `limit` rows. Drive the returned iterator
+    /// to `None` to keep the connection reusable; dropping it early
+    /// hangs up the connection (cancelling the server-side query) and
+    /// poisons this client.
+    pub fn stream(&mut self, query: &str, limit: usize) -> Result<RowStream<'_>, ClientError> {
+        if self.disconnected {
+            return Err(ClientError::Disconnected);
+        }
+        write_frame(
+            &mut self.stream,
+            &Request::Stream {
+                query: query.to_owned(),
+                limit: encode_limit(limit),
+            }
+            .to_json(),
+        )?;
+        Ok(RowStream {
+            client: self,
+            buffered: VecDeque::new(),
+            finished: false,
+        })
+    }
+
+    /// Streams and materializes — a convenience that exercises the full
+    /// streaming path but returns a vector like [`Client::collect`].
+    pub fn stream_collect(
+        &mut self,
+        query: &str,
+        limit: usize,
+    ) -> Result<Vec<RawRow>, ClientError> {
+        self.stream(query, limit)?.collect()
+    }
+}
+
+fn unexpected(wanted: &str, got: &Response) -> ClientError {
+    match got {
+        Response::Error(e) => ClientError::Server(e.clone()),
+        other => ClientError::Protocol(format!("expected a {wanted} frame, got {other:?}")),
+    }
+}
+
+fn encode_limit(limit: usize) -> Option<u64> {
+    if limit == usize::MAX {
+        None
+    } else {
+        Some(limit as u64)
+    }
+}
+
+/// A lazily-decoded server-side row stream. See [`Client::stream`] for
+/// the drop semantics.
+#[derive(Debug)]
+pub struct RowStream<'a> {
+    client: &'a mut Client,
+    buffered: VecDeque<RawRow>,
+    finished: bool,
+}
+
+impl RowStream<'_> {
+    /// Whether the stream ended cleanly (`stream_end` or error frame
+    /// consumed); a finished stream leaves the client reusable.
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        self.finished && self.buffered.is_empty()
+    }
+}
+
+impl Iterator for RowStream<'_> {
+    type Item = Result<RawRow, ClientError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some(row) = self.buffered.pop_front() {
+                return Some(Ok(row));
+            }
+            if self.finished {
+                return None;
+            }
+            match self.client.read_response() {
+                Ok(Response::RowBatch { rows }) => {
+                    self.buffered.extend(rows);
+                    // An empty batch is not produced by the server, but
+                    // looping keeps the client robust to one.
+                }
+                Ok(Response::StreamEnd { .. }) => {
+                    self.finished = true;
+                    return None;
+                }
+                Ok(Response::Error(e)) => {
+                    self.finished = true;
+                    return Some(Err(ClientError::Server(e)));
+                }
+                Ok(other) => {
+                    self.finished = true;
+                    self.client.disconnected = true;
+                    return Some(Err(ClientError::Protocol(format!(
+                        "unexpected frame mid-stream: {other:?}"
+                    ))));
+                }
+                Err(e) => {
+                    self.finished = true;
+                    self.client.disconnected = true;
+                    return Some(Err(e));
+                }
+            }
+        }
+    }
+}
+
+impl Drop for RowStream<'_> {
+    fn drop(&mut self) {
+        if !self.finished {
+            // Hanging up mid-stream: the server's next write fails, which
+            // cancels the producing query. This client can no longer
+            // frame-align, so it is poisoned.
+            let _ = self.client.stream.shutdown(SocketShutdown::Both);
+            self.client.disconnected = true;
+        }
+    }
+}

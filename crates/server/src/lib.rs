@@ -1,0 +1,63 @@
+//! The network front-end: a std-only TCP server, client, and shell over
+//! the [`SharedDatabase`](aplus_query::SharedDatabase) service layer.
+//!
+//! The paper frames A+ indexes as a component *of a graph database
+//! management system*; this crate supplies the system boundary — queries
+//! and DDL arrive over a connection instead of an in-process call:
+//!
+//! * [`protocol`] — the wire format: length-prefixed JSON frames
+//!   (`count` / `collect` / `stream` / `ddl` / `reconfigure` / `ping`
+//!   requests; structured error frames carrying `QueryError` spans).
+//! * [`server`] — a thread-per-connection accept loop over one
+//!   [`SharedDatabase`](aplus_query::SharedDatabase) (one shared
+//!   `MorselPool`, one writer lock), with
+//!   bounded streaming, slow-client disconnect-cancellation, and graceful
+//!   shutdown on an [`aplus_runtime::Shutdown`] signal.
+//! * [`client`] — the blocking [`Client`] plus the lazily-decoded
+//!   [`RowStream`] (dropping it mid-stream cancels the server-side
+//!   query).
+//! * [`shell`] — the `aplus-shell` REPL core (I/O-generic, so tests can
+//!   script it).
+//!
+//! Binaries: `aplus-server` (serve a built-in dataset on `APLUS_LISTEN`)
+//! and `aplus-shell` (connect and talk).
+//!
+//! ```
+//! use aplus_datagen::build_financial_graph;
+//! use aplus_query::Database;
+//! use aplus_server::{serve, Client, ServerConfig};
+//!
+//! let db = Database::new(build_financial_graph().graph).unwrap();
+//! let handle = serve(db.into_shared(), "127.0.0.1:0", ServerConfig::default()).unwrap();
+//! let mut client = Client::connect(handle.local_addr()).unwrap();
+//! assert_eq!(client.count("MATCH a-[r:W]->b").unwrap(), 9);
+//! let rows = client.collect("MATCH a-[r:W]->b", usize::MAX).unwrap();
+//! assert_eq!(rows.len(), 9);
+//! handle.shutdown(); // graceful: drains in-flight work, joins threads
+//! ```
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod shell;
+
+pub use client::{Client, ClientError, RowStream};
+pub use protocol::{Request, Response, WireError};
+pub use server::{serve, ServerConfig, ServerHandle};
+
+/// Environment variable naming the listen address of `aplus-server` (and
+/// the default dial address of `aplus-shell`).
+pub const LISTEN_ENV: &str = "APLUS_LISTEN";
+
+/// The default listen address when [`LISTEN_ENV`] is unset.
+pub const DEFAULT_LISTEN: &str = "127.0.0.1:7687";
+
+/// Resolves the listen/dial address: an explicit argument wins, then
+/// [`LISTEN_ENV`], then [`DEFAULT_LISTEN`].
+#[must_use]
+pub fn resolve_listen(arg: Option<&str>) -> String {
+    if let Some(a) = arg {
+        return a.to_owned();
+    }
+    std::env::var(LISTEN_ENV).unwrap_or_else(|_| DEFAULT_LISTEN.to_owned())
+}

@@ -1,0 +1,588 @@
+//! The wire protocol: length-prefixed JSON frames.
+//!
+//! Every message on the wire is one **frame**: a 4-byte big-endian payload
+//! length followed by that many bytes of UTF-8 JSON. Each payload is a
+//! JSON object whose `type` member tags the variant; both directions use
+//! the same framing, so the protocol is trivially inspectable with any
+//! JSON tool (and, once real `serde_json` replaces the vendored stub,
+//! nothing here changes — the frames already are plain JSON).
+//!
+//! Requests ([`Request`]):
+//!
+//! | `type` | members | semantics |
+//! |---|---|---|
+//! | `ping` | — | liveness probe |
+//! | `count` | `query` | execute a `MATCH`, return the match count |
+//! | `collect` | `query`, `limit?` | execute, return all rows in one frame |
+//! | `stream` | `query`, `limit?` | execute, stream rows in bounded batches |
+//! | `ddl` | `statement` | any DDL (`CREATE … VIEW`, `RECONFIGURE …`) |
+//! | `reconfigure` | `statement` | `RECONFIGURE PRIMARY INDEXES …` only |
+//!
+//! Responses ([`Response`]): `pong`, `count`, `rows` (the `collect`
+//! answer), `row_batch`* + `stream_end` (the `stream` answer), `ddl_ok`,
+//! and `error` — a structured [`WireError`] carrying the server-side
+//! [`QueryError`]'s kind, message and (for syntax errors) byte offset, so
+//! clients can point at the offending span of the statement they sent.
+//!
+//! Result rows are `[vertices, edges]` pairs of ID arrays. Unbound slots
+//! (the executor's `u32::MAX`/`u64::MAX` sentinels) travel as JSON
+//! `null` — edge IDs do not fit JSON's exact-integer range at the
+//! sentinel value, and `null` keeps round-trips bit-identical.
+//!
+//! **Integer exactness bound.** Non-sentinel `u64` values (counts, edge
+//! IDs, limits) travel as JSON numbers and are exact up to 2^53 (the
+//! vendored `Value` stores numbers as `f64`, like permissive real-world
+//! JSON); beyond that, JSON numbers lose integer precision, so values
+//! above 2^53 are **out of contract** — the encoder debug-asserts the
+//! bound.
+//! It is unreachable in practice: vertex IDs are `u32`, edge IDs count
+//! actual edges, and a count past 2^53 would require enumerating
+//! ~9·10^15 matches.
+
+use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
+
+use aplus_query::engine::DdlOutcome;
+use aplus_query::{QueryError, RawRow};
+use serde_json::Value;
+
+/// Frames larger than this are rejected on both sides: real payloads are
+/// bounded by `row_batch` batching, so an oversized length prefix means a
+/// corrupt or hostile peer.
+pub const MAX_FRAME_LEN: u32 = 64 * 1024 * 1024;
+
+/// Writes one frame (4-byte big-endian length + JSON payload).
+pub fn write_frame(w: &mut impl Write, json: &str) -> io::Result<()> {
+    let len = u32::try_from(json.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame payload exceeds u32"))?;
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame payload of {len} bytes exceeds MAX_FRAME_LEN"),
+        ));
+    }
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(json.as_bytes())?;
+    w.flush()
+}
+
+/// Reads one frame; `Ok(None)` on clean EOF *before* a length prefix (the
+/// peer hung up between frames). EOF mid-frame is an error.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<String>> {
+    let mut len_buf = [0u8; 4];
+    match r.read(&mut len_buf[..1])? {
+        0 => return Ok(None),
+        1 => {}
+        _ => unreachable!("read of a 1-byte buffer returns 0 or 1"),
+    }
+    r.read_exact(&mut len_buf[1..])?;
+    read_frame_body(r, len_buf)
+}
+
+/// Completes a frame whose 4-byte length prefix is already in `len_buf`.
+pub(crate) fn read_frame_body(r: &mut impl Read, len_buf: [u8; 4]) -> io::Result<Option<String>> {
+    let len = u32::from_be_bytes(len_buf);
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds MAX_FRAME_LEN"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    String::from_utf8(payload)
+        .map(Some)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame payload is not UTF-8"))
+}
+
+/// A client-to-server request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Count the matches of a `MATCH` query.
+    Count {
+        /// The query text.
+        query: String,
+    },
+    /// Collect up to `limit` rows, delivered in one `rows` frame.
+    Collect {
+        /// The query text.
+        query: String,
+        /// Row cap; `None` = unlimited.
+        limit: Option<u64>,
+    },
+    /// Stream up to `limit` rows as bounded `row_batch` frames.
+    Stream {
+        /// The query text.
+        query: String,
+        /// Row cap; `None` = unlimited.
+        limit: Option<u64>,
+    },
+    /// Execute a DDL statement (view creation or reconfiguration).
+    Ddl {
+        /// The statement text.
+        statement: String,
+    },
+    /// Execute a `RECONFIGURE PRIMARY INDEXES` statement (rejected
+    /// server-side if the statement is any other DDL).
+    Reconfigure {
+        /// The statement text.
+        statement: String,
+    },
+}
+
+/// A server-to-client response frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Answer to `ping`.
+    Pong,
+    /// Answer to `count`.
+    Count {
+        /// The match count.
+        value: u64,
+    },
+    /// Answer to `collect`: the full result in one frame.
+    Rows {
+        /// The result rows, in sequential result order.
+        rows: Vec<RawRow>,
+    },
+    /// One bounded batch of a `stream` answer.
+    RowBatch {
+        /// The next rows, in sequential result order.
+        rows: Vec<RawRow>,
+    },
+    /// Terminates a `stream` answer.
+    StreamEnd {
+        /// Total rows streamed (across all `row_batch` frames).
+        rows: u64,
+    },
+    /// Answer to `ddl` / `reconfigure`.
+    DdlOk {
+        /// What the statement did.
+        outcome: DdlOutcome,
+    },
+    /// Any request can fail with a structured error.
+    Error(WireError),
+}
+
+/// A server-side error as it travels on the wire: the [`QueryError`]
+/// kind, its message, and (for syntax errors) the byte offset into the
+/// offending statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// Stable machine-readable kind (e.g. `syntax`, `unknown_variable`).
+    pub kind: String,
+    /// Human-readable message.
+    pub message: String,
+    /// Byte offset into the submitted statement, when known.
+    pub offset: Option<u64>,
+}
+
+impl WireError {
+    /// A protocol-level error (malformed request, wrong statement kind).
+    #[must_use]
+    pub fn protocol(message: impl Into<String>) -> Self {
+        Self {
+            kind: "protocol".into(),
+            message: message.into(),
+            offset: None,
+        }
+    }
+}
+
+impl From<&QueryError> for WireError {
+    fn from(e: &QueryError) -> Self {
+        let (kind, offset) = match e {
+            QueryError::Syntax { offset, .. } => ("syntax", Some(*offset as u64)),
+            QueryError::UnknownVariable(_) => ("unknown_variable", None),
+            QueryError::VariableRoleConflict(_) => ("variable_role_conflict", None),
+            QueryError::TooManyQueryVertices { .. } => ("too_many_query_vertices", None),
+            QueryError::DisconnectedPattern => ("disconnected_pattern", None),
+            QueryError::Graph(_) => ("graph", None),
+            QueryError::Index(_) => ("index", None),
+            QueryError::NoPlan(_) => ("no_plan", None),
+        };
+        Self {
+            kind: kind.into(),
+            message: e.to_string(),
+            offset,
+        }
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.offset {
+            Some(o) => write!(f, "[{}] at byte {o}: {}", self.kind, self.message),
+            None => write!(f, "[{}] {}", self.kind, self.message),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON encoding/decoding (over the vendored serde_json Value)
+// ---------------------------------------------------------------------------
+
+fn obj(entries: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_owned(), v))
+            .collect::<BTreeMap<_, _>>(),
+    )
+}
+
+fn str_v(s: &str) -> Value {
+    Value::String(s.to_owned())
+}
+
+/// Encodes a non-sentinel integer; exact only up to 2^53 (see the module
+/// docs on the integer exactness bound).
+fn num(n: u64) -> Value {
+    debug_assert!(n <= 1 << 53, "JSON numbers are exact only up to 2^53");
+    Value::Number(n as f64)
+}
+
+fn opt_num(n: Option<u64>) -> Value {
+    n.map_or(Value::Null, num)
+}
+
+/// Unbound-slot sentinels travel as `null` (see the module docs).
+fn encode_rows(rows: &[RawRow]) -> Value {
+    Value::Array(
+        rows.iter()
+            .map(|(vs, es)| {
+                let vs = vs
+                    .iter()
+                    .map(|&v| {
+                        if v == u32::MAX {
+                            Value::Null
+                        } else {
+                            num(u64::from(v))
+                        }
+                    })
+                    .collect();
+                let es = es
+                    .iter()
+                    .map(|&e| if e == u64::MAX { Value::Null } else { num(e) })
+                    .collect();
+                Value::Array(vec![Value::Array(vs), Value::Array(es)])
+            })
+            .collect(),
+    )
+}
+
+fn decode_rows(v: &Value) -> Result<Vec<RawRow>, String> {
+    let rows = v.as_array().ok_or("rows must be an array")?;
+    rows.iter()
+        .map(|row| {
+            let pair = row
+                .as_array()
+                .filter(|p| p.len() == 2)
+                .ok_or_else(|| "each row must be a [vertices, edges] pair".to_owned())?;
+            let vs = pair[0]
+                .as_array()
+                .ok_or("row vertices must be an array")?
+                .iter()
+                .map(|x| match x {
+                    Value::Null => Ok(u32::MAX),
+                    _ => x
+                        .as_u64()
+                        .and_then(|n| u32::try_from(n).ok())
+                        .ok_or_else(|| format!("bad vertex id {x:?}")),
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            let es = pair[1]
+                .as_array()
+                .ok_or("row edges must be an array")?
+                .iter()
+                .map(|x| match x {
+                    Value::Null => Ok(u64::MAX),
+                    _ => x.as_u64().ok_or_else(|| format!("bad edge id {x:?}")),
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok((vs, es))
+        })
+        .collect()
+}
+
+fn get_str(v: &Value, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| format!("missing string member {key:?}"))
+}
+
+fn get_opt_u64(v: &Value, key: &str) -> Result<Option<u64>, String> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(x) => x
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| format!("member {key:?} must be an unsigned integer")),
+    }
+}
+
+impl Request {
+    /// Encodes this request as a JSON frame payload.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let value = match self {
+            Request::Ping => obj(vec![("type", str_v("ping"))]),
+            Request::Count { query } => {
+                obj(vec![("type", str_v("count")), ("query", str_v(query))])
+            }
+            Request::Collect { query, limit } => obj(vec![
+                ("type", str_v("collect")),
+                ("query", str_v(query)),
+                ("limit", opt_num(*limit)),
+            ]),
+            Request::Stream { query, limit } => obj(vec![
+                ("type", str_v("stream")),
+                ("query", str_v(query)),
+                ("limit", opt_num(*limit)),
+            ]),
+            Request::Ddl { statement } => obj(vec![
+                ("type", str_v("ddl")),
+                ("statement", str_v(statement)),
+            ]),
+            Request::Reconfigure { statement } => obj(vec![
+                ("type", str_v("reconfigure")),
+                ("statement", str_v(statement)),
+            ]),
+        };
+        serde_json::to_string(&value).expect("request serializes")
+    }
+
+    /// Decodes a request frame payload.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        let v = serde_json::from_str(json).map_err(|e| e.to_string())?;
+        let kind = get_str(&v, "type")?;
+        match kind.as_str() {
+            "ping" => Ok(Request::Ping),
+            "count" => Ok(Request::Count {
+                query: get_str(&v, "query")?,
+            }),
+            "collect" => Ok(Request::Collect {
+                query: get_str(&v, "query")?,
+                limit: get_opt_u64(&v, "limit")?,
+            }),
+            "stream" => Ok(Request::Stream {
+                query: get_str(&v, "query")?,
+                limit: get_opt_u64(&v, "limit")?,
+            }),
+            "ddl" => Ok(Request::Ddl {
+                statement: get_str(&v, "statement")?,
+            }),
+            "reconfigure" => Ok(Request::Reconfigure {
+                statement: get_str(&v, "statement")?,
+            }),
+            other => Err(format!("unknown request type {other:?}")),
+        }
+    }
+}
+
+impl Response {
+    /// Encodes this response as a JSON frame payload.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let value = match self {
+            Response::Pong => obj(vec![("type", str_v("pong"))]),
+            Response::Count { value } => {
+                obj(vec![("type", str_v("count")), ("value", num(*value))])
+            }
+            Response::Rows { rows } => {
+                obj(vec![("type", str_v("rows")), ("rows", encode_rows(rows))])
+            }
+            Response::RowBatch { rows } => obj(vec![
+                ("type", str_v("row_batch")),
+                ("rows", encode_rows(rows)),
+            ]),
+            Response::StreamEnd { rows } => {
+                obj(vec![("type", str_v("stream_end")), ("rows", num(*rows))])
+            }
+            Response::DdlOk { outcome } => match outcome {
+                DdlOutcome::Reconfigured => obj(vec![
+                    ("type", str_v("ddl_ok")),
+                    ("outcome", str_v("reconfigured")),
+                ]),
+                DdlOutcome::Created(name) => obj(vec![
+                    ("type", str_v("ddl_ok")),
+                    ("outcome", str_v("created")),
+                    ("name", str_v(name)),
+                ]),
+            },
+            Response::Error(e) => obj(vec![
+                ("type", str_v("error")),
+                ("kind", str_v(&e.kind)),
+                ("message", str_v(&e.message)),
+                ("offset", opt_num(e.offset)),
+            ]),
+        };
+        serde_json::to_string(&value).expect("response serializes")
+    }
+
+    /// Decodes a response frame payload.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        let v = serde_json::from_str(json).map_err(|e| e.to_string())?;
+        let kind = get_str(&v, "type")?;
+        match kind.as_str() {
+            "pong" => Ok(Response::Pong),
+            "count" => Ok(Response::Count {
+                value: get_opt_u64(&v, "value")?.ok_or("count needs a value")?,
+            }),
+            "rows" => Ok(Response::Rows {
+                rows: decode_rows(v.get("rows").ok_or("rows frame needs rows")?)?,
+            }),
+            "row_batch" => Ok(Response::RowBatch {
+                rows: decode_rows(v.get("rows").ok_or("row_batch frame needs rows")?)?,
+            }),
+            "stream_end" => Ok(Response::StreamEnd {
+                rows: get_opt_u64(&v, "rows")?.ok_or("stream_end needs a row count")?,
+            }),
+            "ddl_ok" => {
+                let outcome = get_str(&v, "outcome")?;
+                match outcome.as_str() {
+                    "reconfigured" => Ok(Response::DdlOk {
+                        outcome: DdlOutcome::Reconfigured,
+                    }),
+                    "created" => Ok(Response::DdlOk {
+                        outcome: DdlOutcome::Created(get_str(&v, "name")?),
+                    }),
+                    other => Err(format!("unknown ddl outcome {other:?}")),
+                }
+            }
+            "error" => Ok(Response::Error(WireError {
+                kind: get_str(&v, "kind")?,
+                message: get_str(&v, "message")?,
+                offset: get_opt_u64(&v, "offset")?,
+            })),
+            other => Err(format!("unknown response type {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let cases = [
+            Request::Ping,
+            Request::Count {
+                query: "MATCH a-[r:W]->b".into(),
+            },
+            Request::Collect {
+                query: "MATCH a-[r]->b WHERE a.name = 'Alice'".into(),
+                limit: Some(10),
+            },
+            Request::Stream {
+                query: "MATCH a-[r]->b".into(),
+                limit: None,
+            },
+            Request::Ddl {
+                statement: "CREATE 1-HOP VIEW V MATCH vs-[eadj]->vd INDEX AS FW".into(),
+            },
+            Request::Reconfigure {
+                statement: "RECONFIGURE PRIMARY INDEXES SORT BY vnbr.ID".into(),
+            },
+        ];
+        for req in cases {
+            let json = req.to_json();
+            assert_eq!(Request::from_json(&json).unwrap(), req, "{json}");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_including_sentinels() {
+        let cases = [
+            Response::Pong,
+            Response::Count { value: 123 },
+            Response::Rows {
+                rows: vec![
+                    (vec![0, 5], vec![17]),
+                    // Unbound sentinels survive the wire bit-identically.
+                    (vec![u32::MAX, 2], vec![u64::MAX, 3]),
+                ],
+            },
+            Response::RowBatch {
+                rows: vec![(vec![1], vec![])],
+            },
+            Response::StreamEnd { rows: 7 },
+            Response::DdlOk {
+                outcome: DdlOutcome::Reconfigured,
+            },
+            Response::DdlOk {
+                outcome: DdlOutcome::Created("BigUsd".into()),
+            },
+            Response::Error(WireError {
+                kind: "syntax".into(),
+                message: "expected a MATCH query".into(),
+                offset: Some(4),
+            }),
+            Response::Error(WireError::protocol("unknown request type")),
+        ];
+        for resp in cases {
+            let json = resp.to_json();
+            assert_eq!(Response::from_json(&json).unwrap(), resp, "{json}");
+        }
+    }
+
+    #[test]
+    fn wire_error_maps_query_error_spans() {
+        let e = QueryError::Syntax {
+            message: "boom".into(),
+            offset: 9,
+        };
+        let w = WireError::from(&e);
+        assert_eq!(w.kind, "syntax");
+        assert_eq!(w.offset, Some(9));
+        assert!(w.to_string().contains("byte 9"), "{w}");
+        let w = WireError::from(&QueryError::DisconnectedPattern);
+        assert_eq!(w.kind, "disconnected_pattern");
+        assert_eq!(w.offset, None);
+    }
+
+    #[test]
+    fn frames_round_trip_over_a_buffer() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "{\"type\":\"ping\"}").unwrap();
+        write_frame(&mut buf, "{\"type\":\"pong\"}").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), "{\"type\":\"ping\"}");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), "{\"type\":\"pong\"}");
+        assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn oversized_and_truncated_frames_are_errors() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME_LEN + 1).to_be_bytes());
+        assert!(read_frame(&mut &buf[..]).is_err(), "oversized length");
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&8u32.to_be_bytes());
+        buf.extend_from_slice(b"abc"); // 3 of 8 payload bytes
+        assert!(read_frame(&mut &buf[..]).is_err(), "EOF mid-frame");
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&2u32.to_be_bytes());
+        buf.extend_from_slice(&[0xff, 0xfe]); // not UTF-8
+        assert!(read_frame(&mut &buf[..]).is_err(), "non-UTF-8 payload");
+    }
+
+    #[test]
+    fn malformed_payloads_are_rejected() {
+        assert!(Request::from_json("not json").is_err());
+        assert!(Request::from_json("{\"type\":\"warp\"}").is_err());
+        assert!(
+            Request::from_json("{\"type\":\"count\"}").is_err(),
+            "no query"
+        );
+        assert!(Response::from_json("{\"type\":\"rows\",\"rows\":[[1]]}").is_err());
+        assert!(
+            Request::from_json("{\"type\":\"collect\",\"query\":\"q\",\"limit\":-1}").is_err(),
+            "negative limit"
+        );
+    }
+}

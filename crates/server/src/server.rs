@@ -1,0 +1,530 @@
+//! The TCP server: a thread-per-connection accept loop over a
+//! [`SharedDatabase`].
+//!
+//! Every connection handler holds a cheap [`SharedDatabase`] clone, so all
+//! queries of all clients execute on the **one shared** `MorselPool` and
+//! all mutation serializes through the one writer lock — the server adds
+//! no execution machinery of its own, only the wire.
+//!
+//! # Streaming and slow clients
+//!
+//! A `stream` request runs the query on a dedicated producer thread that
+//! pushes rows into a bounded [`aplus_query::sink::row_channel`]; the
+//! connection thread drains that channel into bounded `row_batch` frames.
+//! The read lock is therefore held only while rows are *produced* into
+//! the buffer — never for the client's whole drain. A client that stops
+//! reading eventually blocks the connection thread's socket write; after
+//! [`ServerConfig::write_timeout`] the connection is dropped, which drops
+//! the channel receiver and cancels the producing query through the
+//! existing disconnect-cancellation path ([`std::ops::ControlFlow::Break`]
+//! from the sink), releasing the read lock. Writers consequently wait at
+//! most buffer-fill + one write timeout behind any stream, never
+//! indefinitely (see `SharedDatabase::stream`'s docs for the trade-off).
+//!
+//! # Graceful shutdown
+//!
+//! [`ServerHandle::shutdown`] triggers the shared
+//! [`aplus_runtime::Shutdown`] signal: the accept loop stops accepting
+//! (new connections are refused once the listener closes), idle
+//! connections close at their next poll, in-flight requests run to
+//! completion and flush their responses, and `shutdown` joins every
+//! thread before returning.
+
+use std::io::{self, Read as _};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use aplus_query::engine::DdlOutcome;
+use aplus_query::sink::{row_channel, RowReceiver, TryNext};
+use aplus_query::{RawRow, SharedDatabase};
+use aplus_runtime::Shutdown;
+
+use crate::protocol::{read_frame_body, write_frame, Request, Response, WireError};
+
+/// Tuning knobs of one server instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Rows buffered between a stream's producing query and the
+    /// connection thread (the per-client back-pressure bound).
+    pub stream_buffer: usize,
+    /// Maximum rows per `row_batch` frame.
+    pub frame_rows: usize,
+    /// How long one socket write may block before the client is declared
+    /// too slow and disconnected (which cancels its in-flight stream).
+    pub write_timeout: Duration,
+    /// How often idle connections and the accept loop check the shutdown
+    /// signal.
+    pub poll_interval: Duration,
+    /// How long a started request frame may take to arrive in full.
+    pub frame_timeout: Duration,
+    /// Most rows one `collect` answer may carry. A `collect` travels as a
+    /// single frame, so this bounds server-side result materialization;
+    /// larger results get a `result_too_large` error directing the client
+    /// to `stream` (which is bounded by `stream_buffer` instead).
+    pub collect_row_cap: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            stream_buffer: 1024,
+            frame_rows: 256,
+            write_timeout: Duration::from_secs(30),
+            poll_interval: Duration::from_millis(50),
+            frame_timeout: Duration::from_secs(30),
+            collect_row_cap: 262_144,
+        }
+    }
+}
+
+/// A running server: the accept thread plus the shutdown signal. Dropping
+/// the handle shuts the server down gracefully.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<Shutdown>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the OS-assigned port when `addr` used
+    /// port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shutdown signal, for sharing with external watchers.
+    #[must_use]
+    pub fn shutdown_signal(&self) -> Arc<Shutdown> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// Gracefully shuts down: refuses new connections, drains in-flight
+    /// requests, joins every server thread.
+    pub fn shutdown(mut self) {
+        self.shutdown_impl();
+    }
+
+    fn shutdown_impl(&mut self) {
+        // The accept loop polls a nonblocking listener against this
+        // signal, so triggering it suffices — no self-connect wakeup that
+        // could fail on a non-self-dialable bind address.
+        self.shutdown.trigger();
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}
+
+/// Binds `addr` and serves `shared` until [`ServerHandle::shutdown`].
+pub fn serve(
+    shared: SharedDatabase,
+    addr: impl ToSocketAddrs,
+    config: ServerConfig,
+) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    // Nonblocking accept, polled against the shutdown signal: shutdown
+    // latency and idle cost are both bounded by `poll_interval`.
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let shutdown = Arc::new(Shutdown::new());
+    let accept_shutdown = Arc::clone(&shutdown);
+    let accept_thread = std::thread::Builder::new()
+        .name("aplus-accept".into())
+        .spawn(move || accept_loop(&listener, &shared, &config, &accept_shutdown))?;
+    Ok(ServerHandle {
+        addr,
+        shutdown,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &SharedDatabase,
+    config: &ServerConfig,
+    shutdown: &Arc<Shutdown>,
+) {
+    let mut connections: Vec<JoinHandle<()>> = Vec::new();
+    let mut accept_errors = 0u32;
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                accept_errors = 0;
+                if shutdown.is_triggered() {
+                    drop(stream); // refuse: no request is ever read
+                    break;
+                }
+                // Reap finished handlers so the registry stays small on
+                // long-lived servers.
+                connections.retain(|c| !c.is_finished());
+                let shared = shared.clone();
+                let config = config.clone();
+                let shutdown = Arc::clone(shutdown);
+                let spawned =
+                    std::thread::Builder::new()
+                        .name("aplus-conn".into())
+                        .spawn(move || {
+                            // A connection panic (e.g. a poisoned database)
+                            // kills only that connection.
+                            handle_connection(stream, &shared, &config, &shutdown);
+                        });
+                match spawned {
+                    Ok(handle) => connections.push(handle),
+                    Err(e) => eprintln!("aplus_server: could not spawn handler: {e}"),
+                }
+            }
+            Err(e) if matches!(e.kind(), io::ErrorKind::Interrupted) => continue,
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock) => {
+                // Idle: park on the shutdown signal for one poll interval.
+                if shutdown.wait_timeout(config.poll_interval) {
+                    break;
+                }
+            }
+            Err(e) => {
+                if shutdown.is_triggered() {
+                    break;
+                }
+                // Transient failures (fd exhaustion, an aborted handshake)
+                // clear on their own: back off one poll interval and keep
+                // accepting instead of leaving a dead server behind a
+                // live-looking handle. Log the first few only.
+                accept_errors += 1;
+                if accept_errors <= 8 {
+                    eprintln!("aplus_server: accept failed (retrying): {e}");
+                }
+                if shutdown.wait_timeout(config.poll_interval) {
+                    break;
+                }
+            }
+        }
+        if shutdown.is_triggered() {
+            break;
+        }
+    }
+    // Drain: in-flight requests complete; idle connections notice the
+    // signal within one poll interval; stalled stream writes are bounded
+    // by the write timeout.
+    for c in connections {
+        let _ = c.join();
+    }
+}
+
+/// Reads the next request frame, polling the shutdown signal while the
+/// connection is idle. `Ok(None)` means the connection is done (peer EOF
+/// or shutdown).
+fn read_request(
+    stream: &mut TcpStream,
+    config: &ServerConfig,
+    shutdown: &Shutdown,
+) -> io::Result<Option<String>> {
+    let mut len_buf = [0u8; 4];
+    stream.set_read_timeout(Some(config.poll_interval))?;
+    loop {
+        if shutdown.is_triggered() {
+            return Ok(None);
+        }
+        match stream.read(&mut len_buf[..1]) {
+            Ok(0) => return Ok(None),
+            Ok(_) => break,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) =>
+            {
+                continue;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    // A frame has started: it must now arrive promptly, shutdown or not —
+    // an in-flight request is served before the connection closes.
+    stream.set_read_timeout(Some(config.frame_timeout))?;
+    stream.read_exact(&mut len_buf[1..])?;
+    read_frame_body(stream, len_buf)
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    shared: &SharedDatabase,
+    config: &ServerConfig,
+    shutdown: &Shutdown,
+) {
+    // Accepted sockets are blocking on the platforms we target, but the
+    // listener is nonblocking — pin the mode explicitly for portability.
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_write_timeout(Some(config.write_timeout));
+    loop {
+        let frame = match read_request(&mut stream, config, shutdown) {
+            Ok(Some(f)) => f,
+            Ok(None) | Err(_) => return,
+        };
+        let request = match Request::from_json(&frame) {
+            Ok(r) => r,
+            Err(e) => {
+                // The framing is intact (we read a complete frame), so a
+                // malformed payload gets a structured error and the
+                // connection lives on.
+                let resp = Response::Error(WireError::protocol(format!("bad request: {e}")));
+                if write_frame(&mut stream, &resp.to_json()).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+        let keep_going = match request {
+            Request::Ping => respond(&mut stream, &Response::Pong),
+            Request::Count { query } => {
+                let resp = match shared.count(&query) {
+                    Ok(value) => Response::Count { value },
+                    Err(e) => Response::Error(WireError::from(&e)),
+                };
+                respond(&mut stream, &resp)
+            }
+            Request::Collect { query, limit } => {
+                let resp = run_collect(shared, config, &query, decode_limit(limit));
+                let json = bounded_response_json(&resp, crate::protocol::MAX_FRAME_LEN as usize);
+                write_frame(&mut stream, &json).is_ok()
+            }
+            Request::Ddl { statement } => {
+                let resp = match shared.writer().ddl(&statement) {
+                    Ok(outcome) => Response::DdlOk { outcome },
+                    Err(e) => Response::Error(WireError::from(&e)),
+                };
+                respond(&mut stream, &resp)
+            }
+            Request::Reconfigure { statement } => {
+                let resp = run_reconfigure(shared, &statement);
+                respond(&mut stream, &resp)
+            }
+            Request::Stream { query, limit } => {
+                handle_stream(&mut stream, shared, config, &query, decode_limit(limit))
+            }
+        };
+        if !keep_going {
+            return;
+        }
+    }
+}
+
+fn decode_limit(limit: Option<u64>) -> usize {
+    limit.map_or(usize::MAX, |l| usize::try_from(l).unwrap_or(usize::MAX))
+}
+
+/// Serves one `collect`: the execution limit is capped at
+/// [`ServerConfig::collect_row_cap`] **before** materializing, so an
+/// unlimited collect on a huge result costs at most cap+1 rows of server
+/// memory — crossing the cap returns `result_too_large` instead of a
+/// multi-gigabyte materialization that the frame-size check would then
+/// throw away.
+fn run_collect(
+    shared: &SharedDatabase,
+    config: &ServerConfig,
+    query: &str,
+    limit: usize,
+) -> Response {
+    let cap = config.collect_row_cap.max(1);
+    match shared.collect(query, limit.min(cap.saturating_add(1))) {
+        Ok(rows) if rows.len() > cap => Response::Error(WireError {
+            kind: "result_too_large".into(),
+            message: format!(
+                "collect result exceeds the server's {cap}-row cap; \
+                 use a stream request or a smaller limit"
+            ),
+            offset: None,
+        }),
+        Ok(rows) => Response::Rows { rows },
+        Err(e) => Response::Error(WireError::from(&e)),
+    }
+}
+
+/// `reconfigure` is the narrow request: any statement other than
+/// `RECONFIGURE PRIMARY INDEXES …` is rejected before touching the writer
+/// lock (generic DDL goes through the `ddl` request).
+fn run_reconfigure(shared: &SharedDatabase, statement: &str) -> Response {
+    if !is_reconfigure(statement) {
+        let start = aplus_query::parser::statement_offset(statement);
+        return Response::Error(WireError {
+            kind: "protocol".into(),
+            message: "reconfigure requests accept only RECONFIGURE PRIMARY INDEXES statements \
+                      (use a ddl request for view creation)"
+                .into(),
+            offset: Some(start as u64),
+        });
+    }
+    match shared.writer().ddl(statement) {
+        Ok(outcome) => Response::DdlOk { outcome },
+        Err(e) => Response::Error(WireError::from(&e)),
+    }
+}
+
+/// Writes one response frame; `false` means the connection is dead.
+fn respond(stream: &mut TcpStream, response: &Response) -> bool {
+    write_frame(stream, &response.to_json()).is_ok()
+}
+
+/// Encodes `response`, downgrading to a structured `error` frame when the
+/// payload would exceed `max_len` — a `collect` answer travels as one
+/// frame, so an enormous result must become an actionable error (use
+/// `stream`, or a `limit`) instead of a dead connection.
+fn bounded_response_json(response: &Response, max_len: usize) -> String {
+    let json = response.to_json();
+    if json.len() <= max_len {
+        return json;
+    }
+    Response::Error(WireError {
+        kind: "result_too_large".into(),
+        message: format!(
+            "collect result encodes to {} bytes, over the {max_len}-byte frame limit; \
+             use a stream request or a smaller limit",
+            json.len()
+        ),
+        offset: None,
+    })
+    .to_json()
+}
+
+/// Serves one `stream` request: producer thread + bounded channel +
+/// batched frames (see the module docs). Returns `false` when the
+/// connection died mid-stream (a cancelled client), which also cancels
+/// the producing query by dropping the receiver.
+fn handle_stream(
+    stream: &mut TcpStream,
+    shared: &SharedDatabase,
+    config: &ServerConfig,
+    query: &str,
+    limit: usize,
+) -> bool {
+    let (mut tx, rx) = row_channel(config.stream_buffer.max(1));
+    let producer = {
+        let shared = shared.clone();
+        let query = query.to_owned();
+        std::thread::Builder::new()
+            .name("aplus-stream".into())
+            .spawn(move || {
+                let result = shared.stream(&query, limit, &mut tx);
+                drop(tx); // close: the drain loop below observes the end
+                result
+            })
+    };
+    let producer = match producer {
+        Ok(p) => p,
+        Err(_) => {
+            return respond(
+                stream,
+                &Response::Error(WireError::protocol("could not spawn stream producer")),
+            );
+        }
+    };
+    let mut rx = Some(rx);
+    let mut sent = 0u64;
+    let mut alive = true;
+    while let Some(receiver) = rx.as_mut() {
+        let Some(first) = receiver.next() else {
+            rx = None; // producer closed: done (or it failed before rows)
+            break;
+        };
+        let batch = drain_batch(receiver, first, config.frame_rows);
+        sent += batch.len() as u64;
+        if !respond(stream, &Response::RowBatch { rows: batch }) {
+            // Client too slow (write timeout) or gone: dropping the
+            // receiver cancels the producing query cooperatively.
+            rx = None;
+            alive = false;
+            break;
+        }
+    }
+    drop(rx);
+    let produced = producer.join();
+    if !alive {
+        return false;
+    }
+    match produced {
+        Ok(Ok(())) => respond(stream, &Response::StreamEnd { rows: sent }),
+        // Query errors surface before any row is produced (prepare runs
+        // first), so the error frame replaces the whole stream.
+        Ok(Err(e)) => respond(stream, &Response::Error(WireError::from(&e))),
+        Err(_) => respond(
+            stream,
+            &Response::Error(WireError::protocol("stream producer panicked")),
+        ),
+    }
+}
+
+/// Greedily extends `first` with whatever rows are already buffered, up
+/// to `frame_rows` — one blocking receive per frame, never per row.
+fn drain_batch(rx: &mut RowReceiver, first: RawRow, frame_rows: usize) -> Vec<RawRow> {
+    let mut batch = Vec::with_capacity(frame_rows.clamp(1, 1024));
+    batch.push(first);
+    while batch.len() < frame_rows.max(1) {
+        match rx.try_next() {
+            TryNext::Row(row) => batch.push(row),
+            TryNext::Empty | TryNext::Closed => break,
+        }
+    }
+    batch
+}
+
+/// Convenience for binaries: `RECONFIGURE`-vs-`DDL` routing used by the
+/// shell; kept here so server and shell agree on the split.
+#[must_use]
+pub fn is_reconfigure(statement: &str) -> bool {
+    let start = aplus_query::parser::statement_offset(statement);
+    statement[start..]
+        .to_ascii_uppercase()
+        .starts_with("RECONFIGURE")
+}
+
+/// Formats a [`DdlOutcome`] for human output.
+#[must_use]
+pub fn describe_outcome(outcome: &DdlOutcome) -> String {
+    match outcome {
+        DdlOutcome::Reconfigured => "primary indexes reconfigured".into(),
+        DdlOutcome::Created(name) => format!("index {name} created"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oversized_collect_becomes_a_structured_error() {
+        let rows = Response::Rows {
+            rows: vec![(vec![1, 2, 3], vec![4, 5]); 100],
+        };
+        let ok = bounded_response_json(&rows, usize::MAX);
+        assert_eq!(Response::from_json(&ok).unwrap(), rows, "under the limit");
+        let clipped = bounded_response_json(&rows, 64);
+        match Response::from_json(&clipped).unwrap() {
+            Response::Error(e) => {
+                assert_eq!(e.kind, "result_too_large");
+                assert!(e.message.contains("stream"), "{e}");
+            }
+            other => panic!("expected an error frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reconfigure_detection() {
+        assert!(is_reconfigure(
+            "RECONFIGURE PRIMARY INDEXES SORT BY vnbr.ID"
+        ));
+        assert!(is_reconfigure("  reconfigure primary indexes"));
+        assert!(!is_reconfigure("CREATE 1-HOP VIEW V MATCH vs-[eadj]->vd"));
+        assert!(!is_reconfigure(""));
+    }
+}

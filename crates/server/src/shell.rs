@@ -1,0 +1,250 @@
+//! The `aplus-shell` REPL core: line-oriented, line-editing-free, and
+//! I/O-generic so tests can drive it with in-memory buffers.
+//!
+//! Grammar (case-insensitive keywords):
+//!
+//! ```text
+//! MATCH ...                 collect & print every row (the default verb)
+//! count MATCH ...           print only the match count
+//! stream MATCH ...          stream rows (printed as batches arrive)
+//! RECONFIGURE ...           reconfigure the primary indexes
+//! CREATE ...                create a secondary index view
+//! :ping  :help  :quit       shell commands
+//! ```
+//!
+//! Row output is one row per line via [`format_row`]; the shell prints
+//! exactly the rows `Database::collect` would return for the same query
+//! on the server's database, in the same order.
+
+use std::io::{self, BufRead, Write};
+use std::time::Instant;
+
+use aplus_query::RawRow;
+
+use crate::client::{Client, ClientError};
+use crate::server::{describe_outcome, is_reconfigure};
+
+/// The prompt written before each input line.
+pub const PROMPT: &str = "aplus> ";
+
+/// Formats one result row: `[v0, v5 | e17]`, unbound slots as `_`.
+#[must_use]
+pub fn format_row(row: &RawRow) -> String {
+    let (vs, es) = row;
+    let vs: Vec<String> = vs
+        .iter()
+        .map(|&v| {
+            if v == u32::MAX {
+                "_".into()
+            } else {
+                format!("v{v}")
+            }
+        })
+        .collect();
+    let es: Vec<String> = es
+        .iter()
+        .map(|&e| {
+            if e == u64::MAX {
+                "_".into()
+            } else {
+                format!("e{e}")
+            }
+        })
+        .collect();
+    format!("[{} | {}]", vs.join(", "), es.join(", "))
+}
+
+/// Renders a server error, with a caret line pointing at the reported
+/// byte offset of the offending statement when one is attached.
+fn report_error(out: &mut impl Write, statement: &str, err: &ClientError) -> io::Result<()> {
+    writeln!(out, "error: {err}")?;
+    if let ClientError::Server(wire) = err {
+        if let Some(offset) = wire.offset {
+            let offset = offset as usize;
+            if offset < statement.len() && !statement.contains('\n') {
+                writeln!(out, "  {statement}")?;
+                writeln!(out, "  {}^", " ".repeat(offset))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Whether the shell should keep running after this error (server-side
+/// query errors are conversational; transport errors are fatal).
+fn recoverable(err: &ClientError) -> bool {
+    matches!(err, ClientError::Server(_))
+}
+
+const HELP: &str = "commands:
+  MATCH ...        run a query, print every result row
+  count MATCH ...  run a query, print only the match count
+  stream MATCH ... run a query, stream rows as they arrive
+  RECONFIGURE ...  reconfigure the primary indexes
+  CREATE ...       create a 1-hop / 2-hop view index
+  :ping            round-trip latency probe
+  :help            this text
+  :quit            leave";
+
+/// Runs the REPL until EOF or `:quit`; a transport failure (connection
+/// lost mid-session) is reported *and* returned as an error so scripted
+/// sessions exit nonzero.
+pub fn run(client: &mut Client, input: impl BufRead, mut out: impl Write) -> io::Result<()> {
+    let mut lines = input.lines();
+    loop {
+        // Prompt before the blocking read, so interactive users see it.
+        write!(out, "{PROMPT}")?;
+        out.flush()?;
+        let Some(line) = lines.next() else { break };
+        let line = line?;
+        let trimmed = line.trim();
+        // Echo the command so piped transcripts read like a session.
+        writeln!(out, "{trimmed}")?;
+        if trimmed.is_empty() {
+            continue;
+        }
+        let lower = trimmed.to_ascii_lowercase();
+        match lower.as_str() {
+            ":quit" | ":q" | "quit" | "exit" => {
+                writeln!(out, "bye")?;
+                return Ok(());
+            }
+            ":help" | "help" => {
+                writeln!(out, "{HELP}")?;
+                continue;
+            }
+            ":ping" => {
+                let t = Instant::now();
+                match client.ping() {
+                    Ok(()) => writeln!(out, "pong ({:.3} ms)", t.elapsed().as_secs_f64() * 1e3)?,
+                    Err(e) => {
+                        report_error(&mut out, trimmed, &e)?;
+                        if !recoverable(&e) {
+                            return Err(io::Error::other(e.to_string()));
+                        }
+                    }
+                }
+                continue;
+            }
+            _ => {}
+        }
+        let outcome = dispatch(client, trimmed, &lower, &mut out)?;
+        if let Err(e) = outcome {
+            report_error(&mut out, trimmed, &e)?;
+            if !recoverable(&e) {
+                return Err(io::Error::other(e.to_string()));
+            }
+        }
+    }
+    writeln!(out)?;
+    Ok(())
+}
+
+/// Executes one statement line; `Ok(Err(_))` is a reportable failure,
+/// the outer `io::Result` is shell-output failure.
+fn dispatch(
+    client: &mut Client,
+    trimmed: &str,
+    lower: &str,
+    out: &mut impl Write,
+) -> io::Result<Result<(), ClientError>> {
+    if let Some(rest) = strip_verb(trimmed, lower, "count") {
+        return Ok(match client.count(rest) {
+            Ok(n) => {
+                writeln!(out, "{n} match(es)")?;
+                Ok(())
+            }
+            Err(e) => Err(e),
+        });
+    }
+    if let Some(rest) = strip_verb(trimmed, lower, "stream") {
+        return stream_rows(client, rest, out);
+    }
+    if lower.starts_with("match") {
+        return Ok(match client.collect(trimmed, usize::MAX) {
+            Ok(rows) => {
+                for row in &rows {
+                    writeln!(out, "{}", format_row(row))?;
+                }
+                writeln!(out, "{} row(s)", rows.len())?;
+                Ok(())
+            }
+            Err(e) => Err(e),
+        });
+    }
+    if is_reconfigure(trimmed) {
+        return Ok(match client.reconfigure(trimmed) {
+            Ok(()) => {
+                writeln!(out, "primary indexes reconfigured")?;
+                Ok(())
+            }
+            Err(e) => Err(e),
+        });
+    }
+    if lower.starts_with("create") {
+        return Ok(match client.ddl(trimmed) {
+            Ok(outcome) => {
+                writeln!(out, "{}", describe_outcome(&outcome))?;
+                Ok(())
+            }
+            Err(e) => Err(e),
+        });
+    }
+    writeln!(out, "unrecognized input (try :help)")?;
+    Ok(Ok(()))
+}
+
+fn stream_rows(
+    client: &mut Client,
+    query: &str,
+    out: &mut impl Write,
+) -> io::Result<Result<(), ClientError>> {
+    let rows = match client.stream(query, usize::MAX) {
+        Ok(rows) => rows,
+        Err(e) => return Ok(Err(e)),
+    };
+    let mut n = 0u64;
+    for row in rows {
+        match row {
+            Ok(row) => {
+                writeln!(out, "{}", format_row(&row))?;
+                n += 1;
+            }
+            Err(e) => return Ok(Err(e)),
+        }
+    }
+    writeln!(out, "{n} row(s) streamed")?;
+    Ok(Ok(()))
+}
+
+/// `"count MATCH …"` → `Some("MATCH …")`, case-insensitive on the verb.
+fn strip_verb<'a>(trimmed: &'a str, lower: &str, verb: &str) -> Option<&'a str> {
+    let rest = lower.strip_prefix(verb)?;
+    if !rest.starts_with(char::is_whitespace) {
+        return None;
+    }
+    Some(trimmed[verb.len()..].trim_start())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_row_renders_ids_and_sentinels() {
+        assert_eq!(format_row(&(vec![0, 5], vec![17])), "[v0, v5 | e17]");
+        assert_eq!(format_row(&(vec![u32::MAX], vec![u64::MAX])), "[_ | _]");
+        assert_eq!(format_row(&(vec![], vec![])), "[ | ]");
+    }
+
+    #[test]
+    fn strip_verb_is_case_insensitive_and_needs_a_break() {
+        let t = "COUNT MATCH a-[r]->b";
+        assert_eq!(
+            strip_verb(t, &t.to_ascii_lowercase(), "count"),
+            Some("MATCH a-[r]->b")
+        );
+        let t = "counterexample";
+        assert_eq!(strip_verb(t, &t.to_ascii_lowercase(), "count"), None);
+    }
+}

@@ -42,6 +42,7 @@
 //! | [`datagen`] | Synthetic datasets + the Figure-1 running example |
 //! | [`core`] | The A+ index subsystem (primary, VP, EP, offset lists) |
 //! | [`query`] | Parser, DP optimizer, E/I + MULTI-EXTEND executor, [`SharedDatabase`] service layer |
+//! | [`server`] | Network front-end: length-prefixed JSON wire protocol, TCP server, blocking client, `aplus-shell` |
 //! | [`baseline`] | Fixed-index engines for the Table-V comparison |
 //!
 //! ## Concurrency
@@ -80,6 +81,7 @@ pub use aplus_datagen as datagen;
 pub use aplus_graph as graph;
 pub use aplus_query as query;
 pub use aplus_runtime as runtime;
+pub use aplus_server as server;
 
 pub use aplus_core::{Direction, IndexSpec, IndexStore, PartitionKey, SortKey};
 pub use aplus_graph::{Graph, GraphBuilder, Value};

@@ -119,6 +119,46 @@ impl Value {
     }
 }
 
+/// A [`Value`] serializes back to JSON text (compact via [`to_string`],
+/// indented via [`to_string_pretty`]), so dynamically-built documents —
+/// e.g. wire-protocol frames — round-trip through [`from_str`].
+impl Serialize for Value {
+    fn serialize(&self, out: &mut JsonWriter) {
+        match self {
+            Value::Null => out.null(),
+            Value::Bool(b) => out.raw_token(if *b { "true" } else { "false" }),
+            Value::Number(n) if n.is_finite() => {
+                // Integral values print without a fractional part (like
+                // real serde_json's i64/u64 arms) so integer payloads
+                // round-trip textually.
+                if n.fract() == 0.0 && n.abs() <= 2f64.powi(53) {
+                    out.raw_token(&format!("{}", *n as i64));
+                } else {
+                    out.raw_token(&format!("{n}"));
+                }
+            }
+            Value::Number(_) => out.null(), // non-finite: like real serde_json
+            Value::String(s) => out.string(s),
+            Value::Array(items) => {
+                out.begin_array();
+                for item in items {
+                    out.element();
+                    item.serialize(out);
+                }
+                out.end_array();
+            }
+            Value::Object(map) => {
+                out.begin_object();
+                for (key, item) in map {
+                    out.field(key);
+                    item.serialize(out);
+                }
+                out.end_object();
+            }
+        }
+    }
+}
+
 /// Parses a JSON document into a [`Value`]. Trailing non-whitespace is an
 /// error.
 pub fn from_str(s: &str) -> Result<Value, Error> {
@@ -385,6 +425,26 @@ mod tests {
             assert_eq!(items[0].get("label").unwrap().as_str(), Some("λ"));
             assert!(items[0].get("count").unwrap().is_null());
         }
+    }
+
+    #[test]
+    fn value_serializes_and_round_trips() {
+        use super::{from_str, to_string, Value};
+        use std::collections::BTreeMap;
+        let doc = Value::Object(BTreeMap::from([
+            ("n".to_owned(), Value::Number(42.0)),
+            ("half".to_owned(), Value::Number(0.5)),
+            ("s".to_owned(), Value::String("a\"b".into())),
+            (
+                "xs".to_owned(),
+                Value::Array(vec![Value::Null, Value::Bool(true)]),
+            ),
+        ]));
+        let json = to_string(&doc).unwrap();
+        assert_eq!(json, r#"{"half":0.5,"n":42,"s":"a\"b","xs":[null,true]}"#);
+        assert_eq!(from_str(&json).unwrap(), doc, "round-trip");
+        let pretty = super::to_string_pretty(&doc).unwrap();
+        assert_eq!(from_str(&pretty).unwrap(), doc, "pretty round-trip");
     }
 
     #[test]
