@@ -19,15 +19,25 @@ run cargo fmt --all --check
 # inline with a justification instead of loosening this gate.
 run cargo clippy --workspace --all-targets -- -D warnings
 run cargo build --release
-# Superset of the tier-1 `cargo test -q`: includes doctests, the vendor
-# stubs' self-tests, and the aplus_server network integration tests
-# (multi-client stress, writer-starvation regression, shell parity).
+# Superset of the tier-1 `cargo test -q`: includes doctests (also the
+# runnable examples embedded in docs/ARCHITECTURE.md + docs/PROTOCOL.md,
+# included via include_str! in the root crate), the vendor stubs'
+# self-tests, the aplus_server network integration tests (multi-client
+# stress, writer-starvation regression, shell parity), the snapshot
+# isolation suite (tests/snapshot_isolation.rs: streams overlapping
+# RECONFIGURE rebuilds, readers never blocking writers), and the docs
+# link check (tests/docs_links.rs: dangling relative links/anchors in
+# README.md + docs/*.md fail here, mirroring rustdoc's -D warnings gate
+# for intra-doc links).
 run cargo test --workspace -q
 run env RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 # Perf trajectory + parallel-path smoke: bench_smoke writes a fresh run
 # into target/bench-fresh and bench_compare diffs it against the committed
 # BENCH_*.json baselines — count mismatches fail the gate (results
-# changed), latency drift is informational on this 1-core-ish CI box. To
+# changed), latency drift is informational on this 1-core-ish CI box.
+# BENCH_tables.json includes the table9_churn reader-latency-under-
+# writer-churn experiment (snapshot isolation end to end; its latency/
+# slowdown cells are informational, its solo count is gated). To
 # refresh the baselines intentionally, run bench_smoke *without*
 # APLUS_BENCH_OUT (it then writes to the repo root) and commit the files.
 run env APLUS_SCALE=20000 APLUS_THREAD_COUNTS=1,2,4 APLUS_BENCH_OUT=target/bench-fresh \

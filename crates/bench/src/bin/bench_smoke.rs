@@ -5,7 +5,9 @@
 //! root** so successive PRs can be compared against each other:
 //!
 //! * `BENCH_tables.json` — table2 (SQ × primary configs), table3
-//!   (MagicRecs + VPt) and table4 (fraud + VPc/EPc) reporters.
+//!   (MagicRecs + VPt), table4 (fraud + VPc/EPc) and table9_churn
+//!   (reader latency under writer churn — the snapshot-isolation
+//!   experiment; latency cells informational) reporters.
 //! * `BENCH_scaling.json` — the `table7_scaling` reporter, the derived SQ
 //!   speedups per thread count, and the `table8_collect` reporter
 //!   (order-preserving parallel collect + streamed drain).
@@ -29,7 +31,10 @@ const SMOKE_SCALE_DEFAULT: usize = 20_000;
 /// Schema version of the trajectory files; bump on layout changes.
 /// v2: added the `collect_report` (order-preserving parallel collect /
 /// streamed drain) to `BENCH_scaling.json`.
-const SCHEMA: u32 = 2;
+/// v3: added the `table9_churn` reporter (reader latency under writer
+/// churn over the snapshot-publishing service layer) to
+/// `BENCH_tables.json`.
+const SCHEMA: u32 = 3;
 
 #[derive(Serialize)]
 struct TablesFile {
@@ -86,6 +91,7 @@ fn main() {
         tables::run_table2(scale),
         tables::run_table3(scale),
         tables::run_table4(scale),
+        aplus_bench::churn::run_churn_table(scale),
     ];
     for r in &reports {
         println!("{}", r.render("D"));

@@ -471,6 +471,17 @@ impl NestedCsr {
         self.pages[group].buffer.len()
     }
 
+    /// Whether any page holds unmerged work (buffered inserts or deletion
+    /// tombstones) — i.e. whether [`NestedCsr::merge_all`] would change
+    /// anything. A cheap `&self` probe, so copy-on-write callers can skip
+    /// unsharing an index that a merge would not touch.
+    #[must_use]
+    pub fn has_pending(&self) -> bool {
+        self.pages
+            .iter()
+            .any(|p| !p.buffer.is_empty() || p.deleted.count_ones() > 0)
+    }
+
     /// Folds a page's buffer and tombstones into its merged arrays.
     /// Returns `true` if the page changed (callers must then rebuild any
     /// offset lists referencing these owners' regions).

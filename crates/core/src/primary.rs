@@ -3,9 +3,11 @@
 //! "There are two primary indexes, one forward and one backward", both
 //! required to contain every edge. Each is a [`NestedCsr`] whose owner
 //! level is the vertex ID; the nested partitioning and innermost sorting
-//! are tunable via [`IndexSpec`] and can be changed at runtime with
-//! [`PrimaryIndexes::reconfigure`] (the paper's `RECONFIGURE PRIMARY
-//! INDEXES` command).
+//! are tunable via [`IndexSpec`] and can be changed at runtime (the
+//! paper's `RECONFIGURE PRIMARY INDEXES` command): the store rebuilds a
+//! fresh [`PrimaryIndexes`] under the new spec and swaps it in, never
+//! mutating the pair in place — any snapshot still holding the old pair
+//! keeps serving the old configuration unchanged.
 
 use aplus_common::{EdgeId, VertexId};
 use aplus_graph::Graph;
@@ -172,6 +174,14 @@ impl PrimaryIndex {
         (0..self.csr.page_count()).any(|g| self.csr.buffer_len(g) >= threshold)
     }
 
+    /// Whether a merge would change anything (buffered inserts or
+    /// deletion tombstones pending). `&self`, so the store can probe
+    /// before copy-on-write-unsharing the index.
+    #[must_use]
+    pub fn has_pending_merges(&self) -> bool {
+        self.csr.has_pending()
+    }
+
     /// Heap bytes.
     #[must_use]
     pub fn memory_bytes(&self) -> usize {
@@ -222,14 +232,6 @@ impl PrimaryIndexes {
     #[must_use]
     pub fn spec(&self) -> &IndexSpec {
         self.fwd.spec()
-    }
-
-    /// `RECONFIGURE PRIMARY INDEXES`: rebuilds both directions under a new
-    /// spec. Secondary indexes hold offsets into the primary lists, so the
-    /// store rebuilds them afterwards.
-    pub fn reconfigure(&mut self, graph: &Graph, spec: IndexSpec) -> Result<(), IndexError> {
-        *self = Self::build(graph, spec)?;
-        Ok(())
     }
 
     /// Combined heap bytes.
@@ -301,11 +303,11 @@ mod tests {
             .catalog()
             .property(PropertyEntity::Edge, "currency")
             .unwrap();
-        let mut p = PrimaryIndexes::build_default(g).unwrap();
         let spec = IndexSpec::default()
             .with_partitioning(vec![PartitionKey::EdgeLabel, PartitionKey::EdgeProp(curr)])
             .with_sort(vec![SortKey::NbrId]);
-        p.reconfigure(g, spec).unwrap();
+        // Rebuild-and-swap, as IndexStore::reconfigure_primary does it.
+        let p = PrimaryIndexes::build(g, spec).unwrap();
         let wire = u32::from(g.catalog().edge_label("W").unwrap().raw());
         let usd = g
             .catalog()

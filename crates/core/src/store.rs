@@ -6,6 +6,8 @@
 //! for candidate indexes; the maintenance paths route updates through it so
 //! primary merges and secondary offset rebuilds stay coordinated.
 
+use std::sync::Arc;
+
 use aplus_common::{EdgeId, FxHashSet, VertexId, GROUP_SIZE};
 use aplus_graph::Graph;
 
@@ -40,12 +42,21 @@ impl IndexDirections {
 }
 
 /// The store: primary pair + named secondary indexes.
+///
+/// Every built index artifact is held behind an `Arc` with copy-on-write
+/// mutation ([`Arc::make_mut`]): cloning a store is a handful of
+/// reference-count bumps, and a clone only pays for the artifacts a later
+/// write actually dirties. This is what makes the service layer's
+/// snapshot publication affordable — a `RECONFIGURE` on a cloned head
+/// swaps in freshly built artifacts without ever deep-copying the old
+/// ones, and the displaced snapshot keeps serving them until its last
+/// reader drops.
 #[derive(Debug, Clone)]
 pub struct IndexStore {
-    primary: PrimaryIndexes,
-    vertex_indexes: Vec<VertexPartitionedIndex>,
-    edge_indexes: Vec<EdgePartitionedIndex>,
-    bitmap_indexes: Vec<BitmapIndex>,
+    primary: Arc<PrimaryIndexes>,
+    vertex_indexes: Vec<Arc<VertexPartitionedIndex>>,
+    edge_indexes: Vec<Arc<EdgePartitionedIndex>>,
+    bitmap_indexes: Vec<Arc<BitmapIndex>>,
     config: MaintenanceConfig,
 }
 
@@ -58,7 +69,7 @@ impl IndexStore {
     /// Builds a store with a custom primary spec.
     pub fn build_with_spec(graph: &Graph, spec: IndexSpec) -> Result<Self, IndexError> {
         Ok(Self {
-            primary: PrimaryIndexes::build(graph, spec)?,
+            primary: Arc::new(PrimaryIndexes::build(graph, spec)?),
             vertex_indexes: Vec::new(),
             edge_indexes: Vec::new(),
             bitmap_indexes: Vec::new(),
@@ -78,21 +89,18 @@ impl IndexStore {
     }
 
     /// All vertex-partitioned secondary indexes (one entry per direction).
-    #[must_use]
-    pub fn vertex_indexes(&self) -> &[VertexPartitionedIndex] {
-        &self.vertex_indexes
+    pub fn vertex_indexes(&self) -> impl Iterator<Item = &VertexPartitionedIndex> {
+        self.vertex_indexes.iter().map(Arc::as_ref)
     }
 
     /// All edge-partitioned secondary indexes.
-    #[must_use]
-    pub fn edge_indexes(&self) -> &[EdgePartitionedIndex] {
-        &self.edge_indexes
+    pub fn edge_indexes(&self) -> impl Iterator<Item = &EdgePartitionedIndex> {
+        self.edge_indexes.iter().map(Arc::as_ref)
     }
 
     /// All bitmap-stored secondary indexes (ablation).
-    #[must_use]
-    pub fn bitmap_indexes(&self) -> &[BitmapIndex] {
-        &self.bitmap_indexes
+    pub fn bitmap_indexes(&self) -> impl Iterator<Item = &BitmapIndex> {
+        self.bitmap_indexes.iter().map(Arc::as_ref)
     }
 
     /// Looks up a vertex-partitioned index by name and direction.
@@ -105,12 +113,16 @@ impl IndexStore {
         self.vertex_indexes
             .iter()
             .find(|i| i.name() == name && i.direction() == direction)
+            .map(Arc::as_ref)
     }
 
     /// Looks up an edge-partitioned index by name.
     #[must_use]
     pub fn edge_index(&self, name: &str) -> Option<&EdgePartitionedIndex> {
-        self.edge_indexes.iter().find(|i| i.name() == name)
+        self.edge_indexes
+            .iter()
+            .find(|i| i.name() == name)
+            .map(Arc::as_ref)
     }
 
     fn name_taken(&self, name: &str) -> bool {
@@ -121,12 +133,14 @@ impl IndexStore {
 
     /// `RECONFIGURE PRIMARY INDEXES ...`: rebuilds the primary pair and then
     /// every secondary index (their offsets reference primary regions).
+    /// Rebuild-and-swap: the replaced artifacts are never touched — any
+    /// snapshot still holding them serves the old configuration unchanged.
     pub fn reconfigure_primary(
         &mut self,
         graph: &Graph,
         spec: IndexSpec,
     ) -> Result<(), IndexError> {
-        self.primary.reconfigure(graph, spec)?;
+        self.primary = Arc::new(PrimaryIndexes::build(graph, spec)?);
         self.rebuild_secondaries(graph)
     }
 
@@ -152,7 +166,7 @@ impl IndexStore {
                 view.clone(),
                 spec.clone(),
             )?;
-            self.vertex_indexes.push(idx);
+            self.vertex_indexes.push(Arc::new(idx));
         }
         Ok(())
     }
@@ -177,7 +191,7 @@ impl IndexStore {
             spec,
             self.config.ep_build_threads,
         )?;
-        self.edge_indexes.push(idx);
+        self.edge_indexes.push(Arc::new(idx));
         Ok(())
     }
 
@@ -194,7 +208,7 @@ impl IndexStore {
             return Err(IndexError::DuplicateIndexName(name.to_owned()));
         }
         let idx = BitmapIndex::build(graph, self.primary.index(direction), name, view)?;
-        self.bitmap_indexes.push(idx);
+        self.bitmap_indexes.push(Arc::new(idx));
         Ok(())
     }
 
@@ -217,8 +231,9 @@ impl IndexStore {
     /// Routes one edge insertion through every index (§IV-C). The edge must
     /// already exist in `graph` with its properties set.
     pub fn insert_edge(&mut self, graph: &Graph, e: EdgeId) {
-        let fwd = self.primary.index_mut(Direction::Fwd).insert_edge(graph, e);
-        let bwd = self.primary.index_mut(Direction::Bwd).insert_edge(graph, e);
+        let primary = Arc::make_mut(&mut self.primary);
+        let fwd = primary.index_mut(Direction::Fwd).insert_edge(graph, e);
+        let bwd = primary.index_mut(Direction::Bwd).insert_edge(graph, e);
         if fwd == MaintenanceOutcome::NeedsRebuild || bwd == MaintenanceOutcome::NeedsRebuild {
             // A categorical domain grew beyond a width snapshot: rebuild
             // everything under the current catalog.
@@ -229,12 +244,13 @@ impl IndexStore {
         // immutably while secondaries are mutated.
         let mut vps = std::mem::take(&mut self.vertex_indexes);
         for vp in &mut vps {
-            vp.insert_edge(graph, self.primary.index(vp.direction()), e);
+            let d = vp.direction();
+            Arc::make_mut(vp).insert_edge(graph, self.primary.index(d), e);
         }
         self.vertex_indexes = vps;
         let mut eps = std::mem::take(&mut self.edge_indexes);
         for ep in &mut eps {
-            ep.insert_edge(graph, &self.primary, e);
+            Arc::make_mut(ep).insert_edge(graph, &self.primary, e);
         }
         self.edge_indexes = eps;
         self.maybe_flush(graph);
@@ -243,16 +259,18 @@ impl IndexStore {
     /// Routes one edge deletion through every index. The caller must have
     /// tombstoned the edge in the graph first (`Graph::delete_edge`).
     pub fn delete_edge(&mut self, graph: &Graph, e: EdgeId) {
-        self.primary.index_mut(Direction::Fwd).delete_edge(graph, e);
-        self.primary.index_mut(Direction::Bwd).delete_edge(graph, e);
+        let primary = Arc::make_mut(&mut self.primary);
+        primary.index_mut(Direction::Fwd).delete_edge(graph, e);
+        primary.index_mut(Direction::Bwd).delete_edge(graph, e);
         let mut vps = std::mem::take(&mut self.vertex_indexes);
         for vp in &mut vps {
-            vp.delete_edge(graph, self.primary.index(vp.direction()), e);
+            let d = vp.direction();
+            Arc::make_mut(vp).delete_edge(graph, self.primary.index(d), e);
         }
         self.vertex_indexes = vps;
         let mut eps = std::mem::take(&mut self.edge_indexes);
         for ep in &mut eps {
-            ep.delete_edge(graph, &self.primary, e);
+            Arc::make_mut(ep).delete_edge(graph, &self.primary, e);
         }
         self.edge_indexes = eps;
         self.maybe_flush(graph);
@@ -273,18 +291,37 @@ impl IndexStore {
     /// offsets they invalidated. See `maintenance` module docs for the
     /// consolidation-barrier rationale.
     pub fn flush(&mut self, graph: &Graph) {
-        let changed_fwd = self.primary.index_mut(Direction::Fwd).csr_mut().merge_all();
-        let changed_bwd = self.primary.index_mut(Direction::Bwd).csr_mut().merge_all();
+        // Copy-on-write discipline: `make_mut` only on artifacts this
+        // flush actually rewrites, so untouched indexes stay shared with
+        // any live snapshot clone instead of being deep-copied. The
+        // `&self` pending probe keeps a no-op flush from unsharing (and
+        // deep-copying) an already-merged primary pair.
+        let has_pending = self.primary.index(Direction::Fwd).has_pending_merges()
+            || self.primary.index(Direction::Bwd).has_pending_merges();
+        let (changed_fwd, changed_bwd) = if has_pending {
+            let primary = Arc::make_mut(&mut self.primary);
+            (
+                primary.index_mut(Direction::Fwd).csr_mut().merge_all(),
+                primary.index_mut(Direction::Bwd).csr_mut().merge_all(),
+            )
+        } else {
+            (Vec::new(), Vec::new())
+        };
 
         // Vertex-partitioned: rebuild the pages over changed vertex groups.
         let mut vps = std::mem::take(&mut self.vertex_indexes);
         for vp in &mut vps {
-            let changed = match vp.direction() {
+            let d = vp.direction();
+            let changed = match d {
                 Direction::Fwd => &changed_fwd,
                 Direction::Bwd => &changed_bwd,
             };
+            if changed.is_empty() {
+                continue;
+            }
+            let vp = Arc::make_mut(vp);
             for &g in changed {
-                vp.rebuild_group(graph, self.primary.index(vp.direction()), g);
+                vp.rebuild_group(graph, self.primary.index(d), g);
             }
         }
         self.vertex_indexes = vps;
@@ -311,9 +348,13 @@ impl IndexStore {
                     }
                 }
             }
+            if groups.is_empty() {
+                continue;
+            }
             let mut sorted: Vec<usize> = groups.into_iter().collect();
             sorted.sort_unstable();
             let primary = self.primary.index(orientation.primary_direction());
+            let ep = Arc::make_mut(ep);
             for g in sorted {
                 ep.rebuild_group(graph, primary, g);
             }
@@ -324,7 +365,7 @@ impl IndexStore {
     /// Rebuilds every index from scratch under the current catalog.
     pub fn rebuild_all(&mut self, graph: &Graph) {
         let spec = self.primary.spec().clone();
-        self.primary = PrimaryIndexes::build(graph, spec).expect("spec was valid");
+        self.primary = Arc::new(PrimaryIndexes::build(graph, spec).expect("spec was valid"));
         self.rebuild_secondaries(graph)
             .expect("previously valid secondary definitions remain valid");
     }
@@ -345,7 +386,7 @@ impl IndexStore {
         for (name, d, view, spec) in vertex_defs {
             let idx =
                 VertexPartitionedIndex::build(graph, self.primary.index(d), &name, d, view, spec)?;
-            self.vertex_indexes.push(idx);
+            self.vertex_indexes.push(Arc::new(idx));
         }
         let edge_defs: Vec<_> = self
             .edge_indexes
@@ -362,7 +403,7 @@ impl IndexStore {
                 spec,
                 self.config.ep_build_threads,
             )?;
-            self.edge_indexes.push(idx);
+            self.edge_indexes.push(Arc::new(idx));
         }
         let bitmap_defs: Vec<_> = self
             .bitmap_indexes
@@ -371,7 +412,7 @@ impl IndexStore {
             .collect();
         for (name, d, view) in bitmap_defs {
             let idx = BitmapIndex::build(graph, self.primary.index(d), &name, view)?;
-            self.bitmap_indexes.push(idx);
+            self.bitmap_indexes.push(Arc::new(idx));
         }
         Ok(())
     }
@@ -385,17 +426,17 @@ impl IndexStore {
             + self
                 .vertex_indexes
                 .iter()
-                .map(VertexPartitionedIndex::memory_bytes)
+                .map(|i| i.memory_bytes())
                 .sum::<usize>()
             + self
                 .edge_indexes
                 .iter()
-                .map(EdgePartitionedIndex::memory_bytes)
+                .map(|i| i.memory_bytes())
                 .sum::<usize>()
             + self
                 .bitmap_indexes
                 .iter()
-                .map(BitmapIndex::memory_bytes)
+                .map(|i| i.memory_bytes())
                 .sum::<usize>()
     }
 
@@ -665,6 +706,62 @@ mod tests {
             .list(fg.accounts[4], &[wire])
             .iter()
             .any(|(x, _)| x == t19));
+    }
+
+    #[test]
+    fn clone_shares_artifacts_until_written() {
+        let (mut g, mut store, fg) = fixture();
+        store
+            .create_vertex_index(
+                &g,
+                "VPt",
+                IndexDirections::Fw,
+                OneHopView::new(ViewPredicate::always_true()).unwrap(),
+                IndexSpec::default_primary(),
+            )
+            .unwrap();
+        let snapshot = store.clone();
+        assert!(Arc::ptr_eq(&snapshot.primary, &store.primary));
+        assert!(Arc::ptr_eq(
+            &snapshot.vertex_indexes[0],
+            &store.vertex_indexes[0]
+        ));
+        // A reconfigure swaps in fresh artifacts; the clone keeps the old
+        // ones untouched (rebuild-and-swap, never mutate-in-place).
+        let curr = g
+            .catalog()
+            .property(PropertyEntity::Edge, "currency")
+            .unwrap();
+        store
+            .reconfigure_primary(
+                &g,
+                IndexSpec::default().with_partitioning(vec![
+                    crate::spec::PartitionKey::EdgeLabel,
+                    crate::spec::PartitionKey::EdgeProp(curr),
+                ]),
+            )
+            .unwrap();
+        assert!(!Arc::ptr_eq(&snapshot.primary, &store.primary));
+        assert_eq!(snapshot.primary().spec().partitioning.len(), 1);
+        assert_eq!(store.primary().spec().partitioning.len(), 2);
+        // Maintenance on the head unshares what it dirties; the clone
+        // still answers from its own version.
+        let before = snapshot
+            .primary()
+            .index(Direction::Fwd)
+            .region(fg.accounts[0])
+            .len();
+        let e = g.add_edge(fg.accounts[0], fg.accounts[1], "W").unwrap();
+        store.insert_edge(&g, e);
+        assert_eq!(
+            snapshot
+                .primary()
+                .index(Direction::Fwd)
+                .region(fg.accounts[0])
+                .len(),
+            before,
+            "the cloned snapshot never sees the head's insert"
+        );
     }
 
     #[test]

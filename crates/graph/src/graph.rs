@@ -7,6 +7,8 @@
 //! time-ordered edge streams (the running example's `t_i.date < t_j.date if
 //! i < j`).
 
+use std::sync::Arc;
+
 use aplus_common::{Bitmap, EdgeId, EdgeLabelId, PropertyId, VertexId, VertexLabelId};
 
 use crate::catalog::{Catalog, PropertyEntity, PropertyKind};
@@ -26,17 +28,25 @@ pub enum Value<'a> {
 }
 
 /// The property graph store.
+///
+/// Every heavyweight piece — the catalog, the topology columns, each
+/// property column — sits behind an `Arc` with copy-on-write mutation:
+/// cloning a graph is a handful of reference-count bumps, and a clone
+/// only deep-copies the pieces a later write dirties (a property update
+/// copies that one column; a topology write copies the edge table). This
+/// is what lets the service layer publish immutable graph snapshots
+/// cheaply while a writer keeps mutating its private head.
 #[derive(Debug, Default, Clone)]
 pub struct Graph {
-    catalog: Catalog,
-    vertex_labels: Vec<VertexLabelId>,
-    edge_srcs: Vec<VertexId>,
-    edge_dsts: Vec<VertexId>,
-    edge_labels: Vec<EdgeLabelId>,
+    catalog: Arc<Catalog>,
+    vertex_labels: Arc<Vec<VertexLabelId>>,
+    edge_srcs: Arc<Vec<VertexId>>,
+    edge_dsts: Arc<Vec<VertexId>>,
+    edge_labels: Arc<Vec<EdgeLabelId>>,
     /// Tombstones for deleted edges (§IV-C).
-    edge_deleted: Bitmap,
-    vertex_props: Vec<PropertyColumn>,
-    edge_props: Vec<PropertyColumn>,
+    edge_deleted: Arc<Bitmap>,
+    vertex_props: Vec<Arc<PropertyColumn>>,
+    edge_props: Vec<Arc<PropertyColumn>>,
 }
 
 impl Graph {
@@ -53,8 +63,10 @@ impl Graph {
     }
 
     /// Mutable access to the catalog (index DDL needs to intern constants).
+    /// Copy-on-write: when the catalog is shared with a snapshot, the
+    /// first mutable access clones it for this graph.
     pub fn catalog_mut(&mut self) -> &mut Catalog {
-        &mut self.catalog
+        Arc::make_mut(&mut self.catalog)
     }
 
     /// Number of vertices.
@@ -152,9 +164,9 @@ impl Graph {
 
     /// Adds a vertex with the given label name, returning its ID.
     pub fn add_vertex(&mut self, label: &str) -> VertexId {
-        let lid = self.catalog.intern_vertex_label(label);
+        let lid = Arc::make_mut(&mut self.catalog).intern_vertex_label(label);
         let v = VertexId(u32::try_from(self.vertex_labels.len()).expect("vertex id overflow"));
-        self.vertex_labels.push(lid);
+        Arc::make_mut(&mut self.vertex_labels).push(lid);
         v
     }
 
@@ -174,12 +186,12 @@ impl Graph {
         if dst.index() >= self.vertex_count() {
             return Err(GraphError::VertexOutOfRange(dst.raw()));
         }
-        let lid = self.catalog.intern_edge_label(label);
+        let lid = Arc::make_mut(&mut self.catalog).intern_edge_label(label);
         let e = EdgeId(self.edge_srcs.len() as u64);
-        self.edge_srcs.push(src);
-        self.edge_dsts.push(dst);
-        self.edge_labels.push(lid);
-        self.edge_deleted.push(false);
+        Arc::make_mut(&mut self.edge_srcs).push(src);
+        Arc::make_mut(&mut self.edge_dsts).push(dst);
+        Arc::make_mut(&mut self.edge_labels).push(lid);
+        Arc::make_mut(&mut self.edge_deleted).push(false);
         Ok(e)
     }
 
@@ -189,7 +201,7 @@ impl Graph {
         if e.index() >= self.edge_count() {
             return Err(GraphError::EdgeOutOfRange(e.raw()));
         }
-        self.edge_deleted.set(e.index(), true);
+        Arc::make_mut(&mut self.edge_deleted).set(e.index(), true);
         Ok(())
     }
 
@@ -200,13 +212,13 @@ impl Graph {
         name: &str,
         kind: PropertyKind,
     ) -> Result<PropertyId, GraphError> {
-        let pid = self.catalog.register_property(entity, name, kind)?;
+        let pid = Arc::make_mut(&mut self.catalog).register_property(entity, name, kind)?;
         let cols = match entity {
             PropertyEntity::Vertex => &mut self.vertex_props,
             PropertyEntity::Edge => &mut self.edge_props,
         };
         while cols.len() <= pid.index() {
-            cols.push(PropertyColumn::default());
+            cols.push(Arc::default());
         }
         Ok(pid)
     }
@@ -226,6 +238,8 @@ impl Graph {
             .vertex_props
             .get_mut(pid.index())
             .ok_or_else(|| GraphError::UnknownProperty(format!("{pid:?}")))?;
+        // Copy-on-write: only the column being written is unshared.
+        let col = Arc::make_mut(col);
         match encoded {
             Some(raw) => col.set(v.index(), raw),
             None => col.set_null(v.index()),
@@ -248,6 +262,7 @@ impl Graph {
             .edge_props
             .get_mut(pid.index())
             .ok_or_else(|| GraphError::UnknownProperty(format!("{pid:?}")))?;
+        let col = Arc::make_mut(col);
         match encoded {
             Some(raw) => col.set(e.index(), raw),
             None => col.set_null(e.index()),
@@ -273,24 +288,26 @@ impl Graph {
                 actual: "Str",
             }),
             (PropertyKind::Categorical, Value::Str(s)) => {
-                let code = self.catalog.encode_categorical(entity, pid, s)?;
+                let code = Arc::make_mut(&mut self.catalog).encode_categorical(entity, pid, s)?;
                 Ok(Some(i64::from(code)))
             }
             (PropertyKind::Categorical, Value::Int(i)) => {
                 // Integers are valid categorical values (§III-A1 allows
                 // "integers or enums"); encode through the dictionary so the
                 // domain stays dense.
-                let code = self
-                    .catalog
-                    .encode_categorical(entity, pid, &i.to_string())?;
+                let code = Arc::make_mut(&mut self.catalog).encode_categorical(
+                    entity,
+                    pid,
+                    &i.to_string(),
+                )?;
                 Ok(Some(i64::from(code)))
             }
-            (PropertyKind::Text, Value::Str(s)) => {
-                Ok(Some(i64::from(self.catalog.intern_string(s))))
-            }
-            (PropertyKind::Text, Value::Int(i)) => {
-                Ok(Some(i64::from(self.catalog.intern_string(&i.to_string()))))
-            }
+            (PropertyKind::Text, Value::Str(s)) => Ok(Some(i64::from(
+                Arc::make_mut(&mut self.catalog).intern_string(s),
+            ))),
+            (PropertyKind::Text, Value::Int(i)) => Ok(Some(i64::from(
+                Arc::make_mut(&mut self.catalog).intern_string(&i.to_string()),
+            ))),
         }
     }
 
@@ -306,7 +323,7 @@ impl Graph {
             .vertex_props
             .iter()
             .chain(self.edge_props.iter())
-            .map(PropertyColumn::memory_bytes)
+            .map(|c| c.memory_bytes())
             .sum();
         topo + props
     }
@@ -471,6 +488,37 @@ mod tests {
         let mut g = sample();
         let amt = g.catalog().property(PropertyEntity::Edge, "amt").unwrap();
         assert!(g.set_edge_prop(EdgeId(0), amt, Value::Str("oops")).is_err());
+    }
+
+    #[test]
+    fn clone_shares_until_written() {
+        let g = sample();
+        let mut head = g.clone();
+        // A fresh clone shares every artifact (reference-count bumps only).
+        assert!(Arc::ptr_eq(&g.catalog, &head.catalog));
+        assert!(Arc::ptr_eq(&g.edge_srcs, &head.edge_srcs));
+        assert!(Arc::ptr_eq(&g.edge_deleted, &head.edge_deleted));
+        for (a, b) in g.edge_props.iter().zip(&head.edge_props) {
+            assert!(Arc::ptr_eq(a, b));
+        }
+        // Writing one property column unshares exactly that column…
+        let amt = g.catalog().property(PropertyEntity::Edge, "amt").unwrap();
+        head.set_edge_prop(EdgeId(0), amt, Value::Int(99)).unwrap();
+        assert!(!Arc::ptr_eq(
+            &g.edge_props[amt.index()],
+            &head.edge_props[amt.index()]
+        ));
+        assert!(
+            Arc::ptr_eq(&g.edge_srcs, &head.edge_srcs),
+            "topology still shared"
+        );
+        // …and the original graph is untouched.
+        assert_eq!(g.edge_prop(EdgeId(0), amt), Some(50));
+        assert_eq!(head.edge_prop(EdgeId(0), amt), Some(99));
+        // Topology writes unshare the edge table, not the other clone.
+        head.delete_edge(EdgeId(1)).unwrap();
+        assert_eq!(head.live_edge_count(), 1);
+        assert_eq!(g.live_edge_count(), 2);
     }
 
     #[test]

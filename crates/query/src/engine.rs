@@ -1,8 +1,11 @@
 //! The `Database` facade: graph + index store + parser + optimizer +
 //! executor in one handle — plus the concurrent service layer,
-//! [`SharedDatabase`], which lets any number of reader threads execute
-//! queries (`&self`, morsel-parallel) while writes, DDL and flushes
-//! serialize through an explicit writer handle.
+//! [`SharedDatabase`], which publishes immutable database [`Snapshot`]s
+//! under epoch-based versioning: any number of reader threads execute
+//! queries (`&self`, morsel-parallel) against a pinned snapshot and
+//! **never block behind a writer**, while writes, DDL and flushes build
+//! the next version off to the side through an explicit writer handle and
+//! publish it with a single pointer swap.
 //!
 //! This is the API the examples and benchmarks use:
 //!
@@ -14,15 +17,16 @@
 //! let wires = db.count("MATCH a-[r:W]->b").unwrap();
 //! assert_eq!(wires, 9);
 //!
-//! // The concurrent service layer: cloneable, Send + Sync, readers don't
-//! // block each other, and queries run morsel-parallel on the pool.
+//! // The concurrent service layer: cloneable, Send + Sync, readers pin
+//! // immutable snapshots (no reader/writer lock at all), and queries run
+//! // morsel-parallel on the pool.
 //! let shared = db.into_shared();
 //! let handle = shared.clone();
 //! assert_eq!(handle.count("MATCH a-[r:W]->b").unwrap(), 9);
 //! ```
 
 use std::ops::{Deref, DerefMut};
-use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use aplus_common::EdgeId;
 use aplus_core::{IndexSpec, IndexStore};
@@ -60,7 +64,15 @@ pub enum DdlOutcome {
 }
 
 /// A read-optimized graph database with A+ indexes.
-#[derive(Debug)]
+///
+/// Cloning is cheap: every heavyweight artifact (catalog, topology
+/// columns, property columns, primary CSR pair, secondary indexes) sits
+/// behind an `Arc`, so a clone is reference-count bumps — O(artifact
+/// *count*), not O(index memory). Artifacts are deep-copied lazily, each
+/// at most once per clone, at its first mutation (`Arc::make_mut`) — this
+/// is what makes [`SharedDatabase`]'s snapshot publication affordable: a
+/// writer's head costs only the artifacts its batch actually dirties.
+#[derive(Debug, Clone)]
 pub struct Database {
     graph: Graph,
     store: IndexStore,
@@ -315,37 +327,133 @@ impl Database {
     }
 }
 
-/// The concurrent service layer over a [`Database`].
+/// An immutable, pinned version of the database published by a
+/// [`SharedDatabase`].
+///
+/// A snapshot is an `Arc` over one committed database version: cloning it
+/// is a reference-count bump, holding it costs nothing to anyone else, and
+/// it dereferences to [`Database`], so the whole `&self` query API
+/// (`count`, `collect`, `stream`, `prepare`, plan inspection, memory
+/// reporting) runs against it. Everything observed through one snapshot is
+/// **transactionally consistent**: the version it pins was published by a
+/// single pointer swap after the writer finished, and no later write ever
+/// mutates it.
+///
+/// Snapshots decouple reader lifetime from writer progress — a reader may
+/// keep a snapshot pinned across an arbitrarily long drain while writers
+/// publish any number of newer versions. The pinned version's memory is
+/// reclaimed when the last snapshot referencing it drops.
+#[derive(Debug, Clone)]
+#[must_use]
+pub struct Snapshot {
+    inner: Arc<Version>,
+}
+
+#[derive(Debug)]
+struct Version {
+    epoch: u64,
+    db: Database,
+}
+
+impl Snapshot {
+    /// The epoch this snapshot pins: 0 for the initial database, +1 per
+    /// committed write batch. Strictly monotone across publications, so
+    /// two snapshots of one [`SharedDatabase`] compare by age.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.inner.epoch
+    }
+}
+
+impl Deref for Snapshot {
+    type Target = Database;
+
+    fn deref(&self) -> &Database {
+        &self.inner.db
+    }
+}
+
+/// The concurrent service layer over a [`Database`]: epoch-based snapshot
+/// publication.
 ///
 /// Cloning is cheap (an `Arc` bump) and every clone addresses the same
 /// database, so a server can hand one handle per connection:
 ///
-/// * **Reads scale out.** [`SharedDatabase::count`] & friends take a shared
-///   read lock, so any number of threads query concurrently; each query
-///   additionally runs morsel-parallel on the handle's [`MorselPool`].
-/// * **Writes serialize.** Mutation (inserts, deletes, DDL,
-///   `RECONFIGURE`, flushes) goes through [`SharedDatabase::writer`], which
-///   takes the exclusive write lock for the lifetime of the returned
-///   handle. Readers observe either the pre- or post-write state, never a
-///   partial one.
+/// * **Reads never block.** [`SharedDatabase::count`] & friends pin the
+///   current [`Snapshot`] — an `Arc` load, never a lock held across
+///   execution — and run morsel-parallel on the handle's [`MorselPool`].
+///   A reader is never delayed by a writer, not even by a full
+///   `RECONFIGURE` rebuild in flight.
+/// * **Writes serialize, then publish.** Mutation (inserts, deletes, DDL,
+///   `RECONFIGURE`, flushes) goes through [`SharedDatabase::writer`]: the
+///   returned handle owns a private mutable head (initialized from the
+///   latest snapshot) and dereferences to `&mut Database`. When the handle
+///   drops, the head is committed as the next epoch's snapshot with a
+///   single pointer swap. Readers observe either the pre- or post-commit
+///   version, never a partial one.
+///
+/// Memory bound: at most `live snapshots + in-flight writer heads`
+/// database versions exist at once — in the steady state exactly one, and
+/// each old version is freed the moment its last pinned snapshot drops.
+/// [`Database`]'s copy-on-write internals mean distinct versions share
+/// every artifact the write batch did not dirty.
 ///
 /// Plans prepared via [`SharedDatabase::prepare`] reference indexes by
-/// name; execute them only while the index configuration is unchanged
-/// (the string-query paths plan and execute under one read lock, so they
-/// are always safe).
+/// name; execute them against a snapshot of the same index configuration
+/// (hold the [`Snapshot`] from prepare time and call
+/// [`Database::count_prepared_parallel`] on it — the string-query paths
+/// plan and execute against one pinned snapshot, so they are always
+/// safe).
 ///
-/// # Panics
+/// # Writer panics
 ///
-/// A `std` `RwLock` is poisoned only when a *write* guard is dropped
-/// during a panic — i.e. exactly when a mutation may have been applied
-/// halfway. Reader panics never poison the lock, so readers crashing never
-/// take the service down; but once a writer has panicked mid-mutation,
-/// every subsequent access (read or write) panics rather than silently
-/// serving a possibly half-mutated database.
+/// A writer that panics mid-mutation takes its private head down with it:
+/// nothing is published, the last committed snapshot keeps serving, and
+/// subsequent reads *and* writes proceed normally. There is no lock
+/// poisoning anywhere in this type — the old `RwLock`-based service layer
+/// panicked on every access after a writer crash; snapshot publication
+/// makes a half-mutated database unobservable by construction.
 #[derive(Debug, Clone)]
 pub struct SharedDatabase {
-    inner: Arc<RwLock<Database>>,
+    state: Arc<SharedState>,
     pool: MorselPool,
+}
+
+#[derive(Debug)]
+struct SharedState {
+    /// The published head. Locked only for the pointer copy (pin) or the
+    /// pointer swap (publish) — never while a query executes or a writer
+    /// builds, so the hold time is O(1) and readers never queue behind
+    /// index rebuilds.
+    published: Mutex<Snapshot>,
+    /// Serializes writers. Held for the whole build-and-publish cycle of
+    /// one write batch; readers never touch it.
+    write_gate: Mutex<()>,
+}
+
+/// Poison recovery: every critical section over these mutexes replaces
+/// whole values (an `Arc` pointer, a unit), so a panic inside one cannot
+/// leave torn state — recovering the guard is always sound.
+fn recover<'a, T>(
+    r: Result<MutexGuard<'a, T>, PoisonError<MutexGuard<'a, T>>>,
+) -> MutexGuard<'a, T> {
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+impl SharedState {
+    fn pin(&self) -> Snapshot {
+        recover(self.published.lock()).clone()
+    }
+
+    fn publish(&self, db: Database, epoch: u64) {
+        let next = Snapshot {
+            inner: Arc::new(Version { epoch, db }),
+        };
+        let prev = std::mem::replace(&mut *recover(self.published.lock()), next);
+        // Drop the displaced version *outside* the lock: if this was its
+        // last pin, deallocating a large database must not delay readers.
+        drop(prev);
+    }
 }
 
 impl SharedDatabase {
@@ -360,7 +468,12 @@ impl SharedDatabase {
     #[must_use]
     pub fn with_pool(db: Database, pool: MorselPool) -> Self {
         Self {
-            inner: Arc::new(RwLock::new(db)),
+            state: Arc::new(SharedState {
+                published: Mutex::new(Snapshot {
+                    inner: Arc::new(Version { epoch: 0, db }),
+                }),
+                write_gate: Mutex::new(()),
+            }),
             pool,
         }
     }
@@ -371,117 +484,188 @@ impl SharedDatabase {
         &self.pool
     }
 
-    /// Parses, optimizes and executes a `MATCH` query morsel-parallel
-    /// under a shared read lock; returns the number of matches.
-    pub fn count(&self, query: &str) -> Result<u64, QueryError> {
-        self.read().count_parallel(query, &self.pool)
+    /// Pins the currently published [`Snapshot`]. Never blocks behind a
+    /// writer (the publication cell is locked only for pointer swaps);
+    /// queries issued through the snapshot are immune to concurrent
+    /// writes, including `RECONFIGURE` rebuilds.
+    pub fn snapshot(&self) -> Snapshot {
+        self.state.pin()
     }
 
-    /// Executes and collects up to `limit` rows morsel-parallel under a
-    /// shared read lock. The row sequence is identical to a sequential
+    /// The epoch of the currently published snapshot: 0 initially, +1 per
+    /// committed write batch.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.snapshot().epoch()
+    }
+
+    /// Parses, optimizes and executes a `MATCH` query morsel-parallel
+    /// against the current snapshot; returns the number of matches.
+    pub fn count(&self, query: &str) -> Result<u64, QueryError> {
+        self.snapshot().count_parallel(query, &self.pool)
+    }
+
+    /// Executes and collects up to `limit` rows morsel-parallel against
+    /// the current snapshot. The row sequence is identical to a sequential
     /// collect at any pool size.
     pub fn collect(&self, query: &str, limit: usize) -> Result<Vec<RawRow>, QueryError> {
-        self.read().collect_parallel(query, limit, &self.pool)
+        self.snapshot().collect_parallel(query, limit, &self.pool)
     }
 
-    /// Streams up to `limit` rows into `sink` morsel-parallel under a
-    /// shared read lock, which is held until the stream completes — the
-    /// consumer observes one consistent snapshot (no torn rows), and
-    /// writers block until every in-flight stream finishes. Pair with
+    /// Streams up to `limit` rows into `sink` morsel-parallel against one
+    /// pinned snapshot, held for the whole drain — the consumer observes
+    /// one transactionally consistent version (no torn rows), **and**
+    /// writers are completely unaffected: they keep committing new epochs
+    /// while the stream drains the old one. Pair with
     /// [`crate::sink::row_channel`] to drain from another thread with
     /// bounded buffering.
     ///
-    /// # Snapshot isolation vs. writer latency
+    /// # Snapshot isolation is a guarantee, not a trade-off
     ///
-    /// Snapshot consistency comes *from the lock*: the read lock pins the
-    /// database for as long as the producing query runs, so a consumer
-    /// that drains slowly **directly inside the sink** (e.g. writing each
-    /// row to a blocking socket) extends the lock hold and stalls
-    /// writers. Services should decouple production from consumption —
-    /// hand the stream a bounded [`crate::sink::row_channel`] and drain
-    /// on another thread, cancelling (dropping the receiver) when the
-    /// consumer falls too far behind; then the lock is held only while
-    /// rows are *produced* into the bounded buffer, and a slow consumer
-    /// costs at most buffer-fill + cancellation latency, not an unbounded
-    /// drain (this is what `aplus_server` does, with a write timeout as
-    /// the cancellation trigger). The residual trade-off: a cancelled
-    /// stream is truncated, and writers can still wait for up to one
-    /// buffer's worth of production — decoupling those fully needs
-    /// epoch-based index snapshots (see ROADMAP "Writer throughput").
+    /// Under the old lock-based service layer, a slow consumer draining
+    /// directly inside the sink extended a read-lock hold and stalled
+    /// writers; services had to bound the drain with buffer + timeout
+    /// machinery. With epoch-based publication the consistency comes from
+    /// the pinned snapshot itself: an arbitrarily slow drain costs
+    /// writers nothing. The only price of a long-pinned stream is memory
+    /// — the pinned version stays live (sharing all undirtied artifacts
+    /// with newer versions) until the stream finishes, so servers may
+    /// still want disconnect-cancellation to reclaim abandoned streams
+    /// (as `aplus_server` does with its write timeout).
     pub fn stream(
         &self,
         query: &str,
         limit: usize,
         sink: &mut dyn RowSink,
     ) -> Result<(), QueryError> {
-        self.read().stream(query, limit, &self.pool, sink)
+        let snapshot = self.snapshot(); // pinned for the whole drain
+        snapshot.stream(query, limit, &self.pool, sink)
     }
 
-    /// Parses, binds and optimizes a query under a shared read lock.
+    /// Applies one DDL statement **transactionally**: the statement runs
+    /// on a private head and commits as the next epoch only on success.
+    /// Any failure — a parse error, an invalid spec, a duplicate index
+    /// name, a `RECONFIGURE` that fails halfway through its secondary
+    /// rebuilds — aborts the batch and publishes nothing, so readers can
+    /// never observe a partially applied statement (and no redundant
+    /// epoch is published for a statement that did nothing). Prefer this
+    /// over `writer().ddl(..)` unless the DDL is part of a larger batch
+    /// whose error handling you manage yourself via
+    /// [`DatabaseWriteGuard::abort`].
+    pub fn ddl(&self, statement: &str) -> Result<DdlOutcome, QueryError> {
+        let mut w = self.writer();
+        match w.ddl(statement) {
+            Ok(outcome) => Ok(outcome), // dropping `w` commits the epoch
+            Err(e) => {
+                w.abort();
+                Err(e)
+            }
+        }
+    }
+
+    /// Parses, binds and optimizes a query against the current snapshot.
     pub fn prepare(&self, query: &str) -> Result<(QueryGraph, Plan), QueryError> {
-        self.read().prepare(query)
+        self.snapshot().prepare(query)
     }
 
-    /// Executes a pre-bound query morsel-parallel under a shared read
-    /// lock. See the type docs for the plan-validity caveat.
+    /// Executes a pre-bound query morsel-parallel against the current
+    /// snapshot. See the type docs for the plan-validity caveat.
     #[must_use]
     pub fn count_prepared(&self, query: &QueryGraph, plan: &Plan) -> u64 {
-        self.read().count_prepared_parallel(query, plan, &self.pool)
+        self.snapshot()
+            .count_prepared_parallel(query, plan, &self.pool)
     }
 
-    /// A shared read guard over the underlying [`Database`] for any other
-    /// `&self` access (plan inspection, memory reporting, raw stores).
-    /// Concurrent readers do not block each other. Panics if a writer
-    /// previously panicked mid-mutation (see the type docs).
-    pub fn read(&self) -> DatabaseReadGuard<'_> {
-        DatabaseReadGuard(
-            self.inner
-                .read()
-                .expect("database poisoned: a writer panicked mid-mutation"),
-        )
+    /// Pins the current snapshot for any other `&self` access (plan
+    /// inspection, memory reporting, raw stores). Alias of
+    /// [`SharedDatabase::snapshot`], kept so pre-snapshot call sites read
+    /// naturally; concurrent readers never block each other or writers.
+    pub fn read(&self) -> Snapshot {
+        self.snapshot()
     }
 
-    /// The exclusive writer handle: all mutation — `insert_edge`,
-    /// `delete_edge`, `ddl`, `flush` — goes through the returned guard,
-    /// which dereferences to `&mut Database`. Blocks until in-flight
-    /// readers finish; blocks new readers until dropped. Panics if a
-    /// previous writer panicked mid-mutation (see the type docs).
+    /// The serialized writer handle: all mutation — `insert_edge`,
+    /// `delete_edge`, `ddl`, `flush` — goes through the returned handle,
+    /// which dereferences to `&mut Database` (a private head initialized
+    /// from the latest snapshot). Blocks only behind *other writers*;
+    /// in-flight readers are unaffected and new readers keep pinning the
+    /// previous epoch until the handle drops, which commits the head as
+    /// the next epoch in one pointer swap.
+    ///
+    /// Batch naturally: every mutation through one handle publishes as a
+    /// single atomic version change, and the per-batch cost (one
+    /// copy-on-write head initialization) amortizes over the batch. Use
+    /// [`DatabaseWriteGuard::abort`] to discard the head instead of
+    /// committing; a panic while the handle is live discards it too.
     pub fn writer(&self) -> DatabaseWriteGuard<'_> {
-        DatabaseWriteGuard(
-            self.inner
-                .write()
-                .expect("database poisoned: a writer panicked mid-mutation"),
-        )
+        let gate = recover(self.state.write_gate.lock());
+        let base = self.state.pin();
+        DatabaseWriteGuard {
+            head: Some(base.inner.db.clone()),
+            next_epoch: base.epoch() + 1,
+            state: &self.state,
+            _gate: gate,
+        }
     }
 }
 
-/// Shared read access to the database behind a [`SharedDatabase`].
+/// Exclusive write access to the database behind a [`SharedDatabase`]:
+/// a writer-owned mutable head, committed as the next snapshot epoch when
+/// the guard drops (unless [`DatabaseWriteGuard::abort`]ed or unwound by
+/// a panic — then the head is discarded and nothing is published).
 #[must_use]
-pub struct DatabaseReadGuard<'a>(RwLockReadGuard<'a, Database>);
-
-impl Deref for DatabaseReadGuard<'_> {
-    type Target = Database;
-
-    fn deref(&self) -> &Database {
-        &self.0
-    }
+pub struct DatabaseWriteGuard<'a> {
+    /// The mutable head; `None` after an abort (nothing to publish).
+    head: Option<Database>,
+    next_epoch: u64,
+    state: &'a SharedState,
+    _gate: MutexGuard<'a, ()>,
 }
 
-/// Exclusive write access to the database behind a [`SharedDatabase`].
-#[must_use]
-pub struct DatabaseWriteGuard<'a>(RwLockWriteGuard<'a, Database>);
+impl DatabaseWriteGuard<'_> {
+    /// The epoch this write batch will publish as when the guard drops.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.next_epoch
+    }
+
+    /// Discards every mutation made through this guard: the head is
+    /// dropped, nothing is published, and readers keep the previous
+    /// epoch. The transactional escape hatch for multi-statement batches
+    /// that fail halfway.
+    pub fn abort(mut self) {
+        self.head = None;
+    }
+}
 
 impl Deref for DatabaseWriteGuard<'_> {
     type Target = Database;
 
     fn deref(&self) -> &Database {
-        &self.0
+        self.head.as_ref().expect("head present until drop/abort")
     }
 }
 
 impl DerefMut for DatabaseWriteGuard<'_> {
     fn deref_mut(&mut self) -> &mut Database {
-        &mut self.0
+        self.head.as_mut().expect("head present until drop/abort")
+    }
+}
+
+impl Drop for DatabaseWriteGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(head) = self.head.take() {
+            if std::thread::panicking() {
+                // A writer crash mid-mutation: the half-mutated head dies
+                // here, unpublished. Readers and future writers never see
+                // it — the snapshot analogue of (and the replacement for)
+                // lock poisoning.
+                return;
+            }
+            self.state.publish(head, self.next_epoch);
+        }
+        // The write gate releases after the publish (field drop order),
+        // so the next writer's head always starts from this commit.
     }
 }
 
@@ -707,6 +891,140 @@ mod tests {
     fn shared_database_is_send_sync() {
         fn assert_send_sync<T: Send + Sync + Clone>() {}
         assert_send_sync::<SharedDatabase>();
+        assert_send_sync::<Snapshot>();
+    }
+
+    #[test]
+    fn epochs_advance_per_write_batch() {
+        let shared = db().into_shared();
+        assert_eq!(shared.epoch(), 0);
+        shared
+            .writer()
+            .insert_edge(VertexId(0), VertexId(2), "W", &[])
+            .unwrap();
+        assert_eq!(shared.epoch(), 1, "one guard = one epoch");
+        {
+            let mut w = shared.writer();
+            assert_eq!(w.epoch(), 2, "the epoch this batch will publish as");
+            w.insert_edge(VertexId(0), VertexId(3), "W", &[]).unwrap();
+            w.flush();
+            w.ddl("RECONFIGURE PRIMARY INDEXES PARTITION BY eadj.label SORT BY vnbr.ID")
+                .unwrap();
+        }
+        assert_eq!(shared.epoch(), 2, "a whole batch publishes once");
+    }
+
+    #[test]
+    fn snapshots_pin_their_version_across_later_writes() {
+        let shared = db().into_shared();
+        let before = shared.snapshot();
+        shared
+            .writer()
+            .insert_edge(VertexId(0), VertexId(2), "W", &[])
+            .unwrap();
+        let after = shared.snapshot();
+        // The pinned snapshot still answers from its own epoch…
+        assert_eq!(before.epoch(), 0);
+        assert_eq!(before.count("MATCH a-[r:W]->b").unwrap(), 9);
+        // …while new pins see the committed write.
+        assert_eq!(after.epoch(), 1);
+        assert_eq!(after.count("MATCH a-[r:W]->b").unwrap(), 10);
+    }
+
+    #[test]
+    fn abort_discards_the_write_batch() {
+        let shared = db().into_shared();
+        let mut w = shared.writer();
+        w.insert_edge(VertexId(0), VertexId(2), "W", &[]).unwrap();
+        w.insert_edge(VertexId(0), VertexId(3), "W", &[]).unwrap();
+        w.abort();
+        assert_eq!(shared.epoch(), 0, "aborted batches publish nothing");
+        assert_eq!(shared.count("MATCH a-[r:W]->b").unwrap(), 9);
+        // The service stays fully writable afterwards.
+        shared
+            .writer()
+            .insert_edge(VertexId(0), VertexId(2), "W", &[])
+            .unwrap();
+        assert_eq!(shared.count("MATCH a-[r:W]->b").unwrap(), 10);
+    }
+
+    #[test]
+    fn failed_shared_ddl_publishes_nothing() {
+        let shared = db().into_shared();
+        // A parse failure aborts: no epoch for an error.
+        assert!(shared.ddl("MATCH a-[r]->b").is_err());
+        assert_eq!(shared.epoch(), 0);
+        // A successful statement commits one epoch…
+        shared
+            .ddl(
+                "CREATE 1-HOP VIEW V MATCH vs-[eadj]->vd \
+                 INDEX AS FW PARTITION BY eadj.label SORT BY vnbr.ID",
+            )
+            .unwrap();
+        assert_eq!(shared.epoch(), 1);
+        // …and a duplicate-name failure aborts again, leaving the last
+        // committed version (with exactly one V index) untouched.
+        assert!(shared
+            .ddl(
+                "CREATE 1-HOP VIEW V MATCH vs-[eadj]->vd \
+                 INDEX AS FW PARTITION BY eadj.label SORT BY vnbr.ID",
+            )
+            .is_err());
+        assert_eq!(shared.epoch(), 1);
+        assert_eq!(shared.count("MATCH a-[r:W]->b").unwrap(), 9);
+    }
+
+    #[test]
+    fn writer_panic_discards_the_head_and_poisons_nothing() {
+        let shared = db().into_shared();
+        let crasher = {
+            let handle = shared.clone();
+            std::thread::spawn(move || {
+                let mut w = handle.writer();
+                w.insert_edge(VertexId(0), VertexId(2), "W", &[]).unwrap();
+                panic!("simulated writer crash mid-mutation");
+            })
+        };
+        assert!(crasher.join().is_err(), "the writer thread panicked");
+        // The half-mutated head died unpublished: reads serve the last
+        // committed epoch, and both reads and writes keep working.
+        assert_eq!(shared.epoch(), 0);
+        assert_eq!(shared.count("MATCH a-[r:W]->b").unwrap(), 9);
+        shared
+            .writer()
+            .insert_edge(VertexId(0), VertexId(2), "W", &[])
+            .unwrap();
+        assert_eq!(shared.count("MATCH a-[r:W]->b").unwrap(), 10);
+    }
+
+    #[test]
+    fn readers_complete_while_a_writer_holds_the_gate() {
+        // Deterministic non-blocking proof: a reader must finish while the
+        // write gate is held (under the old RwLock layer this deadlocked —
+        // the count would queue behind the write guard).
+        let shared = db().into_shared();
+        let (ready_tx, ready_rx) = std::sync::mpsc::channel();
+        let (done_tx, done_rx) = std::sync::mpsc::channel();
+        let writer = {
+            let handle = shared.clone();
+            std::thread::spawn(move || {
+                let mut w = handle.writer();
+                w.insert_edge(VertexId(0), VertexId(2), "W", &[]).unwrap();
+                ready_tx.send(()).unwrap();
+                // Hold the uncommitted batch until the reader proves it
+                // finished without us.
+                done_rx.recv().unwrap();
+            })
+        };
+        ready_rx.recv().unwrap();
+        assert_eq!(
+            shared.count("MATCH a-[r:W]->b").unwrap(),
+            9,
+            "reads run against the published epoch while the batch is open"
+        );
+        done_tx.send(()).unwrap();
+        writer.join().unwrap();
+        assert_eq!(shared.count("MATCH a-[r:W]->b").unwrap(), 10);
     }
 
     #[test]

@@ -18,7 +18,9 @@
 //!   plans with **i-cost** (estimated total adjacency-list entries touched).
 //! * [`engine`] — a `Database` facade tying graph + index store + parser +
 //!   optimizer + executor together, and the concurrent `SharedDatabase`
-//!   service layer (many parallel readers, serialized writer).
+//!   service layer: epoch-based snapshot publication (readers pin
+//!   immutable `Snapshot`s and never block behind writers; writers build
+//!   a private head and commit it with one pointer swap).
 //! * [`sink`] — push-based result streaming: the `RowSink` trait, the
 //!   collecting `VecSink`, and the bounded blocking `row_channel` for
 //!   draining a stream on another thread.
@@ -43,6 +45,6 @@ pub mod sink;
 
 pub use crate::query::{QueryGraph, QueryOperand, QueryPredicate};
 pub use aplus_runtime::MorselPool;
-pub use engine::{Database, DatabaseReadGuard, DatabaseWriteGuard, SharedDatabase};
+pub use engine::{Database, DatabaseWriteGuard, SharedDatabase, Snapshot};
 pub use error::QueryError;
 pub use sink::{row_channel, RawRow, RowChannelSink, RowReceiver, RowSink, TryNext, VecSink};

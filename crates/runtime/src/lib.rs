@@ -20,7 +20,11 @@
 //!
 //! Threads are scoped (`std::thread::scope`), which is what lets tasks
 //! borrow the graph and index store by reference: no `'static` bounds, no
-//! `Arc` plumbing through the executor.
+//! `Arc` plumbing through the executor. This composes directly with the
+//! service layer's epoch-based snapshots — the caller pins an immutable
+//! `Snapshot` on its stack for the duration of the pool call, every
+//! worker borrows from that one pinned version, and writers publishing
+//! newer versions concurrently never touch it.
 //!
 //! The worker count defaults to the machine's `available_parallelism` and
 //! can be overridden with the `APLUS_THREADS` environment variable (read

@@ -10,9 +10,14 @@
 //!   requests; structured error frames carrying `QueryError` spans).
 //! * [`server`] — a thread-per-connection accept loop over one
 //!   [`SharedDatabase`](aplus_query::SharedDatabase) (one shared
-//!   `MorselPool`, one writer lock), with
-//!   bounded streaming, slow-client disconnect-cancellation, and graceful
-//!   shutdown on an [`aplus_runtime::Shutdown`] signal.
+//!   `MorselPool`; reads pin snapshots and never block behind writers,
+//!   writers serialize through one write gate), with bounded streaming,
+//!   slow-client disconnect-cancellation, and graceful shutdown on an
+//!   [`aplus_runtime::Shutdown`] signal.
+//!
+//! The wire format is documented in full in `docs/PROTOCOL.md` at the
+//! repository root; the concurrency model behind the server (snapshot
+//! lifecycle, writer path, memory bound) is in `docs/ARCHITECTURE.md`.
 //! * [`client`] — the blocking [`Client`] plus the lazily-decoded
 //!   [`RowStream`] (dropping it mid-stream cancels the server-side
 //!   query).

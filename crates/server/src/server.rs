@@ -3,23 +3,29 @@
 //!
 //! Every connection handler holds a cheap [`SharedDatabase`] clone, so all
 //! queries of all clients execute on the **one shared** `MorselPool` and
-//! all mutation serializes through the one writer lock — the server adds
-//! no execution machinery of its own, only the wire.
+//! all mutation serializes through the one write gate — the server adds
+//! no execution machinery of its own, only the wire. Reads (`count`,
+//! `collect`, `stream`) pin an immutable database snapshot and **never
+//! wait on writers**: a `reconfigure` rebuilding every index delays no
+//! reader, and a reader crash can never poison anything.
 //!
 //! # Streaming and slow clients
 //!
 //! A `stream` request runs the query on a dedicated producer thread that
 //! pushes rows into a bounded [`aplus_query::sink::row_channel`]; the
 //! connection thread drains that channel into bounded `row_batch` frames.
-//! The read lock is therefore held only while rows are *produced* into
-//! the buffer — never for the client's whole drain. A client that stops
-//! reading eventually blocks the connection thread's socket write; after
+//! The producing query executes against one pinned snapshot, so the
+//! client observes a transactionally consistent result no matter how many
+//! writes commit mid-drain — and those writers are never delayed by the
+//! drain (the old read-lock hold is gone). A client that stops reading
+//! eventually blocks the connection thread's socket write; after
 //! [`ServerConfig::write_timeout`] the connection is dropped, which drops
 //! the channel receiver and cancels the producing query through the
-//! existing disconnect-cancellation path ([`std::ops::ControlFlow::Break`]
-//! from the sink), releasing the read lock. Writers consequently wait at
-//! most buffer-fill + one write timeout behind any stream, never
-//! indefinitely (see `SharedDatabase::stream`'s docs for the trade-off).
+//! disconnect-cancellation path ([`std::ops::ControlFlow::Break`] from
+//! the sink). With snapshots this timeout no longer protects writer
+//! latency — it reclaims the resources an abandoned stream would pin
+//! forever: a producer thread, a channel buffer, and the memory of the
+//! snapshot version it is draining.
 //!
 //! # Graceful shutdown
 //!
@@ -174,8 +180,10 @@ fn accept_loop(
                     std::thread::Builder::new()
                         .name("aplus-conn".into())
                         .spawn(move || {
-                            // A connection panic (e.g. a poisoned database)
-                            // kills only that connection.
+                            // A connection panic kills only that connection
+                            // (and, since readers pin snapshots and a
+                            // crashed writer's head is discarded
+                            // unpublished, never the database).
                             handle_connection(stream, &shared, &config, &shutdown);
                         });
                 match spawned {
@@ -300,7 +308,9 @@ fn handle_connection(
                 write_frame(&mut stream, &json).is_ok()
             }
             Request::Ddl { statement } => {
-                let resp = match shared.writer().ddl(&statement) {
+                // Transactional: a failed statement aborts its write
+                // batch, so no epoch is published for an error frame.
+                let resp = match shared.ddl(&statement) {
                     Ok(outcome) => Response::DdlOk { outcome },
                     Err(e) => Response::Error(WireError::from(&e)),
                 };
@@ -365,7 +375,7 @@ fn run_reconfigure(shared: &SharedDatabase, statement: &str) -> Response {
             offset: Some(start as u64),
         });
     }
-    match shared.writer().ddl(statement) {
+    match shared.ddl(statement) {
         Ok(outcome) => Response::DdlOk { outcome },
         Err(e) => Response::Error(WireError::from(&e)),
     }

@@ -28,7 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let addr = handle.local_addr();
     println!("server: listening on {addr} ({threads} worker threads)");
 
-    // ----- two clients, one server, shared pool + writer lock -------------
+    // ----- two clients, one server, shared pool + write gate --------------
     let two_hop = "MATCH a-[r:E0]->b-[s:E1]->c";
     let mut alice = Client::connect(addr)?;
     let mut bob = Client::connect(addr)?;
@@ -60,7 +60,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // the RowStream closes the connection, the server's next write fails,
     // and the producing query is cancelled through the same
     // disconnect-cancellation path an in-process dropped row_channel
-    // receiver uses — the read lock frees without draining the result.
+    // receiver uses — freeing the producer thread and its pinned
+    // snapshot without draining the result.
     let t = Instant::now();
     {
         let mut rows = bob.stream(two_hop, usize::MAX)?;
@@ -73,7 +74,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "bob:   took 5 rows and hung up in {:.4}s — the server cancelled his query",
         t.elapsed().as_secs_f64()
     );
-    // A writer gets through promptly (nothing pins the read lock).
+    // A writer gets through promptly (readers pin snapshots, so nothing
+    // ever queues a writer behind a drain).
     let t = Instant::now();
     shared.writer().insert_edge(
         aplus::common::VertexId(0),
@@ -82,7 +84,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &[],
     )?;
     println!(
-        "write: insert_edge landed {:.4}s after the hangup (no pinned read lock)",
+        "write: insert_edge landed {:.4}s after the hangup (readers never block writers)",
         t.elapsed().as_secs_f64()
     );
 

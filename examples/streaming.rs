@@ -54,8 +54,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // ----- streaming through a bounded channel ----------------------------
-    // The service layer holds a read lock per stream: each consumer sees
-    // one consistent snapshot while at most `capacity` rows are buffered.
+    // The service layer pins one immutable snapshot per stream: each
+    // consumer sees one consistent version (writers commit freely
+    // alongside) while at most `capacity` rows are buffered.
     let shared = SharedDatabase::with_pool(db, pool);
     let (mut tx, rx) = row_channel(64);
     let producer = {

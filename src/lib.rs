@@ -54,8 +54,11 @@
 //! `collect_parallel` concatenates per-morsel buffers in morsel order,
 //! and `stream` pushes rows into a [`RowSink`] (e.g. the bounded
 //! [`row_channel`]) without materializing the result. [`SharedDatabase`]
-//! serves many concurrent reader threads with writes serialized through
-//! an explicit writer handle:
+//! publishes immutable database [`Snapshot`]s under epoch-based
+//! versioning: readers pin the current snapshot and **never block behind
+//! writers** (not even a full `RECONFIGURE` rebuild), while writes batch
+//! through an explicit writer handle and commit as the next epoch with
+//! one pointer swap (see `docs/ARCHITECTURE.md` for the lifecycle):
 //!
 //! ```
 //! use aplus::datagen::build_financial_graph;
@@ -65,14 +68,31 @@
 //! let shared = SharedDatabase::with_pool(db, MorselPool::new(2));
 //! let reader = shared.clone(); // one cheap handle per connection/thread
 //! assert_eq!(reader.count("MATCH a-[r:W]->b").unwrap(), 9);
+//!
+//! // A pinned snapshot is immune to later commits…
+//! let pinned = reader.snapshot();
 //! shared.writer().insert_edge(
 //!     aplus::common::VertexId(0),
 //!     aplus::common::VertexId(2),
 //!     "W",
 //!     &[],
 //! ).unwrap();
+//! assert_eq!(pinned.count("MATCH a-[r:W]->b").unwrap(), 9);
+//! // …while fresh reads observe the new epoch.
+//! assert_eq!(reader.epoch(), 1);
 //! assert_eq!(reader.count("MATCH a-[r:W]->b").unwrap(), 10);
 //! ```
+
+// The long-form references under docs/ embed runnable Rust examples;
+// including them here turns every fenced `rust` block into a doctest, so
+// `cargo test --doc` (and therefore CI) fails if the documents rot.
+#[cfg(doctest)]
+#[doc = include_str!("../docs/ARCHITECTURE.md")]
+pub struct ArchitectureDocTests;
+
+#[cfg(doctest)]
+#[doc = include_str!("../docs/PROTOCOL.md")]
+pub struct ProtocolDocTests;
 
 pub use aplus_baseline as baseline;
 pub use aplus_common as common;
@@ -86,6 +106,7 @@ pub use aplus_server as server;
 pub use aplus_core::{Direction, IndexSpec, IndexStore, PartitionKey, SortKey};
 pub use aplus_graph::{Graph, GraphBuilder, Value};
 pub use aplus_query::{
-    row_channel, Database, QueryError, RawRow, RowReceiver, RowSink, SharedDatabase, VecSink,
+    row_channel, Database, QueryError, RawRow, RowReceiver, RowSink, SharedDatabase, Snapshot,
+    VecSink,
 };
 pub use aplus_runtime::MorselPool;

@@ -1,0 +1,150 @@
+//! Docs link check: every relative markdown link in README.md and
+//! docs/*.md must point at an existing file, and every `#anchor` must
+//! match a heading in the target document (GitHub-style slugs). Rustdoc
+//! already fails CI on dangling intra-doc links; this closes the same
+//! gap for the repository's markdown, so a moved file or renamed heading
+//! breaks the build instead of the reader.
+
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// The documents under check; extend as docs/ grows.
+fn documents() -> Vec<PathBuf> {
+    let root = repo_root();
+    let mut docs = vec![root.join("README.md")];
+    let dir = root.join("docs");
+    let entries = std::fs::read_dir(&dir).expect("docs/ exists");
+    for entry in entries {
+        let path = entry.expect("readable dir entry").path();
+        if path.extension().is_some_and(|e| e == "md") {
+            docs.push(path);
+        }
+    }
+    docs.sort();
+    assert!(docs.len() >= 3, "README + at least two docs/ pages");
+    docs
+}
+
+/// Strips fenced code blocks (``` … ```), where `](` sequences are data,
+/// not links.
+fn without_code_fences(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut in_fence = false;
+    for line in text.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if !in_fence {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    assert!(!in_fence, "unterminated code fence");
+    out
+}
+
+/// Extracts inline markdown link targets: the `target` of `[text](target)`.
+fn link_targets(text: &str) -> Vec<String> {
+    let bytes = text.as_bytes();
+    let mut targets = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b']' && i + 1 < bytes.len() && bytes[i + 1] == b'(' {
+            let start = i + 2;
+            if let Some(len) = text[start..].find(')') {
+                targets.push(text[start..start + len].to_owned());
+                i = start + len;
+            }
+        }
+        i += 1;
+    }
+    targets
+}
+
+/// GitHub's heading → anchor slug: lowercase, drop punctuation except
+/// hyphens and underscores, spaces become hyphens.
+fn slug(heading: &str) -> String {
+    let mut s = String::new();
+    for c in heading.trim().chars() {
+        match c {
+            ' ' => s.push('-'),
+            '-' | '_' => s.push(c),
+            c if c.is_alphanumeric() => s.extend(c.to_lowercase()),
+            _ => {}
+        }
+    }
+    s
+}
+
+/// All heading anchors of a markdown document.
+fn anchors_of(path: &Path) -> Vec<String> {
+    let text = std::fs::read_to_string(path).unwrap_or_default();
+    without_code_fences(&text)
+        .lines()
+        .filter_map(|l| l.strip_prefix('#'))
+        .map(|rest| slug(rest.trim_start_matches('#')))
+        .collect()
+}
+
+#[test]
+fn relative_links_and_anchors_resolve() {
+    let mut problems = Vec::new();
+    for doc in documents() {
+        let text = std::fs::read_to_string(&doc).expect("doc readable");
+        let dir = doc.parent().expect("doc has a parent");
+        for target in link_targets(&without_code_fences(&text)) {
+            // External and in-page references: only same-file anchors are
+            // checkable; protocols are out of scope.
+            if target.contains("://") || target.starts_with("mailto:") {
+                continue;
+            }
+            let (file_part, anchor) = match target.split_once('#') {
+                Some((f, a)) => (f, Some(a)),
+                None => (target.as_str(), None),
+            };
+            let resolved = if file_part.is_empty() {
+                doc.clone()
+            } else {
+                dir.join(file_part)
+            };
+            if !resolved.exists() {
+                problems.push(format!(
+                    "{}: link target {target:?} does not exist (resolved {})",
+                    doc.display(),
+                    resolved.display()
+                ));
+                continue;
+            }
+            if let Some(anchor) = anchor {
+                if resolved.extension().is_some_and(|e| e == "md")
+                    && !anchors_of(&resolved).iter().any(|a| a == anchor)
+                {
+                    problems.push(format!(
+                        "{}: anchor {target:?} matches no heading in {}",
+                        doc.display(),
+                        resolved.display()
+                    ));
+                }
+            }
+        }
+    }
+    assert!(
+        problems.is_empty(),
+        "dangling docs links:\n{}",
+        problems.join("\n")
+    );
+}
+
+#[test]
+fn slugging_matches_github_conventions() {
+    assert_eq!(slug("Concurrency"), "concurrency");
+    assert_eq!(
+        slug("The snapshot lifecycle: pin → publish → reclaim"),
+        "the-snapshot-lifecycle-pin--publish--reclaim"
+    );
+    assert_eq!(slug("A `doctested` tour"), "a-doctested-tour");
+}
