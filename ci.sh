@@ -25,10 +25,16 @@ run cargo build --release
 # self-tests, the aplus_server network integration tests (multi-client
 # stress, writer-starvation regression, shell parity), the snapshot
 # isolation suite (tests/snapshot_isolation.rs: streams overlapping
-# RECONFIGURE rebuilds, readers never blocking writers), and the docs
-# link check (tests/docs_links.rs: dangling relative links/anchors in
-# README.md + docs/*.md fail here, mirroring rustdoc's -D warnings gate
-# for intra-doc links).
+# RECONFIGURE rebuilds, readers never blocking writers), the durability
+# fault-injection harness (tests/durability.rs: the commit crash-point
+# matrix recovered bit-identically at pool sizes 1/2/4 plus the
+# checkpoint scenarios; tests/durability_proptest.rs: torn/bit-flipped
+# WAL tails; crates/server/tests/crash_recovery.rs: out-of-process
+# kill -9 against the real aplus-server binary + clean nonzero exits on
+# unusable/newer-format data directories), and the docs link check
+# (tests/docs_links.rs: dangling relative links/anchors in README.md +
+# docs/*.md fail here, mirroring rustdoc's -D warnings gate for
+# intra-doc links).
 run cargo test --workspace -q
 run env RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 # Perf trajectory + parallel-path smoke: bench_smoke writes a fresh run
@@ -37,7 +43,9 @@ run env RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 # changed), latency drift is informational on this 1-core-ish CI box.
 # BENCH_tables.json includes the table9_churn reader-latency-under-
 # writer-churn experiment (snapshot isolation end to end; its latency/
-# slowdown cells are informational, its solo count is gated). To
+# slowdown cells are informational, its solo count is gated) and the
+# table10_recovery durability experiment (WAL commit overhead + recovery
+# time informational; the recovered-vs-in-memory count is gated). To
 # refresh the baselines intentionally, run bench_smoke *without*
 # APLUS_BENCH_OUT (it then writes to the repo root) and commit the files.
 run env APLUS_SCALE=20000 APLUS_THREAD_COUNTS=1,2,4 APLUS_BENCH_OUT=target/bench-fresh \

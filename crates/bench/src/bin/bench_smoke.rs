@@ -5,9 +5,11 @@
 //! root** so successive PRs can be compared against each other:
 //!
 //! * `BENCH_tables.json` — table2 (SQ × primary configs), table3
-//!   (MagicRecs + VPt), table4 (fraud + VPc/EPc) and table9_churn
+//!   (MagicRecs + VPt), table4 (fraud + VPc/EPc), table9_churn
 //!   (reader latency under writer churn — the snapshot-isolation
-//!   experiment; latency cells informational) reporters.
+//!   experiment; latency cells informational) and table10_recovery
+//!   (WAL commit overhead + recovery time; the recovered count is
+//!   gated, latency cells informational) reporters.
 //! * `BENCH_scaling.json` — the `table7_scaling` reporter, the derived SQ
 //!   speedups per thread count, and the `table8_collect` reporter
 //!   (order-preserving parallel collect + streamed drain).
@@ -34,7 +36,10 @@ const SMOKE_SCALE_DEFAULT: usize = 20_000;
 /// v3: added the `table9_churn` reporter (reader latency under writer
 /// churn over the snapshot-publishing service layer) to
 /// `BENCH_tables.json`.
-const SCHEMA: u32 = 3;
+/// v4: added the `table10_recovery` reporter (WAL commit overhead +
+/// `open_durable` recovery time; the recovered count is gated) to
+/// `BENCH_tables.json`.
+const SCHEMA: u32 = 4;
 
 #[derive(Serialize)]
 struct TablesFile {
@@ -92,6 +97,7 @@ fn main() {
         tables::run_table3(scale),
         tables::run_table4(scale),
         aplus_bench::churn::run_churn_table(scale),
+        aplus_bench::recovery::run_recovery_table(scale),
     ];
     for r in &reports {
         println!("{}", r.render("D"));

@@ -299,6 +299,14 @@ impl Catalog {
         self.strings.resolve(code)
     }
 
+    /// Number of interned free-form strings. Codes are dense, so
+    /// `0..string_count()` enumerates every code — serializers rely on this
+    /// to rebuild the interner in code order.
+    #[must_use]
+    pub fn string_count(&self) -> usize {
+        self.strings.len()
+    }
+
     fn props_mut(
         &mut self,
         entity: PropertyEntity,

@@ -1,0 +1,239 @@
+//! Durability glue between the engine and `aplus_storage`.
+//!
+//! The storage crate owns formats and files (WAL, checkpoints, recovery
+//! scans); this module owns the *semantics*: what a committed batch means
+//! (`apply_ops` replays one through the same engine entry points the
+//! original writer used), the commit pipeline's bookkeeping
+//! (`DurableCore`), and the background checkpointer thread. The
+//! commit/checkpoint orchestration itself lives in `engine.rs`, right next
+//! to the snapshot-publication protocol it extends — see
+//! `docs/DURABILITY.md` for the full walkthrough.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use aplus_common::{EdgeId, VertexId};
+use aplus_graph::Value;
+use aplus_runtime::Shutdown;
+use aplus_storage::{codec, CrashPoint, FaultInjector, StorageError, Wal, WalOp};
+
+use crate::engine::Database;
+use crate::error::QueryError;
+
+/// Errors from durable open/commit/checkpoint paths.
+#[derive(Debug)]
+pub enum DurabilityError {
+    /// The storage layer failed (I/O, corruption, format, injected crash).
+    Storage(StorageError),
+    /// The engine failed while rebuilding recovered state (index builds,
+    /// DDL replay) or while seeding a fresh database.
+    Query(QueryError),
+    /// The write batch had a failed operation: the head may hold mutations
+    /// the operation log does not, so committing it durably could diverge
+    /// from what recovery replays. Abort such batches instead.
+    TaintedBatch,
+    /// The operation needs a durable database but this one is in-memory
+    /// (opened via [`Database::into_shared`] rather than
+    /// [`crate::SharedDatabase::open_durable`]).
+    NotDurable,
+}
+
+impl std::fmt::Display for DurabilityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Storage(e) => write!(f, "{e}"),
+            Self::Query(e) => write!(f, "recovered state failed to rebuild: {e}"),
+            Self::TaintedBatch => write!(
+                f,
+                "write batch had a failed operation; refusing to commit it durably \
+                 (abort batches whose operations error)"
+            ),
+            Self::NotDurable => write!(f, "this database has no durability configured"),
+        }
+    }
+}
+
+impl std::error::Error for DurabilityError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Storage(e) => Some(e),
+            Self::Query(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for DurabilityError {
+    fn from(e: StorageError) -> Self {
+        Self::Storage(e)
+    }
+}
+
+impl From<QueryError> for DurabilityError {
+    fn from(e: QueryError) -> Self {
+        Self::Query(e)
+    }
+}
+
+/// The durable half of a `SharedDatabase`: the open WAL plus commit and
+/// checkpoint bookkeeping. Lives behind an `Arc` inside the shared state.
+#[derive(Debug)]
+pub(crate) struct DurableCore {
+    /// The WAL, positioned for appending. Locked per append/trim.
+    pub(crate) wal: Mutex<Wal>,
+    /// Data directory (checkpoints are written here).
+    pub(crate) data_dir: PathBuf,
+    /// Whether appends/checkpoints fsync before acknowledging.
+    pub(crate) fsync: bool,
+    /// Crash-injection hook (never fires in production).
+    pub(crate) injector: FaultInjector,
+    /// Epoch of the newest durable checkpoint; the *next* checkpoint trims
+    /// the WAL only through this value, keeping a fallback recovery path.
+    last_checkpoint: AtomicU64,
+    /// Serializes checkpoints (manual calls vs. the background thread).
+    pub(crate) checkpoint_lock: Mutex<()>,
+    /// Sticky failure flag. Once a durable commit or checkpoint fails (or
+    /// simulates a crash), every later durable operation refuses: a
+    /// half-dead process must not keep appending records that recovery
+    /// would then trust.
+    crashed: AtomicBool,
+}
+
+impl DurableCore {
+    pub(crate) fn new(
+        wal: Wal,
+        data_dir: PathBuf,
+        fsync: bool,
+        injector: FaultInjector,
+        last_checkpoint: u64,
+    ) -> Self {
+        Self {
+            wal: Mutex::new(wal),
+            data_dir,
+            fsync,
+            injector,
+            last_checkpoint: AtomicU64::new(last_checkpoint),
+            checkpoint_lock: Mutex::new(()),
+            crashed: AtomicBool::new(false),
+        }
+    }
+
+    pub(crate) fn is_crashed(&self) -> bool {
+        self.crashed.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn mark_crashed(&self) {
+        self.crashed.store(true, Ordering::Release);
+    }
+
+    pub(crate) fn last_checkpoint_epoch(&self) -> u64 {
+        self.last_checkpoint.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn set_last_checkpoint(&self, epoch: u64) {
+        self.last_checkpoint.store(epoch, Ordering::Release);
+    }
+
+    /// Makes one batch durable: the WAL append *is* the commit point.
+    /// Returns only after the record (and, under `fsync`, the disk) has it.
+    /// Any failure — injected or real — flips the sticky crashed flag, so
+    /// the epoch sequence on disk can never grow past a failure.
+    pub(crate) fn append_batch(&self, epoch: u64, ops: &[WalOp]) -> Result<(), StorageError> {
+        if self.is_crashed() {
+            return Err(StorageError::AlreadyCrashed);
+        }
+        if self.injector.fire(CrashPoint::PreWalAppend) {
+            self.mark_crashed();
+            return Err(StorageError::InjectedCrash(CrashPoint::PreWalAppend));
+        }
+        let payload = codec::encode_ops(ops);
+        {
+            let mut wal = self
+                .wal
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if let Err(e) = wal.append(epoch, &payload, self.fsync, &self.injector) {
+                self.mark_crashed();
+                return Err(e);
+            }
+        }
+        if self.injector.fire(CrashPoint::PreCommit) {
+            // The record is durable — recovery WILL replay this epoch even
+            // though no reader of this process ever saw it. That is
+            // correct: it is a commit whose acknowledgement was lost.
+            self.mark_crashed();
+            return Err(StorageError::InjectedCrash(CrashPoint::PreCommit));
+        }
+        Ok(())
+    }
+}
+
+/// Replays one committed batch through the same engine entry points the
+/// original writer used. Deterministic: edge IDs are assigned dense from
+/// `edge_count`, interner codes dense in first-seen order, so a replay over
+/// bit-identical starting state yields bit-identical ending state.
+pub(crate) fn apply_ops(db: &mut Database, ops: &[WalOp]) -> Result<(), QueryError> {
+    for op in ops {
+        match op {
+            WalOp::InsertEdge {
+                src,
+                dst,
+                label,
+                props,
+            } => {
+                let props: Vec<(&str, Value<'_>)> = props
+                    .iter()
+                    .map(|(name, value)| (name.as_str(), value.as_value()))
+                    .collect();
+                db.insert_edge(VertexId(*src), VertexId(*dst), label, &props)?;
+            }
+            WalOp::DeleteEdge { edge } => db.delete_edge(EdgeId(*edge))?,
+            WalOp::Ddl { statement } => {
+                db.ddl(statement)?;
+            }
+            WalOp::Flush => db.flush(),
+        }
+    }
+    Ok(())
+}
+
+/// The background checkpointer thread: runs `tick` every ~50 ms until the
+/// last handle drops. Owned via `Arc` by every `SharedDatabase` clone; the
+/// drop of the last clone triggers shutdown and joins, so the thread never
+/// outlives the database. The thread holds only a `Weak` reference to the
+/// shared state (inside `tick`), so it keeps nothing alive.
+#[derive(Debug)]
+pub(crate) struct Checkpointer {
+    shutdown: Arc<Shutdown>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Checkpointer {
+    pub(crate) fn spawn(tick: impl Fn() + Send + 'static) -> Self {
+        let shutdown = Arc::new(Shutdown::new());
+        let signal = Arc::clone(&shutdown);
+        let thread = std::thread::Builder::new()
+            .name("aplus-checkpointer".to_owned())
+            .spawn(move || {
+                while !signal.wait_timeout(Duration::from_millis(50)) {
+                    tick();
+                }
+            })
+            .expect("spawning the checkpointer thread");
+        Self {
+            shutdown,
+            thread: Some(thread),
+        }
+    }
+}
+
+impl Drop for Checkpointer {
+    fn drop(&mut self) {
+        self.shutdown.trigger();
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}

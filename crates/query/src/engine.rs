@@ -26,14 +26,19 @@
 //! ```
 
 use std::ops::{Deref, DerefMut};
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, Weak};
 
-use aplus_common::EdgeId;
+use aplus_common::{EdgeId, VertexId};
 use aplus_core::{IndexSpec, IndexStore};
 use aplus_graph::{Graph, GraphError, PropertyEntity, Value};
 use aplus_runtime::MorselPool;
+use aplus_storage::{
+    checkpoint::retain_newest, encode_checkpoint_payload, write_checkpoint, CrashPoint,
+    DurabilityConfig, PropValue, RecoveredState, StorageError, WalOp,
+};
 
 use crate::ast::{self, Statement};
+use crate::durable::{self, Checkpointer, DurabilityError, DurableCore};
 use crate::error::QueryError;
 use crate::exec::{self, ExecContext};
 use crate::optimizer;
@@ -76,6 +81,19 @@ pub enum DdlOutcome {
 pub struct Database {
     graph: Graph,
     store: IndexStore,
+    /// Ordered index-DDL statement history (see [`Database::ddl_history`]).
+    index_ddl: Vec<DdlRecord>,
+}
+
+/// One successfully applied DDL statement, kept for checkpoint replay.
+#[derive(Debug, Clone)]
+struct DdlRecord {
+    /// `RECONFIGURE PRIMARY INDEXES` — only the latest one is retained
+    /// (each reconfigure fully supersedes the previous primary spec, and
+    /// index builds are deterministic functions of the graph and their own
+    /// spec, so replaying just the last one reaches the same state).
+    reconfigure: bool,
+    statement: String,
 }
 
 impl Database {
@@ -83,13 +101,36 @@ impl Database {
     /// configuration (D).
     pub fn new(graph: Graph) -> Result<Self, QueryError> {
         let store = IndexStore::build(&graph)?;
-        Ok(Self { graph, store })
+        Ok(Self {
+            graph,
+            store,
+            index_ddl: Vec::new(),
+        })
     }
 
     /// Builds with a custom primary spec.
     pub fn with_primary_spec(graph: Graph, spec: IndexSpec) -> Result<Self, QueryError> {
         let store = IndexStore::build_with_spec(&graph, spec)?;
-        Ok(Self { graph, store })
+        Ok(Self {
+            graph,
+            store,
+            index_ddl: Vec::new(),
+        })
+    }
+
+    /// The ordered index-DDL statements that produced this database's
+    /// index configuration — what a durability checkpoint records so
+    /// recovery can rebuild the (derived) indexes by replaying them.
+    /// Superseded `RECONFIGURE` statements are dropped; `CREATE ... VIEW`
+    /// statements are kept in application order.
+    ///
+    /// Indexes configured *programmatically* — [`Database::with_primary_spec`]
+    /// or [`Database::store_and_graph_mut`] — are not recorded here and
+    /// therefore not durable; durable databases should configure indexes
+    /// through [`Database::ddl`].
+    #[must_use]
+    pub fn ddl_history(&self) -> Vec<String> {
+        self.index_ddl.iter().map(|r| r.statement.clone()).collect()
     }
 
     /// The data graph.
@@ -242,6 +283,25 @@ impl Database {
     /// Applies a DDL statement: `RECONFIGURE PRIMARY INDEXES ...`,
     /// `CREATE 1-HOP VIEW ...` or `CREATE 2-HOP VIEW ...`.
     pub fn ddl(&mut self, statement: &str) -> Result<DdlOutcome, QueryError> {
+        let outcome = self.ddl_apply(statement)?;
+        match &outcome {
+            DdlOutcome::Reconfigured => {
+                // A reconfigure fully supersedes any earlier one.
+                self.index_ddl.retain(|r| !r.reconfigure);
+                self.index_ddl.push(DdlRecord {
+                    reconfigure: true,
+                    statement: statement.to_owned(),
+                });
+            }
+            DdlOutcome::Created(_) => self.index_ddl.push(DdlRecord {
+                reconfigure: false,
+                statement: statement.to_owned(),
+            }),
+        }
+        Ok(outcome)
+    }
+
+    fn ddl_apply(&mut self, statement: &str) -> Result<DdlOutcome, QueryError> {
         match parser::parse(statement)? {
             Statement::ReconfigurePrimary {
                 partition_by,
@@ -417,6 +477,10 @@ impl Deref for Snapshot {
 pub struct SharedDatabase {
     state: Arc<SharedState>,
     pool: MorselPool,
+    /// The background checkpointer, present when durability is configured
+    /// with `checkpoint_every > 0`. Shared by every clone; the last clone
+    /// to drop joins the thread.
+    _checkpointer: Option<Arc<Checkpointer>>,
 }
 
 #[derive(Debug)]
@@ -429,6 +493,9 @@ struct SharedState {
     /// Serializes writers. Held for the whole build-and-publish cycle of
     /// one write batch; readers never touch it.
     write_gate: Mutex<()>,
+    /// Durability, when opened via [`SharedDatabase::open_durable`]: the
+    /// WAL append in [`SharedState::commit`] becomes the commit point.
+    durable: Option<Arc<DurableCore>>,
 }
 
 /// Poison recovery: every critical section over these mutexes replaces
@@ -454,6 +521,105 @@ impl SharedState {
         // last pin, deallocating a large database must not delay readers.
         drop(prev);
     }
+
+    /// Commits one finished write batch, returning the epoch now
+    /// published. Without durability this is exactly the old behavior: one
+    /// pointer swap. With durability, the batch's operation log is
+    /// appended to the WAL (and optionally fsynced) *first* — the append
+    /// is the commit point — and only then published; a failed append
+    /// publishes nothing, so readers can never observe an epoch the WAL
+    /// does not hold.
+    fn commit(
+        &self,
+        head: Database,
+        epoch: u64,
+        ops: Vec<WalOp>,
+        tainted: bool,
+    ) -> Result<u64, DurabilityError> {
+        let Some(core) = &self.durable else {
+            self.publish(head, epoch);
+            return Ok(epoch);
+        };
+        if tainted {
+            // An operation in the batch failed after possibly mutating the
+            // head (e.g. an edge added before its property errored). The
+            // op log no longer describes the head exactly, so replaying it
+            // could diverge — refuse rather than persist a lie.
+            return Err(DurabilityError::TaintedBatch);
+        }
+        if ops.is_empty() {
+            // Nothing logged: publishing would mint an epoch with no WAL
+            // record and break the contiguity invariant recovery checks.
+            return Ok(epoch - 1);
+        }
+        core.append_batch(epoch, &ops)?;
+        self.publish(head, epoch);
+        Ok(epoch)
+    }
+}
+
+/// Checkpoints the current published snapshot: a *fuzzy* checkpoint — the
+/// snapshot is pinned and serialized while writers keep committing newer
+/// epochs. On success the WAL is trimmed through the *previous*
+/// checkpoint's epoch (never this one's), so the previous checkpoint plus
+/// the remaining WAL always reconstructs every committed epoch even if the
+/// new checkpoint file later turns out corrupt.
+fn checkpoint_state(state: &SharedState) -> Result<u64, DurabilityError> {
+    let Some(core) = &state.durable else {
+        return Err(DurabilityError::NotDurable);
+    };
+    let _serialize = recover(core.checkpoint_lock.lock());
+    if core.is_crashed() {
+        return Err(DurabilityError::Storage(StorageError::AlreadyCrashed));
+    }
+    let snapshot = state.pin(); // writers keep committing past this
+    let epoch = snapshot.epoch();
+    let prev = core.last_checkpoint_epoch();
+    if epoch == prev {
+        return Ok(epoch); // nothing committed since the last checkpoint
+    }
+    let payload = encode_checkpoint_payload(snapshot.graph(), &snapshot.ddl_history());
+    if let Err(e) = write_checkpoint(&core.data_dir, epoch, &payload, core.fsync, &core.injector) {
+        core.mark_crashed();
+        return Err(DurabilityError::Storage(e));
+    }
+    core.set_last_checkpoint(epoch);
+    if core.injector.fire(CrashPoint::PreWalTrim) {
+        // The new checkpoint is durable but the WAL still holds the old
+        // prefix — recovery skips records at or below the checkpoint
+        // epoch, so the leftover prefix is harmless.
+        core.mark_crashed();
+        return Err(DurabilityError::Storage(StorageError::InjectedCrash(
+            CrashPoint::PreWalTrim,
+        )));
+    }
+    {
+        let mut wal = core.wal.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Err(e) = wal.trim_through(prev, core.fsync) {
+            core.mark_crashed();
+            return Err(DurabilityError::Storage(e));
+        }
+    }
+    // Best effort: losing a delete here only leaves an extra old file.
+    let _ = retain_newest(&core.data_dir);
+    Ok(epoch)
+}
+
+/// One poll of the background checkpointer: checkpoint when `every` epochs
+/// have accumulated past the last checkpoint. Failures are reported to
+/// stderr — the sticky crashed flag already stops further durable work, and
+/// a background thread has nowhere better to put the error.
+fn checkpointer_tick(state: &Weak<SharedState>, every: u64) {
+    let Some(state) = state.upgrade() else { return };
+    let Some(core) = &state.durable else { return };
+    if core.is_crashed() {
+        return;
+    }
+    if state.pin().epoch() >= core.last_checkpoint_epoch().saturating_add(every) {
+        if let Err(e) = checkpoint_state(&state) {
+            eprintln!("aplus: background checkpoint failed: {e}");
+        }
+    }
 }
 
 impl SharedDatabase {
@@ -473,9 +639,130 @@ impl SharedDatabase {
                     inner: Arc::new(Version { epoch: 0, db }),
                 }),
                 write_gate: Mutex::new(()),
+                durable: None,
             }),
             pool,
+            _checkpointer: None,
         }
+    }
+
+    /// Opens a **durable** database in `config.data_dir` with a pool sized
+    /// from the environment. See
+    /// [`SharedDatabase::open_durable_with_pool`].
+    pub fn open_durable(
+        config: DurabilityConfig,
+        init: impl FnOnce() -> Result<Database, QueryError>,
+    ) -> Result<Self, DurabilityError> {
+        Self::open_durable_with_pool(config, MorselPool::from_env(), init)
+    }
+
+    /// Opens a durable database: recovers whatever `config.data_dir`
+    /// holds, or seeds it from `init` when the directory is fresh.
+    ///
+    /// * **Fresh directory** — `init()` builds the initial database, which
+    ///   is checkpointed as epoch 0 before this returns; from then on the
+    ///   directory alone reconstructs the database.
+    /// * **Existing directory** — the newest valid checkpoint is loaded,
+    ///   its index DDL replayed, and the WAL tail (every batch whose
+    ///   append completed) reapplied; `init` is *not* called. The handle
+    ///   resumes at the recovered epoch, so epoch numbers are stable
+    ///   across restarts.
+    ///
+    /// Every write batch committed through the returned handle appends one
+    /// WAL record (fsynced under [`aplus_storage::FsyncPolicy::Always`])
+    /// before it publishes. When `config.checkpoint_every > 0`, a
+    /// background thread checkpoints after that many epochs accumulate
+    /// past the last checkpoint; [`SharedDatabase::checkpoint`] forces one
+    /// manually.
+    ///
+    /// # Errors
+    /// [`DurabilityError::Storage`] when the directory is unreadable,
+    /// unwritable, corrupt beyond repair, or written by a newer build;
+    /// [`DurabilityError::Query`] when `init` fails or recovered state
+    /// fails to rebuild.
+    pub fn open_durable_with_pool(
+        config: DurabilityConfig,
+        pool: MorselPool,
+        init: impl FnOnce() -> Result<Database, QueryError>,
+    ) -> Result<Self, DurabilityError> {
+        let fsync = config.fsync.should_sync();
+        let (db, epoch, wal, last_checkpoint) =
+            match aplus_storage::recover(&config.data_dir, fsync)? {
+                RecoveredState::Fresh { wal } => {
+                    let db = init()?;
+                    let payload = encode_checkpoint_payload(db.graph(), &db.ddl_history());
+                    write_checkpoint(&config.data_dir, 0, &payload, fsync, &config.injector)?;
+                    (db, 0, wal, 0)
+                }
+                RecoveredState::Existing {
+                    checkpoint_epoch,
+                    graph,
+                    ddl,
+                    tail,
+                    wal,
+                } => {
+                    // Rebuild on a plain Database: nothing here re-logs.
+                    // `ddl()` re-records the statements into the history,
+                    // so the *next* checkpoint carries them forward.
+                    let mut db = Database::new(graph)?;
+                    for statement in &ddl {
+                        db.ddl(statement)?;
+                    }
+                    let mut epoch = checkpoint_epoch;
+                    for batch in &tail {
+                        durable::apply_ops(&mut db, &batch.ops)?;
+                        epoch = batch.epoch;
+                    }
+                    (db, epoch, wal, checkpoint_epoch)
+                }
+            };
+        let core = Arc::new(DurableCore::new(
+            wal,
+            config.data_dir.clone(),
+            fsync,
+            config.injector.clone(),
+            last_checkpoint,
+        ));
+        let state = Arc::new(SharedState {
+            published: Mutex::new(Snapshot {
+                inner: Arc::new(Version { epoch, db }),
+            }),
+            write_gate: Mutex::new(()),
+            durable: Some(core),
+        });
+        let checkpointer = (config.checkpoint_every > 0).then(|| {
+            // The thread holds only a Weak: it cannot keep the database
+            // alive, and the Checkpointer's drop joins it.
+            let weak = Arc::downgrade(&state);
+            let every = config.checkpoint_every;
+            Arc::new(Checkpointer::spawn(move || {
+                checkpointer_tick(&weak, every);
+            }))
+        });
+        Ok(Self {
+            state,
+            pool,
+            _checkpointer: checkpointer,
+        })
+    }
+
+    /// Whether this database persists its commits (opened via
+    /// [`SharedDatabase::open_durable`]).
+    #[must_use]
+    pub fn is_durable(&self) -> bool {
+        self.state.durable.is_some()
+    }
+
+    /// Forces a fuzzy checkpoint of the current published epoch and
+    /// returns it. Concurrent writers are unaffected (the snapshot is
+    /// pinned, not locked). Returns the epoch unchanged when nothing
+    /// committed since the last checkpoint.
+    ///
+    /// # Errors
+    /// [`DurabilityError::NotDurable`] on an in-memory database;
+    /// [`DurabilityError::Storage`] when writing fails.
+    pub fn checkpoint(&self) -> Result<u64, DurabilityError> {
+        checkpoint_state(&self.state)
     }
 
     /// The execution pool queries run on.
@@ -602,6 +889,8 @@ impl SharedDatabase {
         let base = self.state.pin();
         DatabaseWriteGuard {
             head: Some(base.inner.db.clone()),
+            ops: Vec::new(),
+            tainted: false,
             next_epoch: base.epoch() + 1,
             state: &self.state,
             _gate: gate,
@@ -617,6 +906,14 @@ impl SharedDatabase {
 pub struct DatabaseWriteGuard<'a> {
     /// The mutable head; `None` after an abort (nothing to publish).
     head: Option<Database>,
+    /// The logical operation log of this batch — what the WAL record
+    /// holds when the database is durable. Populated by the guard's own
+    /// `insert_edge`/`delete_edge`/`ddl`/`flush` wrappers.
+    ops: Vec<WalOp>,
+    /// Set when a logged operation failed: the head may now hold
+    /// mutations `ops` does not describe, so a durable commit refuses the
+    /// batch (an in-memory commit is unaffected).
+    tainted: bool,
     next_epoch: u64,
     state: &'a SharedState,
     _gate: MutexGuard<'a, ()>,
@@ -635,6 +932,92 @@ impl DatabaseWriteGuard<'_> {
     /// that fail halfway.
     pub fn abort(mut self) {
         self.head = None;
+    }
+
+    /// Commits the batch explicitly and reports whether it succeeded —
+    /// the durable counterpart of just dropping the guard (which cannot
+    /// return an error). Returns the epoch now published: `next_epoch`
+    /// for a non-empty batch, the previous epoch when nothing was logged
+    /// (durable databases publish no epoch for an empty batch).
+    ///
+    /// # Errors
+    /// [`DurabilityError::Storage`] when the WAL append fails — nothing
+    /// is published and the batch is lost, exactly as if the process had
+    /// crashed before acknowledging; [`DurabilityError::TaintedBatch`]
+    /// when an operation in the batch had failed.
+    pub fn commit(mut self) -> Result<u64, DurabilityError> {
+        let head = self.head.take().expect("head present until drop/abort");
+        let ops = std::mem::take(&mut self.ops);
+        self.state.commit(head, self.next_epoch, ops, self.tainted)
+    }
+
+    /// [`Database::insert_edge`], logged: the operation joins this batch's
+    /// WAL record when the database is durable.
+    pub fn insert_edge(
+        &mut self,
+        src: VertexId,
+        dst: VertexId,
+        label: &str,
+        props: &[(&str, Value<'_>)],
+    ) -> Result<EdgeId, GraphError> {
+        let head = self.head.as_mut().expect("head present until drop/abort");
+        match head.insert_edge(src, dst, label, props) {
+            Ok(e) => {
+                self.ops.push(WalOp::InsertEdge {
+                    src: src.0,
+                    dst: dst.0,
+                    label: label.to_owned(),
+                    props: props
+                        .iter()
+                        .map(|(name, value)| ((*name).to_owned(), PropValue::from_value(*value)))
+                        .collect(),
+                });
+                Ok(e)
+            }
+            Err(e) => {
+                self.tainted = true;
+                Err(e)
+            }
+        }
+    }
+
+    /// [`Database::delete_edge`], logged.
+    pub fn delete_edge(&mut self, e: EdgeId) -> Result<(), GraphError> {
+        let head = self.head.as_mut().expect("head present until drop/abort");
+        match head.delete_edge(e) {
+            Ok(()) => {
+                self.ops.push(WalOp::DeleteEdge { edge: e.0 });
+                Ok(())
+            }
+            Err(err) => {
+                self.tainted = true;
+                Err(err)
+            }
+        }
+    }
+
+    /// [`Database::ddl`], logged.
+    pub fn ddl(&mut self, statement: &str) -> Result<DdlOutcome, QueryError> {
+        let head = self.head.as_mut().expect("head present until drop/abort");
+        match head.ddl(statement) {
+            Ok(outcome) => {
+                self.ops.push(WalOp::Ddl {
+                    statement: statement.to_owned(),
+                });
+                Ok(outcome)
+            }
+            Err(e) => {
+                self.tainted = true;
+                Err(e)
+            }
+        }
+    }
+
+    /// [`Database::flush`], logged.
+    pub fn flush(&mut self) {
+        let head = self.head.as_mut().expect("head present until drop/abort");
+        head.flush();
+        self.ops.push(WalOp::Flush);
     }
 }
 
@@ -662,7 +1045,17 @@ impl Drop for DatabaseWriteGuard<'_> {
                 // lock poisoning.
                 return;
             }
-            self.state.publish(head, self.next_epoch);
+            let ops = std::mem::take(&mut self.ops);
+            if let Err(e) = self.state.commit(head, self.next_epoch, ops, self.tainted) {
+                // An implicit drop has no way to return the error. Nothing
+                // was published (readers keep the previous epoch) and the
+                // sticky crashed flag refuses further durable commits; use
+                // `commit()` to observe failures programmatically.
+                eprintln!(
+                    "aplus: write batch for epoch {} was NOT committed: {e}",
+                    self.next_epoch
+                );
+            }
         }
         // The write gate releases after the publish (field drop order),
         // so the next writer's head always starts from this commit.
@@ -1081,6 +1474,182 @@ mod tests {
         .unwrap();
         assert_eq!(got.len(), 1, "the sink consumed exactly one row");
         assert_eq!(got, db.collect("MATCH a-[r1]->b-[r2]->c", 1).unwrap());
+    }
+
+    fn durable_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "aplus-engine-durable-{}-{name}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn durable_config(dir: &std::path::Path) -> DurabilityConfig {
+        // Tests run without fsync (the files are still written in full)
+        // and without the background checkpointer (explicit control).
+        DurabilityConfig::new(dir)
+            .fsync(aplus_storage::FsyncPolicy::Never)
+            .checkpoint_every(0)
+    }
+
+    #[test]
+    fn durable_open_seeds_then_recovers_across_restarts() {
+        let dir = durable_dir("roundtrip");
+        let pool = MorselPool::new(2);
+        {
+            let shared =
+                SharedDatabase::open_durable_with_pool(durable_config(&dir), pool.clone(), || {
+                    Ok(db())
+                })
+                .unwrap();
+            assert!(shared.is_durable());
+            assert_eq!(shared.epoch(), 0);
+            shared
+                .ddl(
+                    "CREATE 1-HOP VIEW V MATCH vs-[eadj]->vd \
+                     INDEX AS FW PARTITION BY eadj.label SORT BY vnbr.ID",
+                )
+                .unwrap();
+            let mut w = shared.writer();
+            w.insert_edge(VertexId(0), VertexId(2), "W", &[("amt", Value::Int(42))])
+                .unwrap();
+            w.flush();
+            assert_eq!(w.commit().unwrap(), 2);
+            assert_eq!(shared.epoch(), 2);
+            assert_eq!(shared.count("MATCH a-[r:W]->b").unwrap(), 10);
+        }
+        // Reopen: init must NOT run (the directory holds state); the WAL
+        // tail replays both epochs over the seed checkpoint.
+        let shared = SharedDatabase::open_durable_with_pool(durable_config(&dir), pool, || {
+            panic!("init must not be called for an existing directory")
+        })
+        .unwrap();
+        assert_eq!(shared.epoch(), 2, "epochs are stable across restarts");
+        assert_eq!(shared.count("MATCH a-[r:W]->b").unwrap(), 10);
+        // The recovered database keeps accepting durable writes.
+        let mut w = shared.writer();
+        w.insert_edge(VertexId(0), VertexId(3), "W", &[]).unwrap();
+        assert_eq!(w.commit().unwrap(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durable_checkpoint_trims_and_recovery_uses_it() {
+        let dir = durable_dir("checkpoint");
+        let pool = MorselPool::new(1);
+        {
+            let shared =
+                SharedDatabase::open_durable_with_pool(durable_config(&dir), pool.clone(), || {
+                    Ok(db())
+                })
+                .unwrap();
+            for _ in 0..3 {
+                let mut w = shared.writer();
+                w.insert_edge(VertexId(0), VertexId(2), "W", &[]).unwrap();
+                w.commit().unwrap();
+            }
+            assert_eq!(shared.checkpoint().unwrap(), 3);
+            // More epochs past the checkpoint: recovery replays the tail.
+            let mut w = shared.writer();
+            w.insert_edge(VertexId(0), VertexId(3), "W", &[]).unwrap();
+            w.commit().unwrap();
+            // A checkpoint with nothing new is a no-op.
+            assert_eq!(shared.checkpoint().unwrap(), 4);
+            assert_eq!(shared.checkpoint().unwrap(), 4);
+        }
+        let shared = SharedDatabase::open_durable_with_pool(durable_config(&dir), pool, || {
+            panic!("init must not be called")
+        })
+        .unwrap();
+        assert_eq!(shared.epoch(), 4);
+        assert_eq!(shared.count("MATCH a-[r:W]->b").unwrap(), 13);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durable_empty_batches_and_aborts_publish_nothing() {
+        let dir = durable_dir("empty");
+        let shared = SharedDatabase::open_durable_with_pool(
+            durable_config(&dir),
+            MorselPool::new(1),
+            || Ok(db()),
+        )
+        .unwrap();
+        // An untouched writer publishes no epoch (it would have no WAL
+        // record, breaking the contiguity invariant).
+        assert_eq!(shared.writer().commit().unwrap(), 0);
+        assert_eq!(shared.epoch(), 0);
+        // Failed DDL through the transactional path: aborted, no epoch.
+        assert!(shared.ddl("MATCH a-[r]->b").is_err());
+        assert_eq!(shared.epoch(), 0);
+        // An aborted batch publishes nothing either.
+        let mut w = shared.writer();
+        w.insert_edge(VertexId(0), VertexId(2), "W", &[]).unwrap();
+        w.abort();
+        assert_eq!(shared.epoch(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durable_tainted_batches_are_refused() {
+        let dir = durable_dir("tainted");
+        let shared = SharedDatabase::open_durable_with_pool(
+            durable_config(&dir),
+            MorselPool::new(1),
+            || Ok(db()),
+        )
+        .unwrap();
+        let mut w = shared.writer();
+        w.insert_edge(VertexId(0), VertexId(2), "W", &[]).unwrap();
+        // An out-of-range vertex makes the operation fail: the batch is
+        // now tainted and must not commit durably.
+        assert!(w
+            .insert_edge(VertexId(9999), VertexId(0), "W", &[])
+            .is_err());
+        assert!(matches!(w.commit(), Err(DurabilityError::TaintedBatch)));
+        assert_eq!(shared.epoch(), 0, "the tainted batch published nothing");
+        // The database stays fully usable afterwards.
+        let mut w = shared.writer();
+        w.insert_edge(VertexId(0), VertexId(2), "W", &[]).unwrap();
+        assert_eq!(w.commit().unwrap(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durable_background_checkpointer_checkpoints_and_joins() {
+        let dir = durable_dir("background");
+        {
+            let config = DurabilityConfig::new(&dir)
+                .fsync(aplus_storage::FsyncPolicy::Never)
+                .checkpoint_every(2);
+            let shared =
+                SharedDatabase::open_durable_with_pool(config, MorselPool::new(1), || Ok(db()))
+                    .unwrap();
+            for _ in 0..4 {
+                let mut w = shared.writer();
+                w.insert_edge(VertexId(0), VertexId(2), "W", &[]).unwrap();
+                w.commit().unwrap();
+            }
+            // The checkpointer polls every ~50ms; give it a few rounds.
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+            loop {
+                let newest = aplus_storage::list_checkpoints(&dir)
+                    .unwrap()
+                    .last()
+                    .map(|(e, _)| *e)
+                    .unwrap_or(0);
+                if newest >= 2 {
+                    break;
+                }
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "background checkpointer never caught up (newest {newest})"
+                );
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+        } // drop joins the checkpointer thread
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

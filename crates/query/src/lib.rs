@@ -34,6 +34,7 @@
 //! exits early on every path).
 
 pub mod ast;
+pub mod durable;
 pub mod engine;
 pub mod error;
 pub mod exec;
@@ -45,6 +46,11 @@ pub mod sink;
 
 pub use crate::query::{QueryGraph, QueryOperand, QueryPredicate};
 pub use aplus_runtime::MorselPool;
+// Durability configuration and crash injection, re-exported so servers and
+// tests can open a durable database without depending on `aplus_storage`
+// directly.
+pub use aplus_storage::{CrashPoint, DurabilityConfig, FaultInjector, FsyncPolicy, StorageError};
+pub use durable::DurabilityError;
 pub use engine::{Database, DatabaseWriteGuard, SharedDatabase, Snapshot};
 pub use error::QueryError;
 pub use sink::{row_channel, RawRow, RowChannelSink, RowReceiver, RowSink, TryNext, VecSink};

@@ -9,6 +9,22 @@
 //! * `--social V E` — serve a synthetic social graph with `V` vertices
 //!   and `E` edges instead of the default Figure-1 financial graph.
 //!
+//! Durability is driven by the environment:
+//!
+//! * `APLUS_DATA_DIR` — when set, the server is durable: it recovers the
+//!   database from that directory (newest valid checkpoint + WAL tail)
+//!   before accepting connections, seeding it from the chosen built-in
+//!   dataset only when the directory holds no prior state. Every `insert`
+//!   / `delete` / `ddl` request is WAL-logged before its epoch publishes.
+//! * `APLUS_FSYNC` — `always` (default) or `never`; see `FsyncPolicy`.
+//! * `APLUS_CHECKPOINT_EVERY` — background-checkpoint interval in epochs
+//!   (default 32; `0` disables the background checkpointer).
+//!
+//! An unusable data directory (unwritable, or holding files written by an
+//! incompatible/newer build) is a startup error: the server prints a
+//! diagnostic and exits nonzero instead of serving from memory as if the
+//! state had loaded.
+//!
 //! The worker pool sizes from `APLUS_THREADS` (default: all cores). The
 //! server runs until stdin closes or a `quit` line arrives, then shuts
 //! down gracefully (drains in-flight queries, refuses new connections).
@@ -16,8 +32,10 @@
 use std::io::BufRead as _;
 
 use aplus_datagen::{build_financial_graph, generate, GeneratorConfig};
-use aplus_query::Database;
-use aplus_server::{resolve_listen, serve, ServerConfig};
+use aplus_query::{Database, DurabilityConfig, FsyncPolicy, SharedDatabase};
+use aplus_server::{
+    resolve_listen, serve, ServerConfig, CHECKPOINT_EVERY_ENV, DATA_DIR_ENV, FSYNC_ENV,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -61,14 +79,41 @@ fn main() {
             "Figure-1 financial graph".to_owned(),
         ),
     };
-    let db = match Database::new(graph) {
-        Ok(db) => db,
-        Err(e) => {
-            eprintln!("aplus-server: could not build indexes: {e}");
-            std::process::exit(1);
+    let (shared, durable_note) = match durability_config() {
+        Some(config) => {
+            let data_dir = config.data_dir.clone();
+            let shared = match SharedDatabase::open_durable(config, move || Database::new(graph)) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!(
+                        "aplus-server: could not open data directory {}: {e}",
+                        data_dir.display()
+                    );
+                    eprintln!(
+                        "aplus-server: fix or move the directory and restart \
+                         (refusing to serve without the stored state)"
+                    );
+                    std::process::exit(1);
+                }
+            };
+            let note = format!(
+                ", durable in {} at epoch {}",
+                data_dir.display(),
+                shared.epoch()
+            );
+            (shared, note)
+        }
+        None => {
+            let db = match Database::new(graph) {
+                Ok(db) => db,
+                Err(e) => {
+                    eprintln!("aplus-server: could not build indexes: {e}");
+                    std::process::exit(1);
+                }
+            };
+            (db.into_shared(), String::new())
         }
     };
-    let shared = db.into_shared();
     let threads = shared.pool().threads();
     let addr = resolve_listen(addr_arg.as_deref());
     let handle = match serve(shared, addr.as_str(), ServerConfig::default()) {
@@ -79,7 +124,7 @@ fn main() {
         }
     };
     println!(
-        "aplus-server: serving the {dataset} on {} ({threads} worker threads)",
+        "aplus-server: serving the {dataset} on {} ({threads} worker threads{durable_note})",
         handle.local_addr()
     );
     println!("aplus-server: type 'quit' (or close stdin) to shut down");
@@ -93,4 +138,37 @@ fn main() {
     println!("aplus-server: shutting down (draining in-flight queries)");
     handle.shutdown();
     println!("aplus-server: bye");
+}
+
+/// Reads the durability environment; `None` means in-memory. Malformed
+/// values are usage errors (exit 2) — silently ignoring them would serve
+/// with weaker guarantees than the operator asked for.
+fn durability_config() -> Option<DurabilityConfig> {
+    let data_dir = std::env::var(DATA_DIR_ENV).ok()?;
+    if data_dir.is_empty() {
+        return None;
+    }
+    let mut config = DurabilityConfig::new(data_dir);
+    if let Ok(raw) = std::env::var(FSYNC_ENV) {
+        match FsyncPolicy::parse(&raw) {
+            Some(policy) => config = config.fsync(policy),
+            None => {
+                eprintln!("aplus-server: {FSYNC_ENV} must be 'always' or 'never', got {raw:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Ok(raw) = std::env::var(CHECKPOINT_EVERY_ENV) {
+        match raw.trim().parse::<u64>() {
+            Ok(every) => config = config.checkpoint_every(every),
+            Err(_) => {
+                eprintln!(
+                    "aplus-server: {CHECKPOINT_EVERY_ENV} must be a nonnegative integer \
+                     (0 disables background checkpoints), got {raw:?}"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    Some(config)
 }

@@ -17,7 +17,7 @@ use std::net::{Shutdown as SocketShutdown, TcpStream, ToSocketAddrs};
 use aplus_query::engine::DdlOutcome;
 use aplus_query::RawRow;
 
-use crate::protocol::{read_frame, write_frame, Request, Response, WireError};
+use crate::protocol::{read_frame, write_frame, Request, Response, WireError, WireProp};
 
 /// Client-side failure.
 #[derive(Debug)]
@@ -145,6 +145,46 @@ impl Client {
         })? {
             Response::DdlOk { .. } => Ok(()),
             other => Err(unexpected("ddl_ok", &other)),
+        }
+    }
+
+    /// Inserts one edge as its own write batch; returns `(edge, epoch)`,
+    /// where `epoch` is the published epoch the insert committed as. On a
+    /// durable server a returned epoch is on disk (per the server's fsync
+    /// policy) — a `durability`-kind [`ClientError::Server`] means the
+    /// edge was NOT committed.
+    pub fn insert(
+        &mut self,
+        src: u32,
+        dst: u32,
+        label: &str,
+        props: &[(String, WireProp)],
+    ) -> Result<(u64, u64), ClientError> {
+        match self.call(&Request::Insert {
+            src,
+            dst,
+            label: label.to_owned(),
+            props: props.to_vec(),
+        })? {
+            Response::Inserted { edge, epoch } => Ok((edge, epoch)),
+            other => Err(unexpected("inserted", &other)),
+        }
+    }
+
+    /// Deletes one edge as its own write batch; returns the published
+    /// epoch, with the same durability contract as [`Client::insert`].
+    pub fn delete(&mut self, edge: u64) -> Result<u64, ClientError> {
+        match self.call(&Request::Delete { edge })? {
+            Response::Deleted { epoch } => Ok(epoch),
+            other => Err(unexpected("deleted", &other)),
+        }
+    }
+
+    /// The server's current published epoch.
+    pub fn epoch(&mut self) -> Result<u64, ClientError> {
+        match self.call(&Request::Epoch)? {
+            Response::Epoch { epoch } => Ok(epoch),
+            other => Err(unexpected("epoch", &other)),
         }
     }
 

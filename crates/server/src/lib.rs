@@ -6,8 +6,9 @@
 //! and DDL arrive over a connection instead of an in-process call:
 //!
 //! * [`protocol`] — the wire format: length-prefixed JSON frames
-//!   (`count` / `collect` / `stream` / `ddl` / `reconfigure` / `ping`
-//!   requests; structured error frames carrying `QueryError` spans).
+//!   (`count` / `collect` / `stream` / `ddl` / `reconfigure` / `insert` /
+//!   `delete` / `epoch` / `ping` requests; structured error frames
+//!   carrying `QueryError` spans).
 //! * [`server`] — a thread-per-connection accept loop over one
 //!   [`SharedDatabase`](aplus_query::SharedDatabase) (one shared
 //!   `MorselPool`; reads pin snapshots and never block behind writers,
@@ -47,7 +48,7 @@ pub mod server;
 pub mod shell;
 
 pub use client::{Client, ClientError, RowStream};
-pub use protocol::{Request, Response, WireError};
+pub use protocol::{Request, Response, WireError, WireProp};
 pub use server::{serve, ServerConfig, ServerHandle};
 
 /// Environment variable naming the listen address of `aplus-server` (and
@@ -56,6 +57,23 @@ pub const LISTEN_ENV: &str = "APLUS_LISTEN";
 
 /// The default listen address when [`LISTEN_ENV`] is unset.
 pub const DEFAULT_LISTEN: &str = "127.0.0.1:7687";
+
+/// Environment variable naming the data directory of `aplus-server`. When
+/// set, the server opens (or recovers) a durable database there: every
+/// committed write batch is WAL-logged before its epoch publishes, and
+/// startup replays the newest checkpoint plus the WAL tail. When unset,
+/// the server is purely in-memory, as before.
+pub const DATA_DIR_ENV: &str = "APLUS_DATA_DIR";
+
+/// Environment variable selecting the fsync policy of a durable
+/// `aplus-server`: `always` (default — an acknowledged epoch survives
+/// power loss) or `never` (fast, survives process crashes only).
+pub const FSYNC_ENV: &str = "APLUS_FSYNC";
+
+/// Environment variable setting how many epochs may accumulate past the
+/// last checkpoint before the background checkpointer takes a new one
+/// (`0` disables background checkpointing). Default: 32.
+pub const CHECKPOINT_EVERY_ENV: &str = "APLUS_CHECKPOINT_EVERY";
 
 /// Resolves the listen/dial address: an explicit argument wins, then
 /// [`LISTEN_ENV`], then [`DEFAULT_LISTEN`].

@@ -17,12 +17,24 @@
 //! | `stream` | `query`, `limit?` | execute, stream rows in bounded batches |
 //! | `ddl` | `statement` | any DDL (`CREATE … VIEW`, `RECONFIGURE …`) |
 //! | `reconfigure` | `statement` | `RECONFIGURE PRIMARY INDEXES …` only |
+//! | `insert` | `src`, `dst`, `label`, `props?` | insert one edge as one committed epoch |
+//! | `delete` | `edge` | delete one edge as one committed epoch |
+//! | `epoch` | — | the currently published epoch |
 //!
 //! Responses ([`Response`]): `pong`, `count`, `rows` (the `collect`
 //! answer), `row_batch`* + `stream_end` (the `stream` answer), `ddl_ok`,
-//! and `error` — a structured [`WireError`] carrying the server-side
-//! [`QueryError`]'s kind, message and (for syntax errors) byte offset, so
-//! clients can point at the offending span of the statement they sent.
+//! `inserted` / `deleted` (each carrying the epoch the write committed
+//! as — on a durable server the epoch is on disk before the frame is
+//! sent), `epoch`, and `error` — a structured [`WireError`] carrying the
+//! server-side [`QueryError`]'s kind, message and (for syntax errors)
+//! byte offset, so clients can point at the offending span of the
+//! statement they sent.
+//!
+//! Insert properties travel as an **array of `[name, value]` pairs** (not
+//! an object): application order is semantically meaningful server-side
+//! (property names and string values intern in first-seen order, which
+//! recovery replay must reproduce), and JSON objects do not guarantee
+//! member order. Values are integers, strings or `null`.
 //!
 //! Result rows are `[vertices, edges]` pairs of ID arrays. Unbound slots
 //! (the executor's `u32::MAX`/`u64::MAX` sentinels) travel as JSON
@@ -130,6 +142,39 @@ pub enum Request {
         /// The statement text.
         statement: String,
     },
+    /// Insert one edge, committed (durably, on a durable server) as one
+    /// epoch before the response frame is sent.
+    Insert {
+        /// Source vertex ID.
+        src: u32,
+        /// Destination vertex ID.
+        dst: u32,
+        /// Edge label.
+        label: String,
+        /// Edge properties, in application order (see the module docs).
+        props: Vec<(String, WireProp)>,
+    },
+    /// Delete one edge, committed as one epoch.
+    Delete {
+        /// The edge ID to delete.
+        edge: u64,
+    },
+    /// Ask for the currently published epoch (0 for a fresh database,
+    /// +1 per committed write batch; stable across restarts on a durable
+    /// server).
+    Epoch,
+}
+
+/// A property value on an `insert` request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireProp {
+    /// An integer value (exact up to 2^53 in magnitude — the module-level
+    /// integer exactness bound).
+    Int(i64),
+    /// A string value.
+    Str(String),
+    /// An explicit null.
+    Null,
 }
 
 /// A server-to-client response frame.
@@ -161,6 +206,25 @@ pub enum Response {
     DdlOk {
         /// What the statement did.
         outcome: DdlOutcome,
+    },
+    /// Answer to `insert`: the new edge's ID and the epoch it committed
+    /// as. On a durable server the epoch's WAL record is on disk before
+    /// this frame is sent — an acknowledged insert survives `kill -9`.
+    Inserted {
+        /// The assigned edge ID.
+        edge: u64,
+        /// The epoch the write committed as.
+        epoch: u64,
+    },
+    /// Answer to `delete`.
+    Deleted {
+        /// The epoch the delete committed as.
+        epoch: u64,
+    },
+    /// Answer to `epoch`.
+    Epoch {
+        /// The currently published epoch.
+        epoch: u64,
     },
     /// Any request can fail with a structured error.
     Error(WireError),
@@ -246,6 +310,81 @@ fn num(n: u64) -> Value {
 
 fn opt_num(n: Option<u64>) -> Value {
     n.map_or(Value::Null, num)
+}
+
+/// Encodes a signed integer; exact only up to 2^53 in magnitude.
+fn int_v(n: i64) -> Value {
+    debug_assert!(
+        n.unsigned_abs() <= 1 << 53,
+        "JSON numbers are exact only up to 2^53"
+    );
+    Value::Number(n as f64)
+}
+
+/// Insert properties travel as an array of `[name, value]` pairs (see the
+/// module docs for why not an object).
+fn encode_props(props: &[(String, WireProp)]) -> Value {
+    Value::Array(
+        props
+            .iter()
+            .map(|(name, p)| {
+                let v = match p {
+                    WireProp::Int(i) => int_v(*i),
+                    WireProp::Str(s) => str_v(s),
+                    WireProp::Null => Value::Null,
+                };
+                Value::Array(vec![str_v(name), v])
+            })
+            .collect(),
+    )
+}
+
+fn decode_props(v: Option<&Value>) -> Result<Vec<(String, WireProp)>, String> {
+    let arr = match v {
+        None | Some(Value::Null) => return Ok(Vec::new()),
+        Some(v) => v
+            .as_array()
+            .ok_or("props must be an array of [name, value] pairs")?,
+    };
+    arr.iter()
+        .map(|pair| {
+            let pair = pair
+                .as_array()
+                .filter(|p| p.len() == 2)
+                .ok_or_else(|| "each prop must be a [name, value] pair".to_owned())?;
+            let name = pair[0]
+                .as_str()
+                .ok_or("prop name must be a string")?
+                .to_owned();
+            let value = match &pair[1] {
+                Value::Null => WireProp::Null,
+                Value::String(s) => WireProp::Str(s.clone()),
+                other => {
+                    let f = other
+                        .as_f64()
+                        .ok_or_else(|| format!("bad prop value {other:?}"))?;
+                    if f.fract() != 0.0 || f.abs() > (1u64 << 53) as f64 {
+                        return Err(format!("prop value {f} is not an exact integer"));
+                    }
+                    WireProp::Int(f as i64)
+                }
+            };
+            Ok((name, value))
+        })
+        .collect()
+}
+
+fn get_u32(v: &Value, key: &str) -> Result<u32, String> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .and_then(|n| u32::try_from(n).ok())
+        .ok_or_else(|| format!("member {key:?} must be an unsigned 32-bit integer"))
+}
+
+fn get_u64(v: &Value, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("member {key:?} must be an unsigned integer"))
 }
 
 /// Unbound-slot sentinels travel as `null` (see the module docs).
@@ -351,6 +490,20 @@ impl Request {
                 ("type", str_v("reconfigure")),
                 ("statement", str_v(statement)),
             ]),
+            Request::Insert {
+                src,
+                dst,
+                label,
+                props,
+            } => obj(vec![
+                ("type", str_v("insert")),
+                ("src", num(u64::from(*src))),
+                ("dst", num(u64::from(*dst))),
+                ("label", str_v(label)),
+                ("props", encode_props(props)),
+            ]),
+            Request::Delete { edge } => obj(vec![("type", str_v("delete")), ("edge", num(*edge))]),
+            Request::Epoch => obj(vec![("type", str_v("epoch"))]),
         };
         serde_json::to_string(&value).expect("request serializes")
     }
@@ -378,6 +531,16 @@ impl Request {
             "reconfigure" => Ok(Request::Reconfigure {
                 statement: get_str(&v, "statement")?,
             }),
+            "insert" => Ok(Request::Insert {
+                src: get_u32(&v, "src")?,
+                dst: get_u32(&v, "dst")?,
+                label: get_str(&v, "label")?,
+                props: decode_props(v.get("props"))?,
+            }),
+            "delete" => Ok(Request::Delete {
+                edge: get_u64(&v, "edge")?,
+            }),
+            "epoch" => Ok(Request::Epoch),
             other => Err(format!("unknown request type {other:?}")),
         }
     }
@@ -413,6 +576,17 @@ impl Response {
                     ("name", str_v(name)),
                 ]),
             },
+            Response::Inserted { edge, epoch } => obj(vec![
+                ("type", str_v("inserted")),
+                ("edge", num(*edge)),
+                ("epoch", num(*epoch)),
+            ]),
+            Response::Deleted { epoch } => {
+                obj(vec![("type", str_v("deleted")), ("epoch", num(*epoch))])
+            }
+            Response::Epoch { epoch } => {
+                obj(vec![("type", str_v("epoch")), ("epoch", num(*epoch))])
+            }
             Response::Error(e) => obj(vec![
                 ("type", str_v("error")),
                 ("kind", str_v(&e.kind)),
@@ -453,6 +627,16 @@ impl Response {
                     other => Err(format!("unknown ddl outcome {other:?}")),
                 }
             }
+            "inserted" => Ok(Response::Inserted {
+                edge: get_u64(&v, "edge")?,
+                epoch: get_u64(&v, "epoch")?,
+            }),
+            "deleted" => Ok(Response::Deleted {
+                epoch: get_u64(&v, "epoch")?,
+            }),
+            "epoch" => Ok(Response::Epoch {
+                epoch: get_u64(&v, "epoch")?,
+            }),
             "error" => Ok(Response::Error(WireError {
                 kind: get_str(&v, "kind")?,
                 message: get_str(&v, "message")?,
@@ -488,6 +672,25 @@ mod tests {
             Request::Reconfigure {
                 statement: "RECONFIGURE PRIMARY INDEXES SORT BY vnbr.ID".into(),
             },
+            Request::Insert {
+                src: 0,
+                dst: 2,
+                label: "W".into(),
+                props: vec![
+                    ("amt".into(), WireProp::Int(42)),
+                    ("currency".into(), WireProp::Str("USD".into())),
+                    ("memo".into(), WireProp::Null),
+                    ("delta".into(), WireProp::Int(-7)),
+                ],
+            },
+            Request::Insert {
+                src: 1,
+                dst: 3,
+                label: "DD".into(),
+                props: Vec::new(),
+            },
+            Request::Delete { edge: 17 },
+            Request::Epoch,
         ];
         for req in cases {
             let json = req.to_json();
@@ -522,6 +725,9 @@ mod tests {
                 message: "expected a MATCH query".into(),
                 offset: Some(4),
             }),
+            Response::Inserted { edge: 25, epoch: 3 },
+            Response::Deleted { epoch: 4 },
+            Response::Epoch { epoch: 0 },
             Response::Error(WireError::protocol("unknown request type")),
         ];
         for resp in cases {

@@ -42,12 +42,14 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use aplus_common::{EdgeId, VertexId};
+use aplus_graph::Value;
 use aplus_query::engine::DdlOutcome;
 use aplus_query::sink::{row_channel, RowReceiver, TryNext};
 use aplus_query::{RawRow, SharedDatabase};
 use aplus_runtime::Shutdown;
 
-use crate::protocol::{read_frame_body, write_frame, Request, Response, WireError};
+use crate::protocol::{read_frame_body, write_frame, Request, Response, WireError, WireProp};
 
 /// Tuning knobs of one server instance.
 #[derive(Debug, Clone)]
@@ -320,6 +322,19 @@ fn handle_connection(
                 let resp = run_reconfigure(shared, &statement);
                 respond(&mut stream, &resp)
             }
+            Request::Insert {
+                src,
+                dst,
+                label,
+                props,
+            } => respond(&mut stream, &run_insert(shared, src, dst, &label, &props)),
+            Request::Delete { edge } => respond(&mut stream, &run_delete(shared, edge)),
+            Request::Epoch => respond(
+                &mut stream,
+                &Response::Epoch {
+                    epoch: shared.epoch(),
+                },
+            ),
             Request::Stream { query, limit } => {
                 handle_stream(&mut stream, shared, config, &query, decode_limit(limit))
             }
@@ -358,6 +373,76 @@ fn run_collect(
         }),
         Ok(rows) => Response::Rows { rows },
         Err(e) => Response::Error(WireError::from(&e)),
+    }
+}
+
+/// Serves one `insert`: a single-edge write batch. The guard op failing
+/// (an unknown vertex, a bad label) aborts the batch and publishes no
+/// epoch; the op succeeding but the durable commit failing (a full disk,
+/// an injected crash) also publishes nothing — the `durability`-kind
+/// error frame tells the client the edge is NOT on disk.
+fn run_insert(
+    shared: &SharedDatabase,
+    src: u32,
+    dst: u32,
+    label: &str,
+    props: &[(String, WireProp)],
+) -> Response {
+    let values: Vec<(&str, Value<'_>)> = props
+        .iter()
+        .map(|(name, prop)| {
+            let value = match prop {
+                WireProp::Int(i) => Value::Int(*i),
+                WireProp::Str(s) => Value::Str(s.as_str()),
+                WireProp::Null => Value::Null,
+            };
+            (name.as_str(), value)
+        })
+        .collect();
+    let mut writer = shared.writer();
+    match writer.insert_edge(VertexId(src), VertexId(dst), label, &values) {
+        Ok(edge) => match writer.commit() {
+            Ok(epoch) => Response::Inserted {
+                edge: edge.0,
+                epoch,
+            },
+            Err(e) => Response::Error(durability_error(&e)),
+        },
+        Err(e) => {
+            writer.abort();
+            Response::Error(WireError {
+                kind: "graph".into(),
+                message: e.to_string(),
+                offset: None,
+            })
+        }
+    }
+}
+
+/// Serves one `delete`: the single-edge counterpart of [`run_insert`].
+fn run_delete(shared: &SharedDatabase, edge: u64) -> Response {
+    let mut writer = shared.writer();
+    match writer.delete_edge(EdgeId(edge)) {
+        Ok(()) => match writer.commit() {
+            Ok(epoch) => Response::Deleted { epoch },
+            Err(e) => Response::Error(durability_error(&e)),
+        },
+        Err(e) => {
+            writer.abort();
+            Response::Error(WireError {
+                kind: "graph".into(),
+                message: e.to_string(),
+                offset: None,
+            })
+        }
+    }
+}
+
+fn durability_error(e: &aplus_query::DurabilityError) -> WireError {
+    WireError {
+        kind: "durability".into(),
+        message: e.to_string(),
+        offset: None,
     }
 }
 

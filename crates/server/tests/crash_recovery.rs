@@ -1,0 +1,263 @@
+//! Out-of-process crash recovery: `kill -9` the real `aplus-server`
+//! binary mid-churn, restart it on the same data directory, and require
+//! the recovered database to be bit-identical to a locally rebuilt
+//! reference holding exactly the WAL-committed epochs — no lost acked
+//! writes, no resurrected unacked ones. Also: startup on an unusable or
+//! incompatible data directory must be a clean nonzero exit with a
+//! diagnostic, never a panic and never a silent in-memory fallback.
+
+use std::io::{BufRead as _, BufReader, Write as _};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStdout, Command, Stdio};
+
+use aplus_common::VertexId;
+use aplus_graph::Value;
+use aplus_query::{Database, MorselPool, SharedDatabase};
+use aplus_server::protocol::{write_frame, Request};
+use aplus_server::{Client, WireProp};
+
+const WIRES: &str = "MATCH a-[r:W]->b";
+const SEED_WIRES: u64 = 9; // the Figure-1 financial graph
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("aplus_crash_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Spawns the real server binary in durable mode on an OS-assigned port.
+fn spawn_server(data_dir: &Path, checkpoint_every: &str) -> Child {
+    Command::new(env!("CARGO_BIN_EXE_aplus-server"))
+        .arg("127.0.0.1:0")
+        .env("APLUS_DATA_DIR", data_dir)
+        // `never` still survives kill -9 — the page cache outlives the
+        // process — and keeps the churn loop fast.
+        .env("APLUS_FSYNC", "never")
+        .env("APLUS_CHECKPOINT_EVERY", checkpoint_every)
+        .env("APLUS_THREADS", "2")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn aplus-server")
+}
+
+/// Reads the startup banner and extracts the bound address. The banner
+/// prints only after recovery completes and the listener is bound, so a
+/// successful parse means the server is ready.
+fn bound_addr(stdout: &mut BufReader<ChildStdout>) -> String {
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = stdout.read_line(&mut line).expect("read server stdout");
+        assert!(n > 0, "server exited before printing its banner");
+        if let Some(rest) = line.split(" on ").nth(1) {
+            if line.starts_with("aplus-server: serving") {
+                return rest.split(" (").next().unwrap().trim().to_owned();
+            }
+        }
+    }
+}
+
+fn sigkill(mut child: Child) {
+    child.kill().expect("kill -9 the server");
+    let _ = child.wait();
+}
+
+/// The reference database: the same seed with the first `epochs` churn
+/// inserts applied through the same engine API the replay path uses.
+fn reference(epochs: u64) -> (SharedDatabase, Vec<u64>) {
+    let db = Database::new(aplus_datagen::build_financial_graph().graph).unwrap();
+    let shared = SharedDatabase::with_pool(db, MorselPool::new(2));
+    let mut edges = Vec::new();
+    for i in 1..=epochs {
+        let mut w = shared.writer();
+        let e = w
+            .insert_edge(
+                VertexId(0),
+                VertexId(2),
+                "W",
+                &[("amt", Value::Int(i as i64))],
+            )
+            .unwrap();
+        w.commit().unwrap();
+        edges.push(e.0);
+    }
+    (shared, edges)
+}
+
+#[test]
+fn kill_nine_mid_churn_recovers_every_acked_epoch() {
+    let dir = temp_dir("churn");
+
+    // ---- run 1: seed, churn acked inserts, then kill -9 mid-request ----
+    let mut child = spawn_server(&dir, "4");
+    let mut stdout = BufReader::new(child.stdout.take().unwrap());
+    let addr = bound_addr(&mut stdout);
+    let mut client = Client::connect(&addr).unwrap();
+    assert_eq!(
+        client.epoch().unwrap(),
+        0,
+        "fresh directory seeds at epoch 0"
+    );
+    assert_eq!(client.count(WIRES).unwrap(), SEED_WIRES);
+
+    let mut acked = Vec::new(); // (edge, epoch)
+    for i in 1..=10u64 {
+        let props = vec![("amt".to_owned(), WireProp::Int(i as i64))];
+        acked.push(client.insert(0, 2, "W", &props).unwrap());
+    }
+    let last_acked = acked.last().unwrap().1;
+    assert_eq!(last_acked, 10, "one published epoch per acked insert");
+
+    // One more insert is written to the socket but never awaited — a
+    // client whose ack was lost. Recovery may or may not include it;
+    // it must never be half-applied.
+    let mut raw = TcpStream::connect(&addr).unwrap();
+    write_frame(
+        &mut raw,
+        &Request::Insert {
+            src: 0,
+            dst: 2,
+            label: "W".into(),
+            props: vec![("amt".into(), WireProp::Int(11))],
+        }
+        .to_json(),
+    )
+    .unwrap();
+    sigkill(child);
+
+    // ---- run 2: recover, verify, churn a delete, kill -9 again ----
+    let mut child = spawn_server(&dir, "4");
+    let mut stdout = BufReader::new(child.stdout.take().unwrap());
+    let addr = bound_addr(&mut stdout);
+    let mut client = Client::connect(&addr).unwrap();
+
+    let epoch = client.epoch().unwrap();
+    assert!(
+        epoch >= last_acked && epoch <= last_acked + 1,
+        "recovered epoch {epoch} must cover every acked epoch (≤ {last_acked}) \
+         and at most the one in-flight insert"
+    );
+    let (ref_db, ref_edges) = reference(epoch);
+    assert_eq!(
+        client.count(WIRES).unwrap(),
+        SEED_WIRES + epoch,
+        "exactly the WAL-committed inserts survive"
+    );
+    assert_eq!(
+        client.collect(WIRES, usize::MAX).unwrap(),
+        ref_db.collect(WIRES, usize::MAX).unwrap(),
+        "recovered rows are bit-identical to the reference"
+    );
+    for ((edge, _), expect) in acked.iter().zip(&ref_edges) {
+        assert_eq!(edge, expect, "replay assigns the same edge IDs");
+    }
+
+    // Delete one acked churn edge, ack it, then kill again: the second
+    // crash exercises checkpoint + WAL-tail recovery (checkpoint_every=4
+    // ran during the churn) and recovery-of-recovered state.
+    let deleted_edge = acked[4].0;
+    let del_epoch = client.delete(deleted_edge).unwrap();
+    assert_eq!(del_epoch, epoch + 1);
+    sigkill(child);
+
+    // ---- run 3: the delete survives too ----
+    let mut child = spawn_server(&dir, "4");
+    let mut stdout = BufReader::new(child.stdout.take().unwrap());
+    let addr = bound_addr(&mut stdout);
+    let mut client = Client::connect(&addr).unwrap();
+    assert_eq!(client.epoch().unwrap(), del_epoch);
+    assert_eq!(client.count(WIRES).unwrap(), SEED_WIRES + epoch - 1);
+
+    let ref2 = {
+        let (ref_db, _) = reference(epoch);
+        let mut w = ref_db.writer();
+        w.delete_edge(aplus_common::EdgeId(deleted_edge)).unwrap();
+        w.commit().unwrap();
+        ref_db
+    };
+    assert_eq!(
+        client.collect(WIRES, usize::MAX).unwrap(),
+        ref2.collect(WIRES, usize::MAX).unwrap(),
+        "post-delete recovery is bit-identical to the reference"
+    );
+
+    // Clean shutdown this time, then clean up.
+    child.stdin.as_mut().unwrap().write_all(b"quit\n").unwrap();
+    let status = child.wait().unwrap();
+    assert!(status.success());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn stderr_of(child: Child) -> (Option<i32>, String) {
+    let out = child.wait_with_output().expect("wait for server exit");
+    (
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn unusable_data_dir_is_a_clean_nonzero_exit() {
+    // A regular file where the data directory should be: unusable for
+    // any uid (unlike a chmod 000 directory, which root writes through).
+    let path = std::env::temp_dir().join(format!("aplus_crash_notadir_{}", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    std::fs::write(&path, b"not a directory").unwrap();
+
+    let child = spawn_server(&path, "4");
+    let (code, stderr) = stderr_of(child);
+    assert_ne!(code, Some(0), "must exit nonzero, not serve from memory");
+    assert!(
+        stderr.contains("could not open data directory"),
+        "diagnostic names the failure: {stderr}"
+    );
+    assert!(
+        !stderr.contains("panicked"),
+        "a clean diagnostic, not a panic: {stderr}"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn newer_format_version_is_a_clean_nonzero_exit() {
+    let dir = temp_dir("newer");
+    std::fs::create_dir_all(&dir).unwrap();
+    // A WAL written "by a newer build": valid magic, version 99.
+    let mut header = Vec::new();
+    header.extend_from_slice(b"APLUSWAL");
+    header.extend_from_slice(&99u32.to_le_bytes());
+    header.extend_from_slice(&0u32.to_le_bytes());
+    std::fs::write(dir.join("wal.log"), &header).unwrap();
+
+    let child = spawn_server(&dir, "4");
+    let (code, stderr) = stderr_of(child);
+    assert_ne!(code, Some(0));
+    assert!(
+        stderr.contains("newer") && stderr.contains("could not open data directory"),
+        "diagnostic explains the version mismatch: {stderr}"
+    );
+    assert!(!stderr.contains("panicked"), "{stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn malformed_durability_env_is_a_usage_error() {
+    let dir = temp_dir("badenv");
+    let mut child = Command::new(env!("CARGO_BIN_EXE_aplus-server"))
+        .arg("127.0.0.1:0")
+        .env("APLUS_DATA_DIR", &dir)
+        .env("APLUS_FSYNC", "sometimes")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    drop(child.stdin.take());
+    let (code, stderr) = stderr_of(child);
+    assert_eq!(code, Some(2), "malformed env is a usage error: {stderr}");
+    assert!(stderr.contains("APLUS_FSYNC"), "{stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

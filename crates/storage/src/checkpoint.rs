@@ -1,0 +1,319 @@
+//! Fuzzy checkpoint files.
+//!
+//! A checkpoint is one immutable epoch serialized in full. File layout:
+//!
+//! ```text
+//! header := magic "APLUSCKP" (8) | version u32 | reserved u32
+//!         | epoch u64 | payload_len u32 | crc u32                = 32 bytes
+//! crc    := CRC32(epoch_le ++ payload_len_le ++ payload)
+//! ```
+//!
+//! Checkpoints are written to `<name>.tmp` and atomically renamed into
+//! place, so a crash mid-write leaves only a `.tmp` file that recovery
+//! deletes. The newest **two** checkpoints are retained: if the newest one
+//! fails validation at recovery, the previous one plus a longer WAL tail
+//! still reconstructs every committed epoch (the WAL is only ever trimmed
+//! through the *previous* checkpoint's epoch).
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::crc::Crc32;
+use crate::error::StorageError;
+use crate::fault::{CrashPoint, FaultInjector};
+
+/// Magic bytes opening every checkpoint file.
+pub const CKP_MAGIC: &[u8; 8] = b"APLUSCKP";
+/// Newest checkpoint format version this build reads and writes.
+pub const CKP_VERSION: u32 = 1;
+/// Header length in bytes.
+pub const CKP_HEADER_LEN: usize = 32;
+/// How many validated checkpoints recovery keeps around.
+pub const CKP_RETAIN: usize = 2;
+
+/// Filename of the checkpoint for `epoch`. Zero-padded so lexicographic
+/// order is epoch order.
+#[must_use]
+pub fn checkpoint_path(dir: &Path, epoch: u64) -> PathBuf {
+    dir.join(format!("checkpoint-{epoch:020}.ckpt"))
+}
+
+fn header_bytes(epoch: u64, payload: &[u8]) -> [u8; CKP_HEADER_LEN] {
+    let len = u32::try_from(payload.len()).expect("checkpoint payload over 4 GiB");
+    let mut crc = Crc32::new();
+    crc.update(&epoch.to_le_bytes());
+    crc.update(&len.to_le_bytes());
+    crc.update(payload);
+    let mut h = [0u8; CKP_HEADER_LEN];
+    h[..8].copy_from_slice(CKP_MAGIC);
+    h[8..12].copy_from_slice(&CKP_VERSION.to_le_bytes());
+    h[16..24].copy_from_slice(&epoch.to_le_bytes());
+    h[24..28].copy_from_slice(&len.to_le_bytes());
+    h[28..32].copy_from_slice(&crc.finish().to_le_bytes());
+    h
+}
+
+/// Writes the checkpoint for `epoch` via temp file + atomic rename and
+/// returns its final path.
+///
+/// # Errors
+/// [`StorageError::InjectedCrash`] when the injector fires
+/// [`CrashPoint::MidCheckpoint`] — a partial `.tmp` file is left behind and
+/// no rename happens; [`StorageError::Io`] on real failures.
+pub fn write_checkpoint(
+    dir: &Path,
+    epoch: u64,
+    payload: &[u8],
+    fsync: bool,
+    injector: &FaultInjector,
+) -> Result<PathBuf, StorageError> {
+    let path = checkpoint_path(dir, epoch);
+    let tmp = path.with_extension("ckpt.tmp");
+    let header = header_bytes(epoch, payload);
+    {
+        let mut out = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp)?;
+        if injector.fire(CrashPoint::MidCheckpoint) {
+            // Simulate the crash: header plus half the payload reach the
+            // temp file; the rename that would make it visible never runs.
+            out.write_all(&header)?;
+            out.write_all(&payload[..payload.len() / 2])?;
+            out.sync_all()?;
+            return Err(StorageError::InjectedCrash(CrashPoint::MidCheckpoint));
+        }
+        out.write_all(&header)?;
+        out.write_all(payload)?;
+        if fsync {
+            out.sync_all()?;
+        }
+    }
+    std::fs::rename(&tmp, &path)?;
+    if fsync {
+        fsync_dir(dir)?;
+    }
+    Ok(path)
+}
+
+/// Reads and validates one checkpoint file, returning `(epoch, payload)`.
+///
+/// # Errors
+/// [`StorageError::Format`] if the version is newer than supported,
+/// [`StorageError::Corrupt`] on bad magic, length or checksum.
+pub fn read_checkpoint(path: &Path) -> Result<(u64, Vec<u8>), StorageError> {
+    let mut file = File::open(path)?;
+    let mut bytes = Vec::new();
+    file.read_to_end(&mut bytes)?;
+    if bytes.len() < CKP_HEADER_LEN {
+        return Err(StorageError::Corrupt(format!(
+            "{} is shorter than a checkpoint header",
+            path.display()
+        )));
+    }
+    if &bytes[..8] != CKP_MAGIC {
+        return Err(StorageError::Corrupt(format!(
+            "{} does not start with the checkpoint magic",
+            path.display()
+        )));
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version > CKP_VERSION {
+        return Err(StorageError::Format {
+            found: version,
+            supported: CKP_VERSION,
+        });
+    }
+    let epoch = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
+    let payload_len = u32::from_le_bytes(bytes[24..28].try_into().unwrap());
+    let crc = u32::from_le_bytes(bytes[28..32].try_into().unwrap());
+    let payload = bytes
+        .get(CKP_HEADER_LEN..CKP_HEADER_LEN + payload_len as usize)
+        .ok_or_else(|| StorageError::Corrupt(format!("{} payload is truncated", path.display())))?;
+    let mut check = Crc32::new();
+    check.update(&epoch.to_le_bytes());
+    check.update(&payload_len.to_le_bytes());
+    check.update(payload);
+    if check.finish() != crc {
+        return Err(StorageError::Corrupt(format!(
+            "{} fails its checksum",
+            path.display()
+        )));
+    }
+    Ok((epoch, payload.to_vec()))
+}
+
+/// Lists checkpoint files in `dir` as `(epoch, path)`, ascending by epoch.
+/// Files that do not match the naming scheme (including `.tmp` leftovers)
+/// are ignored.
+///
+/// # Errors
+/// [`StorageError::Io`] if the directory cannot be read.
+pub fn list_checkpoints(dir: &Path) -> Result<Vec<(u64, PathBuf)>, StorageError> {
+    let mut found = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(stem) = name
+            .strip_prefix("checkpoint-")
+            .and_then(|s| s.strip_suffix(".ckpt"))
+        else {
+            continue;
+        };
+        if let Ok(epoch) = stem.parse::<u64>() {
+            found.push((epoch, entry.path()));
+        }
+    }
+    found.sort_unstable_by_key(|(epoch, _)| *epoch);
+    Ok(found)
+}
+
+/// Deletes leftover `.tmp` files (interrupted checkpoint writes).
+///
+/// # Errors
+/// [`StorageError::Io`] if the directory cannot be read. Individual delete
+/// failures are ignored — a stale tmp file is harmless.
+pub fn remove_stale_tmp(dir: &Path) -> Result<(), StorageError> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        if entry.path().extension().is_some_and(|e| e == "tmp") {
+            let _ = std::fs::remove_file(entry.path());
+        }
+    }
+    Ok(())
+}
+
+/// Deletes all but the newest [`CKP_RETAIN`] checkpoints.
+///
+/// # Errors
+/// [`StorageError::Io`] if the directory cannot be read. Individual delete
+/// failures are ignored.
+pub fn retain_newest(dir: &Path) -> Result<(), StorageError> {
+    let found = list_checkpoints(dir)?;
+    if found.len() > CKP_RETAIN {
+        for (_, path) in &found[..found.len() - CKP_RETAIN] {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+    Ok(())
+}
+
+/// Fsyncs a directory so renames within it are durable. A no-op error on
+/// platforms where directories cannot be opened is not worth failing over.
+pub fn fsync_dir(dir: &Path) -> Result<(), StorageError> {
+    if let Ok(d) = File::open(dir) {
+        d.sync_all()?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("aplus-ckpt-test-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let dir = tmp_dir("roundtrip");
+        let payload = b"the graph, serialized".to_vec();
+        let path = write_checkpoint(&dir, 42, &payload, false, &FaultInjector::none()).unwrap();
+        let (epoch, read_back) = read_checkpoint(&path).unwrap();
+        assert_eq!(epoch, 42);
+        assert_eq!(read_back, payload);
+    }
+
+    #[test]
+    fn mid_checkpoint_injection_leaves_only_tmp() {
+        let dir = tmp_dir("inject");
+        let inj = FaultInjector::crash_on_nth(CrashPoint::MidCheckpoint, 1);
+        let err = write_checkpoint(&dir, 7, b"partial payload bytes", false, &inj).unwrap_err();
+        assert!(matches!(
+            err,
+            StorageError::InjectedCrash(CrashPoint::MidCheckpoint)
+        ));
+        assert!(list_checkpoints(&dir).unwrap().is_empty());
+        // The tmp leftover exists until recovery sweeps it.
+        let tmp_count = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .path()
+                    .extension()
+                    .is_some_and(|x| x == "tmp")
+            })
+            .count();
+        assert_eq!(tmp_count, 1);
+        remove_stale_tmp(&dir).unwrap();
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 0);
+    }
+
+    #[test]
+    fn corrupt_checkpoint_fails_validation() {
+        let dir = tmp_dir("corrupt");
+        let path = write_checkpoint(
+            &dir,
+            3,
+            b"payload under checksum",
+            false,
+            &FaultInjector::none(),
+        )
+        .unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 1] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read_checkpoint(&path),
+            Err(StorageError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn newer_version_is_a_format_error() {
+        let dir = tmp_dir("version");
+        let path = write_checkpoint(&dir, 1, b"x", false, &FaultInjector::none()).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[8..12].copy_from_slice(&2u32.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read_checkpoint(&path),
+            Err(StorageError::Format {
+                found: 2,
+                supported: CKP_VERSION
+            })
+        ));
+    }
+
+    #[test]
+    fn listing_sorts_by_epoch_and_retain_keeps_newest_two() {
+        let dir = tmp_dir("retain");
+        let inj = FaultInjector::none();
+        for epoch in [5u64, 1, 9, 3] {
+            write_checkpoint(&dir, epoch, b"p", false, &inj).unwrap();
+        }
+        let epochs: Vec<u64> = list_checkpoints(&dir)
+            .unwrap()
+            .into_iter()
+            .map(|(e, _)| e)
+            .collect();
+        assert_eq!(epochs, vec![1, 3, 5, 9]);
+        retain_newest(&dir).unwrap();
+        let epochs: Vec<u64> = list_checkpoints(&dir)
+            .unwrap()
+            .into_iter()
+            .map(|(e, _)| e)
+            .collect();
+        assert_eq!(epochs, vec![5, 9]);
+    }
+}

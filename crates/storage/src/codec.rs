@@ -1,0 +1,822 @@
+//! Logical serialization: WAL operations and whole-graph snapshots.
+//!
+//! Everything here is *logical*, not physical: a WAL record stores "insert
+//! an edge from v3 to v7 labelled Wire with amt=50", and a checkpoint
+//! stores labels, dictionaries and properties as strings. Replay is
+//! deterministic because every ID in the system is dense and assigned in
+//! first-seen order — edge IDs count up from `edge_count`, label and
+//! dictionary codes count up from the interner length — so rebuilding the
+//! interners in code order and re-applying operations in epoch order
+//! reproduces bit-identical state.
+//!
+//! All integers are little-endian. Strings are a `u32` byte length followed
+//! by UTF-8 bytes.
+
+use aplus_graph::{Graph, PropertyEntity, PropertyKind, Value};
+
+use aplus_common::{EdgeId, EdgeLabelId, PropertyId, VertexId, VertexLabelId};
+
+use crate::error::StorageError;
+
+// ---------------------------------------------------------------------------
+// Byte-level encoder / decoder
+// ---------------------------------------------------------------------------
+
+/// Append-only byte encoder.
+#[derive(Debug, Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// Fresh empty encoder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the encoder, returning the bytes.
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Writes one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a little-endian `u16`.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian `i64`.
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.u32(u32::try_from(s.len()).expect("string longer than 4 GiB"));
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+/// Cursor over encoded bytes. Every read fails with
+/// [`StorageError::Corrupt`] instead of panicking, so a checksummed-but-
+/// malformed payload surfaces as an error recovery can report.
+#[derive(Debug)]
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// Cursor at the start of `buf`.
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Whether every byte has been consumed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pos >= self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], StorageError> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
+        match end {
+            Some(end) => {
+                let slice = &self.buf[self.pos..end];
+                self.pos = end;
+                Ok(slice)
+            }
+            None => Err(StorageError::Corrupt(format!(
+                "payload truncated: wanted {n} bytes at offset {} of {}",
+                self.pos,
+                self.buf.len()
+            ))),
+        }
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, StorageError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, StorageError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, StorageError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, StorageError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn i64(&mut self) -> Result<i64, StorageError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, StorageError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| StorageError::Corrupt("string is not valid UTF-8".to_owned()))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// WAL operations
+// ---------------------------------------------------------------------------
+
+/// An owned property value inside a WAL record — the owning counterpart of
+/// [`aplus_graph::Value`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PropValue {
+    /// 64-bit integer.
+    Int(i64),
+    /// String (categorical or text, per the property's registered kind).
+    Str(String),
+    /// Explicit NULL.
+    Null,
+}
+
+impl PropValue {
+    /// Borrows as the graph-facing [`Value`].
+    #[must_use]
+    pub fn as_value(&self) -> Value<'_> {
+        match self {
+            Self::Int(i) => Value::Int(*i),
+            Self::Str(s) => Value::Str(s),
+            Self::Null => Value::Null,
+        }
+    }
+
+    /// Converts a graph-facing [`Value`] into an owned one.
+    #[must_use]
+    pub fn from_value(v: Value<'_>) -> Self {
+        match v {
+            Value::Int(i) => Self::Int(i),
+            Value::Str(s) => Self::Str(s.to_owned()),
+            Value::Null => Self::Null,
+        }
+    }
+}
+
+/// One logical write operation. A committed batch is a `Vec<WalOp>`; replay
+/// applies them in order through the same engine entry points the original
+/// writer used.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalOp {
+    /// `Database::insert_edge` — add an edge and set its properties.
+    InsertEdge {
+        /// Source vertex (must already exist).
+        src: u32,
+        /// Destination vertex (must already exist).
+        dst: u32,
+        /// Edge label name.
+        label: String,
+        /// `(property name, value)` pairs set on the new edge.
+        props: Vec<(String, PropValue)>,
+    },
+    /// `Database::delete_edge` — tombstone an edge.
+    DeleteEdge {
+        /// The edge to tombstone.
+        edge: u64,
+    },
+    /// `Database::ddl` — a `CREATE ... VIEW` / `RECONFIGURE` statement,
+    /// replayed through the parser.
+    Ddl {
+        /// The statement text.
+        statement: String,
+    },
+    /// `Database::flush` — fold index tombstones down.
+    Flush,
+}
+
+/// Encodes a batch of operations into a WAL record payload.
+#[must_use]
+pub fn encode_ops(ops: &[WalOp]) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u32(u32::try_from(ops.len()).expect("batch of more than 4 billion ops"));
+    for op in ops {
+        match op {
+            WalOp::InsertEdge {
+                src,
+                dst,
+                label,
+                props,
+            } => {
+                e.u8(0);
+                e.u32(*src);
+                e.u32(*dst);
+                e.str(label);
+                e.u32(u32::try_from(props.len()).expect("too many props"));
+                for (name, value) in props {
+                    e.str(name);
+                    match value {
+                        PropValue::Int(i) => {
+                            e.u8(0);
+                            e.i64(*i);
+                        }
+                        PropValue::Str(s) => {
+                            e.u8(1);
+                            e.str(s);
+                        }
+                        PropValue::Null => e.u8(2),
+                    }
+                }
+            }
+            WalOp::DeleteEdge { edge } => {
+                e.u8(1);
+                e.u64(*edge);
+            }
+            WalOp::Ddl { statement } => {
+                e.u8(2);
+                e.str(statement);
+            }
+            WalOp::Flush => e.u8(3),
+        }
+    }
+    e.into_bytes()
+}
+
+/// Decodes a WAL record payload back into its operations.
+///
+/// # Errors
+/// [`StorageError::Corrupt`] on any malformed byte — recovery reports this
+/// rather than trusting a record whose checksum somehow passed.
+pub fn decode_ops(buf: &[u8]) -> Result<Vec<WalOp>, StorageError> {
+    let mut d = Dec::new(buf);
+    let n = d.u32()? as usize;
+    let mut ops = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        let op = match d.u8()? {
+            0 => {
+                let src = d.u32()?;
+                let dst = d.u32()?;
+                let label = d.str()?;
+                let nprops = d.u32()? as usize;
+                let mut props = Vec::with_capacity(nprops.min(1 << 16));
+                for _ in 0..nprops {
+                    let name = d.str()?;
+                    let value = match d.u8()? {
+                        0 => PropValue::Int(d.i64()?),
+                        1 => PropValue::Str(d.str()?),
+                        2 => PropValue::Null,
+                        t => {
+                            return Err(StorageError::Corrupt(format!(
+                                "unknown property value tag {t}"
+                            )))
+                        }
+                    };
+                    props.push((name, value));
+                }
+                WalOp::InsertEdge {
+                    src,
+                    dst,
+                    label,
+                    props,
+                }
+            }
+            1 => WalOp::DeleteEdge { edge: d.u64()? },
+            2 => WalOp::Ddl {
+                statement: d.str()?,
+            },
+            3 => WalOp::Flush,
+            t => return Err(StorageError::Corrupt(format!("unknown WAL op tag {t}"))),
+        };
+        ops.push(op);
+    }
+    if !d.is_empty() {
+        return Err(StorageError::Corrupt(
+            "trailing bytes after last WAL op".to_owned(),
+        ));
+    }
+    Ok(ops)
+}
+
+// ---------------------------------------------------------------------------
+// Graph serialization
+// ---------------------------------------------------------------------------
+
+const KIND_INT: u8 = 0;
+const KIND_CATEGORICAL: u8 = 1;
+const KIND_TEXT: u8 = 2;
+
+fn encode_kind(k: PropertyKind) -> u8 {
+    match k {
+        PropertyKind::Int => KIND_INT,
+        PropertyKind::Categorical => KIND_CATEGORICAL,
+        PropertyKind::Text => KIND_TEXT,
+    }
+}
+
+fn decode_kind(b: u8) -> Result<PropertyKind, StorageError> {
+    match b {
+        KIND_INT => Ok(PropertyKind::Int),
+        KIND_CATEGORICAL => Ok(PropertyKind::Categorical),
+        KIND_TEXT => Ok(PropertyKind::Text),
+        t => Err(StorageError::Corrupt(format!("unknown property kind {t}"))),
+    }
+}
+
+fn encode_props(e: &mut Enc, g: &Graph, entity: PropertyEntity) {
+    let cat = g.catalog();
+    e.u32(u32::try_from(cat.property_count(entity)).expect("property count overflow"));
+    for pid in 0..cat.property_count(entity) {
+        let meta = cat.property_meta(entity, PropertyId(pid as u16));
+        e.str(&meta.name);
+        e.u8(encode_kind(meta.kind));
+        // Dictionary in code order: decoding re-interns in the same order,
+        // so every code survives the round trip. Code order matters because
+        // SORT BY on a categorical property sorts by code.
+        e.u32(u32::try_from(meta.domain_size()).expect("dictionary overflow"));
+        for code in 0..meta.domain_size() {
+            e.str(meta.categorical_value(code as u32).expect("dense codes"));
+        }
+    }
+}
+
+/// Serializes a graph (topology, catalog, dictionaries, properties,
+/// tombstones) into a logically-exact byte blob. `decode_graph` rebuilds a
+/// graph that is indistinguishable from the original: same IDs, same codes,
+/// same NULLs, same tombstones.
+#[must_use]
+pub fn encode_graph(g: &Graph) -> Vec<u8> {
+    let cat = g.catalog();
+    let mut e = Enc::new();
+
+    // Catalog: interners in code order.
+    e.u32(u32::try_from(cat.vertex_label_count()).expect("label overflow"));
+    for i in 0..cat.vertex_label_count() {
+        e.str(cat.vertex_label_name(VertexLabelId(i as u16)));
+    }
+    e.u32(u32::try_from(cat.edge_label_count()).expect("label overflow"));
+    for i in 0..cat.edge_label_count() {
+        e.str(cat.edge_label_name(EdgeLabelId(i as u16)));
+    }
+    encode_props(&mut e, g, PropertyEntity::Vertex);
+    encode_props(&mut e, g, PropertyEntity::Edge);
+    e.u32(u32::try_from(cat.string_count()).expect("string overflow"));
+    for code in 0..cat.string_count() {
+        e.str(cat.resolve_string(code as u32).expect("dense codes"));
+    }
+
+    // Topology. Edge IDs are never reused, so tombstoned edges are encoded
+    // too — the ID space must survive the round trip.
+    e.u32(u32::try_from(g.vertex_count()).expect("vertex overflow"));
+    for v in g.vertices() {
+        e.u16(g.vertex_label(v).expect("vertex in range").0);
+    }
+    e.u64(g.edge_count() as u64);
+    for i in 0..g.edge_count() {
+        let eid = EdgeId(i as u64);
+        let (src, dst) = g.edge_endpoints(eid).expect("edge in range");
+        e.u32(src.0);
+        e.u32(dst.0);
+        e.u16(g.edge_label(eid).expect("edge in range").0);
+    }
+    let deleted: Vec<u64> = (0..g.edge_count() as u64)
+        .filter(|&i| g.edge_is_deleted(EdgeId(i)))
+        .collect();
+    e.u64(deleted.len() as u64);
+    for id in deleted {
+        e.u64(id);
+    }
+
+    // Property values as raw stored i64s. Only present (non-NULL) values
+    // are written; the decoder decodes raw codes back to strings through
+    // the already-rebuilt dictionaries, so re-encoding assigns the
+    // identical code.
+    for pid in 0..cat.property_count(PropertyEntity::Vertex) {
+        let pid = PropertyId(pid as u16);
+        let present: Vec<(u32, i64)> = g
+            .vertices()
+            .filter_map(|v| g.vertex_prop(v, pid).map(|raw| (v.0, raw)))
+            .collect();
+        e.u64(present.len() as u64);
+        for (v, raw) in present {
+            e.u32(v);
+            e.i64(raw);
+        }
+    }
+    for pid in 0..cat.property_count(PropertyEntity::Edge) {
+        let pid = PropertyId(pid as u16);
+        let present: Vec<(u64, i64)> = (0..g.edge_count() as u64)
+            .filter_map(|i| g.edge_prop(EdgeId(i), pid).map(|raw| (i, raw)))
+            .collect();
+        e.u64(present.len() as u64);
+        for (eid, raw) in present {
+            e.u64(eid);
+            e.i64(raw);
+        }
+    }
+    e.into_bytes()
+}
+
+struct DecodedProps {
+    names: Vec<String>,
+    kinds: Vec<PropertyKind>,
+}
+
+fn decode_catalog_props(
+    d: &mut Dec<'_>,
+    g: &mut Graph,
+    entity: PropertyEntity,
+) -> Result<DecodedProps, StorageError> {
+    let nprops = d.u32()? as usize;
+    let mut names = Vec::with_capacity(nprops.min(1 << 16));
+    let mut kinds = Vec::with_capacity(nprops.min(1 << 16));
+    for expect_pid in 0..nprops {
+        let name = d.str()?;
+        let kind = decode_kind(d.u8()?)?;
+        let pid = g
+            .register_property(entity, &name, kind)
+            .map_err(|e| StorageError::Corrupt(format!("replaying property {name}: {e}")))?;
+        if pid.index() != expect_pid {
+            return Err(StorageError::Corrupt(format!(
+                "property {name} decoded out of order"
+            )));
+        }
+        let domain = d.u32()? as usize;
+        for expect_code in 0..domain {
+            let value = d.str()?;
+            let code = g
+                .catalog_mut()
+                .encode_categorical(entity, pid, &value)
+                .map_err(|e| StorageError::Corrupt(format!("replaying dictionary: {e}")))?;
+            if code as usize != expect_code {
+                return Err(StorageError::Corrupt(format!(
+                    "dictionary value {value} decoded out of order"
+                )));
+            }
+        }
+        names.push(name);
+        kinds.push(kind);
+    }
+    Ok(DecodedProps { names, kinds })
+}
+
+/// Decodes the stored raw `i64` back into a user-facing value string/int
+/// using the already-rebuilt catalog, so that re-encoding through
+/// `set_*_prop` assigns the identical raw value.
+fn raw_to_value(
+    g: &Graph,
+    entity: PropertyEntity,
+    pid: PropertyId,
+    kind: PropertyKind,
+    raw: i64,
+) -> Result<PropValue, StorageError> {
+    match kind {
+        PropertyKind::Int => Ok(PropValue::Int(raw)),
+        PropertyKind::Categorical => {
+            let code = u32::try_from(raw)
+                .map_err(|_| StorageError::Corrupt(format!("negative categorical code {raw}")))?;
+            let meta = g.catalog().property_meta(entity, pid);
+            meta.categorical_value(code)
+                .map(|s| PropValue::Str(s.to_owned()))
+                .ok_or_else(|| {
+                    StorageError::Corrupt(format!("categorical code {code} outside dictionary"))
+                })
+        }
+        PropertyKind::Text => {
+            let code = u32::try_from(raw)
+                .map_err(|_| StorageError::Corrupt(format!("negative string code {raw}")))?;
+            g.catalog()
+                .resolve_string(code)
+                .map(|s| PropValue::Str(s.to_owned()))
+                .ok_or_else(|| {
+                    StorageError::Corrupt(format!("string code {code} outside interner"))
+                })
+        }
+    }
+}
+
+/// Rebuilds a graph from [`encode_graph`] bytes.
+///
+/// # Errors
+/// [`StorageError::Corrupt`] on any malformed byte, dangling code, or
+/// out-of-order interner entry.
+pub fn decode_graph(buf: &[u8]) -> Result<Graph, StorageError> {
+    let mut d = Dec::new(buf);
+    let mut g = Graph::new();
+
+    // Catalog. Interners are rebuilt in code order so every subsequent
+    // intern call resolves to the original ID.
+    let nvlabels = d.u32()? as usize;
+    let mut vlabel_names = Vec::with_capacity(nvlabels.min(1 << 16));
+    for _ in 0..nvlabels {
+        let name = d.str()?;
+        g.catalog_mut().intern_vertex_label(&name);
+        vlabel_names.push(name);
+    }
+    let nelabels = d.u32()? as usize;
+    let mut elabel_names = Vec::with_capacity(nelabels.min(1 << 16));
+    for _ in 0..nelabels {
+        let name = d.str()?;
+        g.catalog_mut().intern_edge_label(&name);
+        elabel_names.push(name);
+    }
+    let vprops = decode_catalog_props(&mut d, &mut g, PropertyEntity::Vertex)?;
+    let eprops = decode_catalog_props(&mut d, &mut g, PropertyEntity::Edge)?;
+    let nstrings = d.u32()? as usize;
+    for expect_code in 0..nstrings {
+        let s = d.str()?;
+        let code = g.catalog_mut().intern_string(&s);
+        if code as usize != expect_code {
+            return Err(StorageError::Corrupt(format!(
+                "string {s} decoded out of order"
+            )));
+        }
+    }
+
+    // Topology.
+    let nvertices = d.u32()? as usize;
+    for _ in 0..nvertices {
+        let lid = d.u16()? as usize;
+        let name = vlabel_names
+            .get(lid)
+            .ok_or_else(|| StorageError::Corrupt(format!("vertex label id {lid} out of range")))?;
+        g.add_vertex(name);
+    }
+    let nedges = usize::try_from(d.u64()?)
+        .map_err(|_| StorageError::Corrupt("edge count overflows usize".to_owned()))?;
+    for _ in 0..nedges {
+        let src = d.u32()?;
+        let dst = d.u32()?;
+        let lid = d.u16()? as usize;
+        let name = elabel_names
+            .get(lid)
+            .ok_or_else(|| StorageError::Corrupt(format!("edge label id {lid} out of range")))?;
+        g.add_edge(VertexId(src), VertexId(dst), name)
+            .map_err(|e| StorageError::Corrupt(format!("replaying edge: {e}")))?;
+    }
+    let ndeleted = d.u64()?;
+    let mut deleted = Vec::with_capacity(usize::try_from(ndeleted.min(1 << 24)).unwrap_or(0));
+    for _ in 0..ndeleted {
+        deleted.push(d.u64()?);
+    }
+
+    // Property values. Tombstones are applied after properties — property
+    // writes are valid on tombstoned edges, and this keeps the ordering
+    // independent.
+    for (pid, kind) in vprops.kinds.iter().enumerate() {
+        let pid = PropertyId(pid as u16);
+        let n = d.u64()?;
+        for _ in 0..n {
+            let v = VertexId(d.u32()?);
+            let raw = d.i64()?;
+            let value = raw_to_value(&g, PropertyEntity::Vertex, pid, *kind, raw)?;
+            g.set_vertex_prop(v, pid, value.as_value()).map_err(|e| {
+                StorageError::Corrupt(format!(
+                    "replaying vertex property {}: {e}",
+                    vprops.names[pid.index()]
+                ))
+            })?;
+        }
+    }
+    for (pid, kind) in eprops.kinds.iter().enumerate() {
+        let pid = PropertyId(pid as u16);
+        let n = d.u64()?;
+        for _ in 0..n {
+            let eid = EdgeId(d.u64()?);
+            let raw = d.i64()?;
+            let value = raw_to_value(&g, PropertyEntity::Edge, pid, *kind, raw)?;
+            g.set_edge_prop(eid, pid, value.as_value()).map_err(|e| {
+                StorageError::Corrupt(format!(
+                    "replaying edge property {}: {e}",
+                    eprops.names[pid.index()]
+                ))
+            })?;
+        }
+    }
+    for id in deleted {
+        g.delete_edge(EdgeId(id))
+            .map_err(|e| StorageError::Corrupt(format!("replaying tombstone: {e}")))?;
+    }
+    if !d.is_empty() {
+        return Err(StorageError::Corrupt(
+            "trailing bytes after graph blob".to_owned(),
+        ));
+    }
+    Ok(g)
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint payload: DDL statement history + graph blob
+// ---------------------------------------------------------------------------
+
+/// Encodes a checkpoint payload: the ordered index-DDL statement history
+/// followed by the graph blob. Indexes themselves are not serialized — they
+/// are derived structures, rebuilt deterministically by replaying the DDL
+/// over the decoded graph.
+#[must_use]
+pub fn encode_checkpoint_payload(g: &Graph, ddl: &[String]) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u32(u32::try_from(ddl.len()).expect("DDL history overflow"));
+    for stmt in ddl {
+        e.str(stmt);
+    }
+    let blob = encode_graph(g);
+    e.u64(blob.len() as u64);
+    let mut bytes = e.into_bytes();
+    bytes.extend_from_slice(&blob);
+    bytes
+}
+
+/// Decodes a checkpoint payload back into `(graph, ddl statements)`.
+///
+/// # Errors
+/// [`StorageError::Corrupt`] on malformed bytes.
+pub fn decode_checkpoint_payload(buf: &[u8]) -> Result<(Graph, Vec<String>), StorageError> {
+    let mut d = Dec::new(buf);
+    let nddl = d.u32()? as usize;
+    let mut ddl = Vec::with_capacity(nddl.min(1 << 16));
+    for _ in 0..nddl {
+        ddl.push(d.str()?);
+    }
+    let blob_len = usize::try_from(d.u64()?)
+        .map_err(|_| StorageError::Corrupt("graph blob length overflows usize".to_owned()))?;
+    let blob = d.take(blob_len)?;
+    if !d.is_empty() {
+        return Err(StorageError::Corrupt(
+            "trailing bytes after checkpoint payload".to_owned(),
+        ));
+    }
+    Ok((decode_graph(blob)?, ddl))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aplus_graph::GraphBuilder;
+
+    fn sample_graph() -> Graph {
+        let mut b = GraphBuilder::new()
+            .vertex_property("city", PropertyKind::Categorical)
+            .vertex_property("since", PropertyKind::Int)
+            .vertex_property("name", PropertyKind::Text)
+            .edge_property("amt", PropertyKind::Int)
+            .edge_property("currency", PropertyKind::Categorical);
+        let a = b.add_vertex(
+            "Account",
+            &[
+                ("city", Value::Str("SF")),
+                ("since", Value::Int(2001)),
+                ("name", Value::Str("Alice")),
+            ],
+        );
+        let c = b.add_vertex(
+            "Account",
+            &[("city", Value::Str("BOS")), ("name", Value::Str("Bob"))],
+        );
+        let k = b.add_vertex("Customer", &[("city", Value::Str("SF"))]);
+        b.add_edge(
+            a,
+            c,
+            "Wire",
+            &[("amt", Value::Int(50)), ("currency", Value::Str("USD"))],
+        );
+        b.add_edge(
+            c,
+            a,
+            "DD",
+            &[("amt", Value::Int(75)), ("currency", Value::Str("EUR"))],
+        );
+        b.add_edge(k, a, "Owns", &[]);
+        let mut g = b.build();
+        g.delete_edge(EdgeId(1)).unwrap();
+        g
+    }
+
+    #[test]
+    fn graph_roundtrip_is_byte_identical() {
+        let g = sample_graph();
+        let blob = encode_graph(&g);
+        let decoded = decode_graph(&blob).unwrap();
+        // Logical equality via re-encoding: the decoded graph serializes to
+        // the exact same bytes, which covers catalog order, dictionary
+        // codes, topology, tombstones and property values in one shot.
+        assert_eq!(encode_graph(&decoded), blob);
+        assert_eq!(decoded.vertex_count(), g.vertex_count());
+        assert_eq!(decoded.edge_count(), g.edge_count());
+        assert_eq!(decoded.live_edge_count(), g.live_edge_count());
+        assert!(decoded.edge_is_deleted(EdgeId(1)));
+        // Dictionary codes survive exactly.
+        let city = decoded
+            .catalog()
+            .property(PropertyEntity::Vertex, "city")
+            .unwrap();
+        assert_eq!(
+            decoded
+                .catalog()
+                .categorical_code(PropertyEntity::Vertex, city, "SF"),
+            g.catalog()
+                .categorical_code(PropertyEntity::Vertex, city, "SF")
+        );
+        // Text codes survive exactly.
+        assert_eq!(
+            decoded.catalog().string_code("Alice"),
+            g.catalog().string_code("Alice")
+        );
+    }
+
+    #[test]
+    fn empty_graph_roundtrip() {
+        let g = Graph::new();
+        let blob = encode_graph(&g);
+        let decoded = decode_graph(&blob).unwrap();
+        assert_eq!(decoded.vertex_count(), 0);
+        assert_eq!(decoded.edge_count(), 0);
+        assert_eq!(encode_graph(&decoded), blob);
+    }
+
+    #[test]
+    fn truncated_graph_blob_is_corrupt_not_panic() {
+        let blob = encode_graph(&sample_graph());
+        for cut in 0..blob.len() {
+            match decode_graph(&blob[..cut]) {
+                Err(StorageError::Corrupt(_)) => {}
+                Ok(_) => panic!("prefix of {cut} bytes decoded successfully"),
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn ops_roundtrip() {
+        let ops = vec![
+            WalOp::InsertEdge {
+                src: 3,
+                dst: 7,
+                label: "Wire".to_owned(),
+                props: vec![
+                    ("amt".to_owned(), PropValue::Int(-12)),
+                    ("currency".to_owned(), PropValue::Str("USD".to_owned())),
+                    ("note".to_owned(), PropValue::Null),
+                ],
+            },
+            WalOp::DeleteEdge { edge: 42 },
+            WalOp::Ddl {
+                statement: "RECONFIGURE PRIMARY PARTITION BY currency".to_owned(),
+            },
+            WalOp::Flush,
+        ];
+        let bytes = encode_ops(&ops);
+        assert_eq!(decode_ops(&bytes).unwrap(), ops);
+    }
+
+    #[test]
+    fn truncated_ops_are_corrupt_not_panic() {
+        let bytes = encode_ops(&[WalOp::InsertEdge {
+            src: 1,
+            dst: 2,
+            label: "L".to_owned(),
+            props: vec![("p".to_owned(), PropValue::Str("v".to_owned()))],
+        }]);
+        for cut in 0..bytes.len() {
+            assert!(
+                matches!(decode_ops(&bytes[..cut]), Err(StorageError::Corrupt(_))),
+                "cut at {cut}"
+            );
+        }
+        // Trailing garbage is also rejected.
+        let mut padded = bytes;
+        padded.push(0);
+        assert!(matches!(decode_ops(&padded), Err(StorageError::Corrupt(_))));
+    }
+
+    #[test]
+    fn checkpoint_payload_roundtrip() {
+        let g = sample_graph();
+        let ddl = vec![
+            "CREATE VIEW wires AS (a)-[w:Wire]->(b) PARTITION BY w.currency".to_owned(),
+            "RECONFIGURE PRIMARY SORT BY amt".to_owned(),
+        ];
+        let payload = encode_checkpoint_payload(&g, &ddl);
+        let (decoded, ddl2) = decode_checkpoint_payload(&payload).unwrap();
+        assert_eq!(ddl2, ddl);
+        assert_eq!(encode_graph(&decoded), encode_graph(&g));
+    }
+}

@@ -1,0 +1,87 @@
+//! Durability configuration.
+
+use std::path::PathBuf;
+
+use crate::fault::FaultInjector;
+
+/// When the WAL (and checkpoint files) are flushed to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FsyncPolicy {
+    /// `fdatasync` every WAL append and `fsync` every checkpoint before it
+    /// is acknowledged. A committed epoch survives power loss. The default.
+    #[default]
+    Always,
+    /// Never fsync; rely on the OS page cache. A process crash (`kill -9`)
+    /// loses nothing — the page cache survives the process — but power loss
+    /// may lose recent epochs. Useful for tests and bulk loads.
+    Never,
+}
+
+impl FsyncPolicy {
+    /// Parses the `APLUS_FSYNC` env-var spelling (`always` / `never`).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "always" => Some(Self::Always),
+            "never" => Some(Self::Never),
+            _ => None,
+        }
+    }
+
+    /// Whether writes should be synced under this policy.
+    #[must_use]
+    pub fn should_sync(self) -> bool {
+        matches!(self, Self::Always)
+    }
+}
+
+/// Configuration for a durable database: where state lives, how hard the
+/// WAL flushes, and how often checkpoints are taken.
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Directory holding `wal.log` and `checkpoint-*.ckpt`. Created if
+    /// missing.
+    pub data_dir: PathBuf,
+    /// WAL/checkpoint flush policy.
+    pub fsync: FsyncPolicy,
+    /// Take a fuzzy checkpoint every this many committed epochs. `0`
+    /// disables the background checkpointer (checkpoints are then manual).
+    pub checkpoint_every: u64,
+    /// Crash-injection hook; [`FaultInjector::none`] in production.
+    pub injector: FaultInjector,
+}
+
+impl DurabilityConfig {
+    /// Defaults: fsync always, checkpoint every 32 epochs, no fault
+    /// injection.
+    #[must_use]
+    pub fn new(data_dir: impl Into<PathBuf>) -> Self {
+        Self {
+            data_dir: data_dir.into(),
+            fsync: FsyncPolicy::Always,
+            checkpoint_every: 32,
+            injector: FaultInjector::none(),
+        }
+    }
+
+    /// Sets the fsync policy.
+    #[must_use]
+    pub fn fsync(mut self, policy: FsyncPolicy) -> Self {
+        self.fsync = policy;
+        self
+    }
+
+    /// Sets the checkpoint interval (`0` = manual checkpoints only).
+    #[must_use]
+    pub fn checkpoint_every(mut self, epochs: u64) -> Self {
+        self.checkpoint_every = epochs;
+        self
+    }
+
+    /// Installs a crash-injection hook (tests only).
+    #[must_use]
+    pub fn injector(mut self, injector: FaultInjector) -> Self {
+        self.injector = injector;
+        self
+    }
+}

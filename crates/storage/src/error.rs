@@ -1,0 +1,65 @@
+//! Error type for the durability subsystem.
+
+use crate::fault::CrashPoint;
+
+/// Everything that can go wrong while persisting or recovering state.
+#[derive(Debug)]
+pub enum StorageError {
+    /// An operating-system I/O failure (disk full, permission denied, …).
+    Io(std::io::Error),
+    /// On-disk state that fails validation in a way recovery cannot repair:
+    /// a WAL without any checkpoint, a gap in the epoch sequence, every
+    /// checkpoint failing its checksum, and the like. Torn *tails* are not
+    /// corruption — recovery silently truncates those.
+    Corrupt(String),
+    /// The on-disk format version is newer than this binary supports.
+    /// Refusing to touch the directory is the only safe response.
+    Format {
+        /// Version number found in the file header.
+        found: u32,
+        /// Newest version this binary understands.
+        supported: u32,
+    },
+    /// A [`FaultInjector`](crate::fault::FaultInjector) hook fired: the
+    /// persistence pipeline simulated a crash at this point. Only tests
+    /// construct injectors, so production code never sees this variant.
+    InjectedCrash(CrashPoint),
+    /// A previous durable commit or checkpoint failed (or simulated a
+    /// crash); the durable core refuses all further writes so a half-dead
+    /// process cannot append records recovery would then trust.
+    AlreadyCrashed,
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "storage I/O error: {e}"),
+            Self::Corrupt(what) => write!(f, "corrupt on-disk state: {what}"),
+            Self::Format { found, supported } => write!(
+                f,
+                "on-disk format version {found} is newer than the supported version {supported}; \
+                 refusing to open (was this directory written by a newer build?)"
+            ),
+            Self::InjectedCrash(p) => write!(f, "injected crash at {p:?}"),
+            Self::AlreadyCrashed => write!(
+                f,
+                "durable core is in a crashed state; restart and recover to resume writes"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}

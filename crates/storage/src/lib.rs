@@ -1,0 +1,52 @@
+//! Durability subsystem for the A+ index engine.
+//!
+//! The engine's epoch-based snapshot publication (every committed write
+//! batch becomes immutable epoch *N+1* via one pointer swap) maps directly
+//! onto a classic WAL + checkpoint design:
+//!
+//! * [`wal::Wal`] — an append-only, epoch-stamped, CRC32-checksummed log.
+//!   Each committed batch is exactly one record, appended (and optionally
+//!   fsynced) *before* the pointer swap publishes the epoch; the append is
+//!   the commit point. Recovery truncates any torn final record.
+//! * [`checkpoint`] — *fuzzy* checkpoints: a background thread pins an
+//!   immutable snapshot of epoch *N* and serializes it while writers keep
+//!   committing *N+1, N+2, …*. Files are written to a temp name and
+//!   atomically renamed, so a partially-written checkpoint is never
+//!   mistaken for a valid one.
+//! * [`codec`] — the logical serialization: graphs are encoded so that
+//!   replaying the bytes rebuilds catalog interners, dictionary codes,
+//!   vertex/edge IDs and property columns *identically* (IDs are dense and
+//!   assigned in insertion order, so logical replay is deterministic).
+//! * [`mod@recover`] — loads the newest valid checkpoint, replays the WAL tail
+//!   (records with epochs past the checkpoint), and reports the recovered
+//!   epoch. Corrupt checkpoints fall back to the previous valid one.
+//! * [`fault`] — the deterministic crash-injection hooks
+//!   ([`CrashPoint`]/[`FaultInjector`]) the recovery test harness uses to
+//!   abort the persistence pipeline at every interesting point.
+//!
+//! This crate is deliberately *below* the query engine: it knows about
+//! [`aplus_graph::Graph`] and logical write operations ([`WalOp`]), but not
+//! about indexes or query execution. The engine crate (`aplus_query`) owns
+//! applying operations to a database and orchestrating commits and
+//! checkpoints; see `docs/DURABILITY.md` for the full design.
+
+pub mod checkpoint;
+pub mod codec;
+pub mod config;
+pub mod crc;
+pub mod error;
+pub mod fault;
+pub mod recover;
+pub mod wal;
+
+pub use checkpoint::{checkpoint_path, list_checkpoints, read_checkpoint, write_checkpoint};
+pub use codec::{
+    decode_checkpoint_payload, decode_graph, decode_ops, encode_checkpoint_payload, encode_graph,
+    encode_ops, PropValue, WalOp,
+};
+pub use config::{DurabilityConfig, FsyncPolicy};
+pub use crc::crc32;
+pub use error::StorageError;
+pub use fault::{CrashPoint, FaultInjector};
+pub use recover::{recover, wal_path, RecoveredState, WalBatch};
+pub use wal::Wal;

@@ -1,0 +1,413 @@
+//! The append-only, epoch-stamped, checksummed write-ahead log.
+//!
+//! File layout (all integers little-endian):
+//!
+//! ```text
+//! header   := magic "APLUSWAL" (8) | version u32 | reserved u32      = 16 bytes
+//! record   := epoch u64 | payload_len u32 | crc u32 | payload        = 16 + len bytes
+//! crc      := CRC32(epoch_le ++ payload_len_le ++ payload)
+//! ```
+//!
+//! Epochs in one file are strictly contiguous (each record's epoch is the
+//! previous record's plus one); the first record may start anywhere (the
+//! prefix below a checkpoint gets trimmed away). Opening a WAL scans and
+//! validates every record and **truncates** the file at the first torn or
+//! corrupt one — a crash mid-append must lose only the batch being
+//! appended, never a previously-acknowledged record.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::error::StorageError;
+use crate::fault::{CrashPoint, FaultInjector};
+
+/// Magic bytes opening every WAL file.
+pub const WAL_MAGIC: &[u8; 8] = b"APLUSWAL";
+/// Newest WAL format version this build reads and writes.
+pub const WAL_VERSION: u32 = 1;
+/// Header length in bytes.
+pub const WAL_HEADER_LEN: u64 = 16;
+/// Per-record header length in bytes (epoch + payload length + CRC).
+pub const WAL_RECORD_HEADER_LEN: u64 = 16;
+/// Sanity cap on a single record's payload. A length field above this is
+/// treated as a torn record rather than attempted as an allocation.
+pub const MAX_RECORD_LEN: u32 = 256 * 1024 * 1024;
+
+/// One validated record as read back from disk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawRecord {
+    /// The epoch this batch committed as.
+    pub epoch: u64,
+    /// The encoded operations (see [`crate::codec::decode_ops`]).
+    pub payload: Vec<u8>,
+}
+
+/// An open WAL file positioned for appending.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+}
+
+fn record_crc(epoch: u64, payload: &[u8]) -> u32 {
+    let mut head = [0u8; 12];
+    head[..8].copy_from_slice(&epoch.to_le_bytes());
+    head[8..].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    let mut c = crate::crc::Crc32::new();
+    c.update(&head);
+    c.update(payload);
+    c.finish()
+}
+
+fn encode_record(epoch: u64, payload: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(16 + payload.len());
+    buf.extend_from_slice(&epoch.to_le_bytes());
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&record_crc(epoch, payload).to_le_bytes());
+    buf.extend_from_slice(payload);
+    buf
+}
+
+/// Scans `bytes` (the file contents *after* the header) into validated
+/// records, returning the records and the byte length of the valid prefix
+/// (header-relative). Scanning stops — without error — at the first torn or
+/// corrupt record; everything after it is a casualty of the crash that tore
+/// it.
+fn scan_records(bytes: &[u8]) -> (Vec<RawRecord>, usize) {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    while let Some(header) = bytes.get(pos..pos + 16) {
+        let epoch = u64::from_le_bytes(header[..8].try_into().unwrap());
+        let len = u32::from_le_bytes(header[8..12].try_into().unwrap());
+        let crc = u32::from_le_bytes(header[12..16].try_into().unwrap());
+        if len > MAX_RECORD_LEN {
+            break;
+        }
+        let Some(payload) = bytes.get(pos + 16..pos + 16 + len as usize) else {
+            break;
+        };
+        if record_crc(epoch, payload) != crc {
+            break;
+        }
+        if let Some(last) = records.last() {
+            let last: &RawRecord = last;
+            if epoch != last.epoch + 1 {
+                break;
+            }
+        }
+        records.push(RawRecord {
+            epoch,
+            payload: payload.to_vec(),
+        });
+        pos += 16 + len as usize;
+    }
+    (records, pos)
+}
+
+impl Wal {
+    /// Creates a fresh WAL at `path` (truncating any existing file) and
+    /// writes the header.
+    pub fn create(path: impl Into<PathBuf>, fsync: bool) -> Result<Self, StorageError> {
+        let path = path.into();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        let mut header = [0u8; 16];
+        header[..8].copy_from_slice(WAL_MAGIC);
+        header[8..12].copy_from_slice(&WAL_VERSION.to_le_bytes());
+        file.write_all(&header)?;
+        if fsync {
+            file.sync_all()?;
+        }
+        Ok(Self { file, path })
+    }
+
+    /// Opens an existing WAL, validates every record, truncates the file at
+    /// the first torn or corrupt record, and returns the WAL (positioned
+    /// for appending) together with the valid records.
+    ///
+    /// A file too short to hold the header is reinitialized as empty (a
+    /// crash can tear the header write itself); a file with a *wrong*
+    /// header is an error — that is not our file.
+    ///
+    /// # Errors
+    /// [`StorageError::Format`] if the version is newer than supported,
+    /// [`StorageError::Corrupt`] on bad magic, [`StorageError::Io`] on OS
+    /// failures.
+    pub fn open(
+        path: impl Into<PathBuf>,
+        fsync: bool,
+    ) -> Result<(Self, Vec<RawRecord>), StorageError> {
+        let path = path.into();
+        let mut file = OpenOptions::new().read(true).write(true).open(&path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        if bytes.len() < WAL_HEADER_LEN as usize {
+            drop(file);
+            return Ok((Self::create(path, fsync)?, Vec::new()));
+        }
+        if &bytes[..8] != WAL_MAGIC {
+            return Err(StorageError::Corrupt(format!(
+                "{} does not start with the WAL magic",
+                path.display()
+            )));
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        if version > WAL_VERSION {
+            return Err(StorageError::Format {
+                found: version,
+                supported: WAL_VERSION,
+            });
+        }
+        let (records, valid_len) = scan_records(&bytes[WAL_HEADER_LEN as usize..]);
+        let end = WAL_HEADER_LEN + valid_len as u64;
+        if end < bytes.len() as u64 {
+            // Torn tail: cut it off so the next append starts on a clean
+            // record boundary.
+            file.set_len(end)?;
+            if fsync {
+                file.sync_all()?;
+            }
+        }
+        file.seek(SeekFrom::Start(end))?;
+        Ok((Self { file, path }, records))
+    }
+
+    /// Appends one record and optionally fsyncs. The append is the commit
+    /// point of the protocol: once this returns `Ok`, the epoch is durable.
+    ///
+    /// # Errors
+    /// [`StorageError::InjectedCrash`] when the injector fires
+    /// [`CrashPoint::MidWalRecord`] — a prefix of the record is left on
+    /// disk, exactly as a crash mid-`write` would; [`StorageError::Io`] on
+    /// real failures.
+    pub fn append(
+        &mut self,
+        epoch: u64,
+        payload: &[u8],
+        fsync: bool,
+        injector: &FaultInjector,
+    ) -> Result<(), StorageError> {
+        let record = encode_record(epoch, payload);
+        if injector.fire(CrashPoint::MidWalRecord) {
+            // Simulate the crash: a prefix (half the record, at least one
+            // byte so the tear is visible) reaches disk and the process
+            // dies before the rest.
+            let torn = (record.len() / 2).max(1);
+            self.file.write_all(&record[..torn])?;
+            self.file.sync_all()?;
+            return Err(StorageError::InjectedCrash(CrashPoint::MidWalRecord));
+        }
+        self.file.write_all(&record)?;
+        if fsync {
+            self.file.sync_data()?;
+        }
+        Ok(())
+    }
+
+    /// Rewrites the WAL keeping only records with `epoch > through`, via
+    /// temp file + atomic rename. Called after a checkpoint to bound log
+    /// growth; trimming only *through the previous checkpoint* keeps a
+    /// fallback recovery path alive if the newest checkpoint turns out
+    /// corrupt.
+    ///
+    /// # Errors
+    /// [`StorageError::Io`] on OS failures. The old WAL stays intact unless
+    /// the rename succeeded.
+    pub fn trim_through(&mut self, through: u64, fsync: bool) -> Result<(), StorageError> {
+        // Re-scan our own file: appends all went through us, so the content
+        // is well-formed, and trims are rare (once per checkpoint).
+        self.file.seek(SeekFrom::Start(0))?;
+        let mut bytes = Vec::new();
+        self.file.read_to_end(&mut bytes)?;
+        let (records, _) = scan_records(bytes.get(WAL_HEADER_LEN as usize..).unwrap_or(&[]));
+
+        let tmp = self.path.with_extension("log.tmp");
+        {
+            let mut out = OpenOptions::new()
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(&tmp)?;
+            let mut header = [0u8; 16];
+            header[..8].copy_from_slice(WAL_MAGIC);
+            header[8..12].copy_from_slice(&WAL_VERSION.to_le_bytes());
+            out.write_all(&header)?;
+            for r in records.iter().filter(|r| r.epoch > through) {
+                out.write_all(&encode_record(r.epoch, &r.payload))?;
+            }
+            if fsync {
+                out.sync_all()?;
+            }
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        let mut file = OpenOptions::new().read(true).write(true).open(&self.path)?;
+        file.seek(SeekFrom::End(0))?;
+        self.file = file;
+        Ok(())
+    }
+
+    /// Path of the underlying file.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_path(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("aplus-wal-test-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("wal.log")
+    }
+
+    #[test]
+    fn append_then_reopen_roundtrips() {
+        let path = tmp_path("roundtrip");
+        let mut wal = Wal::create(&path, false).unwrap();
+        let inj = FaultInjector::none();
+        for epoch in 1..=5u64 {
+            wal.append(epoch, format!("batch {epoch}").as_bytes(), false, &inj)
+                .unwrap();
+        }
+        drop(wal);
+        let (_wal, records) = Wal::open(&path, false).unwrap();
+        assert_eq!(records.len(), 5);
+        assert_eq!(records[0].epoch, 1);
+        assert_eq!(records[4].payload, b"batch 5");
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_appendable() {
+        let path = tmp_path("torn");
+        let mut wal = Wal::create(&path, false).unwrap();
+        let inj = FaultInjector::none();
+        wal.append(1, b"keep me", false, &inj).unwrap();
+        wal.append(2, b"also keep", false, &inj).unwrap();
+        drop(wal);
+        // Tear the file: chop 3 bytes off the final record.
+        let len = std::fs::metadata(&path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 3).unwrap();
+        drop(f);
+        let (mut wal, records) = Wal::open(&path, false).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].payload, b"keep me");
+        // The file is clean again: an append lands on a record boundary.
+        wal.append(2, b"rewritten", false, &inj).unwrap();
+        drop(wal);
+        let (_wal, records) = Wal::open(&path, false).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[1].payload, b"rewritten");
+    }
+
+    #[test]
+    fn mid_record_injection_leaves_a_truncatable_tear() {
+        let path = tmp_path("inject");
+        let mut wal = Wal::create(&path, false).unwrap();
+        wal.append(1, b"good", false, &FaultInjector::none())
+            .unwrap();
+        let inj = FaultInjector::crash_on_nth(CrashPoint::MidWalRecord, 1);
+        let err = wal
+            .append(2, b"torn record payload", false, &inj)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            StorageError::InjectedCrash(CrashPoint::MidWalRecord)
+        ));
+        drop(wal);
+        let (_wal, records) = Wal::open(&path, false).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].epoch, 1);
+    }
+
+    #[test]
+    fn epoch_gap_truncates_at_the_gap() {
+        let path = tmp_path("gap");
+        let mut wal = Wal::create(&path, false).unwrap();
+        let inj = FaultInjector::none();
+        wal.append(5, b"five", false, &inj).unwrap();
+        wal.append(6, b"six", false, &inj).unwrap();
+        wal.append(9, b"nine, a gap!", false, &inj).unwrap();
+        drop(wal);
+        let (_wal, records) = Wal::open(&path, false).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records.last().unwrap().epoch, 6);
+    }
+
+    #[test]
+    fn trim_keeps_only_newer_epochs() {
+        let path = tmp_path("trim");
+        let mut wal = Wal::create(&path, false).unwrap();
+        let inj = FaultInjector::none();
+        for epoch in 1..=6u64 {
+            wal.append(epoch, &[epoch as u8], false, &inj).unwrap();
+        }
+        wal.trim_through(4, false).unwrap();
+        // The handle stays appendable after the rename swap.
+        wal.append(7, b"post-trim", false, &inj).unwrap();
+        drop(wal);
+        let (_wal, records) = Wal::open(&path, false).unwrap();
+        let epochs: Vec<u64> = records.iter().map(|r| r.epoch).collect();
+        assert_eq!(epochs, vec![5, 6, 7]);
+    }
+
+    #[test]
+    fn short_file_reinitializes_as_empty() {
+        let path = tmp_path("short");
+        std::fs::write(&path, b"APLUS").unwrap();
+        let (_wal, records) = Wal::open(&path, false).unwrap();
+        assert!(records.is_empty());
+        // And the header is valid now.
+        let (_wal2, records2) = Wal::open(&path, false).unwrap();
+        assert!(records2.is_empty());
+    }
+
+    #[test]
+    fn wrong_magic_is_corrupt_and_newer_version_is_format() {
+        let path = tmp_path("magic");
+        std::fs::write(&path, b"NOTAWAL!________").unwrap();
+        assert!(matches!(
+            Wal::open(&path, false),
+            Err(StorageError::Corrupt(_))
+        ));
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(WAL_MAGIC);
+        bytes.extend_from_slice(&99u32.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            Wal::open(&path, false),
+            Err(StorageError::Format {
+                found: 99,
+                supported: WAL_VERSION
+            })
+        ));
+    }
+
+    #[test]
+    fn bit_flip_in_tail_record_drops_it() {
+        let path = tmp_path("flip");
+        let mut wal = Wal::create(&path, false).unwrap();
+        let inj = FaultInjector::none();
+        wal.append(1, b"first", false, &inj).unwrap();
+        wal.append(2, b"second", false, &inj).unwrap();
+        drop(wal);
+        // Flip one bit in the last record's payload.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 2] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        let (_wal, records) = Wal::open(&path, false).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].payload, b"first");
+    }
+}

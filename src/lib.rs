@@ -94,6 +94,10 @@ pub struct ArchitectureDocTests;
 #[doc = include_str!("../docs/PROTOCOL.md")]
 pub struct ProtocolDocTests;
 
+#[cfg(doctest)]
+#[doc = include_str!("../docs/DURABILITY.md")]
+pub struct DurabilityDocTests;
+
 pub use aplus_baseline as baseline;
 pub use aplus_common as common;
 pub use aplus_core as core;
@@ -102,11 +106,13 @@ pub use aplus_graph as graph;
 pub use aplus_query as query;
 pub use aplus_runtime as runtime;
 pub use aplus_server as server;
+pub use aplus_storage as storage;
 
 pub use aplus_core::{Direction, IndexSpec, IndexStore, PartitionKey, SortKey};
 pub use aplus_graph::{Graph, GraphBuilder, Value};
 pub use aplus_query::{
-    row_channel, Database, QueryError, RawRow, RowReceiver, RowSink, SharedDatabase, Snapshot,
+    row_channel, CrashPoint, Database, DurabilityConfig, DurabilityError, FaultInjector,
+    FsyncPolicy, QueryError, RawRow, RowReceiver, RowSink, SharedDatabase, Snapshot, StorageError,
     VecSink,
 };
 pub use aplus_runtime::MorselPool;

@@ -1,0 +1,437 @@
+//! The deterministic fault-injection harness (the headline of the
+//! durability subsystem): drive a seeded randomized write workload into
+//! every [`CrashPoint`] of the commit and checkpoint pipelines, recover
+//! the directory, and require the recovered database to be
+//! **bit-identical** — counts *and* row sequences, at every pool size —
+//! to an uncrashed in-memory reference holding exactly the
+//! WAL-committed epochs. Zero lost committed epochs, zero resurrected
+//! aborted or unlogged batches.
+
+use std::path::PathBuf;
+
+use aplus::common::{EdgeId, VertexId};
+use aplus::datagen::build_financial_graph;
+use aplus::{
+    CrashPoint, Database, DurabilityConfig, DurabilityError, FaultInjector, FsyncPolicy,
+    MorselPool, SharedDatabase, StorageError, Value,
+};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+const QUERIES: &[&str] = &[
+    "MATCH a-[r:W]->b",
+    "MATCH a-[r:DD]->b",
+    "MATCH a1-[r1]->a2-[r2]->a3",
+    "MATCH a-[r:W]->b-[s:W]->c",
+];
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("aplus_dur_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn config(dir: &PathBuf, injector: FaultInjector) -> DurabilityConfig {
+    DurabilityConfig::new(dir)
+        .fsync(FsyncPolicy::Never)
+        .checkpoint_every(0)
+        .injector(injector)
+}
+
+fn seed_db() -> Database {
+    Database::new(build_financial_graph().graph).unwrap()
+}
+
+// ---------------------------------------------------------------- workload
+
+/// One logged operation of a planned batch. Vertices 0..4 are the
+/// financial graph's accounts, so every op is valid (invalid ops taint a
+/// batch, which is its own test in `aplus_query`).
+#[derive(Debug, Clone)]
+enum PlanOp {
+    Insert {
+        src: u32,
+        dst: u32,
+        label: &'static str,
+        amt: i64,
+    },
+    /// Delete the `pick % live`-th still-live planned insert (no-op while
+    /// none are live).
+    DeleteTracked {
+        pick: usize,
+    },
+    Flush,
+    Ddl(String),
+}
+
+#[derive(Debug, Clone)]
+struct PlanBatch {
+    ops: Vec<PlanOp>,
+    /// An aborted batch is built and thrown away: it must never mint an
+    /// epoch, reach the WAL, or advance the crash-point counters.
+    abort: bool,
+}
+
+/// A seeded plan: every batch starts with an insert (so every committed
+/// batch is non-empty and the `nth` crash-point firing maps 1:1 onto the
+/// `nth` commit attempt), with deletes, flushes, DDL and aborts mixed in.
+fn make_plan(seed: u64, batches: usize) -> Vec<PlanBatch> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut views = 0usize;
+    (0..batches)
+        .map(|_| {
+            let mut ops = vec![PlanOp::Insert {
+                src: rng.gen_range(0..4),
+                dst: rng.gen_range(0..4),
+                label: if rng.gen_bool(0.7) { "W" } else { "DD" },
+                amt: rng.gen_range(1..1000),
+            }];
+            for _ in 0..rng.gen_range(0..3) {
+                ops.push(match rng.gen_range(0..10) {
+                    0..=4 => PlanOp::Insert {
+                        src: rng.gen_range(0..4),
+                        dst: rng.gen_range(0..4),
+                        label: if rng.gen_bool(0.7) { "W" } else { "DD" },
+                        amt: rng.gen_range(1..1000),
+                    },
+                    5..=6 => PlanOp::DeleteTracked {
+                        pick: rng.gen_range(0..64),
+                    },
+                    7..=8 => PlanOp::Flush,
+                    _ => {
+                        views += 1;
+                        PlanOp::Ddl(format!(
+                            "CREATE 1-HOP VIEW Plan{views} MATCH vs-[eadj]->vd \
+                             WHERE eadj.currency = USD \
+                             INDEX AS FW PARTITION BY eadj.label SORT BY vnbr.ID"
+                        ))
+                    }
+                });
+            }
+            PlanBatch {
+                ops,
+                abort: rng.gen_bool(0.15),
+            }
+        })
+        .collect()
+}
+
+/// Applies one batch through the writer guard, committing or aborting.
+/// `live` (edge IDs of still-live planned inserts) advances only when the
+/// commit succeeds — exactly like a client that only trusts acks.
+fn apply_batch(
+    shared: &SharedDatabase,
+    batch: &PlanBatch,
+    live: &mut Vec<u64>,
+) -> Option<Result<u64, DurabilityError>> {
+    let mut writer = shared.writer();
+    let mut next_live = live.clone();
+    for op in &batch.ops {
+        match op {
+            PlanOp::Insert {
+                src,
+                dst,
+                label,
+                amt,
+            } => {
+                let e = writer
+                    .insert_edge(
+                        VertexId(*src),
+                        VertexId(*dst),
+                        label,
+                        &[("amt", Value::Int(*amt))],
+                    )
+                    .expect("planned inserts are valid");
+                next_live.push(e.0);
+            }
+            PlanOp::DeleteTracked { pick } => {
+                if !next_live.is_empty() {
+                    let e = next_live.remove(pick % next_live.len());
+                    writer
+                        .delete_edge(EdgeId(e))
+                        .expect("tracked edges are live");
+                }
+            }
+            PlanOp::Flush => writer.flush(),
+            PlanOp::Ddl(statement) => {
+                writer.ddl(statement).expect("planned DDL is valid");
+            }
+        }
+    }
+    if batch.abort {
+        writer.abort();
+        return None;
+    }
+    let result = writer.commit();
+    if result.is_ok() {
+        *live = next_live;
+    }
+    Some(result)
+}
+
+/// The uncrashed reference: the first `epochs` *committed* batches of the
+/// plan applied in-memory (aborted batches skipped, exactly as the
+/// durable run skipped them).
+fn reference(plan: &[PlanBatch], epochs: u64) -> SharedDatabase {
+    let shared = SharedDatabase::with_pool(seed_db(), MorselPool::new(2));
+    let mut live = Vec::new();
+    let mut committed = 0u64;
+    for batch in plan.iter().filter(|b| !b.abort) {
+        if committed == epochs {
+            break;
+        }
+        let epoch = apply_batch(&shared, batch, &mut live)
+            .expect("not aborted")
+            .expect("reference commits cannot fail");
+        committed += 1;
+        assert_eq!(epoch, committed);
+    }
+    assert_eq!(committed, epochs, "plan too short for the requested epochs");
+    shared
+}
+
+/// Recovered-vs-reference equality: epoch, counts, and full collected row
+/// sequences, at pool sizes 1, 2 and 4.
+fn assert_bit_identical(dir: &PathBuf, plan: &[PlanBatch], epochs: u64) {
+    let reference = reference(plan, epochs);
+    for threads in [1usize, 2, 4] {
+        let recovered = SharedDatabase::open_durable_with_pool(
+            config(dir, FaultInjector::none()),
+            MorselPool::new(threads),
+            || panic!("the directory holds state; init must not run"),
+        )
+        .expect("recovery after an injected crash");
+        assert_eq!(recovered.epoch(), epochs, "recovered epoch ({threads}t)");
+        for query in QUERIES {
+            assert_eq!(
+                recovered.count(query).unwrap(),
+                reference.count(query).unwrap(),
+                "count {query} ({threads} threads)"
+            );
+            assert_eq!(
+                recovered.collect(query, usize::MAX).unwrap(),
+                reference.collect(query, usize::MAX).unwrap(),
+                "rows {query} ({threads} threads)"
+            );
+        }
+    }
+}
+
+// ------------------------------------------------------- commit crash matrix
+
+/// Runs the plan into `point` armed at its `nth` firing and returns
+/// `(data_dir, epochs committed on disk)`.
+fn run_until_crash(name: &str, plan: &[PlanBatch], point: CrashPoint, nth: u32) -> (PathBuf, u64) {
+    let dir = temp_dir(name);
+    let shared = SharedDatabase::open_durable_with_pool(
+        config(&dir, FaultInjector::crash_on_nth(point, nth)),
+        MorselPool::new(2),
+        || Ok(seed_db()),
+    )
+    .unwrap();
+    let mut live = Vec::new();
+    let mut crashed = false;
+    let mut published = 0u64;
+    for batch in plan {
+        match apply_batch(&shared, batch, &mut live) {
+            None => {} // aborted: invisible to durability
+            Some(Ok(epoch)) => {
+                assert!(!crashed, "no commit may succeed after a crash");
+                published = epoch;
+            }
+            Some(Err(DurabilityError::Storage(StorageError::InjectedCrash(p)))) => {
+                assert_eq!(p, point);
+                assert!(!crashed, "the injector fires once");
+                crashed = true;
+            }
+            Some(Err(DurabilityError::Storage(StorageError::AlreadyCrashed))) => {
+                assert!(crashed, "AlreadyCrashed only after the injected crash");
+            }
+            Some(Err(other)) => panic!("unexpected commit failure: {other}"),
+        }
+    }
+    assert!(crashed, "the plan must reach the armed crash point");
+    assert_eq!(
+        published,
+        u64::from(nth) - 1,
+        "epochs published before the crash"
+    );
+    assert_eq!(shared.epoch(), published, "no epoch publishes past a crash");
+    // What recovery must reconstruct: PreCommit leaves the nth record
+    // durable (a commit whose ack was lost — it must be replayed); the
+    // two earlier points must lose the nth batch entirely.
+    let on_disk = match point {
+        CrashPoint::PreCommit => u64::from(nth),
+        _ => u64::from(nth) - 1,
+    };
+    drop(shared);
+    (dir, on_disk)
+}
+
+#[test]
+fn commit_crash_matrix_recovers_bit_identically() {
+    let plan = make_plan(0xA11CE, 14);
+    let committed = plan.iter().filter(|b| !b.abort).count() as u32;
+    assert!(committed >= 6, "seed must yield enough committed batches");
+    for point in [
+        CrashPoint::PreWalAppend,
+        CrashPoint::MidWalRecord,
+        CrashPoint::PreCommit,
+    ] {
+        for nth in [1u32, 3, 6] {
+            let name = format!("matrix_{point:?}_{nth}");
+            let (dir, epochs) = run_until_crash(&name, &plan, point, nth);
+            assert_bit_identical(&dir, &plan, epochs);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
+
+// --------------------------------------------- checkpoint / WAL interaction
+
+/// Commits the first `n` committed batches of `plan` on `shared`.
+fn commit_n(shared: &SharedDatabase, plan: &[PlanBatch], live: &mut Vec<u64>, skip: u64, n: u64) {
+    let mut seen = 0u64;
+    for batch in plan.iter().filter(|b| !b.abort) {
+        seen += 1;
+        if seen <= skip {
+            continue;
+        }
+        if seen > skip + n {
+            break;
+        }
+        apply_batch(shared, batch, live).unwrap().unwrap();
+    }
+}
+
+#[test]
+fn checkpoints_trim_and_recovery_composes_them_with_the_tail() {
+    let plan = make_plan(0xBEEF, 16);
+    let dir = temp_dir("ckpt_tail");
+    {
+        let shared = SharedDatabase::open_durable_with_pool(
+            config(&dir, FaultInjector::none()),
+            MorselPool::new(2),
+            || Ok(seed_db()),
+        )
+        .unwrap();
+        let mut live = Vec::new();
+        // checkpoint-3 trims through the *previous* checkpoint (epoch 0),
+        // so the WAL still holds 1..=3 as a stale prefix recovery skips.
+        commit_n(&shared, &plan, &mut live, 0, 3);
+        assert_eq!(shared.checkpoint().unwrap(), 3);
+        // checkpoint-5 trims through 3; then one uncheckpointed epoch.
+        commit_n(&shared, &plan, &mut live, 3, 2);
+        assert_eq!(shared.checkpoint().unwrap(), 5);
+        commit_n(&shared, &plan, &mut live, 5, 1);
+        assert_eq!(shared.epoch(), 6);
+        // A repeated checkpoint at an unchanged epoch is a no-op.
+        assert_eq!(shared.checkpoint().unwrap(), 6);
+        assert_eq!(shared.checkpoint().unwrap(), 6);
+    }
+    assert_bit_identical(&dir, &plan, 6);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn interrupted_checkpoint_leaves_a_tmp_recovery_ignores() {
+    let plan = make_plan(0xC0FFEE, 12);
+    let dir = temp_dir("ckpt_mid");
+    {
+        // nth = 2: the 1st MidCheckpoint firing is the seed checkpoint-0
+        // taken inside open_durable; the 2nd is the manual one below.
+        let shared = SharedDatabase::open_durable_with_pool(
+            config(
+                &dir,
+                FaultInjector::crash_on_nth(CrashPoint::MidCheckpoint, 2),
+            ),
+            MorselPool::new(2),
+            || Ok(seed_db()),
+        )
+        .unwrap();
+        let mut live = Vec::new();
+        commit_n(&shared, &plan, &mut live, 0, 4);
+        match shared.checkpoint() {
+            Err(DurabilityError::Storage(StorageError::InjectedCrash(
+                CrashPoint::MidCheckpoint,
+            ))) => {}
+            other => panic!("expected the injected mid-checkpoint crash, got {other:?}"),
+        }
+        // Sticky: the crashed core refuses all further durable work.
+        match shared.checkpoint() {
+            Err(DurabilityError::Storage(StorageError::AlreadyCrashed)) => {}
+            other => panic!("expected AlreadyCrashed, got {other:?}"),
+        }
+        let tmps: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".ckpt.tmp"))
+            .collect();
+        assert_eq!(tmps.len(), 1, "the torn temp file is left on disk");
+    }
+    // Recovery falls back to checkpoint-0 + the full WAL tail, and sweeps
+    // the torn temp file away.
+    assert_bit_identical(&dir, &plan, 4);
+    assert!(
+        !std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .any(|e| e.file_name().to_string_lossy().ends_with(".ckpt.tmp")),
+        "recovery removes stale temp files"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn crash_between_checkpoint_and_trim_keeps_both_paths_valid() {
+    let plan = make_plan(0xD00D, 12);
+    let dir = temp_dir("ckpt_trim");
+    {
+        let shared = SharedDatabase::open_durable_with_pool(
+            config(&dir, FaultInjector::crash_on_nth(CrashPoint::PreWalTrim, 1)),
+            MorselPool::new(2),
+            || Ok(seed_db()),
+        )
+        .unwrap();
+        let mut live = Vec::new();
+        commit_n(&shared, &plan, &mut live, 0, 3);
+        match shared.checkpoint() {
+            Err(DurabilityError::Storage(StorageError::InjectedCrash(CrashPoint::PreWalTrim))) => {}
+            other => panic!("expected the injected pre-trim crash, got {other:?}"),
+        }
+    }
+    // checkpoint-3 is durable; the WAL still holds the untrimmed 1..=3
+    // prefix. Recovery must use the checkpoint and skip the stale prefix.
+    assert_bit_identical(&dir, &plan, 3);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_newest_checkpoint_falls_back_to_the_previous_one() {
+    let plan = make_plan(0xFA11, 12);
+    let dir = temp_dir("ckpt_fallback");
+    {
+        let shared = SharedDatabase::open_durable_with_pool(
+            config(&dir, FaultInjector::none()),
+            MorselPool::new(2),
+            || Ok(seed_db()),
+        )
+        .unwrap();
+        let mut live = Vec::new();
+        commit_n(&shared, &plan, &mut live, 0, 2);
+        assert_eq!(shared.checkpoint().unwrap(), 2);
+        commit_n(&shared, &plan, &mut live, 2, 2);
+        assert_eq!(shared.epoch(), 4);
+    }
+    // Flip one payload byte of the newest checkpoint: its CRC now fails,
+    // so recovery must fall back to checkpoint-0 and replay the WAL
+    // (which checkpoint-2 trimmed only through epoch 0, so 1..=4 are all
+    // still there).
+    let newest = aplus::storage::checkpoint_path(&dir, 2);
+    let mut bytes = std::fs::read(&newest).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&newest, &bytes).unwrap();
+    assert_bit_identical(&dir, &plan, 4);
+    let _ = std::fs::remove_dir_all(&dir);
+}
