@@ -57,7 +57,11 @@ run cargo run --release -q -p aplus_bench --bin bench_compare -- \
 # Network throughput smoke: bench_net drives an in-process aplus_server
 # with concurrent TCP clients; wire counts must equal in-process counts
 # (asserted in the binary) and the committed BENCH_net.json baseline
-# (gated below: counts fatal, latency/rps informational).
+# (gated below: counts fatal, latency/rps informational). The same run
+# produces the table11_replication section: a durable primary with 1/2/3
+# WAL-shipped replicas behind the epoch-consistent ReplicaSet router —
+# its count cells are gated (replicas must serve the primary's exact
+# counts), its read_rps cells are informational.
 run env APLUS_SCALE=20000 APLUS_BENCH_OUT=target/bench-fresh \
     cargo run --release -q -p aplus_bench --bin bench_net
 run cargo run --release -q -p aplus_bench --bin bench_compare -- \

@@ -20,8 +20,10 @@ use std::time::Instant;
 
 use aplus_bench::Reporter;
 use aplus_datagen::{generate, GeneratorConfig};
-use aplus_query::Database;
-use aplus_server::{serve, Client, ServerConfig};
+use aplus_query::{Database, DurabilityConfig, FsyncPolicy, SharedDatabase};
+use aplus_server::{
+    serve, serve_with_role, start_replica, Client, ReplicaConfig, ReplicaSet, Role, ServerConfig,
+};
 use serde::Serialize;
 
 /// Nominal sizes divided by `APLUS_SCALE` (smoke default 20000 →
@@ -39,6 +41,12 @@ const STREAM_Q: &str = "MATCH a-[r:E1]->b-[s:E0]->c";
 const COLLECT_LIMIT: usize = 100;
 const STREAM_LIMIT: usize = 500;
 
+/// Router reads per replication config (Table-11 cells).
+const REPL_READS: usize = 40;
+/// Read-your-writes churn per replication config. `E3`-labelled, so the
+/// gated `count2h` cells (over `E0`/`E1`) stay identical across configs.
+const REPL_WRITES: usize = 5;
+
 #[derive(Serialize)]
 struct NetFile {
     schema: u32,
@@ -46,6 +54,7 @@ struct NetFile {
     clients: usize,
     iters: usize,
     report: Reporter,
+    replication: Reporter,
 }
 
 fn out_dir() -> PathBuf {
@@ -121,7 +130,10 @@ fn main() {
 
     handle.shutdown();
 
+    let replication = bench_replication(&dataset, vertices, edges);
+
     println!("{}", report.render("direct"));
+    println!("{}", replication.render("1replica"));
     report.write_json();
     let file = NetFile {
         schema: 1,
@@ -129,6 +141,7 @@ fn main() {
         clients: CLIENTS,
         iters: ITERS,
         report,
+        replication,
     };
     let dir = out_dir();
     if let Err(e) = std::fs::create_dir_all(&dir) {
@@ -146,4 +159,77 @@ fn main() {
             std::process::exit(1);
         }
     }
+}
+
+/// Table 11: replicated read scaling. One durable primary, then 1/2/3
+/// in-process replicas serving a [`ReplicaSet`] router doing
+/// read-your-writes reads. The `count2h` cells are comparator-gated and
+/// must be identical across configs (replicas serve the primary's exact
+/// state; the churn uses `E3` edges, invisible to the `E0`/`E1` count);
+/// `read_rps` is informational.
+fn bench_replication(dataset: &str, vertices: usize, edges: usize) -> Reporter {
+    let mut repl = Reporter::new(
+        "table11_replication",
+        "replicated read scaling (1 primary, N replicas, epoch-consistent router)",
+    );
+    let dir = std::env::temp_dir().join(format!("aplus_bench_repl_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let graph = generate(&GeneratorConfig::social(vertices, edges, 4, 2));
+    let config = DurabilityConfig::new(&dir).fsync(FsyncPolicy::Never);
+    let primary =
+        SharedDatabase::open_durable(config, move || Database::new(graph)).expect("durable open");
+    let primary_server =
+        serve(primary.clone(), "127.0.0.1:0", ServerConfig::default()).expect("bind primary");
+    let primary_addr = primary_server.local_addr();
+
+    for n in 1..=3usize {
+        let mut unused = Vec::new(); // appliers + servers kept alive
+        let mut replica_addrs = Vec::new();
+        for _ in 0..n {
+            let (shared, applier) =
+                start_replica(&primary_addr.to_string(), ReplicaConfig::default())
+                    .expect("replica bootstrap");
+            let server = serve_with_role(
+                shared,
+                "127.0.0.1:0",
+                ServerConfig::default(),
+                Role::Replica,
+            )
+            .expect("bind replica");
+            replica_addrs.push(server.local_addr());
+            unused.push((applier, server));
+        }
+        let mut set = ReplicaSet::connect(primary_addr, replica_addrs).expect("router connect");
+        let config_name = format!("{n}replica{}", if n == 1 { "" } else { "s" });
+
+        // Churn through the router (writes -> primary, shipped to every
+        // replica), then the gated count: read-your-writes guarantees the
+        // router observes at least its own write epoch on whichever
+        // replica answers.
+        for i in 0..REPL_WRITES {
+            set.insert((i % 4) as u32, ((i + 1) % 4) as u32, "E3", &[])
+                .expect("router write");
+        }
+        repl.time(dataset, &config_name, "count2h", || {
+            set.count(COUNT_Q).unwrap()
+        });
+
+        let t = Instant::now();
+        for _ in 0..REPL_READS {
+            set.count(COUNT_Q).expect("router read");
+        }
+        let rps = REPL_READS as f64 / t.elapsed().as_secs_f64().max(1e-9);
+        eprintln!("bench_net: replication {config_name}: {rps:.0} routed reads/s");
+        repl.record_value(dataset, &config_name, "read_rps", rps);
+
+        drop(set);
+        for (applier, server) in unused {
+            server.shutdown();
+            applier.shutdown();
+        }
+    }
+    repl.assert_counts_agree(); // every config saw the same database
+    primary_server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+    repl
 }

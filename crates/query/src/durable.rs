@@ -38,6 +38,11 @@ pub enum DurabilityError {
     /// (opened via [`Database::into_shared`] rather than
     /// [`crate::SharedDatabase::open_durable`]).
     NotDurable,
+    /// A replica-side apply/install was invalid: the stream skipped an
+    /// epoch, a bootstrap would move the replica backwards, or the target
+    /// database is durable (replicas are in-memory and re-bootstrap from
+    /// their primary on restart).
+    Replication(String),
 }
 
 impl std::fmt::Display for DurabilityError {
@@ -51,6 +56,7 @@ impl std::fmt::Display for DurabilityError {
                  (abort batches whose operations error)"
             ),
             Self::NotDurable => write!(f, "this database has no durability configured"),
+            Self::Replication(what) => write!(f, "replication error: {what}"),
         }
     }
 }

@@ -33,8 +33,9 @@ use aplus_core::{IndexSpec, IndexStore};
 use aplus_graph::{Graph, GraphError, PropertyEntity, Value};
 use aplus_runtime::MorselPool;
 use aplus_storage::{
-    checkpoint::retain_newest, encode_checkpoint_payload, write_checkpoint, CrashPoint,
-    DurabilityConfig, PropValue, RecoveredState, StorageError, WalOp,
+    checkpoint::retain_newest, decode_checkpoint_payload, encode_checkpoint_payload,
+    write_checkpoint, CrashPoint, DurabilityConfig, PropValue, RecoveredState, StorageError, WalOp,
+    WalTail,
 };
 
 use crate::ast::{self, Statement};
@@ -116,6 +117,24 @@ impl Database {
             store,
             index_ddl: Vec::new(),
         })
+    }
+
+    /// Rebuilds a database from a checkpoint/bootstrap payload (see
+    /// [`SharedDatabase::bootstrap_payload`]): decodes the graph, then
+    /// replays the recorded index DDL. Deterministic — one payload always
+    /// rebuilds a bit-identical database, which is what lets a replica
+    /// serve the primary's epoch numbers as its own.
+    ///
+    /// # Errors
+    /// [`DurabilityError::Storage`] when the payload fails to decode,
+    /// [`DurabilityError::Query`] when the graph or DDL replay fails.
+    pub fn from_checkpoint_payload(payload: &[u8]) -> Result<Self, DurabilityError> {
+        let (graph, ddl) = decode_checkpoint_payload(payload)?;
+        let mut db = Self::new(graph)?;
+        for statement in &ddl {
+            db.ddl(statement)?;
+        }
+        Ok(db)
     }
 
     /// The ordered index-DDL statements that produced this database's
@@ -895,6 +914,144 @@ impl SharedDatabase {
             state: &self.state,
             _gate: gate,
         }
+    }
+
+    // --- Replication -----------------------------------------------------
+    //
+    // A replica is an in-memory `SharedDatabase` that publishes the
+    // *primary's* epoch numbers: it is seeded from a bootstrap payload
+    // (the primary's pinned snapshot, serialized with the checkpoint
+    // codec) and then applies the primary's WAL records — each through the
+    // same deterministic replay `recover` uses — publishing each batch as
+    // exactly the epoch its WAL record names. Dense IDs and first-seen
+    // interner codes make the replay bit-identical, so a replica at epoch
+    // N serves the same counts and rows as the primary at epoch N.
+
+    /// Serializes the current snapshot for replica bootstrap: the epoch it
+    /// pins plus a checkpoint-codec payload
+    /// ([`Database::from_checkpoint_payload`] rebuilds it). Works on any
+    /// database, durable or not — the payload is built from the live
+    /// snapshot, no checkpoint file is read.
+    #[must_use]
+    pub fn bootstrap_payload(&self) -> (u64, Vec<u8>) {
+        let snapshot = self.snapshot();
+        let payload = encode_checkpoint_payload(snapshot.graph(), &snapshot.ddl_history());
+        (snapshot.epoch(), payload)
+    }
+
+    /// Reads the WAL tail past `from` for a replication shipper: the
+    /// committed records with `epoch > from`, or
+    /// [`WalTail::Trimmed`] when a checkpoint already trimmed that far
+    /// back (the subscriber must re-bootstrap). Uses an independent read
+    /// handle on the WAL file — appenders and the checkpointer are never
+    /// blocked, and a torn in-flight append reads as end-of-log.
+    ///
+    /// # Errors
+    /// [`DurabilityError::NotDurable`] on an in-memory database (no WAL to
+    /// ship); [`DurabilityError::Storage`] when the read fails.
+    pub fn wal_tail(&self, from: u64) -> Result<WalTail, DurabilityError> {
+        let Some(core) = &self.state.durable else {
+            return Err(DurabilityError::NotDurable);
+        };
+        Ok(aplus_storage::read_tail(
+            &aplus_storage::wal_path(&core.data_dir),
+            from,
+        )?)
+    }
+
+    /// Wraps a bootstrapped replica database publishing at `epoch` (the
+    /// epoch the bootstrap payload pinned), with a pool sized from the
+    /// environment. The result is in-memory: replicas re-bootstrap from
+    /// their primary on restart instead of recovering locally.
+    #[must_use]
+    pub fn replica(db: Database, epoch: u64) -> Self {
+        Self::replica_with_pool(db, epoch, MorselPool::from_env())
+    }
+
+    /// [`SharedDatabase::replica`] with an explicit execution pool.
+    #[must_use]
+    pub fn replica_with_pool(db: Database, epoch: u64, pool: MorselPool) -> Self {
+        Self {
+            state: Arc::new(SharedState {
+                published: Mutex::new(Snapshot {
+                    inner: Arc::new(Version { epoch, db }),
+                }),
+                write_gate: Mutex::new(()),
+                durable: None,
+            }),
+            pool,
+            _checkpointer: None,
+        }
+    }
+
+    /// Applies one replicated batch and publishes it as `epoch`. Returns
+    /// `true` when the batch was applied, `false` when `epoch` is already
+    /// published (a resumed stream replaying records the replica has —
+    /// skipping is what makes re-subscription idempotent). The batch must
+    /// be the next epoch in sequence; the stream's ops are replayed
+    /// through the same entry points the primary's writer used, so the
+    /// published snapshot is bit-identical to the primary's at `epoch`.
+    ///
+    /// # Errors
+    /// [`DurabilityError::Replication`] when `epoch` skips past
+    /// `current + 1` (the subscriber lost records and must resume or
+    /// re-bootstrap) or when this database is durable;
+    /// [`DurabilityError::Query`] when an op fails to apply — on a
+    /// faithful stream that indicates divergence, so the caller should
+    /// discard the replica and re-bootstrap.
+    pub fn apply_replica_batch(&self, epoch: u64, ops: &[WalOp]) -> Result<bool, DurabilityError> {
+        if self.state.durable.is_some() {
+            return Err(DurabilityError::Replication(
+                "replica apply requires an in-memory database \
+                 (replicas re-bootstrap from their primary on restart)"
+                    .to_owned(),
+            ));
+        }
+        let _gate = recover(self.state.write_gate.lock());
+        let base = self.state.pin();
+        if epoch <= base.epoch() {
+            return Ok(false);
+        }
+        if epoch != base.epoch() + 1 {
+            return Err(DurabilityError::Replication(format!(
+                "replication stream jumped to epoch {epoch} where {} was expected",
+                base.epoch() + 1
+            )));
+        }
+        let mut head = base.inner.db.clone();
+        durable::apply_ops(&mut head, ops)?;
+        self.state.publish(head, epoch);
+        Ok(true)
+    }
+
+    /// Replaces the published snapshot with a re-bootstrapped database at
+    /// `epoch` — the recovery path for a replica whose resume point was
+    /// trimmed away on the primary. Monotone: `epoch` may equal the
+    /// current epoch (an idempotent retry) but never precede it, so
+    /// readers of this replica never observe time moving backwards.
+    ///
+    /// # Errors
+    /// [`DurabilityError::Replication`] when `epoch` precedes the current
+    /// epoch or this database is durable.
+    pub fn install_replica_snapshot(
+        &self,
+        db: Database,
+        epoch: u64,
+    ) -> Result<(), DurabilityError> {
+        if self.state.durable.is_some() {
+            return Err(DurabilityError::Replication(
+                "replica install requires an in-memory database".to_owned(),
+            ));
+        }
+        let _gate = recover(self.state.write_gate.lock());
+        let current = self.state.pin().epoch();
+        if epoch < current {
+            return Err(DurabilityError::Replication(format!(
+                "bootstrap at epoch {epoch} would move the replica backwards from {current}"
+            )));
+        }
+        self.state.publish(db, epoch);
+        Ok(())
     }
 }
 

@@ -46,10 +46,14 @@ pub mod sink;
 
 pub use crate::query::{QueryGraph, QueryOperand, QueryPredicate};
 pub use aplus_runtime::MorselPool;
-// Durability configuration and crash injection, re-exported so servers and
-// tests can open a durable database without depending on `aplus_storage`
+// Durability configuration, crash injection, and the replication-facing
+// WAL/codec surface, re-exported so servers and tests can open a durable
+// database or ship/apply its WAL without depending on `aplus_storage`
 // directly.
-pub use aplus_storage::{CrashPoint, DurabilityConfig, FaultInjector, FsyncPolicy, StorageError};
+pub use aplus_storage::{
+    decode_ops, encode_ops, CrashPoint, DurabilityConfig, FaultInjector, FsyncPolicy, PropValue,
+    RawRecord, StorageError, WalOp, WalTail,
+};
 pub use durable::DurabilityError;
 pub use engine::{Database, DatabaseWriteGuard, SharedDatabase, Snapshot};
 pub use error::QueryError;

@@ -25,6 +25,14 @@
 //! diagnostic and exits nonzero instead of serving from memory as if the
 //! state had loaded.
 //!
+//! * `APLUS_REPLICATE_FROM` — when set to a primary's address, the server
+//!   starts as a **read replica**: it bootstraps its database from the
+//!   primary over the wire (the dataset flags are ignored), keeps
+//!   converging by applying the primary's shipped WAL at the primary's
+//!   own epoch numbers, and answers `insert`/`delete`/`ddl` with a
+//!   `read_only` error frame. Replicas are in-memory: combining this with
+//!   `APLUS_DATA_DIR` is a usage error.
+//!
 //! The worker pool sizes from `APLUS_THREADS` (default: all cores). The
 //! server runs until stdin closes or a `quit` line arrives, then shuts
 //! down gracefully (drains in-flight queries, refuses new connections).
@@ -34,7 +42,8 @@ use std::io::BufRead as _;
 use aplus_datagen::{build_financial_graph, generate, GeneratorConfig};
 use aplus_query::{Database, DurabilityConfig, FsyncPolicy, SharedDatabase};
 use aplus_server::{
-    resolve_listen, serve, ServerConfig, CHECKPOINT_EVERY_ENV, DATA_DIR_ENV, FSYNC_ENV,
+    resolve_listen, serve, serve_with_role, start_replica, ReplicaConfig, Role, ServerConfig,
+    CHECKPOINT_EVERY_ENV, DATA_DIR_ENV, FSYNC_ENV, REPLICATE_FROM_ENV,
 };
 
 fn main() {
@@ -67,6 +76,11 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+
+    if let Some(primary) = replicate_from() {
+        run_replica(&primary, addr_arg.as_deref());
+        return;
     }
 
     let (graph, dataset) = match social {
@@ -128,6 +142,53 @@ fn main() {
         handle.local_addr()
     );
     println!("aplus-server: type 'quit' (or close stdin) to shut down");
+    wait_for_quit();
+    println!("aplus-server: shutting down (draining in-flight queries)");
+    handle.shutdown();
+    println!("aplus-server: bye");
+}
+
+/// Replica mode: bootstrap from the primary, serve read-only, keep the
+/// applier converging in the background until shutdown.
+fn run_replica(primary: &str, addr_arg: Option<&str>) {
+    let (shared, applier) = match start_replica(primary, ReplicaConfig::default()) {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("aplus-server: could not bootstrap a replica of {primary}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let threads = shared.pool().threads();
+    let epoch = shared.epoch();
+    let addr = resolve_listen(addr_arg);
+    let handle = match serve_with_role(
+        shared,
+        addr.as_str(),
+        ServerConfig::default(),
+        Role::Replica,
+    ) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("aplus-server: could not bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "aplus-server: serving a replica of {primary} on {} \
+         ({threads} worker threads, bootstrapped at epoch {epoch})",
+        handle.local_addr()
+    );
+    println!("aplus-server: type 'quit' (or close stdin) to shut down");
+    wait_for_quit();
+    println!("aplus-server: shutting down (draining in-flight queries)");
+    // The listener first (stop answering), then the applier.
+    handle.shutdown();
+    applier.shutdown();
+    println!("aplus-server: bye");
+}
+
+/// Blocks until stdin closes or a `quit` line arrives.
+fn wait_for_quit() {
     for line in std::io::stdin().lock().lines() {
         match line {
             Ok(l) if l.trim().eq_ignore_ascii_case("quit") => break,
@@ -135,9 +196,25 @@ fn main() {
             Err(_) => break,
         }
     }
-    println!("aplus-server: shutting down (draining in-flight queries)");
-    handle.shutdown();
-    println!("aplus-server: bye");
+}
+
+/// Reads the replica environment; `None` means the server is a primary.
+/// Combining a replica with a data directory is a usage error — replicas
+/// are in-memory mirrors, and a WAL of their own would be a second,
+/// conflicting source of truth.
+fn replicate_from() -> Option<String> {
+    let primary = std::env::var(REPLICATE_FROM_ENV).ok()?;
+    if primary.is_empty() {
+        return None;
+    }
+    if std::env::var(DATA_DIR_ENV).is_ok_and(|d| !d.is_empty()) {
+        eprintln!(
+            "aplus-server: {REPLICATE_FROM_ENV} and {DATA_DIR_ENV} are mutually exclusive \
+             (replicas are in-memory; the primary owns the WAL)"
+        );
+        std::process::exit(2);
+    }
+    Some(primary)
 }
 
 /// Reads the durability environment; `None` means in-memory. Malformed

@@ -17,7 +17,7 @@ use std::net::{Shutdown as SocketShutdown, TcpStream, ToSocketAddrs};
 use aplus_query::engine::DdlOutcome;
 use aplus_query::RawRow;
 
-use crate::protocol::{read_frame, write_frame, Request, Response, WireError, WireProp};
+use crate::protocol::{read_frame, write_frame, Request, Response, Role, WireError, WireProp};
 
 /// Client-side failure.
 #[derive(Debug)]
@@ -32,6 +32,16 @@ pub enum ClientError {
     /// The client was used after a mid-stream hangup (drop of an
     /// unfinished [`RowStream`]); reconnect to continue.
     Disconnected,
+    /// [`Client::wait_for_epoch`] ran out of patience: the server had not
+    /// published `wanted` when the timeout elapsed (`observed` is the
+    /// newest epoch it reported). On a replica this usually means the
+    /// node is lagging — retry, or read from another node.
+    WaitTimeout {
+        /// The epoch waited for.
+        wanted: u64,
+        /// The newest epoch the server reported before the timeout.
+        observed: u64,
+    },
 }
 
 impl fmt::Display for ClientError {
@@ -46,6 +56,10 @@ impl fmt::Display for ClientError {
                     "connection was hung up mid-stream; reconnect to continue"
                 )
             }
+            ClientError::WaitTimeout { wanted, observed } => write!(
+                f,
+                "timed out waiting for epoch {wanted}; the server is at epoch {observed}"
+            ),
         }
     }
 }
@@ -182,9 +196,70 @@ impl Client {
 
     /// The server's current published epoch.
     pub fn epoch(&mut self) -> Result<u64, ClientError> {
+        self.epoch_and_role().map(|(epoch, _)| epoch)
+    }
+
+    /// The server's current published epoch and its replication role.
+    /// Servers from before the replication protocol report
+    /// [`Role::Primary`] (they sent no role member and accepted writes).
+    pub fn epoch_and_role(&mut self) -> Result<(u64, Role), ClientError> {
         match self.call(&Request::Epoch)? {
-            Response::Epoch { epoch } => Ok(epoch),
+            Response::Epoch { epoch, role } => Ok((epoch, role)),
             other => Err(unexpected("epoch", &other)),
+        }
+    }
+
+    /// Blocks until the server has published at least `epoch`, polling
+    /// the `epoch` verb, and returns the epoch that satisfied the wait.
+    /// This is the **read-your-writes** primitive: wait on a replica for
+    /// the epoch a write acked on the primary, and every read after the
+    /// wait observes that write (epochs only move forward).
+    ///
+    /// ```
+    /// use std::time::Duration;
+    /// use aplus_datagen::build_financial_graph;
+    /// use aplus_query::Database;
+    /// use aplus_server::{serve, Client, ServerConfig};
+    ///
+    /// let db = Database::new(build_financial_graph().graph).unwrap();
+    /// let handle = serve(db.into_shared(), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    /// let mut writer = Client::connect(handle.local_addr()).unwrap();
+    /// let mut reader = Client::connect(handle.local_addr()).unwrap();
+    ///
+    /// let (_edge, epoch) = writer.insert(0, 2, "W", &[]).unwrap();
+    /// // After waiting for the acked epoch, the write is visible here.
+    /// let seen = reader.wait_for_epoch(epoch, Duration::from_secs(5)).unwrap();
+    /// assert!(seen >= epoch);
+    /// assert_eq!(reader.count("MATCH a-[r:W]->b").unwrap(), 10);
+    /// handle.shutdown();
+    /// ```
+    ///
+    /// # Errors
+    /// [`ClientError::WaitTimeout`] when `timeout` elapses first; any
+    /// transport error from the underlying `epoch` calls.
+    pub fn wait_for_epoch(
+        &mut self,
+        epoch: u64,
+        timeout: std::time::Duration,
+    ) -> Result<u64, ClientError> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut observed = self.epoch()?;
+        loop {
+            if observed >= epoch {
+                return Ok(observed);
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Err(ClientError::WaitTimeout {
+                    wanted: epoch,
+                    observed,
+                });
+            }
+            // Poll gently: replication latency is one WAL poll interval,
+            // so a few milliseconds of sleep costs little and spares the
+            // server a busy-loop of epoch requests.
+            std::thread::sleep((deadline - now).min(std::time::Duration::from_millis(2)));
+            observed = self.epoch()?;
         }
     }
 

@@ -24,9 +24,15 @@
 //!   query).
 //! * [`shell`] — the `aplus-shell` REPL core (I/O-generic, so tests can
 //!   script it).
+//! * [`repl`] — WAL-shipping replication: [`start_replica`] keeps an
+//!   in-memory replica bit-identical to a durable primary (same rows at
+//!   the same epoch numbers), and the [`ReplicaSet`] router fans reads
+//!   out across replicas with read-your-writes via epoch tokens. The
+//!   full design is in `docs/REPLICATION.md`.
 //!
-//! Binaries: `aplus-server` (serve a built-in dataset on `APLUS_LISTEN`)
-//! and `aplus-shell` (connect and talk).
+//! Binaries: `aplus-server` (serve a built-in dataset on `APLUS_LISTEN`,
+//! or replicate another server under `APLUS_REPLICATE_FROM`) and
+//! `aplus-shell` (connect and talk).
 //!
 //! ```
 //! use aplus_datagen::build_financial_graph;
@@ -44,12 +50,16 @@
 
 pub mod client;
 pub mod protocol;
+pub mod repl;
 pub mod server;
 pub mod shell;
 
 pub use client::{Client, ClientError, RowStream};
-pub use protocol::{Request, Response, WireError, WireProp};
-pub use server::{serve, ServerConfig, ServerHandle};
+pub use protocol::{Request, Response, Role, WireError, WireProp};
+pub use repl::{
+    attach_replica, start_replica, ReplError, ReplicaConfig, ReplicaHandle, ReplicaSet,
+};
+pub use server::{serve, serve_with_role, ServerConfig, ServerHandle};
 
 /// Environment variable naming the listen address of `aplus-server` (and
 /// the default dial address of `aplus-shell`).
@@ -74,6 +84,14 @@ pub const FSYNC_ENV: &str = "APLUS_FSYNC";
 /// last checkpoint before the background checkpointer takes a new one
 /// (`0` disables background checkpointing). Default: 32.
 pub const CHECKPOINT_EVERY_ENV: &str = "APLUS_CHECKPOINT_EVERY";
+
+/// Environment variable putting `aplus-server` in **replica mode**: its
+/// value is the address of the primary to replicate from. A replica
+/// bootstraps its database over the wire (ignoring the dataset argument),
+/// keeps converging via WAL shipping, serves reads at the primary's epoch
+/// numbers, and rejects writes with a `read_only` error frame. Mutually
+/// exclusive with [`DATA_DIR_ENV`] — replicas are in-memory.
+pub const REPLICATE_FROM_ENV: &str = "APLUS_REPLICATE_FROM";
 
 /// Resolves the listen/dial address: an explicit argument wins, then
 /// [`LISTEN_ENV`], then [`DEFAULT_LISTEN`].

@@ -19,16 +19,25 @@
 //! | `reconfigure` | `statement` | `RECONFIGURE PRIMARY INDEXES …` only |
 //! | `insert` | `src`, `dst`, `label`, `props?` | insert one edge as one committed epoch |
 //! | `delete` | `edge` | delete one edge as one committed epoch |
-//! | `epoch` | — | the currently published epoch |
+//! | `epoch` | — | the currently published epoch and the node's role |
+//! | `subscribe` | `have?` | become a replication subscriber (replicas only send this) |
 //!
 //! Responses ([`Response`]): `pong`, `count`, `rows` (the `collect`
 //! answer), `row_batch`* + `stream_end` (the `stream` answer), `ddl_ok`,
 //! `inserted` / `deleted` (each carrying the epoch the write committed
 //! as — on a durable server the epoch is on disk before the frame is
-//! sent), `epoch`, and `error` — a structured [`WireError`] carrying the
-//! server-side [`QueryError`]'s kind, message and (for syntax errors)
-//! byte offset, so clients can point at the offending span of the
-//! statement they sent.
+//! sent), `epoch` (epoch + `role`, one of `primary`/`replica`), and
+//! `error` — a structured [`WireError`] carrying the server-side
+//! [`QueryError`]'s kind, message and (for syntax errors) byte offset, so
+//! clients can point at the offending span of the statement they sent.
+//!
+//! A `subscribe` request turns the connection into a **replication
+//! stream**: the server never reads another request on it and pushes
+//! `bootstrap` (a full snapshot, when the subscriber is empty or too far
+//! behind a WAL trim), `wal_batch` (one committed epoch's operation log),
+//! and `repl_heartbeat` (idle keepalive) frames until either side hangs
+//! up. Binary payloads (the checkpoint-codec snapshot, the WAL record's
+//! op log) travel hex-encoded — see `docs/REPLICATION.md`.
 //!
 //! Insert properties travel as an **array of `[name, value]` pairs** (not
 //! an object): application order is semantically meaningful server-side
@@ -161,8 +170,46 @@ pub enum Request {
     },
     /// Ask for the currently published epoch (0 for a fresh database,
     /// +1 per committed write batch; stable across restarts on a durable
-    /// server).
+    /// server) and the node's [`Role`].
     Epoch,
+    /// Become a replication subscriber: the server stops reading requests
+    /// on this connection and pushes `bootstrap` / `wal_batch` /
+    /// `repl_heartbeat` frames. `have` is the newest epoch the subscriber
+    /// has published (`None` for an empty replica — always bootstraps).
+    /// Only valid on a durable primary.
+    Subscribe {
+        /// Resume point: the subscriber's newest published epoch.
+        have: Option<u64>,
+    },
+}
+
+/// A node's replication role, as reported by the `epoch` verb and the
+/// startup banner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Role {
+    /// Accepts writes; the replication source.
+    #[default]
+    Primary,
+    /// Serves reads from replicated state; rejects writes with a
+    /// `read_only` error frame.
+    Replica,
+}
+
+impl Role {
+    /// The wire spelling (`primary` / `replica`).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Role::Primary => "primary",
+            Role::Replica => "replica",
+        }
+    }
+}
+
+impl std::fmt::Display for Role {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
 }
 
 /// A property value on an `insert` request.
@@ -224,6 +271,33 @@ pub enum Response {
     /// Answer to `epoch`.
     Epoch {
         /// The currently published epoch.
+        epoch: u64,
+        /// The answering node's replication role.
+        role: Role,
+    },
+    /// Replication stream: a full snapshot for the subscriber to install.
+    /// Sent when the subscriber is empty (`have: None`) or its resume
+    /// point was trimmed away; [`aplus_query::Database::from_checkpoint_payload`]
+    /// rebuilds it.
+    Bootstrap {
+        /// The epoch the snapshot pins.
+        epoch: u64,
+        /// The checkpoint-codec payload (hex-encoded on the wire).
+        payload: Vec<u8>,
+    },
+    /// Replication stream: one committed epoch's operation log, exactly
+    /// the primary's WAL record for that epoch.
+    WalBatch {
+        /// The epoch this batch committed as.
+        epoch: u64,
+        /// The encoded operations (`aplus_query::decode_ops` decodes
+        /// them; hex-encoded on the wire).
+        payload: Vec<u8>,
+    },
+    /// Replication stream: idle keepalive, so a subscriber can tell a
+    /// quiet primary from a dead one.
+    ReplHeartbeat {
+        /// The primary's currently published epoch.
         epoch: u64,
     },
     /// Any request can fail with a structured error.
@@ -446,6 +520,40 @@ fn decode_rows(v: &Value) -> Result<Vec<RawRow>, String> {
         .collect()
 }
 
+/// Hex-encodes a binary replication payload. Hex (not base64) keeps the
+/// dependency footprint at zero and the frames inspectable; replication
+/// payloads are op logs of single batches, far below the frame cap even
+/// at 2 bytes per byte.
+fn encode_hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push(char::from_digit(u32::from(b >> 4), 16).unwrap());
+        s.push(char::from_digit(u32::from(b & 0xf), 16).unwrap());
+    }
+    s
+}
+
+fn decode_hex(s: &str) -> Result<Vec<u8>, String> {
+    if s.len() % 2 != 0 {
+        return Err("hex payload has odd length".into());
+    }
+    s.as_bytes()
+        .chunks(2)
+        .map(|pair| {
+            let hi = (pair[0] as char).to_digit(16);
+            let lo = (pair[1] as char).to_digit(16);
+            match (hi, lo) {
+                (Some(hi), Some(lo)) => Ok((hi * 16 + lo) as u8),
+                _ => Err("hex payload has a non-hex digit".to_owned()),
+            }
+        })
+        .collect()
+}
+
+fn get_payload(v: &Value) -> Result<Vec<u8>, String> {
+    decode_hex(&get_str(v, "payload")?)
+}
+
 fn get_str(v: &Value, key: &str) -> Result<String, String> {
     v.get(key)
         .and_then(Value::as_str)
@@ -504,6 +612,9 @@ impl Request {
             ]),
             Request::Delete { edge } => obj(vec![("type", str_v("delete")), ("edge", num(*edge))]),
             Request::Epoch => obj(vec![("type", str_v("epoch"))]),
+            Request::Subscribe { have } => {
+                obj(vec![("type", str_v("subscribe")), ("have", opt_num(*have))])
+            }
         };
         serde_json::to_string(&value).expect("request serializes")
     }
@@ -541,6 +652,9 @@ impl Request {
                 edge: get_u64(&v, "edge")?,
             }),
             "epoch" => Ok(Request::Epoch),
+            "subscribe" => Ok(Request::Subscribe {
+                have: get_opt_u64(&v, "have")?,
+            }),
             other => Err(format!("unknown request type {other:?}")),
         }
     }
@@ -584,9 +698,25 @@ impl Response {
             Response::Deleted { epoch } => {
                 obj(vec![("type", str_v("deleted")), ("epoch", num(*epoch))])
             }
-            Response::Epoch { epoch } => {
-                obj(vec![("type", str_v("epoch")), ("epoch", num(*epoch))])
-            }
+            Response::Epoch { epoch, role } => obj(vec![
+                ("type", str_v("epoch")),
+                ("epoch", num(*epoch)),
+                ("role", str_v(role.as_str())),
+            ]),
+            Response::Bootstrap { epoch, payload } => obj(vec![
+                ("type", str_v("bootstrap")),
+                ("epoch", num(*epoch)),
+                ("payload", Value::String(encode_hex(payload))),
+            ]),
+            Response::WalBatch { epoch, payload } => obj(vec![
+                ("type", str_v("wal_batch")),
+                ("epoch", num(*epoch)),
+                ("payload", Value::String(encode_hex(payload))),
+            ]),
+            Response::ReplHeartbeat { epoch } => obj(vec![
+                ("type", str_v("repl_heartbeat")),
+                ("epoch", num(*epoch)),
+            ]),
             Response::Error(e) => obj(vec![
                 ("type", str_v("error")),
                 ("kind", str_v(&e.kind)),
@@ -635,6 +765,23 @@ impl Response {
                 epoch: get_u64(&v, "epoch")?,
             }),
             "epoch" => Ok(Response::Epoch {
+                epoch: get_u64(&v, "epoch")?,
+                // Pre-replication servers sent no role; they were all
+                // primaries.
+                role: match v.get("role").and_then(Value::as_str) {
+                    Some("replica") => Role::Replica,
+                    _ => Role::Primary,
+                },
+            }),
+            "bootstrap" => Ok(Response::Bootstrap {
+                epoch: get_u64(&v, "epoch")?,
+                payload: get_payload(&v)?,
+            }),
+            "wal_batch" => Ok(Response::WalBatch {
+                epoch: get_u64(&v, "epoch")?,
+                payload: get_payload(&v)?,
+            }),
+            "repl_heartbeat" => Ok(Response::ReplHeartbeat {
                 epoch: get_u64(&v, "epoch")?,
             }),
             "error" => Ok(Response::Error(WireError {
@@ -691,6 +838,8 @@ mod tests {
             },
             Request::Delete { edge: 17 },
             Request::Epoch,
+            Request::Subscribe { have: None },
+            Request::Subscribe { have: Some(12) },
         ];
         for req in cases {
             let json = req.to_json();
@@ -727,13 +876,54 @@ mod tests {
             }),
             Response::Inserted { edge: 25, epoch: 3 },
             Response::Deleted { epoch: 4 },
-            Response::Epoch { epoch: 0 },
+            Response::Epoch {
+                epoch: 0,
+                role: Role::Primary,
+            },
+            Response::Epoch {
+                epoch: 9,
+                role: Role::Replica,
+            },
+            Response::Bootstrap {
+                epoch: 5,
+                payload: vec![0x00, 0x7f, 0xff, 0x10],
+            },
+            Response::WalBatch {
+                epoch: 6,
+                payload: Vec::new(),
+            },
+            Response::ReplHeartbeat { epoch: 6 },
             Response::Error(WireError::protocol("unknown request type")),
         ];
         for resp in cases {
             let json = resp.to_json();
             assert_eq!(Response::from_json(&json).unwrap(), resp, "{json}");
         }
+    }
+
+    #[test]
+    fn epoch_without_a_role_reads_as_primary() {
+        // Frames from pre-replication servers carry no role member.
+        assert_eq!(
+            Response::from_json("{\"type\":\"epoch\",\"epoch\":3}").unwrap(),
+            Response::Epoch {
+                epoch: 3,
+                role: Role::Primary,
+            }
+        );
+    }
+
+    #[test]
+    fn malformed_hex_payloads_are_rejected() {
+        assert!(
+            Response::from_json("{\"type\":\"wal_batch\",\"epoch\":1,\"payload\":\"abc\"}")
+                .is_err(),
+            "odd length"
+        );
+        assert!(
+            Response::from_json("{\"type\":\"bootstrap\",\"epoch\":1,\"payload\":\"zz\"}").is_err(),
+            "non-hex digit"
+        );
     }
 
     #[test]

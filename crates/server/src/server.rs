@@ -49,7 +49,7 @@ use aplus_query::sink::{row_channel, RowReceiver, TryNext};
 use aplus_query::{RawRow, SharedDatabase};
 use aplus_runtime::Shutdown;
 
-use crate::protocol::{read_frame_body, write_frame, Request, Response, WireError, WireProp};
+use crate::protocol::{read_frame_body, write_frame, Request, Response, Role, WireError, WireProp};
 
 /// Tuning knobs of one server instance.
 #[derive(Debug, Clone)]
@@ -72,6 +72,11 @@ pub struct ServerConfig {
     /// larger results get a `result_too_large` error directing the client
     /// to `stream` (which is bounded by `stream_buffer` instead).
     pub collect_row_cap: usize,
+    /// How often an idle replication subscription sends a
+    /// `repl_heartbeat` frame, so subscribers can tell a quiet primary
+    /// from a dead one. The WAL is polled every `poll_interval`
+    /// regardless — this only paces keepalives.
+    pub repl_heartbeat: Duration,
 }
 
 impl Default for ServerConfig {
@@ -83,6 +88,7 @@ impl Default for ServerConfig {
             poll_interval: Duration::from_millis(50),
             frame_timeout: Duration::from_secs(30),
             collect_row_cap: 262_144,
+            repl_heartbeat: Duration::from_millis(500),
         }
     }
 }
@@ -133,11 +139,27 @@ impl Drop for ServerHandle {
     }
 }
 
-/// Binds `addr` and serves `shared` until [`ServerHandle::shutdown`].
+/// Binds `addr` and serves `shared` until [`ServerHandle::shutdown`], as
+/// a primary (writes accepted; durable primaries also serve `subscribe`
+/// replication streams).
 pub fn serve(
     shared: SharedDatabase,
     addr: impl ToSocketAddrs,
     config: ServerConfig,
+) -> io::Result<ServerHandle> {
+    serve_with_role(shared, addr, config, Role::Primary)
+}
+
+/// [`serve`] with an explicit [`Role`]. Under [`Role::Replica`] the
+/// server rejects every mutating request (`insert`, `delete`, `ddl`,
+/// `reconfigure`) with a `read_only` error frame and refuses `subscribe`
+/// (replicas do not chain) — reads and `epoch` work unchanged, serving
+/// whatever epochs the replica's applier has published.
+pub fn serve_with_role(
+    shared: SharedDatabase,
+    addr: impl ToSocketAddrs,
+    config: ServerConfig,
+    role: Role,
 ) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     // Nonblocking accept, polled against the shutdown signal: shutdown
@@ -148,7 +170,7 @@ pub fn serve(
     let accept_shutdown = Arc::clone(&shutdown);
     let accept_thread = std::thread::Builder::new()
         .name("aplus-accept".into())
-        .spawn(move || accept_loop(&listener, &shared, &config, &accept_shutdown))?;
+        .spawn(move || accept_loop(&listener, &shared, &config, role, &accept_shutdown))?;
     Ok(ServerHandle {
         addr,
         shutdown,
@@ -160,6 +182,7 @@ fn accept_loop(
     listener: &TcpListener,
     shared: &SharedDatabase,
     config: &ServerConfig,
+    role: Role,
     shutdown: &Arc<Shutdown>,
 ) {
     let mut connections: Vec<JoinHandle<()>> = Vec::new();
@@ -186,7 +209,7 @@ fn accept_loop(
                             // (and, since readers pin snapshots and a
                             // crashed writer's head is discarded
                             // unpublished, never the database).
-                            handle_connection(stream, &shared, &config, &shutdown);
+                            handle_connection(stream, &shared, &config, role, &shutdown);
                         });
                 match spawned {
                     Ok(handle) => connections.push(handle),
@@ -270,6 +293,7 @@ fn handle_connection(
     mut stream: TcpStream,
     shared: &SharedDatabase,
     config: &ServerConfig,
+    role: Role,
     shutdown: &Shutdown,
 ) {
     // Accepted sockets are blocking on the platforms we target, but the
@@ -295,6 +319,19 @@ fn handle_connection(
                 continue;
             }
         };
+        if role == Role::Replica && is_write_request(&request) {
+            // Structured rejection: the client learns this node's role and
+            // can redirect the write to the primary.
+            let resp = Response::Error(WireError {
+                kind: "read_only".into(),
+                message: "this node is a read replica; send writes to the primary".into(),
+                offset: None,
+            });
+            if respond(&mut stream, &resp) {
+                continue;
+            }
+            return;
+        }
         let keep_going = match request {
             Request::Ping => respond(&mut stream, &Response::Pong),
             Request::Count { query } => {
@@ -333,10 +370,17 @@ fn handle_connection(
                 &mut stream,
                 &Response::Epoch {
                     epoch: shared.epoch(),
+                    role,
                 },
             ),
             Request::Stream { query, limit } => {
                 handle_stream(&mut stream, shared, config, &query, decode_limit(limit))
+            }
+            Request::Subscribe { have } => {
+                // The connection becomes a push-only replication stream;
+                // when the subscription ends, so does the connection.
+                serve_subscription(&mut stream, shared, config, role, have, shutdown);
+                return;
             }
         };
         if !keep_going {
@@ -347,6 +391,132 @@ fn handle_connection(
 
 fn decode_limit(limit: Option<u64>) -> usize {
     limit.map_or(usize::MAX, |l| usize::try_from(l).unwrap_or(usize::MAX))
+}
+
+/// Requests a replica must reject (everything that would mint an epoch).
+fn is_write_request(request: &Request) -> bool {
+    matches!(
+        request,
+        Request::Insert { .. }
+            | Request::Delete { .. }
+            | Request::Ddl { .. }
+            | Request::Reconfigure { .. }
+    )
+}
+
+/// Serves one replication subscription: resolves the subscriber's start
+/// point (WAL tail from `have`, or a snapshot bootstrap when the
+/// subscriber is empty or behind a trim), then pushes every newly
+/// committed WAL record, heartbeating when idle. Runs until shutdown, a
+/// dead subscriber, or a primary-side WAL failure.
+///
+/// The loop reads the WAL through its own read handle
+/// ([`SharedDatabase::wal_tail`]) — writers and the checkpointer are
+/// never blocked by a subscriber, however slow. Because the primary
+/// appends a record *before* publishing its epoch, everything a reader
+/// could observe is always shippable; a torn in-flight append reads as
+/// end-of-log and is picked up on the next poll.
+fn serve_subscription(
+    stream: &mut TcpStream,
+    shared: &SharedDatabase,
+    config: &ServerConfig,
+    role: Role,
+    have: Option<u64>,
+    shutdown: &Shutdown,
+) {
+    if role == Role::Replica {
+        let resp = Response::Error(WireError {
+            kind: "read_only".into(),
+            message: "replicas do not serve replication streams; subscribe to the primary".into(),
+            offset: None,
+        });
+        respond(stream, &resp);
+        return;
+    }
+    if !shared.is_durable() {
+        let resp = Response::Error(WireError {
+            kind: "replication".into(),
+            message: "this primary has no WAL to ship (start it with APLUS_DATA_DIR)".into(),
+            offset: None,
+        });
+        respond(stream, &resp);
+        return;
+    }
+    // `have = None` (an empty replica) bootstraps immediately; a resuming
+    // replica starts from its own newest epoch and gets the WAL tail —
+    // unless the tail was trimmed, which the poll below detects.
+    let mut have = match have {
+        Some(h) => h,
+        None => match send_bootstrap(stream, shared) {
+            Some(epoch) => epoch,
+            None => return,
+        },
+    };
+    let mut last_beat = std::time::Instant::now();
+    loop {
+        if shutdown.is_triggered() {
+            return;
+        }
+        match shared.wal_tail(have) {
+            Ok(aplus_query::WalTail::Records(records)) => {
+                if records.is_empty() {
+                    // Idle (or a torn in-flight append): heartbeat so the
+                    // subscriber can tell us from a dead peer, then park.
+                    if last_beat.elapsed() >= config.repl_heartbeat {
+                        let beat = Response::ReplHeartbeat {
+                            epoch: shared.epoch(),
+                        };
+                        if !respond(stream, &beat) {
+                            return;
+                        }
+                        last_beat = std::time::Instant::now();
+                    }
+                    if shutdown.wait_timeout(config.poll_interval) {
+                        return;
+                    }
+                    continue;
+                }
+                for record in records {
+                    let frame = Response::WalBatch {
+                        epoch: record.epoch,
+                        payload: record.payload,
+                    };
+                    if !respond(stream, &frame) {
+                        return;
+                    }
+                    have = record.epoch;
+                    last_beat = std::time::Instant::now();
+                }
+            }
+            Ok(aplus_query::WalTail::Trimmed { .. }) => {
+                // The subscriber's resume point is gone: restart it from a
+                // fresh snapshot of the current epoch.
+                match send_bootstrap(stream, shared) {
+                    Some(epoch) => have = epoch,
+                    None => return,
+                }
+                last_beat = std::time::Instant::now();
+            }
+            Err(e) => {
+                // A primary-side read failure: tell the subscriber (best
+                // effort) and drop the stream; it will reconnect.
+                let resp = Response::Error(WireError {
+                    kind: "replication".into(),
+                    message: format!("WAL tail read failed: {e}"),
+                    offset: None,
+                });
+                respond(stream, &resp);
+                return;
+            }
+        }
+    }
+}
+
+/// Pushes one `bootstrap` frame (the current snapshot); returns the epoch
+/// it pins, or `None` when the subscriber is gone.
+fn send_bootstrap(stream: &mut TcpStream, shared: &SharedDatabase) -> Option<u64> {
+    let (epoch, payload) = shared.bootstrap_payload();
+    respond(stream, &Response::Bootstrap { epoch, payload }).then_some(epoch)
 }
 
 /// Serves one `collect`: the execution limit is capped at

@@ -1,0 +1,217 @@
+//! Out-of-process replication: a real 3-node cluster (one durable
+//! primary + two replica processes of the actual `aplus-server` binary),
+//! `kill -9` of a replica mid-churn, restart under
+//! `APLUS_REPLICATE_FROM`, and convergence to the primary's epoch with
+//! bit-identical counts and rows — while the primary keeps acking writes
+//! throughout. Also: the replica/durable env conflict is a usage error.
+
+use std::io::{BufRead as _, BufReader, Write as _};
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStdout, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use aplus_server::{Client, Role, WireProp};
+
+const WIRES: &str = "MATCH a-[r:W]->b";
+const TWO_HOP: &str = "MATCH a1-[r1]->a2-[r2]->a3";
+const SEED_WIRES: u64 = 9; // the Figure-1 financial graph
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("aplus_replc_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Spawns the real binary as a durable primary on an OS-assigned port.
+fn spawn_primary(data_dir: &Path) -> Child {
+    Command::new(env!("CARGO_BIN_EXE_aplus-server"))
+        .arg("127.0.0.1:0")
+        .env("APLUS_DATA_DIR", data_dir)
+        .env("APLUS_FSYNC", "never")
+        .env("APLUS_CHECKPOINT_EVERY", "4")
+        .env("APLUS_THREADS", "2")
+        .env_remove("APLUS_REPLICATE_FROM")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn the primary")
+}
+
+/// Spawns the real binary as a replica of `primary_addr`.
+fn spawn_replica(primary_addr: &str) -> Child {
+    Command::new(env!("CARGO_BIN_EXE_aplus-server"))
+        .arg("127.0.0.1:0")
+        .env("APLUS_REPLICATE_FROM", primary_addr)
+        .env("APLUS_THREADS", "2")
+        .env_remove("APLUS_DATA_DIR")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn a replica")
+}
+
+/// Reads the startup banner and extracts the bound address (the banner
+/// prints only once the node is query-ready — for a replica, after its
+/// wire bootstrap completed).
+fn bound_addr(stdout: &mut BufReader<ChildStdout>) -> String {
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = stdout.read_line(&mut line).expect("read server stdout");
+        assert!(n > 0, "node exited before printing its banner");
+        if let Some(rest) = line.split(" on ").nth(1) {
+            if line.starts_with("aplus-server: serving") {
+                return rest.split(" (").next().unwrap().trim().to_owned();
+            }
+        }
+    }
+}
+
+fn sigkill(mut child: Child) {
+    child.kill().expect("kill -9 the node");
+    let _ = child.wait();
+}
+
+fn quit(mut child: Child) {
+    child.stdin.as_mut().unwrap().write_all(b"quit\n").unwrap();
+    let status = child.wait().expect("node exit status");
+    assert!(status.success(), "clean shutdown must exit 0");
+}
+
+/// Waits until the node at `client` reports at least `epoch`, then
+/// asserts its counts and rows equal the primary's byte for byte.
+fn assert_converged(client: &mut Client, primary: &mut Client, epoch: u64) {
+    client
+        .wait_for_epoch(epoch, Duration::from_secs(20))
+        .expect("replica converges to the primary epoch");
+    for query in [WIRES, TWO_HOP] {
+        assert_eq!(
+            client.count(query).unwrap(),
+            primary.count(query).unwrap(),
+            "count of {query} diverged at epoch {epoch}"
+        );
+        assert_eq!(
+            client.collect(query, usize::MAX).unwrap(),
+            primary.collect(query, usize::MAX).unwrap(),
+            "rows of {query} diverged at epoch {epoch}"
+        );
+    }
+}
+
+#[test]
+fn kill_nine_a_replica_mid_churn_and_it_rejoins_the_cluster() {
+    let dir = temp_dir("cluster");
+
+    let mut primary = spawn_primary(&dir);
+    let mut primary_out = BufReader::new(primary.stdout.take().unwrap());
+    let primary_addr = bound_addr(&mut primary_out);
+    let mut pc = Client::connect(&primary_addr).unwrap();
+    assert_eq!(pc.epoch_and_role().unwrap(), (0, Role::Primary));
+
+    // Two replica processes bootstrap over the wire.
+    let mut r1 = spawn_replica(&primary_addr);
+    let mut r1_out = BufReader::new(r1.stdout.take().unwrap());
+    let r1_addr = bound_addr(&mut r1_out);
+    let r2 = spawn_replica(&primary_addr);
+    let mut r2_child = r2;
+    let mut r2_out = BufReader::new(r2_child.stdout.take().unwrap());
+    let r2_addr = bound_addr(&mut r2_out);
+
+    let mut rc1 = Client::connect(&r1_addr).unwrap();
+    let mut rc2 = Client::connect(&r2_addr).unwrap();
+    assert_eq!(rc1.epoch_and_role().unwrap().1, Role::Replica);
+    assert_eq!(rc2.epoch_and_role().unwrap().1, Role::Replica);
+
+    // First churn burst: both replicas track the primary.
+    for i in 1..=6u64 {
+        let props = vec![("amt".to_owned(), WireProp::Int(i as i64))];
+        pc.insert(0, 2, "W", &props).unwrap();
+    }
+    let epoch = pc.epoch().unwrap();
+    assert_converged(&mut rc1, &mut pc, epoch);
+    assert_converged(&mut rc2, &mut pc, epoch);
+    assert_eq!(rc1.count(WIRES).unwrap(), SEED_WIRES + 6);
+
+    // kill -9 replica 1 mid-cluster, then keep churning: the primary and
+    // the surviving replica never miss a beat.
+    sigkill(r1);
+    for i in 7..=12u64 {
+        let props = vec![("amt".to_owned(), WireProp::Int(i as i64))];
+        pc.insert(0, 2, "W", &props).unwrap();
+    }
+    let epoch = pc.epoch().unwrap();
+    assert_converged(&mut rc2, &mut pc, epoch);
+
+    // Restart the killed replica under the same env. Its old in-memory
+    // state died with the process, so this is a fresh wire bootstrap —
+    // including epochs the background checkpointer may have trimmed from
+    // the primary's WAL (checkpoint_every=4 ran during the churn).
+    let mut r1b = spawn_replica(&primary_addr);
+    let mut r1b_out = BufReader::new(r1b.stdout.take().unwrap());
+    let r1b_addr = bound_addr(&mut r1b_out);
+    let mut rc1b = Client::connect(&r1b_addr).unwrap();
+    assert_eq!(rc1b.epoch_and_role().unwrap().1, Role::Replica);
+    assert_converged(&mut rc1b, &mut pc, epoch);
+
+    // And it keeps tracking live writes after the rejoin.
+    let start = Instant::now();
+    pc.insert(0, 2, "W", &[("amt".to_owned(), WireProp::Int(13))])
+        .unwrap();
+    let epoch = pc.epoch().unwrap();
+    assert_converged(&mut rc1b, &mut pc, epoch);
+    assert!(
+        start.elapsed() < Duration::from_secs(20),
+        "live tracking, not a stall-until-timeout"
+    );
+
+    quit(r1b);
+    quit(r2_child);
+    quit(primary);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn replica_and_data_dir_env_conflict_is_a_usage_error() {
+    let dir = temp_dir("conflict");
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut child = Command::new(env!("CARGO_BIN_EXE_aplus-server"))
+        .arg("127.0.0.1:0")
+        .env("APLUS_REPLICATE_FROM", "127.0.0.1:1")
+        .env("APLUS_DATA_DIR", &dir)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    drop(child.stdin.take());
+    let out = child.wait_with_output().unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "the env conflict is a usage error: {stderr}"
+    );
+    assert!(
+        stderr.contains("APLUS_REPLICATE_FROM") && stderr.contains("APLUS_DATA_DIR"),
+        "the diagnostic names both variables: {stderr}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_replica_of_an_unreachable_primary_exits_with_a_diagnostic() {
+    // Port 1 is essentially never listening; the bootstrap must fail
+    // fast with a clean nonzero exit, not hang or panic.
+    let mut child = spawn_replica("127.0.0.1:1");
+    drop(child.stdin.take());
+    let out = child.wait_with_output().unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_ne!(out.status.code(), Some(0));
+    assert!(
+        stderr.contains("could not bootstrap a replica"),
+        "the diagnostic names the bootstrap failure: {stderr}"
+    );
+    assert!(!stderr.contains("panicked"), "{stderr}");
+}

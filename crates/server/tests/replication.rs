@@ -1,0 +1,283 @@
+//! In-process replication tests: one durable primary, two replicas, all
+//! in this process. Prove the epoch-consistency contract — a replica at
+//! epoch N serves bit-identical counts *and rows* to the primary at epoch
+//! N — plus read-your-writes through the [`ReplicaSet`] router, replica
+//! write rejection, and recovery of a replica whose applier crashed
+//! mid-stream (via the deterministic fault hook), all without the primary
+//! ever going down.
+
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use aplus_datagen::build_financial_graph;
+use aplus_query::{
+    CrashPoint, Database, DurabilityConfig, FaultInjector, FsyncPolicy, SharedDatabase,
+};
+use aplus_server::{
+    attach_replica, serve, serve_with_role, start_replica, Client, ClientError, ReplicaConfig,
+    ReplicaHandle, Role, ServerConfig, ServerHandle,
+};
+
+const WIRES: &str = "MATCH a-[r:W]->b";
+const TWO_HOP: &str = "MATCH a1-[r1]->a2-[r2]->a3";
+const SEED_WIRES: u64 = 9;
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("aplus_repl_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A tight config so replication lag and heartbeats are milliseconds.
+fn fast_config() -> ServerConfig {
+    ServerConfig {
+        repl_heartbeat: Duration::from_millis(20),
+        ..ServerConfig::default()
+    }
+}
+
+fn durable_primary(dir: &std::path::Path) -> SharedDatabase {
+    let config = DurabilityConfig::new(dir).fsync(FsyncPolicy::Never);
+    SharedDatabase::open_durable(config, || Database::new(build_financial_graph().graph)).unwrap()
+}
+
+/// Spawns one in-process replica of `primary_addr` and serves it.
+fn spawn_replica(
+    primary_addr: SocketAddr,
+    repl_config: ReplicaConfig,
+) -> (SharedDatabase, ReplicaHandle, ServerHandle) {
+    let (shared, applier) =
+        start_replica(&primary_addr.to_string(), repl_config).expect("replica bootstrap");
+    let server =
+        serve_with_role(shared.clone(), "127.0.0.1:0", fast_config(), Role::Replica).unwrap();
+    (shared, applier, server)
+}
+
+fn wait_until(what: &str, deadline: Duration, mut ready: impl FnMut() -> bool) {
+    let start = Instant::now();
+    while !ready() {
+        assert!(
+            start.elapsed() < deadline,
+            "timed out after {deadline:?} waiting for {what}"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// The epoch-consistency contract, checked directly on the engine
+/// handles: same epoch -> same counts and the same collected rows.
+fn assert_bit_identical(primary: &SharedDatabase, replica: &SharedDatabase) {
+    assert_eq!(primary.epoch(), replica.epoch(), "epochs must match first");
+    for query in [WIRES, TWO_HOP] {
+        assert_eq!(
+            primary.count(query).unwrap(),
+            replica.count(query).unwrap(),
+            "count of {query} diverged at epoch {}",
+            primary.epoch()
+        );
+        assert_eq!(
+            primary.collect(query, usize::MAX).unwrap(),
+            replica.collect(query, usize::MAX).unwrap(),
+            "rows of {query} diverged at epoch {}",
+            primary.epoch()
+        );
+    }
+}
+
+#[test]
+fn two_replicas_serve_the_primary_state_with_read_your_writes() {
+    let dir = temp_dir("fanout");
+    let primary = durable_primary(&dir);
+    let primary_server = serve(primary.clone(), "127.0.0.1:0", fast_config()).unwrap();
+    let primary_addr = primary_server.local_addr();
+
+    let (r1, a1, s1) = spawn_replica(primary_addr, ReplicaConfig::default());
+    let (r2, a2, s2) = spawn_replica(primary_addr, ReplicaConfig::default());
+
+    // Fresh replicas bootstrap to the primary's current snapshot.
+    assert_bit_identical(&primary, &r1);
+    assert_bit_identical(&primary, &r2);
+
+    // Roles on the wire: the primary says primary, replicas say replica.
+    let mut pc = Client::connect(primary_addr).unwrap();
+    assert_eq!(pc.epoch_and_role().unwrap().1, Role::Primary);
+    let mut rc = Client::connect(s1.local_addr()).unwrap();
+    assert_eq!(rc.epoch_and_role().unwrap().1, Role::Replica);
+
+    // Replicas reject writes with a structured read_only error.
+    match rc.insert(0, 2, "W", &[]) {
+        Err(ClientError::Server(e)) => assert_eq!(e.kind, "read_only"),
+        other => panic!("a replica accepted a write: {other:?}"),
+    }
+
+    // Read-your-writes through the router: every count issued after an
+    // acked write observes that write, no matter which node answers.
+    let mut set =
+        aplus_server::ReplicaSet::connect(primary_addr, [s1.local_addr(), s2.local_addr()])
+            .unwrap();
+    for i in 0..6u64 {
+        let (_, epoch) = set.insert(0, 2, "W", &[]).unwrap();
+        assert_eq!(set.last_write_epoch(), epoch, "the token tracks acks");
+        assert_eq!(
+            set.count(WIRES).unwrap(),
+            SEED_WIRES + i + 1,
+            "read {i} lost its own write"
+        );
+    }
+
+    // Once both replicas catch up to the primary's epoch, they are
+    // bit-identical to it (counts and rows).
+    let target = primary.epoch();
+    wait_until(
+        "replicas to reach the primary epoch",
+        Duration::from_secs(10),
+        || r1.epoch() >= target && r2.epoch() >= target,
+    );
+    assert_bit_identical(&primary, &r1);
+    assert_bit_identical(&primary, &r2);
+
+    drop(set);
+    s1.shutdown();
+    s2.shutdown();
+    a1.shutdown();
+    a2.shutdown();
+    primary_server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_crashed_replica_reattaches_and_converges_without_primary_downtime() {
+    let dir = temp_dir("crash");
+    let primary = durable_primary(&dir);
+    let primary_server = serve(primary.clone(), "127.0.0.1:0", fast_config()).unwrap();
+    let primary_addr = primary_server.local_addr();
+
+    // The fault hook kills this applier just before it publishes its 3rd
+    // applied batch — a deterministic mid-stream crash.
+    let faulty = ReplicaConfig {
+        injector: FaultInjector::crash_on_nth(CrashPoint::PreCommit, 3),
+        ..ReplicaConfig::default()
+    };
+    let (replica, applier, replica_server) = spawn_replica(primary_addr, faulty);
+    assert!(applier.is_running());
+
+    // Churn writes through the primary until the applier dies.
+    let mut pc = Client::connect(primary_addr).unwrap();
+    for _ in 0..5 {
+        pc.insert(0, 2, "W", &[]).unwrap();
+    }
+    wait_until(
+        "the injected crash to kill the applier",
+        Duration::from_secs(10),
+        || !applier.is_running(),
+    );
+
+    // The replica froze strictly before the primary's epoch (it applied
+    // at most 2 of the 5 batches) but keeps serving that stale snapshot.
+    let frozen = replica.epoch();
+    assert!(
+        frozen < primary.epoch(),
+        "the crash must have left the replica behind ({frozen} vs {})",
+        primary.epoch()
+    );
+    let mut rc = Client::connect(replica_server.local_addr()).unwrap();
+    assert_eq!(
+        rc.epoch().unwrap(),
+        frozen,
+        "a frozen replica still answers"
+    );
+
+    // The primary never went down: it kept acking writes the whole time
+    // and still does.
+    pc.insert(0, 2, "W", &[]).unwrap();
+    assert_eq!(pc.count(WIRES).unwrap(), SEED_WIRES + 6);
+
+    // Re-attach a healthy applier to the same replica database — the
+    // resume path: it subscribes from the frozen epoch and replays the
+    // missing tail.
+    let applier2 = attach_replica(
+        replica.clone(),
+        &primary_addr.to_string(),
+        ReplicaConfig::default(),
+    );
+    let target = primary.epoch();
+    wait_until(
+        "the reattached replica to converge",
+        Duration::from_secs(10),
+        || replica.epoch() >= target,
+    );
+    assert_bit_identical(&primary, &replica);
+
+    applier2.shutdown();
+    replica_server.shutdown();
+    primary_server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_replica_resuming_past_a_trimmed_wal_rebootstraps() {
+    let dir = temp_dir("trim");
+    // checkpoint_every(1): every epoch takes a checkpoint, and each
+    // checkpoint trims the WAL through the previous one — so a replica
+    // that falls behind by a couple of epochs finds its resume point
+    // trimmed and must accept a fresh bootstrap.
+    let config = DurabilityConfig::new(&dir)
+        .fsync(FsyncPolicy::Never)
+        .checkpoint_every(1);
+    let primary =
+        SharedDatabase::open_durable(config, || Database::new(build_financial_graph().graph))
+            .unwrap();
+    let primary_server = serve(primary.clone(), "127.0.0.1:0", fast_config()).unwrap();
+    let primary_addr = primary_server.local_addr();
+
+    // Bootstrap a replica, then stop its applier entirely.
+    let (replica, applier, _guard) = {
+        let (shared, applier) =
+            start_replica(&primary_addr.to_string(), ReplicaConfig::default()).unwrap();
+        (shared.clone(), applier, shared)
+    };
+    applier.shutdown();
+    let frozen = replica.epoch();
+
+    // Write enough batches for the background checkpointer to trim the
+    // WAL past the replica's resume point.
+    let mut pc = Client::connect(primary_addr).unwrap();
+    for _ in 0..8 {
+        pc.insert(0, 2, "W", &[]).unwrap();
+    }
+    wait_until(
+        "the WAL to trim past the frozen epoch",
+        Duration::from_secs(10),
+        || {
+            match primary.wal_tail(frozen) {
+                Ok(aplus_query::WalTail::Trimmed { .. }) => true,
+                _ => {
+                    // Nudge the checkpointer with another epoch if needed.
+                    let _ = pc.insert(0, 2, "W", &[]);
+                    false
+                }
+            }
+        },
+    );
+
+    // Resume: the primary answers the stale subscription with a fresh
+    // bootstrap, and the replica converges anyway.
+    let applier2 = attach_replica(
+        replica.clone(),
+        &primary_addr.to_string(),
+        ReplicaConfig::default(),
+    );
+    let target = primary.epoch();
+    wait_until(
+        "the re-bootstrapped replica to converge",
+        Duration::from_secs(10),
+        || replica.epoch() >= target,
+    );
+    assert_bit_identical(&primary, &replica);
+
+    applier2.shutdown();
+    primary_server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -49,4 +49,4 @@ pub use crc::crc32;
 pub use error::StorageError;
 pub use fault::{CrashPoint, FaultInjector};
 pub use recover::{recover, wal_path, RecoveredState, WalBatch};
-pub use wal::Wal;
+pub use wal::{read_tail, RawRecord, Wal, WalTail};

@@ -43,6 +43,66 @@ pub struct RawRecord {
     pub payload: Vec<u8>,
 }
 
+/// What a tail read ([`Wal::read_from`] / [`read_tail`]) found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalTail {
+    /// The records with `epoch > from`, contiguous from `from + 1`. Empty
+    /// means the log holds nothing newer than `from` — which a replication
+    /// shipper disambiguates from "trimmed away" by comparing against the
+    /// published epoch it read *after* the scan (appends precede
+    /// publication, so a published epoch is always on disk unless trimmed).
+    Records(Vec<RawRecord>),
+    /// The log no longer holds epoch `from + 1`: the prefix was trimmed
+    /// away by a checkpoint. `oldest` is the first epoch still present.
+    /// The reader must fall back to a checkpoint/snapshot bootstrap.
+    Trimmed {
+        /// First epoch still present in the log.
+        oldest: u64,
+    },
+}
+
+/// Reads the validated tail of the WAL at `path`: records with
+/// `epoch > from`, without modifying the file. This opens its own read
+/// handle, so it is safe to call while another handle is appending — the
+/// scan stops at the first torn record (an in-flight append) exactly like
+/// recovery does, and a concurrent [`Wal::trim_through`] swaps files with
+/// an atomic rename, so the scan sees either the old or the new file.
+///
+/// # Errors
+/// [`StorageError::Corrupt`] on bad magic, [`StorageError::Format`] on a
+/// newer version, [`StorageError::Io`] on OS failures. A file too short to
+/// hold the header reads as empty.
+pub fn read_tail(path: &Path, from: u64) -> Result<WalTail, StorageError> {
+    let mut file = File::open(path)?;
+    let mut bytes = Vec::new();
+    file.read_to_end(&mut bytes)?;
+    if bytes.len() < WAL_HEADER_LEN as usize {
+        return Ok(WalTail::Records(Vec::new()));
+    }
+    if &bytes[..8] != WAL_MAGIC {
+        return Err(StorageError::Corrupt(format!(
+            "{} does not start with the WAL magic",
+            path.display()
+        )));
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version > WAL_VERSION {
+        return Err(StorageError::Format {
+            found: version,
+            supported: WAL_VERSION,
+        });
+    }
+    let (records, _) = scan_records(&bytes[WAL_HEADER_LEN as usize..]);
+    match records.first() {
+        Some(first) if first.epoch > from + 1 => Ok(WalTail::Trimmed {
+            oldest: first.epoch,
+        }),
+        _ => Ok(WalTail::Records(
+            records.into_iter().filter(|r| r.epoch > from).collect(),
+        )),
+    }
+}
+
 /// An open WAL file positioned for appending.
 #[derive(Debug)]
 pub struct Wal {
@@ -251,6 +311,16 @@ impl Wal {
         Ok(())
     }
 
+    /// Reads the validated tail of this WAL: records with `epoch > from`.
+    /// See [`read_tail`] — this is the same scan over `self.path()`, using
+    /// an independent read handle so the append position is untouched.
+    ///
+    /// # Errors
+    /// As [`read_tail`].
+    pub fn read_from(&self, from: u64) -> Result<WalTail, StorageError> {
+        read_tail(&self.path, from)
+    }
+
     /// Path of the underlying file.
     #[must_use]
     pub fn path(&self) -> &Path {
@@ -391,6 +461,69 @@ mod tests {
                 supported: WAL_VERSION
             })
         ));
+    }
+
+    #[test]
+    fn read_from_returns_the_tail_past_the_cursor() {
+        let path = tmp_path("read-from");
+        let mut wal = Wal::create(&path, false).unwrap();
+        let inj = FaultInjector::none();
+        for epoch in 1..=5u64 {
+            wal.append(epoch, &[epoch as u8], false, &inj).unwrap();
+        }
+        // Reads go through a separate handle while `wal` stays open.
+        let WalTail::Records(recs) = wal.read_from(2).unwrap() else {
+            panic!("tail should be present");
+        };
+        let epochs: Vec<u64> = recs.iter().map(|r| r.epoch).collect();
+        assert_eq!(epochs, vec![3, 4, 5]);
+        assert_eq!(recs[0].payload, vec![3]);
+        // A cursor at (or past) the head reads an empty tail, not an error.
+        assert_eq!(wal.read_from(5).unwrap(), WalTail::Records(Vec::new()));
+        assert_eq!(wal.read_from(9).unwrap(), WalTail::Records(Vec::new()));
+    }
+
+    #[test]
+    fn read_from_reports_a_trimmed_prefix() {
+        let path = tmp_path("read-trimmed");
+        let mut wal = Wal::create(&path, false).unwrap();
+        let inj = FaultInjector::none();
+        for epoch in 1..=6u64 {
+            wal.append(epoch, &[epoch as u8], false, &inj).unwrap();
+        }
+        wal.trim_through(4, false).unwrap();
+        // Epoch 3 is gone: a reader at cursor 2 must re-bootstrap.
+        assert_eq!(wal.read_from(2).unwrap(), WalTail::Trimmed { oldest: 5 });
+        // Cursor 4 is exactly the trim point: the tail resumes at 5.
+        let WalTail::Records(recs) = wal.read_from(4).unwrap() else {
+            panic!("tail should resume at the first kept record");
+        };
+        assert_eq!(recs.iter().map(|r| r.epoch).collect::<Vec<_>>(), [5, 6]);
+    }
+
+    #[test]
+    fn read_tail_ignores_a_torn_in_flight_append() {
+        let path = tmp_path("read-torn");
+        let mut wal = Wal::create(&path, false).unwrap();
+        wal.append(1, b"whole", false, &FaultInjector::none())
+            .unwrap();
+        let inj = FaultInjector::crash_on_nth(CrashPoint::MidWalRecord, 1);
+        wal.append(2, b"half written", false, &inj).unwrap_err();
+        // A concurrent reader sees only the validated prefix.
+        let WalTail::Records(recs) = read_tail(&path, 0).unwrap() else {
+            panic!("prefix is intact");
+        };
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].payload, b"whole");
+    }
+
+    #[test]
+    fn read_tail_of_a_missing_or_short_file() {
+        let path = tmp_path("read-short");
+        let _ = std::fs::remove_file(&path);
+        assert!(matches!(read_tail(&path, 0), Err(StorageError::Io(_))));
+        std::fs::write(&path, b"APL").unwrap();
+        assert_eq!(read_tail(&path, 0).unwrap(), WalTail::Records(Vec::new()));
     }
 
     #[test]

@@ -98,6 +98,10 @@ pub struct ProtocolDocTests;
 #[doc = include_str!("../docs/DURABILITY.md")]
 pub struct DurabilityDocTests;
 
+#[cfg(doctest)]
+#[doc = include_str!("../docs/REPLICATION.md")]
+pub struct ReplicationDocTests;
+
 pub use aplus_baseline as baseline;
 pub use aplus_common as common;
 pub use aplus_core as core;
