@@ -45,7 +45,10 @@ run env RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 # writer-churn experiment (snapshot isolation end to end; its latency/
 # slowdown cells are informational, its solo count is gated) and the
 # table10_recovery durability experiment (WAL commit overhead + recovery
-# time informational; the recovered-vs-in-memory count is gated). To
+# time informational; the recovered-vs-in-memory count is gated), and the
+# table12_factorized engine comparison (factorized block engine vs the
+# row engine on SQ + high-fanout MR: both engines' counts are gated and
+# must agree, block-vs-row latency is informational). To
 # refresh the baselines intentionally, run bench_smoke *without*
 # APLUS_BENCH_OUT (it then writes to the repo root) and commit the files.
 run env APLUS_SCALE=20000 APLUS_THREAD_COUNTS=1,2,4 APLUS_BENCH_OUT=target/bench-fresh \

@@ -9,7 +9,9 @@
 //!   (reader latency under writer churn — the snapshot-isolation
 //!   experiment; latency cells informational) and table10_recovery
 //!   (WAL commit overhead + recovery time; the recovered count is
-//!   gated, latency cells informational) reporters.
+//!   gated, latency cells informational) and table12_factorized
+//!   (factorized block engine vs row engine on SQ + high-fanout MR;
+//!   counts gated, latency informational) reporters.
 //! * `BENCH_scaling.json` — the `table7_scaling` reporter, the derived SQ
 //!   speedups per thread count, and the `table8_collect` reporter
 //!   (order-preserving parallel collect + streamed drain).
@@ -39,7 +41,10 @@ const SMOKE_SCALE_DEFAULT: usize = 20_000;
 /// v4: added the `table10_recovery` reporter (WAL commit overhead +
 /// `open_durable` recovery time; the recovered count is gated) to
 /// `BENCH_tables.json`.
-const SCHEMA: u32 = 4;
+/// v5: added the `table12_factorized` reporter (factorized block engine
+/// vs row engine: SQ + high-fanout MR counts under both executors;
+/// counts gated, latency informational) to `BENCH_tables.json`.
+const SCHEMA: u32 = 5;
 
 #[derive(Serialize)]
 struct TablesFile {
@@ -98,6 +103,7 @@ fn main() {
         tables::run_table4(scale),
         aplus_bench::churn::run_churn_table(scale),
         aplus_bench::recovery::run_recovery_table(scale),
+        aplus_bench::factorized::run_factorized_table(scale, &thread_counts),
     ];
     for r in &reports {
         println!("{}", r.render("D"));

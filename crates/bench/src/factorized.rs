@@ -1,0 +1,134 @@
+//! `table12_factorized`: the factorized block engine vs the row engine
+//! (not a paper table).
+//!
+//! Counts the SQ workload (intersection-heavy subgraph shapes on the
+//! densest preset) and the high-fanout MagicRecs MR workload under both
+//! executors — the **block engine** (the optimizer default for supported
+//! shapes: intermediates stay factorized, counts fold multiplicities
+//! without flattening) and the **row engine** (the same plan pinned via
+//! [`FlattenPolicy::Eager`]) — at every thread count. The two engines
+//! must produce identical counts (enforced by `assert_counts_agree`
+//! here, and pinned across PRs by the `bench_compare` baseline gate);
+//! latency cells are trajectory-only, like every other table.
+//!
+//! Per query, a `{name}-block-eligible` pseudo-metric under the `plan`
+//! config records whether the optimizer actually stamped the plan
+//! `FlattenPolicy::AtSink` (1.0) or fell back to the row engine (0.0) —
+//! so a planner change that silently demotes a workload shape shows up
+//! in the baseline diff.
+
+use aplus_datagen::presets::DatasetPreset;
+use aplus_datagen::properties::{add_magicrecs_properties, time_threshold_for_selectivity};
+use aplus_query::{Database, FlattenPolicy, MorselPool};
+
+use crate::datasets::dataset;
+use crate::report::Reporter;
+use crate::scaling::SQ_SHAPES;
+use crate::workloads::{mr, sq};
+
+/// Runs the block-vs-row engine comparison: SQ on `Ork8,2` and MR
+/// (MagicRecs, 5% time predicate) on `WT1,1`, counted under both engines
+/// at every thread count in `thread_counts`.
+pub fn run_factorized_table(scale: usize, thread_counts: &[usize]) -> Reporter {
+    let mut r = Reporter::new(
+        "table12_factorized",
+        "Factorized block engine vs row engine: SQ + high-fanout MR counts, both engines, 1/2/4/8 threads",
+    );
+
+    // SQ workload: labelled subgraph queries on the densest preset.
+    let db = Database::new(dataset(DatasetPreset::Orkut, scale, 8, 2)).expect("index build");
+    let sq_queries: Vec<(String, String)> = SQ_SHAPES
+        .iter()
+        .map(|&q| (format!("SQ{q}"), sq::query(q, 8, 2, true)))
+        .collect();
+    run_engines(&mut r, "SQfact(Ork8,2)", &db, &sq_queries, thread_counts);
+
+    // MR workload: high-fanout MagicRecs patterns with the 5% time
+    // predicate (wiki-topcats fans out hard, which is exactly where
+    // factorized counting skips the most flat rows).
+    let mut g = dataset(DatasetPreset::WikiTopcats, scale, 1, 1);
+    let props = add_magicrecs_properties(&mut g, 0xA11);
+    let alpha = time_threshold_for_selectivity(&g, props, 0.05);
+    let db = Database::new(g).expect("index build");
+    let mr_queries: Vec<(String, String)> = (1..=2)
+        .map(|k| (format!("MR{k}"), mr::query(k, alpha, None)))
+        .collect();
+    run_engines(&mut r, "MRfact(WT1,1)", &db, &mr_queries, thread_counts);
+
+    // The two engines must never disagree on a count.
+    r.assert_counts_agree();
+    r
+}
+
+fn run_engines(
+    r: &mut Reporter,
+    dataset_name: &str,
+    db: &Database,
+    queries: &[(String, String)],
+    thread_counts: &[usize],
+) {
+    let prepared: Vec<_> = queries
+        .iter()
+        .map(|(qname, q)| {
+            let (bound, plan) = db.prepare(q).expect("plan");
+            let row_plan = plan.clone().with_flatten(FlattenPolicy::Eager);
+            (qname.as_str(), bound, plan, row_plan)
+        })
+        .collect();
+    for (qname, _, plan, _) in &prepared {
+        r.record_value(
+            dataset_name,
+            "plan",
+            &format!("{qname}-block-eligible"),
+            if aplus_query::block::use_block(plan) {
+                1.0
+            } else {
+                0.0
+            },
+        );
+    }
+    for &t in thread_counts {
+        let pool = MorselPool::new(t);
+        for (qname, bound, plan, row_plan) in &prepared {
+            r.time(dataset_name, &format!("block-T{t}"), qname, || {
+                db.count_prepared_parallel(bound, plan, &pool)
+            });
+            r.time(dataset_name, &format!("row-T{t}"), qname, || {
+                db.count_prepared_parallel(bound, row_plan, &pool)
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// End-to-end smoke at a tiny scale: both engines populate every
+    /// (dataset, query, config) cell, their counts agree (enforced by
+    /// `assert_counts_agree` inside), and the SQ shapes really run the
+    /// block engine (eligibility pseudo-metric is 1.0).
+    #[test]
+    fn factorized_table_runs_at_tiny_scale() {
+        let r = run_factorized_table(20_000, &[1, 2]);
+        for config in ["block-T1", "block-T2", "row-T1", "row-T2"] {
+            for q in ["SQ1", "SQ9", "MR1", "MR2"] {
+                assert!(
+                    r.measurements
+                        .iter()
+                        .any(|m| m.config == config && m.query == q && m.count.is_some()),
+                    "missing {config}/{q}"
+                );
+            }
+        }
+        for q in ["SQ1", "SQ3", "SQ6", "SQ9"] {
+            let metric = format!("{q}-block-eligible");
+            assert!(
+                r.measurements
+                    .iter()
+                    .any(|m| m.config == "plan" && m.query == metric && m.value == 1.0),
+                "{q} should run the block engine"
+            );
+        }
+    }
+}

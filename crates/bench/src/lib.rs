@@ -31,6 +31,7 @@
 pub mod churn;
 pub mod compare;
 pub mod datasets;
+pub mod factorized;
 pub mod recovery;
 pub mod report;
 pub mod scaling;

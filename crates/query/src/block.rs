@@ -1,0 +1,798 @@
+//! Block-at-a-time factorized execution.
+//!
+//! The row engine ([`crate::exec`]) enumerates matches one row at a time,
+//! re-walking the whole binding prefix for every result. This module
+//! processes **blocks** of bindings per operator instead, and keeps
+//! intermediate results **factorized** (the list-based processing of the
+//! companion "Columnar Storage and List-based Processing for GDBMSs" work):
+//!
+//! * The root vertex scan seeds a block of up to
+//!   [`crate::plan::BlockPolicy::block_size`] root bindings.
+//! * Each E/I operator extends the whole frontier level at once into a new
+//!   `Level`: one `(parent, neighbour, edges)` entry per produced
+//!   binding, where `parent` points at the frontier entry it extends. The
+//!   root binding is stored **once**, never repeated per downstream row —
+//!   the factorized representation whose flat expansion is exactly the
+//!   cross product the row engine would enumerate.
+//! * FILTER operators compact the top level in place.
+//!
+//! Entries are appended in frontier order, and within one frontier entry in
+//! the order `exec::ei_over_lists` produces them — the same
+//! k-pointer leapfrog the row engine runs (both engines literally share
+//! that function, so per-level semantics cannot drift). Consequently the
+//! **flat order of the last level is the sequential DFS row order**, and
+//! flattening is a lazy walk (`FlattenIter`) that rebinds only the path
+//! suffix that changed between consecutive entries (amortized O(1) per
+//! row). Rows cross into sinks through [`crate::sink::drain_flattened`] —
+//! the single flatten boundary — so streamed and collected rows are
+//! bit-identical to the row engine at any thread count and limit.
+//!
+//! Counting never flattens at all: the last E/I level is consumed as a
+//! **multiplicity** per frontier entry, and a single-list tail extension
+//! with no residual work is counted as the adjacency-list *length* without
+//! touching a single entry (the classic factorized-count win on high-fanout
+//! queries). Parallelism reuses the row engine's morsel strategies; root
+//! morsels are additionally capped at the block size
+//! ([`aplus_runtime::block_morsel_size`]) so each morsel is one block.
+//!
+//! Plans opt in via [`FlattenPolicy::AtSink`] (the optimizer's default for
+//! supported shapes); [`use_block`] is the single dispatch predicate.
+//! Unsupported shapes — edge-scan roots, MULTI-EXTEND — keep the
+//! row engine.
+
+use std::ops::{ControlFlow, Range};
+
+use aplus_common::{EdgeId, VertexId};
+use aplus_core::Direction;
+use aplus_runtime::{block_morsel_size, scan_morsel_size, MorselPool};
+
+use crate::exec::{
+    deliver, ei_over_lists, fetch_ei_lists, first_ei_op, for_each_root_vertex, merge_window,
+    strategy, vid, visit_vertex, BoundList, ExecContext, FirstEi, Strategy, EI_MORSEL_CAP,
+};
+use crate::plan::{FlattenPolicy, FromRef, IndexChoice, Operator, Plan};
+use crate::query::{QueryGraph, QueryPredicate, Row};
+use crate::sink::{drain_flattened, RawRow, RowSink};
+
+/// Whether `plan` executes on the block engine: the plan asks for lazy
+/// flattening *and* its shape is supported. [`crate::exec`]'s entry points
+/// dispatch on this; forcing [`FlattenPolicy::Eager`] (see
+/// [`Plan::with_flatten`]) pins the row engine regardless of shape.
+#[must_use]
+pub fn use_block(plan: &Plan) -> bool {
+    plan.block.flatten == FlattenPolicy::AtSink && eligible(&plan.ops)
+}
+
+/// Shape support: a vertex-scan root followed by nothing but E/I and
+/// FILTER operators. Edge-scan roots and MULTI-EXTEND fall back to the
+/// row engine.
+#[must_use]
+pub fn eligible(ops: &[Operator]) -> bool {
+    matches!(ops.first(), Some(Operator::ScanVertices { .. }))
+        && ops[1..].iter().all(|op| {
+            matches!(
+                op,
+                Operator::ExtendIntersect { .. } | Operator::Filter { .. }
+            )
+        })
+}
+
+/// One factorized level: entry `i` is the binding `(nbr[i],
+/// edges[i*stride..][..stride])` extending frontier entry `parent[i]` of
+/// the level below. The root level has no parents and no edges.
+struct Level {
+    parent: Vec<usize>,
+    nbr: Vec<u32>,
+    edges: Vec<u64>,
+    stride: usize,
+    vertex_var: usize,
+    edge_vars: Vec<usize>,
+}
+
+impl Level {
+    fn root(vertex_var: usize, roots: Vec<u32>) -> Self {
+        Self {
+            parent: Vec::new(),
+            nbr: roots,
+            edges: Vec::new(),
+            stride: 0,
+            vertex_var,
+            edge_vars: Vec::new(),
+        }
+    }
+
+    fn for_ei(ei: &FirstEi<'_>) -> Self {
+        let edge_vars: Vec<usize> = ei.alds.iter().map(|a| a.edge_var).collect();
+        Self {
+            parent: Vec::new(),
+            nbr: Vec::new(),
+            edges: Vec::new(),
+            stride: edge_vars.len(),
+            vertex_var: ei.target,
+            edge_vars,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.nbr.len()
+    }
+
+    /// Appends the binding currently held by `row` as an entry extending
+    /// frontier entry `parent`.
+    fn push_from_row(&mut self, parent: usize, row: &Row) {
+        self.parent.push(parent);
+        self.nbr.push(
+            row.vertex(self.vertex_var)
+                .expect("E/I binds its target")
+                .raw(),
+        );
+        for &ev in &self.edge_vars {
+            self.edges
+                .push(row.edge(ev).expect("E/I binds its edge vars").raw());
+        }
+    }
+}
+
+/// A factorized block: the level stack plus a memo of which entry per
+/// level the scratch [`Row`] currently holds. [`Blocks::bind_path`] uses
+/// the memo to rebind only the ancestors that changed since the last call
+/// — entries are parent-ordered, so walking a level front to back rebinds
+/// each ancestor level entry exactly once (amortized O(1) per entry).
+struct Blocks {
+    levels: Vec<Level>,
+    cursor: Vec<Option<usize>>,
+}
+
+impl Blocks {
+    /// Seeds the root level with a block of root bindings (raw vertex IDs
+    /// that already passed the scan's label + predicate checks).
+    fn seeded(plan: &Plan, roots: Vec<u32>) -> Self {
+        Self {
+            levels: vec![Level::root(root_var(plan), roots)],
+            cursor: vec![None],
+        }
+    }
+
+    fn top_len(&self) -> usize {
+        self.levels.last().expect("seeded with a root level").len()
+    }
+
+    /// Materializes the path of level-`li` entry `ei` into `row`,
+    /// rebinding only levels whose memoized entry differs.
+    ///
+    /// Invariant: `cursor[l] == Some(e)` implies `row` holds entry `e`'s
+    /// bindings for level `l` *and* `cursor[l-1]` memoizes its parent.
+    /// Only this method binds level variables ([`ei_over_lists`]'s
+    /// transient bindings are unwound before it returns), and compaction
+    /// invalidates the memo, so the invariant is local to this struct.
+    fn bind_path(&mut self, row: &mut Row, li: usize, ei: usize) {
+        if self.cursor[li] == Some(ei) {
+            return;
+        }
+        if li > 0 {
+            let parent = self.levels[li].parent[ei];
+            self.bind_path(row, li - 1, parent);
+        }
+        let lvl = &self.levels[li];
+        row.bind_vertex(lvl.vertex_var, VertexId(lvl.nbr[ei]));
+        for (j, &ev) in lvl.edge_vars.iter().enumerate() {
+            row.bind_edge(ev, EdgeId(lvl.edges[ei * lvl.stride + j]));
+        }
+        self.cursor[li] = Some(ei);
+    }
+
+    /// Extends the whole top level through an E/I operator, pushing the
+    /// produced level. Returns `false` when nothing was produced.
+    fn extend(&mut self, ctx: ExecContext<'_>, ei: &FirstEi<'_>, row: &mut Row) -> bool {
+        let top = self.levels.len() - 1;
+        let mut out = Level::for_ei(ei);
+        for fi in 0..self.levels[top].len() {
+            self.bind_path(row, top, fi);
+            let Some(lists) = fetch_ei_lists(ctx, ei.alds, row) else {
+                continue;
+            };
+            let range = 0..lists[0].len();
+            let _ = ei_over_lists(
+                ctx,
+                ei.target,
+                ei.target_label,
+                &lists,
+                range,
+                ei.residual,
+                row,
+                &mut |r| {
+                    out.push_from_row(fi, r);
+                    ControlFlow::Continue(())
+                },
+            );
+        }
+        let produced = out.len() > 0;
+        self.levels.push(out);
+        self.cursor.push(None);
+        produced
+    }
+
+    /// Extends a **single-entry** frontier through an E/I whose lists were
+    /// fetched by the caller, with list 0 restricted to `range` — the
+    /// first-E/I morsel unit. `row` must already hold the frontier path.
+    fn extend_from_lists(
+        &mut self,
+        ctx: ExecContext<'_>,
+        ei: &FirstEi<'_>,
+        lists: &[BoundList<'_>],
+        range: Range<usize>,
+        row: &mut Row,
+    ) -> bool {
+        debug_assert_eq!(self.top_len(), 1, "first-E/I morsels extend one root");
+        let mut out = Level::for_ei(ei);
+        let _ = ei_over_lists(
+            ctx,
+            ei.target,
+            ei.target_label,
+            lists,
+            range,
+            ei.residual,
+            row,
+            &mut |r| {
+                out.push_from_row(0, r);
+                ControlFlow::Continue(())
+            },
+        );
+        let produced = out.len() > 0;
+        self.levels.push(out);
+        self.cursor.push(None);
+        produced
+    }
+
+    /// FILTER: compacts the top level in place, keeping entries whose path
+    /// satisfies every predicate. Returns `false` when none survive.
+    fn filter_top(
+        &mut self,
+        ctx: ExecContext<'_>,
+        preds: &[QueryPredicate],
+        row: &mut Row,
+    ) -> bool {
+        let top = self.levels.len() - 1;
+        let n = self.levels[top].len();
+        let mut keep = Vec::with_capacity(n);
+        for fi in 0..n {
+            self.bind_path(row, top, fi);
+            keep.push(preds.iter().all(|p| p.eval(ctx.graph, row)));
+        }
+        let lvl = &mut self.levels[top];
+        let mut w = 0usize;
+        for (r, &kept) in keep.iter().enumerate() {
+            if kept {
+                if w != r {
+                    if !lvl.parent.is_empty() {
+                        lvl.parent[w] = lvl.parent[r];
+                    }
+                    lvl.nbr[w] = lvl.nbr[r];
+                    for j in 0..lvl.stride {
+                        lvl.edges[w * lvl.stride + j] = lvl.edges[r * lvl.stride + j];
+                    }
+                }
+                w += 1;
+            }
+        }
+        if !lvl.parent.is_empty() {
+            lvl.parent.truncate(w);
+        }
+        lvl.nbr.truncate(w);
+        lvl.edges.truncate(w * lvl.stride);
+        // Entries moved: the memoized row bindings may describe a removed
+        // entry.
+        self.cursor[top] = None;
+        w > 0
+    }
+
+    /// Counts the matches a final E/I operator would produce, **without
+    /// building its level**: per frontier entry, the extension count is a
+    /// multiplicity folded straight into the total.
+    fn tail_count(&mut self, ctx: ExecContext<'_>, ei: &FirstEi<'_>, row: &mut Row) -> u64 {
+        let top = self.levels.len() - 1;
+        let mut total = 0u64;
+        for fi in 0..self.levels[top].len() {
+            self.bind_path(row, top, fi);
+            let Some(lists) = fetch_ei_lists(ctx, ei.alds, row) else {
+                continue;
+            };
+            let range = 0..lists[0].len();
+            total += count_ei(ctx, ei, &lists, range, row);
+        }
+        total
+    }
+}
+
+/// Counts one E/I extension of the binding in `row` over pre-fetched
+/// lists. Takes the pure-list-length fast path when sound, else runs the
+/// shared leapfrog with a counting continuation.
+fn count_ei(
+    ctx: ExecContext<'_>,
+    ei: &FirstEi<'_>,
+    lists: &[BoundList<'_>],
+    range: Range<usize>,
+    row: &mut Row,
+) -> u64 {
+    if let Some(n) = tail_count_fast(ctx, ei, lists, &range, row) {
+        return n;
+    }
+    let mut n = 0u64;
+    let _ = ei_over_lists(
+        ctx,
+        ei.target,
+        ei.target_label,
+        lists,
+        range,
+        ei.residual,
+        row,
+        &mut |_| {
+            n += 1;
+            ControlFlow::Continue(())
+        },
+    );
+    n
+}
+
+/// The factorized-count fast path: a single-list extension with no label
+/// check and no residuals contributes exactly its list length — *provided*
+/// relationship uniqueness cannot reject any entry. Every candidate edge
+/// has the list's owner as its direction-side endpoint (primary and
+/// secondary vertex-partitioned lists are 1-hop views of the owner's
+/// adjacency), so it suffices that no already-bound path edge has the
+/// owner there too. Edge-partitioned lists hang off an edge, not a vertex,
+/// and get no such guarantee — they always iterate.
+fn tail_count_fast(
+    ctx: ExecContext<'_>,
+    ei: &FirstEi<'_>,
+    lists: &[BoundList<'_>],
+    range: &Range<usize>,
+    row: &Row,
+) -> Option<u64> {
+    if lists.len() != 1 || !ei.residual.is_empty() || ei.target_label.is_some() {
+        return None;
+    }
+    let ald = &ei.alds[0];
+    let dir = match &ald.index {
+        IndexChoice::Primary(d) => *d,
+        IndexChoice::VertexIdx { direction, .. } => *direction,
+        IndexChoice::EdgeIdx { .. } => return None,
+    };
+    let FromRef::Vertex(fv) = ald.from else {
+        return None;
+    };
+    let owner = row.vertex(fv).expect("plan binds FROM before use");
+    for slot in 0..row.edge_slots().len() {
+        let Some(e) = row.edge(slot) else { continue };
+        let Ok((s, d)) = ctx.graph.edge_endpoints(e) else {
+            return None;
+        };
+        let endpoint = match dir {
+            Direction::Fwd => s,
+            Direction::Bwd => d,
+        };
+        if endpoint == owner {
+            return None;
+        }
+    }
+    Some(range.len() as u64)
+}
+
+fn root_var(plan: &Plan) -> usize {
+    let Some(Operator::ScanVertices { var, .. }) = plan.ops.first() else {
+        unreachable!("block-eligible plans have a vertex-scan root")
+    };
+    *var
+}
+
+/// Destructures any E/I operator into its parts (the [`FirstEi`] shape,
+/// reused for every level here).
+fn ei_parts(op: &Operator) -> FirstEi<'_> {
+    let Operator::ExtendIntersect {
+        target,
+        target_label,
+        alds,
+        residual,
+    } = op
+    else {
+        unreachable!("block engine only extends E/I operators")
+    };
+    FirstEi {
+        target: *target,
+        target_label: *target_label,
+        alds,
+        residual,
+    }
+}
+
+/// Runs `plan.ops[from..]` over a seeded block, building every level.
+/// Returns `false` as soon as a level comes up empty.
+fn apply_ops(
+    ctx: ExecContext<'_>,
+    plan: &Plan,
+    st: &mut Blocks,
+    row: &mut Row,
+    from: usize,
+) -> bool {
+    for op in &plan.ops[from..] {
+        let ok = match op {
+            Operator::ExtendIntersect { .. } => st.extend(ctx, &ei_parts(op), row),
+            Operator::Filter { preds } => st.filter_top(ctx, preds, row),
+            _ => unreachable!("block-eligible plans contain only E/I and FILTER past the root"),
+        };
+        if !ok {
+            return false;
+        }
+    }
+    true
+}
+
+/// Runs `plan.ops[from..]` over a seeded block for counting: a trailing
+/// E/I is consumed as per-entry multiplicities ([`Blocks::tail_count`])
+/// instead of building its level.
+fn count_ops(
+    ctx: ExecContext<'_>,
+    plan: &Plan,
+    st: &mut Blocks,
+    row: &mut Row,
+    from: usize,
+) -> u64 {
+    for (i, op) in plan.ops.iter().enumerate().skip(from) {
+        let last = i + 1 == plan.ops.len();
+        match op {
+            Operator::ExtendIntersect { .. } if last => {
+                return st.tail_count(ctx, &ei_parts(op), row);
+            }
+            Operator::ExtendIntersect { .. } => {
+                if !st.extend(ctx, &ei_parts(op), row) {
+                    return 0;
+                }
+            }
+            Operator::Filter { preds } => {
+                if !st.filter_top(ctx, preds, row) {
+                    return 0;
+                }
+            }
+            _ => unreachable!("block-eligible plans contain only E/I and FILTER past the root"),
+        }
+    }
+    st.top_len() as u64
+}
+
+/// Lazily flattens the last level into [`RawRow`]s, in flat storage order
+/// — which is exactly the sequential DFS row order. Each step rebinds only
+/// the changed path suffix via the cursor memo.
+struct FlattenIter<'a> {
+    st: &'a mut Blocks,
+    row: &'a mut Row,
+    total: usize,
+    next: usize,
+}
+
+impl<'a> FlattenIter<'a> {
+    fn new(st: &'a mut Blocks, row: &'a mut Row) -> Self {
+        let total = st.top_len();
+        Self {
+            st,
+            row,
+            total,
+            next: 0,
+        }
+    }
+}
+
+impl Iterator for FlattenIter<'_> {
+    type Item = RawRow;
+
+    fn next(&mut self) -> Option<RawRow> {
+        if self.next >= self.total {
+            return None;
+        }
+        let top = self.st.levels.len() - 1;
+        self.st.bind_path(self.row, top, self.next);
+        self.next += 1;
+        Some((
+            self.row.vertex_slots().to_vec(),
+            self.row.edge_slots().to_vec(),
+        ))
+    }
+}
+
+/// Collects the root bindings in ID `range` that pass the scan's label +
+/// predicate checks — the seed of one block.
+fn collect_roots_range(
+    ctx: ExecContext<'_>,
+    plan: &Plan,
+    range: Range<usize>,
+    row: &mut Row,
+    out: &mut Vec<u32>,
+) {
+    let Some(Operator::ScanVertices { var, label, preds }) = plan.ops.first() else {
+        unreachable!("block-eligible plans have a vertex-scan root")
+    };
+    for raw in range.start..range.end.min(ctx.graph.vertex_count()) {
+        let _ = visit_vertex(ctx, *var, *label, preds, vid(raw), row, &mut |r| {
+            out.push(r.vertex(*var).expect("scan binds root").raw());
+            ControlFlow::Continue(())
+        });
+    }
+}
+
+fn fresh_row(query: &QueryGraph) -> Row {
+    Row::unbound(query.vertices.len(), query.edges.len())
+}
+
+/// Sequential factorized count: roots are gathered block-at-a-time (via
+/// the row engine's root enumeration, so pinned-vertex and label/predicate
+/// semantics are shared), each block counted on factorized levels.
+#[must_use]
+pub fn count_seq(ctx: ExecContext<'_>, query: &QueryGraph, plan: &Plan) -> u64 {
+    let block = plan.block.block_size.max(1);
+    let mut scan_row = fresh_row(query);
+    let var = root_var(plan);
+    let mut roots: Vec<u32> = Vec::new();
+    let mut total = 0u64;
+    let _ = for_each_root_vertex(ctx, plan, &mut scan_row, &mut |r| {
+        roots.push(r.vertex(var).expect("scan binds root").raw());
+        if roots.len() >= block {
+            total += count_roots_block(ctx, query, plan, std::mem::take(&mut roots));
+        }
+        ControlFlow::Continue(())
+    });
+    if !roots.is_empty() {
+        total += count_roots_block(ctx, query, plan, roots);
+    }
+    total
+}
+
+fn count_roots_block(
+    ctx: ExecContext<'_>,
+    query: &QueryGraph,
+    plan: &Plan,
+    roots: Vec<u32>,
+) -> u64 {
+    // A fresh scratch row per block: `bind_path` materializes exactly the
+    // path variables, and unbound slots must stay the sentinel (stale
+    // bindings from another block would corrupt `uses_edge` checks).
+    let mut row = fresh_row(query);
+    let mut st = Blocks::seeded(plan, roots);
+    count_ops(ctx, plan, &mut st, &mut row, 1)
+}
+
+/// Morsel-parallel factorized count; bit-identical to [`count_seq`] at any
+/// thread count (counts merge in morsel order). Root morsels are capped at
+/// the plan's block size so every morsel is one block.
+#[must_use]
+pub fn count_parallel(
+    ctx: ExecContext<'_>,
+    query: &QueryGraph,
+    plan: &Plan,
+    pool: &MorselPool,
+) -> u64 {
+    match strategy(ctx, plan, pool) {
+        Strategy::Sequential => count_seq(ctx, query, plan),
+        Strategy::RootRanges { total, cap } => {
+            let size = block_morsel_size(total, pool.threads(), cap, plan.block.block_size);
+            pool.sum_ranges(total, size, |range| {
+                let mut scan_row = fresh_row(query);
+                let mut roots = Vec::new();
+                collect_roots_range(ctx, plan, range, &mut scan_row, &mut roots);
+                if roots.is_empty() {
+                    return 0;
+                }
+                count_roots_block(ctx, query, plan, roots)
+            })
+        }
+        Strategy::FirstEi => count_first_ei(ctx, query, plan, pool),
+    }
+}
+
+/// [`count_parallel`] for the skewed case: per root binding, the first
+/// E/I's leading list is partitioned by position; each morsel builds its
+/// factorized sub-block (or tail-counts directly for 2-op plans).
+fn count_first_ei(ctx: ExecContext<'_>, query: &QueryGraph, plan: &Plan, pool: &MorselPool) -> u64 {
+    let ei = first_ei_op(plan);
+    let var = root_var(plan);
+    let mut total = 0u64;
+    let mut row = fresh_row(query);
+    let _ = for_each_root_vertex(ctx, plan, &mut row, &mut |row| {
+        let Some(lists) = fetch_ei_lists(ctx, ei.alds, row) else {
+            return ControlFlow::Continue(());
+        };
+        let n0 = lists[0].len();
+        let size = scan_morsel_size(n0, pool.threads(), EI_MORSEL_CAP);
+        let base: &Row = row;
+        let lists = &lists;
+        let ei = &ei;
+        total += pool.sum_ranges(n0, size, |r| {
+            let mut w = base.clone();
+            if plan.ops.len() == 2 {
+                // The first E/I is also the last: count its morsel range
+                // directly as a multiplicity.
+                return count_ei(ctx, ei, lists, r, &mut w);
+            }
+            let root = base.vertex(var).expect("scan binds root").raw();
+            let mut st = Blocks::seeded(plan, vec![root]);
+            if !st.extend_from_lists(ctx, ei, lists, r, &mut w) {
+                return 0;
+            }
+            count_ops(ctx, plan, &mut st, &mut w, 2)
+        });
+        ControlFlow::Continue(())
+    });
+    total
+}
+
+/// Sequential factorized streaming: builds each block's levels, then
+/// drains the lazy flatten through [`drain_flattened`] — the only place
+/// factorized intermediates become rows. Stops as soon as `limit` rows
+/// were delivered or the sink breaks.
+pub fn stream_seq(
+    ctx: ExecContext<'_>,
+    query: &QueryGraph,
+    plan: &Plan,
+    limit: usize,
+    sink: &mut dyn RowSink,
+) {
+    if limit == 0 {
+        return;
+    }
+    let block = plan.block.block_size.max(1);
+    let var = root_var(plan);
+    let mut scan_row = fresh_row(query);
+    let mut roots: Vec<u32> = Vec::new();
+    let mut sent = 0usize;
+    let sent = &mut sent;
+    let _ = for_each_root_vertex(ctx, plan, &mut scan_row, &mut |r| {
+        roots.push(r.vertex(var).expect("scan binds root").raw());
+        if roots.len() >= block {
+            return stream_roots_block(
+                ctx,
+                query,
+                plan,
+                std::mem::take(&mut roots),
+                sent,
+                limit,
+                sink,
+            );
+        }
+        ControlFlow::Continue(())
+    });
+    if !roots.is_empty() && *sent < limit {
+        let _ = stream_roots_block(ctx, query, plan, roots, sent, limit, sink);
+    }
+}
+
+fn stream_roots_block(
+    ctx: ExecContext<'_>,
+    query: &QueryGraph,
+    plan: &Plan,
+    roots: Vec<u32>,
+    sent: &mut usize,
+    limit: usize,
+    sink: &mut dyn RowSink,
+) -> ControlFlow<()> {
+    let mut row = fresh_row(query);
+    let mut st = Blocks::seeded(plan, roots);
+    if !apply_ops(ctx, plan, &mut st, &mut row, 1) {
+        return ControlFlow::Continue(());
+    }
+    drain_flattened(sink, sent, limit, FlattenIter::new(&mut st, &mut row))
+}
+
+/// Morsel-parallel factorized streaming; the pushed row sequence is
+/// bit-identical to [`stream_seq`] (and the row engine) at any thread
+/// count: each morsel is one block whose flattened rows are buffered, and
+/// buffers merge in morsel order through `exec::deliver`.
+pub fn stream(
+    ctx: ExecContext<'_>,
+    query: &QueryGraph,
+    plan: &Plan,
+    limit: usize,
+    pool: &MorselPool,
+    sink: &mut dyn RowSink,
+) {
+    if limit == 0 {
+        return;
+    }
+    match strategy(ctx, plan, pool) {
+        Strategy::Sequential => stream_seq(ctx, query, plan, limit, sink),
+        Strategy::RootRanges { total, cap } => {
+            let size = block_morsel_size(total, pool.threads(), cap, plan.block.block_size);
+            let mut sent = 0usize;
+            pool.map_ranges(
+                total,
+                size,
+                merge_window(pool),
+                |range, exit| {
+                    let mut scan_row = fresh_row(query);
+                    let mut roots = Vec::new();
+                    collect_roots_range(ctx, plan, range, &mut scan_row, &mut roots);
+                    let mut buf: Vec<RawRow> = Vec::new();
+                    if roots.is_empty() {
+                        return buf;
+                    }
+                    let mut row = fresh_row(query);
+                    let mut st = Blocks::seeded(plan, roots);
+                    if apply_ops(ctx, plan, &mut st, &mut row, 1) {
+                        for raw in FlattenIter::new(&mut st, &mut row) {
+                            buf.push(raw);
+                            // A morsel contributes at most `limit` rows to
+                            // the merged prefix; stop early on cancel too.
+                            if buf.len() >= limit || exit.is_stopped() {
+                                break;
+                            }
+                        }
+                    }
+                    buf
+                },
+                |buf| deliver(buf, &mut sent, limit, sink),
+            );
+        }
+        Strategy::FirstEi => stream_first_ei(ctx, query, plan, limit, pool, sink),
+    }
+}
+
+/// [`stream`] for the skewed case, mirroring the row engine's first-E/I
+/// streaming: per root binding (in root order), morsels over the leading
+/// list build factorized sub-blocks, flatten into per-morsel buffers, and
+/// merge in morsel order.
+fn stream_first_ei(
+    ctx: ExecContext<'_>,
+    query: &QueryGraph,
+    plan: &Plan,
+    limit: usize,
+    pool: &MorselPool,
+    sink: &mut dyn RowSink,
+) {
+    let ei = first_ei_op(plan);
+    let var = root_var(plan);
+    let mut sent = 0usize;
+    let mut row = fresh_row(query);
+    let sent = &mut sent;
+    let _ = for_each_root_vertex(ctx, plan, &mut row, &mut |row| {
+        let Some(lists) = fetch_ei_lists(ctx, ei.alds, row) else {
+            return ControlFlow::Continue(());
+        };
+        let n0 = lists[0].len();
+        let size = scan_morsel_size(n0, pool.threads(), EI_MORSEL_CAP);
+        if *sent >= limit {
+            return ControlFlow::Break(());
+        }
+        let remaining = limit - *sent;
+        let base: &Row = row;
+        let lists = &lists;
+        let ei = &ei;
+        let mut flow = ControlFlow::Continue(());
+        pool.map_ranges(
+            n0,
+            size,
+            merge_window(pool),
+            |r, exit| {
+                let mut w = base.clone();
+                let mut buf: Vec<RawRow> = Vec::new();
+                let root = base.vertex(var).expect("scan binds root").raw();
+                let mut st = Blocks::seeded(plan, vec![root]);
+                if st.extend_from_lists(ctx, ei, lists, r, &mut w)
+                    && apply_ops(ctx, plan, &mut st, &mut w, 2)
+                {
+                    for raw in FlattenIter::new(&mut st, &mut w) {
+                        buf.push(raw);
+                        if buf.len() >= remaining || exit.is_stopped() {
+                            break;
+                        }
+                    }
+                }
+                buf
+            },
+            |buf| {
+                let f = deliver(buf, sent, limit, sink);
+                if f.is_break() {
+                    flow = ControlFlow::Break(());
+                }
+                f
+            },
+        );
+        flow
+    });
+}

@@ -181,6 +181,9 @@ impl Database {
     /// Parses, binds and optimizes a `MATCH` query without executing it
     /// (plan inspection, plan-shape tests).
     pub fn prepare(&self, query: &str) -> Result<(QueryGraph, Plan), QueryError> {
+        // Scans bind vertices as u32; refuse to plan against a graph whose
+        // population would silently truncate IDs.
+        exec::check_vertex_domain(self.graph.vertex_count())?;
         match parser::parse(query)? {
             Statement::Query(ast) => {
                 let bound = ast::bind_query(&self.graph, &ast)?;

@@ -28,6 +28,14 @@ pub enum QueryError {
     },
     /// The pattern is disconnected; plans require a connected pattern.
     DisconnectedPattern,
+    /// The graph's vertex population exceeds the executor's 32-bit
+    /// vertex-ID domain: scans address vertices as `0..vertex_count` and
+    /// bind each as a `u32`, so a larger graph cannot be executed without
+    /// silently truncating IDs.
+    VertexDomainExceeded {
+        /// The offending vertex count.
+        vertex_count: usize,
+    },
     /// Catalog lookup failures and other graph errors.
     Graph(GraphError),
     /// Index DDL failures.
@@ -50,6 +58,11 @@ impl fmt::Display for QueryError {
                 write!(f, "query has {got} vertices; at most {max} supported")
             }
             Self::DisconnectedPattern => write!(f, "query pattern is disconnected"),
+            Self::VertexDomainExceeded { vertex_count } => write!(
+                f,
+                "graph has {vertex_count} vertices, exceeding the executor's \
+                 32-bit vertex-ID domain"
+            ),
             Self::Graph(e) => write!(f, "{e}"),
             Self::Index(e) => write!(f, "{e}"),
             Self::NoPlan(msg) => write!(f, "no plan: {msg}"),

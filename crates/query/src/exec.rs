@@ -35,6 +35,20 @@
 //! parallel via the pool's cooperative [`aplus_runtime::ExitSignal`]. A
 //! 1-thread pool (or an unpartitionable plan) takes the pre-existing
 //! sequential path unchanged.
+//!
+//! # Block-at-a-time factorized execution
+//!
+//! [`count`], [`collect`] and [`stream`] dispatch on the plan's
+//! [`crate::plan::FlattenPolicy`]: plans whose shape the factorized block
+//! engine supports (vertex-scan root followed by E/I and FILTER operators)
+//! run through [`crate::block`], which extends whole blocks of bindings per
+//! operator, keeps intermediates factorized, counts without flattening, and
+//! flattens lazily at the [`RowSink`] boundary — see the module docs of
+//! [`crate::block`]. Results are bit-identical to this row engine at every
+//! thread count and limit (enforced by differential proptests). The
+//! row-at-a-time pipeline below remains both the fallback for unsupported
+//! shapes ([`Operator::ScanEdges`] roots, [`Operator::MultiExtend`]) and
+//! the reference semantics; [`execute`] always runs it.
 
 use std::ops::{ControlFlow, Range};
 
@@ -43,9 +57,11 @@ use aplus_core::{CmpOp, IndexStore, List, SortKey};
 use aplus_graph::Graph;
 use aplus_runtime::{ExitSignal, MorselPool};
 
+use crate::block;
+use crate::error::QueryError;
 use crate::plan::{Ald, FromRef, IndexChoice, Operator, Plan, Prune, PruneValue};
 use crate::query::{QueryGraph, QueryOperand, QueryPredicate, Row};
-use crate::sink::{RawRow, RowSink, VecSink};
+use crate::sink::{drain_flattened, RawRow, RowSink, VecSink};
 
 /// Everything an executing plan reads.
 #[derive(Clone, Copy)]
@@ -69,15 +85,50 @@ pub fn execute(
     run_op(ctx, plan, 0, &mut row, on_row)
 }
 
-/// Runs `plan` and returns the number of matches.
+/// Runs `plan` and returns the number of matches. Block-eligible plans
+/// (see [`crate::block`]) count on factorized blocks without flattening;
+/// the result is identical to counting [`execute`]'s callbacks.
 #[must_use]
 pub fn count(ctx: ExecContext<'_>, query: &QueryGraph, plan: &Plan) -> u64 {
+    if block::use_block(plan) {
+        return block::count_seq(ctx, query, plan);
+    }
+    count_rows(ctx, query, plan)
+}
+
+/// [`count`] pinned to the row-at-a-time engine (the reference path the
+/// block engine is differential-tested against).
+#[must_use]
+pub fn count_rows(ctx: ExecContext<'_>, query: &QueryGraph, plan: &Plan) -> u64 {
     let mut n = 0u64;
     let _ = execute(ctx, query, plan, &mut |_| {
         n += 1;
         ControlFlow::Continue(())
     });
     n
+}
+
+/// Guards the executor's 32-bit vertex-ID domain: scans address vertices
+/// as `0..vertex_count` and bind each as a `u32`, so a graph beyond
+/// `u32::MAX + 1` vertices cannot execute without silently truncating IDs.
+/// `Database::prepare` calls this before planning, surfacing the
+/// structured error instead of ever letting a scan wrap around.
+pub fn check_vertex_domain(vertex_count: usize) -> Result<(), QueryError> {
+    // `vertex_count` may be exactly 2^32 (largest raw ID u32::MAX).
+    if vertex_count as u64 > 1u64 << 32 {
+        Err(QueryError::VertexDomainExceeded { vertex_count })
+    } else {
+        Ok(())
+    }
+}
+
+/// Checked raw-index → [`VertexId`] conversion for scan loops. The u32
+/// domain is verified up front by [`check_vertex_domain`]; an
+/// out-of-domain index reaching this point is a logic error, and panicking
+/// here beats the silent `as u32` truncation it replaces (which would
+/// quietly alias high vertices onto low IDs).
+pub(crate) fn vid(raw: usize) -> VertexId {
+    VertexId(u32::try_from(raw).expect("vertex scan index exceeds the u32 vertex-ID domain"))
 }
 
 /// Largest vertex morsel for partitioned root scans; see
@@ -90,7 +141,7 @@ pub const EDGE_MORSEL_CAP: usize = 1024;
 pub const EI_MORSEL_CAP: usize = 256;
 
 /// How a plan parallelizes on a given pool.
-enum Strategy {
+pub(crate) enum Strategy {
     /// Partition the root scan's ID space into morsels.
     RootRanges { total: usize, cap: usize },
     /// The root scan binds fewer vertices than there are workers and the
@@ -101,7 +152,7 @@ enum Strategy {
     Sequential,
 }
 
-fn strategy(ctx: ExecContext<'_>, plan: &Plan, pool: &MorselPool) -> Strategy {
+pub(crate) fn strategy(ctx: ExecContext<'_>, plan: &Plan, pool: &MorselPool) -> Strategy {
     if pool.is_sequential() {
         return Strategy::Sequential;
     }
@@ -135,7 +186,7 @@ fn strategy(ctx: ExecContext<'_>, plan: &Plan, pool: &MorselPool) -> Strategy {
 /// The merge window for streaming morsel merges: enough in-flight morsels
 /// to keep every worker busy while the merger drains, without unbounded
 /// result buffering.
-fn merge_window(pool: &MorselPool) -> usize {
+pub(crate) fn merge_window(pool: &MorselPool) -> usize {
     pool.threads().saturating_mul(4)
 }
 
@@ -152,8 +203,11 @@ pub fn count_parallel(
     plan: &Plan,
     pool: &MorselPool,
 ) -> u64 {
+    if block::use_block(plan) {
+        return block::count_parallel(ctx, query, plan, pool);
+    }
     match strategy(ctx, plan, pool) {
-        Strategy::Sequential => count(ctx, query, plan),
+        Strategy::Sequential => count_rows(ctx, query, plan),
         Strategy::RootRanges { total, cap } => {
             let size = aplus_runtime::scan_morsel_size(total, pool.threads(), cap);
             pool.sum_ranges(total, size, |range| {
@@ -215,9 +269,16 @@ fn run_root_range(
 }
 
 /// Runs `plan` and collects up to `limit` rows, stopping execution as soon
-/// as the limit is reached (no wasted tail enumeration).
+/// as the limit is reached (no wasted tail enumeration). Block-eligible
+/// plans run factorized and flatten lazily; rows are bit-identical to the
+/// row engine's.
 #[must_use]
 pub fn collect(ctx: ExecContext<'_>, query: &QueryGraph, plan: &Plan, limit: usize) -> Vec<RawRow> {
+    if block::use_block(plan) {
+        let mut sink = VecSink::with_limit(limit);
+        block::stream_seq(ctx, query, plan, limit, &mut sink);
+        return sink.into_rows();
+    }
     let mut out = Vec::new();
     if limit == 0 {
         return out;
@@ -266,6 +327,10 @@ pub fn stream(
     sink: &mut dyn RowSink,
 ) {
     if limit == 0 {
+        return;
+    }
+    if block::use_block(plan) {
+        block::stream(ctx, query, plan, limit, pool, sink);
         return;
     }
     match strategy(ctx, plan, pool) {
@@ -323,28 +388,23 @@ fn buffer_row(
 
 /// Feeds one morsel's buffered rows to the sink, enforcing the global
 /// limit exactly as the sequential path does (the `limit`-th row is
-/// delivered, then the query stops).
-fn deliver(
+/// delivered, then the query stops). A thin wrapper over the sink-side
+/// flatten boundary [`drain_flattened`], which also guards the degenerate
+/// limits (`limit == 0` delivers nothing; `sent` never overflows).
+pub(crate) fn deliver(
     buf: Vec<RawRow>,
     sent: &mut usize,
     limit: usize,
     sink: &mut dyn RowSink,
 ) -> ControlFlow<()> {
-    for r in buf {
-        *sent += 1;
-        let flow = sink.push(r);
-        if flow.is_break() || *sent >= limit {
-            return ControlFlow::Break(());
-        }
-    }
-    ControlFlow::Continue(())
+    drain_flattened(sink, sent, limit, buf.into_iter())
 }
 
 /// Enumerates the root vertex-scan's bindings without running deeper
 /// operators: binds the scan variable, checks label + predicates, and
 /// hands each surviving root row to `f`. The first-E/I strategies use this
 /// to process root bindings one at a time, in root order.
-fn for_each_root_vertex(
+pub(crate) fn for_each_root_vertex(
     ctx: ExecContext<'_>,
     plan: &Plan,
     row: &mut Row,
@@ -361,8 +421,7 @@ fn for_each_root_vertex(
         }
         None => {
             for raw in 0..ctx.graph.vertex_count() {
-                let v = VertexId(raw as u32);
-                visit_vertex(ctx, *var, *label, preds, v, row, f)?;
+                visit_vertex(ctx, *var, *label, preds, vid(raw), row, f)?;
             }
         }
     }
@@ -370,14 +429,14 @@ fn for_each_root_vertex(
 }
 
 /// The first-E/I operator's pieces, destructured once per query.
-struct FirstEi<'p> {
-    target: usize,
-    target_label: Option<aplus_common::VertexLabelId>,
-    alds: &'p [Ald],
-    residual: &'p [QueryPredicate],
+pub(crate) struct FirstEi<'p> {
+    pub(crate) target: usize,
+    pub(crate) target_label: Option<aplus_common::VertexLabelId>,
+    pub(crate) alds: &'p [Ald],
+    pub(crate) residual: &'p [QueryPredicate],
 }
 
-fn first_ei_op(plan: &Plan) -> FirstEi<'_> {
+pub(crate) fn first_ei_op(plan: &Plan) -> FirstEi<'_> {
     let Some(Operator::ExtendIntersect {
         target,
         target_label,
@@ -412,20 +471,19 @@ fn count_first_ei(ctx: ExecContext<'_>, query: &QueryGraph, plan: &Plan, pool: &
         total += pool.sum_ranges(n0, size, |r| {
             let mut w = base.clone();
             let mut n = 0u64;
+            let mut on_row = |_: &Row| {
+                n += 1;
+                ControlFlow::Continue(())
+            };
             let _ = ei_over_lists(
                 ctx,
-                plan,
-                1,
                 ei.target,
                 ei.target_label,
                 lists,
                 r,
                 ei.residual,
                 &mut w,
-                &mut |_| {
-                    n += 1;
-                    ControlFlow::Continue(())
-                },
+                &mut |w| run_op(ctx, plan, 2, w, &mut on_row),
             );
             n
         });
@@ -457,7 +515,18 @@ fn stream_first_ei(
         let n0 = lists[0].len();
         let size = aplus_runtime::scan_morsel_size(n0, pool.threads(), EI_MORSEL_CAP);
         // A morsel of *this* root binding contributes at most the rows
-        // still missing from the global limit.
+        // still missing from the global limit. `deliver` breaks out of the
+        // root loop the moment `*sent` reaches `limit`, and `stream`
+        // rejects `limit == 0` up front, so `*sent < limit` holds here —
+        // the guard makes the invariant local instead of trusting every
+        // caller forever.
+        if *sent >= limit {
+            return ControlFlow::Break(());
+        }
+        debug_assert!(
+            *sent < limit,
+            "deliver must break before sent reaches limit"
+        );
         let remaining = limit - *sent;
         let base: &Row = row;
         let lists = &lists;
@@ -469,17 +538,16 @@ fn stream_first_ei(
             |r, exit| {
                 let mut w = base.clone();
                 let mut buf: Vec<RawRow> = Vec::new();
+                let mut on_row = |rr: &Row| buffer_row(&mut buf, rr, remaining, exit);
                 let _ = ei_over_lists(
                     ctx,
-                    plan,
-                    1,
                     ei.target,
                     ei.target_label,
                     lists,
                     r,
                     ei.residual,
                     &mut w,
-                    &mut |rr| buffer_row(&mut buf, rr, remaining, exit),
+                    &mut |w| run_op(ctx, plan, 2, w, &mut on_row),
                 );
                 buf
             },
@@ -497,7 +565,11 @@ fn stream_first_ei(
 
 /// Fetches an E/I operator's adjacency lists for the current row; `None`
 /// when any list is empty (the extension produces nothing).
-fn fetch_ei_lists<'a>(ctx: ExecContext<'a>, alds: &[Ald], row: &Row) -> Option<Vec<BoundList<'a>>> {
+pub(crate) fn fetch_ei_lists<'a>(
+    ctx: ExecContext<'a>,
+    alds: &[Ald],
+    row: &Row,
+) -> Option<Vec<BoundList<'a>>> {
     let need = if alds.len() > 1 {
         Need::NbrSorted
     } else {
@@ -582,7 +654,7 @@ fn run_op(
 /// An ID-equality predicate that pins the scanned vertex directly (the
 /// `a1.ID = v5` fast path). Such scans are single-vertex and therefore not
 /// worth partitioning into morsels.
-fn pinned_vertex(preds: &[QueryPredicate], var: usize) -> Option<VertexId> {
+pub(crate) fn pinned_vertex(preds: &[QueryPredicate], var: usize) -> Option<VertexId> {
     preds.iter().find_map(|p| match (p.lhs, p.op, p.rhs) {
         (QueryOperand::VertexIdOf(v), CmpOp::Eq, QueryOperand::Const(c))
             if v == var && p.rhs_add == 0 =>
@@ -634,8 +706,7 @@ fn exec_scan_vertices_range(
     on_row: &mut dyn FnMut(&Row) -> ControlFlow<()>,
 ) -> ControlFlow<()> {
     for raw in range.start..range.end.min(ctx.graph.vertex_count()) {
-        let v = VertexId(raw as u32);
-        visit_vertex(ctx, var, label, preds, v, row, &mut |row| {
+        visit_vertex(ctx, var, label, preds, vid(raw), row, &mut |row| {
             run_op(ctx, plan, depth + 1, row, on_row)
         })?;
     }
@@ -645,7 +716,7 @@ fn exec_scan_vertices_range(
 /// Binds `v` to the scan variable if it passes the label + predicate
 /// checks, then runs the continuation `k` (the rest of the pipeline, or a
 /// root-binding consumer for first-E/I partitioned execution).
-fn visit_vertex(
+pub(crate) fn visit_vertex(
     ctx: ExecContext<'_>,
     var: usize,
     label: Option<aplus_common::VertexLabelId>,
@@ -738,21 +809,21 @@ enum Need {
 }
 
 /// A fetched, prune-restricted adjacency list.
-struct BoundList<'a> {
+pub(crate) struct BoundList<'a> {
     list: List<'a>,
     start: usize,
     end: usize,
-    edge_var: usize,
+    pub(crate) edge_var: usize,
     /// Leading sort key after pruning, for merge operations.
     merge_key: Option<SortKey>,
 }
 
 impl BoundList<'_> {
-    fn len(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         self.end - self.start
     }
 
-    fn get(&self, i: usize) -> (EdgeId, VertexId) {
+    pub(crate) fn get(&self, i: usize) -> (EdgeId, VertexId) {
         self.list.get(self.start + i)
     }
 }
@@ -1055,15 +1126,13 @@ fn exec_extend_intersect(
     let range = 0..lists[0].len();
     ei_over_lists(
         ctx,
-        plan,
-        depth,
         target,
         target_label,
         &lists,
         range,
         residual,
         row,
-        on_row,
+        &mut |row| run_op(ctx, plan, depth + 1, row, on_row),
     )
 }
 
@@ -1073,18 +1142,24 @@ fn exec_extend_intersect(
 /// positionally stable (single-list extends), concatenating the outputs of
 /// contiguous ranges in order reproduces the unrestricted output exactly,
 /// even when a range boundary splits a run of parallel edges.
+///
+/// The continuation `k` runs per produced binding with the target vertex
+/// and all edge variables bound (and is unwound before the next binding).
+/// The row engine passes "run the rest of the pipeline"; the factorized
+/// block engine ([`crate::block`]) passes "append one entry to the next
+/// level" — both engines share this one leapfrog, so their per-level
+/// semantics (neighbour order, parallel-edge products, relationship
+/// uniqueness, residual placement) cannot drift apart.
 #[allow(clippy::too_many_arguments)]
-fn ei_over_lists(
+pub(crate) fn ei_over_lists(
     ctx: ExecContext<'_>,
-    plan: &Plan,
-    depth: usize,
     target: usize,
     target_label: Option<aplus_common::VertexLabelId>,
     lists: &[BoundList<'_>],
     range: Range<usize>,
     residual: &[QueryPredicate],
     row: &mut Row,
-    on_row: &mut dyn FnMut(&Row) -> ControlFlow<()>,
+    k: &mut dyn FnMut(&mut Row) -> ControlFlow<()>,
 ) -> ControlFlow<()> {
     let label_ok =
         |n: VertexId| target_label.is_none_or(|want| ctx.graph.vertex_label(n) == Ok(want));
@@ -1098,7 +1173,7 @@ fn ei_over_lists(
             row.bind_vertex(target, n);
             row.bind_edge(l.edge_var, e);
             let flow = if residual.iter().all(|p| p.eval(ctx.graph, row)) {
-                run_op(ctx, plan, depth + 1, row, on_row)
+                k(row)
             } else {
                 ControlFlow::Continue(())
             };
@@ -1108,19 +1183,19 @@ fn ei_over_lists(
         }
         return ControlFlow::Continue(());
     }
-    let k = lists.len();
+    let nl = lists.len();
     // List 0 is clamped to `range`; the other lists run in full (the
     // leapfrog fast-forwards them to list 0's neighbour span).
     let len_of = |i: usize| if i == 0 { range.end } else { lists[i].len() };
-    let mut ptr: Vec<usize> = vec![0; k];
+    let mut ptr: Vec<usize> = vec![0; nl];
     ptr[0] = range.start;
     // Run buffers are reused across neighbour groups to avoid per-group
     // allocations in the hot intersection loop.
-    let mut edge_choices: Vec<Vec<EdgeId>> = vec![Vec::new(); k];
+    let mut edge_choices: Vec<Vec<EdgeId>> = vec![Vec::new(); nl];
     'outer: loop {
         // Find the maximum head neighbour.
         let mut max_nbr = 0u32;
-        for i in 0..k {
+        for i in 0..nl {
             if ptr[i] >= len_of(i) {
                 break 'outer;
             }
@@ -1128,7 +1203,7 @@ fn ei_over_lists(
         }
         // Advance every list to >= max_nbr (leapfrog step).
         let mut aligned = true;
-        for i in 0..k {
+        for i in 0..nl {
             while ptr[i] < len_of(i) && lists[i].get(ptr[i]).1.raw() < max_nbr {
                 ptr[i] += 1;
             }
@@ -1157,17 +1232,7 @@ fn ei_over_lists(
             continue;
         }
         row.bind_vertex(target, nbr);
-        let flow = bind_edges_product(
-            ctx,
-            plan,
-            depth,
-            lists,
-            &edge_choices,
-            0,
-            residual,
-            row,
-            on_row,
-        );
+        let flow = bind_edges_product(ctx, lists, &edge_choices, 0, residual, row, k);
         row.unbind_vertex(target);
         flow?;
     }
@@ -1175,22 +1240,19 @@ fn ei_over_lists(
 }
 
 /// Binds one edge choice per list (cartesian product, with relationship
-/// uniqueness), then evaluates residuals and recurses.
-#[allow(clippy::too_many_arguments)]
+/// uniqueness), then evaluates residuals and runs the continuation.
 fn bind_edges_product(
     ctx: ExecContext<'_>,
-    plan: &Plan,
-    depth: usize,
     lists: &[BoundList<'_>],
     choices: &[Vec<EdgeId>],
     li: usize,
     residual: &[QueryPredicate],
     row: &mut Row,
-    on_row: &mut dyn FnMut(&Row) -> ControlFlow<()>,
+    k: &mut dyn FnMut(&mut Row) -> ControlFlow<()>,
 ) -> ControlFlow<()> {
     if li == lists.len() {
         if residual.iter().all(|p| p.eval(ctx.graph, row)) {
-            return run_op(ctx, plan, depth + 1, row, on_row);
+            return k(row);
         }
         return ControlFlow::Continue(());
     }
@@ -1199,17 +1261,7 @@ fn bind_edges_product(
             continue;
         }
         row.bind_edge(lists[li].edge_var, e);
-        let flow = bind_edges_product(
-            ctx,
-            plan,
-            depth,
-            lists,
-            choices,
-            li + 1,
-            residual,
-            row,
-            on_row,
-        );
+        let flow = bind_edges_product(ctx, lists, choices, li + 1, residual, row, k);
         row.unbind_edge(lists[li].edge_var);
         flow?;
     }
@@ -1334,6 +1386,7 @@ fn bind_targets_product(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::plan::BlockPolicy;
     use aplus_core::{Direction, IndexSpec, SortKey};
     use aplus_datagen::build_financial_graph;
     use aplus_graph::PropertyEntity;
@@ -1421,6 +1474,7 @@ mod tests {
                 },
             ],
             est_cost: 0.0,
+            block: BlockPolicy::default(),
         };
         let ctx = ExecContext {
             graph: &g,
@@ -1490,6 +1544,7 @@ mod tests {
                 },
             ],
             est_cost: 0.0,
+            block: BlockPolicy::default(),
         };
         let ctx = ExecContext {
             graph: &g,
@@ -1572,6 +1627,7 @@ mod tests {
                 },
             ],
             est_cost: 0.0,
+            block: BlockPolicy::default(),
         };
         let ctx = ExecContext {
             graph: &g,
@@ -1675,6 +1731,7 @@ mod tests {
                 },
             ],
             est_cost: 0.0,
+            block: BlockPolicy::default(),
         };
         let ctx = ExecContext {
             graph: &g,
@@ -1779,6 +1836,7 @@ mod tests {
                 },
             ],
             est_cost: 0.0,
+            block: BlockPolicy::default(),
         };
         let ctx = ExecContext {
             graph: &g,
@@ -1862,6 +1920,7 @@ mod tests {
                 },
             ],
             est_cost: 0.0,
+            block: BlockPolicy::default(),
         };
         let ctx = ExecContext {
             graph: &g,
@@ -1993,6 +2052,7 @@ mod tests {
                 },
             ],
             est_cost: 0.0,
+            block: BlockPolicy::default(),
         };
         let ctx = ExecContext {
             graph: &g,
@@ -2060,6 +2120,79 @@ mod tests {
                         .map(|(e, _)| e.raw())
                         .collect();
                     assert_eq!(got, expect, "v={v} {op:?} {threshold}");
+                }
+            }
+        }
+    }
+
+    /// Satellite of the `VertexId(raw as u32)` truncation fix: the domain
+    /// guard accepts exactly up to 2^32 vertices (largest raw ID fits a
+    /// u32) and rejects the first population past it with the structured
+    /// error instead of letting a scan silently alias IDs.
+    #[test]
+    #[cfg(target_pointer_width = "64")]
+    fn vertex_domain_boundary() {
+        let max = 1usize << 32;
+        assert_eq!(check_vertex_domain(0), Ok(()));
+        assert_eq!(check_vertex_domain(max - 1), Ok(()));
+        assert_eq!(check_vertex_domain(max), Ok(()));
+        assert_eq!(
+            check_vertex_domain(max + 1),
+            Err(QueryError::VertexDomainExceeded {
+                vertex_count: max + 1
+            })
+        );
+        let msg = QueryError::VertexDomainExceeded {
+            vertex_count: max + 1,
+        }
+        .to_string();
+        assert!(msg.contains("4294967297"), "error names the count: {msg}");
+    }
+
+    /// The block engine and the row engine agree on counts and exact row
+    /// sequences for every optimizer-built financial-graph query shape
+    /// (the proptest suite covers random graphs; this is the fast unit
+    /// gate).
+    #[test]
+    fn block_engine_matches_row_engine() {
+        use crate::plan::FlattenPolicy;
+        let db = crate::engine::Database::new(build_financial_graph().graph).unwrap();
+        let queries = [
+            "MATCH a-[r:W]->b",
+            "MATCH a-[r1:O]->b-[r2:W]->c",
+            "MATCH a-[r1:W]->b-[r2:W]->c, a-[r3:W]->c",
+            "MATCH a-[r:W]->b WHERE a.ID = 4",
+        ];
+        for q in queries {
+            let (bound, plan) = db.prepare(q).unwrap();
+            assert!(
+                crate::block::use_block(&plan),
+                "optimizer should pick the block engine for {q}"
+            );
+            let row_plan = plan.clone().with_flatten(FlattenPolicy::Eager);
+            assert!(!crate::block::use_block(&row_plan));
+            let ctx = ExecContext {
+                graph: db.graph(),
+                store: db.store(),
+            };
+            assert_eq!(
+                count(ctx, &bound, &plan),
+                count_rows(ctx, &bound, &row_plan),
+                "{q}"
+            );
+            for threads in [1, 2, 4] {
+                let pool = MorselPool::new(threads);
+                assert_eq!(
+                    count_parallel(ctx, &bound, &plan, &pool),
+                    count_rows(ctx, &bound, &row_plan),
+                    "{q} threads={threads}"
+                );
+                for limit in [0, 1, 3, usize::MAX] {
+                    assert_eq!(
+                        collect_parallel(ctx, &bound, &plan, limit, &pool),
+                        collect(ctx, &bound, &row_plan, limit),
+                        "{q} threads={threads} limit={limit}"
+                    );
                 }
             }
         }

@@ -25,7 +25,10 @@ use aplus_core::{CmpOp, Direction, IndexStore, PartitionKey, SortKey, ViewPredic
 use aplus_graph::{Graph, GraphStats, PropertyEntity, PropertyKind};
 
 use crate::error::QueryError;
-use crate::plan::{Ald, FromRef, IndexChoice, Operator, Plan, Prune, PruneValue};
+use crate::plan::{
+    Ald, BlockPolicy, FlattenPolicy, FromRef, IndexChoice, Operator, Plan, Prune, PruneValue,
+    DEFAULT_BLOCK_SIZE,
+};
 use crate::query::{QueryGraph, QueryOperand, QueryPredicate};
 
 /// Cost-model constants. Deliberately simple and fully deterministic: the
@@ -129,6 +132,7 @@ impl Optimizer<'_> {
             final_plan.ops.push(Operator::Filter { preds: leftovers });
         }
         Ok(Plan {
+            block: block_policy(&final_plan.ops),
             ops: final_plan.ops,
             est_cost: final_plan.cost,
         })
@@ -923,6 +927,28 @@ impl Optimizer<'_> {
             }
         }
         card.max(1.0)
+    }
+}
+
+/// Flatten placement: plans whose shape the factorized block engine
+/// supports flatten lazily at the sink ([`FlattenPolicy::AtSink`]); other
+/// shapes flatten eagerly, i.e. stay on the row engine. The block size is
+/// tunable via `APLUS_BLOCK_SIZE` (defaults to
+/// [`crate::plan::DEFAULT_BLOCK_SIZE`]; invalid or zero values fall back).
+fn block_policy(ops: &[Operator]) -> BlockPolicy {
+    let flatten = if crate::block::eligible(ops) {
+        FlattenPolicy::AtSink
+    } else {
+        FlattenPolicy::Eager
+    };
+    let block_size = std::env::var("APLUS_BLOCK_SIZE")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(DEFAULT_BLOCK_SIZE);
+    BlockPolicy {
+        flatten,
+        block_size,
     }
 }
 

@@ -35,23 +35,39 @@ use crate::error::QueryError;
 /// Parses one statement.
 pub fn parse(input: &str) -> Result<Statement, QueryError> {
     let tokens = tokenize(input)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        end: input.len(),
+    };
     let stmt = p.statement()?;
     p.expect_eof()?;
     Ok(stmt)
 }
 
-/// Byte offset where the statement proper begins: the first
-/// non-whitespace byte of `input` (0 for empty/all-whitespace input).
-/// This is the offset error reporters should cite when rejecting a
-/// statement *as a whole* (e.g. DDL handed to a query entry point), so
-/// spans stay accurate under leading whitespace.
+/// Byte offset where the statement proper begins: the first byte of
+/// `input` that is neither whitespace nor part of a `//` line comment
+/// (0 for empty or all-skippable input). This is the offset error
+/// reporters should cite when rejecting a statement *as a whole* (e.g.
+/// DDL handed to a query entry point), so spans stay accurate under
+/// leading whitespace/comment mixes and always point into the original
+/// input.
 #[must_use]
 pub fn statement_offset(input: &str) -> usize {
-    input
-        .bytes()
-        .position(|b| !matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
-        .unwrap_or(0)
+    let bytes = input.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        match bytes[i] {
+            b' ' | b'\t' | b'\n' | b'\r' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            _ => return i,
+        }
+    }
+    0
 }
 
 // ---------------------------------------------------------------------------
@@ -154,6 +170,19 @@ fn tokenize(input: &str) -> Result<Vec<Lexed>, QueryError> {
                     offset: start,
                 });
                 i += 1;
+            }
+            '/' => {
+                // `//` starts a line comment; a lone `/` is not a token.
+                if bytes.get(i + 1) == Some(&b'/') {
+                    while i < bytes.len() && bytes[i] != b'\n' {
+                        i += 1;
+                    }
+                } else {
+                    return Err(QueryError::Syntax {
+                        message: "unexpected character '/' (line comments are `//`)".into(),
+                        offset: start,
+                    });
+                }
             }
             '&' => {
                 // `&` / `&&` behave like the comma separator in WHERE.
@@ -313,6 +342,9 @@ fn tokenize(input: &str) -> Result<Vec<Lexed>, QueryError> {
 struct Parser {
     tokens: Vec<Lexed>,
     pos: usize,
+    /// Length of the original input: the offset cited for errors at EOF,
+    /// so every reported offset satisfies `offset <= input.len()`.
+    end: usize,
 }
 
 impl Parser {
@@ -321,7 +353,7 @@ impl Parser {
     }
 
     fn offset(&self) -> usize {
-        self.tokens.get(self.pos).map_or(usize::MAX, |l| l.offset)
+        self.tokens.get(self.pos).map_or(self.end, |l| l.offset)
     }
 
     fn next(&mut self) -> Option<Tok> {
@@ -937,6 +969,78 @@ mod tests {
         assert_eq!(statement_offset("\n\t RECONFIGURE PRIMARY INDEXES"), 3);
         assert_eq!(statement_offset(""), 0);
         assert_eq!(statement_offset("   "), 0);
+    }
+
+    #[test]
+    fn line_comments_are_skipped() {
+        // Comments before, between, and after tokens; `\r\n` line ends.
+        let q = parse_query(
+            "// leading comment\nMATCH a-[r:W]->b // trailing\n  // another\nWHERE a.x = 1",
+        );
+        assert_eq!(q.edges.len(), 1);
+        assert_eq!(q.wheres.len(), 1);
+        let q = parse_query("// only a comment line\r\nMATCH a-[r]->b");
+        assert_eq!(q.edges.len(), 1);
+        // A comment with no trailing newline ends at EOF.
+        let q = parse_query("MATCH a-[r]->b // no newline");
+        assert_eq!(q.edges.len(), 1);
+        // A lone `/` is rejected, pointing at the slash.
+        assert!(matches!(
+            parse("MATCH a-[r]->b WHERE a.x / 1"),
+            Err(QueryError::Syntax { offset: 25, .. })
+        ));
+    }
+
+    #[test]
+    fn statement_offset_skips_comment_and_whitespace_mixes() {
+        assert_eq!(statement_offset("// c\nMATCH a-[r]->b"), 5);
+        assert_eq!(statement_offset("  // c\n\t// d\n  MATCH a-[r]->b"), 15);
+        assert_eq!(statement_offset("// only a comment"), 0);
+        assert_eq!(statement_offset("  // c\r\n"), 0);
+        // A lone slash is where the statement (malformed as it is) begins.
+        assert_eq!(statement_offset(" / x"), 1);
+    }
+
+    /// Every error variant the parser produces cites an offset that points
+    /// into (or one past the end of) the original input — never a
+    /// sentinel. Table-driven over one representative input per error
+    /// path, including EOF errors and comment/whitespace prefixes.
+    #[test]
+    fn error_offsets_point_into_input() {
+        let cases: &[&str] = &[
+            // Lexer errors.
+            "MATCH a-[r]->b WHERE a.x @ 1",
+            "MATCH a-[r]->b WHERE a.x ! 1",
+            "MATCH a-[r]->b WHERE a.x / 1",
+            "MATCH a-[r]->b WHERE a.name = 'oops",
+            "MATCH a-[r]->b WHERE a.x = 99999999999999999999",
+            // Parser errors mid-input.
+            "BOGUS things",
+            "MATCH a-[r]->b WHERE",
+            "MATCH a-[r]->b extra",
+            "CREATE 3-HOP VIEW X MATCH vs-[eadj]->vd",
+            "RECONFIGURE PRIMARY INDEXES PARTITION BY bogus.key",
+            // Parser errors at EOF (previously cited usize::MAX).
+            "MATCH a-[r]->",
+            "MATCH",
+            "MATCH a-[",
+            "CREATE",
+            "// comment only\nMATCH a-[r]->",
+            "   \t\n",
+            "",
+        ];
+        for input in cases {
+            match parse(input) {
+                Err(QueryError::Syntax { offset, message }) => {
+                    assert!(
+                        offset <= input.len(),
+                        "offset {offset} escapes {input:?} ({message})"
+                    );
+                }
+                Err(other) => panic!("expected syntax error for {input:?}, got {other:?}"),
+                Ok(_) => panic!("expected error for {input:?}"),
+            }
+        }
     }
 
     #[test]

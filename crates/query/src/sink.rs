@@ -45,6 +45,37 @@ impl<F: FnMut(RawRow) -> ControlFlow<()>> RowSink for F {
     }
 }
 
+/// The flatten boundary: drains a lazily produced row sequence into a
+/// sink, enforcing a global `limit` across calls via the caller-owned
+/// `sent` counter. This is where factorized intermediates (and per-morsel
+/// row buffers) become flat rows — `rows` is typically the block engine's
+/// lazy flatten iterator or a morsel buffer, pulled one row at a time so
+/// nothing past the limit is ever materialized.
+///
+/// Semantics match the sequential executor exactly: the `limit`-th row is
+/// still delivered, then `Break` is returned; a sink `Break` stops
+/// immediately. Degenerate limits are safe: `limit == 0` delivers nothing
+/// (checked *before* the first push), and `sent` saturates instead of
+/// overflowing at `usize::MAX`.
+pub fn drain_flattened(
+    sink: &mut dyn RowSink,
+    sent: &mut usize,
+    limit: usize,
+    rows: impl Iterator<Item = RawRow>,
+) -> ControlFlow<()> {
+    for row in rows {
+        if *sent >= limit {
+            return ControlFlow::Break(());
+        }
+        *sent = sent.saturating_add(1);
+        let flow = sink.push(row);
+        if flow.is_break() || *sent >= limit {
+            return ControlFlow::Break(());
+        }
+    }
+    ControlFlow::Continue(())
+}
+
 /// A sink that collects rows into a vector, stopping the query once
 /// `limit` rows have been gathered.
 #[derive(Debug, Default)]
@@ -209,6 +240,65 @@ mod tests {
         };
         assert!(RowSink::push(&mut sink, row(1)).is_continue());
         assert_eq!(seen, vec![row(1)]);
+    }
+
+    #[test]
+    fn drain_flattened_enforces_global_limit() {
+        // The limit-th row is delivered, then Break — across calls.
+        let mut sink = VecSink::unbounded();
+        let mut sent = 0usize;
+        assert!(drain_flattened(&mut sink, &mut sent, 3, (0..2).map(row)).is_continue());
+        assert_eq!(sent, 2);
+        assert!(drain_flattened(&mut sink, &mut sent, 3, (2..9).map(row)).is_break());
+        assert_eq!(sent, 3, "the third row is the last delivered");
+        assert_eq!(sink.len(), 3);
+        // Hammer: every further call with sent == limit delivers nothing.
+        for _ in 0..100 {
+            assert!(drain_flattened(&mut sink, &mut sent, 3, (9..10).map(row)).is_break());
+        }
+        assert_eq!((sent, sink.len()), (3, 3));
+    }
+
+    #[test]
+    fn drain_flattened_degenerate_limits() {
+        // limit == 0: nothing delivered, not even one row.
+        let mut sink = VecSink::unbounded();
+        let mut sent = 0usize;
+        assert!(drain_flattened(&mut sink, &mut sent, 0, (0..5).map(row)).is_break());
+        assert_eq!((sent, sink.len()), (0, 0));
+        // sent already beyond limit (a caller invariant breach): Break
+        // without delivering rather than underflowing `limit - sent`.
+        let mut sent = 7usize;
+        assert!(drain_flattened(&mut sink, &mut sent, 3, (0..5).map(row)).is_break());
+        assert_eq!((sent, sink.len()), (7, 0));
+        // sent == usize::MAX: already at any possible limit, Break with
+        // nothing delivered (the old `sent += 1` would have overflowed).
+        let mut sent = usize::MAX;
+        assert!(drain_flattened(&mut sink, &mut sent, usize::MAX, (0..5).map(row)).is_break());
+        assert_eq!((sent, sink.len()), (usize::MAX, 0));
+        // One step below the saturation boundary: the last countable row
+        // is delivered and `sent` saturates instead of wrapping.
+        let mut sent = usize::MAX - 1;
+        assert!(drain_flattened(&mut sink, &mut sent, usize::MAX, (0..5).map(row)).is_break());
+        assert_eq!(sent, usize::MAX);
+        assert_eq!(sink.len(), 1);
+        // An empty row iterator is a no-op Continue.
+        let mut sent = 0usize;
+        assert!(drain_flattened(&mut sink, &mut sent, 5, std::iter::empty()).is_continue());
+        assert_eq!(sent, 0);
+    }
+
+    #[test]
+    fn drain_flattened_respects_sink_break() {
+        let mut pushed = 0usize;
+        let mut sink = |_: RawRow| {
+            pushed += 1;
+            ControlFlow::Break(())
+        };
+        let mut sent = 0usize;
+        let flow = drain_flattened(&mut sink, &mut sent, 100, (0..10).map(row));
+        assert!(flow.is_break());
+        assert_eq!((sent, pushed), (1, 1), "sink Break stops after one row");
     }
 
     #[test]

@@ -21,7 +21,7 @@ use aplus_core::store::IndexDirections;
 use aplus_core::view::OneHopView;
 use aplus_core::{IndexSpec, PartitionKey, SortKey, ViewPredicate};
 use aplus_graph::{Graph, PropertyEntity, PropertyKind, Value};
-use aplus_query::{Database, MorselPool, RawRow};
+use aplus_query::{Database, FlattenPolicy, MorselPool, RawRow};
 
 const N: u32 = 24;
 
@@ -80,10 +80,15 @@ fn drain_stream(db: &Database, q: &str, limit: usize, pool: &MorselPool) -> Vec<
     rows
 }
 
-/// Asserts the three result paths agree row-for-row at every thread count:
-/// sequential `collect` == `collect_parallel` == drained `RowSink`.
+/// Asserts every result path agrees row-for-row at every thread count:
+/// sequential `collect` == `collect_parallel` == drained `RowSink` ==
+/// the row engine pinned via [`FlattenPolicy::Eager`]. Since the default
+/// plan runs the factorized block engine wherever its shape is supported,
+/// this is also the block-vs-row differential.
 fn assert_differential(db: &Database, q: &str, limit: usize) -> Result<(), TestCaseError> {
     let seq = db.collect(q, limit).unwrap();
+    let (bound, plan) = db.prepare(q).unwrap();
+    let row_plan = plan.with_flatten(FlattenPolicy::Eager);
     for t in THREADS {
         let pool = MorselPool::new(t);
         let par = db.collect_parallel(q, limit, &pool).unwrap();
@@ -100,6 +105,15 @@ fn assert_differential(db: &Database, q: &str, limit: usize) -> Result<(), TestC
             &streamed,
             &seq,
             "streamed rows diverged: query {} threads {} limit {}",
+            q,
+            t,
+            limit
+        );
+        let row_engine = db.collect_prepared_parallel(&bound, &row_plan, limit, &pool);
+        prop_assert_eq!(
+            &row_engine,
+            &seq,
+            "row engine diverged: query {} threads {} limit {}",
             q,
             t,
             limit

@@ -337,6 +337,7 @@ impl From<&QueryError> for WireError {
             QueryError::VariableRoleConflict(_) => ("variable_role_conflict", None),
             QueryError::TooManyQueryVertices { .. } => ("too_many_query_vertices", None),
             QueryError::DisconnectedPattern => ("disconnected_pattern", None),
+            QueryError::VertexDomainExceeded { .. } => ("vertex_domain_exceeded", None),
             QueryError::Graph(_) => ("graph", None),
             QueryError::Index(_) => ("index", None),
             QueryError::NoPlan(_) => ("no_plan", None),
