@@ -31,7 +31,13 @@ run cargo build --release
 # checkpoint scenarios; tests/durability_proptest.rs: torn/bit-flipped
 # WAL tails; crates/server/tests/crash_recovery.rs: out-of-process
 # kill -9 against the real aplus-server binary + clean nonzero exits on
-# unusable/newer-format data directories), and the docs link check
+# unusable/newer-format data directories), the observability suites
+# (tests/observability.rs: monotone race-free counters at pool sizes
+# 1/2/4, thread-count-invariant PROFILE merges, profiles distinguishing
+# RECONFIGUREd layouts and the row vs block engines, storage metrics
+# across a durable lifecycle; crates/server/tests/observability.rs: the
+# metrics/profile wire verbs + 3-node replication lag gauges converging
+# to 0; doctests in docs/OBSERVABILITY.md), and the docs link check
 # (tests/docs_links.rs: dangling relative links/anchors in README.md +
 # docs/*.md fail here, mirroring rustdoc's -D warnings gate for
 # intra-doc links).
@@ -48,7 +54,10 @@ run env RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 # time informational; the recovered-vs-in-memory count is gated), and the
 # table12_factorized engine comparison (factorized block engine vs the
 # row engine on SQ + high-fanout MR: both engines' counts are gated and
-# must agree, block-vs-row latency is informational). To
+# must agree, block-vs-row latency is informational), and the
+# table13_observability instrumentation-overhead experiment (plain vs
+# profiled counts gated and equal, profiling overhead informational,
+# fc-shortcut pseudo-metrics pinned). To
 # refresh the baselines intentionally, run bench_smoke *without*
 # APLUS_BENCH_OUT (it then writes to the repo root) and commit the files.
 run env APLUS_SCALE=20000 APLUS_THREAD_COUNTS=1,2,4 APLUS_BENCH_OUT=target/bench-fresh \
@@ -72,5 +81,37 @@ run cargo run --release -q -p aplus_bench --bin bench_compare -- \
 # The 2-thread table7_scaling run exercises morsel-driven execution end to
 # end (its internal assertions verify counts are thread-count-invariant).
 run env APLUS_SCALE=20000 APLUS_THREAD_COUNTS=1,2 cargo run --release -q -p aplus_bench --bin table7_scaling
+# Metrics smoke, out of process: the released aplus-server binary must
+# answer the shell's `metrics` command with live Prometheus series after
+# a query (the in-process wire round-trip is asserted by
+# crates/server/tests/observability.rs; this checks the shipped binaries
+# wire the registry end to end).
+echo
+echo "==> metrics smoke: aplus-server <-> aplus-shell"
+coproc SERVER { ./target/release/aplus-server 127.0.0.1:0 2>&1; }
+server_addr=""
+while IFS= read -r line <&"${SERVER[0]}"; do
+    echo "    $line"
+    if [[ $line =~ serving.*on\ (127\.0\.0\.1:[0-9]+) ]]; then
+        server_addr="${BASH_REMATCH[1]}"
+        break
+    fi
+done
+[[ -n $server_addr ]] || { echo "metrics smoke: server never announced its address"; exit 1; }
+metrics_out=$(printf 'count MATCH a-[r:W]->b\nmetrics\n' | ./target/release/aplus-shell "$server_addr" 2>/dev/null)
+echo "quit" >&"${SERVER[1]}"
+wait "$SERVER_PID" 2>/dev/null || true
+for series in \
+    'aplus_server_requests_total{verb="count"} 1' \
+    'aplus_server_connections_total 1' \
+    'aplus_engine_published_epoch 0' \
+    'aplus_server_request_seconds_count{verb="count"} 1'; do
+    if ! grep -qF "$series" <<<"$metrics_out"; then
+        echo "metrics smoke: missing series: $series"
+        echo "$metrics_out"
+        exit 1
+    fi
+done
+echo "    metrics smoke passed (4 series asserted)"
 echo
 echo "CI gate passed."

@@ -9,9 +9,11 @@
 //!   (reader latency under writer churn — the snapshot-isolation
 //!   experiment; latency cells informational) and table10_recovery
 //!   (WAL commit overhead + recovery time; the recovered count is
-//!   gated, latency cells informational) and table12_factorized
+//!   gated, latency cells informational), table12_factorized
 //!   (factorized block engine vs row engine on SQ + high-fanout MR;
-//!   counts gated, latency informational) reporters.
+//!   counts gated, latency informational) and table13_observability
+//!   (plain vs profiled counts — instrumentation overhead; counts
+//!   gated, overhead informational) reporters.
 //! * `BENCH_scaling.json` — the `table7_scaling` reporter, the derived SQ
 //!   speedups per thread count, and the `table8_collect` reporter
 //!   (order-preserving parallel collect + streamed drain).
@@ -44,7 +46,10 @@ const SMOKE_SCALE_DEFAULT: usize = 20_000;
 /// v5: added the `table12_factorized` reporter (factorized block engine
 /// vs row engine: SQ + high-fanout MR counts under both executors;
 /// counts gated, latency informational) to `BENCH_tables.json`.
-const SCHEMA: u32 = 5;
+/// v6: added the `table13_observability` reporter (plain vs profiled
+/// counts — instrumentation overhead; counts gated, overhead
+/// informational) to `BENCH_tables.json`.
+const SCHEMA: u32 = 6;
 
 #[derive(Serialize)]
 struct TablesFile {
@@ -104,6 +109,7 @@ fn main() {
         aplus_bench::churn::run_churn_table(scale),
         aplus_bench::recovery::run_recovery_table(scale),
         aplus_bench::factorized::run_factorized_table(scale, &thread_counts),
+        aplus_bench::observability::run_observability_table(scale, &thread_counts),
     ];
     for r in &reports {
         println!("{}", r.render("D"));

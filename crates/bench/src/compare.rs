@@ -13,7 +13,12 @@
 //!   machines gate on counts).
 //! * **Coverage is schema** — a baseline cell missing from the fresh run
 //!   is fatal (a benchmark silently disappeared); a fresh cell missing
-//!   from the baseline is a warning to regenerate the committed files.
+//!   from the baseline is a warning to regenerate the committed files. A
+//!   whole table present only in the fresh run (its reporter id has no
+//!   baseline cells at all — a *new experiment*, typically from a schema
+//!   bump) is one consolidated informational note, not a warning per
+//!   cell. The summary line reports the baseline's schema version so a
+//!   stale committed baseline is obvious in the log.
 
 use std::collections::BTreeMap;
 
@@ -46,6 +51,15 @@ pub struct Comparison {
     pub warnings: Vec<String>,
     /// Per-cell latency drift lines, `(key description, drift ratio)`.
     pub drift: Vec<(String, f64)>,
+    /// The baseline file's top-level `schema` member, when present.
+    pub baseline_schema: Option<u64>,
+}
+
+/// The top-level `schema` version of a trajectory file, when present.
+#[must_use]
+pub fn schema_of(json: &str) -> Option<u64> {
+    let v: Value = serde_json::from_str(json).ok()?;
+    v.get("schema")?.as_u64()
 }
 
 impl Comparison {
@@ -116,7 +130,10 @@ pub fn cells_of(json: &str) -> Result<BTreeMap<Key, Cell>, String> {
 /// module docs for what is fatal vs. reported.
 #[must_use]
 pub fn compare_json(baseline: &str, fresh: &str) -> Comparison {
-    let mut cmp = Comparison::default();
+    let mut cmp = Comparison {
+        baseline_schema: schema_of(baseline),
+        ..Comparison::default()
+    };
     let (base, new) = match (cells_of(baseline), cells_of(fresh)) {
         (Ok(b), Ok(n)) => (b, n),
         (b, n) => {
@@ -150,14 +167,31 @@ pub fn compare_json(baseline: &str, fresh: &str) -> Comparison {
             cmp.drift.push((desc, n.value / b.value));
         }
     }
+    // Reporter ids with any baseline coverage: a new cell inside one of
+    // these warns per cell (partial coverage drift); an id absent from
+    // the baseline entirely is a new experiment and gets one note.
+    let baseline_ids: std::collections::BTreeSet<&str> =
+        base.keys().map(|k| k.0.as_str()).collect();
+    let mut new_tables: BTreeMap<&str, usize> = BTreeMap::new();
     for key in new.keys() {
-        if !base.contains_key(key) {
+        if base.contains_key(key) {
+            continue;
+        }
+        if baseline_ids.contains(key.0.as_str()) {
             cmp.warnings.push(format!(
                 "{}: new in fresh run — regenerate the committed baseline \
                  (run bench_smoke without APLUS_BENCH_OUT) to track it",
                 describe(key)
             ));
+        } else {
+            *new_tables.entry(key.0.as_str()).or_insert(0) += 1;
         }
+    }
+    for (id, cells) in new_tables {
+        cmp.warnings.push(format!(
+            "table {id}: not in baseline ({cells} new cells) — a new experiment; \
+             regenerate the committed baseline to start tracking it"
+        ));
     }
     cmp
 }
@@ -187,8 +221,11 @@ pub fn render_report(name: &str, cmp: &Comparison) -> String {
             drift.len() - shown
         ));
     }
+    let schema = cmp
+        .baseline_schema
+        .map_or_else(|| "unversioned".into(), |v| format!("v{v}"));
     out.push_str(&format!(
-        "{}: {} cells compared, {} errors, {} warnings\n",
+        "{}: {} cells compared against baseline schema {schema}, {} errors, {} warnings\n",
         if cmp.passed() { "PASS" } else { "FAIL" },
         cmp.drift.len(),
         cmp.errors.len(),
@@ -216,6 +253,31 @@ mod tests {
         assert!(cmp.passed(), "{:?}", cmp.errors);
         assert!(cmp.warnings.is_empty());
         assert_eq!(cmp.drift.len(), 2);
+        assert_eq!(cmp.baseline_schema, Some(2));
+        assert!(render_report("tables", &cmp).contains("baseline schema v2"));
+    }
+
+    #[test]
+    fn whole_new_table_is_one_informational_note() {
+        let base = r#"{"schema":5,"reports":[{"id":"t1","title":"x","measurements":[
+            {"dataset":"D","config":"C","query":"Q1","value":1.0,"count":1}]}]}"#;
+        let fresh = r#"{"schema":6,"reports":[
+            {"id":"t1","title":"x","measurements":[
+                {"dataset":"D","config":"C","query":"Q1","value":1.0,"count":1}]},
+            {"id":"t13","title":"new","measurements":[
+                {"dataset":"D","config":"C","query":"Q1","value":1.0,"count":1},
+                {"dataset":"D","config":"C","query":"Q2","value":1.0,"count":2}]}]}"#;
+        let cmp = compare_json(base, fresh);
+        assert!(cmp.passed(), "{:?}", cmp.errors);
+        // Two new cells, but one consolidated note — the table is new.
+        assert_eq!(cmp.warnings.len(), 1, "{:?}", cmp.warnings);
+        assert!(cmp.warnings[0].contains("table t13"), "{:?}", cmp.warnings);
+        assert!(
+            cmp.warnings[0].contains("2 new cells"),
+            "{:?}",
+            cmp.warnings
+        );
+        assert_eq!(cmp.baseline_schema, Some(5));
     }
 
     #[test]

@@ -1,0 +1,47 @@
+//! Observability substrate: metrics, per-query profiles, and logging.
+//!
+//! The workspace's runtime introspection lives here, in one std-only
+//! crate (like `aplus_runtime`, it must never grow dependencies — its
+//! handles sit on the query hot path):
+//!
+//! * [`metrics`] — the process-wide [`MetricsRegistry`]: named lock-free
+//!   counters, gauges, and fixed-bucket latency histograms. Handles are
+//!   cheap `Arc` clones; recording is one atomic RMW, so instrumented
+//!   code stays safe to run from every worker thread at once. A
+//!   [`MetricsSnapshot`] is a consistent-enough point-in-time read used
+//!   by the server's `metrics` wire verb, with a Prometheus-style text
+//!   rendering for scrapers and humans.
+//! * [`profile`] — the per-query [`QueryProfiler`]: per-E/I-level
+//!   operator counters (adjacency lists scanned, intersection candidates
+//!   vs. emitted), block-engine counters (blocks processed, factorized-
+//!   count shortcut hits, flatten rows), and morsel attribution per
+//!   worker thread. Counters are shared atomics, so the per-level sums
+//!   are identical at every thread count and morsel interleaving — the
+//!   parallel profile *is* the sequential profile.
+//! * [`log`] — a tiny leveled stderr logger (`APLUS_LOG`: `error` /
+//!   `warn` / `info`), timestamped and single-writer locked so concurrent
+//!   connection threads never interleave half-lines. The server's
+//!   slow-query log (`APLUS_SLOW_QUERY_MS`) rides on it.
+//!
+//! ```
+//! use aplus_obs::MetricsRegistry;
+//!
+//! let registry = MetricsRegistry::new();
+//! let hits = registry.counter("cache_hits_total");
+//! hits.inc();
+//! hits.add(2);
+//! assert_eq!(registry.snapshot().counter("cache_hits_total"), Some(3));
+//! ```
+
+pub mod log;
+pub mod metrics;
+pub mod profile;
+
+pub use log::{
+    log_level, set_log_level_for_tests, slow_query_threshold, LogLevel, LOG_ENV, SLOW_QUERY_ENV,
+};
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
+    DEFAULT_LATENCY_BUCKETS_US,
+};
+pub use profile::{LevelProfile, LevelStats, QueryProfile, QueryProfiler};

@@ -1,0 +1,176 @@
+//! A tiny leveled stderr logger.
+//!
+//! One process-wide level, read once from `APLUS_LOG` (`error`, `warn`,
+//! or `info`; default `info` — anything unrecognized falls back to the
+//! default rather than silencing diagnostics). Lines are timestamped with
+//! unix seconds (millisecond precision) and written under a single
+//! process-wide lock, so concurrent connection threads never interleave
+//! partial lines:
+//!
+//! ```text
+//! [1754650000.123 WARN ] aplus_server: slow query (212 ms > 100 ms): MATCH …
+//! ```
+//!
+//! Use via the free functions (`error!`-style macros would force this
+//! crate into every caller's macro namespace; a `format_args!` call at
+//! the call site is just as cheap because level filtering happens first).
+
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Environment variable selecting the log level.
+pub const LOG_ENV: &str = "APLUS_LOG";
+
+/// Log severity, ordered: `Error < Warn < Info`. The configured level is
+/// the *most verbose* level emitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LogLevel {
+    /// Unrecoverable or data-affecting problems. Always emitted.
+    Error = 0,
+    /// Degraded-but-continuing conditions (slow queries, retried accepts).
+    Warn = 1,
+    /// Lifecycle events. The default.
+    Info = 2,
+}
+
+impl LogLevel {
+    fn label(self) -> &'static str {
+        match self {
+            LogLevel::Error => "ERROR",
+            LogLevel::Warn => "WARN ",
+            LogLevel::Info => "INFO ",
+        }
+    }
+
+    /// Parses a level name (case-insensitive); `None` for unknown names.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" => Some(LogLevel::Error),
+            "warn" | "warning" => Some(LogLevel::Warn),
+            "info" => Some(LogLevel::Info),
+            _ => None,
+        }
+    }
+}
+
+/// 0 = unset, otherwise `LogLevel as u8 + 1`. An atomic (not just a
+/// `OnceLock`) so tests can override the level after first use.
+static LEVEL: AtomicU8 = AtomicU8::new(0);
+
+fn level_from_env() -> LogLevel {
+    std::env::var(LOG_ENV)
+        .ok()
+        .as_deref()
+        .and_then(LogLevel::parse)
+        .unwrap_or(LogLevel::Info)
+}
+
+/// The process-wide log level (resolved from `APLUS_LOG` on first use).
+#[must_use]
+pub fn log_level() -> LogLevel {
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => {
+            let level = level_from_env();
+            // Racing first users resolve the same env value; last store
+            // wins harmlessly.
+            LEVEL.store(level as u8 + 1, Ordering::Relaxed);
+            level
+        }
+        1 => LogLevel::Error,
+        2 => LogLevel::Warn,
+        _ => LogLevel::Info,
+    }
+}
+
+/// Overrides the process-wide level (tests only — the process contract
+/// is env-driven).
+pub fn set_log_level_for_tests(level: LogLevel) {
+    LEVEL.store(level as u8 + 1, Ordering::Relaxed);
+}
+
+fn sink() -> &'static Mutex<()> {
+    static SINK: OnceLock<Mutex<()>> = OnceLock::new();
+    SINK.get_or_init(|| Mutex::new(()))
+}
+
+/// Emits one line at `level` if the configured level admits it.
+pub fn log(level: LogLevel, args: std::fmt::Arguments<'_>) {
+    if level > log_level() {
+        return;
+    }
+    let now = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .unwrap_or_default();
+    let line = format!(
+        "[{}.{:03} {}] {args}\n",
+        now.as_secs(),
+        now.subsec_millis(),
+        level.label()
+    );
+    // One locked write per line: concurrent threads never interleave.
+    let _guard = sink().lock().unwrap_or_else(PoisonError::into_inner);
+    let _ = std::io::stderr().write_all(line.as_bytes());
+}
+
+/// Logs at [`LogLevel::Error`].
+pub fn error(args: std::fmt::Arguments<'_>) {
+    log(LogLevel::Error, args);
+}
+
+/// Logs at [`LogLevel::Warn`].
+pub fn warn(args: std::fmt::Arguments<'_>) {
+    log(LogLevel::Warn, args);
+}
+
+/// Logs at [`LogLevel::Info`].
+pub fn info(args: std::fmt::Arguments<'_>) {
+    log(LogLevel::Info, args);
+}
+
+/// Environment variable holding the slow-query threshold in
+/// milliseconds; unset (or unparsable) disables the slow-query log.
+pub const SLOW_QUERY_ENV: &str = "APLUS_SLOW_QUERY_MS";
+
+/// The configured slow-query threshold, read once per process.
+#[must_use]
+pub fn slow_query_threshold() -> Option<std::time::Duration> {
+    static THRESHOLD: OnceLock<Option<std::time::Duration>> = OnceLock::new();
+    *THRESHOLD.get_or_init(|| {
+        std::env::var(SLOW_QUERY_ENV)
+            .ok()
+            .and_then(|raw| raw.trim().parse::<u64>().ok())
+            .map(std::time::Duration::from_millis)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_parse_and_order() {
+        assert_eq!(LogLevel::parse("error"), Some(LogLevel::Error));
+        assert_eq!(LogLevel::parse(" WARN "), Some(LogLevel::Warn));
+        assert_eq!(LogLevel::parse("warning"), Some(LogLevel::Warn));
+        assert_eq!(LogLevel::parse("Info"), Some(LogLevel::Info));
+        assert_eq!(LogLevel::parse("debug"), None);
+        assert!(LogLevel::Error < LogLevel::Warn);
+        assert!(LogLevel::Warn < LogLevel::Info);
+    }
+
+    #[test]
+    fn level_override_filters_emission() {
+        // Behavioural check via the public predicate path: after forcing
+        // `Error`, `warn`/`info` return without writing (we can't capture
+        // stderr portably, but the level gate is the logic under test).
+        set_log_level_for_tests(LogLevel::Error);
+        assert_eq!(log_level(), LogLevel::Error);
+        warn(format_args!("suppressed"));
+        info(format_args!("suppressed"));
+        set_log_level_for_tests(LogLevel::Info);
+        assert_eq!(log_level(), LogLevel::Info);
+    }
+}

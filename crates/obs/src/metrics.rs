@@ -1,0 +1,441 @@
+//! The lock-free metrics registry.
+//!
+//! A [`MetricsRegistry`] is a cloneable handle to a shared, named set of
+//! [`Counter`]s, [`Gauge`]s, and [`Histogram`]s. Registration takes a
+//! short-lived lock on the name table; *recording* never locks — every
+//! handle is an `Arc` straight to its atomics, so hot paths register once
+//! and then update wait-free from any thread.
+//!
+//! Metric names follow Prometheus conventions (`snake_case`, `_total`
+//! suffix on counters) and may carry a literal label set, e.g.
+//! `aplus_server_requests_total{verb="count"}` — the registry treats the
+//! whole string as the name, which renders directly as valid
+//! Prometheus-style text.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Default histogram bucket upper bounds in **microseconds**: 10µs … 10s
+/// in roughly 1-2.5-5 steps, wide enough for both in-memory query
+/// latencies and fsync-bound WAL appends.
+pub const DEFAULT_LATENCY_BUCKETS_US: &[u64] = &[
+    10, 25, 50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000,
+    500_000, 1_000_000, 2_500_000, 5_000_000, 10_000_000,
+];
+
+/// A monotonically increasing counter. Clones share the same cell.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A counter not attached to any registry (for tests and profiles).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can move both ways. Clones share the same cell.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// A gauge not attached to any registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (which may be negative).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtracts 1.
+    #[inline]
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    /// Bucket upper bounds in microseconds, strictly increasing; an
+    /// implicit `+Inf` bucket follows the last bound.
+    bounds: Box<[u64]>,
+    /// One cumulative-observation cell per bound, plus the `+Inf` cell.
+    counts: Box<[AtomicU64]>,
+    sum_us: AtomicU64,
+    total: AtomicU64,
+}
+
+/// A fixed-bucket latency histogram over microsecond observations.
+/// Clones share the same cells; recording is a few relaxed atomics.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::with_bounds(DEFAULT_LATENCY_BUCKETS_US)
+    }
+}
+
+impl Histogram {
+    /// A histogram with the given bucket upper bounds (microseconds).
+    #[must_use]
+    pub fn with_bounds(bounds: &[u64]) -> Self {
+        let counts = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Self(Arc::new(HistogramInner {
+            bounds: bounds.into(),
+            counts,
+            sum_us: AtomicU64::new(0),
+            total: AtomicU64::new(0),
+        }))
+    }
+
+    /// Records one observation of `us` microseconds.
+    #[inline]
+    pub fn observe_us(&self, us: u64) {
+        let inner = &*self.0;
+        let idx = inner.bounds.partition_point(|&b| b < us);
+        inner.counts[idx].fetch_add(1, Ordering::Relaxed);
+        inner.sum_us.fetch_add(us, Ordering::Relaxed);
+        inner.total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one observation of an elapsed [`std::time::Duration`].
+    #[inline]
+    pub fn observe(&self, elapsed: std::time::Duration) {
+        self.observe_us(u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX));
+    }
+
+    /// Total number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.0.total.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time copy of the cells.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let inner = &*self.0;
+        HistogramSnapshot {
+            bounds_us: inner.bounds.to_vec(),
+            counts: inner
+                .counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            sum_us: inner.sum_us.load(Ordering::Relaxed),
+            count: inner.total.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Bucket upper bounds in microseconds (the final `+Inf` bucket is
+    /// implicit).
+    pub bounds_us: Vec<u64>,
+    /// Per-bucket observation counts; `counts.len() == bounds_us.len() + 1`
+    /// (the last cell is the `+Inf` bucket).
+    pub counts: Vec<u64>,
+    /// Sum of all observations, microseconds.
+    pub sum_us: u64,
+    /// Total number of observations.
+    pub count: u64,
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+fn locked<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A cloneable handle to a shared set of named metrics. Registering the
+/// same name twice returns a handle to the same cells, so independent
+/// subsystems can meet on a name without coordination.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<RegistryInner>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or retrieves) the counter `name`.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = locked(&self.inner.counters);
+        map.entry(name.to_owned()).or_default().clone()
+    }
+
+    /// Registers (or retrieves) the gauge `name`.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = locked(&self.inner.gauges);
+        map.entry(name.to_owned()).or_default().clone()
+    }
+
+    /// Registers (or retrieves) the histogram `name` with the default
+    /// latency buckets.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut map = locked(&self.inner.histograms);
+        map.entry(name.to_owned()).or_default().clone()
+    }
+
+    /// A point-in-time copy of every registered metric. Each cell is read
+    /// atomically; the set is not a global atomic cut (fine for
+    /// monitoring, which is the contract here).
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: locked(&self.inner.counters)
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: locked(&self.inner.gauges)
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: locked(&self.inner.histograms)
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of a whole registry, ready to ship over the wire
+/// or render as Prometheus-style text.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram cells by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Looks up a counter value.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// Looks up a gauge value.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Renders the snapshot as Prometheus-style text exposition: one
+    /// `name value` line per counter/gauge, and the conventional
+    /// `_bucket{le=…}` / `_sum` / `_count` triplet per histogram (bucket
+    /// counts cumulative, `le` bounds in **seconds**). Names that already
+    /// carry a `{label="…"}` set render as-is; histogram names with a
+    /// label set splice `le` into the existing braces.
+    #[must_use]
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            out.push_str(&format!("{name} {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            out.push_str(&format!("{name} {v}\n"));
+        }
+        for (name, h) in &self.histograms {
+            let mut cumulative = 0u64;
+            for (i, c) in h.counts.iter().enumerate() {
+                cumulative += c;
+                let le = match h.bounds_us.get(i) {
+                    Some(&us) => format!("{}", us as f64 / 1e6),
+                    None => "+Inf".to_owned(),
+                };
+                out.push_str(&format!(
+                    "{} {cumulative}\n",
+                    with_label(name, "_bucket", &format!("le=\"{le}\""))
+                ));
+            }
+            out.push_str(&format!(
+                "{} {}\n",
+                with_suffix(name, "_sum"),
+                h.sum_us as f64 / 1e6
+            ));
+            out.push_str(&format!("{} {}\n", with_suffix(name, "_count"), h.count));
+        }
+        out
+    }
+}
+
+/// `name{a="b"}` + suffix + extra label → `name_suffix{a="b",extra}`;
+/// plain names get `name_suffix{extra}`.
+fn with_label(name: &str, suffix: &str, label: &str) -> String {
+    match name.find('{') {
+        Some(brace) => {
+            let (base, labels) = name.split_at(brace);
+            let inner = labels.trim_start_matches('{').trim_end_matches('}');
+            format!("{base}{suffix}{{{inner},{label}}}")
+        }
+        None => format!("{name}{suffix}{{{label}}}"),
+    }
+}
+
+/// `name{a="b"}` + suffix → `name_suffix{a="b"}`; plain names get
+/// `name_suffix`. Keeps `_sum`/`_count` valid for labelled histograms —
+/// the suffix belongs to the metric name, never after the label set.
+fn with_suffix(name: &str, suffix: &str) -> String {
+    match name.find('{') {
+        Some(brace) => {
+            let (base, labels) = name.split_at(brace);
+            format!("{base}{suffix}{labels}")
+        }
+        None => format!("{name}{suffix}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_share_cells_across_clones_and_lookups() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("x_total");
+        let b = r.counter("x_total");
+        a.inc();
+        b.add(4);
+        assert_eq!(r.counter("x_total").get(), 5);
+        assert_eq!(r.snapshot().counter("x_total"), Some(5));
+    }
+
+    #[test]
+    fn gauges_move_both_ways() {
+        let r = MetricsRegistry::new();
+        let g = r.gauge("live");
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 1);
+        g.set(-7);
+        assert_eq!(r.snapshot().gauge("live"), Some(-7));
+    }
+
+    #[test]
+    fn histogram_buckets_observations() {
+        let h = Histogram::with_bounds(&[10, 100]);
+        h.observe_us(5); // bucket 0 (≤10)
+        h.observe_us(10); // bucket 0 (bounds are inclusive)
+        h.observe_us(50); // bucket 1 (≤100)
+        h.observe_us(1_000); // +Inf
+        let s = h.snapshot();
+        assert_eq!(s.counts, vec![2, 1, 1]);
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum_us, 1_065);
+    }
+
+    #[test]
+    fn counters_are_race_free_under_concurrent_writers() {
+        let r = MetricsRegistry::new();
+        let c = r.counter("contended_total");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 40_000);
+    }
+
+    #[test]
+    fn prometheus_rendering_is_parseable_and_cumulative() {
+        let r = MetricsRegistry::new();
+        r.counter("reqs_total{verb=\"count\"}").add(3);
+        r.gauge("live").set(2);
+        let h = r.histogram("lat_seconds");
+        h.observe_us(7);
+        h.observe_us(2_000_000);
+        let text = r.snapshot().render_prometheus();
+        assert!(text.contains("reqs_total{verb=\"count\"} 3\n"), "{text}");
+        assert!(text.contains("live 2\n"));
+        assert!(
+            text.contains("lat_seconds_bucket{le=\"0.00001\"} 1\n"),
+            "{text}"
+        );
+        assert!(text.contains("lat_seconds_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("lat_seconds_count 2\n"));
+        // Labelled histogram names splice `le` into the existing set, and
+        // `_sum`/`_count` land before the label set too.
+        assert_eq!(
+            with_label("h{a=\"b\"}", "_bucket", "le=\"+Inf\""),
+            "h_bucket{a=\"b\",le=\"+Inf\"}"
+        );
+        assert_eq!(with_suffix("h{a=\"b\"}", "_count"), "h_count{a=\"b\"}");
+        let r = MetricsRegistry::new();
+        r.histogram("lat_seconds{verb=\"x\"}").observe_us(3);
+        let labelled = r.snapshot().render_prometheus();
+        assert!(
+            labelled.contains("lat_seconds_count{verb=\"x\"} 1\n"),
+            "{labelled}"
+        );
+        assert!(
+            labelled.contains("lat_seconds_sum{verb=\"x\"} "),
+            "{labelled}"
+        );
+    }
+}

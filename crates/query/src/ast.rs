@@ -31,6 +31,10 @@ pub const IMPOSSIBLE_CONST: i64 = i64::MIN;
 pub enum Statement {
     /// `MATCH ... WHERE ...`
     Query(QueryAst),
+    /// `PROFILE MATCH ...` — run the query with per-operator
+    /// instrumentation and return a [`aplus_obs::QueryProfile`] alongside
+    /// the results.
+    Profile(QueryAst),
     /// `RECONFIGURE PRIMARY INDEXES PARTITION BY ... SORT BY ...`
     ReconfigurePrimary {
         /// Nested partitioning keys.

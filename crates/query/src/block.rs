@@ -181,13 +181,24 @@ impl Blocks {
         self.cursor[li] = Some(ei);
     }
 
-    /// Extends the whole top level through an E/I operator, pushing the
-    /// produced level. Returns `false` when nothing was produced.
-    fn extend(&mut self, ctx: ExecContext<'_>, ei: &FirstEi<'_>, row: &mut Row) -> bool {
+    /// Extends the whole top level through an E/I operator at plan-op
+    /// index `level`, pushing the produced level. Returns `false` when
+    /// nothing was produced.
+    fn extend(
+        &mut self,
+        ctx: ExecContext<'_>,
+        ei: &FirstEi<'_>,
+        level: usize,
+        row: &mut Row,
+    ) -> bool {
+        let stats = ctx.prof_level(level);
         let top = self.levels.len() - 1;
         let mut out = Level::for_ei(ei);
         for fi in 0..self.levels[top].len() {
             self.bind_path(row, top, fi);
+            if let Some(s) = stats {
+                s.record(ei.alds.len() as u64, 0, 0);
+            }
             let Some(lists) = fetch_ei_lists(ctx, ei.alds, row) else {
                 continue;
             };
@@ -200,6 +211,7 @@ impl Blocks {
                 range,
                 ei.residual,
                 row,
+                stats,
                 &mut |r| {
                     out.push_from_row(fi, r);
                     ControlFlow::Continue(())
@@ -233,6 +245,7 @@ impl Blocks {
             range,
             ei.residual,
             row,
+            ctx.prof_level(1),
             &mut |r| {
                 out.push_from_row(0, r);
                 ControlFlow::Continue(())
@@ -244,12 +257,14 @@ impl Blocks {
         produced
     }
 
-    /// FILTER: compacts the top level in place, keeping entries whose path
-    /// satisfies every predicate. Returns `false` when none survive.
+    /// FILTER at plan-op index `level`: compacts the top level in place,
+    /// keeping entries whose path satisfies every predicate. Returns
+    /// `false` when none survive.
     fn filter_top(
         &mut self,
         ctx: ExecContext<'_>,
         preds: &[QueryPredicate],
+        level: usize,
         row: &mut Row,
     ) -> bool {
         let top = self.levels.len() - 1;
@@ -258,6 +273,9 @@ impl Blocks {
         for fi in 0..n {
             self.bind_path(row, top, fi);
             keep.push(preds.iter().all(|p| p.eval(ctx.graph, row)));
+        }
+        if let Some(s) = ctx.prof_level(level) {
+            s.record(0, n as u64, keep.iter().filter(|&&k| k).count() as u64);
         }
         let lvl = &mut self.levels[top];
         let mut w = 0usize;
@@ -286,19 +304,30 @@ impl Blocks {
         w > 0
     }
 
-    /// Counts the matches a final E/I operator would produce, **without
-    /// building its level**: per frontier entry, the extension count is a
-    /// multiplicity folded straight into the total.
-    fn tail_count(&mut self, ctx: ExecContext<'_>, ei: &FirstEi<'_>, row: &mut Row) -> u64 {
+    /// Counts the matches a final E/I operator (at plan-op index `level`)
+    /// would produce, **without building its level**: per frontier entry,
+    /// the extension count is a multiplicity folded straight into the
+    /// total.
+    fn tail_count(
+        &mut self,
+        ctx: ExecContext<'_>,
+        ei: &FirstEi<'_>,
+        level: usize,
+        row: &mut Row,
+    ) -> u64 {
+        let stats = ctx.prof_level(level);
         let top = self.levels.len() - 1;
         let mut total = 0u64;
         for fi in 0..self.levels[top].len() {
             self.bind_path(row, top, fi);
+            if let Some(s) = stats {
+                s.record(ei.alds.len() as u64, 0, 0);
+            }
             let Some(lists) = fetch_ei_lists(ctx, ei.alds, row) else {
                 continue;
             };
             let range = 0..lists[0].len();
-            total += count_ei(ctx, ei, &lists, range, row);
+            total += count_ei(ctx, ei, &lists, range, level, row);
         }
         total
     }
@@ -306,15 +335,23 @@ impl Blocks {
 
 /// Counts one E/I extension of the binding in `row` over pre-fetched
 /// lists. Takes the pure-list-length fast path when sound, else runs the
-/// shared leapfrog with a counting continuation.
+/// shared leapfrog with a counting continuation. A `PROFILE` run records
+/// the fast path as a factorized-count shortcut hit with zero candidates
+/// examined — exactly the work it saves.
 fn count_ei(
     ctx: ExecContext<'_>,
     ei: &FirstEi<'_>,
     lists: &[BoundList<'_>],
     range: Range<usize>,
+    level: usize,
     row: &mut Row,
 ) -> u64 {
+    let stats = ctx.prof_level(level);
     if let Some(n) = tail_count_fast(ctx, ei, lists, &range, row) {
+        ctx.note_fc_shortcut();
+        if let Some(s) = stats {
+            s.record(0, 0, n);
+        }
         return n;
     }
     let mut n = 0u64;
@@ -326,6 +363,7 @@ fn count_ei(
         range,
         ei.residual,
         row,
+        stats,
         &mut |_| {
             n += 1;
             ControlFlow::Continue(())
@@ -414,10 +452,10 @@ fn apply_ops(
     row: &mut Row,
     from: usize,
 ) -> bool {
-    for op in &plan.ops[from..] {
+    for (i, op) in plan.ops.iter().enumerate().skip(from) {
         let ok = match op {
-            Operator::ExtendIntersect { .. } => st.extend(ctx, &ei_parts(op), row),
-            Operator::Filter { preds } => st.filter_top(ctx, preds, row),
+            Operator::ExtendIntersect { .. } => st.extend(ctx, &ei_parts(op), i, row),
+            Operator::Filter { preds } => st.filter_top(ctx, preds, i, row),
             _ => unreachable!("block-eligible plans contain only E/I and FILTER past the root"),
         };
         if !ok {
@@ -441,15 +479,15 @@ fn count_ops(
         let last = i + 1 == plan.ops.len();
         match op {
             Operator::ExtendIntersect { .. } if last => {
-                return st.tail_count(ctx, &ei_parts(op), row);
+                return st.tail_count(ctx, &ei_parts(op), i, row);
             }
             Operator::ExtendIntersect { .. } => {
-                if !st.extend(ctx, &ei_parts(op), row) {
+                if !st.extend(ctx, &ei_parts(op), i, row) {
                     return 0;
                 }
             }
             Operator::Filter { preds } => {
-                if !st.filter_top(ctx, preds, row) {
+                if !st.filter_top(ctx, preds, i, row) {
                     return 0;
                 }
             }
@@ -461,22 +499,26 @@ fn count_ops(
 
 /// Lazily flattens the last level into [`RawRow`]s, in flat storage order
 /// — which is exactly the sequential DFS row order. Each step rebinds only
-/// the changed path suffix via the cursor memo.
+/// the changed path suffix via the cursor memo. A `PROFILE` run counts the
+/// rows actually pulled across this flatten boundary (flushed on drop, so
+/// early-exited drains report only what they materialized).
 struct FlattenIter<'a> {
     st: &'a mut Blocks,
     row: &'a mut Row,
     total: usize,
     next: usize,
+    profiler: Option<&'a aplus_obs::QueryProfiler>,
 }
 
 impl<'a> FlattenIter<'a> {
-    fn new(st: &'a mut Blocks, row: &'a mut Row) -> Self {
+    fn new(st: &'a mut Blocks, row: &'a mut Row, ctx: ExecContext<'a>) -> Self {
         let total = st.top_len();
         Self {
             st,
             row,
             total,
             next: 0,
+            profiler: ctx.profiler,
         }
     }
 }
@@ -498,6 +540,15 @@ impl Iterator for FlattenIter<'_> {
     }
 }
 
+impl Drop for FlattenIter<'_> {
+    fn drop(&mut self) {
+        if let Some(p) = self.profiler {
+            p.flatten_rows
+                .fetch_add(self.next as u64, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+}
+
 /// Collects the root bindings in ID `range` that pass the scan's label +
 /// predicate checks — the seed of one block.
 fn collect_roots_range(
@@ -510,11 +561,20 @@ fn collect_roots_range(
     let Some(Operator::ScanVertices { var, label, preds }) = plan.ops.first() else {
         unreachable!("block-eligible plans have a vertex-scan root")
     };
-    for raw in range.start..range.end.min(ctx.graph.vertex_count()) {
+    let before = out.len();
+    let end = range.end.min(ctx.graph.vertex_count());
+    for raw in range.start..end {
         let _ = visit_vertex(ctx, *var, *label, preds, vid(raw), row, &mut |r| {
             out.push(r.vertex(*var).expect("scan binds root").raw());
             ControlFlow::Continue(())
         });
+    }
+    if let Some(s) = ctx.prof_level(0) {
+        s.record(
+            0,
+            end.saturating_sub(range.start) as u64,
+            (out.len() - before) as u64,
+        );
     }
 }
 
@@ -555,6 +615,7 @@ fn count_roots_block(
     // path variables, and unbound slots must stay the sentinel (stale
     // bindings from another block would corrupt `uses_edge` checks).
     let mut row = fresh_row(query);
+    ctx.note_block();
     let mut st = Blocks::seeded(plan, roots);
     count_ops(ctx, plan, &mut st, &mut row, 1)
 }
@@ -574,6 +635,7 @@ pub fn count_parallel(
         Strategy::RootRanges { total, cap } => {
             let size = block_morsel_size(total, pool.threads(), cap, plan.block.block_size);
             pool.sum_ranges(total, size, |range| {
+                ctx.note_morsel();
                 let mut scan_row = fresh_row(query);
                 let mut roots = Vec::new();
                 collect_roots_range(ctx, plan, range, &mut scan_row, &mut roots);
@@ -596,6 +658,9 @@ fn count_first_ei(ctx: ExecContext<'_>, query: &QueryGraph, plan: &Plan, pool: &
     let mut total = 0u64;
     let mut row = fresh_row(query);
     let _ = for_each_root_vertex(ctx, plan, &mut row, &mut |row| {
+        if let Some(s) = ctx.prof_level(1) {
+            s.record(ei.alds.len() as u64, 0, 0);
+        }
         let Some(lists) = fetch_ei_lists(ctx, ei.alds, row) else {
             return ControlFlow::Continue(());
         };
@@ -605,13 +670,15 @@ fn count_first_ei(ctx: ExecContext<'_>, query: &QueryGraph, plan: &Plan, pool: &
         let lists = &lists;
         let ei = &ei;
         total += pool.sum_ranges(n0, size, |r| {
+            ctx.note_morsel();
             let mut w = base.clone();
             if plan.ops.len() == 2 {
                 // The first E/I is also the last: count its morsel range
                 // directly as a multiplicity.
-                return count_ei(ctx, ei, lists, r, &mut w);
+                return count_ei(ctx, ei, lists, r, 1, &mut w);
             }
             let root = base.vertex(var).expect("scan binds root").raw();
+            ctx.note_block();
             let mut st = Blocks::seeded(plan, vec![root]);
             if !st.extend_from_lists(ctx, ei, lists, r, &mut w) {
                 return 0;
@@ -673,11 +740,12 @@ fn stream_roots_block(
     sink: &mut dyn RowSink,
 ) -> ControlFlow<()> {
     let mut row = fresh_row(query);
+    ctx.note_block();
     let mut st = Blocks::seeded(plan, roots);
     if !apply_ops(ctx, plan, &mut st, &mut row, 1) {
         return ControlFlow::Continue(());
     }
-    drain_flattened(sink, sent, limit, FlattenIter::new(&mut st, &mut row))
+    drain_flattened(sink, sent, limit, FlattenIter::new(&mut st, &mut row, ctx))
 }
 
 /// Morsel-parallel factorized streaming; the pushed row sequence is
@@ -705,6 +773,7 @@ pub fn stream(
                 size,
                 merge_window(pool),
                 |range, exit| {
+                    ctx.note_morsel();
                     let mut scan_row = fresh_row(query);
                     let mut roots = Vec::new();
                     collect_roots_range(ctx, plan, range, &mut scan_row, &mut roots);
@@ -713,9 +782,10 @@ pub fn stream(
                         return buf;
                     }
                     let mut row = fresh_row(query);
+                    ctx.note_block();
                     let mut st = Blocks::seeded(plan, roots);
                     if apply_ops(ctx, plan, &mut st, &mut row, 1) {
-                        for raw in FlattenIter::new(&mut st, &mut row) {
+                        for raw in FlattenIter::new(&mut st, &mut row, ctx) {
                             buf.push(raw);
                             // A morsel contributes at most `limit` rows to
                             // the merged prefix; stop early on cancel too.
@@ -726,7 +796,13 @@ pub fn stream(
                     }
                     buf
                 },
-                |buf| deliver(buf, &mut sent, limit, sink),
+                |buf| {
+                    let f = deliver(buf, &mut sent, limit, sink);
+                    if f.is_break() {
+                        ctx.note_early_exit(plan.ops.len());
+                    }
+                    f
+                },
             );
         }
         Strategy::FirstEi => stream_first_ei(ctx, query, plan, limit, pool, sink),
@@ -751,6 +827,9 @@ fn stream_first_ei(
     let mut row = fresh_row(query);
     let sent = &mut sent;
     let _ = for_each_root_vertex(ctx, plan, &mut row, &mut |row| {
+        if let Some(s) = ctx.prof_level(1) {
+            s.record(ei.alds.len() as u64, 0, 0);
+        }
         let Some(lists) = fetch_ei_lists(ctx, ei.alds, row) else {
             return ControlFlow::Continue(());
         };
@@ -769,14 +848,16 @@ fn stream_first_ei(
             size,
             merge_window(pool),
             |r, exit| {
+                ctx.note_morsel();
                 let mut w = base.clone();
                 let mut buf: Vec<RawRow> = Vec::new();
                 let root = base.vertex(var).expect("scan binds root").raw();
+                ctx.note_block();
                 let mut st = Blocks::seeded(plan, vec![root]);
                 if st.extend_from_lists(ctx, ei, lists, r, &mut w)
                     && apply_ops(ctx, plan, &mut st, &mut w, 2)
                 {
-                    for raw in FlattenIter::new(&mut st, &mut w) {
+                    for raw in FlattenIter::new(&mut st, &mut w, ctx) {
                         buf.push(raw);
                         if buf.len() >= remaining || exit.is_stopped() {
                             break;
@@ -788,6 +869,7 @@ fn stream_first_ei(
             |buf| {
                 let f = deliver(buf, sent, limit, sink);
                 if f.is_break() {
+                    ctx.note_early_exit(plan.ops.len());
                     flow = ControlFlow::Break(());
                 }
                 f

@@ -27,10 +27,12 @@
 
 use std::ops::{Deref, DerefMut};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError, Weak};
+use std::time::Instant;
 
 use aplus_common::{EdgeId, VertexId};
 use aplus_core::{IndexSpec, IndexStore};
 use aplus_graph::{Graph, GraphError, PropertyEntity, Value};
+use aplus_obs::{Gauge, MetricsRegistry, QueryProfile, QueryProfiler};
 use aplus_runtime::MorselPool;
 use aplus_storage::{
     checkpoint::retain_newest, decode_checkpoint_payload, encode_checkpoint_payload,
@@ -54,10 +56,42 @@ pub use crate::sink::RawRow;
 fn statement_kind(stmt: &Statement) -> &'static str {
     match stmt {
         Statement::Query(_) => "a MATCH query",
+        Statement::Profile(_) => "a PROFILE query",
         Statement::ReconfigurePrimary { .. } => "RECONFIGURE PRIMARY INDEXES",
         Statement::CreateOneHop { .. } => "CREATE 1-HOP VIEW",
         Statement::CreateTwoHop { .. } => "CREATE 2-HOP VIEW",
     }
+}
+
+/// Engine/storage metric names registered on a [`SharedDatabase`]'s
+/// [`MetricsRegistry`] (see [`SharedDatabase::metrics`]). Public so
+/// servers, tests and dashboards can refer to them without string
+/// duplication.
+pub mod metric {
+    /// Counter: write batches committed and published.
+    pub const EPOCHS_PUBLISHED: &str = "aplus_engine_epochs_published_total";
+    /// Gauge: the currently published epoch.
+    pub const PUBLISHED_EPOCH: &str = "aplus_engine_published_epoch";
+    /// Gauge: database versions currently alive (published head plus any
+    /// older versions still pinned by snapshots).
+    pub const LIVE_VERSIONS: &str = "aplus_engine_live_versions";
+    /// Histogram: WAL batch append latency (includes fsync when on).
+    pub const WAL_APPEND_SECONDS: &str = "aplus_wal_append_seconds";
+    /// Histogram: fuzzy checkpoint duration.
+    pub const CHECKPOINT_SECONDS: &str = "aplus_checkpoint_seconds";
+    /// Gauge: payload size of the most recent checkpoint, bytes.
+    pub const CHECKPOINT_LAST_BYTES: &str = "aplus_checkpoint_last_bytes";
+    /// Counter: checkpoints written.
+    pub const CHECKPOINTS_TOTAL: &str = "aplus_checkpoints_total";
+    /// Histogram: durable-open recovery time (checkpoint load + WAL
+    /// replay, or initial build + seed checkpoint on a fresh directory).
+    pub const RECOVERY_SECONDS: &str = "aplus_recovery_seconds";
+}
+
+/// Clamping `u64`/`usize` → gauge value; monitoring prefers saturation
+/// over a panic or a negative wrap.
+fn gauge_value(v: u64) -> i64 {
+    i64::try_from(v).unwrap_or(i64::MAX)
 }
 
 /// Outcome of a DDL statement.
@@ -185,7 +219,7 @@ impl Database {
         // population would silently truncate IDs.
         exec::check_vertex_domain(self.graph.vertex_count())?;
         match parser::parse(query)? {
-            Statement::Query(ast) => {
+            Statement::Query(ast) | Statement::Profile(ast) => {
                 let bound = ast::bind_query(&self.graph, &ast)?;
                 let plan = optimizer::optimize(&self.graph, &self.store, &bound)?;
                 Ok((bound, plan))
@@ -270,6 +304,86 @@ impl Database {
         pool: &MorselPool,
     ) -> Vec<RawRow> {
         exec::collect_parallel(self.ctx(), query, plan, limit, pool)
+    }
+
+    /// Runs a query with per-operator instrumentation and returns the
+    /// match count alongside the collected [`QueryProfile`]. Accepts both
+    /// `MATCH …` and `PROFILE MATCH …` statements (the keyword only marks
+    /// intent; instrumentation is decided by calling this entry point).
+    /// Executes sequentially; see [`Database::profile_count_parallel`].
+    pub fn profile_count(&self, query: &str) -> Result<(u64, QueryProfile), QueryError> {
+        let (bound, plan) = self.prepare(query)?;
+        let profiler = QueryProfiler::new(plan.ops.len());
+        let started = Instant::now();
+        let n = exec::count(self.ctx().with_profiler(&profiler), &bound, &plan);
+        Ok((n, finish_profile(&profiler, &plan, started, n)))
+    }
+
+    /// [`Database::count_prepared_parallel`] with instrumentation: counts
+    /// a pre-planned query and returns the [`QueryProfile`]. Differential
+    /// tests use this to profile the same plan pinned to each engine (see
+    /// [`Plan::with_flatten`]).
+    pub fn profile_count_prepared_parallel(
+        &self,
+        query: &QueryGraph,
+        plan: &Plan,
+        pool: &MorselPool,
+    ) -> (u64, QueryProfile) {
+        let profiler = QueryProfiler::new(plan.ops.len());
+        let started = Instant::now();
+        let n = exec::count_parallel(self.ctx().with_profiler(&profiler), query, plan, pool);
+        (n, finish_profile(&profiler, plan, started, n))
+    }
+
+    /// [`Database::profile_count`] executed morsel-parallel on `pool`.
+    /// Everything in the profile's [`QueryProfile::deterministic_view`] is
+    /// identical to the sequential profile at any thread count.
+    pub fn profile_count_parallel(
+        &self,
+        query: &str,
+        pool: &MorselPool,
+    ) -> Result<(u64, QueryProfile), QueryError> {
+        let (bound, plan) = self.prepare(query)?;
+        let profiler = QueryProfiler::new(plan.ops.len());
+        let started = Instant::now();
+        let n = exec::count_parallel(self.ctx().with_profiler(&profiler), &bound, &plan, pool);
+        Ok((n, finish_profile(&profiler, &plan, started, n)))
+    }
+
+    /// Collects up to `limit` rows with per-operator instrumentation,
+    /// returning the rows alongside the [`QueryProfile`] (sequential).
+    pub fn profile_collect(
+        &self,
+        query: &str,
+        limit: usize,
+    ) -> Result<(Vec<RawRow>, QueryProfile), QueryError> {
+        let (bound, plan) = self.prepare(query)?;
+        let profiler = QueryProfiler::new(plan.ops.len());
+        let started = Instant::now();
+        let rows = exec::collect(self.ctx().with_profiler(&profiler), &bound, &plan, limit);
+        let profile = finish_profile(&profiler, &plan, started, rows.len() as u64);
+        Ok((rows, profile))
+    }
+
+    /// [`Database::profile_collect`] executed morsel-parallel on `pool`.
+    pub fn profile_collect_parallel(
+        &self,
+        query: &str,
+        limit: usize,
+        pool: &MorselPool,
+    ) -> Result<(Vec<RawRow>, QueryProfile), QueryError> {
+        let (bound, plan) = self.prepare(query)?;
+        let profiler = QueryProfiler::new(plan.ops.len());
+        let started = Instant::now();
+        let rows = exec::collect_parallel(
+            self.ctx().with_profiler(&profiler),
+            &bound,
+            &plan,
+            limit,
+            pool,
+        );
+        let profile = finish_profile(&profiler, &plan, started, rows.len() as u64);
+        Ok((rows, profile))
     }
 
     /// Streams up to `limit` result rows into `sink`, in sequential result
@@ -359,7 +473,7 @@ impl Database {
                     .create_edge_index(&self.graph, &name, view, spec)?;
                 Ok(DdlOutcome::Created(name))
             }
-            Statement::Query(_) => Err(QueryError::Syntax {
+            Statement::Query(_) | Statement::Profile(_) => Err(QueryError::Syntax {
                 message: "expected DDL, got a MATCH query (use Database::count)".into(),
                 offset: parser::statement_offset(statement),
             }),
@@ -402,11 +516,30 @@ impl Database {
     }
 
     fn ctx(&self) -> ExecContext<'_> {
-        ExecContext {
-            graph: &self.graph,
-            store: &self.store,
-        }
+        ExecContext::new(&self.graph, &self.store)
     }
+}
+
+/// Freezes a profiler into the [`QueryProfile`] a `PROFILE` run returns,
+/// stamping the engine that executed the plan, the wall-clock time, and
+/// the result cardinality.
+fn finish_profile(
+    profiler: &QueryProfiler,
+    plan: &Plan,
+    started: Instant,
+    rows: u64,
+) -> QueryProfile {
+    let elapsed = started.elapsed();
+    let mut profile = profiler.finish(&plan.op_descriptions());
+    profile.engine = if crate::block::use_block(plan) {
+        "block"
+    } else {
+        "row"
+    }
+    .to_owned();
+    profile.elapsed_us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+    profile.rows = rows;
+    profile
 }
 
 /// An immutable, pinned version of the database published by a
@@ -435,6 +568,28 @@ pub struct Snapshot {
 struct Version {
     epoch: u64,
     db: Database,
+    /// Shared live-version gauge; decremented on drop so
+    /// [`metric::LIVE_VERSIONS`] tracks how many versions snapshots keep
+    /// alive.
+    live: Gauge,
+}
+
+impl Version {
+    /// Wraps a database version in a [`Snapshot`], accounting it on the
+    /// live-versions gauge.
+    fn snapshot(metrics: &MetricsRegistry, epoch: u64, db: Database) -> Snapshot {
+        let live = metrics.gauge(metric::LIVE_VERSIONS);
+        live.inc();
+        Snapshot {
+            inner: Arc::new(Version { epoch, db, live }),
+        }
+    }
+}
+
+impl Drop for Version {
+    fn drop(&mut self) {
+        self.live.dec();
+    }
 }
 
 impl Snapshot {
@@ -518,6 +673,25 @@ struct SharedState {
     /// Durability, when opened via [`SharedDatabase::open_durable`]: the
     /// WAL append in [`SharedState::commit`] becomes the commit point.
     durable: Option<Arc<DurableCore>>,
+    /// Engine/storage metrics shared by every clone of the handle (see
+    /// [`metric`] for the names).
+    metrics: MetricsRegistry,
+}
+
+/// Builds the shared state for a freshly opened database, seeding the
+/// epoch gauge and the live-version accounting.
+fn shared_state(db: Database, epoch: u64, durable: Option<Arc<DurableCore>>) -> Arc<SharedState> {
+    let metrics = MetricsRegistry::new();
+    metrics
+        .gauge(metric::PUBLISHED_EPOCH)
+        .set(gauge_value(epoch));
+    let published = Mutex::new(Version::snapshot(&metrics, epoch, db));
+    Arc::new(SharedState {
+        published,
+        write_gate: Mutex::new(()),
+        durable,
+        metrics,
+    })
 }
 
 /// Poison recovery: every critical section over these mutexes replaces
@@ -535,9 +709,11 @@ impl SharedState {
     }
 
     fn publish(&self, db: Database, epoch: u64) {
-        let next = Snapshot {
-            inner: Arc::new(Version { epoch, db }),
-        };
+        let next = Version::snapshot(&self.metrics, epoch, db);
+        self.metrics.counter(metric::EPOCHS_PUBLISHED).inc();
+        self.metrics
+            .gauge(metric::PUBLISHED_EPOCH)
+            .set(gauge_value(epoch));
         let prev = std::mem::replace(&mut *recover(self.published.lock()), next);
         // Drop the displaced version *outside* the lock: if this was its
         // last pin, deallocating a large database must not delay readers.
@@ -574,7 +750,11 @@ impl SharedState {
             // record and break the contiguity invariant recovery checks.
             return Ok(epoch - 1);
         }
+        let started = Instant::now();
         core.append_batch(epoch, &ops)?;
+        self.metrics
+            .histogram(metric::WAL_APPEND_SECONDS)
+            .observe(started.elapsed());
         self.publish(head, epoch);
         Ok(epoch)
     }
@@ -600,7 +780,12 @@ fn checkpoint_state(state: &SharedState) -> Result<u64, DurabilityError> {
     if epoch == prev {
         return Ok(epoch); // nothing committed since the last checkpoint
     }
+    let started = Instant::now();
     let payload = encode_checkpoint_payload(snapshot.graph(), &snapshot.ddl_history());
+    state
+        .metrics
+        .gauge(metric::CHECKPOINT_LAST_BYTES)
+        .set(gauge_value(payload.len() as u64));
     if let Err(e) = write_checkpoint(&core.data_dir, epoch, &payload, core.fsync, &core.injector) {
         core.mark_crashed();
         return Err(DurabilityError::Storage(e));
@@ -624,6 +809,11 @@ fn checkpoint_state(state: &SharedState) -> Result<u64, DurabilityError> {
     }
     // Best effort: losing a delete here only leaves an extra old file.
     let _ = retain_newest(&core.data_dir);
+    state.metrics.counter(metric::CHECKPOINTS_TOTAL).inc();
+    state
+        .metrics
+        .histogram(metric::CHECKPOINT_SECONDS)
+        .observe(started.elapsed());
     Ok(epoch)
 }
 
@@ -639,7 +829,7 @@ fn checkpointer_tick(state: &Weak<SharedState>, every: u64) {
     }
     if state.pin().epoch() >= core.last_checkpoint_epoch().saturating_add(every) {
         if let Err(e) = checkpoint_state(&state) {
-            eprintln!("aplus: background checkpoint failed: {e}");
+            aplus_obs::log::error(format_args!("aplus: background checkpoint failed: {e}"));
         }
     }
 }
@@ -656,13 +846,7 @@ impl SharedDatabase {
     #[must_use]
     pub fn with_pool(db: Database, pool: MorselPool) -> Self {
         Self {
-            state: Arc::new(SharedState {
-                published: Mutex::new(Snapshot {
-                    inner: Arc::new(Version { epoch: 0, db }),
-                }),
-                write_gate: Mutex::new(()),
-                durable: None,
-            }),
+            state: shared_state(db, 0, None),
             pool,
             _checkpointer: None,
         }
@@ -708,6 +892,7 @@ impl SharedDatabase {
         init: impl FnOnce() -> Result<Database, QueryError>,
     ) -> Result<Self, DurabilityError> {
         let fsync = config.fsync.should_sync();
+        let recovery_started = Instant::now();
         let (db, epoch, wal, last_checkpoint) =
             match aplus_storage::recover(&config.data_dir, fsync)? {
                 RecoveredState::Fresh { wal } => {
@@ -745,13 +930,11 @@ impl SharedDatabase {
             config.injector.clone(),
             last_checkpoint,
         ));
-        let state = Arc::new(SharedState {
-            published: Mutex::new(Snapshot {
-                inner: Arc::new(Version { epoch, db }),
-            }),
-            write_gate: Mutex::new(()),
-            durable: Some(core),
-        });
+        let state = shared_state(db, epoch, Some(core));
+        state
+            .metrics
+            .histogram(metric::RECOVERY_SECONDS)
+            .observe(recovery_started.elapsed());
         let checkpointer = (config.checkpoint_every > 0).then(|| {
             // The thread holds only a Weak: it cannot keep the database
             // alive, and the Checkpointer's drop joins it.
@@ -819,6 +1002,34 @@ impl SharedDatabase {
     /// collect at any pool size.
     pub fn collect(&self, query: &str, limit: usize) -> Result<Vec<RawRow>, QueryError> {
         self.snapshot().collect_parallel(query, limit, &self.pool)
+    }
+
+    /// The metrics registry of this database: engine/storage counters,
+    /// gauges and histograms (names in [`metric`]). Cloneable and shared
+    /// by every clone of the handle; servers register their own
+    /// request-level metrics on the same registry so one snapshot covers
+    /// the whole process.
+    #[must_use]
+    pub fn metrics(&self) -> MetricsRegistry {
+        self.state.metrics.clone()
+    }
+
+    /// Runs a query with per-operator instrumentation morsel-parallel
+    /// against the current snapshot; returns the count and the
+    /// [`QueryProfile`].
+    pub fn profile_count(&self, query: &str) -> Result<(u64, QueryProfile), QueryError> {
+        self.snapshot().profile_count_parallel(query, &self.pool)
+    }
+
+    /// Collects up to `limit` rows with per-operator instrumentation
+    /// morsel-parallel against the current snapshot.
+    pub fn profile_collect(
+        &self,
+        query: &str,
+        limit: usize,
+    ) -> Result<(Vec<RawRow>, QueryProfile), QueryError> {
+        self.snapshot()
+            .profile_collect_parallel(query, limit, &self.pool)
     }
 
     /// Streams up to `limit` rows into `sink` morsel-parallel against one
@@ -975,13 +1186,7 @@ impl SharedDatabase {
     #[must_use]
     pub fn replica_with_pool(db: Database, epoch: u64, pool: MorselPool) -> Self {
         Self {
-            state: Arc::new(SharedState {
-                published: Mutex::new(Snapshot {
-                    inner: Arc::new(Version { epoch, db }),
-                }),
-                write_gate: Mutex::new(()),
-                durable: None,
-            }),
+            state: shared_state(db, epoch, None),
             pool,
             _checkpointer: None,
         }
@@ -1211,10 +1416,10 @@ impl Drop for DatabaseWriteGuard<'_> {
                 // was published (readers keep the previous epoch) and the
                 // sticky crashed flag refuses further durable commits; use
                 // `commit()` to observe failures programmatically.
-                eprintln!(
+                aplus_obs::log::error(format_args!(
                     "aplus: write batch for epoch {} was NOT committed: {e}",
                     self.next_epoch
-                );
+                ));
             }
         }
         // The write gate releases after the publish (field drop order),

@@ -55,6 +55,7 @@ use std::ops::{ControlFlow, Range};
 use aplus_common::{EdgeId, VertexId};
 use aplus_core::{CmpOp, IndexStore, List, SortKey};
 use aplus_graph::Graph;
+use aplus_obs::{LevelStats, QueryProfiler};
 use aplus_runtime::{ExitSignal, MorselPool};
 
 use crate::block;
@@ -70,6 +71,68 @@ pub struct ExecContext<'a> {
     pub graph: &'a Graph,
     /// The index store.
     pub store: &'a IndexStore,
+    /// The per-query profiler of a `PROFILE` run; `None` (the overwhelmingly
+    /// common case) keeps the hot paths at one branch per flush point.
+    pub profiler: Option<&'a QueryProfiler>,
+}
+
+impl<'a> ExecContext<'a> {
+    /// An unprofiled execution context.
+    #[must_use]
+    pub fn new(graph: &'a Graph, store: &'a IndexStore) -> Self {
+        Self {
+            graph,
+            store,
+            profiler: None,
+        }
+    }
+
+    /// Attaches a [`QueryProfiler`]; executors flush per-level statistics
+    /// into it as they run.
+    #[must_use]
+    pub fn with_profiler(mut self, profiler: &'a QueryProfiler) -> Self {
+        self.profiler = Some(profiler);
+        self
+    }
+
+    /// The stats cell of plan-operator level `level`, when profiling.
+    #[inline]
+    pub(crate) fn prof_level(self, level: usize) -> Option<&'a LevelStats> {
+        self.profiler.and_then(|p| p.level(level))
+    }
+
+    /// Records one executed morsel for the calling worker, when profiling.
+    #[inline]
+    pub(crate) fn note_morsel(self) {
+        if let Some(p) = self.profiler {
+            p.record_morsel();
+        }
+    }
+
+    /// Records an early exit observed at `level`, when profiling.
+    #[inline]
+    pub(crate) fn note_early_exit(self, level: usize) {
+        if let Some(p) = self.profiler {
+            p.record_early_exit(level);
+        }
+    }
+
+    /// Records one processed factorized block, when profiling.
+    #[inline]
+    pub(crate) fn note_block(self) {
+        if let Some(p) = self.profiler {
+            p.blocks.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+
+    /// Records one factorized-count shortcut hit, when profiling.
+    #[inline]
+    pub(crate) fn note_fc_shortcut(self) {
+        if let Some(p) = self.profiler {
+            p.fc_shortcut_hits
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
 }
 
 /// Runs `plan`, invoking `on_row` for every complete match, in sequential
@@ -211,6 +274,7 @@ pub fn count_parallel(
         Strategy::RootRanges { total, cap } => {
             let size = aplus_runtime::scan_morsel_size(total, pool.threads(), cap);
             pool.sum_ranges(total, size, |range| {
+                ctx.note_morsel();
                 let mut n = 0u64;
                 let mut row = Row::unbound(query.vertices.len(), query.edges.len());
                 let _ = run_root_range(ctx, plan, range, &mut row, &mut |_| {
@@ -283,7 +347,7 @@ pub fn collect(ctx: ExecContext<'_>, query: &QueryGraph, plan: &Plan, limit: usi
     if limit == 0 {
         return out;
     }
-    let _ = execute(ctx, query, plan, &mut |row| {
+    let flow = execute(ctx, query, plan, &mut |row| {
         out.push((row.vertex_slots().to_vec(), row.edge_slots().to_vec()));
         if out.len() >= limit {
             ControlFlow::Break(())
@@ -291,6 +355,9 @@ pub fn collect(ctx: ExecContext<'_>, query: &QueryGraph, plan: &Plan, limit: usi
             ControlFlow::Continue(())
         }
     });
+    if flow.is_break() {
+        ctx.note_early_exit(plan.ops.len());
+    }
     out
 }
 
@@ -336,7 +403,7 @@ pub fn stream(
     match strategy(ctx, plan, pool) {
         Strategy::Sequential => {
             let mut sent = 0usize;
-            let _ = execute(ctx, query, plan, &mut |row| {
+            let flow = execute(ctx, query, plan, &mut |row| {
                 sent += 1;
                 let flow = sink.push((row.vertex_slots().to_vec(), row.edge_slots().to_vec()));
                 if flow.is_break() || sent >= limit {
@@ -345,6 +412,9 @@ pub fn stream(
                     ControlFlow::Continue(())
                 }
             });
+            if flow.is_break() {
+                ctx.note_early_exit(plan.ops.len());
+            }
         }
         Strategy::RootRanges { total, cap } => {
             let size = aplus_runtime::scan_morsel_size(total, pool.threads(), cap);
@@ -354,6 +424,7 @@ pub fn stream(
                 size,
                 merge_window(pool),
                 |range, exit| {
+                    ctx.note_morsel();
                     let mut buf: Vec<RawRow> = Vec::new();
                     let mut row = Row::unbound(query.vertices.len(), query.edges.len());
                     let _ = run_root_range(ctx, plan, range, &mut row, &mut |r| {
@@ -361,7 +432,13 @@ pub fn stream(
                     });
                     buf
                 },
-                |buf| deliver(buf, &mut sent, limit, sink),
+                |buf| {
+                    let f = deliver(buf, &mut sent, limit, sink);
+                    if f.is_break() {
+                        ctx.note_early_exit(plan.ops.len());
+                    }
+                    f
+                },
             );
         }
         Strategy::FirstEi => stream_first_ei(ctx, query, plan, limit, pool, sink),
@@ -413,19 +490,34 @@ pub(crate) fn for_each_root_vertex(
     let Some(Operator::ScanVertices { var, label, preds }) = plan.ops.first() else {
         unreachable!("first-E/I strategy requires a vertex-scan root")
     };
+    let stats = ctx.prof_level(0);
+    let (mut cand, mut emit) = (0u64, 0u64);
+    let mut g = |row: &mut Row| {
+        emit += 1;
+        f(row)
+    };
+    let mut out = ControlFlow::Continue(());
     match pinned_vertex(preds, *var) {
         Some(v) => {
             if v.index() < ctx.graph.vertex_count() {
-                visit_vertex(ctx, *var, *label, preds, v, row, f)?;
+                cand = 1;
+                out = visit_vertex(ctx, *var, *label, preds, v, row, &mut g);
             }
         }
         None => {
             for raw in 0..ctx.graph.vertex_count() {
-                visit_vertex(ctx, *var, *label, preds, vid(raw), row, f)?;
+                cand += 1;
+                if visit_vertex(ctx, *var, *label, preds, vid(raw), row, &mut g).is_break() {
+                    out = ControlFlow::Break(());
+                    break;
+                }
             }
         }
     }
-    ControlFlow::Continue(())
+    if let Some(s) = stats {
+        s.record(0, cand, emit);
+    }
+    out
 }
 
 /// The first-E/I operator's pieces, destructured once per query.
@@ -458,9 +550,13 @@ pub(crate) fn first_ei_op(plan: &Plan) -> FirstEi<'_> {
 /// first E/I's lists once and morsel over positions of the first list.
 fn count_first_ei(ctx: ExecContext<'_>, query: &QueryGraph, plan: &Plan, pool: &MorselPool) -> u64 {
     let ei = first_ei_op(plan);
+    let stats = ctx.prof_level(1);
     let mut total = 0u64;
     let mut row = Row::unbound(query.vertices.len(), query.edges.len());
     let _ = for_each_root_vertex(ctx, plan, &mut row, &mut |row| {
+        if let Some(s) = stats {
+            s.record(ei.alds.len() as u64, 0, 0);
+        }
         let Some(lists) = fetch_ei_lists(ctx, ei.alds, row) else {
             return ControlFlow::Continue(());
         };
@@ -469,6 +565,7 @@ fn count_first_ei(ctx: ExecContext<'_>, query: &QueryGraph, plan: &Plan, pool: &
         let base: &Row = row;
         let lists = &lists;
         total += pool.sum_ranges(n0, size, |r| {
+            ctx.note_morsel();
             let mut w = base.clone();
             let mut n = 0u64;
             let mut on_row = |_: &Row| {
@@ -483,6 +580,7 @@ fn count_first_ei(ctx: ExecContext<'_>, query: &QueryGraph, plan: &Plan, pool: &
                 r,
                 ei.residual,
                 &mut w,
+                stats,
                 &mut |w| run_op(ctx, plan, 2, w, &mut on_row),
             );
             n
@@ -505,10 +603,14 @@ fn stream_first_ei(
     sink: &mut dyn RowSink,
 ) {
     let ei = first_ei_op(plan);
+    let stats = ctx.prof_level(1);
     let mut sent = 0usize;
     let mut row = Row::unbound(query.vertices.len(), query.edges.len());
     let sent = &mut sent;
     let _ = for_each_root_vertex(ctx, plan, &mut row, &mut |row| {
+        if let Some(s) = stats {
+            s.record(ei.alds.len() as u64, 0, 0);
+        }
         let Some(lists) = fetch_ei_lists(ctx, ei.alds, row) else {
             return ControlFlow::Continue(());
         };
@@ -536,6 +638,7 @@ fn stream_first_ei(
             size,
             merge_window(pool),
             |r, exit| {
+                ctx.note_morsel();
                 let mut w = base.clone();
                 let mut buf: Vec<RawRow> = Vec::new();
                 let mut on_row = |rr: &Row| buffer_row(&mut buf, rr, remaining, exit);
@@ -547,6 +650,7 @@ fn stream_first_ei(
                     r,
                     ei.residual,
                     &mut w,
+                    stats,
                     &mut |w| run_op(ctx, plan, 2, w, &mut on_row),
                 );
                 buf
@@ -554,6 +658,7 @@ fn stream_first_ei(
             |buf| {
                 let f = deliver(buf, sent, limit, sink);
                 if f.is_break() {
+                    ctx.note_early_exit(plan.ops.len());
                     flow = ControlFlow::Break(());
                 }
                 f
@@ -679,9 +784,16 @@ fn exec_scan_vertices(
     match pinned_vertex(preds, var) {
         Some(v) => {
             if v.index() < ctx.graph.vertex_count() {
-                visit_vertex(ctx, var, label, preds, v, row, &mut |row| {
+                let stats = ctx.prof_level(depth);
+                let mut emit = 0u64;
+                let flow = visit_vertex(ctx, var, label, preds, v, row, &mut |row| {
+                    emit += 1;
                     run_op(ctx, plan, depth + 1, row, on_row)
-                })?;
+                });
+                if let Some(s) = stats {
+                    s.record(0, 1, emit);
+                }
+                flow?;
             }
             ControlFlow::Continue(())
         }
@@ -705,12 +817,24 @@ fn exec_scan_vertices_range(
     row: &mut Row,
     on_row: &mut dyn FnMut(&Row) -> ControlFlow<()>,
 ) -> ControlFlow<()> {
+    let stats = ctx.prof_level(depth);
+    let (mut cand, mut emit) = (0u64, 0u64);
+    let mut flow = ControlFlow::Continue(());
     for raw in range.start..range.end.min(ctx.graph.vertex_count()) {
-        visit_vertex(ctx, var, label, preds, vid(raw), row, &mut |row| {
+        cand += 1;
+        let f = visit_vertex(ctx, var, label, preds, vid(raw), row, &mut |row| {
+            emit += 1;
             run_op(ctx, plan, depth + 1, row, on_row)
-        })?;
+        });
+        if f.is_break() {
+            flow = ControlFlow::Break(());
+            break;
+        }
     }
-    ControlFlow::Continue(())
+    if let Some(s) = stats {
+        s.record(0, cand, emit);
+    }
+    flow
 }
 
 /// Binds `v` to the scan variable if it passes the label + predicate
@@ -765,7 +889,11 @@ fn exec_scan_edges_range(
     row: &mut Row,
     on_row: &mut dyn FnMut(&Row) -> ControlFlow<()>,
 ) -> ControlFlow<()> {
+    let stats = ctx.prof_level(depth);
+    let (mut cand, mut emit) = (0u64, 0u64);
+    let mut out = ControlFlow::Continue(());
     for (e, s, d, l) in ctx.graph.edges_in(range) {
+        cand += 1;
         if vars.label.is_some_and(|want| want != l) {
             continue;
         }
@@ -785,6 +913,7 @@ fn exec_scan_edges_range(
         row.bind_vertex(vars.src_var, s);
         row.bind_vertex(vars.dst_var, d);
         let flow = if preds.iter().all(|p| p.eval(ctx.graph, row)) {
+            emit += 1;
             run_op(ctx, plan, depth + 1, row, on_row)
         } else {
             ControlFlow::Continue(())
@@ -792,9 +921,15 @@ fn exec_scan_edges_range(
         row.unbind_edge(vars.edge_var);
         row.unbind_vertex(vars.src_var);
         row.unbind_vertex(vars.dst_var);
-        flow?;
+        if flow.is_break() {
+            out = ControlFlow::Break(());
+            break;
+        }
     }
-    ControlFlow::Continue(())
+    if let Some(s) = stats {
+        s.record(0, cand, emit);
+    }
+    out
 }
 
 /// What ordering the consuming operator requires of a fetched list.
@@ -1120,6 +1255,10 @@ fn exec_extend_intersect(
     // A single list needs no intersection (plain EXTEND); multiple lists
     // are each fetched neighbour-sorted and intersected with a k-pointer
     // leapfrog.
+    let stats = ctx.prof_level(depth);
+    if let Some(s) = stats {
+        s.record(alds.len() as u64, 0, 0);
+    }
     let Some(lists) = fetch_ei_lists(ctx, alds, row) else {
         return ControlFlow::Continue(());
     };
@@ -1132,6 +1271,7 @@ fn exec_extend_intersect(
         range,
         residual,
         row,
+        stats,
         &mut |row| run_op(ctx, plan, depth + 1, row, on_row),
     )
 }
@@ -1150,6 +1290,11 @@ fn exec_extend_intersect(
 /// level" — both engines share this one leapfrog, so their per-level
 /// semantics (neighbour order, parallel-edge products, relationship
 /// uniqueness, residual placement) cannot drift apart.
+///
+/// `stats` (a `PROFILE` run's cell for this operator level) accrues
+/// candidates examined — single-list entries scanned, or leapfrog head
+/// groups considered — and bindings emitted, accumulated in locals and
+/// flushed with one atomic add per call.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn ei_over_lists(
     ctx: ExecContext<'_>,
@@ -1159,6 +1304,40 @@ pub(crate) fn ei_over_lists(
     range: Range<usize>,
     residual: &[QueryPredicate],
     row: &mut Row,
+    stats: Option<&LevelStats>,
+    k: &mut dyn FnMut(&mut Row) -> ControlFlow<()>,
+) -> ControlFlow<()> {
+    let mut cand = 0u64;
+    let mut emit = 0u64;
+    let flow = ei_over_lists_counted(
+        ctx,
+        target,
+        target_label,
+        lists,
+        range,
+        residual,
+        row,
+        &mut cand,
+        &mut emit,
+        k,
+    );
+    if let Some(s) = stats {
+        s.record(0, cand, emit);
+    }
+    flow
+}
+
+#[allow(clippy::too_many_arguments)]
+fn ei_over_lists_counted(
+    ctx: ExecContext<'_>,
+    target: usize,
+    target_label: Option<aplus_common::VertexLabelId>,
+    lists: &[BoundList<'_>],
+    range: Range<usize>,
+    residual: &[QueryPredicate],
+    row: &mut Row,
+    cand: &mut u64,
+    emit: &mut u64,
     k: &mut dyn FnMut(&mut Row) -> ControlFlow<()>,
 ) -> ControlFlow<()> {
     let label_ok =
@@ -1166,6 +1345,7 @@ pub(crate) fn ei_over_lists(
     if lists.len() == 1 {
         let l = &lists[0];
         for i in range {
+            *cand += 1;
             let (e, n) = l.get(i);
             if row.uses_edge(e) || !label_ok(n) {
                 continue;
@@ -1173,6 +1353,7 @@ pub(crate) fn ei_over_lists(
             row.bind_vertex(target, n);
             row.bind_edge(l.edge_var, e);
             let flow = if residual.iter().all(|p| p.eval(ctx.graph, row)) {
+                *emit += 1;
                 k(row)
             } else {
                 ControlFlow::Continue(())
@@ -1201,6 +1382,7 @@ pub(crate) fn ei_over_lists(
             }
             max_nbr = max_nbr.max(lists[i].get(ptr[i]).1.raw());
         }
+        *cand += 1;
         // Advance every list to >= max_nbr (leapfrog step).
         let mut aligned = true;
         for i in 0..nl {
@@ -1232,7 +1414,10 @@ pub(crate) fn ei_over_lists(
             continue;
         }
         row.bind_vertex(target, nbr);
-        let flow = bind_edges_product(ctx, lists, &edge_choices, 0, residual, row, k);
+        let flow = bind_edges_product(ctx, lists, &edge_choices, 0, residual, row, &mut |r| {
+            *emit += 1;
+            k(r)
+        });
         row.unbind_vertex(target);
         flow?;
     }
@@ -1278,6 +1463,9 @@ fn exec_multi_extend(
     row: &mut Row,
     on_row: &mut dyn FnMut(&Row) -> ControlFlow<()>,
 ) -> ControlFlow<()> {
+    if let Some(s) = ctx.prof_level(depth) {
+        s.record(targets.len() as u64, 0, 0);
+    }
     let lists: Vec<BoundList<'_>> = targets
         .iter()
         .map(|(_, _, a)| fetch_list(ctx, a, row, Need::KeySorted))
@@ -1476,10 +1664,7 @@ mod tests {
             est_cost: 0.0,
             block: BlockPolicy::default(),
         };
-        let ctx = ExecContext {
-            graph: &g,
-            store: &store,
-        };
+        let ctx = ExecContext::new(&g, &store);
         // Alice owns v1 (3 wires) and v2 (1 wire: t8) -> 4 matches.
         assert_eq!(count(ctx, &query, &plan), 4);
         // A pinned root scan cannot be partitioned, but its first E/I
@@ -1546,10 +1731,7 @@ mod tests {
             est_cost: 0.0,
             block: BlockPolicy::default(),
         };
-        let ctx = ExecContext {
-            graph: &g,
-            store: &store,
-        };
+        let ctx = ExecContext::new(&g, &store);
         assert!(count(ctx, &query, &plan) > 3, "fixture has enough edges");
         let mut calls = 0;
         let flow = execute(ctx, &query, &plan, &mut |_| {
@@ -1629,10 +1811,7 @@ mod tests {
             est_cost: 0.0,
             block: BlockPolicy::default(),
         };
-        let ctx = ExecContext {
-            graph: &g,
-            store: &store,
-        };
+        let ctx = ExecContext::new(&g, &store);
         let seq = collect(ctx, &query, &plan, usize::MAX);
         assert!(!seq.is_empty());
         for threads in [1, 2, 4] {
@@ -1733,10 +1912,7 @@ mod tests {
             est_cost: 0.0,
             block: BlockPolicy::default(),
         };
-        let ctx = ExecContext {
-            graph: &g,
-            store: &store,
-        };
+        let ctx = ExecContext::new(&g, &store);
         let wcoj = count(ctx, &query, &plan);
         // Morsel-driven execution must agree at every thread count.
         for threads in [1, 2, 4, 8] {
@@ -1838,10 +2014,7 @@ mod tests {
             est_cost: 0.0,
             block: BlockPolicy::default(),
         };
-        let ctx = ExecContext {
-            graph: &g,
-            store: &store,
-        };
+        let ctx = ExecContext::new(&g, &store);
         let pruned = count(ctx, &query, &mk_plan(true));
         let filtered = count(ctx, &query, &mk_plan(false));
         assert_eq!(pruned, filtered);
@@ -1922,10 +2095,7 @@ mod tests {
             est_cost: 0.0,
             block: BlockPolicy::default(),
         };
-        let ctx = ExecContext {
-            graph: &g,
-            store: &store,
-        };
+        let ctx = ExecContext::new(&g, &store);
         let got = count(ctx, &query, &plan);
         // Brute force: ordered pairs of distinct out-edges of the same
         // vertex whose head cities are equal (and non-NULL).
@@ -2054,10 +2224,7 @@ mod tests {
             est_cost: 0.0,
             block: BlockPolicy::default(),
         };
-        let ctx = ExecContext {
-            graph: &g,
-            store: &store,
-        };
+        let ctx = ExecContext::new(&g, &store);
         let pruned = count(ctx, &query, &mk_plan(true));
         let filtered = count(ctx, &query, &mk_plan(false));
         assert_eq!(pruned, filtered);
@@ -2081,10 +2248,7 @@ mod tests {
                 IndexSpec::default().with_sort(vec![SortKey::EdgeProp(date)]),
             )
             .unwrap();
-        let ctx = ExecContext {
-            graph: &g,
-            store: &store,
-        };
+        let ctx = ExecContext::new(&g, &store);
         let idx = store.vertex_index("VPt", Direction::Fwd).unwrap();
         let primary = store.primary().index(Direction::Fwd);
         for v in g.vertices() {
@@ -2171,10 +2335,7 @@ mod tests {
             );
             let row_plan = plan.clone().with_flatten(FlattenPolicy::Eager);
             assert!(!crate::block::use_block(&row_plan));
-            let ctx = ExecContext {
-                graph: db.graph(),
-                store: db.store(),
-            };
+            let ctx = ExecContext::new(db.graph(), db.store());
             assert_eq!(
                 count(ctx, &bound, &plan),
                 count_rows(ctx, &bound, &row_plan),

@@ -62,7 +62,12 @@ pub use aplus_storage::{
     decode_ops, encode_ops, CrashPoint, DurabilityConfig, FaultInjector, FsyncPolicy, PropValue,
     RawRecord, StorageError, WalOp, WalTail,
 };
+// Observability: the metrics registry every `SharedDatabase` carries and
+// the per-query profile `PROFILE` runs return.
+pub use aplus_obs::{
+    HistogramSnapshot, LevelProfile, MetricsRegistry, MetricsSnapshot, QueryProfile, QueryProfiler,
+};
 pub use durable::DurabilityError;
-pub use engine::{Database, DatabaseWriteGuard, SharedDatabase, Snapshot};
+pub use engine::{metric, Database, DatabaseWriteGuard, SharedDatabase, Snapshot};
 pub use error::QueryError;
 pub use sink::{row_channel, RawRow, RowChannelSink, RowReceiver, RowSink, TryNext, VecSink};

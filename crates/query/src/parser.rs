@@ -427,6 +427,10 @@ impl Parser {
         if self.keyword("MATCH") {
             return Ok(Statement::Query(self.query_body()?));
         }
+        if self.keyword("PROFILE") {
+            self.expect_keyword("MATCH")?;
+            return Ok(Statement::Profile(self.query_body()?));
+        }
         if self.keyword("RECONFIGURE") {
             self.expect_keyword("PRIMARY")?;
             self.expect_keyword("INDEXES")?;
@@ -487,7 +491,7 @@ impl Parser {
                 sort_by,
             });
         }
-        Err(self.err("expected MATCH, RECONFIGURE or CREATE"))
+        Err(self.err("expected MATCH, PROFILE, RECONFIGURE or CREATE"))
     }
 
     fn query_body(&mut self) -> Result<QueryAst, QueryError> {

@@ -301,6 +301,14 @@ impl Plan {
         })
     }
 
+    /// One-line description per operator (the per-op lines of the plan's
+    /// [`fmt::Display`] rendering, without indentation). `PROFILE` labels
+    /// its per-level statistics with these.
+    #[must_use]
+    pub fn op_descriptions(&self) -> Vec<String> {
+        self.ops.iter().map(op_description).collect()
+    }
+
     fn all_alds(&self) -> impl Iterator<Item = &Ald> {
         self.ops
             .iter()
@@ -316,57 +324,57 @@ impl Plan {
     }
 }
 
+fn op_description(op: &Operator) -> String {
+    match op {
+        Operator::ScanVertices { var, label, preds } => {
+            let mut s = format!("Scan v{var}");
+            if let Some(l) = label {
+                s.push_str(&format!(" label={l}"));
+            }
+            if !preds.is_empty() {
+                s.push_str(&format!(" preds={}", preds.len()));
+            }
+            s
+        }
+        Operator::ScanEdges {
+            edge_var,
+            src_var,
+            dst_var,
+            ..
+        } => format!("ScanEdges e{edge_var} (v{src_var}→v{dst_var})"),
+        Operator::ExtendIntersect {
+            target,
+            alds,
+            residual,
+            ..
+        } => {
+            let lists: Vec<String> = alds.iter().map(Ald::render).collect();
+            let mut s = format!("E/I v{target} ⋂[{}]", lists.join(" ∩ "));
+            if !residual.is_empty() {
+                s.push_str(&format!(" filter={}", residual.len()));
+            }
+            s
+        }
+        Operator::MultiExtend { targets, residual } => {
+            let lists: Vec<String> = targets
+                .iter()
+                .map(|(v, _, a)| format!("v{v}:{}", a.render()))
+                .collect();
+            let mut s = format!("Multi-Extend [{}]", lists.join(" ∩ "));
+            if !residual.is_empty() {
+                s.push_str(&format!(" filter={}", residual.len()));
+            }
+            s
+        }
+        Operator::Filter { preds } => format!("Filter ({} predicates)", preds.len()),
+    }
+}
+
 impl fmt::Display for Plan {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Plan (est i-cost {:.1}):", self.est_cost)?;
         for op in &self.ops {
-            match op {
-                Operator::ScanVertices { var, label, preds } => {
-                    write!(f, "  Scan v{var}")?;
-                    if let Some(l) = label {
-                        write!(f, " label={l}")?;
-                    }
-                    if !preds.is_empty() {
-                        write!(f, " preds={}", preds.len())?;
-                    }
-                    writeln!(f)?;
-                }
-                Operator::ScanEdges {
-                    edge_var,
-                    src_var,
-                    dst_var,
-                    ..
-                } => {
-                    writeln!(f, "  ScanEdges e{edge_var} (v{src_var}→v{dst_var})")?;
-                }
-                Operator::ExtendIntersect {
-                    target,
-                    alds,
-                    residual,
-                    ..
-                } => {
-                    let lists: Vec<String> = alds.iter().map(Ald::render).collect();
-                    write!(f, "  E/I v{target} ⋂[{}]", lists.join(" ∩ "))?;
-                    if !residual.is_empty() {
-                        write!(f, " filter={}", residual.len())?;
-                    }
-                    writeln!(f)?;
-                }
-                Operator::MultiExtend { targets, residual } => {
-                    let lists: Vec<String> = targets
-                        .iter()
-                        .map(|(v, _, a)| format!("v{v}:{}", a.render()))
-                        .collect();
-                    write!(f, "  Multi-Extend [{}]", lists.join(" ∩ "))?;
-                    if !residual.is_empty() {
-                        write!(f, " filter={}", residual.len())?;
-                    }
-                    writeln!(f)?;
-                }
-                Operator::Filter { preds } => {
-                    writeln!(f, "  Filter ({} predicates)", preds.len())?;
-                }
-            }
+            writeln!(f, "  {}", op_description(op))?;
         }
         Ok(())
     }

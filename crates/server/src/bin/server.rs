@@ -33,6 +33,17 @@
 //!   `read_only` error frame. Replicas are in-memory: combining this with
 //!   `APLUS_DATA_DIR` is a usage error.
 //!
+//! Observability:
+//!
+//! * `APLUS_LOG` — stderr log level: `error` (default), `warn`, or
+//!   `info`.
+//! * `APLUS_SLOW_QUERY_MS` — when set, every `count` / `collect` /
+//!   `stream` / `profile` request that takes at least this many
+//!   milliseconds is logged at `warn` with its query text.
+//!
+//! The `metrics` wire verb (and the shell's `metrics` command) exposes
+//! the server's full metrics registry; see `docs/OBSERVABILITY.md`.
+//!
 //! The worker pool sizes from `APLUS_THREADS` (default: all cores). The
 //! server runs until stdin closes or a `quit` line arrives, then shuts
 //! down gracefully (drains in-flight queries, refuses new connections).

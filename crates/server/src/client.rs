@@ -194,6 +194,31 @@ impl Client {
         }
     }
 
+    /// A point-in-time snapshot of the server's metrics registry: engine,
+    /// storage, replication, and per-verb server series in one set. Render
+    /// it with [`aplus_query::MetricsSnapshot::render_prometheus`] or read
+    /// individual series with `counter`/`gauge`.
+    pub fn metrics(&mut self) -> Result<aplus_query::MetricsSnapshot, ClientError> {
+        match self.call(&Request::Metrics)? {
+            Response::Metrics { snapshot } => Ok(snapshot),
+            other => Err(unexpected("metrics", &other)),
+        }
+    }
+
+    /// Runs `query` with per-operator instrumentation; returns the match
+    /// count and the [`aplus_query::QueryProfile`] the executors collected.
+    pub fn profile(
+        &mut self,
+        query: &str,
+    ) -> Result<(u64, aplus_query::QueryProfile), ClientError> {
+        match self.call(&Request::Profile {
+            query: query.to_owned(),
+        })? {
+            Response::Profile { value, profile } => Ok((value, profile)),
+            other => Err(unexpected("profile", &other)),
+        }
+    }
+
     /// The server's current published epoch.
     pub fn epoch(&mut self) -> Result<u64, ClientError> {
         self.epoch_and_role().map(|(epoch, _)| epoch)

@@ -20,6 +20,8 @@
 //! | `insert` | `src`, `dst`, `label`, `props?` | insert one edge as one committed epoch |
 //! | `delete` | `edge` | delete one edge as one committed epoch |
 //! | `epoch` | — | the currently published epoch and the node's role |
+//! | `metrics` | — | a point-in-time snapshot of the server's metrics registry |
+//! | `profile` | `query` | execute with per-operator instrumentation, return count + profile |
 //! | `subscribe` | `have?` | become a replication subscriber (replicas only send this) |
 //!
 //! Responses ([`Response`]): `pong`, `count`, `rows` (the `collect`
@@ -64,6 +66,7 @@ use std::collections::BTreeMap;
 use std::io::{self, Read, Write};
 
 use aplus_query::engine::DdlOutcome;
+use aplus_query::{HistogramSnapshot, LevelProfile, MetricsSnapshot, QueryProfile};
 use aplus_query::{QueryError, RawRow};
 use serde_json::Value;
 
@@ -172,6 +175,16 @@ pub enum Request {
     /// +1 per committed write batch; stable across restarts on a durable
     /// server) and the node's [`Role`].
     Epoch,
+    /// Ask for a point-in-time snapshot of the server's metrics registry
+    /// (engine/storage/replication/server metrics in one set).
+    Metrics,
+    /// Execute a query with per-operator instrumentation; the response
+    /// carries the match count and the [`QueryProfile`]. Accepts both
+    /// `MATCH …` and `PROFILE MATCH …` spellings.
+    Profile {
+        /// The query text.
+        query: String,
+    },
     /// Become a replication subscriber: the server stops reading requests
     /// on this connection and pushes `bootstrap` / `wal_batch` /
     /// `repl_heartbeat` frames. `have` is the newest epoch the subscriber
@@ -274,6 +287,21 @@ pub enum Response {
         epoch: u64,
         /// The answering node's replication role.
         role: Role,
+    },
+    /// Answer to `metrics`: every registered counter, gauge and histogram.
+    /// The frame additionally carries the snapshot pre-rendered as
+    /// Prometheus-style text (`MetricsSnapshot::render_prometheus`), so a
+    /// scraper-side bridge never needs to re-derive the exposition format.
+    Metrics {
+        /// The snapshot.
+        snapshot: MetricsSnapshot,
+    },
+    /// Answer to `profile`: the count plus what the executors did.
+    Profile {
+        /// The match count.
+        value: u64,
+        /// The collected per-operator profile.
+        profile: QueryProfile,
     },
     /// Replication stream: a full snapshot for the subscriber to install.
     /// Sent when the subscriber is empty (`have: None`) or its resume
@@ -572,6 +600,181 @@ fn get_opt_u64(v: &Value, key: &str) -> Result<Option<u64>, String> {
     }
 }
 
+fn encode_u64_map<'a>(entries: impl Iterator<Item = (&'a String, u64)>) -> Value {
+    Value::Object(entries.map(|(k, v)| (k.clone(), num(v))).collect())
+}
+
+fn encode_metrics(snapshot: &MetricsSnapshot) -> Vec<(&'static str, Value)> {
+    let histograms = Value::Object(
+        snapshot
+            .histograms
+            .iter()
+            .map(|(name, h)| {
+                let v = obj(vec![
+                    (
+                        "bounds_us",
+                        Value::Array(h.bounds_us.iter().map(|&b| num(b)).collect()),
+                    ),
+                    (
+                        "counts",
+                        Value::Array(h.counts.iter().map(|&c| num(c)).collect()),
+                    ),
+                    ("sum_us", num(h.sum_us)),
+                    ("count", num(h.count)),
+                ]);
+                (name.clone(), v)
+            })
+            .collect(),
+    );
+    vec![
+        ("type", str_v("metrics")),
+        (
+            "counters",
+            encode_u64_map(snapshot.counters.iter().map(|(k, &v)| (k, v))),
+        ),
+        (
+            "gauges",
+            Value::Object(
+                snapshot
+                    .gauges
+                    .iter()
+                    .map(|(k, &v)| (k.clone(), int_v(v)))
+                    .collect(),
+            ),
+        ),
+        ("histograms", histograms),
+        ("prometheus", str_v(&snapshot.render_prometheus())),
+    ]
+}
+
+fn decode_u64_entry(k: &str, v: &Value) -> Result<(String, u64), String> {
+    v.as_u64()
+        .map(|n| (k.to_owned(), n))
+        .ok_or_else(|| format!("metric {k:?} must be an unsigned integer"))
+}
+
+fn decode_u64_array(v: &Value, what: &str) -> Result<Vec<u64>, String> {
+    v.as_array()
+        .ok_or_else(|| format!("{what} must be an array"))?
+        .iter()
+        .map(|x| {
+            x.as_u64()
+                .ok_or_else(|| format!("{what} holds a non-integer"))
+        })
+        .collect()
+}
+
+fn decode_metrics(v: &Value) -> Result<MetricsSnapshot, String> {
+    let map = |key: &str| -> Result<&BTreeMap<String, Value>, String> {
+        v.get(key)
+            .and_then(Value::as_object)
+            .ok_or_else(|| format!("metrics frame needs an object member {key:?}"))
+    };
+    let counters = map("counters")?
+        .iter()
+        .map(|(k, x)| decode_u64_entry(k, x))
+        .collect::<Result<_, _>>()?;
+    let gauges = map("gauges")?
+        .iter()
+        .map(|(k, x)| {
+            x.as_f64()
+                .filter(|f| f.fract() == 0.0)
+                .map(|f| (k.clone(), f as i64))
+                .ok_or_else(|| format!("gauge {k:?} must be an integer"))
+        })
+        .collect::<Result<_, _>>()?;
+    let histograms = map("histograms")?
+        .iter()
+        .map(|(k, x)| {
+            let h = HistogramSnapshot {
+                bounds_us: decode_u64_array(
+                    x.get("bounds_us").ok_or("histogram needs bounds_us")?,
+                    "bounds_us",
+                )?,
+                counts: decode_u64_array(
+                    x.get("counts").ok_or("histogram needs counts")?,
+                    "counts",
+                )?,
+                sum_us: get_u64(x, "sum_us")?,
+                count: get_u64(x, "count")?,
+            };
+            Ok((k.clone(), h))
+        })
+        .collect::<Result<_, String>>()?;
+    Ok(MetricsSnapshot {
+        counters,
+        gauges,
+        histograms,
+    })
+}
+
+fn encode_profile(profile: &QueryProfile) -> Value {
+    let levels = Value::Array(
+        profile
+            .levels
+            .iter()
+            .map(|l| {
+                obj(vec![
+                    ("op", str_v(&l.op)),
+                    ("lists_scanned", num(l.lists_scanned)),
+                    ("candidates", num(l.candidates)),
+                    ("emitted", num(l.emitted)),
+                ])
+            })
+            .collect(),
+    );
+    obj(vec![
+        ("engine", str_v(&profile.engine)),
+        ("elapsed_us", num(profile.elapsed_us)),
+        ("rows", num(profile.rows)),
+        ("levels", levels),
+        ("blocks", num(profile.blocks)),
+        ("fc_shortcut_hits", num(profile.fc_shortcut_hits)),
+        ("flatten_rows", num(profile.flatten_rows)),
+        (
+            "early_exit_level",
+            opt_num(profile.early_exit_level.map(|l| l as u64)),
+        ),
+        (
+            "morsels_per_worker",
+            Value::Array(profile.morsels_per_worker.iter().map(|&m| num(m)).collect()),
+        ),
+    ])
+}
+
+fn decode_profile(v: &Value) -> Result<QueryProfile, String> {
+    let levels = v
+        .get("levels")
+        .and_then(Value::as_array)
+        .ok_or("profile needs a levels array")?
+        .iter()
+        .map(|l| {
+            Ok(LevelProfile {
+                op: get_str(l, "op")?,
+                lists_scanned: get_u64(l, "lists_scanned")?,
+                candidates: get_u64(l, "candidates")?,
+                emitted: get_u64(l, "emitted")?,
+            })
+        })
+        .collect::<Result<_, String>>()?;
+    Ok(QueryProfile {
+        engine: get_str(v, "engine")?,
+        elapsed_us: get_u64(v, "elapsed_us")?,
+        rows: get_u64(v, "rows")?,
+        levels,
+        blocks: get_u64(v, "blocks")?,
+        fc_shortcut_hits: get_u64(v, "fc_shortcut_hits")?,
+        flatten_rows: get_u64(v, "flatten_rows")?,
+        early_exit_level: get_opt_u64(v, "early_exit_level")?.map(|l| l as usize),
+        morsels_per_worker: decode_u64_array(
+            v.get("morsels_per_worker")
+                .unwrap_or(&Value::Array(Vec::new())),
+            "morsels_per_worker",
+        )
+        .unwrap_or_default(),
+    })
+}
+
 impl Request {
     /// Encodes this request as a JSON frame payload.
     #[must_use]
@@ -613,6 +816,10 @@ impl Request {
             ]),
             Request::Delete { edge } => obj(vec![("type", str_v("delete")), ("edge", num(*edge))]),
             Request::Epoch => obj(vec![("type", str_v("epoch"))]),
+            Request::Metrics => obj(vec![("type", str_v("metrics"))]),
+            Request::Profile { query } => {
+                obj(vec![("type", str_v("profile")), ("query", str_v(query))])
+            }
             Request::Subscribe { have } => {
                 obj(vec![("type", str_v("subscribe")), ("have", opt_num(*have))])
             }
@@ -653,6 +860,10 @@ impl Request {
                 edge: get_u64(&v, "edge")?,
             }),
             "epoch" => Ok(Request::Epoch),
+            "metrics" => Ok(Request::Metrics),
+            "profile" => Ok(Request::Profile {
+                query: get_str(&v, "query")?,
+            }),
             "subscribe" => Ok(Request::Subscribe {
                 have: get_opt_u64(&v, "have")?,
             }),
@@ -704,6 +915,13 @@ impl Response {
                 ("epoch", num(*epoch)),
                 ("role", str_v(role.as_str())),
             ]),
+            Response::Metrics { snapshot } => obj(encode_metrics(snapshot)),
+            Response::Profile { value, profile } => {
+                let mut members = vec![("type", str_v("profile")), ("value", num(*value))];
+                let encoded = encode_profile(profile);
+                members.push(("profile", encoded));
+                obj(members)
+            }
             Response::Bootstrap { epoch, payload } => obj(vec![
                 ("type", str_v("bootstrap")),
                 ("epoch", num(*epoch)),
@@ -774,6 +992,13 @@ impl Response {
                     _ => Role::Primary,
                 },
             }),
+            "metrics" => Ok(Response::Metrics {
+                snapshot: decode_metrics(&v)?,
+            }),
+            "profile" => Ok(Response::Profile {
+                value: get_u64(&v, "value")?,
+                profile: decode_profile(v.get("profile").ok_or("profile frame needs a profile")?)?,
+            }),
             "bootstrap" => Ok(Response::Bootstrap {
                 epoch: get_u64(&v, "epoch")?,
                 payload: get_payload(&v)?,
@@ -839,6 +1064,10 @@ mod tests {
             },
             Request::Delete { edge: 17 },
             Request::Epoch,
+            Request::Metrics,
+            Request::Profile {
+                query: "PROFILE MATCH a-[r]->b".into(),
+            },
             Request::Subscribe { have: None },
             Request::Subscribe { have: Some(12) },
         ];
@@ -894,12 +1123,80 @@ mod tests {
                 payload: Vec::new(),
             },
             Response::ReplHeartbeat { epoch: 6 },
+            Response::Metrics {
+                snapshot: sample_metrics(),
+            },
+            Response::Profile {
+                value: 9,
+                profile: sample_profile(),
+            },
             Response::Error(WireError::protocol("unknown request type")),
         ];
         for resp in cases {
             let json = resp.to_json();
             assert_eq!(Response::from_json(&json).unwrap(), resp, "{json}");
         }
+    }
+
+    fn sample_metrics() -> MetricsSnapshot {
+        let registry = aplus_query::MetricsRegistry::new();
+        registry
+            .counter("aplus_server_requests_total{verb=\"count\"}")
+            .add(3);
+        registry.gauge("aplus_engine_published_epoch").set(7);
+        registry.gauge("negative_gauge").set(-2);
+        let h = registry.histogram("aplus_wal_append_seconds");
+        h.observe_us(12);
+        h.observe_us(3_000_000);
+        registry.snapshot()
+    }
+
+    fn sample_profile() -> QueryProfile {
+        QueryProfile {
+            engine: "block".into(),
+            elapsed_us: 1234,
+            rows: 9,
+            levels: vec![
+                LevelProfile {
+                    op: "Scan v0".into(),
+                    lists_scanned: 0,
+                    candidates: 12,
+                    emitted: 12,
+                },
+                LevelProfile {
+                    op: "E/I v1 ⋂[fwd]".into(),
+                    lists_scanned: 12,
+                    candidates: 40,
+                    emitted: 9,
+                },
+            ],
+            blocks: 1,
+            fc_shortcut_hits: 2,
+            flatten_rows: 0,
+            early_exit_level: Some(2),
+            morsels_per_worker: vec![5, 3],
+        }
+    }
+
+    #[test]
+    fn metrics_frames_carry_prometheus_text() {
+        let snapshot = sample_metrics();
+        let json = Response::Metrics {
+            snapshot: snapshot.clone(),
+        }
+        .to_json();
+        // The pre-rendered exposition rides along for scraper bridges…
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let text = v.get("prometheus").and_then(Value::as_str).unwrap();
+        assert!(
+            text.contains("aplus_server_requests_total{verb=\"count\"} 3"),
+            "{text}"
+        );
+        // …and the structured snapshot round-trips exactly.
+        assert_eq!(
+            Response::from_json(&json).unwrap(),
+            Response::Metrics { snapshot }
+        );
     }
 
     #[test]

@@ -244,7 +244,7 @@ fn applier_loop(
         match end {
             SessionEnd::Shutdown => return,
             SessionEnd::Fatal(e) => {
-                eprintln!("aplus-replica: applier stopping: {e}");
+                aplus_obs::log::error(format_args!("aplus-replica: applier stopping: {e}"));
                 return;
             }
             SessionEnd::Retry(e) => {
@@ -252,7 +252,9 @@ fn applier_loop(
                 // these and they all mean the same thing.
                 reported += 1;
                 if reported <= 4 {
-                    eprintln!("aplus-replica: session lost (reconnecting): {e}");
+                    aplus_obs::log::warn(format_args!(
+                        "aplus-replica: session lost (reconnecting): {e}"
+                    ));
                 }
                 if shutdown.wait_timeout(config.reconnect_backoff) {
                     return;

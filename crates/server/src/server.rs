@@ -38,9 +38,10 @@
 
 use std::io::{self, Read as _};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use aplus_common::{EdgeId, VertexId};
 use aplus_graph::Value;
@@ -50,6 +51,78 @@ use aplus_query::{RawRow, SharedDatabase};
 use aplus_runtime::Shutdown;
 
 use crate::protocol::{read_frame_body, write_frame, Request, Response, Role, WireError, WireProp};
+
+/// Wire-facing metric names. Per-verb and per-subscriber series embed a
+/// literal Prometheus-style label set in the name — the registry treats
+/// the whole string as the key, and the text rendering passes it through
+/// (histogram `le` labels splice into the existing braces).
+pub mod metric {
+    /// Gauge: connections currently being served.
+    pub const CONNECTIONS: &str = "aplus_server_connections";
+    /// Counter: connections accepted over the server's lifetime.
+    pub const CONNECTIONS_TOTAL: &str = "aplus_server_connections_total";
+    /// Counter: streams torn down mid-flight because the client was gone
+    /// or too slow to drain (the back-pressure write timeout fired).
+    pub const STREAM_DISCONNECTS: &str = "aplus_server_stream_disconnects_total";
+
+    /// Counter name for requests of one verb.
+    #[must_use]
+    pub fn requests_total(verb: &str) -> String {
+        format!("aplus_server_requests_total{{verb=\"{verb}\"}}")
+    }
+
+    /// Latency histogram name for one verb (request/response verbs only;
+    /// `subscribe` never completes, so it has no latency series).
+    #[must_use]
+    pub fn request_seconds(verb: &str) -> String {
+        format!("aplus_server_request_seconds{{verb=\"{verb}\"}}")
+    }
+
+    /// Gauge name for one subscriber's replication lag (primary epoch
+    /// minus the newest epoch the subscriber holds). Converges to 0 on an
+    /// idle, caught-up topology.
+    #[must_use]
+    pub fn subscriber_lag(peer: u64) -> String {
+        format!("aplus_repl_subscriber_lag{{peer=\"{peer}\"}}")
+    }
+}
+
+/// The wire verb of a request, as spelled in its `type` member.
+fn request_verb(request: &Request) -> &'static str {
+    match request {
+        Request::Ping => "ping",
+        Request::Count { .. } => "count",
+        Request::Collect { .. } => "collect",
+        Request::Stream { .. } => "stream",
+        Request::Ddl { .. } => "ddl",
+        Request::Reconfigure { .. } => "reconfigure",
+        Request::Insert { .. } => "insert",
+        Request::Delete { .. } => "delete",
+        Request::Epoch => "epoch",
+        Request::Metrics => "metrics",
+        Request::Profile { .. } => "profile",
+        Request::Subscribe { .. } => "subscribe",
+    }
+}
+
+/// Decrements the live-connection gauge however the handler exits.
+struct ConnectionGuard(aplus_obs::Gauge);
+
+impl ConnectionGuard {
+    fn enter(shared: &SharedDatabase) -> Self {
+        let metrics = shared.metrics();
+        metrics.counter(metric::CONNECTIONS_TOTAL).inc();
+        let gauge = metrics.gauge(metric::CONNECTIONS);
+        gauge.inc();
+        Self(gauge)
+    }
+}
+
+impl Drop for ConnectionGuard {
+    fn drop(&mut self) {
+        self.0.dec();
+    }
+}
 
 /// Tuning knobs of one server instance.
 #[derive(Debug, Clone)]
@@ -213,7 +286,9 @@ fn accept_loop(
                         });
                 match spawned {
                     Ok(handle) => connections.push(handle),
-                    Err(e) => eprintln!("aplus_server: could not spawn handler: {e}"),
+                    Err(e) => aplus_obs::log::error(format_args!(
+                        "aplus_server: could not spawn handler: {e}"
+                    )),
                 }
             }
             Err(e) if matches!(e.kind(), io::ErrorKind::Interrupted) => continue,
@@ -233,7 +308,9 @@ fn accept_loop(
                 // live-looking handle. Log the first few only.
                 accept_errors += 1;
                 if accept_errors <= 8 {
-                    eprintln!("aplus_server: accept failed (retrying): {e}");
+                    aplus_obs::log::warn(format_args!(
+                        "aplus_server: accept failed (retrying): {e}"
+                    ));
                 }
                 if shutdown.wait_timeout(config.poll_interval) {
                     break;
@@ -301,6 +378,8 @@ fn handle_connection(
     let _ = stream.set_nonblocking(false);
     let _ = stream.set_nodelay(true);
     let _ = stream.set_write_timeout(Some(config.write_timeout));
+    let metrics = shared.metrics();
+    let _guard = ConnectionGuard::enter(shared);
     loop {
         let frame = match read_request(&mut stream, config, shutdown) {
             Ok(Some(f)) => f,
@@ -332,6 +411,19 @@ fn handle_connection(
             }
             return;
         }
+        let verb = request_verb(&request);
+        metrics.counter(&metric::requests_total(verb)).inc();
+        // Slow-query logging wants the text after the (consuming) dispatch
+        // below; only pay for the clone when the threshold is configured.
+        let slow_threshold = aplus_obs::slow_query_threshold();
+        let query_text = slow_threshold.and_then(|_| match &request {
+            Request::Count { query }
+            | Request::Collect { query, .. }
+            | Request::Stream { query, .. }
+            | Request::Profile { query } => Some(query.clone()),
+            _ => None,
+        });
+        let started = Instant::now();
         let keep_going = match request {
             Request::Ping => respond(&mut stream, &Response::Pong),
             Request::Count { query } => {
@@ -376,13 +468,39 @@ fn handle_connection(
             Request::Stream { query, limit } => {
                 handle_stream(&mut stream, shared, config, &query, decode_limit(limit))
             }
+            Request::Metrics => respond(
+                &mut stream,
+                &Response::Metrics {
+                    snapshot: metrics.snapshot(),
+                },
+            ),
+            Request::Profile { query } => {
+                let resp = match shared.profile_count(&query) {
+                    Ok((value, profile)) => Response::Profile { value, profile },
+                    Err(e) => Response::Error(WireError::from(&e)),
+                };
+                respond(&mut stream, &resp)
+            }
             Request::Subscribe { have } => {
                 // The connection becomes a push-only replication stream;
                 // when the subscription ends, so does the connection.
+                // (Counted above; no latency series — it never returns.)
                 serve_subscription(&mut stream, shared, config, role, have, shutdown);
                 return;
             }
         };
+        let elapsed = started.elapsed();
+        metrics
+            .histogram(&metric::request_seconds(verb))
+            .observe(elapsed);
+        if let (Some(threshold), Some(query)) = (slow_threshold, query_text) {
+            if elapsed >= threshold {
+                aplus_obs::log::warn(format_args!(
+                    "aplus_server: slow {verb} ({} ms): {query}",
+                    elapsed.as_millis()
+                ));
+            }
+        }
         if !keep_going {
             return;
         }
@@ -452,11 +570,19 @@ fn serve_subscription(
             None => return,
         },
     };
+    // One lag series per subscription over the server's lifetime; the
+    // gauge tracks how far this subscriber trails the published epoch and
+    // reads 0 whenever it is caught up.
+    static NEXT_PEER: AtomicU64 = AtomicU64::new(0);
+    let lag = shared.metrics().gauge(&metric::subscriber_lag(
+        NEXT_PEER.fetch_add(1, Ordering::Relaxed),
+    ));
     let mut last_beat = std::time::Instant::now();
     loop {
         if shutdown.is_triggered() {
             return;
         }
+        lag.set(i64::try_from(shared.epoch().saturating_sub(have)).unwrap_or(i64::MAX));
         match shared.wal_tail(have) {
             Ok(aplus_query::WalTail::Records(records)) => {
                 if records.is_empty() {
@@ -707,6 +833,7 @@ fn handle_stream(
         if !respond(stream, &Response::RowBatch { rows: batch }) {
             // Client too slow (write timeout) or gone: dropping the
             // receiver cancels the producing query cooperatively.
+            shared.metrics().counter(metric::STREAM_DISCONNECTS).inc();
             rx = None;
             alive = false;
             break;

@@ -80,6 +80,8 @@ const HELP: &str = "commands:
   MATCH ...        run a query, print every result row
   count MATCH ...  run a query, print only the match count
   stream MATCH ... run a query, stream rows as they arrive
+  PROFILE MATCH .. run a query, print its per-operator profile
+  metrics          print the server's metrics (Prometheus text)
   RECONFIGURE ...  reconfigure the primary indexes
   CREATE ...       create a 1-hop / 2-hop view index
   :ping            round-trip latency probe
@@ -159,6 +161,25 @@ fn dispatch(
     }
     if let Some(rest) = strip_verb(trimmed, lower, "stream") {
         return stream_rows(client, rest, out);
+    }
+    if let Some(rest) = strip_verb(trimmed, lower, "profile") {
+        return Ok(match client.profile(rest) {
+            Ok((n, profile)) => {
+                write!(out, "{}", profile.render())?;
+                writeln!(out, "{n} match(es)")?;
+                Ok(())
+            }
+            Err(e) => Err(e),
+        });
+    }
+    if lower == "metrics" {
+        return Ok(match client.metrics() {
+            Ok(snapshot) => {
+                write!(out, "{}", snapshot.render_prometheus())?;
+                Ok(())
+            }
+            Err(e) => Err(e),
+        });
     }
     if lower.starts_with("match") {
         return Ok(match client.collect(trimmed, usize::MAX) {

@@ -1,0 +1,190 @@
+//! Observability over the wire: the `metrics` verb round-trips the full
+//! registry snapshot through [`Client::metrics`], the `profile` verb
+//! returns per-operator stats matching a plain count, per-verb request
+//! series accumulate, and a 3-node cluster's per-subscriber replication
+//! lag gauges converge to 0 once the replicas catch up.
+
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use aplus_datagen::build_financial_graph;
+use aplus_query::{Database, DurabilityConfig, FsyncPolicy, SharedDatabase};
+use aplus_server::{
+    serve, serve_with_role, start_replica, Client, ReplicaConfig, ReplicaHandle, Role,
+    ServerConfig, ServerHandle,
+};
+
+const WIRES: &str = "MATCH a-[r:W]->b";
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("aplus_obsnet_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn serve_financial() -> ServerHandle {
+    let db = Database::new(build_financial_graph().graph).unwrap();
+    serve(db.into_shared(), "127.0.0.1:0", ServerConfig::default()).unwrap()
+}
+
+fn wait_until(what: &str, deadline: Duration, mut ready: impl FnMut() -> bool) {
+    let start = Instant::now();
+    while !ready() {
+        assert!(
+            start.elapsed() < deadline,
+            "timed out after {deadline:?} waiting for {what}"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// `metrics` round-trips through the client: per-verb counters cover the
+/// requests this very connection issued, engine gauges are present, and
+/// the Prometheus rendering carries the same series.
+#[test]
+fn metrics_verb_round_trips_and_counts_requests() {
+    let handle = serve_financial();
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+    assert_eq!(client.count(WIRES).unwrap(), 9);
+    assert_eq!(client.count(WIRES).unwrap(), 9);
+    client.ping().unwrap();
+
+    let snap = client.metrics().unwrap();
+    assert_eq!(
+        snap.counter("aplus_server_requests_total{verb=\"count\"}"),
+        Some(2)
+    );
+    assert_eq!(
+        snap.counter("aplus_server_requests_total{verb=\"ping\"}"),
+        Some(1)
+    );
+    // The metrics request itself was counted before dispatch.
+    assert_eq!(
+        snap.counter("aplus_server_requests_total{verb=\"metrics\"}"),
+        Some(1)
+    );
+    assert_eq!(snap.gauge("aplus_server_connections"), Some(1));
+    assert_eq!(snap.counter("aplus_server_connections_total"), Some(1));
+    assert_eq!(
+        snap.gauge(aplus_query::metric::PUBLISHED_EPOCH),
+        Some(0),
+        "fresh database"
+    );
+    let count_latency = snap
+        .histograms
+        .get("aplus_server_request_seconds{verb=\"count\"}")
+        .expect("count latency histogram");
+    assert_eq!(count_latency.count, 2);
+
+    let text = snap.render_prometheus();
+    assert!(
+        text.contains("aplus_server_requests_total{verb=\"count\"} 2"),
+        "{text}"
+    );
+    assert!(
+        text.contains("aplus_server_request_seconds_bucket{verb=\"count\",le="),
+        "histogram labels splice into the existing set: {text}"
+    );
+
+    // A second connection moves the gauges.
+    let mut second = Client::connect(handle.local_addr()).unwrap();
+    let snap = second.metrics().unwrap();
+    assert_eq!(snap.gauge("aplus_server_connections"), Some(2));
+    assert_eq!(snap.counter("aplus_server_connections_total"), Some(2));
+    drop(second);
+    wait_until("connection gauge to drop", Duration::from_secs(5), || {
+        client.metrics().unwrap().gauge("aplus_server_connections") == Some(1)
+    });
+    handle.shutdown();
+}
+
+/// `profile` over the wire: the count matches the plain verb and the
+/// per-level stats describe the plan.
+#[test]
+fn profile_verb_matches_plain_count() {
+    let handle = serve_financial();
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+    let n = client.count(WIRES).unwrap();
+    let (pn, profile) = client.profile(WIRES).unwrap();
+    assert_eq!(pn, n);
+    assert_eq!(profile.rows, n);
+    assert_eq!(profile.levels.len(), 2, "scan + one E/I");
+    assert!(profile.levels[0].op.starts_with("Scan"), "{profile:?}");
+    assert_eq!(profile.levels[1].emitted, n, "tail level emits the rows");
+    // The PROFILE spelling works over the wire too.
+    let (pn2, _) = client.profile(&format!("PROFILE {WIRES}")).unwrap();
+    assert_eq!(pn2, n);
+    handle.shutdown();
+}
+
+/// Three nodes: a durable primary and two replicas. After the replicas
+/// converge, both per-subscriber lag gauges on the primary read 0; a
+/// fresh write raises the primary's epoch and the gauges converge back
+/// to 0 once the batch ships.
+#[test]
+fn replication_lag_gauges_converge_to_zero() {
+    let dir = temp_dir("lag");
+    let config = DurabilityConfig::new(&dir).fsync(FsyncPolicy::Never);
+    let primary =
+        SharedDatabase::open_durable(config, || Database::new(build_financial_graph().graph))
+            .unwrap();
+    let primary_server = serve(primary.clone(), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let primary_addr: SocketAddr = primary_server.local_addr();
+
+    let spawn = || -> (SharedDatabase, ReplicaHandle, ServerHandle) {
+        let (shared, applier) =
+            start_replica(&primary_addr.to_string(), ReplicaConfig::default()).unwrap();
+        let server = serve_with_role(
+            shared.clone(),
+            "127.0.0.1:0",
+            ServerConfig::default(),
+            Role::Replica,
+        )
+        .unwrap();
+        (shared, applier, server)
+    };
+    let (r1, a1, s1) = spawn();
+    let (r2, a2, s2) = spawn();
+
+    let lag_gauges = || -> Vec<i64> {
+        let snap = primary.metrics().snapshot();
+        snap.gauges
+            .iter()
+            .filter(|(name, _)| name.starts_with("aplus_repl_subscriber_lag"))
+            .map(|(_, &v)| v)
+            .collect()
+    };
+    wait_until(
+        "both subscribers to register and catch up",
+        Duration::from_secs(20),
+        || {
+            let lags = lag_gauges();
+            lags.len() == 2 && lags.iter().all(|&l| l == 0)
+        },
+    );
+
+    // Write through the primary; the replicas converge and the lag
+    // gauges return to 0.
+    let mut writer = Client::connect(primary_addr).unwrap();
+    let (_edge, epoch) = writer.insert(0, 2, "W", &[]).unwrap();
+    for replica in [&r1, &r2] {
+        wait_until("replica epoch", Duration::from_secs(20), || {
+            replica.epoch() >= epoch
+        });
+    }
+    wait_until(
+        "lag gauges to converge to 0 after the write",
+        Duration::from_secs(20),
+        || lag_gauges().iter().all(|&l| l == 0),
+    );
+    assert_eq!(lag_gauges().len(), 2, "one gauge per subscriber");
+
+    s1.shutdown();
+    s2.shutdown();
+    a1.shutdown();
+    a2.shutdown();
+    primary_server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

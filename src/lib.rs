@@ -38,6 +38,7 @@
 //! |-------|----------|
 //! | [`common`] | IDs, FxHash, bitmaps, packed offset arrays |
 //! | [`runtime`] | Morsel-driven parallelism: the scoped work-stealing [`MorselPool`] |
+//! | `obs` | Observability: metrics registry, per-query [`PROFILE` profiles](query::QueryProfile), leveled logging |
 //! | [`graph`] | Property-graph store: catalog, columns, loader |
 //! | [`datagen`] | Synthetic datasets + the Figure-1 running example |
 //! | [`core`] | The A+ index subsystem (primary, VP, EP, offset lists) |
@@ -101,6 +102,10 @@ pub struct DurabilityDocTests;
 #[cfg(doctest)]
 #[doc = include_str!("../docs/REPLICATION.md")]
 pub struct ReplicationDocTests;
+
+#[cfg(doctest)]
+#[doc = include_str!("../docs/OBSERVABILITY.md")]
+pub struct ObservabilityDocTests;
 
 pub use aplus_baseline as baseline;
 pub use aplus_common as common;

@@ -1,0 +1,292 @@
+//! Observability end to end, engine-side: metric counters stay monotone
+//! and race-free under concurrent readers and a committing writer,
+//! per-query profiles are deterministic across thread counts, `PROFILE`
+//! parses as a statement, profiles distinguish `RECONFIGURE`d layouts
+//! and the row vs block engines, and the durable path records WAL /
+//! checkpoint / recovery metrics.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use aplus::common::VertexId;
+use aplus::datagen::{build_financial_graph, generate, GeneratorConfig};
+use aplus::query::{metric, FlattenPolicy};
+use aplus::{Database, DurabilityConfig, FsyncPolicy, MorselPool, SharedDatabase};
+
+const WIRES: &str = "MATCH a-[r:W]->b";
+const TWO_HOP: &str = "MATCH c1-[r1:O]->a1-[r2:W]->a2";
+
+fn financial() -> Database {
+    Database::new(build_financial_graph().graph).expect("index build")
+}
+
+fn social(vertices: usize, edges: usize) -> Database {
+    Database::new(generate(&GeneratorConfig::social(vertices, edges, 1, 1))).expect("index build")
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("aplus_obs_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Readers hammer counts while a writer commits epochs; a sampler thread
+/// snapshots the registry throughout and asserts the published-epochs
+/// counter never moves backwards. After the dust settles, the counter
+/// equals the published epoch exactly — no lost or double increments at
+/// any pool size.
+#[test]
+fn counters_are_monotone_and_race_free_under_concurrent_load() {
+    const COMMITS: u64 = 40;
+    for threads in [1usize, 2, 4] {
+        let shared = SharedDatabase::with_pool(financial(), MorselPool::new(threads));
+        let metrics = shared.metrics();
+        let done = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let reader = shared.clone();
+                let done = &done;
+                s.spawn(move || {
+                    while !done.load(Ordering::Relaxed) {
+                        reader.count(WIRES).expect("query valid");
+                    }
+                });
+            }
+            let sampler = {
+                let metrics = metrics.clone();
+                let done = &done;
+                s.spawn(move || {
+                    let mut last = 0u64;
+                    let mut samples = Vec::new();
+                    loop {
+                        let now = metrics
+                            .snapshot()
+                            .counter(metric::EPOCHS_PUBLISHED)
+                            .unwrap_or(0);
+                        assert!(now >= last, "counter moved backwards: {last} -> {now}");
+                        last = now;
+                        samples.push(now);
+                        if done.load(Ordering::Relaxed) {
+                            return samples;
+                        }
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                })
+            };
+            for _ in 0..COMMITS {
+                let mut writer = shared.writer();
+                let e = writer
+                    .insert_edge(VertexId(0), VertexId(2), "W", &[])
+                    .expect("endpoints exist");
+                writer.commit().expect("commit");
+                let mut writer = shared.writer();
+                writer.delete_edge(e).expect("edge live");
+                writer.commit().expect("commit");
+            }
+            done.store(true, Ordering::Relaxed);
+            let samples = sampler.join().expect("sampler clean");
+            assert!(!samples.is_empty());
+        });
+        let snap = metrics.snapshot();
+        assert_eq!(
+            snap.counter(metric::EPOCHS_PUBLISHED),
+            Some(2 * COMMITS),
+            "pool size {threads}: every commit increments the counter exactly once"
+        );
+        assert_eq!(
+            snap.gauge(metric::PUBLISHED_EPOCH),
+            Some((2 * COMMITS) as i64),
+            "pool size {threads}: the epoch gauge tracks the published epoch"
+        );
+    }
+}
+
+/// A profiled collect returns exactly the rows a plain collect returns,
+/// and the profile's row total matches both.
+#[test]
+fn profile_rows_match_collect_counts() {
+    let shared = SharedDatabase::with_pool(financial(), MorselPool::new(2));
+    for query in [WIRES, TWO_HOP] {
+        let plain = shared.collect(query, usize::MAX).expect("query valid");
+        let (rows, profile) = shared
+            .profile_collect(query, usize::MAX)
+            .expect("query valid");
+        assert_eq!(rows, plain, "{query}: profiling must not change results");
+        assert_eq!(profile.rows, rows.len() as u64, "{query}");
+        let (n, count_profile) = shared.profile_count(query).expect("query valid");
+        assert_eq!(n, rows.len() as u64, "{query}");
+        assert_eq!(count_profile.rows, n, "{query}");
+    }
+}
+
+/// The deterministic view of a profile (everything but wall-clock and
+/// morsel attribution) is identical at every thread count — the shared
+/// atomics see the same per-level sums regardless of interleaving.
+#[test]
+fn profile_merge_is_deterministic_across_thread_counts() {
+    let db = social(300, 2400);
+    // Single-list intersections at every level: the per-level candidate
+    // totals are partition-invariant (multi-list leapfrog candidates can
+    // legitimately vary with morsel boundaries; see exec docs).
+    let query = "MATCH a1-[e1]->a2, a2-[e2]->a3";
+    let baseline = db.profile_count(query).expect("query valid");
+    for threads in [1usize, 2, 4] {
+        let pool = MorselPool::new(threads);
+        let (n, profile) = db
+            .profile_count_parallel(query, &pool)
+            .expect("query valid");
+        assert_eq!(n, baseline.0);
+        assert_eq!(
+            profile.deterministic_view(),
+            baseline.1.deterministic_view(),
+            "thread count {threads} changed the profile"
+        );
+        assert_eq!(
+            profile.morsels_per_worker.len().min(threads),
+            profile.morsels_per_worker.len(),
+            "at most one morsel bucket per worker"
+        );
+    }
+}
+
+/// `PROFILE MATCH …` parses as a statement and profiles exactly the
+/// embedded query.
+#[test]
+fn profile_keyword_parses_and_matches_plain_count() {
+    let mut db = financial();
+    let n = db.count(WIRES).expect("query valid");
+    let (pn, profile) = db
+        .profile_count(&format!("PROFILE {WIRES}"))
+        .expect("PROFILE statement parses");
+    assert_eq!(pn, n);
+    assert_eq!(profile.levels.len(), 2, "scan + one E/I");
+    // The DDL path must reject it: PROFILE is a read, not a statement
+    // that mints an epoch.
+    assert!(db.ddl(&format!("PROFILE {WIRES}")).is_err());
+}
+
+/// The same query profiled before and after `RECONFIGURE PRIMARY
+/// INDEXES` shows different per-level work: predicate-subsumed partitions
+/// shrink the candidate sets the E/I levels examine.
+#[test]
+fn profiles_differ_across_reconfigured_layouts() {
+    let query = "MATCH c1-[r1:O]->a1-[r2:W]->a2 WHERE r2.currency = USD";
+    let mut db = financial();
+    let (n_before, before) = db.profile_count(query).expect("query valid");
+    db.ddl("RECONFIGURE PRIMARY INDEXES PARTITION BY eadj.label, eadj.currency SORT BY vnbr.ID")
+        .expect("reconfigure");
+    let (n_after, after) = db.profile_count(query).expect("query valid");
+    assert_eq!(n_before, n_after, "layout must never change results");
+    let candidates =
+        |p: &aplus::query::QueryProfile| -> u64 { p.levels.iter().map(|l| l.candidates).sum() };
+    assert!(
+        candidates(&after) < candidates(&before),
+        "currency partitioning must shrink examined candidates: \
+         before {} after {}",
+        candidates(&before),
+        candidates(&after)
+    );
+}
+
+/// The same plan profiled on both engines: the block engine reports
+/// blocks and factorized-count shortcut hits on a high-fanout unlabelled
+/// query, the pinned row engine reports neither — and both count the
+/// same.
+#[test]
+fn profiles_distinguish_block_and_row_engines() {
+    let db = social(300, 2400);
+    let query = "MATCH a1-[e1]->a2, a2-[e2]->a3";
+    let (bound, plan) = db.prepare(query).expect("plan");
+    let row_plan = plan.clone().with_flatten(FlattenPolicy::Eager);
+    let pool = MorselPool::new(2);
+    let (bn, block) = db.profile_count_prepared_parallel(&bound, &plan, &pool);
+    let (rn, row) = db.profile_count_prepared_parallel(&bound, &row_plan, &pool);
+    assert_eq!(bn, rn, "engines must agree on the count");
+    assert_eq!(block.engine, "block");
+    assert_eq!(row.engine, "row");
+    assert!(block.blocks > 0, "block engine processes blocks");
+    assert!(
+        block.fc_shortcut_hits > 0,
+        "high-fanout tail extension takes the factorized-count shortcut"
+    );
+    assert_eq!(row.blocks, 0);
+    assert_eq!(row.fc_shortcut_hits, 0);
+    // The shortcut skips candidate examination entirely, so the block
+    // tail level examines strictly fewer candidates than the row engine.
+    let tail = plan_tail_level(&block);
+    assert!(
+        block.levels[tail].candidates < row.levels[tail].candidates,
+        "block {} vs row {}",
+        block.levels[tail].candidates,
+        row.levels[tail].candidates
+    );
+}
+
+fn plan_tail_level(p: &aplus::query::QueryProfile) -> usize {
+    p.levels.len() - 1
+}
+
+/// The durable path records storage metrics: WAL append latency per
+/// commit, checkpoint counters/bytes, and recovery time on reopen.
+#[test]
+fn durable_lifecycle_records_storage_metrics() {
+    let dir = temp_dir("durable");
+    let config = || DurabilityConfig::new(&dir).fsync(FsyncPolicy::Never);
+    let shared =
+        SharedDatabase::open_durable(config(), || Database::new(build_financial_graph().graph))
+            .expect("open durable");
+    for _ in 0..3 {
+        let mut writer = shared.writer();
+        let e = writer
+            .insert_edge(VertexId(0), VertexId(2), "W", &[])
+            .expect("endpoints exist");
+        writer.commit().expect("durable commit");
+        let mut writer = shared.writer();
+        writer.delete_edge(e).expect("edge live");
+        writer.commit().expect("durable commit");
+    }
+    shared.checkpoint().expect("checkpoint");
+    let snap = shared.metrics().snapshot();
+    let wal = snap
+        .histograms
+        .get(metric::WAL_APPEND_SECONDS)
+        .expect("WAL appends recorded");
+    assert_eq!(wal.count, 6, "one observation per committed batch");
+    assert_eq!(snap.counter(metric::CHECKPOINTS_TOTAL), Some(1));
+    assert!(snap.gauge(metric::CHECKPOINT_LAST_BYTES).unwrap_or(0) > 0);
+    drop(shared);
+
+    let reopened =
+        SharedDatabase::open_durable(config(), || Database::new(build_financial_graph().graph))
+            .expect("recover");
+    let snap = reopened.metrics().snapshot();
+    let recovery = snap
+        .histograms
+        .get(metric::RECOVERY_SECONDS)
+        .expect("recovery timed");
+    assert_eq!(recovery.count, 1);
+    assert_eq!(reopened.epoch(), 6, "recovered to the last epoch");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Live-version accounting: the gauge counts database *versions* kept
+/// alive — a snapshot pinned across a commit holds its superseded
+/// version, and dropping the pin releases it.
+#[test]
+fn live_version_gauge_tracks_pinned_versions() {
+    let shared = SharedDatabase::with_pool(financial(), MorselPool::new(1));
+    let metrics = shared.metrics();
+    let live = || metrics.snapshot().gauge(metric::LIVE_VERSIONS).unwrap_or(0);
+    assert_eq!(live(), 1, "one published version");
+    let pinned = shared.snapshot();
+    let mut writer = shared.writer();
+    writer
+        .insert_edge(VertexId(0), VertexId(2), "W", &[])
+        .expect("endpoints exist");
+    writer.commit().expect("commit");
+    assert_eq!(live(), 2, "the pin keeps the superseded version alive");
+    drop(pinned);
+    assert_eq!(live(), 1, "dropping the pin releases it");
+}
