@@ -57,7 +57,9 @@ run env RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 # must agree, block-vs-row latency is informational), and the
 # table13_observability instrumentation-overhead experiment (plain vs
 # profiled counts gated and equal, profiling overhead informational,
-# fc-shortcut pseudo-metrics pinned). To
+# fc-shortcut pseudo-metrics pinned), and the table14_varlength
+# variable-length-path experiment (BFS and IDDFS traversal policies'
+# counts gated and equal at every thread count, latency informational). To
 # refresh the baselines intentionally, run bench_smoke *without*
 # APLUS_BENCH_OUT (it then writes to the repo root) and commit the files.
 run env APLUS_SCALE=20000 APLUS_THREAD_COUNTS=1,2,4 APLUS_BENCH_OUT=target/bench-fresh \
@@ -98,7 +100,7 @@ while IFS= read -r line <&"${SERVER[0]}"; do
     fi
 done
 [[ -n $server_addr ]] || { echo "metrics smoke: server never announced its address"; exit 1; }
-metrics_out=$(printf 'count MATCH a-[r:W]->b\nmetrics\n' | ./target/release/aplus-shell "$server_addr" 2>/dev/null)
+metrics_out=$(printf 'count MATCH a-[r:W]->b\nmetrics\ncount MATCH a-[:W*1..3]->b\ncount MATCH a-[:W*1..100]->b\n' | ./target/release/aplus-shell "$server_addr" 2>/dev/null)
 echo "quit" >&"${SERVER[1]}"
 wait "$SERVER_PID" 2>/dev/null || true
 for series in \
@@ -113,5 +115,20 @@ for series in \
     fi
 done
 echo "    metrics smoke passed (4 series asserted)"
+# Variable-length paths, out of process: the same shell session ran a
+# Kleene-star count (20 account pairs within 3 wire hops on the Figure-1
+# graph) and a hop-count past the cap, which must come back as a
+# structured hop_cap_exceeded error — not a dropped connection.
+if ! grep -qF '20 match(es)' <<<"$metrics_out"; then
+    echo "var-length smoke: expected 20 match(es) for MATCH a-[:W*1..3]->b"
+    echo "$metrics_out"
+    exit 1
+fi
+if ! grep -qF '[hop_cap_exceeded] at byte 11' <<<"$metrics_out"; then
+    echo "var-length smoke: expected a hop_cap_exceeded error for *1..100"
+    echo "$metrics_out"
+    exit 1
+fi
+echo "    var-length smoke passed (count + structured hop-cap error)"
 echo
 echo "CI gate passed."

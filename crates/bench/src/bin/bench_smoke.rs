@@ -13,7 +13,9 @@
 //!   (factorized block engine vs row engine on SQ + high-fanout MR;
 //!   counts gated, latency informational) and table13_observability
 //!   (plain vs profiled counts — instrumentation overhead; counts
-//!   gated, overhead informational) reporters.
+//!   gated, overhead informational) and table14_varlength
+//!   (variable-length path queries under both traversal policies;
+//!   counts gated, latency informational) reporters.
 //! * `BENCH_scaling.json` — the `table7_scaling` reporter, the derived SQ
 //!   speedups per thread count, and the `table8_collect` reporter
 //!   (order-preserving parallel collect + streamed drain).
@@ -49,7 +51,10 @@ const SMOKE_SCALE_DEFAULT: usize = 20_000;
 /// v6: added the `table13_observability` reporter (plain vs profiled
 /// counts — instrumentation overhead; counts gated, overhead
 /// informational) to `BENCH_tables.json`.
-const SCHEMA: u32 = 6;
+/// v7: added the `table14_varlength` reporter (variable-length path
+/// queries under both traversal policies; counts gated, latency
+/// informational) to `BENCH_tables.json`.
+const SCHEMA: u32 = 7;
 
 #[derive(Serialize)]
 struct TablesFile {
@@ -110,6 +115,7 @@ fn main() {
         aplus_bench::recovery::run_recovery_table(scale),
         aplus_bench::factorized::run_factorized_table(scale, &thread_counts),
         aplus_bench::observability::run_observability_table(scale, &thread_counts),
+        aplus_bench::varlength::run_varlength_table(scale, &thread_counts),
     ];
     for r in &reports {
         println!("{}", r.render("D"));

@@ -16,7 +16,7 @@
 //! | `table6_maintenance` | §V-F — maintenance micro-benchmark |
 //! | `ablation_storage` | §III-B3 — offset lists vs bitmaps vs ID lists |
 //! | `table7_scaling` | morsel-driven parallel scaling at 1/2/4/8 threads (beyond the paper) |
-//! | `bench_smoke` | CI perf trajectory: reduced-scale run writing `BENCH_tables.json` + `BENCH_scaling.json` (incl. the `table8_collect` parallel-collect table, the `table9_churn` reader-latency-under-writer-churn experiment, the `table10_recovery` WAL-overhead/recovery-time experiment, and the `table13_observability` instrumentation-overhead experiment) |
+//! | `bench_smoke` | CI perf trajectory: reduced-scale run writing `BENCH_tables.json` + `BENCH_scaling.json` (incl. the `table8_collect` parallel-collect table, the `table9_churn` reader-latency-under-writer-churn experiment, the `table10_recovery` WAL-overhead/recovery-time experiment, the `table13_observability` instrumentation-overhead experiment, and the `table14_varlength` variable-length-path experiment) |
 //! | `bench_compare` | CI baseline gate: diffs a fresh `bench_smoke` run against the committed trajectory files — count mismatches fail, latency drift is informational |
 //!
 //! Dataset sizes scale with `APLUS_SCALE` (divisor of the paper's
@@ -37,6 +37,7 @@ pub mod recovery;
 pub mod report;
 pub mod scaling;
 pub mod tables;
+pub mod varlength;
 pub mod workloads;
 
 pub use report::{Measurement, Reporter};

@@ -44,4 +44,4 @@ pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
     DEFAULT_LATENCY_BUCKETS_US,
 };
-pub use profile::{LevelProfile, LevelStats, QueryProfile, QueryProfiler};
+pub use profile::{HopProfile, HopStats, LevelProfile, LevelStats, QueryProfile, QueryProfiler};

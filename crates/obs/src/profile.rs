@@ -53,12 +53,46 @@ impl LevelStats {
     }
 }
 
+/// Shared atomic counters for one hop (BFS level) of a variable-length
+/// traversal. Hops are indexed from 0 (the first traversal level); all
+/// var-length operators of one query share the same hop table, summing
+/// commutatively.
+#[derive(Debug, Default)]
+pub struct HopStats {
+    /// Frontier size before expanding this hop, summed over sources.
+    pub frontier: AtomicU64,
+    /// Vertices already visited before this hop, summed over sources.
+    pub visited: AtomicU64,
+    /// Targets newly reached at this hop (a property of the traversal,
+    /// not of downstream row production — identical at any thread count).
+    pub emitted: AtomicU64,
+}
+
+impl HopStats {
+    /// Flushes one hop's locally accumulated statistics.
+    #[inline]
+    pub fn record(&self, frontier: u64, visited: u64, emitted: u64) {
+        if frontier > 0 {
+            self.frontier.fetch_add(frontier, Ordering::Relaxed);
+        }
+        if visited > 0 {
+            self.visited.fetch_add(visited, Ordering::Relaxed);
+        }
+        if emitted > 0 {
+            self.emitted.fetch_add(emitted, Ordering::Relaxed);
+        }
+    }
+}
+
 /// The live, shared profile of one executing query. Built by the engine
 /// (one [`LevelStats`] per physical plan operator), referenced by every
 /// worker, and snapshotted into a [`QueryProfile`] when the query ends.
 #[derive(Debug)]
 pub struct QueryProfiler {
     levels: Vec<LevelStats>,
+    /// One cell per potential var-length hop (sized by the plan's largest
+    /// hop bound; empty for plans without var-length operators).
+    hops: Vec<HopStats>,
     /// Factorized blocks processed by the block engine.
     pub blocks: AtomicU64,
     /// Factorized-count shortcut hits: tail counts folded as a list
@@ -79,6 +113,7 @@ impl QueryProfiler {
     pub fn new(levels: usize) -> Self {
         Self {
             levels: (0..levels).map(|_| LevelStats::default()).collect(),
+            hops: Vec::new(),
             blocks: AtomicU64::new(0),
             fc_shortcut_hits: AtomicU64::new(0),
             flatten_rows: AtomicU64::new(0),
@@ -87,12 +122,29 @@ impl QueryProfiler {
         }
     }
 
+    /// Attaches `hops` cells for variable-length hop statistics (the
+    /// plan's largest hop bound). Trailing never-reached hops are trimmed
+    /// from the frozen profile.
+    #[must_use]
+    pub fn with_hops(mut self, hops: usize) -> Self {
+        self.hops = (0..hops).map(|_| HopStats::default()).collect();
+        self
+    }
+
     /// The counters of operator level `level` (plan-op index). Out-of-range
     /// levels return `None` so instrumentation can never panic a query.
     #[inline]
     #[must_use]
     pub fn level(&self, level: usize) -> Option<&LevelStats> {
         self.levels.get(level)
+    }
+
+    /// The counters of var-length hop `hop` (0-based). Out-of-range hops
+    /// return `None` so instrumentation can never panic a query.
+    #[inline]
+    #[must_use]
+    pub fn hop(&self, hop: usize) -> Option<&HopStats> {
+        self.hops.get(hop)
     }
 
     /// Records that the calling worker thread executed one morsel.
@@ -133,6 +185,22 @@ impl QueryProfiler {
                 emitted: l.emitted.load(Ordering::Relaxed),
             })
             .collect();
+        let mut hops: Vec<HopProfile> = self
+            .hops
+            .iter()
+            .map(|h| HopProfile {
+                frontier: h.frontier.load(Ordering::Relaxed),
+                visited: h.visited.load(Ordering::Relaxed),
+                emitted: h.emitted.load(Ordering::Relaxed),
+            })
+            .collect();
+        // Hops past where every traversal ran dry carry no information.
+        while hops
+            .last()
+            .is_some_and(|h| h.frontier == 0 && h.visited == 0 && h.emitted == 0)
+        {
+            hops.pop();
+        }
         let early = self.early_exit_level.load(Ordering::Relaxed);
         let mut morsels_per_worker: Vec<u64> = self
             .morsels_by_thread
@@ -149,6 +217,7 @@ impl QueryProfiler {
             elapsed_us: 0,
             rows: 0,
             levels,
+            hops,
             blocks: self.blocks.load(Ordering::Relaxed),
             fc_shortcut_hits: self.fc_shortcut_hits.load(Ordering::Relaxed),
             flatten_rows: self.flatten_rows.load(Ordering::Relaxed),
@@ -171,6 +240,17 @@ pub struct LevelProfile {
     pub emitted: u64,
 }
 
+/// Frozen statistics of one variable-length traversal hop.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HopProfile {
+    /// Frontier size before expanding this hop, summed over sources.
+    pub frontier: u64,
+    /// Vertices visited before this hop, summed over sources.
+    pub visited: u64,
+    /// Targets newly reached at this hop, summed over sources.
+    pub emitted: u64,
+}
+
 /// The result of a `PROFILE` run: what the executors actually did.
 ///
 /// Everything except `elapsed_us` and `morsels_per_worker` is
@@ -185,6 +265,9 @@ pub struct QueryProfile {
     pub rows: u64,
     /// Per-operator statistics, in plan order.
     pub levels: Vec<LevelProfile>,
+    /// Per-hop statistics of var-length traversals (hop 1 first; trailing
+    /// never-reached hops trimmed). Empty for plans without them.
+    pub hops: Vec<HopProfile>,
     /// Factorized blocks processed (0 under the row engine).
     pub blocks: u64,
     /// Factorized-count shortcut hits (tail lists counted by length).
@@ -234,6 +317,15 @@ impl QueryProfile {
             out.push_str(&format!(
                 "  L{i} {}: lists_scanned={} candidates={} emitted={}\n",
                 l.op, l.lists_scanned, l.candidates, l.emitted
+            ));
+        }
+        for (i, h) in self.hops.iter().enumerate() {
+            out.push_str(&format!(
+                "  hop{} frontier={} visited={} emitted={}\n",
+                i + 1,
+                h.frontier,
+                h.visited,
+                h.emitted
             ));
         }
         if let Some(level) = self.early_exit_level {

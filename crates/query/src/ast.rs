@@ -19,7 +19,9 @@ use aplus_core::{
 use aplus_graph::{Graph, PropertyEntity, PropertyKind};
 
 use crate::error::QueryError;
-use crate::query::{QueryEdge, QueryGraph, QueryOperand, QueryPredicate, QueryVertex};
+use crate::query::{
+    hop_cap, QueryEdge, QueryGraph, QueryOperand, QueryPredicate, QueryVertex, VarLength,
+};
 
 /// A constant that can never equal a stored value (codes are non-negative,
 /// and user integers are compared as-is so this only backstops unknown
@@ -89,8 +91,22 @@ pub struct EdgePatternAst {
     pub edge_name: Option<String>,
     /// Edge label, if given.
     pub edge_label: Option<String>,
+    /// Variable-length spec (`*min..max` / `+`), if given.
+    pub var_length: Option<VarLengthAst>,
     /// Destination vertex variable.
     pub dst: VertexPatternAst,
+}
+
+/// An unresolved variable-length spec: `max` is `None` for open upper
+/// bounds (`*`, `+`, `*n..`), resolved to the hop cap at bind time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VarLengthAst {
+    /// Minimum number of hops (≥ 1, enforced by the parser).
+    pub min: u32,
+    /// Maximum number of hops, if written explicitly.
+    pub max: Option<u32>,
+    /// Byte offset of the `*`/`+` token (for error frames).
+    pub offset: usize,
 }
 
 /// A vertex occurrence in a pattern.
@@ -198,6 +214,31 @@ pub fn bind_query(graph: &Graph, ast: &QueryAst) -> Result<QueryGraph, QueryErro
                 .edge_label(l)
                 .unwrap_or(aplus_common::EdgeLabelId(u16::MAX))
         });
+        let var_length = match &ep.var_length {
+            None => None,
+            Some(vl) => {
+                let cap = hop_cap();
+                if vl.min > cap {
+                    return Err(QueryError::HopCapExceeded {
+                        requested: vl.min,
+                        cap,
+                        offset: vl.offset,
+                    });
+                }
+                let max = match vl.max {
+                    Some(m) if m > cap => {
+                        return Err(QueryError::HopCapExceeded {
+                            requested: m,
+                            cap,
+                            offset: vl.offset,
+                        });
+                    }
+                    Some(m) => m,
+                    None => cap,
+                };
+                Some(VarLength { min: vl.min, max })
+            }
+        };
         let idx = edges.len();
         if let Some(name) = &ep.edge_name {
             if v_by_name.contains_key(name) {
@@ -210,12 +251,23 @@ pub fn bind_query(graph: &Graph, ast: &QueryAst) -> Result<QueryGraph, QueryErro
             src,
             dst,
             label,
+            var_length,
         });
     }
 
     let mut predicates = Vec::new();
     for cond in &ast.wheres {
         predicates.push(bind_condition(graph, cond, &v_by_name, &e_by_name)?);
+    }
+    // A variable-length edge binds no single data edge, so predicates over
+    // its edge variable have nothing to evaluate against.
+    for p in &predicates {
+        for e in p.edge_vars() {
+            if edges[e].var_length.is_some() {
+                let name = edges[e].name.clone().unwrap_or_else(|| format!("e{e}"));
+                return Err(QueryError::VarLengthPredicate(name));
+            }
+        }
     }
     let q = QueryGraph {
         vertices,
@@ -549,6 +601,7 @@ mod tests {
                 src: vpat("a"),
                 edge_name: Some("r".into()),
                 edge_label: Some("W".into()),
+                var_length: None,
                 dst: vpat("b"),
             }],
             wheres: vec![CondAst {
@@ -574,12 +627,14 @@ mod tests {
                     src: vpat("a"),
                     edge_name: None,
                     edge_label: None,
+                    var_length: None,
                     dst: vpat("b"),
                 },
                 EdgePatternAst {
                     src: vpat("b"),
                     edge_name: None,
                     edge_label: None,
+                    var_length: None,
                     dst: vpat("c"),
                 },
             ],
@@ -599,6 +654,7 @@ mod tests {
                 src: vpat("a"),
                 edge_name: Some("r".into()),
                 edge_label: None,
+                var_length: None,
                 dst: vpat("b"),
             }],
             wheres: vec![CondAst {
@@ -628,6 +684,7 @@ mod tests {
                 src: vpat("a"),
                 edge_name: Some("r".into()),
                 edge_label: None,
+                var_length: None,
                 dst: vpat("b"),
             }],
             wheres: vec![CondAst {
@@ -649,6 +706,7 @@ mod tests {
                 src: vpat("a"),
                 edge_name: Some("r".into()),
                 edge_label: None,
+                var_length: None,
                 dst: vpat("b"),
             }],
             wheres: vec![
@@ -679,6 +737,7 @@ mod tests {
                 src: vpat("a"),
                 edge_name: None,
                 edge_label: None,
+                var_length: None,
                 dst: vpat("b"),
             }],
             wheres: vec![CondAst {

@@ -646,6 +646,9 @@ pub fn count_parallel(
             })
         }
         Strategy::FirstEi => count_first_ei(ctx, query, plan, pool),
+        // `eligible` rejects var-length plans, so a block plan can never
+        // select the first-var-length strategy.
+        Strategy::FirstVarLength => unreachable!("block plans have no var-length operators"),
     }
 }
 
@@ -806,6 +809,8 @@ pub fn stream(
             );
         }
         Strategy::FirstEi => stream_first_ei(ctx, query, plan, limit, pool, sink),
+        // See `count_parallel`: unreachable behind the `eligible` gate.
+        Strategy::FirstVarLength => unreachable!("block plans have no var-length operators"),
     }
 }
 

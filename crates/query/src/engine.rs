@@ -46,7 +46,7 @@ use crate::error::QueryError;
 use crate::exec::{self, ExecContext};
 use crate::optimizer;
 use crate::parser;
-use crate::plan::Plan;
+use crate::plan::{Operator, Plan};
 use crate::query::QueryGraph;
 use crate::sink::RowSink;
 
@@ -313,7 +313,7 @@ impl Database {
     /// Executes sequentially; see [`Database::profile_count_parallel`].
     pub fn profile_count(&self, query: &str) -> Result<(u64, QueryProfile), QueryError> {
         let (bound, plan) = self.prepare(query)?;
-        let profiler = QueryProfiler::new(plan.ops.len());
+        let profiler = profiler_for(&plan.ops);
         let started = Instant::now();
         let n = exec::count(self.ctx().with_profiler(&profiler), &bound, &plan);
         Ok((n, finish_profile(&profiler, &plan, started, n)))
@@ -329,7 +329,7 @@ impl Database {
         plan: &Plan,
         pool: &MorselPool,
     ) -> (u64, QueryProfile) {
-        let profiler = QueryProfiler::new(plan.ops.len());
+        let profiler = profiler_for(&plan.ops);
         let started = Instant::now();
         let n = exec::count_parallel(self.ctx().with_profiler(&profiler), query, plan, pool);
         (n, finish_profile(&profiler, plan, started, n))
@@ -344,7 +344,7 @@ impl Database {
         pool: &MorselPool,
     ) -> Result<(u64, QueryProfile), QueryError> {
         let (bound, plan) = self.prepare(query)?;
-        let profiler = QueryProfiler::new(plan.ops.len());
+        let profiler = profiler_for(&plan.ops);
         let started = Instant::now();
         let n = exec::count_parallel(self.ctx().with_profiler(&profiler), &bound, &plan, pool);
         Ok((n, finish_profile(&profiler, &plan, started, n)))
@@ -358,7 +358,7 @@ impl Database {
         limit: usize,
     ) -> Result<(Vec<RawRow>, QueryProfile), QueryError> {
         let (bound, plan) = self.prepare(query)?;
-        let profiler = QueryProfiler::new(plan.ops.len());
+        let profiler = profiler_for(&plan.ops);
         let started = Instant::now();
         let rows = exec::collect(self.ctx().with_profiler(&profiler), &bound, &plan, limit);
         let profile = finish_profile(&profiler, &plan, started, rows.len() as u64);
@@ -373,7 +373,7 @@ impl Database {
         pool: &MorselPool,
     ) -> Result<(Vec<RawRow>, QueryProfile), QueryError> {
         let (bound, plan) = self.prepare(query)?;
-        let profiler = QueryProfiler::new(plan.ops.len());
+        let profiler = profiler_for(&plan.ops);
         let started = Instant::now();
         let rows = exec::collect_parallel(
             self.ctx().with_profiler(&profiler),
@@ -518,6 +518,22 @@ impl Database {
     fn ctx(&self) -> ExecContext<'_> {
         ExecContext::new(&self.graph, &self.store)
     }
+}
+
+/// Builds the profiler for one run of `ops`: one level cell per physical
+/// operator, plus hop cells sized by the plan's largest var-length hop
+/// bound so `PROFILE` can report per-hop frontier statistics (zero hop
+/// cells — and no hop section — for plans without var-length operators).
+fn profiler_for(ops: &[Operator]) -> QueryProfiler {
+    let hops = ops
+        .iter()
+        .map(|op| match op {
+            Operator::VarLengthExpand { max, .. } => *max as usize,
+            _ => 0,
+        })
+        .max()
+        .unwrap_or(0);
+    QueryProfiler::new(ops.len()).with_hops(hops)
 }
 
 /// Freezes a profiler into the [`QueryProfile`] a `PROFILE` run returns,

@@ -36,6 +36,19 @@ pub enum QueryError {
         /// The offending vertex count.
         vertex_count: usize,
     },
+    /// A variable-length pattern requests more hops than the configured
+    /// hop cap allows.
+    HopCapExceeded {
+        /// The requested maximum hop count.
+        requested: u32,
+        /// The configured cap.
+        cap: u32,
+        /// Byte offset of the `*`/`+` spec in the input.
+        offset: usize,
+    },
+    /// A predicate references a variable-length edge variable, which binds
+    /// no single data edge.
+    VarLengthPredicate(String),
     /// Catalog lookup failures and other graph errors.
     Graph(GraphError),
     /// Index DDL failures.
@@ -62,6 +75,20 @@ impl fmt::Display for QueryError {
                 f,
                 "graph has {vertex_count} vertices, exceeding the executor's \
                  32-bit vertex-ID domain"
+            ),
+            Self::HopCapExceeded {
+                requested,
+                cap,
+                offset,
+            } => write!(
+                f,
+                "variable-length pattern at byte {offset} requests up to \
+                 {requested} hops, exceeding the hop cap of {cap}"
+            ),
+            Self::VarLengthPredicate(name) => write!(
+                f,
+                "predicate references variable-length edge variable {name}, \
+                 which binds no single edge"
             ),
             Self::Graph(e) => write!(f, "{e}"),
             Self::Index(e) => write!(f, "{e}"),

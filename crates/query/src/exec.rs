@@ -50,17 +50,18 @@
 //! shapes ([`Operator::ScanEdges`] roots, [`Operator::MultiExtend`]) and
 //! the reference semantics; [`execute`] always runs it.
 
+use std::collections::HashSet;
 use std::ops::{ControlFlow, Range};
 
 use aplus_common::{EdgeId, VertexId};
-use aplus_core::{CmpOp, IndexStore, List, SortKey};
+use aplus_core::{CmpOp, Direction, IndexStore, List, SortKey};
 use aplus_graph::Graph;
-use aplus_obs::{LevelStats, QueryProfiler};
+use aplus_obs::{HopStats, LevelStats, QueryProfiler};
 use aplus_runtime::{ExitSignal, MorselPool};
 
 use crate::block;
 use crate::error::QueryError;
-use crate::plan::{Ald, FromRef, IndexChoice, Operator, Plan, Prune, PruneValue};
+use crate::plan::{Ald, FromRef, IndexChoice, Operator, Plan, Prune, PruneValue, TraversalPolicy};
 use crate::query::{QueryGraph, QueryOperand, QueryPredicate, Row};
 use crate::sink::{drain_flattened, RawRow, RowSink, VecSink};
 
@@ -99,6 +100,13 @@ impl<'a> ExecContext<'a> {
     #[inline]
     pub(crate) fn prof_level(self, level: usize) -> Option<&'a LevelStats> {
         self.profiler.and_then(|p| p.level(level))
+    }
+
+    /// The stats cell of variable-length hop `hop` (0-based: hop 0 is the
+    /// first traversal level), when profiling.
+    #[inline]
+    pub(crate) fn prof_hop(self, hop: usize) -> Option<&'a HopStats> {
+        self.profiler.and_then(|p| p.hop(hop))
     }
 
     /// Records one executed morsel for the calling worker, when profiling.
@@ -202,6 +210,9 @@ pub const EDGE_MORSEL_CAP: usize = 1024;
 /// Largest first-E/I morsel (positions of the first fetched adjacency
 /// list) for level-1 partitioned plans.
 pub const EI_MORSEL_CAP: usize = 256;
+/// Largest BFS-frontier morsel (positions of one level's frontier) for
+/// first-var-length partitioned plans.
+pub const VL_MORSEL_CAP: usize = 256;
 
 /// How a plan parallelizes on a given pool.
 pub(crate) enum Strategy {
@@ -211,6 +222,10 @@ pub(crate) enum Strategy {
     /// next operator is an E/I: partition the first E/I level's adjacency
     /// lists instead (per root binding, in root order).
     FirstEi,
+    /// The root scan binds fewer vertices than there are workers and the
+    /// next operator is a BFS var-length expansion: partition each BFS
+    /// level's frontier instead (per root binding, in root order).
+    FirstVarLength,
     /// Nothing to partition (1-thread pool, exotic root): run inline.
     Sequential,
 }
@@ -227,8 +242,20 @@ pub(crate) fn strategy(ctx: ExecContext<'_>, plan: &Plan, pool: &MorselPool) -> 
                 ctx.graph.vertex_count()
             };
             let first_ei = matches!(plan.ops.get(1), Some(Operator::ExtendIntersect { .. }));
+            // Check-mode expansions bind nothing (and IDDFS has no
+            // frontier to partition): only a BFS expand fans out.
+            let first_vl = matches!(
+                plan.ops.get(1),
+                Some(Operator::VarLengthExpand {
+                    policy: TraversalPolicy::Bfs,
+                    check: false,
+                    ..
+                })
+            );
             if domain < pool.threads() && first_ei {
                 Strategy::FirstEi
+            } else if domain < pool.threads() && first_vl {
+                Strategy::FirstVarLength
             } else if domain > 1 {
                 Strategy::RootRanges {
                     total: ctx.graph.vertex_count(),
@@ -285,6 +312,7 @@ pub fn count_parallel(
             })
         }
         Strategy::FirstEi => count_first_ei(ctx, query, plan, pool),
+        Strategy::FirstVarLength => count_first_vl(ctx, query, plan, pool),
     }
 }
 
@@ -442,6 +470,7 @@ pub fn stream(
             );
         }
         Strategy::FirstEi => stream_first_ei(ctx, query, plan, limit, pool, sink),
+        Strategy::FirstVarLength => stream_first_vl(ctx, query, plan, limit, pool, sink),
     }
 }
 
@@ -668,6 +697,543 @@ fn stream_first_ei(
     });
 }
 
+/// A [`Operator::VarLengthExpand`]'s pieces, destructured once per use
+/// site.
+pub(crate) struct VarLengthOp<'p> {
+    pub(crate) src: usize,
+    pub(crate) target: usize,
+    pub(crate) target_label: Option<aplus_common::VertexLabelId>,
+    pub(crate) edge_label: Option<aplus_common::EdgeLabelId>,
+    pub(crate) dir: Direction,
+    pub(crate) prefix: &'p [u32],
+    pub(crate) label_enforced: bool,
+    pub(crate) min: u32,
+    pub(crate) max: u32,
+    pub(crate) policy: TraversalPolicy,
+    pub(crate) check: bool,
+    pub(crate) residual: &'p [QueryPredicate],
+}
+
+pub(crate) fn var_length_op(op: &Operator) -> VarLengthOp<'_> {
+    let Operator::VarLengthExpand {
+        src,
+        target,
+        target_label,
+        edge_label,
+        dir,
+        prefix,
+        label_enforced,
+        min,
+        max,
+        policy,
+        check,
+        residual,
+    } = op
+    else {
+        unreachable!("caller matched a VarLengthExpand")
+    };
+    VarLengthOp {
+        src: *src,
+        target: *target,
+        target_label: *target_label,
+        edge_label: *edge_label,
+        dir: *dir,
+        prefix,
+        label_enforced: *label_enforced,
+        min: *min,
+        max: *max,
+        policy: *policy,
+        check: *check,
+        residual,
+    }
+}
+
+/// One traversal step from `u`: every neighbour through the operator's
+/// primary-index run, filtered by edge label when the partition prefix
+/// does not already enforce it.
+fn vl_neighbors(
+    ctx: ExecContext<'_>,
+    vl: &VarLengthOp<'_>,
+    u: VertexId,
+    f: &mut dyn FnMut(VertexId),
+) {
+    let primary = ctx.store.primary().index(vl.dir);
+    let list = primary.list(u, vl.prefix);
+    for (e, n) in list.iter() {
+        if !vl.label_enforced {
+            if let Some(want) = vl.edge_label {
+                if ctx.graph.edge_label(e) != Ok(want) {
+                    continue;
+                }
+            }
+        }
+        f(n);
+    }
+}
+
+/// The ascending emission order of one BFS level: the newly reached
+/// targets, with the source spliced in at its sorted position when this
+/// level re-reached it for the first time (the shortest-cycle case).
+fn vl_emission(candidates: &[u32], s: VertexId, s_new: bool) -> Vec<u32> {
+    let mut v = candidates.to_vec();
+    if s_new {
+        let pos = v.partition_point(|&t| t < s.raw());
+        v.insert(pos, s.raw());
+    }
+    v
+}
+
+/// Emits one var-length target: re-checks the target label, binds the
+/// target vertex (the edge variable, if any, stays unbound — a
+/// variable-length pattern matches a walk, not a single edge), evaluates
+/// residuals and runs the rest of the pipeline.
+fn emit_vl_target(
+    ctx: ExecContext<'_>,
+    plan: &Plan,
+    depth: usize,
+    vl: &VarLengthOp<'_>,
+    t: VertexId,
+    row: &mut Row,
+    on_row: &mut dyn FnMut(&Row) -> ControlFlow<()>,
+) -> ControlFlow<()> {
+    if vl
+        .target_label
+        .is_some_and(|want| ctx.graph.vertex_label(t) != Ok(want))
+    {
+        return ControlFlow::Continue(());
+    }
+    row.bind_vertex(vl.target, t);
+    let flow = if vl.residual.iter().all(|p| p.eval(ctx.graph, row)) {
+        run_op(ctx, plan, depth + 1, row, on_row)
+    } else {
+        ControlFlow::Continue(())
+    };
+    row.unbind_vertex(vl.target);
+    flow
+}
+
+/// Executes a [`Operator::VarLengthExpand`] for the current row.
+///
+/// Semantics: target `t` matches iff the shortest walk of length ≥ 1 from
+/// the source to `t` (over edges passing the label filter) has length
+/// within `min..=max`. Each target is emitted exactly once, at its
+/// shortest level, in ascending vertex-ID order per level — a canonical
+/// order both traversal policies and the morsel-parallel frontier
+/// reproduce bit-identically. The source itself is a valid target when a
+/// cycle returns to it (`min ≤ shortest cycle ≤ max`). Check mode (both
+/// endpoints already bound) verifies that distance instead of binding,
+/// always via BFS — iterative deepening has nothing to save there.
+fn exec_var_length(
+    ctx: ExecContext<'_>,
+    plan: &Plan,
+    depth: usize,
+    vl: &VarLengthOp<'_>,
+    row: &mut Row,
+    on_row: &mut dyn FnMut(&Row) -> ControlFlow<()>,
+) -> ControlFlow<()> {
+    let s = row.vertex(vl.src).expect("plan binds the traversal source");
+    if let Some(stats) = ctx.prof_level(depth) {
+        stats.record(1, 0, 0);
+    }
+    if vl.check || vl.policy == TraversalPolicy::Bfs {
+        exec_var_length_bfs(ctx, plan, depth, vl, s, row, on_row)
+    } else {
+        exec_var_length_iddfs(ctx, plan, depth, vl, s, row, on_row)
+    }
+}
+
+/// Level-synchronous BFS from `s`: `visited` keeps every target at its
+/// shortest level only; the source is tracked separately (`s_hit` /
+/// `s_refound`) so the shortest cycle back to it can be reported without
+/// ever re-expanding it.
+#[allow(clippy::too_many_arguments)]
+fn exec_var_length_bfs(
+    ctx: ExecContext<'_>,
+    plan: &Plan,
+    depth: usize,
+    vl: &VarLengthOp<'_>,
+    s: VertexId,
+    row: &mut Row,
+    on_row: &mut dyn FnMut(&Row) -> ControlFlow<()>,
+) -> ControlFlow<()> {
+    let check_target = vl.check.then(|| {
+        row.vertex(vl.target)
+            .expect("check mode binds both endpoints")
+    });
+    let mut visited: HashSet<u32> = HashSet::new();
+    visited.insert(s.raw());
+    let mut frontier: Vec<u32> = vec![s.raw()];
+    let mut s_refound = false;
+    for level in 1..=vl.max {
+        if frontier.is_empty() {
+            break;
+        }
+        let mut candidates: Vec<u32> = Vec::new();
+        let mut s_hit = false;
+        for &u in &frontier {
+            vl_neighbors(ctx, vl, VertexId(u), &mut |n| {
+                if n == s {
+                    s_hit = true;
+                } else if !visited.contains(&n.raw()) {
+                    candidates.push(n.raw());
+                }
+            });
+        }
+        candidates.sort_unstable();
+        candidates.dedup();
+        let s_new = s_hit && !s_refound;
+        record_hop(
+            ctx,
+            level,
+            frontier.len(),
+            visited.len(),
+            &candidates,
+            s_new,
+        );
+        if let Some(t) = check_target {
+            let found = if t == s {
+                s_new
+            } else {
+                candidates.binary_search(&t.raw()).is_ok()
+            };
+            if found {
+                // `level` is the shortest distance; the pattern matches
+                // iff it clears the minimum (it is ≤ max by the loop).
+                if level >= vl.min && vl.residual.iter().all(|p| p.eval(ctx.graph, row)) {
+                    return run_op(ctx, plan, depth + 1, row, on_row);
+                }
+                return ControlFlow::Continue(());
+            }
+        } else if level >= vl.min {
+            for &t in &vl_emission(&candidates, s, s_new) {
+                emit_vl_target(ctx, plan, depth, vl, VertexId(t), row, on_row)?;
+            }
+        }
+        s_refound |= s_hit;
+        visited.extend(candidates.iter().copied());
+        frontier = candidates;
+    }
+    ControlFlow::Continue(())
+}
+
+/// Flushes one BFS level's statistics into the hop profile: frontier size
+/// before expansion, vertices visited before this hop, and newly reached
+/// targets. All three are properties of the traversal itself (not of
+/// downstream row production), so they are identical at every thread
+/// count and under any `LIMIT` that reaches this level.
+fn record_hop(
+    ctx: ExecContext<'_>,
+    level: u32,
+    frontier: usize,
+    visited: usize,
+    candidates: &[u32],
+    s_new: bool,
+) {
+    if let Some(h) = ctx.prof_hop(level as usize - 1) {
+        h.record(
+            frontier as u64,
+            visited as u64,
+            (candidates.len() + usize::from(s_new)) as u64,
+        );
+    }
+}
+
+/// Iterative-deepening DFS: for each level, enumerate the endpoints of
+/// simple paths of exactly that length (allowing a return to the source
+/// only as the final vertex). A target's first-reported iteration equals
+/// its shortest walk length — shortest walks are simple paths — so the
+/// per-level emission sets are identical to BFS. No frontier or visited
+/// set is kept (hop stats report newly reached targets only); the price
+/// is an exponential worst case on dense graphs.
+#[allow(clippy::too_many_arguments)]
+fn exec_var_length_iddfs(
+    ctx: ExecContext<'_>,
+    plan: &Plan,
+    depth: usize,
+    vl: &VarLengthOp<'_>,
+    s: VertexId,
+    row: &mut Row,
+    on_row: &mut dyn FnMut(&Row) -> ControlFlow<()>,
+) -> ControlFlow<()> {
+    let mut found: HashSet<u32> = HashSet::new();
+    let mut s_refound = false;
+    for level in 1..=vl.max {
+        let mut on_path: HashSet<u32> = HashSet::new();
+        on_path.insert(s.raw());
+        let mut new: Vec<u32> = Vec::new();
+        let mut s_hit = false;
+        let mut reached = false;
+        vl_dfs(
+            ctx,
+            vl,
+            s,
+            level,
+            s,
+            &mut on_path,
+            &mut new,
+            &mut s_hit,
+            &mut reached,
+        );
+        new.sort_unstable();
+        new.dedup();
+        new.retain(|t| !found.contains(t));
+        let s_new = s_hit && !s_refound;
+        if let Some(h) = ctx.prof_hop(level as usize - 1) {
+            h.record(0, 0, (new.len() + usize::from(s_new)) as u64);
+        }
+        if level >= vl.min {
+            for &t in &vl_emission(&new, s, s_new) {
+                emit_vl_target(ctx, plan, depth, vl, VertexId(t), row, on_row)?;
+            }
+        }
+        s_refound |= s_hit;
+        found.extend(new.iter().copied());
+        // Every simple path of length l+1 starts with a simple path of
+        // length l ending off-path; none at this depth means none deeper.
+        if !reached {
+            break;
+        }
+    }
+    ControlFlow::Continue(())
+}
+
+/// Depth-limited DFS step: report every vertex exactly `remaining` hops
+/// ahead of `u` along a simple path (the source may only be re-entered as
+/// the final vertex, closing a cycle).
+#[allow(clippy::too_many_arguments)]
+fn vl_dfs(
+    ctx: ExecContext<'_>,
+    vl: &VarLengthOp<'_>,
+    u: VertexId,
+    remaining: u32,
+    s: VertexId,
+    on_path: &mut HashSet<u32>,
+    out: &mut Vec<u32>,
+    s_hit: &mut bool,
+    reached: &mut bool,
+) {
+    vl_neighbors(ctx, vl, u, &mut |n| {
+        if remaining == 1 {
+            if n == s {
+                *s_hit = true;
+            } else if !on_path.contains(&n.raw()) {
+                *reached = true;
+                out.push(n.raw());
+            }
+        } else if n != s && !on_path.contains(&n.raw()) {
+            on_path.insert(n.raw());
+            vl_dfs(ctx, vl, n, remaining - 1, s, on_path, out, s_hit, reached);
+            on_path.remove(&n.raw());
+        }
+    });
+}
+
+/// The first-var-length operator, destructured from plan position 1.
+fn first_vl_op(plan: &Plan) -> VarLengthOp<'_> {
+    let Some(op @ Operator::VarLengthExpand { .. }) = plan.ops.get(1) else {
+        unreachable!("first-var-length strategy requires a var-length second operator")
+    };
+    var_length_op(op)
+}
+
+/// Expands one BFS level with the frontier partitioned across the pool:
+/// each morsel scans a contiguous frontier range against the shared
+/// (read-only) visited set; partial candidate lists concatenate in morsel
+/// order and are then sorted + deduplicated, so the merged level is
+/// bit-identical to the sequential one at any thread count.
+fn expand_frontier_parallel(
+    ctx: ExecContext<'_>,
+    vl: &VarLengthOp<'_>,
+    s: VertexId,
+    frontier: &[u32],
+    visited: &HashSet<u32>,
+    pool: &MorselPool,
+) -> (Vec<u32>, bool) {
+    let size = aplus_runtime::scan_morsel_size(frontier.len(), pool.threads(), VL_MORSEL_CAP);
+    let parts: Vec<(Vec<u32>, bool)> = pool.run_ranges(frontier.len(), size, |r: Range<usize>| {
+        ctx.note_morsel();
+        let mut out: Vec<u32> = Vec::new();
+        let mut s_hit = false;
+        for &u in &frontier[r] {
+            vl_neighbors(ctx, vl, VertexId(u), &mut |n| {
+                if n == s {
+                    s_hit = true;
+                } else if !visited.contains(&n.raw()) {
+                    out.push(n.raw());
+                }
+            });
+        }
+        (out, s_hit)
+    });
+    let mut candidates: Vec<u32> = Vec::new();
+    let mut s_hit = false;
+    for (part, hit) in parts {
+        candidates.extend(part);
+        s_hit |= hit;
+    }
+    candidates.sort_unstable();
+    candidates.dedup();
+    (candidates, s_hit)
+}
+
+/// [`count_parallel`] for a pinned/small root followed by a BFS
+/// var-length expansion: per root binding, run the BFS with each level's
+/// frontier morsel-partitioned, then count the downstream pipeline over
+/// each level's emission list in parallel.
+fn count_first_vl(ctx: ExecContext<'_>, query: &QueryGraph, plan: &Plan, pool: &MorselPool) -> u64 {
+    let vl = first_vl_op(plan);
+    let mut total = 0u64;
+    let mut row = Row::unbound(query.vertices.len(), query.edges.len());
+    let _ = for_each_root_vertex(ctx, plan, &mut row, &mut |row| {
+        if let Some(stats) = ctx.prof_level(1) {
+            stats.record(1, 0, 0);
+        }
+        let s = row
+            .vertex(vl.src)
+            .expect("root scan binds the traversal source");
+        let mut visited: HashSet<u32> = HashSet::new();
+        visited.insert(s.raw());
+        let mut frontier: Vec<u32> = vec![s.raw()];
+        let mut s_refound = false;
+        for level in 1..=vl.max {
+            if frontier.is_empty() {
+                break;
+            }
+            let (candidates, s_hit) =
+                expand_frontier_parallel(ctx, &vl, s, &frontier, &visited, pool);
+            let s_new = s_hit && !s_refound;
+            record_hop(
+                ctx,
+                level,
+                frontier.len(),
+                visited.len(),
+                &candidates,
+                s_new,
+            );
+            if level >= vl.min {
+                let emission = vl_emission(&candidates, s, s_new);
+                let size =
+                    aplus_runtime::scan_morsel_size(emission.len(), pool.threads(), VL_MORSEL_CAP);
+                let base: &Row = row;
+                let emission = &emission;
+                total += pool.sum_ranges(emission.len(), size, |r: Range<usize>| {
+                    ctx.note_morsel();
+                    let mut w = base.clone();
+                    let mut n = 0u64;
+                    let mut on_row = |_: &Row| {
+                        n += 1;
+                        ControlFlow::Continue(())
+                    };
+                    for &t in &emission[r] {
+                        let _ = emit_vl_target(ctx, plan, 1, &vl, VertexId(t), &mut w, &mut on_row);
+                    }
+                    n
+                });
+            }
+            s_refound |= s_hit;
+            visited.extend(candidates.iter().copied());
+            frontier = candidates;
+        }
+        ControlFlow::Continue(())
+    });
+    total
+}
+
+/// [`stream`] for a pinned/small root followed by a BFS var-length
+/// expansion: levels run in order, each level's emission list is
+/// morsel-partitioned with per-morsel row buffers merged in morsel
+/// (ascending-target) order — the overall row sequence is bit-identical
+/// to the sequential path at any thread count and limit.
+fn stream_first_vl(
+    ctx: ExecContext<'_>,
+    query: &QueryGraph,
+    plan: &Plan,
+    limit: usize,
+    pool: &MorselPool,
+    sink: &mut dyn RowSink,
+) {
+    let vl = first_vl_op(plan);
+    let mut sent = 0usize;
+    let sent = &mut sent;
+    let mut row = Row::unbound(query.vertices.len(), query.edges.len());
+    let _ = for_each_root_vertex(ctx, plan, &mut row, &mut |row| {
+        if let Some(stats) = ctx.prof_level(1) {
+            stats.record(1, 0, 0);
+        }
+        let s = row
+            .vertex(vl.src)
+            .expect("root scan binds the traversal source");
+        let mut visited: HashSet<u32> = HashSet::new();
+        visited.insert(s.raw());
+        let mut frontier: Vec<u32> = vec![s.raw()];
+        let mut s_refound = false;
+        for level in 1..=vl.max {
+            if frontier.is_empty() {
+                break;
+            }
+            let (candidates, s_hit) =
+                expand_frontier_parallel(ctx, &vl, s, &frontier, &visited, pool);
+            let s_new = s_hit && !s_refound;
+            record_hop(
+                ctx,
+                level,
+                frontier.len(),
+                visited.len(),
+                &candidates,
+                s_new,
+            );
+            if level >= vl.min {
+                // Same invariant as `stream_first_ei`: `deliver` breaks
+                // out before `*sent` reaches `limit`.
+                if *sent >= limit {
+                    return ControlFlow::Break(());
+                }
+                let remaining = limit - *sent;
+                let emission = vl_emission(&candidates, s, s_new);
+                let size =
+                    aplus_runtime::scan_morsel_size(emission.len(), pool.threads(), VL_MORSEL_CAP);
+                let base: &Row = row;
+                let emission = &emission;
+                let mut flow = ControlFlow::Continue(());
+                pool.map_ranges(
+                    emission.len(),
+                    size,
+                    merge_window(pool),
+                    |r: Range<usize>, exit| {
+                        ctx.note_morsel();
+                        let mut w = base.clone();
+                        let mut buf: Vec<RawRow> = Vec::new();
+                        let mut on_row = |rr: &Row| buffer_row(&mut buf, rr, remaining, exit);
+                        for &t in &emission[r] {
+                            if emit_vl_target(ctx, plan, 1, &vl, VertexId(t), &mut w, &mut on_row)
+                                .is_break()
+                            {
+                                break;
+                            }
+                        }
+                        buf
+                    },
+                    |buf| {
+                        let f = deliver(buf, sent, limit, sink);
+                        if f.is_break() {
+                            ctx.note_early_exit(plan.ops.len());
+                            flow = ControlFlow::Break(());
+                        }
+                        f
+                    },
+                );
+                if flow.is_break() {
+                    return ControlFlow::Break(());
+                }
+            }
+            s_refound |= s_hit;
+            visited.extend(candidates.iter().copied());
+            frontier = candidates;
+        }
+        ControlFlow::Continue(())
+    });
+}
+
 /// Fetches an E/I operator's adjacency lists for the current row; `None`
 /// when any list is empty (the extension produces nothing).
 pub(crate) fn fetch_ei_lists<'a>(
@@ -745,6 +1311,9 @@ fn run_op(
         ),
         Operator::MultiExtend { targets, residual } => {
             exec_multi_extend(ctx, plan, depth, targets, residual, row, on_row)
+        }
+        Operator::VarLengthExpand { .. } => {
+            exec_var_length(ctx, plan, depth, &var_length_op(op), row, on_row)
         }
         Operator::Filter { preds } => {
             if preds.iter().all(|p| p.eval(ctx.graph, row)) {
@@ -1611,12 +2180,14 @@ mod tests {
                     src: 0,
                     dst: 1,
                     label: None,
+                    var_length: None,
                 },
                 crate::query::QueryEdge {
                     name: None,
                     src: 1,
                     dst: 2,
                     label: None,
+                    var_length: None,
                 },
             ],
             predicates: vec![],
@@ -1703,6 +2274,7 @@ mod tests {
                 src: 0,
                 dst: 1,
                 label: None,
+                var_length: None,
             }],
             predicates: vec![],
         };
@@ -1769,12 +2341,14 @@ mod tests {
                     src: 0,
                     dst: 1,
                     label: None,
+                    var_length: None,
                 },
                 crate::query::QueryEdge {
                     name: None,
                     src: 1,
                     dst: 2,
                     label: None,
+                    var_length: None,
                 },
             ],
             predicates: vec![],
@@ -1846,18 +2420,21 @@ mod tests {
                     src: 0,
                     dst: 1,
                     label: None,
+                    var_length: None,
                 },
                 crate::query::QueryEdge {
                     name: None,
                     src: 1,
                     dst: 2,
                     label: None,
+                    var_length: None,
                 },
                 crate::query::QueryEdge {
                     name: None,
                     src: 0,
                     dst: 2,
                     label: None,
+                    var_length: None,
                 },
             ],
             predicates: vec![],
@@ -1968,6 +2545,7 @@ mod tests {
                 src: 0,
                 dst: 1,
                 label: None,
+                var_length: None,
             }],
             predicates: vec![],
         };
@@ -2054,12 +2632,14 @@ mod tests {
                     src: 0,
                     dst: 1,
                     label: None,
+                    var_length: None,
                 },
                 crate::query::QueryEdge {
                     name: None,
                     src: 0,
                     dst: 2,
                     label: None,
+                    var_length: None,
                 },
             ],
             predicates: vec![QueryPredicate::new(
@@ -2154,12 +2734,14 @@ mod tests {
                     src: 0,
                     dst: 1,
                     label: None,
+                    var_length: None,
                 },
                 crate::query::QueryEdge {
                     name: None,
                     src: 0,
                     dst: 2,
                     label: None,
+                    var_length: None,
                 },
             ],
             predicates: vec![QueryPredicate::new(

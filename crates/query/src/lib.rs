@@ -65,7 +65,8 @@ pub use aplus_storage::{
 // Observability: the metrics registry every `SharedDatabase` carries and
 // the per-query profile `PROFILE` runs return.
 pub use aplus_obs::{
-    HistogramSnapshot, LevelProfile, MetricsRegistry, MetricsSnapshot, QueryProfile, QueryProfiler,
+    HistogramSnapshot, HopProfile, LevelProfile, MetricsRegistry, MetricsSnapshot, QueryProfile,
+    QueryProfiler,
 };
 pub use durable::DurabilityError;
 pub use engine::{metric, Database, DatabaseWriteGuard, SharedDatabase, Snapshot};

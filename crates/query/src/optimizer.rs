@@ -27,7 +27,7 @@ use aplus_graph::{Graph, GraphStats, PropertyEntity, PropertyKind};
 use crate::error::QueryError;
 use crate::plan::{
     Ald, BlockPolicy, FlattenPolicy, FromRef, IndexChoice, Operator, Plan, Prune, PruneValue,
-    DEFAULT_BLOCK_SIZE,
+    TraversalPolicy, DEFAULT_BLOCK_SIZE,
 };
 use crate::query::{QueryGraph, QueryOperand, QueryPredicate};
 
@@ -114,6 +114,7 @@ impl Optimizer<'_> {
             }
             self.extend_ei(mask, &partial, &mut best);
             self.extend_multi(mask, &partial, &mut best);
+            self.extend_varlength(mask, &partial, &mut best);
         }
 
         let mut final_plan = best
@@ -144,20 +145,32 @@ impl Optimizer<'_> {
         for v in 0..self.query.vertices.len() {
             let mask = 1u32 << v;
             let (preds, applied) = self.single_vertex_preds(v);
-            let card = self.est_scan_card(v, &preds);
-            let cost = if self.is_pinned(v, &preds) {
+            let mut card = self.est_scan_card(v, &preds);
+            let mut cost = if self.is_pinned(v, &preds) {
                 1.0
             } else {
                 self.stats.vertex_count as f64
             };
+            let mut ops = vec![Operator::ScanVertices {
+                var: v,
+                label: self.query.vertices[v].label,
+                preds,
+            }];
+            // Variable-length self-loops (`a-[:W*2..4]->a`, the ring
+            // pattern) are internal to the single-vertex mask; verify them
+            // in check mode right after the scan.
+            for (ei, edge) in self.query.edges.iter().enumerate() {
+                if edge.var_length.is_some() && edge.src == v && edge.dst == v {
+                    let (op, work) = self.varlength_check_op(ei);
+                    cost += card * work;
+                    card = (card * consts::RESIDUAL_RANGE_SEL).max(0.001);
+                    ops.push(op);
+                }
+            }
             let plan = Partial {
                 cost,
                 card,
-                ops: vec![Operator::ScanVertices {
-                    var: v,
-                    label: self.query.vertices[v].label,
-                    preds,
-                }],
+                ops,
                 applied,
             };
             offer(best, mask, plan);
@@ -174,10 +187,16 @@ impl Optimizer<'_> {
                     (QueryOperand::EdgeIdOf(e), CmpOp::Eq, QueryOperand::Const(_)) if e == ei
                 ) && p.rhs_add == 0
             });
-            if !pinned || edge.src == edge.dst {
+            if !pinned || edge.src == edge.dst || edge.var_length.is_some() {
                 continue;
             }
             let mask = (1u32 << edge.src) | (1u32 << edge.dst);
+            // Conservatively leave masks containing variable-length edges
+            // to the vertex-seeded transitions, which append the required
+            // distance checks.
+            if self.varlength_internal(mask) != 0 {
+                continue;
+            }
             let bound_edges = self.bound_edges(mask);
             let mut applied = 0u64;
             let mut preds = Vec::new();
@@ -212,10 +231,14 @@ impl Optimizer<'_> {
             if mask & (1 << v) != 0 {
                 continue;
             }
+            // Variable-length edges never feed an intersection; they are
+            // consumed by VAR-LENGTH EXPAND or appended distance checks.
             let connecting: Vec<(usize, usize, bool)> = self
                 .query
                 .incident_edges(v)
-                .filter(|&(_, other, _)| mask & (1 << other) != 0)
+                .filter(|&(eidx, other, _)| {
+                    self.query.edges[eidx].var_length.is_none() && mask & (1 << other) != 0
+                })
                 .collect();
             if connecting.is_empty() {
                 continue;
@@ -270,8 +293,8 @@ impl Optimizer<'_> {
                 residual_sel *= pred_selectivity(p);
             }
             let out_per_tuple = intersection_estimate(&sizes, self.stats.vertex_count as f64);
-            let cost = partial.cost + partial.card * sum_size.max(1.0);
-            let card = (partial.card * out_per_tuple * residual_sel).max(0.001);
+            let mut cost = partial.cost + partial.card * sum_size.max(1.0);
+            let mut card = (partial.card * out_per_tuple * residual_sel).max(0.001);
             let mut ops = partial.ops.clone();
             ops.push(Operator::ExtendIntersect {
                 target: v,
@@ -279,6 +302,15 @@ impl Optimizer<'_> {
                 alds,
                 residual,
             });
+            // Distance checks for variable-length edges newly internal to
+            // the grown mask (both endpoints now bound).
+            let newly_internal = self.varlength_internal(new_mask) & !self.varlength_internal(mask);
+            for ei in iter_bits(newly_internal) {
+                let (op, work) = self.varlength_check_op(ei);
+                cost += card * work;
+                card = (card * consts::RESIDUAL_RANGE_SEL).max(0.001);
+                ops.push(op);
+            }
             offer(
                 best,
                 new_mask,
@@ -289,6 +321,88 @@ impl Optimizer<'_> {
                     applied,
                 },
             );
+        }
+    }
+
+    // ----- VAR-LENGTH EXPAND extensions -------------------------------------
+
+    /// Extends the bound set by one unbound vertex reachable through a
+    /// variable-length query edge: a BFS/IDDFS traversal from the bound
+    /// endpoint binds the target to every vertex whose shortest walk lies
+    /// within the hop bounds.
+    fn extend_varlength(&self, mask: u32, partial: &Partial, best: &mut FxHashMap<u32, Partial>) {
+        for v in 0..self.query.vertices.len() {
+            if mask & (1 << v) != 0 {
+                continue;
+            }
+            for (eidx, other, v_is_src) in self.query.incident_edges(v) {
+                let edge = &self.query.edges[eidx];
+                let Some(vl) = edge.var_length else { continue };
+                if mask & (1 << other) == 0 {
+                    continue;
+                }
+                // Traverse from the bound endpoint toward the unbound one:
+                // forward lists when the bound endpoint is the pattern
+                // source, backward lists when it is the destination.
+                let dir = if v_is_src {
+                    Direction::Bwd
+                } else {
+                    Direction::Fwd
+                };
+                let (prefix, label_enforced) = self.varlength_prefix(dir, edge.label);
+                let (work, reach) = self.varlength_estimate(edge.label, label_enforced, vl.max);
+                let new_mask = mask | (1 << v);
+                let new_bound = self.bound_edges(new_mask);
+                let mut residual = Vec::new();
+                let mut applied = partial.applied;
+                let mut residual_sel = 1.0f64;
+                for (i, p) in self.query.predicates.iter().enumerate() {
+                    if applied & (1 << i) != 0 || !self.pred_bound(p, new_mask, new_bound) {
+                        continue;
+                    }
+                    residual.push(*p);
+                    applied |= 1 << i;
+                    residual_sel *= pred_selectivity(p);
+                }
+                let mut cost = partial.cost + partial.card * work.max(1.0);
+                let mut card = (partial.card * reach * residual_sel).max(0.001);
+                let mut ops = partial.ops.clone();
+                ops.push(Operator::VarLengthExpand {
+                    src: other,
+                    target: v,
+                    target_label: self.query.vertices[v].label,
+                    edge_label: edge.label,
+                    dir,
+                    prefix,
+                    label_enforced,
+                    min: vl.min,
+                    max: vl.max,
+                    policy: traversal_policy(),
+                    check: false,
+                    residual,
+                });
+                // Other variable-length edges made internal by binding `v`
+                // become distance checks.
+                let newly_internal = (self.varlength_internal(new_mask)
+                    & !self.varlength_internal(mask))
+                    & !(1u64 << eidx);
+                for ei in iter_bits(newly_internal) {
+                    let (op, check_work) = self.varlength_check_op(ei);
+                    cost += card * check_work;
+                    card = (card * consts::RESIDUAL_RANGE_SEL).max(0.001);
+                    ops.push(op);
+                }
+                offer(
+                    best,
+                    new_mask,
+                    Partial {
+                        cost,
+                        card,
+                        ops,
+                        applied,
+                    },
+                );
+            }
         }
     }
 
@@ -359,6 +473,13 @@ impl Optimizer<'_> {
                 .iter()
                 .any(|e| members.contains(&e.src) && members.contains(&e.dst));
             if internal {
+                continue;
+            }
+            // Conservatively leave groups that would internalize a
+            // variable-length edge to the E/I + VAR-LENGTH transitions,
+            // which append the required distance checks.
+            let group_mask = members.iter().fold(mask, |m, &v| m | (1 << v));
+            if self.varlength_internal(group_mask) != self.varlength_internal(mask) {
                 continue;
             }
             let mut targets = Vec::with_capacity(members.len());
@@ -867,6 +988,89 @@ impl Optimizer<'_> {
         bits
     }
 
+    // ----- variable-length helpers -------------------------------------------
+
+    /// Bitmask of *variable-length* query edges whose endpoints are both
+    /// in `mask`. The DP invariant: the partial plan for `mask` has
+    /// consumed (expanded or checked) exactly these edges.
+    fn varlength_internal(&self, mask: u32) -> u64 {
+        let mut bits = 0u64;
+        for (i, e) in self.query.edges.iter().enumerate() {
+            if e.var_length.is_some() && mask & (1 << e.src) != 0 && mask & (1 << e.dst) != 0 {
+                bits |= 1 << i;
+            }
+        }
+        bits
+    }
+
+    /// A check-mode VAR-LENGTH EXPAND for edge `eidx` (both endpoints
+    /// bound): verifies the shortest-walk distance instead of binding.
+    /// Returns the operator plus its estimated per-tuple work.
+    fn varlength_check_op(&self, eidx: usize) -> (Operator, f64) {
+        let edge = &self.query.edges[eidx];
+        let vl = edge
+            .var_length
+            .expect("check op requires a var-length edge");
+        let (prefix, label_enforced) = self.varlength_prefix(Direction::Fwd, edge.label);
+        let (work, _) = self.varlength_estimate(edge.label, label_enforced, vl.max);
+        let op = Operator::VarLengthExpand {
+            src: edge.src,
+            target: edge.dst,
+            target_label: self.query.vertices[edge.dst].label,
+            edge_label: edge.label,
+            dir: Direction::Fwd,
+            prefix,
+            label_enforced,
+            min: vl.min,
+            max: vl.max,
+            policy: traversal_policy(),
+            check: true,
+            residual: Vec::new(),
+        };
+        (op, work)
+    }
+
+    /// The partition prefix a variable-length traversal may use: only a
+    /// *leading* `EdgeLabel` level of the primary index. Deeper levels
+    /// (neighbour labels/properties) describe the *target* vertex and must
+    /// not restrict intermediate hops.
+    fn varlength_prefix(
+        &self,
+        dir: Direction,
+        label: Option<aplus_common::EdgeLabelId>,
+    ) -> (Vec<u32>, bool) {
+        let primary = self.store.primary().index(dir);
+        match (primary.spec().partitioning.first(), label) {
+            (Some(PartitionKey::EdgeLabel), Some(l)) => (vec![u32::from(l.raw())], true),
+            _ => (Vec::new(), false),
+        }
+    }
+
+    /// `(work, reach)` estimate for one traversal invocation: expected
+    /// list entries touched across all levels and expected number of
+    /// distinct vertices within `max` hops, both capped by the vertex
+    /// population.
+    fn varlength_estimate(
+        &self,
+        label: Option<aplus_common::EdgeLabelId>,
+        label_enforced: bool,
+        max: u32,
+    ) -> (f64, f64) {
+        let deg = match label {
+            Some(l) if label_enforced => self.stats.avg_label_degree(l),
+            _ => self.stats.avg_degree,
+        }
+        .max(1.0);
+        let v = (self.stats.vertex_count as f64).max(1.0);
+        let mut reach = 1.0f64;
+        let mut work = 0.0f64;
+        for _ in 0..max {
+            reach = (reach * deg).min(v);
+            work += reach;
+        }
+        (work.max(1.0), reach.max(0.001))
+    }
+
     // ----- helpers -----------------------------------------------------------
 
     /// Bitmask of query edges whose endpoints are both in `mask`.
@@ -950,6 +1154,29 @@ fn block_policy(ops: &[Operator]) -> BlockPolicy {
         flatten,
         block_size,
     }
+}
+
+/// Which traversal strategy VAR-LENGTH EXPAND uses: `APLUS_TRAVERSAL=iddfs`
+/// selects iterative deepening, anything else (or unset) the BFS frontier.
+/// Mirrors the `APLUS_BLOCK_SIZE` env knob on [`BlockPolicy`].
+fn traversal_policy() -> TraversalPolicy {
+    match std::env::var("APLUS_TRAVERSAL") {
+        Ok(v) if v.trim().eq_ignore_ascii_case("iddfs") => TraversalPolicy::Iddfs,
+        _ => TraversalPolicy::Bfs,
+    }
+}
+
+/// Iterates the set bit positions of `bits` in ascending order.
+fn iter_bits(mut bits: u64) -> impl Iterator<Item = usize> {
+    std::iter::from_fn(move || {
+        if bits == 0 {
+            None
+        } else {
+            let i = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            Some(i)
+        }
+    })
 }
 
 fn offer(best: &mut FxHashMap<u32, Partial>, mask: u32, plan: Partial) {

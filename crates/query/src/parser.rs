@@ -28,7 +28,8 @@ use aplus_core::view::TwoHopOrientation;
 use aplus_core::CmpOp;
 
 use crate::ast::{
-    CondAst, EdgePatternAst, KeyAst, OperandAst, QueryAst, Statement, VertexPatternAst,
+    CondAst, EdgePatternAst, KeyAst, OperandAst, QueryAst, Statement, VarLengthAst,
+    VertexPatternAst,
 };
 use crate::error::QueryError;
 
@@ -87,6 +88,8 @@ enum Tok {
     Comma,
     Colon,
     Dot,
+    DotDot, // ..
+    Star,
     Plus,
     Dash,
     Arrow,     // ->
@@ -158,8 +161,23 @@ fn tokenize(input: &str) -> Result<Vec<Lexed>, QueryError> {
                 i += 1;
             }
             '.' => {
+                if bytes.get(i + 1) == Some(&b'.') {
+                    out.push(Lexed {
+                        tok: Tok::DotDot,
+                        offset: start,
+                    });
+                    i += 2;
+                } else {
+                    out.push(Lexed {
+                        tok: Tok::Dot,
+                        offset: start,
+                    });
+                    i += 1;
+                }
+            }
+            '*' => {
                 out.push(Lexed {
-                    tok: Tok::Dot,
+                    tok: Tok::Star,
                     offset: start,
                 });
                 i += 1;
@@ -507,23 +525,18 @@ impl Parser {
         } else {
             Vec::new()
         };
-        // Optional `RETURN COUNT(*)` — results are always counts.
+        // Optional `RETURN COUNT(*)` — results are always counts. The
+        // argument may be `*`, `_`, or empty.
         if self.keyword("RETURN") {
             self.expect_keyword("COUNT")?;
             self.expect(&Tok::LParen, "'('")?;
-            // `*` is tokenized as… nothing; accept an empty or star-free
-            // argument list written as `*`.
-            if let Some(Tok::Ident(s)) = self.peek() {
-                if s == "_" {
-                    self.pos += 1;
+            if !self.eat(&Tok::Star) {
+                if let Some(Tok::Ident(s)) = self.peek() {
+                    if s == "_" {
+                        self.pos += 1;
+                    }
                 }
             }
-            // Accept a literal `*` if present.
-            if self.peek().is_none() {
-                return Err(self.err("unterminated RETURN COUNT("));
-            }
-            // The lexer has no star token; skip a Dash-like star by
-            // accepting RParen directly or after one unknown ident.
             self.expect(&Tok::RParen, "')'")?;
         }
         Ok(QueryAst { edges, wheres })
@@ -536,26 +549,28 @@ impl Parser {
             match self.peek() {
                 Some(Tok::Dash) => {
                     self.pos += 1;
-                    let (name, label) = self.edge_pattern_body()?;
+                    let (name, label, var_length) = self.edge_pattern_body()?;
                     self.expect(&Tok::Arrow, "'->'")?;
                     let dst = self.vertex_pattern()?;
                     edges.push(EdgePatternAst {
                         src: current.clone(),
                         edge_name: name,
                         edge_label: label,
+                        var_length,
                         dst: dst.clone(),
                     });
                     current = dst;
                 }
                 Some(Tok::BackArrow) => {
                     self.pos += 1;
-                    let (name, label) = self.edge_pattern_body()?;
+                    let (name, label, var_length) = self.edge_pattern_body()?;
                     self.expect(&Tok::Dash, "'-'")?;
                     let src = self.vertex_pattern()?;
                     edges.push(EdgePatternAst {
                         src: src.clone(),
                         edge_name: name,
                         edge_label: label,
+                        var_length,
                         dst: current.clone(),
                     });
                     current = src;
@@ -580,8 +595,14 @@ impl Parser {
         Ok(VertexPatternAst { name, label })
     }
 
-    /// Parses `[name:Label]`, `[:Label]`, `[name]`, `[]` (between dashes).
-    fn edge_pattern_body(&mut self) -> Result<(Option<String>, Option<String>), QueryError> {
+    /// Parses `[name:Label]`, `[:Label]`, `[name]`, `[]` (between dashes),
+    /// optionally followed by a variable-length spec before the closing
+    /// bracket: `*` (1..cap), `+` (1..cap), `*n` (exactly n), `*n..`
+    /// (n..cap), `*n..m`, or `*..m` (1..m).
+    #[allow(clippy::type_complexity)]
+    fn edge_pattern_body(
+        &mut self,
+    ) -> Result<(Option<String>, Option<String>, Option<VarLengthAst>), QueryError> {
         self.expect(&Tok::LBracket, "'['")?;
         let mut name = None;
         let mut label = None;
@@ -593,8 +614,72 @@ impl Parser {
                 label = Some(self.ident("edge label")?);
             }
         }
+        let var_length = self.var_length_spec()?;
         self.expect(&Tok::RBracket, "']'")?;
-        Ok((name, label))
+        Ok((name, label, var_length))
+    }
+
+    /// Parses the optional `*min..max` / `+` trailer of an edge pattern.
+    fn var_length_spec(&mut self) -> Result<Option<VarLengthAst>, QueryError> {
+        let offset = self.offset();
+        if self.eat(&Tok::Plus) {
+            return Ok(Some(VarLengthAst {
+                min: 1,
+                max: None,
+                offset,
+            }));
+        }
+        if !self.eat(&Tok::Star) {
+            return Ok(None);
+        }
+        let (min, max) = if matches!(self.peek(), Some(Tok::Int(_))) {
+            let min = self.hop_bound("minimum hop bound")?;
+            if self.eat(&Tok::DotDot) {
+                if matches!(self.peek(), Some(Tok::Int(_))) {
+                    (min, Some(self.hop_bound("maximum hop bound")?))
+                } else {
+                    (min, None) // `*n..` — open upper bound.
+                }
+            } else {
+                (min, Some(min)) // `*n` — exactly n hops.
+            }
+        } else if self.eat(&Tok::DotDot) {
+            // `*..m` — the upper bound is required once `..` appears bare.
+            (1, Some(self.hop_bound("maximum hop bound")?))
+        } else {
+            (1, None) // bare `*`.
+        };
+        if min == 0 {
+            return Err(QueryError::Syntax {
+                message: "variable-length minimum must be at least 1".into(),
+                offset,
+            });
+        }
+        if let Some(max) = max {
+            if max < min {
+                return Err(QueryError::Syntax {
+                    message: format!(
+                        "variable-length bounds are inverted ({min}..{max}): \
+                         the maximum must be at least the minimum"
+                    ),
+                    offset,
+                });
+            }
+        }
+        Ok(Some(VarLengthAst { min, max, offset }))
+    }
+
+    /// Parses one hop bound as a `u32`, citing the literal's offset when it
+    /// is out of range.
+    fn hop_bound(&mut self, what: &str) -> Result<u32, QueryError> {
+        let offset = self.offset();
+        match self.next() {
+            Some(Tok::Int(v)) => u32::try_from(v).map_err(|_| QueryError::Syntax {
+                message: format!("{what} {v} is out of range"),
+                offset,
+            }),
+            _ => Err(self.err(format!("expected {what}"))),
+        }
     }
 
     fn conditions(&mut self) -> Result<Vec<CondAst>, QueryError> {
@@ -836,6 +921,51 @@ mod tests {
     }
 
     #[test]
+    fn var_length_spellings_parse() {
+        // (input, expected min, expected max, offset of the `*`/`+`).
+        let cases: &[(&str, u32, Option<u32>, usize)] = &[
+            ("MATCH a-[r:E*]->b", 1, None, 12),
+            ("MATCH a-[r:E+]->b", 1, None, 12),
+            ("MATCH a-[:E*3]->b", 3, Some(3), 11),
+            ("MATCH a-[:E*2..5]->b", 2, Some(5), 11),
+            ("MATCH a-[:E*2..]->b", 2, None, 11),
+            ("MATCH a-[:E*..4]->b", 1, Some(4), 11),
+            ("MATCH a-[*1..2]->b", 1, Some(2), 9),
+            ("MATCH a<-[:E*2..3]-b", 2, Some(3), 12),
+        ];
+        for &(input, min, max, offset) in cases {
+            let q = parse_query(input);
+            let vl = q.edges[0]
+                .var_length
+                .as_ref()
+                .unwrap_or_else(|| panic!("no var-length spec parsed from {input:?}"));
+            assert_eq!((vl.min, vl.max, vl.offset), (min, max, offset), "{input:?}");
+        }
+        // `COUNT(*)`'s star must not be mistaken for a Kleene star.
+        let q = parse_query("MATCH a-[r:E*2..3]->b RETURN COUNT(*)");
+        assert_eq!(q.edges[0].var_length.as_ref().unwrap().max, Some(3));
+    }
+
+    #[test]
+    fn var_length_errors_cite_the_spec_offset() {
+        // Inverted bounds and a zero minimum are rejected at parse time,
+        // citing the offset of the `*` that opened the spec.
+        for input in [
+            "MATCH a-[:E*3..1]->b",
+            "MATCH a-[:E*0..2]->b",
+            "MATCH a-[:E*0..]->b",
+            "MATCH a-[:E*0]->b",
+        ] {
+            match parse(input) {
+                Err(QueryError::Syntax { offset, .. }) => {
+                    assert_eq!(offset, 11, "{input:?}");
+                }
+                other => panic!("expected syntax error for {input:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
     fn parenthesized_vertices_with_labels() {
         let q = parse_query("MATCH (c:Customer)-[r:O]->(a:Account)");
         assert_eq!(q.edges[0].src.label.as_deref(), Some("Customer"));
@@ -1018,6 +1148,12 @@ mod tests {
             "MATCH a-[r]->b WHERE a.x / 1",
             "MATCH a-[r]->b WHERE a.name = 'oops",
             "MATCH a-[r]->b WHERE a.x = 99999999999999999999",
+            // Var-length spec errors.
+            "MATCH a-[:E*3..1]->b",
+            "MATCH a-[:E*0..]->b",
+            "MATCH a-[:E*1..99999999999999999999]->b",
+            "MATCH a-[:E*..]->b",
+            "MATCH a-[:E*2..",
             // Parser errors mid-input.
             "BOGUS things",
             "MATCH a-[r]->b WHERE",

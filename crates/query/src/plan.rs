@@ -201,11 +201,61 @@ pub enum Operator {
         /// Residual predicates evaluated per produced match.
         residual: Vec<QueryPredicate>,
     },
+    /// Variable-length expand (`-[:L*min..max]->`): binds `target` to
+    /// every vertex whose shortest directed walk (length ≥ 1) from the
+    /// bound `src` via matching edges lies within `min..=max`. In check
+    /// mode (both endpoints already bound) it verifies that distance
+    /// instead of binding. The edge variable, if any, binds no edge.
+    VarLengthExpand {
+        /// Bound query vertex the traversal starts from (the pattern's
+        /// source when `dir` is forward, its destination when backward).
+        src: usize,
+        /// Query vertex bound by the expansion (ignored as a target in
+        /// check mode — it is already bound).
+        target: usize,
+        /// Required label of the target vertex, re-checked per emission.
+        target_label: Option<VertexLabelId>,
+        /// Required label of every traversed edge.
+        edge_label: Option<EdgeLabelId>,
+        /// Which primary-index direction the traversal follows.
+        dir: Direction,
+        /// Partition-code prefix selecting the edge-label run of the
+        /// primary index, when its leading partition key covers it.
+        prefix: Vec<u32>,
+        /// Whether `prefix` already enforces `edge_label`; when false and
+        /// a label is required, the executor filters traversed edges.
+        label_enforced: bool,
+        /// Minimum hops (≥ 1).
+        min: u32,
+        /// Maximum hops (≤ the hop cap).
+        max: u32,
+        /// Frontier strategy.
+        policy: TraversalPolicy,
+        /// Check mode: verify the distance between two bound vertices.
+        check: bool,
+        /// Residual predicates evaluated per produced match.
+        residual: Vec<QueryPredicate>,
+    },
     /// Residual filter.
     Filter {
         /// Predicates to evaluate.
         preds: Vec<QueryPredicate>,
     },
+}
+
+/// How a [`Operator::VarLengthExpand`] traverses: a BFS frontier (the
+/// default; morsel-parallel when the operator sits directly above a pinned
+/// root) or iterative-deepening DFS (depth-limited simple-path search per
+/// level; no frontier allocation, exponential worst case). Both produce
+/// identical rows. Selectable via the `APLUS_TRAVERSAL` environment
+/// variable (`bfs` / `iddfs`), mirroring the `BlockPolicy` knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraversalPolicy {
+    /// Level-synchronous BFS over a per-source frontier.
+    #[default]
+    Bfs,
+    /// Iterative-deepening depth-first search.
+    Iddfs,
 }
 
 /// Where intermediate results are flattened into rows.
@@ -361,6 +411,40 @@ fn op_description(op: &Operator) -> String {
                 .map(|(v, _, a)| format!("v{v}:{}", a.render()))
                 .collect();
             let mut s = format!("Multi-Extend [{}]", lists.join(" ∩ "));
+            if !residual.is_empty() {
+                s.push_str(&format!(" filter={}", residual.len()));
+            }
+            s
+        }
+        Operator::VarLengthExpand {
+            src,
+            target,
+            edge_label,
+            dir,
+            min,
+            max,
+            policy,
+            check,
+            residual,
+            ..
+        } => {
+            let arrow = match dir {
+                Direction::Fwd => format!("v{src}-[*{min}..{max}]->v{target}"),
+                Direction::Bwd => format!("v{src}<-[*{min}..{max}]-v{target}"),
+            };
+            let mut s = format!(
+                "VarLength {arrow} {}",
+                match policy {
+                    TraversalPolicy::Bfs => "bfs",
+                    TraversalPolicy::Iddfs => "iddfs",
+                }
+            );
+            if let Some(l) = edge_label {
+                s.push_str(&format!(" label={l}"));
+            }
+            if *check {
+                s.push_str(" check");
+            }
             if !residual.is_empty() {
                 s.push_str(&format!(" filter={}", residual.len()));
             }

@@ -18,6 +18,35 @@ use crate::error::QueryError;
 /// Maximum query vertices supported by the bitmask DP optimizer.
 pub const MAX_QUERY_VERTICES: usize = 16;
 
+/// Default maximum hops a variable-length pattern may request (the bound
+/// substituted for open upper bounds like `*` / `+` / `*2..`). Overridable
+/// via the `APLUS_HOP_CAP` environment variable.
+pub const DEFAULT_HOP_CAP: u32 = 64;
+
+/// The effective hop cap: `APLUS_HOP_CAP` if set to a positive integer,
+/// otherwise [`DEFAULT_HOP_CAP`].
+#[must_use]
+pub fn hop_cap() -> u32 {
+    match std::env::var("APLUS_HOP_CAP") {
+        Ok(v) => match v.trim().parse::<u32>() {
+            Ok(n) if n >= 1 => n,
+            _ => DEFAULT_HOP_CAP,
+        },
+        Err(_) => DEFAULT_HOP_CAP,
+    }
+}
+
+/// Resolved hop bounds of a variable-length query edge
+/// (`-[:L*min..max]->`). Both bounds are inclusive; `min >= 1` and
+/// `max <= hop_cap()` are enforced at parse/bind time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VarLength {
+    /// Minimum number of hops (≥ 1).
+    pub min: u32,
+    /// Maximum number of hops (≥ `min`).
+    pub max: u32,
+}
+
 /// A query vertex.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QueryVertex {
@@ -38,6 +67,11 @@ pub struct QueryEdge {
     pub dst: usize,
     /// Required edge label, if any.
     pub label: Option<EdgeLabelId>,
+    /// Variable-length hop bounds (`-[:L*min..max]->`); `None` for a
+    /// plain single-hop edge. A variable-length edge matches when the
+    /// shortest directed walk (length ≥ 1) from `src` to `dst` via
+    /// label-matching edges lies within the bounds; it binds no edge slot.
+    pub var_length: Option<VarLength>,
 }
 
 /// One side of a query predicate comparison.
@@ -404,18 +438,21 @@ mod tests {
                     src: 0,
                     dst: 1,
                     label: None,
+                    var_length: None,
                 },
                 QueryEdge {
                     name: None,
                     src: 1,
                     dst: 2,
                     label: None,
+                    var_length: None,
                 },
                 QueryEdge {
                     name: None,
                     src: 2,
                     dst: 0,
                     label: None,
+                    var_length: None,
                 },
             ],
             predicates: vec![],

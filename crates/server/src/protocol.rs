@@ -66,7 +66,7 @@ use std::collections::BTreeMap;
 use std::io::{self, Read, Write};
 
 use aplus_query::engine::DdlOutcome;
-use aplus_query::{HistogramSnapshot, LevelProfile, MetricsSnapshot, QueryProfile};
+use aplus_query::{HistogramSnapshot, HopProfile, LevelProfile, MetricsSnapshot, QueryProfile};
 use aplus_query::{QueryError, RawRow};
 use serde_json::Value;
 
@@ -366,6 +366,8 @@ impl From<&QueryError> for WireError {
             QueryError::TooManyQueryVertices { .. } => ("too_many_query_vertices", None),
             QueryError::DisconnectedPattern => ("disconnected_pattern", None),
             QueryError::VertexDomainExceeded { .. } => ("vertex_domain_exceeded", None),
+            QueryError::HopCapExceeded { offset, .. } => ("hop_cap_exceeded", Some(*offset as u64)),
+            QueryError::VarLengthPredicate(_) => ("var_length_predicate", None),
             QueryError::Graph(_) => ("graph", None),
             QueryError::Index(_) => ("index", None),
             QueryError::NoPlan(_) => ("no_plan", None),
@@ -723,11 +725,25 @@ fn encode_profile(profile: &QueryProfile) -> Value {
             })
             .collect(),
     );
+    let hops = Value::Array(
+        profile
+            .hops
+            .iter()
+            .map(|h| {
+                obj(vec![
+                    ("frontier", num(h.frontier)),
+                    ("visited", num(h.visited)),
+                    ("emitted", num(h.emitted)),
+                ])
+            })
+            .collect(),
+    );
     obj(vec![
         ("engine", str_v(&profile.engine)),
         ("elapsed_us", num(profile.elapsed_us)),
         ("rows", num(profile.rows)),
         ("levels", levels),
+        ("hops", hops),
         ("blocks", num(profile.blocks)),
         ("fc_shortcut_hits", num(profile.fc_shortcut_hits)),
         ("flatten_rows", num(profile.flatten_rows)),
@@ -757,11 +773,29 @@ fn decode_profile(v: &Value) -> Result<QueryProfile, String> {
             })
         })
         .collect::<Result<_, String>>()?;
+    // Absent on frames from servers predating var-length paths.
+    let hops = v
+        .get("hops")
+        .and_then(Value::as_array)
+        .map(|hops| {
+            hops.iter()
+                .map(|h| {
+                    Ok(HopProfile {
+                        frontier: get_u64(h, "frontier")?,
+                        visited: get_u64(h, "visited")?,
+                        emitted: get_u64(h, "emitted")?,
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()
+        })
+        .transpose()?
+        .unwrap_or_default();
     Ok(QueryProfile {
         engine: get_str(v, "engine")?,
         elapsed_us: get_u64(v, "elapsed_us")?,
         rows: get_u64(v, "rows")?,
         levels,
+        hops,
         blocks: get_u64(v, "blocks")?,
         fc_shortcut_hits: get_u64(v, "fc_shortcut_hits")?,
         flatten_rows: get_u64(v, "flatten_rows")?,
@@ -1170,6 +1204,11 @@ mod tests {
                     emitted: 9,
                 },
             ],
+            hops: vec![HopProfile {
+                frontier: 1,
+                visited: 1,
+                emitted: 4,
+            }],
             blocks: 1,
             fc_shortcut_hits: 2,
             flatten_rows: 0,

@@ -393,6 +393,68 @@ fn shell_matches_database_collect_on_the_quickstart_workload() {
     handle.shutdown();
 }
 
+/// Variable-length path queries over the wire: counts, collects and
+/// streams match the direct API bit-for-bit, a hop-count request past the
+/// cap comes back as a structured `hop_cap_exceeded` error citing the
+/// offset of the `*` spec, and a predicate over a var-length edge
+/// variable is `var_length_predicate` — all without dropping the
+/// connection.
+#[test]
+fn var_length_round_trips_and_reports_structured_errors() {
+    let shared = financial_shared(2);
+    let direct = shared.clone();
+    let handle = serve(shared, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+
+    let rings = "MATCH a-[:W*1..3]->b";
+    assert_eq!(client.count(rings).unwrap(), direct.count(rings).unwrap());
+    assert_eq!(
+        client.collect(rings, usize::MAX).unwrap(),
+        direct.collect(rings, usize::MAX).unwrap(),
+        "var-length collect over the wire is bit-identical to the direct API"
+    );
+    assert_eq!(
+        client.stream_collect(rings, usize::MAX).unwrap(),
+        direct.collect(rings, usize::MAX).unwrap(),
+        "var-length streamed rows arrive in collect order"
+    );
+
+    // `*1..100` exceeds the default hop cap of 64: structured error kind,
+    // offset citing the `*` that opened the spec (column 11).
+    let err = client.count("MATCH a-[:W*1..100]->b").unwrap_err();
+    match err {
+        ClientError::Server(e) => {
+            assert_eq!(e.kind, "hop_cap_exceeded", "{e}");
+            assert_eq!(e.offset, Some(11), "span points at the spec: {e}");
+            assert!(e.message.contains("64"), "message names the cap: {e}");
+        }
+        other => panic!("expected a server error, got {other:?}"),
+    }
+    // A minimum past the cap can never be satisfied either.
+    let err = client.count("MATCH a-[:W*70..80]->b").unwrap_err();
+    match err {
+        ClientError::Server(e) => assert_eq!(e.kind, "hop_cap_exceeded", "{e}"),
+        other => panic!("expected a server error, got {other:?}"),
+    }
+    // Var-length edge variables bind no single edge, so predicates over
+    // them are rejected at bind time.
+    let err = client
+        .count("MATCH a-[r:W*1..2]->b WHERE r.amt > 0")
+        .unwrap_err();
+    match err {
+        ClientError::Server(e) => {
+            assert_eq!(e.kind, "var_length_predicate", "{e}");
+            assert_eq!(e.offset, None, "{e}");
+        }
+        other => panic!("expected a server error, got {other:?}"),
+    }
+
+    // The connection survives all those errors.
+    client.ping().unwrap();
+    assert_eq!(client.count(rings).unwrap(), direct.count(rings).unwrap());
+    handle.shutdown();
+}
+
 /// A collect whose result crosses the server's row cap gets a structured
 /// `result_too_large` error (pointing at stream) instead of an unbounded
 /// materialization; capped and limited collects still work.

@@ -116,6 +116,20 @@ fn profile_verb_matches_plain_count() {
     // The PROFILE spelling works over the wire too.
     let (pn2, _) = client.profile(&format!("PROFILE {WIRES}")).unwrap();
     assert_eq!(pn2, n);
+
+    // Fixed-length plans carry no hop stats; a var-length profile ships
+    // its per-hop frontier/visited/emitted stats across the wire.
+    assert!(profile.hops.is_empty(), "{profile:?}");
+    let (vn, vprofile) = client.profile("MATCH a-[:W*1..3]->b").unwrap();
+    assert!(
+        !vprofile.hops.is_empty() && vprofile.hops.len() <= 3,
+        "{vprofile:?}"
+    );
+    assert_eq!(
+        vprofile.hops.iter().map(|h| h.emitted).sum::<u64>(),
+        vn,
+        "per-hop emitted decomposes the rows by path length: {vprofile:?}"
+    );
     handle.shutdown();
 }
 

@@ -151,6 +151,69 @@ fn profile_merge_is_deterministic_across_thread_counts() {
     }
 }
 
+/// Variable-length `PROFILE` reports per-hop frontier/visited/emitted
+/// stats that are pure traversal properties — recorded once per BFS
+/// level before emission — so they are identical at every thread count,
+/// including under a `LIMIT` that stops emission mid-level.
+#[test]
+fn var_length_profiles_report_thread_invariant_hop_stats() {
+    let db = social(300, 2400);
+    let query = "MATCH a1-[*1..3]->a2";
+    let (n, baseline) = db.profile_count(query).expect("query valid");
+    assert!(
+        !baseline.hops.is_empty() && baseline.hops.len() <= 3,
+        "per-hop stats populated up to the bound: {baseline:?}"
+    );
+    // With min = 1 and no target filters, every newly-reached vertex is
+    // emitted: the per-hop emitted stats decompose the row count by
+    // shortest-path length.
+    assert_eq!(
+        baseline.hops.iter().map(|h| h.emitted).sum::<u64>(),
+        n,
+        "{baseline:?}"
+    );
+    for h in &baseline.hops {
+        assert!(h.frontier > 0, "every recorded hop expanded a frontier");
+    }
+    // The rendered profile prints one line per hop.
+    let rendered = baseline.render();
+    assert!(rendered.contains("hop1 frontier="), "{rendered}");
+
+    for threads in [1usize, 2, 4] {
+        let pool = MorselPool::new(threads);
+        let (pn, profile) = db
+            .profile_count_parallel(query, &pool)
+            .expect("query valid");
+        assert_eq!(pn, n);
+        assert_eq!(
+            profile.hops, baseline.hops,
+            "thread count {threads} changed the hop stats"
+        );
+    }
+
+    // Pinned root: the morsel-parallel BFS frontier strategy records each
+    // hop at the level barrier before emission, so hop stats stay
+    // thread-invariant even under a LIMIT that stops emission mid-level.
+    let pinned = "MATCH a1-[*1..3]->a2 WHERE a1.ID = 0";
+    let full = db.count(pinned).expect("query valid");
+    assert!(full >= 2, "root 0 must reach a few vertices: {full}");
+    let limit = (full as usize) / 2;
+    let (seq_rows, seq_limited) = db.profile_collect(pinned, limit).expect("query valid");
+    assert_eq!(seq_rows.len(), limit);
+    assert!(!seq_limited.hops.is_empty());
+    for threads in [2usize, 4] {
+        let pool = MorselPool::new(threads);
+        let (rows, limited) = db
+            .profile_collect_parallel(pinned, limit, &pool)
+            .expect("query valid");
+        assert_eq!(rows, seq_rows, "thread count {threads}");
+        assert_eq!(
+            limited.hops, seq_limited.hops,
+            "thread count {threads}: LIMIT changed recorded hop stats"
+        );
+    }
+}
+
 /// `PROFILE MATCH …` parses as a statement and profiles exactly the
 /// embedded query.
 #[test]

@@ -76,6 +76,58 @@ fn stream_overlapping_reconfigure_pins_the_pre_rebuild_snapshot() {
     assert_eq!(after.count(WIRES_QUERY).unwrap(), BASE_WIRES + 1);
 }
 
+/// The same pin guarantee for a variable-length traversal: a streaming
+/// BFS query drains bit-identically to its pre-write snapshot while a
+/// `RECONFIGURE` (which rewrites the very adjacency lists the frontier
+/// expansion walks) and an insert (which would extend the reachable set)
+/// both commit mid-drain.
+#[test]
+fn var_length_stream_overlapping_reconfigure_pins_its_snapshot() {
+    const VAR_LENGTH_QUERY: &str = "MATCH a-[:W*1..3]->b";
+    let shared = shared_db();
+    let expect = shared.collect(VAR_LENGTH_QUERY, usize::MAX).unwrap();
+
+    let (mut tx, rx) = aplus::row_channel(1);
+    let producer = {
+        let handle = shared.clone();
+        std::thread::spawn(move || {
+            handle
+                .stream(VAR_LENGTH_QUERY, usize::MAX, &mut tx)
+                .unwrap();
+            drop(tx);
+        })
+    };
+    let mut rx = rx.into_iter();
+    let mut rows: Vec<RawRow> = Vec::new();
+    rows.push(rx.next().expect("the stream produced its first row"));
+
+    // Mid-drain: rebuild the primary the BFS is walking, then add a W
+    // edge from a customer vertex (5) — customers have no outgoing wires
+    // in the base graph, so this provably grows the reachable pair set.
+    shared.writer().ddl(RECONFIGURE).unwrap();
+    shared
+        .writer()
+        .insert_edge(VertexId(5), VertexId(0), "W", &[("amt", Value::Int(1))])
+        .unwrap();
+    assert_eq!(shared.epoch(), 2, "both write batches committed mid-drain");
+
+    rows.extend(rx);
+    producer.join().unwrap();
+    assert_eq!(
+        rows, expect,
+        "a var-length stream overlapping a reconfigure must drain its own snapshot"
+    );
+
+    // The new edge changes the post-publish traversal (vertex 2 and its
+    // successors become reachable from 0), and the live head sees it.
+    let after = shared.count(VAR_LENGTH_QUERY).unwrap();
+    assert!(
+        after > expect.len() as u64,
+        "the inserted edge must grow the reachable set: {after} vs {}",
+        expect.len()
+    );
+}
+
 /// Readers issued *during* an in-flight write batch (a reconfigure held
 /// open on its writer handle) complete without waiting: counts, collects
 /// and streams all finish while the writer sits on the gate, and all of
